@@ -1,0 +1,131 @@
+//! Shared helpers for the competitor systems: single-target log
+//! normalization and transferable per-plan-node features.
+
+use qpseeker_engine::explain::Explain;
+use qpseeker_engine::plan::{PhysicalOp, PlanNode};
+use qpseeker_engine::query::Query;
+use qpseeker_storage::Database;
+
+/// `ln(1+x)` z-score normalizer for one scalar target.
+#[derive(Debug, Clone)]
+pub struct LogNormalizer {
+    pub mean: f64,
+    pub std: f64,
+}
+
+impl LogNormalizer {
+    /// # Panics
+    /// Panics on empty input.
+    pub fn fit(values: &[f64]) -> Self {
+        assert!(!values.is_empty(), "cannot fit on empty values");
+        let logs: Vec<f64> = values.iter().map(|v| v.max(0.0).ln_1p()).collect();
+        let mean = logs.iter().sum::<f64>() / logs.len() as f64;
+        let var = logs.iter().map(|l| (l - mean) * (l - mean)).sum::<f64>() / logs.len() as f64;
+        Self { mean, std: var.sqrt().max(1e-6) }
+    }
+
+    pub fn encode(&self, v: f64) -> f32 {
+        ((v.max(0.0).ln_1p() - self.mean) / self.std) as f32
+    }
+
+    pub fn decode(&self, n: f32) -> f64 {
+        ((n as f64 * self.std + self.mean).clamp(-10.0, 60.0).exp() - 1.0).max(0.0)
+    }
+}
+
+/// Number of transferable per-node features (see [`node_features`]).
+pub const NODE_FEAT_DIM: usize = PhysicalOp::COUNT + 7;
+
+/// Schema-agnostic ("zero-shot transferable") features of every plan node,
+/// postorder. Only quantities that exist in any database appear: operator
+/// one-hot, log-scaled EXPLAIN estimates, base-table size/blocks for scans,
+/// predicate counts and estimated selectivity.
+pub fn node_features(db: &Database, query: &Query, plan: &PlanNode) -> Vec<Vec<f32>> {
+    let explain = Explain::new(db);
+    let estimates = explain.explain(query, plan);
+    let nodes = plan.postorder();
+    nodes
+        .iter()
+        .zip(&estimates)
+        .map(|(node, est)| {
+            let mut f = vec![0.0f32; NODE_FEAT_DIM];
+            f[node.physical_op().one_hot_index()] = 1.0;
+            let base = PhysicalOp::COUNT;
+            f[base] = (est.rows.max(0.0).ln_1p() / 20.0) as f32;
+            f[base + 1] = (est.cost.max(0.0).ln_1p() / 20.0) as f32;
+            f[base + 2] = (est.time_ms.max(0.0).ln_1p() / 15.0) as f32;
+            match node {
+                PlanNode::Scan { table, filters, .. } => {
+                    let stats = db.table_stats(table).expect("stats exist");
+                    f[base + 3] = ((stats.n_rows as f64).ln_1p() / 20.0) as f32;
+                    f[base + 4] = ((stats.n_blocks as f64).ln_1p() / 15.0) as f32;
+                    f[base + 5] = filters.len() as f32 / 8.0;
+                    f[base + 6] = (est.rows / stats.n_rows.max(1) as f64) as f32; // selectivity
+                }
+                PlanNode::Join { preds, .. } => {
+                    f[base + 5] = preds.len() as f32 / 8.0;
+                }
+            }
+            f
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qpseeker_engine::plan::{JoinOp, ScanOp};
+    use qpseeker_engine::query::{ColRef, JoinPred, RelRef};
+    use qpseeker_storage::datagen::imdb;
+
+    #[test]
+    fn log_normalizer_round_trip() {
+        let n = LogNormalizer::fit(&[1.0, 10.0, 100.0, 1000.0]);
+        for v in [2.0, 50.0, 800.0] {
+            let d = n.decode(n.encode(v));
+            assert!((d - v).abs() < 0.01 * (1.0 + v), "{d} vs {v}");
+        }
+    }
+
+    #[test]
+    fn node_features_shape_and_content() {
+        let db = imdb::generate(0.05, 1);
+        let mut q = Query::new("q");
+        q.relations = vec![RelRef::new("title"), RelRef::new("movie_info")];
+        q.joins = vec![JoinPred {
+            left: ColRef::new("movie_info", "movie_id"),
+            right: ColRef::new("title", "id"),
+        }];
+        let plan = PlanNode::join(
+            &q,
+            JoinOp::HashJoin,
+            PlanNode::scan(&q, "title", ScanOp::SeqScan),
+            PlanNode::scan(&q, "movie_info", ScanOp::SeqScan),
+        );
+        let feats = node_features(&db, &q, &plan);
+        assert_eq!(feats.len(), 3);
+        for f in &feats {
+            assert_eq!(f.len(), NODE_FEAT_DIM);
+            assert!(f.iter().all(|v| v.is_finite()));
+            // Exactly one operator bit set.
+            assert_eq!(f[..PhysicalOp::COUNT].iter().filter(|&&v| v == 1.0).count(), 1);
+        }
+        // Scans carry table-size features, joins do not.
+        assert!(feats[0][PhysicalOp::COUNT + 3] > 0.0);
+        assert_eq!(feats[2][PhysicalOp::COUNT + 3], 0.0);
+    }
+
+    #[test]
+    fn features_are_schema_agnostic_across_databases() {
+        // The same code path must produce features on a totally different
+        // schema (the zero-shot premise).
+        let db = qpseeker_storage::datagen::synthdb::generate("z", 4, 200, 1);
+        let t0 = format!("z_t1");
+        let mut q = Query::new("q");
+        q.relations = vec![RelRef::new(t0.clone())];
+        let plan = PlanNode::scan(&q, &t0, ScanOp::SeqScan);
+        let feats = node_features(&db, &q, &plan);
+        assert_eq!(feats.len(), 1);
+        assert_eq!(feats[0].len(), NODE_FEAT_DIM);
+    }
+}

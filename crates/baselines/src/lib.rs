@@ -1,0 +1,24 @@
+//! `qpseeker-baselines` — the competitor systems of the paper's evaluation.
+//!
+//! | System | Task | Paper table/figure |
+//! |--------|------|--------------------|
+//! | [`mscn::Mscn`] | cardinality estimation | Table 4 |
+//! | [`qppnet::QppNet`] | runtime prediction | Table 5 |
+//! | [`zeroshot::ZeroShot`] | cost estimation (transfer) | Table 3 |
+//! | [`bao::Bao`] | query optimization (hint advisor) | Figs. 9-10 |
+//!
+//! The "PostgreSQL" competitor is `qpseeker_engine`'s own estimator and
+//! optimizer. All models are built on `qpseeker-nn` and trained on the same
+//! workloads as QPSeeker.
+
+pub mod bao;
+pub mod common;
+pub mod mscn;
+pub mod qppnet;
+pub mod zeroshot;
+
+pub use bao::{Bao, BaoConfig};
+pub use common::{node_features, LogNormalizer, NODE_FEAT_DIM};
+pub use mscn::{Mscn, MscnConfig};
+pub use qppnet::{QppNet, QppNetConfig};
+pub use zeroshot::{ZeroShot, ZeroShotConfig};

@@ -1,0 +1,98 @@
+//! Criterion micro-benchmarks for the substrates and the model's inference
+//! path: executor throughput, optimizer planning, TabSim encoding, QPSeeker
+//! prediction and one MCTS planning call.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qpseeker_core::prelude::*;
+use qpseeker_engine::prelude::*;
+use qpseeker_tabert::{TabSim, TabertConfig};
+use qpseeker_workloads::{synthetic, Qep, SyntheticConfig};
+use std::hint::black_box;
+
+fn bench_executor(c: &mut Criterion) {
+    let db = qpseeker_storage::datagen::imdb::generate(0.3, 1);
+    let mut q = Query::new("bench");
+    q.relations = vec![RelRef::new("title"), RelRef::new("cast_info")];
+    q.joins = vec![JoinPred {
+        left: ColRef::new("cast_info", "movie_id"),
+        right: ColRef::new("title", "id"),
+    }];
+    let plan = PlanNode::join(
+        &q,
+        JoinOp::HashJoin,
+        PlanNode::scan(&q, "title", ScanOp::SeqScan),
+        PlanNode::scan(&q, "cast_info", ScanOp::SeqScan),
+    );
+    let ex = Executor::new(&db);
+    c.bench_function("executor/hash_join_2way", |b| {
+        b.iter(|| black_box(ex.execute(black_box(&plan))))
+    });
+}
+
+fn bench_optimizer(c: &mut Criterion) {
+    let db = qpseeker_storage::datagen::imdb::generate(0.1, 1);
+    let mut q = Query::new("bench");
+    for t in ["title", "movie_info", "movie_keyword", "cast_info", "movie_companies"] {
+        q.relations.push(RelRef::new(t));
+    }
+    for t in ["movie_info", "movie_keyword", "cast_info", "movie_companies"] {
+        q.joins.push(JoinPred {
+            left: ColRef::new(t, "movie_id"),
+            right: ColRef::new("title", "id"),
+        });
+    }
+    let opt = PgOptimizer::new(&db);
+    c.bench_function("optimizer/dp_5way", |b| b.iter(|| black_box(opt.plan(black_box(&q)))));
+}
+
+fn bench_tabert(c: &mut Criterion) {
+    let db = qpseeker_storage::datagen::imdb::generate(0.1, 1);
+    c.bench_function("tabert/encode_table_uncached", |b| {
+        b.iter_with_setup(
+            || TabSim::new(TabertConfig::paper_default()),
+            |mut ts| black_box(ts.encode_table(&db, "title", "select * from title")),
+        )
+    });
+}
+
+fn bench_model(c: &mut Criterion) {
+    let db = qpseeker_storage::datagen::imdb::generate(0.06, 1);
+    let w = synthetic::generate(&db, &SyntheticConfig { n_queries: 40, seed: 1 });
+    let refs: Vec<&Qep> = w.qeps.iter().collect();
+    let mut model = QPSeeker::new(&db, ModelConfig::small());
+    model.fit(&refs);
+    let qep = w.qeps.iter().find(|q| q.query.num_joins() >= 1).expect("join query");
+    c.bench_function("qpseeker/predict", |b| {
+        b.iter(|| black_box(model.predict(black_box(&qep.query), black_box(&qep.plan))))
+    });
+    let planner =
+        MctsPlanner::new(MctsConfig { budget_ms: 1e9, max_simulations: 20, ..Default::default() });
+    c.bench_function("qpseeker/mcts_20_simulations", |b| {
+        b.iter(|| black_box(planner.plan(&mut model, black_box(&qep.query))))
+    });
+}
+
+fn bench_training_step(c: &mut Criterion) {
+    let db = qpseeker_storage::datagen::imdb::generate(0.06, 1);
+    let w = synthetic::generate(&db, &SyntheticConfig { n_queries: 16, seed: 1 });
+    c.bench_function("qpseeker/train_epoch_16qeps", |b| {
+        b.iter_with_setup(
+            || {
+                let mut cfg = ModelConfig::small();
+                cfg.epochs = 1;
+                QPSeeker::new(&db, cfg)
+            },
+            |mut model| {
+                let refs: Vec<&Qep> = w.qeps.iter().collect();
+                black_box(model.fit(&refs))
+            },
+        )
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_executor, bench_optimizer, bench_tabert, bench_model, bench_training_step
+}
+criterion_main!(benches);

@@ -1,0 +1,6 @@
+//! Regenerates the `fig8_sampling_tabert` experiment (see DESIGN.md §4). Pass `--quick`
+//! for a smoke-scale run.
+fn main() {
+    let ctx = qpseeker_bench::Context::new(qpseeker_bench::Scale::from_args());
+    qpseeker_bench::experiments::fig8_sampling_tabert::run(&ctx);
+}

@@ -1,0 +1,6 @@
+//! Regenerates the `table4_cardinality` experiment (see DESIGN.md §4). Pass `--quick`
+//! for a smoke-scale run.
+fn main() {
+    let ctx = qpseeker_bench::Context::new(qpseeker_bench::Scale::from_args());
+    qpseeker_bench::experiments::table4_cardinality::run(&ctx);
+}

@@ -1,0 +1,89 @@
+//! **Fig. 5** — t-SNE projection of the 32-d latent space of QEPs sampled
+//! from the JOB workload, colored by query template.
+//!
+//! Paper shape: QEPs from the same template cluster together (and related
+//! templates land near each other). We quantify the visual claim with a
+//! silhouette score against (a) template labels on the learned latents and
+//! (b) the same labels on *shuffled* latents as a null baseline.
+
+use crate::{emit, fmt, markdown_table, train_model, Context};
+use qpseeker_core::prelude::*;
+use serde::Serialize;
+use std::collections::HashMap;
+
+#[derive(Serialize)]
+pub struct Output {
+    pub points: Vec<PointRow>,
+    pub silhouette_latent: f64,
+    pub silhouette_null: f64,
+    pub n_templates: usize,
+}
+
+#[derive(Serialize)]
+pub struct PointRow {
+    pub x: f64,
+    pub y: f64,
+    pub template: String,
+    pub query_id: String,
+}
+
+pub fn run(ctx: &Context) {
+    let w = ctx.job();
+    let db = ctx.db_of(&w);
+    let (mut model, _eval) = train_model(db, &w, ctx.scale.model_config());
+
+    // Latents for a bounded sample of QEPs (t-SNE is O(n²)).
+    let cap = 400.min(w.qeps.len());
+    let mut latents: Vec<Vec<f32>> = Vec::with_capacity(cap);
+    let mut labels: Vec<usize> = Vec::with_capacity(cap);
+    let mut label_of: HashMap<String, usize> = HashMap::new();
+    let mut meta: Vec<(String, String)> = Vec::with_capacity(cap);
+    let stride = (w.qeps.len() / cap).max(1);
+    for qep in w.qeps.iter().step_by(stride).take(cap) {
+        latents.push(model.latent_mu(&qep.query, &qep.plan));
+        let next = label_of.len();
+        let l = *label_of.entry(qep.template.clone()).or_insert(next);
+        labels.push(l);
+        meta.push((qep.template.clone(), qep.query.id.clone()));
+    }
+
+    let coords = tsne(&latents, &TsneConfig::default());
+    let sil = silhouette(&latents, &labels);
+    // Null baseline: same labels, latents rotated by half the list.
+    let n = latents.len();
+    let shuffled: Vec<Vec<f32>> = (0..n).map(|i| latents[(i + n / 2) % n].clone()).collect();
+    let sil_null = silhouette(&shuffled, &labels);
+
+    let points: Vec<PointRow> = coords
+        .iter()
+        .zip(&meta)
+        .map(|(c, (template, qid))| PointRow {
+            x: c[0],
+            y: c[1],
+            template: template.clone(),
+            query_id: qid.clone(),
+        })
+        .collect();
+    let out = Output {
+        points,
+        silhouette_latent: sil,
+        silhouette_null: sil_null,
+        n_templates: label_of.len(),
+    };
+    let md = markdown_table(
+        &["metric", "value"],
+        &[
+            vec!["QEPs embedded".into(), n.to_string()],
+            vec!["templates".into(), label_of.len().to_string()],
+            vec!["silhouette (latent, by template)".into(), fmt(sil)],
+            vec!["silhouette (null baseline)".into(), fmt(sil_null)],
+        ],
+    );
+    emit("fig5_latent_tsne", &out, &md);
+    println!(
+        "latent clustering {} null baseline ({} vs {})",
+        if sil > sil_null { "beats" } else { "DOES NOT beat" },
+        fmt(sil),
+        fmt(sil_null)
+    );
+}

@@ -1,0 +1,14 @@
+//! One module per paper table/figure. Every module exposes
+//! `run(ctx: &Context)`, prints a markdown table and writes JSON rows to the
+//! results directory.
+
+pub mod ablations;
+pub mod fig10_through_time;
+pub mod fig5_latent;
+pub mod fig8_sampling_tabert;
+pub mod fig9_job_margin;
+pub mod table1_workloads;
+pub mod table2_beta;
+pub mod table3_cost;
+pub mod table4_cardinality;
+pub mod table5_runtime;

@@ -1,0 +1,94 @@
+//! **Table 1** — evaluation workloads (queries, QEPs, plan source, database)
+//! plus the §6 distribution discussion (runtime/cost/cardinality shapes,
+//! the paper's Fig. 7-style statistics).
+
+use crate::{emit, fmt, markdown_table, Context};
+use qpseeker_workloads::{job, WorkloadSummary};
+use serde::Serialize;
+
+#[derive(Serialize)]
+pub struct Row {
+    pub workload: String,
+    pub queries: usize,
+    pub qeps: usize,
+    pub plan_source: String,
+    pub database: String,
+    pub max_joins: usize,
+    pub runtime_p50_ms: f64,
+    pub runtime_p99_ms: f64,
+    pub card_min: f64,
+    pub card_max: f64,
+}
+
+fn row(s: &WorkloadSummary) -> Row {
+    Row {
+        workload: s.name.clone(),
+        queries: s.num_queries,
+        qeps: s.num_qeps,
+        plan_source: format!("{:?}", s.plan_source),
+        database: s.database.clone(),
+        max_joins: s.max_joins,
+        runtime_p50_ms: s.runtime_ms.p50,
+        runtime_p99_ms: s.runtime_ms.p99,
+        card_min: s.cardinality.min,
+        card_max: s.cardinality.max,
+    }
+}
+
+pub fn run(ctx: &Context) {
+    let mut rows = Vec::new();
+    for w in [ctx.synthetic(), ctx.job(), ctx.stack()] {
+        rows.push(row(&w.summary()));
+    }
+    // Eval-only query sets.
+    let light = job::job_light_queries(&ctx.imdb, ctx.scale.seed);
+    let ext = job::job_extended_queries(&ctx.imdb, ctx.scale.seed);
+    for (name, qs) in [("job-light", light), ("job-extended", ext)] {
+        rows.push(Row {
+            workload: name.into(),
+            queries: qs.len(),
+            qeps: 0,
+            plan_source: "eval-only".into(),
+            database: "imdb".into(),
+            max_joins: qs.iter().map(|(q, _)| q.num_joins()).max().unwrap_or(0),
+            runtime_p50_ms: f64::NAN,
+            runtime_p99_ms: f64::NAN,
+            card_min: f64::NAN,
+            card_max: f64::NAN,
+        });
+    }
+
+    let md_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.workload.clone(),
+                r.queries.to_string(),
+                r.qeps.to_string(),
+                r.plan_source.clone(),
+                r.database.clone(),
+                r.max_joins.to_string(),
+                fmt(r.runtime_p50_ms),
+                fmt(r.runtime_p99_ms),
+                fmt(r.card_min),
+                fmt(r.card_max),
+            ]
+        })
+        .collect();
+    let md = markdown_table(
+        &[
+            "Workload",
+            "Queries",
+            "QEPs",
+            "Plan Source",
+            "Database",
+            "Max joins",
+            "runtime p50 (ms)",
+            "runtime p99 (ms)",
+            "card min",
+            "card max",
+        ],
+        &md_rows,
+    );
+    emit("table1_workloads", &rows, &md);
+}

@@ -1,0 +1,83 @@
+//! **Table 2** — the effect of β ∈ {100, 200, 300} on QPSeeker's Q-error
+//! percentiles for cardinality, cost and runtime, per workload.
+//!
+//! Paper shape to reproduce: β = 100 is the best (or tied-best) runtime
+//! predictor on the complex workloads (JOB, Stack); Synthetic is the hardest
+//! workload for QPSeeker (sparse set encodings).
+
+use crate::{emit, eval_qpseeker, fmt, markdown_table, train_model, Context};
+use serde::Serialize;
+
+#[derive(Serialize)]
+pub struct Row {
+    pub workload: String,
+    pub beta: f64,
+    pub target: String,
+    pub p50: f64,
+    pub p90: f64,
+    pub p95: f64,
+    pub p99: f64,
+    pub std: f64,
+}
+
+pub fn run(ctx: &Context) {
+    let mut rows: Vec<Row> = Vec::new();
+    let workloads = [ctx.synthetic(), ctx.job(), ctx.stack()];
+    for w in &workloads {
+        let db = ctx.db_of(w);
+        for beta in [100.0, 200.0, 300.0] {
+            let mut cfg = ctx.scale.model_config();
+            cfg.beta = beta;
+            let (mut model, eval) = train_model(db, w, cfg);
+            let e = eval_qpseeker(&mut model, &eval);
+            for (target, s) in [
+                ("cardinality", &e.cardinality),
+                ("cost", &e.cost),
+                ("runtime", &e.runtime),
+            ] {
+                rows.push(Row {
+                    workload: w.name.clone(),
+                    beta,
+                    target: target.into(),
+                    p50: s.p50,
+                    p90: s.p90,
+                    p95: s.p95,
+                    p99: s.p99,
+                    std: s.std,
+                });
+            }
+        }
+    }
+
+    let md_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.workload.clone(),
+                format!("{}", r.beta),
+                r.target.clone(),
+                fmt(r.p50),
+                fmt(r.p90),
+                fmt(r.p95),
+                fmt(r.p99),
+                fmt(r.std),
+            ]
+        })
+        .collect();
+    let md = markdown_table(
+        &["Workload", "β", "Target", "50%", "90%", "95%", "99%", "std"],
+        &md_rows,
+    );
+    emit("table2_beta_effect", &rows, &md);
+
+    // Headline check: report which β wins runtime per workload.
+    for w in ["synthetic", "job", "stack"] {
+        let best = rows
+            .iter()
+            .filter(|r| r.workload == w && r.target == "runtime")
+            .min_by(|a, b| a.p50.partial_cmp(&b.p50).expect("finite"));
+        if let Some(b) = best {
+            println!("best runtime beta for {w}: {}", b.beta);
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! **Table 3** — cost-estimation Q-error: QPSeeker vs the Zero-Shot cost
+//! model vs PostgreSQL, on all three workloads.
+//!
+//! Paper shape: each system wins exactly one workload — PostgreSQL on
+//! Synthetic, Zero-Shot on JOB, QPSeeker on Stack.
+
+use crate::{emit, eval_postgres, eval_qpseeker, fmt, markdown_table, train_model, Context};
+use qpseeker_baselines::{ZeroShot, ZeroShotConfig};
+use qpseeker_core::prelude::*;
+use qpseeker_workloads::Qep;
+use serde::Serialize;
+
+#[derive(Serialize)]
+pub struct Row {
+    pub workload: String,
+    pub system: String,
+    pub p50: f64,
+    pub p90: f64,
+    pub p95: f64,
+    pub p99: f64,
+    pub std: f64,
+}
+
+fn push(rows: &mut Vec<Row>, workload: &str, system: &str, s: &QErrorSummary) {
+    rows.push(Row {
+        workload: workload.into(),
+        system: system.into(),
+        p50: s.p50,
+        p90: s.p90,
+        p95: s.p95,
+        p99: s.p99,
+        std: s.std,
+    });
+}
+
+pub fn run(ctx: &Context) {
+    // Zero-Shot pretrains once on its own database family, then transfers.
+    eprintln!("[table3] pretraining Zero-Shot on the synthetic database family...");
+    let mut zs = ZeroShot::new(ZeroShotConfig::default());
+    zs.pretrain();
+
+    let mut rows: Vec<Row> = Vec::new();
+    for w in [ctx.synthetic(), ctx.job(), ctx.stack()] {
+        let db = ctx.db_of(&w);
+        let (mut model, eval) = train_model(db, &w, ctx.scale.model_config());
+
+        let qp = eval_qpseeker(&mut model, &eval);
+        push(&mut rows, &w.name, "QPSeeker", &qp.cost);
+
+        let zs_pairs: Vec<(f64, f64)> = eval
+            .iter()
+            .map(|qep: &&Qep| (zs.predict(db, &qep.query, &qep.plan), qep.cost()))
+            .collect();
+        push(&mut rows, &w.name, "Zero-Shot", &QErrorSummary::from_pairs(&zs_pairs));
+
+        let pg = eval_postgres(db, &eval);
+        push(&mut rows, &w.name, "PostgreSQL", &pg.cost);
+    }
+
+    let md_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.workload.clone(),
+                r.system.clone(),
+                fmt(r.p50),
+                fmt(r.p90),
+                fmt(r.p95),
+                fmt(r.p99),
+                fmt(r.std),
+            ]
+        })
+        .collect();
+    let md = markdown_table(&["Workload", "System", "50%", "90%", "95%", "99%", "std"], &md_rows);
+    emit("table3_cost_estimation", &rows, &md);
+}

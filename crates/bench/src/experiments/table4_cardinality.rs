@@ -1,0 +1,92 @@
+//! **Table 4** — cardinality-estimation Q-error: QPSeeker vs MSCN vs
+//! PostgreSQL.
+//!
+//! Paper shape: MSCN wins Synthetic (its home turf), QPSeeker wins JOB, and
+//! PostgreSQL is the worst system on Stack (compounding independence errors
+//! over many joins).
+
+use crate::{emit, eval_postgres, eval_qpseeker, fmt, markdown_table, train_model, Context};
+use qpseeker_baselines::{Mscn, MscnConfig};
+use qpseeker_core::prelude::*;
+use qpseeker_engine::query::Query;
+use qpseeker_workloads::Qep;
+use serde::Serialize;
+use std::collections::HashSet;
+
+#[derive(Serialize)]
+pub struct Row {
+    pub workload: String,
+    pub system: String,
+    pub p50: f64,
+    pub p90: f64,
+    pub p95: f64,
+    pub p99: f64,
+    pub std: f64,
+}
+
+fn push(rows: &mut Vec<Row>, workload: &str, system: &str, s: &QErrorSummary) {
+    rows.push(Row {
+        workload: workload.into(),
+        system: system.into(),
+        p50: s.p50,
+        p90: s.p90,
+        p95: s.p95,
+        p99: s.p99,
+        std: s.std,
+    });
+}
+
+/// MSCN trains on *queries* (one cardinality per query), so deduplicate the
+/// QEPs of sampled workloads by query id.
+fn dedup_queries<'a>(qeps: &[&'a Qep]) -> Vec<(&'a Query, f64)> {
+    let mut seen = HashSet::new();
+    let mut out = Vec::new();
+    for q in qeps {
+        if seen.insert(q.query.id.clone()) {
+            out.push((&q.query, q.cardinality()));
+        }
+    }
+    out
+}
+
+pub fn run(ctx: &Context) {
+    let mut rows: Vec<Row> = Vec::new();
+    for w in [ctx.synthetic(), ctx.job(), ctx.stack()] {
+        let db = ctx.db_of(&w);
+        let (mut model, eval) = train_model(db, &w, ctx.scale.model_config());
+
+        let qp = eval_qpseeker(&mut model, &eval);
+        push(&mut rows, &w.name, "QPSeeker", &qp.cardinality);
+
+        // MSCN: train on the same training queries.
+        let at_query_level = w.plan_source == qpseeker_workloads::PlanSource::Sampling;
+        let (train, _) = w.split(0.8, at_query_level);
+        let mscn_train = dedup_queries(&train);
+        let mut mscn = Mscn::new(db, MscnConfig { epochs: ctx.scale.epochs * 2, ..Default::default() });
+        mscn.fit(&mscn_train);
+        let mscn_eval = dedup_queries(&eval);
+        let pairs: Vec<(f64, f64)> =
+            mscn_eval.iter().map(|&(q, card)| (mscn.predict(q), card)).collect();
+        push(&mut rows, &w.name, "MSCN", &QErrorSummary::from_pairs(&pairs));
+
+        let pg = eval_postgres(db, &eval);
+        push(&mut rows, &w.name, "PostgreSQL", &pg.cardinality);
+    }
+
+    let md_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.workload.clone(),
+                r.system.clone(),
+                fmt(r.p50),
+                fmt(r.p90),
+                fmt(r.p95),
+                fmt(r.p99),
+                fmt(r.std),
+            ]
+        })
+        .collect();
+    let md = markdown_table(&["Workload", "System", "50%", "90%", "95%", "99%", "std"], &md_rows);
+    emit("table4_cardinality", &rows, &md);
+}

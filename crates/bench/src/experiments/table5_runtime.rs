@@ -1,0 +1,79 @@
+//! **Table 5** — execution-time-estimation Q-error: QPSeeker vs QPPNet vs
+//! PostgreSQL.
+//!
+//! Paper shape: QPSeeker learns best on the complex workloads (clear win on
+//! JOB, competitive on Stack); PostgreSQL's time estimates collapse on the
+//! many-join workloads; Synthetic favors the simple baselines.
+
+use crate::{emit, eval_postgres, eval_qpseeker, fmt, markdown_table, train_model, Context};
+use qpseeker_baselines::{QppNet, QppNetConfig};
+use qpseeker_core::prelude::*;
+use serde::Serialize;
+
+#[derive(Serialize)]
+pub struct Row {
+    pub workload: String,
+    pub system: String,
+    pub p50: f64,
+    pub p90: f64,
+    pub p95: f64,
+    pub p99: f64,
+    pub std: f64,
+}
+
+fn push(rows: &mut Vec<Row>, workload: &str, system: &str, s: &QErrorSummary) {
+    rows.push(Row {
+        workload: workload.into(),
+        system: system.into(),
+        p50: s.p50,
+        p90: s.p90,
+        p95: s.p95,
+        p99: s.p99,
+        std: s.std,
+    });
+}
+
+pub fn run(ctx: &Context) {
+    let mut rows: Vec<Row> = Vec::new();
+    for w in [ctx.synthetic(), ctx.job(), ctx.stack()] {
+        let db = ctx.db_of(&w);
+        let (mut model, eval) = train_model(db, &w, ctx.scale.model_config());
+
+        let qp = eval_qpseeker(&mut model, &eval);
+        push(&mut rows, &w.name, "QPSeeker", &qp.runtime);
+
+        // QPPNet on the same train split.
+        let at_query_level = w.plan_source == qpseeker_workloads::PlanSource::Sampling;
+        let (train, _) = w.split(0.8, at_query_level);
+        let triples: Vec<_> =
+            train.iter().map(|q| (&q.query, &q.plan, q.runtime_ms())).collect();
+        let mut net =
+            QppNet::new(db, QppNetConfig { epochs: ctx.scale.epochs * 2, ..Default::default() });
+        net.fit(&triples);
+        let pairs: Vec<(f64, f64)> = eval
+            .iter()
+            .map(|q| (net.predict(&q.query, &q.plan), q.runtime_ms()))
+            .collect();
+        push(&mut rows, &w.name, "QPPNet", &QErrorSummary::from_pairs(&pairs));
+
+        let pg = eval_postgres(db, &eval);
+        push(&mut rows, &w.name, "PostgreSQL", &pg.runtime);
+    }
+
+    let md_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.workload.clone(),
+                r.system.clone(),
+                fmt(r.p50),
+                fmt(r.p90),
+                fmt(r.p95),
+                fmt(r.p99),
+                fmt(r.std),
+            ]
+        })
+        .collect();
+    let md = markdown_table(&["Workload", "System", "50%", "90%", "95%", "99%", "std"], &md_rows);
+    emit("table5_runtime", &rows, &md);
+}

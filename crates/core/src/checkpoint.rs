@@ -1,0 +1,123 @@
+//! Model checkpointing: serialize a trained QPSeeker to JSON and restore it
+//! against the same database schema.
+//!
+//! A checkpoint stores the configuration, every parameter tensor, and the
+//! fitted target normalizer. Restoration re-derives the architecture from
+//! the config (parameter registration order is deterministic), then swaps in
+//! the saved weights — so a checkpoint is only valid for a database with the
+//! same catalog dimensions (relation/join vocabulary sizes).
+
+use crate::config::ModelConfig;
+use crate::model::QPSeeker;
+use crate::normalize::TargetNormalizer;
+use qpseeker_nn::params::ParamStore;
+use qpseeker_storage::Database;
+use serde::{Deserialize, Serialize};
+
+/// Serialized model state.
+#[derive(Serialize, Deserialize)]
+pub struct Checkpoint {
+    pub config: ModelConfig,
+    pub normalizer: Option<TargetNormalizer>,
+    pub store: ParamStore,
+    /// Catalog fingerprint: (num_tables, num_joins) at save time.
+    pub schema_dims: (usize, usize),
+}
+
+impl Checkpoint {
+    /// Capture a model's state.
+    pub fn capture(model: &QPSeeker<'_>, db: &Database) -> Self {
+        Self {
+            config: model.config.clone(),
+            normalizer: model.normalizer.clone(),
+            store: model.store.clone(),
+            schema_dims: (db.catalog.num_tables(), db.catalog.num_joins()),
+        }
+    }
+
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("checkpoint serializes")
+    }
+
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+
+    /// Restore a model bound to `db`.
+    ///
+    /// # Errors
+    /// Fails when the database's catalog dimensions differ from the ones the
+    /// checkpoint was trained against.
+    pub fn restore<'a>(self, db: &'a Database) -> Result<QPSeeker<'a>, String> {
+        let dims = (db.catalog.num_tables(), db.catalog.num_joins());
+        if dims != self.schema_dims {
+            return Err(format!(
+                "schema mismatch: checkpoint was trained against {:?} (tables, joins), database has {:?}",
+                self.schema_dims, dims
+            ));
+        }
+        let mut model = QPSeeker::new(db, self.config);
+        if model.store.len() != self.store.len()
+            || model.store.num_scalars() != self.store.num_scalars()
+        {
+            return Err(format!(
+                "parameter layout mismatch: rebuilt {} params / {} scalars, checkpoint has {} / {}",
+                model.store.len(),
+                model.store.num_scalars(),
+                self.store.len(),
+                self.store.num_scalars()
+            ));
+        }
+        model.store = self.store;
+        model.normalizer = self.normalizer;
+        Ok(model)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qpseeker_workloads::{synthetic, Qep, SyntheticConfig};
+
+    #[test]
+    fn save_restore_round_trip_preserves_predictions() {
+        let db = qpseeker_storage::datagen::imdb::generate(0.04, 2);
+        let w = synthetic::generate(&db, &SyntheticConfig { n_queries: 15, seed: 2 });
+        let refs: Vec<&Qep> = w.qeps.iter().collect();
+        let mut model = QPSeeker::new(&db, ModelConfig::small());
+        model.fit(&refs);
+        let before = model.predict(&w.qeps[0].query, &w.qeps[0].plan);
+
+        let json = Checkpoint::capture(&model, &db).to_json();
+        let restored = Checkpoint::from_json(&json).unwrap();
+        let mut model2 = restored.restore(&db).unwrap();
+        let after = model2.predict(&w.qeps[0].query, &w.qeps[0].plan);
+        assert_eq!(before, after, "restored model must predict identically");
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_schema() {
+        let imdb = qpseeker_storage::datagen::imdb::generate(0.04, 2);
+        let stack = qpseeker_storage::datagen::stack::generate(0.04, 2);
+        let w = synthetic::generate(&imdb, &SyntheticConfig { n_queries: 8, seed: 2 });
+        let refs: Vec<&Qep> = w.qeps.iter().collect();
+        let mut model = QPSeeker::new(&imdb, ModelConfig::small());
+        model.fit(&refs);
+        let ckpt = Checkpoint::capture(&model, &imdb);
+        let err = match ckpt.restore(&stack) {
+            Ok(_) => panic!("restore against a different schema must fail"),
+            Err(e) => e,
+        };
+        assert!(err.contains("schema mismatch"));
+    }
+
+    #[test]
+    fn unfitted_model_round_trips_too() {
+        let db = qpseeker_storage::datagen::imdb::generate(0.04, 2);
+        let model = QPSeeker::new(&db, ModelConfig::small());
+        let json = Checkpoint::capture(&model, &db).to_json();
+        let restored = Checkpoint::from_json(&json).unwrap().restore(&db).unwrap();
+        assert!(restored.normalizer.is_none());
+        assert_eq!(restored.num_parameters(), model.num_parameters());
+    }
+}

@@ -1,0 +1,419 @@
+//! QEP featurization: turning (query, plan, database) into the constant
+//! tensors the encoders consume.
+//!
+//! Everything that does not depend on model weights is computed once per QEP
+//! here — MSCN-style set matrices for the query encoder (§4.1), and per-node
+//! constant input segments for the plan encoder (§4.2): relation one-hot
+//! sums, TaBERT representations, operator one-hots, and (for leaves) the
+//! EXPLAIN estimates.
+
+use crate::normalize::TargetNormalizer;
+use qpseeker_engine::explain::Explain;
+use qpseeker_engine::plan::{PhysicalOp, PlanNode};
+use qpseeker_engine::query::{CmpOp, Filter, Query};
+use qpseeker_nn::tensor::Tensor;
+use qpseeker_storage::Database;
+use qpseeker_tabert::TabSim;
+use std::collections::HashMap;
+
+/// Scale applied to normalized (z-scored) estimate values wherever they
+/// travel through plan-node vectors. Node outputs are LSTM hidden states,
+/// bounded to (-1, 1) by tanh; z-scores span roughly ±4, so estimates are
+/// carried as `z * ESTIMATE_SCALE` to stay representable, and read back with
+/// the inverse factor.
+pub const ESTIMATE_SCALE: f32 = 0.2;
+
+/// MSCN-style set features of a query.
+#[derive(Debug, Clone)]
+pub struct QueryFeatures {
+    /// `[N, N]` matrix: first `|T_q|` rows are relation one-hots, rest zero.
+    pub rel_matrix: Tensor,
+    /// `[N, 1]` mask of valid rows.
+    pub rel_mask: Tensor,
+    /// `[M, M]` matrix of join one-hots.
+    pub join_matrix: Tensor,
+    /// `[M, 1]` mask of valid rows.
+    pub join_mask: Tensor,
+}
+
+/// Featurized plan node (tree mirrors the physical plan).
+#[derive(Debug, Clone)]
+pub struct FeatNode {
+    /// Constant middle segment `[1, N + tabert_dim + 6]`:
+    /// relation one-hot sum ‖ TaBERT representation ‖ operator one-hot.
+    pub mid: Tensor,
+    /// For leaves: normalized EXPLAIN estimates `[1, 3]`.
+    pub leaf_est: Option<Tensor>,
+    /// Normalized ground-truth (card, cost, time) of this node, when known
+    /// (training QEPs); drives the auxiliary per-node loss.
+    pub truth: Option<[f32; 3]>,
+    pub children: Vec<FeatNode>,
+}
+
+impl FeatNode {
+    pub fn count(&self) -> usize {
+        1 + self.children.iter().map(FeatNode::count).sum::<usize>()
+    }
+}
+
+/// A fully featurized QEP ready for the encoders.
+#[derive(Debug, Clone)]
+pub struct FeaturizedQep {
+    pub query: QueryFeatures,
+    pub plan: FeatNode,
+    /// Normalized root targets (training only).
+    pub target: Option<[f32; 3]>,
+    /// Template label carried through for latent-space analysis.
+    pub template: String,
+}
+
+/// The featurizer. Owns the TabSim instance (encodings cached inside) and a
+/// filtered-column cache.
+pub struct Featurizer<'a> {
+    pub db: &'a Database,
+    explain: Explain<'a>,
+    pub tabert: TabSim,
+    filtered_cache: HashMap<String, Vec<f32>>,
+}
+
+impl<'a> Featurizer<'a> {
+    pub fn new(db: &'a Database, tabert: TabSim) -> Self {
+        Self { db, explain: Explain::new(db), tabert, filtered_cache: HashMap::new() }
+    }
+
+    /// Total simulated TaBERT time spent so far (Fig. 8 right).
+    pub fn tabert_ms(&self) -> f64 {
+        self.tabert.simulated_ms
+    }
+
+    /// Build the MSCN set features of a query.
+    pub fn query_features(&self, query: &Query) -> QueryFeatures {
+        let n = self.db.catalog.num_tables().max(1);
+        let m = self.db.catalog.num_joins().max(1);
+        let mut rel_matrix = Tensor::zeros(n, n);
+        let mut rel_mask = Tensor::zeros(n, 1);
+        for (row, rel) in query.relations.iter().take(n).enumerate() {
+            if let Some(idx) = self.db.catalog.table_idx(&rel.table) {
+                rel_matrix.set(row, idx, 1.0);
+                rel_mask.set(row, 0, 1.0);
+            }
+        }
+        let mut join_matrix = Tensor::zeros(m, m);
+        let mut join_mask = Tensor::zeros(m, 1);
+        for (row, j) in query.joins.iter().take(m).enumerate() {
+            let idx = self.join_one_hot(query, j);
+            join_matrix.set(row, idx, 1.0);
+            join_mask.set(row, 0, 1.0);
+        }
+        QueryFeatures { rel_matrix, rel_mask, join_matrix, join_mask }
+    }
+
+    /// One-hot id of a join predicate: the FK-edge index when the predicate
+    /// is a schema edge, otherwise a stable hash bucket.
+    fn join_one_hot(&self, query: &Query, j: &qpseeker_engine::query::JoinPred) -> usize {
+        let m = self.db.catalog.num_joins().max(1);
+        let lt = query.table_of(&j.left.alias).unwrap_or(&j.left.alias);
+        let rt = query.table_of(&j.right.alias).unwrap_or(&j.right.alias);
+        match self.db.catalog.join_idx(lt, &j.left.column, rt, &j.right.column) {
+            Some(i) => i,
+            None => {
+                let key = format!("{lt}.{}={rt}.{}", j.left.column, j.right.column);
+                (fnv(key.as_bytes()) % m as u64) as usize
+            }
+        }
+    }
+
+    /// Featurize a full QEP. `truths` supplies the per-node ground truth in
+    /// postorder (from execution) for training; pass `None` at inference.
+    pub fn featurize(
+        &mut self,
+        query: &Query,
+        plan: &PlanNode,
+        truths: Option<&qpseeker_engine::executor::ExecutionResult>,
+        norm: &TargetNormalizer,
+        template: &str,
+    ) -> FeaturizedQep {
+        if let Some(t) = truths {
+            assert!(
+                !t.timed_out && t.nodes.len() == plan.len(),
+                "cannot featurize a timed-out execution (query {}): per-node \
+                 ground truth is incomplete; filter such QEPs from the workload",
+                query.id
+            );
+        }
+        let query_feats = self.query_features(query);
+        let estimates = self.explain.explain(query, plan);
+        let mut postorder_idx = 0usize;
+        let plan_feats =
+            self.feat_node(query, plan, &estimates, truths, norm, &mut postorder_idx);
+        let target = truths.map(|t| {
+            norm.encode([t.rows as f64, t.cost, t.time_ms])
+        });
+        FeaturizedQep { query: query_feats, plan: plan_feats, target, template: template.into() }
+    }
+
+    fn feat_node(
+        &mut self,
+        query: &Query,
+        node: &PlanNode,
+        estimates: &[qpseeker_engine::explain::NodeEstimate],
+        truths: Option<&qpseeker_engine::executor::ExecutionResult>,
+        norm: &TargetNormalizer,
+        postorder_idx: &mut usize,
+    ) -> FeatNode {
+        // Children first (postorder indexing must match Explain/Executor).
+        let children: Vec<FeatNode> = match node {
+            PlanNode::Scan { .. } => Vec::new(),
+            PlanNode::Join { left, right, .. } => vec![
+                self.feat_node(query, left, estimates, truths, norm, postorder_idx),
+                self.feat_node(query, right, estimates, truths, norm, postorder_idx),
+            ],
+        };
+        let my_idx = *postorder_idx;
+        *postorder_idx += 1;
+
+        let n_tables = self.db.catalog.num_tables().max(1);
+        let tdim = self.tabert.dim();
+        let sql = query.to_sql();
+
+        // (d) relation one-hot sum over the subtree.
+        let mut rel_enc = vec![0.0f32; n_tables];
+        for alias in node.aliases() {
+            let table = query.table_of(&alias).unwrap_or(&alias);
+            if let Some(idx) = self.db.catalog.table_idx(table) {
+                rel_enc[idx] += 1.0;
+            }
+        }
+
+        // (c) TaBERT representation.
+        let data_repr: Vec<f32> = match node {
+            PlanNode::Scan { alias, table, filters, .. } => {
+                let _ = alias;
+                match filters.first() {
+                    Some(f) => self.filtered_column_repr(table, f),
+                    None => self.tabert.encode_table(self.db, table, &sql).cls,
+                }
+            }
+            PlanNode::Join { .. } => {
+                // Mean pooling over the [CLS] of each joined relation.
+                let mut acc = vec![0.0f32; tdim];
+                let aliases = node.aliases();
+                for alias in &aliases {
+                    let table = query.table_of(alias).unwrap_or(alias).to_string();
+                    let cls = self.tabert.encode_table(self.db, &table, &sql).cls;
+                    for (a, c) in acc.iter_mut().zip(&cls) {
+                        *a += c / aliases.len() as f32;
+                    }
+                }
+                acc
+            }
+        };
+
+        // (b) operator one-hot.
+        let mut op_one_hot = vec![0.0f32; PhysicalOp::COUNT];
+        op_one_hot[node.physical_op().one_hot_index()] = 1.0;
+
+        let mut mid = Vec::with_capacity(n_tables + tdim + PhysicalOp::COUNT);
+        mid.extend_from_slice(&rel_enc);
+        mid.extend_from_slice(&data_repr);
+        mid.extend_from_slice(&op_one_hot);
+
+        // (a) leaf estimates from EXPLAIN, normalized like the targets.
+        let leaf_est = if children.is_empty() {
+            let e = estimates[my_idx];
+            let enc = norm.encode([e.rows, e.cost, e.time_ms]);
+            Some(Tensor::row(enc.iter().map(|v| v * ESTIMATE_SCALE).collect()))
+        } else {
+            None
+        };
+
+        let truth = truths.map(|t| {
+            let p = &t.nodes[my_idx];
+            norm.encode([p.rows as f64, p.cost, p.time_ms])
+        });
+
+        FeatNode { mid: Tensor::row(mid), leaf_est, truth, children }
+    }
+
+    /// Representation of a filtered column (paper §4.2(c)): TabSim encoding
+    /// of the column restricted to the rows matching the predicate. Cached.
+    fn filtered_column_repr(&mut self, table: &str, f: &Filter) -> Vec<f32> {
+        let key = format!("{table}.{}:{:?}:{}", f.col.column, f.op, f.value);
+        if let Some(hit) = self.filtered_cache.get(&key) {
+            return hit.clone();
+        }
+        let t = self.db.table(table).expect("table exists");
+        let col = &t.col(&f.col.column).data;
+        let matching: Vec<u32> = (0..t.n_rows() as u32)
+            .filter(|&i| eval_filter(f.op, col.num(i as usize), f.value))
+            .collect();
+        let repr = self
+            .tabert
+            .encode_column_filtered(self.db, table, &f.col.column, &matching)
+            .vector;
+        self.filtered_cache.insert(key, repr.clone());
+        repr
+    }
+}
+
+#[inline]
+fn eval_filter(op: CmpOp, lhs: f64, rhs: f64) -> bool {
+    op.eval(lhs, rhs)
+}
+
+fn fnv(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for &b in bytes {
+        h = (h ^ b as u64).wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qpseeker_engine::executor::Executor;
+    use qpseeker_engine::plan::{JoinOp, ScanOp};
+    use qpseeker_engine::query::{ColRef, JoinPred, RelRef};
+    use qpseeker_storage::datagen::imdb;
+    use qpseeker_tabert::TabertConfig;
+
+    fn setup() -> (Database, Query, PlanNode) {
+        let db = imdb::generate(0.05, 4);
+        let mut q = Query::new("q");
+        q.relations = vec![RelRef::new("title"), RelRef::new("movie_info")];
+        q.joins = vec![JoinPred {
+            left: ColRef::new("movie_info", "movie_id"),
+            right: ColRef::new("title", "id"),
+        }];
+        q.filters = vec![Filter {
+            col: ColRef::new("title", "production_year"),
+            op: CmpOp::Gt,
+            value: 2000.0,
+        }];
+        let plan = PlanNode::join(
+            &q,
+            JoinOp::HashJoin,
+            PlanNode::scan(&q, "title", ScanOp::SeqScan),
+            PlanNode::scan(&q, "movie_info", ScanOp::SeqScan),
+        );
+        (db, q, plan)
+    }
+
+    fn norm() -> TargetNormalizer {
+        TargetNormalizer::fit(&[[10.0, 5.0, 1.0], [1000.0, 80.0, 9.0], [50.0, 20.0, 3.0]])
+    }
+
+    #[test]
+    fn query_features_shapes_and_masks() {
+        let (db, q, _) = setup();
+        let f = Featurizer::new(&db, TabSim::new(TabertConfig::paper_default()));
+        let qf = f.query_features(&q);
+        let n = db.catalog.num_tables();
+        let m = db.catalog.num_joins();
+        assert_eq!(qf.rel_matrix.shape(), (n, n));
+        assert_eq!(qf.join_matrix.shape(), (m, m));
+        assert_eq!(qf.rel_mask.sum(), 2.0); // two relations
+        assert_eq!(qf.join_mask.sum(), 1.0); // one join
+        // Each valid row is a one-hot.
+        assert_eq!(qf.rel_matrix.row_slice(0).iter().sum::<f32>(), 1.0);
+        assert_eq!(qf.rel_matrix.row_slice(1).iter().sum::<f32>(), 1.0);
+        assert_eq!(qf.rel_matrix.row_slice(2).iter().sum::<f32>(), 0.0);
+    }
+
+    #[test]
+    fn fk_join_gets_schema_one_hot() {
+        let (db, q, _) = setup();
+        let f = Featurizer::new(&db, TabSim::new(TabertConfig::paper_default()));
+        let qf = f.query_features(&q);
+        // movie_info.movie_id = title.id is FK edge 0 in the imdb catalog.
+        let expected = db.catalog.join_idx("movie_info", "movie_id", "title", "id").unwrap();
+        assert_eq!(qf.join_matrix.get(0, expected), 1.0);
+    }
+
+    #[test]
+    fn featurized_plan_structure_mirrors_plan() {
+        let (db, q, plan) = setup();
+        let truth = Executor::new(&db).execute(&plan);
+        let mut f = Featurizer::new(&db, TabSim::new(TabertConfig::paper_default()));
+        let n = norm();
+        let fq = f.featurize(&q, &plan, Some(&truth), &n, "t0");
+        assert_eq!(fq.plan.count(), 3);
+        assert_eq!(fq.plan.children.len(), 2);
+        // Leaves carry EXPLAIN estimates; the join does not.
+        assert!(fq.plan.children[0].leaf_est.is_some());
+        assert!(fq.plan.children[1].leaf_est.is_some());
+        assert!(fq.plan.leaf_est.is_none());
+        // Every node carries normalized truth.
+        assert!(fq.plan.truth.is_some());
+        assert!(fq.target.is_some());
+        // Mid width = N + tabert + 6.
+        let expect = db.catalog.num_tables() + 64 + 6;
+        assert_eq!(fq.plan.mid.cols(), expect);
+    }
+
+    #[test]
+    fn join_node_relation_encoding_sums_subtree() {
+        let (db, q, plan) = setup();
+        let truth = Executor::new(&db).execute(&plan);
+        let mut f = Featurizer::new(&db, TabSim::new(TabertConfig::paper_default()));
+        let n = norm();
+        let fq = f.featurize(&q, &plan, Some(&truth), &n, "t0");
+        let n_tables = db.catalog.num_tables();
+        let rel_part: f32 = fq.plan.mid.data()[..n_tables].iter().sum();
+        assert_eq!(rel_part, 2.0, "join node should encode both relations");
+        let leaf_rel: f32 = fq.plan.children[0].mid.data()[..n_tables].iter().sum();
+        assert_eq!(leaf_rel, 1.0);
+    }
+
+    #[test]
+    fn filtered_leaf_differs_from_unfiltered() {
+        let (db, q, plan) = setup();
+        let truth = Executor::new(&db).execute(&plan);
+        let mut f = Featurizer::new(&db, TabSim::new(TabertConfig::paper_default()));
+        let n = norm();
+        let fq = f.featurize(&q, &plan, Some(&truth), &n, "t0");
+        // title leaf has a filter, movie_info leaf does not; their TaBERT
+        // segments must differ (different tables anyway) — stronger: same
+        // table with vs without filter.
+        let mut q2 = q.clone();
+        q2.filters.clear();
+        let plan2 = PlanNode::join(
+            &q2,
+            JoinOp::HashJoin,
+            PlanNode::scan(&q2, "title", ScanOp::SeqScan),
+            PlanNode::scan(&q2, "movie_info", ScanOp::SeqScan),
+        );
+        let truth2 = Executor::new(&db).execute(&plan2);
+        let fq2 = f.featurize(&q2, &plan2, Some(&truth2), &n, "t0");
+        let n_tables = db.catalog.num_tables();
+        let seg = |fqx: &FeaturizedQep| {
+            fqx.plan.children[0].mid.data()[n_tables..n_tables + 64].to_vec()
+        };
+        assert_ne!(seg(&fq), seg(&fq2));
+    }
+
+    #[test]
+    fn inference_featurization_needs_no_truth() {
+        let (db, q, plan) = setup();
+        let mut f = Featurizer::new(&db, TabSim::new(TabertConfig::paper_default()));
+        let n = norm();
+        let fq = f.featurize(&q, &plan, None, &n, "t0");
+        assert!(fq.target.is_none());
+        assert!(fq.plan.truth.is_none());
+        assert!(fq.plan.children[0].leaf_est.is_some(), "EXPLAIN estimates still available");
+    }
+
+    #[test]
+    fn operator_one_hot_is_set() {
+        let (db, q, plan) = setup();
+        let mut f = Featurizer::new(&db, TabSim::new(TabertConfig::paper_default()));
+        let n = norm();
+        let fq = f.featurize(&q, &plan, None, &n, "t0");
+        let n_tables = db.catalog.num_tables();
+        let op_seg = &fq.plan.mid.data()[n_tables + 64..];
+        assert_eq!(op_seg.len(), 6);
+        assert_eq!(op_seg.iter().sum::<f32>(), 1.0);
+        assert_eq!(op_seg[PhysicalOp::Join(JoinOp::HashJoin).one_hot_index()], 1.0);
+    }
+}

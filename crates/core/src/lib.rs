@@ -1,0 +1,58 @@
+//! `qpseeker-core` — the QPSeeker neural database planner (the paper's
+//! primary contribution).
+//!
+//! Pipeline (paper Fig. 1):
+//!
+//! 1. [`featurize`] extracts the three query sets (relations, joins,
+//!    predicates) and per-plan-node features (EXPLAIN estimates, operator
+//!    one-hots, TaBERT data representations);
+//! 2. [`encoder::QueryEncoder`] — MSCN-style set encoder (§4.1);
+//! 3. [`encoder::PlanEncoder`] — bottom-up LSTM-cell tree encoder (§4.2);
+//! 4. `QPAttention` — multi-head cross-attention between the query embedding
+//!    and every plan-node output (§4.3);
+//! 5. [`vae::CostModeler`] — a β-VAE that learns the joint distributions of
+//!    cardinality, cost and runtime over the workload's QEPs (§4.4);
+//! 6. [`mcts::MctsPlanner`] — inference-time Monte Carlo Tree Search over
+//!    the plan space, scored by the learned cost model (§5.2).
+//!
+//! [`metrics`] provides Q-error summaries (Tables 2-5) and [`viz`] the
+//! t-SNE/silhouette tooling for the latent-space analysis (Fig. 5).
+//!
+//! # Example
+//!
+//! ```no_run
+//! use qpseeker_core::prelude::*;
+//! use qpseeker_workloads::{synthetic, SyntheticConfig, Qep};
+//!
+//! let db = qpseeker_storage::datagen::imdb::generate(0.05, 1);
+//! let workload = synthetic::generate(&db, &SyntheticConfig { n_queries: 64, seed: 1 });
+//! let refs: Vec<&Qep> = workload.qeps.iter().collect();
+//! let mut model = QPSeeker::new(&db, ModelConfig::small());
+//! model.fit(&refs);
+//! let planner = MctsPlanner::new(MctsConfig::default());
+//! let chosen = planner.plan(&mut model, &workload.qeps[0].query);
+//! println!("{}", chosen.plan.pretty());
+//! ```
+
+pub mod checkpoint;
+pub mod config;
+pub mod encoder;
+pub mod featurize;
+pub mod mcts;
+pub mod metrics;
+pub mod model;
+pub mod normalize;
+pub mod vae;
+pub mod viz;
+
+/// Convenient glob import.
+pub mod prelude {
+    pub use crate::checkpoint::Checkpoint;
+    pub use crate::config::ModelConfig;
+    pub use crate::featurize::{FeatNode, FeaturizedQep, Featurizer, QueryFeatures};
+    pub use crate::mcts::{Action, MctsConfig, MctsPlanner, MctsResult};
+    pub use crate::metrics::{q_error, QErrorSummary};
+    pub use crate::model::{Prediction, QPSeeker, TrainReport};
+    pub use crate::normalize::TargetNormalizer;
+    pub use crate::viz::{silhouette, tsne, TsneConfig};
+}

@@ -1,0 +1,421 @@
+//! Monte Carlo Tree Search planning (§5.2).
+//!
+//! Vanilla MCTS over the left-deep plan space, bottom-up: start from a base
+//! relation and apply one join at a time until every relation is present.
+//! Nodes are scored with UCT (`r/n + C·sqrt(ln t / n)`), where a node's
+//! reward counts how often it lies on the best plan found so far; rollouts
+//! complete the plan randomly, and completed plans are evaluated with
+//! QPSeeker's learned cost model (least predicted execution time wins).
+//! Planning stops at a wall-clock budget (paper: 200 ms) or a simulation
+//! cap, whichever comes first.
+
+use crate::model::QPSeeker;
+use qpseeker_engine::inject::LeftDeepSpec;
+use qpseeker_engine::plan::{JoinOp, PlanNode, ScanOp};
+use qpseeker_engine::query::Query;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{BTreeSet, HashMap};
+
+use std::time::Instant;
+
+/// One plan-construction step.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Action {
+    /// Choose the first relation and its scan operator.
+    Start { alias: String, scan: ScanOp },
+    /// Join one more relation onto the prefix.
+    Extend { alias: String, scan: ScanOp, join: JoinOp },
+}
+
+/// MCTS configuration.
+#[derive(Debug, Clone)]
+pub struct MctsConfig {
+    /// Wall-clock planning budget in milliseconds (paper: 200 ms).
+    pub budget_ms: f64,
+    /// Hard cap on simulations (determinism for tests; usize::MAX to disable).
+    pub max_simulations: usize,
+    /// UCT exploration coefficient `C ∈ [0, 1]` (paper: 0.5).
+    pub exploration: f64,
+    pub seed: u64,
+}
+
+impl Default for MctsConfig {
+    fn default() -> Self {
+        Self { budget_ms: 200.0, max_simulations: 10_000, exploration: 0.5, seed: 0xacc5 }
+    }
+}
+
+/// Planning outcome.
+#[derive(Debug)]
+pub struct MctsResult {
+    pub plan: PlanNode,
+    /// Model-predicted runtime of the chosen plan.
+    pub predicted_ms: f64,
+    pub simulations: usize,
+    /// Distinct complete plans evaluated by the cost model.
+    pub plans_evaluated: usize,
+    /// True when the search consumed its full time budget.
+    pub budget_exhausted: bool,
+}
+
+struct TreeNode {
+    visits: f64,
+    reward: f64,
+    /// Insertion-ordered so UCT tie-breaking is deterministic.
+    children: Vec<(Action, usize)>,
+    untried: Vec<Action>,
+    expanded: bool,
+}
+
+/// The MCTS planner. Owns the search tree for one query.
+pub struct MctsPlanner {
+    cfg: MctsConfig,
+}
+
+impl MctsPlanner {
+    pub fn new(cfg: MctsConfig) -> Self {
+        Self { cfg }
+    }
+
+    /// Plan `query` using `model` as the evaluation function.
+    pub fn plan(&self, model: &mut QPSeeker<'_>, query: &Query) -> MctsResult {
+        assert!(!query.relations.is_empty(), "cannot plan an empty query");
+        let start = Instant::now();
+        let mut rng = StdRng::seed_from_u64(self.cfg.seed ^ fnv(query.id.as_bytes()));
+
+        // Single relation: evaluate the three scan choices directly.
+        if query.relations.len() == 1 {
+            let alias = query.relations[0].alias.clone();
+            let mut best: Option<(PlanNode, f64)> = None;
+            let mut evaluated = 0;
+            for op in ScanOp::ALL {
+                let plan = PlanNode::scan(query, &alias, op);
+                let t = model.predict_runtime_ms(query, &plan);
+                evaluated += 1;
+                if best.as_ref().map(|(_, bt)| t < *bt).unwrap_or(true) {
+                    best = Some((plan, t));
+                }
+            }
+            let (plan, predicted_ms) = best.expect("scan ops non-empty");
+            return MctsResult {
+                plan,
+                predicted_ms,
+                simulations: evaluated,
+                plans_evaluated: evaluated,
+                budget_exhausted: false,
+            };
+        }
+
+        let mut nodes: Vec<TreeNode> = vec![TreeNode {
+            visits: 0.0,
+            reward: 0.0,
+            children: Vec::new(),
+            untried: Vec::new(),
+            expanded: false,
+        }];
+        let mut eval_cache: HashMap<Vec<Action>, f64> = HashMap::new();
+        let mut best: Option<(Vec<Action>, f64)> = None;
+        let mut simulations = 0usize;
+        let mut budget_exhausted = false;
+
+        while simulations < self.cfg.max_simulations {
+            if start.elapsed().as_secs_f64() * 1000.0 > self.cfg.budget_ms {
+                budget_exhausted = true;
+                break;
+            }
+            simulations += 1;
+
+            // ---- Selection + Expansion ----
+            let mut path: Vec<usize> = vec![0];
+            let mut actions: Vec<Action> = Vec::new();
+            loop {
+                let node_idx = *path.last().expect("path non-empty");
+                if !nodes[node_idx].expanded {
+                    let acts = legal_actions(query, &actions);
+                    nodes[node_idx].untried = acts;
+                    nodes[node_idx].expanded = true;
+                }
+                if actions.len() == query.relations.len() {
+                    break; // complete plan reached inside the tree
+                }
+                if !nodes[node_idx].untried.is_empty() {
+                    // Expansion: take one untried action at random.
+                    let i = rng.gen_range(0..nodes[node_idx].untried.len());
+                    let action = nodes[node_idx].untried.swap_remove(i);
+                    let child = nodes.len();
+                    nodes.push(TreeNode {
+                        visits: 0.0,
+                        reward: 0.0,
+                        children: Vec::new(),
+                        untried: Vec::new(),
+                        expanded: false,
+                    });
+                    nodes[node_idx].children.push((action.clone(), child));
+                    actions.push(action);
+                    path.push(child);
+                    break;
+                }
+                // Fully expanded: UCT descent.
+                let parent_visits = nodes[node_idx].visits.max(1.0);
+                let mut best_child: Option<(f64, Action, usize)> = None;
+                for (a, c) in nodes[node_idx].children.clone() {
+                    let child = &nodes[c];
+                    let score = if child.visits == 0.0 {
+                        f64::INFINITY
+                    } else {
+                        child.reward / child.visits
+                            + self.cfg.exploration * (parent_visits.ln() / child.visits).sqrt()
+                    };
+                    if best_child.as_ref().map(|(s, _, _)| score > *s).unwrap_or(true) {
+                        best_child = Some((score, a, c));
+                    }
+                }
+                match best_child {
+                    Some((_, a, c)) => {
+                        actions.push(a);
+                        path.push(c);
+                    }
+                    None => break, // dead end (disconnected query)
+                }
+            }
+
+            // ---- Rollout ----
+            let mut rollout = actions.clone();
+            while rollout.len() < query.relations.len() {
+                let acts = legal_actions(query, &rollout);
+                if acts.is_empty() {
+                    break;
+                }
+                rollout.push(acts[rng.gen_range(0..acts.len())].clone());
+            }
+            if rollout.len() != query.relations.len() {
+                continue; // disconnected: cannot finish from here
+            }
+
+            // ---- Evaluation ----
+            let t = match eval_cache.get(&rollout) {
+                Some(&t) => t,
+                None => {
+                    let spec = to_spec(&rollout);
+                    let plan = spec.compile(query).expect("rollout builds a valid plan");
+                    let t = model.predict_runtime_ms(query, &plan);
+                    eval_cache.insert(rollout.clone(), t);
+                    t
+                }
+            };
+            if best.as_ref().map(|(_, bt)| t < *bt).unwrap_or(true) {
+                best = Some((rollout.clone(), t));
+            }
+
+            // ---- Backpropagation ----
+            // Reward = 1 when the node's action prefix lies on the best plan.
+            let best_seq = &best.as_ref().expect("best set above").0;
+            for (depth, &node_idx) in path.iter().enumerate() {
+                nodes[node_idx].visits += 1.0;
+                if depth <= best_seq.len() && actions[..depth] == best_seq[..depth.min(best_seq.len())] {
+                    nodes[node_idx].reward += 1.0;
+                }
+            }
+        }
+
+        let (best_seq, predicted_ms) = best.unwrap_or_else(|| {
+            // Budget hit before any complete rollout: greedy completion.
+            let mut seq = Vec::new();
+            while seq.len() < query.relations.len() {
+                let acts = legal_actions(query, &seq);
+                seq.push(acts.first().expect("connected query").clone());
+            }
+            (seq, f64::INFINITY)
+        });
+        let plan = to_spec(&best_seq).compile(query).expect("best plan is valid");
+        MctsResult {
+            plan,
+            predicted_ms,
+            simulations,
+            plans_evaluated: eval_cache.len(),
+            budget_exhausted,
+        }
+    }
+}
+
+/// Legal actions from a partial action sequence: connected extensions only.
+fn legal_actions(query: &Query, actions: &[Action]) -> Vec<Action> {
+    let mut out = Vec::new();
+    if actions.is_empty() {
+        for r in &query.relations {
+            for scan in ScanOp::ALL {
+                out.push(Action::Start { alias: r.alias.clone(), scan });
+            }
+        }
+        return out;
+    }
+    let joined: BTreeSet<String> = actions
+        .iter()
+        .map(|a| match a {
+            Action::Start { alias, .. } | Action::Extend { alias, .. } => alias.clone(),
+        })
+        .collect();
+    for alias in query.neighbors(&joined) {
+        for scan in ScanOp::ALL {
+            for join in JoinOp::ALL {
+                out.push(Action::Extend { alias: alias.clone(), scan, join });
+            }
+        }
+    }
+    out
+}
+
+fn to_spec(actions: &[Action]) -> LeftDeepSpec {
+    let mut scans = Vec::with_capacity(actions.len());
+    let mut joins = Vec::with_capacity(actions.len().saturating_sub(1));
+    for a in actions {
+        match a {
+            Action::Start { alias, scan } => scans.push((alias.clone(), *scan)),
+            Action::Extend { alias, scan, join } => {
+                scans.push((alias.clone(), *scan));
+                joins.push(*join);
+            }
+        }
+    }
+    LeftDeepSpec { scans, joins }
+}
+
+fn fnv(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for &b in bytes {
+        h = (h ^ b as u64).wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ModelConfig;
+    use qpseeker_engine::query::{ColRef, JoinPred, RelRef};
+    use qpseeker_storage::datagen::imdb;
+    use qpseeker_workloads::{synthetic, Qep, SyntheticConfig};
+
+    fn fitted_model(db: &qpseeker_storage::Database) -> QPSeeker<'_> {
+        let w = synthetic::generate(db, &SyntheticConfig { n_queries: 16, seed: 3 });
+        let refs: Vec<&Qep> = w.qeps.iter().collect();
+        let mut m = QPSeeker::new(db, ModelConfig::small());
+        m.fit(&refs);
+        m
+    }
+
+    fn three_way(db: &qpseeker_storage::Database) -> Query {
+        let _ = db;
+        let mut q = Query::new("mcts-q");
+        q.relations = vec![
+            RelRef::new("title"),
+            RelRef::new("movie_info"),
+            RelRef::new("movie_keyword"),
+        ];
+        q.joins = vec![
+            JoinPred {
+                left: ColRef::new("movie_info", "movie_id"),
+                right: ColRef::new("title", "id"),
+            },
+            JoinPred {
+                left: ColRef::new("movie_keyword", "movie_id"),
+                right: ColRef::new("title", "id"),
+            },
+        ];
+        q
+    }
+
+    #[test]
+    fn produces_valid_left_deep_plan() {
+        let db = imdb::generate(0.05, 1);
+        let mut model = fitted_model(&db);
+        let q = three_way(&db);
+        let planner = MctsPlanner::new(MctsConfig {
+            budget_ms: 500.0,
+            max_simulations: 60,
+            ..Default::default()
+        });
+        let res = planner.plan(&mut model, &q);
+        assert!(res.plan.validate(&q).is_ok());
+        assert!(res.plan.is_left_deep());
+        assert!(res.simulations > 0);
+        assert!(res.plans_evaluated > 0);
+        assert!(res.predicted_ms.is_finite());
+    }
+
+    #[test]
+    fn deterministic_with_simulation_cap() {
+        let db = imdb::generate(0.05, 1);
+        let q = three_way(&db);
+        let cfg = MctsConfig { budget_ms: 1e9, max_simulations: 40, ..Default::default() };
+        let mut m1 = fitted_model(&db);
+        let r1 = MctsPlanner::new(cfg.clone()).plan(&mut m1, &q);
+        let mut m2 = fitted_model(&db);
+        let r2 = MctsPlanner::new(cfg).plan(&mut m2, &q);
+        assert_eq!(r1.plan, r2.plan);
+        assert_eq!(r1.simulations, r2.simulations);
+    }
+
+    #[test]
+    fn single_relation_query_picks_a_scan() {
+        let db = imdb::generate(0.05, 1);
+        let mut model = fitted_model(&db);
+        let mut q = Query::new("single");
+        q.relations = vec![RelRef::new("title")];
+        let res = MctsPlanner::new(MctsConfig::default()).plan(&mut model, &q);
+        assert!(matches!(res.plan, PlanNode::Scan { .. }));
+        assert_eq!(res.plans_evaluated, 3);
+    }
+
+    #[test]
+    fn budget_cuts_off_search() {
+        let db = imdb::generate(0.05, 1);
+        let mut model = fitted_model(&db);
+        let q = three_way(&db);
+        let planner = MctsPlanner::new(MctsConfig {
+            budget_ms: 1.0, // 1ms: will be exhausted almost immediately
+            max_simulations: usize::MAX,
+            ..Default::default()
+        });
+        let res = planner.plan(&mut model, &q);
+        assert!(res.budget_exhausted);
+        assert!(res.plan.validate(&q).is_ok(), "still returns the best plan found so far");
+    }
+
+    #[test]
+    fn more_simulations_never_worsen_predicted_time() {
+        let db = imdb::generate(0.05, 1);
+        let q = three_way(&db);
+        let mut m1 = fitted_model(&db);
+        let few = MctsPlanner::new(MctsConfig {
+            budget_ms: 1e9,
+            max_simulations: 5,
+            ..Default::default()
+        })
+        .plan(&mut m1, &q);
+        let mut m2 = fitted_model(&db);
+        let many = MctsPlanner::new(MctsConfig {
+            budget_ms: 1e9,
+            max_simulations: 100,
+            ..Default::default()
+        })
+        .plan(&mut m2, &q);
+        assert!(many.predicted_ms <= few.predicted_ms + 1e-9);
+    }
+
+    #[test]
+    fn legal_actions_respect_connectivity() {
+        let db = imdb::generate(0.05, 1);
+        let q = three_way(&db);
+        let start = legal_actions(&q, &[]);
+        assert_eq!(start.len(), 3 * 3); // 3 relations x 3 scan ops
+        let after = legal_actions(
+            &q,
+            &[Action::Start { alias: "movie_info".into(), scan: ScanOp::SeqScan }],
+        );
+        // Only title is adjacent to movie_info.
+        assert!(after.iter().all(|a| matches!(a, Action::Extend { alias, .. } if alias == "title")));
+        assert_eq!(after.len(), 3 * 3); // 1 relation x 3 scans x 3 joins
+    }
+}

@@ -1,0 +1,119 @@
+//! Evaluation metrics: Q-error and its percentile summaries (the measure
+//! used throughout the paper's Tables 2-5).
+
+use serde::{Deserialize, Serialize};
+
+/// Q-error: `max(pred/true, true/pred)`, both floored at 1 (Moerkotte et
+/// al.). Always ≥ 1; 1 means a perfect estimate.
+pub fn q_error(pred: f64, truth: f64) -> f64 {
+    let p = pred.max(1.0);
+    let t = truth.max(1.0);
+    (p / t).max(t / p)
+}
+
+/// Q-error percentile summary (one row of the paper's tables).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QErrorSummary {
+    pub p50: f64,
+    pub p90: f64,
+    pub p95: f64,
+    pub p99: f64,
+    pub mean: f64,
+    pub std: f64,
+    pub count: usize,
+}
+
+impl QErrorSummary {
+    /// Summarize a set of (pred, truth) pairs.
+    ///
+    /// # Panics
+    /// Panics on an empty input.
+    pub fn from_pairs(pairs: &[(f64, f64)]) -> Self {
+        let errs: Vec<f64> = pairs.iter().map(|&(p, t)| q_error(p, t)).collect();
+        Self::from_errors(errs)
+    }
+
+    pub fn from_errors(mut errs: Vec<f64>) -> Self {
+        assert!(!errs.is_empty(), "q-error summary of empty sample");
+        errs.sort_by(|a, b| a.partial_cmp(b).expect("finite q-errors"));
+        let pct = |p: f64| errs[((errs.len() - 1) as f64 * p).round() as usize];
+        let mean = errs.iter().sum::<f64>() / errs.len() as f64;
+        let var = errs.iter().map(|e| (e - mean) * (e - mean)).sum::<f64>() / errs.len() as f64;
+        Self {
+            p50: pct(0.50),
+            p90: pct(0.90),
+            p95: pct(0.95),
+            p99: pct(0.99),
+            mean,
+            std: var.sqrt(),
+            count: errs.len(),
+        }
+    }
+}
+
+impl std::fmt::Display for QErrorSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "50%={:.2} 90%={:.2} 95%={:.2} 99%={:.2} std={:.2} (n={})",
+            self.p50, self.p90, self.p95, self.p99, self.std, self.count
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn q_error_basics() {
+        assert_eq!(q_error(10.0, 10.0), 1.0);
+        assert_eq!(q_error(100.0, 10.0), 10.0);
+        assert_eq!(q_error(10.0, 100.0), 10.0); // symmetric
+        assert!(q_error(0.0, 5.0) >= 1.0); // floored
+        assert_eq!(q_error(0.0, 0.0), 1.0);
+    }
+
+    #[test]
+    fn q_error_always_at_least_one() {
+        for p in [0.0, 0.5, 1.0, 7.0, 1e9] {
+            for t in [0.0, 0.5, 1.0, 7.0, 1e9] {
+                assert!(q_error(p, t) >= 1.0, "q_error({p},{t})");
+            }
+        }
+    }
+
+    #[test]
+    fn summary_percentiles() {
+        let pairs: Vec<(f64, f64)> = (1..=100).map(|i| (i as f64, 1.0)).collect();
+        let s = QErrorSummary::from_pairs(&pairs);
+        assert_eq!(s.count, 100);
+        assert!((s.p50 - 50.0).abs() <= 1.0);
+        assert!((s.p90 - 90.0).abs() <= 1.0);
+        assert!((s.p99 - 99.0).abs() <= 1.0);
+        assert!(s.p50 <= s.p90 && s.p90 <= s.p95 && s.p95 <= s.p99);
+    }
+
+    #[test]
+    fn perfect_predictions_summarize_to_one() {
+        let pairs = vec![(3.0, 3.0); 10];
+        let s = QErrorSummary::from_pairs(&pairs);
+        assert_eq!(s.p50, 1.0);
+        assert_eq!(s.p99, 1.0);
+        assert_eq!(s.std, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn empty_summary_panics() {
+        QErrorSummary::from_errors(vec![]);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let s = QErrorSummary::from_pairs(&[(2.0, 1.0), (4.0, 1.0)]);
+        let text = format!("{s}");
+        assert!(text.contains("50%="));
+        assert!(text.contains("n=2"));
+    }
+}

@@ -1,0 +1,429 @@
+//! The assembled QPSeeker model: Query Encoder + Plan Encoder + QPAttention
+//! + Cost Modeler, with the training loop (§5) and inference entry points.
+
+use crate::config::ModelConfig;
+use crate::encoder::{PlanEncoder, QueryEncoder};
+use crate::featurize::{FeaturizedQep, Featurizer};
+use crate::normalize::TargetNormalizer;
+use crate::vae::CostModeler;
+use qpseeker_engine::plan::PlanNode;
+use qpseeker_engine::query::Query;
+use qpseeker_nn::prelude::*;
+use qpseeker_storage::Database;
+use qpseeker_tabert::TabSim;
+use qpseeker_workloads::Qep;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Denormalized model prediction for one QEP.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Prediction {
+    pub cardinality: f64,
+    pub cost: f64,
+    pub runtime_ms: f64,
+}
+
+/// Per-epoch training diagnostics.
+#[derive(Debug, Clone)]
+pub struct TrainReport {
+    /// Mean total loss per epoch.
+    pub epoch_losses: Vec<f64>,
+    /// Final-epoch mean prediction (MSE) loss.
+    pub final_pred_loss: f64,
+    /// Final-epoch mean KL.
+    pub final_kl: f64,
+    /// Wall-clock training seconds.
+    pub train_seconds: f64,
+}
+
+/// The QPSeeker neural planner, bound to one database.
+pub struct QPSeeker<'a> {
+    pub config: ModelConfig,
+    pub store: ParamStore,
+    query_enc: QueryEncoder,
+    plan_enc: PlanEncoder,
+    attn: MultiHeadCrossAttention,
+    vae: CostModeler,
+    pub normalizer: Option<TargetNormalizer>,
+    feat: Featurizer<'a>,
+    noise: Initializer,
+}
+
+impl<'a> QPSeeker<'a> {
+    pub fn new(db: &'a Database, config: ModelConfig) -> Self {
+        let mut store = ParamStore::new();
+        let mut init = Initializer::new(config.seed);
+        let n_tables = db.catalog.num_tables();
+        let n_joins = db.catalog.num_joins();
+        let query_enc = QueryEncoder::new(&mut store, &mut init, &config, n_tables, n_joins);
+        let plan_enc = PlanEncoder::new(&mut store, &mut init, &config, n_tables);
+        let attn = MultiHeadCrossAttention::new(
+            &mut store,
+            &mut init,
+            "qp_attn",
+            config.query_dim(),
+            config.plan_node_out,
+            config.attn_heads,
+            config.attn_head_dim,
+            config.joint_dim(),
+        );
+        let vae = CostModeler::new(&mut store, &mut init, &config);
+        let tabert = TabSim::new(config.tabert.clone());
+        Self {
+            feat: Featurizer::new(db, tabert),
+            config,
+            store,
+            query_enc,
+            plan_enc,
+            attn,
+            vae,
+            normalizer: None,
+            noise: init,
+        }
+    }
+
+    /// Number of scalar parameters (the paper quotes 10.8M for the full
+    /// configuration).
+    pub fn num_parameters(&self) -> usize {
+        self.store.num_scalars()
+    }
+
+    /// Simulated TaBERT time consumed so far (Fig. 8 right).
+    pub fn tabert_ms(&self) -> f64 {
+        self.feat.tabert_ms()
+    }
+
+    /// Featurize a training QEP (requires a fitted normalizer).
+    pub fn featurize_qep(&mut self, qep: &Qep) -> FeaturizedQep {
+        let norm = self.normalizer.as_ref().expect("fit or set a normalizer first");
+        self.feat.featurize(&qep.query, &qep.plan, Some(&qep.truth), norm, &qep.template)
+    }
+
+    /// Encode one featurized QEP to its joint embedding `[1, joint_dim]`
+    /// (QPAttention output; for single-node plans, the paper's
+    /// concatenation fallback).
+    fn encode_joint(&self, g: &mut Graph, fq: &FeaturizedQep) -> (Var, Vec<(Var, [f32; 3])>) {
+        let qv = self.query_enc.forward(g, &self.store, &fq.query);
+        let ep = self.plan_enc.forward(g, &self.store, &fq.plan);
+        let joint = if fq.plan.count() > 1 && self.config.use_attention {
+            let (out, _scores) = self.attn.forward(g, &self.store, qv, ep.nodes);
+            out
+        } else {
+            g.concat_cols(qv, ep.root)
+        };
+        // Auxiliary supervision pairs: (node output var, normalized truth).
+        let mut aux = Vec::new();
+        if self.config.node_loss_weight > 0.0 {
+            collect_node_truths(&fq.plan, &mut NodeTruthWalker { vars: &ep.node_vars, pos: 0, out: &mut aux });
+        }
+        (joint, aux)
+    }
+
+    /// Train on a set of QEPs. Fits the target normalizer, featurizes once,
+    /// then runs mini-batch Adam for `config.epochs` epochs.
+    pub fn fit(&mut self, qeps: &[&Qep]) -> TrainReport {
+        assert!(!qeps.is_empty(), "cannot train on an empty QEP set");
+        let start = std::time::Instant::now();
+        let targets: Vec<[f64; 3]> =
+            qeps.iter().map(|q| [q.cardinality(), q.cost(), q.runtime_ms()]).collect();
+        self.normalizer = Some(TargetNormalizer::fit(&targets));
+        let feats: Vec<FeaturizedQep> = qeps.iter().map(|q| self.featurize_qep(q)).collect();
+        let report = self.fit_featurized(&feats);
+        TrainReport { train_seconds: start.elapsed().as_secs_f64(), ..report }
+    }
+
+    /// Train on pre-featurized QEPs (used by the sampling-fraction bench
+    /// which re-uses featurizations across model instances).
+    pub fn fit_featurized(&mut self, feats: &[FeaturizedQep]) -> TrainReport {
+        let mut opt = Adam::new(self.config.learning_rate as f32);
+        let mut rng = StdRng::seed_from_u64(self.config.seed ^ 0xf17);
+        let mut order: Vec<usize> = (0..feats.len()).collect();
+        let mut epoch_losses = Vec::with_capacity(self.config.epochs);
+        let mut final_pred = 0.0;
+        let mut final_kl = 0.0;
+        for _epoch in 0..self.config.epochs {
+            order.shuffle(&mut rng);
+            let mut epoch_total = 0.0;
+            let mut epoch_pred = 0.0;
+            let mut epoch_kl = 0.0;
+            let mut batches = 0.0;
+            for chunk in order.chunks(self.config.batch_size.max(1)) {
+                let batch: Vec<&FeaturizedQep> = chunk.iter().map(|&i| &feats[i]).collect();
+                let (total, pred, kl) = self.train_batch(&batch, &mut opt);
+                epoch_total += total;
+                epoch_pred += pred;
+                epoch_kl += kl;
+                batches += 1.0;
+            }
+            epoch_losses.push(epoch_total / batches);
+            final_pred = epoch_pred / batches;
+            final_kl = epoch_kl / batches;
+        }
+        TrainReport {
+            epoch_losses,
+            final_pred_loss: final_pred,
+            final_kl,
+            train_seconds: 0.0,
+        }
+    }
+
+    fn train_batch(&mut self, batch: &[&FeaturizedQep], opt: &mut Adam) -> (f64, f64, f64) {
+        self.store.zero_grads();
+        let mut g = Graph::new();
+        let mut joint_rows = Vec::with_capacity(batch.len());
+        let mut target_rows = Vec::with_capacity(batch.len());
+        let mut aux_pairs: Vec<(Var, [f32; 3])> = Vec::new();
+        for fq in batch {
+            let (joint, mut aux) = self.encode_joint(&mut g, fq);
+            joint_rows.push(joint);
+            aux_pairs.append(&mut aux);
+            let t = fq.target.expect("training QEPs carry targets");
+            target_rows.push(Tensor::row(t.to_vec()));
+        }
+        let x = g.stack_rows(&joint_rows);
+        let t_refs: Vec<&Tensor> = target_rows.iter().collect();
+        let targets = g.constant(Tensor::stack_rows(&t_refs));
+        let eps = self.noise.standard_normal(batch.len(), self.config.vae_latent);
+        let out = self.vae.forward(&mut g, &self.store, x, eps);
+        let (mut total, _recon, pred, kl) =
+            self.vae.loss(&mut g, &out, x, targets, self.config.beta);
+        // Auxiliary per-node estimate loss on the plan encoder outputs.
+        if !aux_pairs.is_empty() && self.config.node_loss_weight > 0.0 {
+            let d = self.config.data_vec_dim();
+            let node_vars: Vec<Var> = aux_pairs
+                .iter()
+                .map(|(v, _)| g.slice_cols(*v, d, d + 3))
+                .collect();
+            let stacked_raw = g.stack_rows(&node_vars);
+            // Node estimate slots carry z/5 (see featurize::ESTIMATE_SCALE);
+            // rescale before comparing against raw z-scored truths.
+            let stacked = g.scale(stacked_raw, 1.0 / crate::featurize::ESTIMATE_SCALE);
+            let truth_rows: Vec<Tensor> =
+                aux_pairs.iter().map(|(_, t)| Tensor::row(t.to_vec())).collect();
+            let truth_refs: Vec<&Tensor> = truth_rows.iter().collect();
+            let truths = g.constant(Tensor::stack_rows(&truth_refs));
+            let node_loss = g.mse(stacked, truths);
+            let weighted = g.scale(node_loss, self.config.node_loss_weight as f32);
+            total = g.add(total, weighted);
+        }
+        let (pred_v, kl_v) = (g.value(pred).get(0, 0) as f64, g.value(kl).get(0, 0) as f64);
+        let loss = g.backward(total, &mut self.store);
+        self.store.clip_grad_norm(5.0);
+        opt.step(&mut self.store);
+        (loss as f64, pred_v, kl_v)
+    }
+
+    /// Predict (cardinality, cost, runtime) for an arbitrary plan of a
+    /// query. Deterministic (zero latent noise).
+    pub fn predict(&mut self, query: &Query, plan: &PlanNode) -> Prediction {
+        let norm = self.normalizer.clone().expect("model must be fitted before predict");
+        let fq = self.feat.featurize(query, plan, None, &norm, "");
+        let (preds, _mu) = self.forward_inference(&fq);
+        let raw = norm.decode(preds);
+        Prediction { cardinality: raw[0], cost: raw[1], runtime_ms: raw[2] }
+    }
+
+    /// The 32-d latent mean of a QEP (Fig. 5's latent space).
+    pub fn latent_mu(&mut self, query: &Query, plan: &PlanNode) -> Vec<f32> {
+        let norm = self.normalizer.clone().expect("model must be fitted before latent_mu");
+        let fq = self.feat.featurize(query, plan, None, &norm, "");
+        let (_preds, mu) = self.forward_inference(&fq);
+        mu
+    }
+
+    fn forward_inference(&self, fq: &FeaturizedQep) -> ([f32; 3], Vec<f32>) {
+        let mut g = Graph::new();
+        let (joint, _aux) = self.encode_joint(&mut g, fq);
+        let eps = Tensor::zeros(1, self.config.vae_latent);
+        let out = self.vae.forward(&mut g, &self.store, joint, eps);
+        let p = g.value(out.predictions);
+        let preds = [p.get(0, 0), p.get(0, 1), p.get(0, 2)];
+        let mu = g.value(out.mu).data().to_vec();
+        (preds, mu)
+    }
+
+    /// Predicted runtime only (the MCTS scoring function).
+    pub fn predict_runtime_ms(&mut self, query: &Query, plan: &PlanNode) -> f64 {
+        self.predict(query, plan).runtime_ms
+    }
+
+    /// QPAttention scores: for each attention head, the softmax weight the
+    /// query embedding puts on every plan node (postorder). This is the
+    /// paper's §4.3 introspection — "which nodes in the plan have the
+    /// higher impact on the final estimations". Single-node plans (no
+    /// attention) return an empty vector.
+    pub fn attention_scores(&mut self, query: &Query, plan: &PlanNode) -> Vec<Vec<f32>> {
+        let norm = self.normalizer.clone().expect("model must be fitted first");
+        let fq = self.feat.featurize(query, plan, None, &norm, "");
+        if fq.plan.count() <= 1 || !self.config.use_attention {
+            return Vec::new();
+        }
+        let mut g = Graph::new();
+        let qv = self.query_enc.forward(&mut g, &self.store, &fq.query);
+        let ep = self.plan_enc.forward(&mut g, &self.store, &fq.plan);
+        let (_out, scores) = self.attn.forward(&mut g, &self.store, qv, ep.nodes);
+        scores.iter().map(|&s| g.value(s).data().to_vec()).collect()
+    }
+}
+
+/// Walker pairing postorder node vars with featurized truths.
+struct NodeTruthWalker<'v, 'o> {
+    vars: &'v [Var],
+    pos: usize,
+    out: &'o mut Vec<(Var, [f32; 3])>,
+}
+
+fn collect_node_truths(node: &crate::featurize::FeatNode, w: &mut NodeTruthWalker) {
+    for c in &node.children {
+        collect_node_truths(c, w);
+    }
+    let var = w.vars[w.pos];
+    w.pos += 1;
+    if let Some(t) = node.truth {
+        w.out.push((var, t));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qpseeker_engine::optimizer::PgOptimizer;
+    use qpseeker_engine::query::{ColRef, JoinPred, RelRef};
+    use qpseeker_storage::datagen::imdb;
+    use qpseeker_workloads::{synthetic, SyntheticConfig};
+
+    fn tiny_qeps(db: &Database, n: usize) -> Vec<Qep> {
+        let w = synthetic::generate(db, &SyntheticConfig { n_queries: n, seed: 3 });
+        w.qeps
+    }
+
+    #[test]
+    fn model_constructs_with_paper_scale_parameter_count() {
+        let db = imdb::generate(0.02, 1);
+        let model = QPSeeker::new(&db, ModelConfig::paper());
+        let params = model.num_parameters();
+        // The paper quotes 10.8M; our schema dims land in the same regime.
+        assert!(
+            (8_000_000..16_000_000).contains(&params),
+            "paper-config parameter count {params}"
+        );
+    }
+
+    #[test]
+    fn training_reduces_loss_and_predicts_finite() {
+        let db = imdb::generate(0.05, 1);
+        let qeps = tiny_qeps(&db, 24);
+        let refs: Vec<&Qep> = qeps.iter().collect();
+        let mut model = QPSeeker::new(&db, ModelConfig::small());
+        let report = model.fit(&refs);
+        assert_eq!(report.epoch_losses.len(), ModelConfig::small().epochs);
+        let first = report.epoch_losses[0];
+        let last = *report.epoch_losses.last().unwrap();
+        assert!(last < first, "loss should drop: {first} -> {last}");
+        let p = model.predict(&qeps[0].query, &qeps[0].plan);
+        assert!(p.cardinality.is_finite() && p.cardinality >= 0.0);
+        assert!(p.runtime_ms.is_finite() && p.runtime_ms >= 0.0);
+    }
+
+    #[test]
+    fn prediction_is_deterministic() {
+        let db = imdb::generate(0.05, 1);
+        let qeps = tiny_qeps(&db, 10);
+        let refs: Vec<&Qep> = qeps.iter().collect();
+        let mut model = QPSeeker::new(&db, ModelConfig::small());
+        model.fit(&refs);
+        let a = model.predict(&qeps[0].query, &qeps[0].plan);
+        let b = model.predict(&qeps[0].query, &qeps[0].plan);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn latent_dimension_matches_config() {
+        let db = imdb::generate(0.05, 1);
+        let qeps = tiny_qeps(&db, 8);
+        let refs: Vec<&Qep> = qeps.iter().collect();
+        let cfg = ModelConfig::small();
+        let latent = cfg.vae_latent;
+        let mut model = QPSeeker::new(&db, cfg);
+        model.fit(&refs);
+        let mu = model.latent_mu(&qeps[0].query, &qeps[0].plan);
+        assert_eq!(mu.len(), latent);
+        assert!(mu.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn different_plans_of_same_query_get_different_predictions() {
+        let db = imdb::generate(0.05, 1);
+        let mut q = Query::new("q");
+        q.relations = vec![RelRef::new("title"), RelRef::new("cast_info")];
+        q.joins = vec![JoinPred {
+            left: ColRef::new("cast_info", "movie_id"),
+            right: ColRef::new("title", "id"),
+        }];
+        let qeps = tiny_qeps(&db, 12);
+        let refs: Vec<&Qep> = qeps.iter().collect();
+        let mut model = QPSeeker::new(&db, ModelConfig::small());
+        model.fit(&refs);
+        use qpseeker_engine::plan::{JoinOp, ScanOp};
+        let mk = |op| {
+            PlanNode::join(
+                &q,
+                op,
+                PlanNode::scan(&q, "title", ScanOp::SeqScan),
+                PlanNode::scan(&q, "cast_info", ScanOp::SeqScan),
+            )
+        };
+        let a = model.predict(&q, &mk(JoinOp::HashJoin));
+        let b = model.predict(&q, &mk(JoinOp::NestedLoopJoin));
+        assert_ne!(a.runtime_ms, b.runtime_ms);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be fitted")]
+    fn predict_before_fit_panics() {
+        let db = imdb::generate(0.02, 1);
+        let mut model = QPSeeker::new(&db, ModelConfig::small());
+        let mut q = Query::new("q");
+        q.relations = vec![RelRef::new("title")];
+        let plan = PgOptimizer::new(&db).plan(&q);
+        model.predict(&q, &plan);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty QEP set")]
+    fn fit_on_empty_panics() {
+        let db = imdb::generate(0.02, 1);
+        let mut model = QPSeeker::new(&db, ModelConfig::small());
+        model.fit(&[]);
+    }
+}
+
+#[cfg(test)]
+mod attention_tests {
+    use super::*;
+    use crate::config::ModelConfig;
+    use qpseeker_storage::datagen::imdb;
+    use qpseeker_workloads::{synthetic, Qep, SyntheticConfig};
+
+    #[test]
+    fn attention_scores_are_distributions_over_plan_nodes() {
+        let db = imdb::generate(0.05, 1);
+        let w = synthetic::generate(&db, &SyntheticConfig { n_queries: 12, seed: 3 });
+        let refs: Vec<&Qep> = w.qeps.iter().collect();
+        let mut model = QPSeeker::new(&db, ModelConfig::small());
+        model.fit(&refs);
+        let qep = w.qeps.iter().find(|q| q.plan.len() > 1).expect("join plan exists");
+        let scores = model.attention_scores(&qep.query, &qep.plan);
+        assert_eq!(scores.len(), ModelConfig::small().attn_heads);
+        for head in &scores {
+            assert_eq!(head.len(), qep.plan.len());
+            let sum: f32 = head.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-4, "head weights must sum to 1, got {sum}");
+            assert!(head.iter().all(|&w| w >= 0.0));
+        }
+        // Single-node plans have no attention.
+        let single = w.qeps.iter().find(|q| q.plan.len() == 1).expect("scan-only query");
+        assert!(model.attention_scores(&single.query, &single.plan).is_empty());
+    }
+}

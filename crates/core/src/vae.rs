@@ -1,0 +1,197 @@
+//! The Cost Modeler (§4.4): a β-VAE over the joint (query ‖ plan) embedding.
+//!
+//! The encoder halves the width over `vae_layers` hidden layers down to
+//! `2·latent` (first half mean, second half log-variance, Fig. 4); the
+//! decoder mirrors it back up; a final linear head maps the reconstruction
+//! to the three normalized targets (cardinality, cost, runtime).
+
+use crate::config::ModelConfig;
+use qpseeker_nn::prelude::*;
+
+#[derive(Debug, Clone)]
+pub struct CostModeler {
+    pub encoder: Mlp,
+    pub decoder: Mlp,
+    /// Reconstruction → 3 target estimates.
+    pub head: Linear,
+    pub latent: usize,
+}
+
+/// One forward pass through the VAE.
+pub struct VaeOutput {
+    pub mu: Var,
+    pub logvar: Var,
+    pub z: Var,
+    pub reconstruction: Var,
+    /// `[batch, 3]` normalized target predictions.
+    pub predictions: Var,
+}
+
+impl CostModeler {
+    pub fn new(store: &mut ParamStore, init: &mut Initializer, cfg: &ModelConfig) -> Self {
+        let enc_dims = cfg.vae_encoder_dims();
+        let dec_dims = cfg.vae_decoder_dims();
+        Self {
+            encoder: Mlp::new(store, init, "vae.enc", &enc_dims, Activation::Relu, Activation::Identity),
+            decoder: Mlp::new(store, init, "vae.dec", &dec_dims, Activation::Relu, Activation::Identity),
+            head: Linear::new(store, init, "vae.head", *dec_dims.last().expect("dims"), 3),
+            latent: cfg.vae_latent,
+        }
+    }
+
+    /// Forward with explicit noise (`eps`: `[batch, latent]`, standard
+    /// normal for training, zeros for deterministic inference).
+    pub fn forward(
+        &self,
+        g: &mut Graph,
+        store: &ParamStore,
+        x: Var,
+        eps: Tensor,
+    ) -> VaeOutput {
+        let h = self.encoder.forward(g, store, x);
+        let mu = g.slice_cols(h, 0, self.latent);
+        let logvar_raw = g.slice_cols(h, self.latent, 2 * self.latent);
+        // Soft-bound the log-variance to [-8, 8] for stability.
+        let logvar_t = g.tanh(logvar_raw);
+        let logvar = g.scale(logvar_t, 8.0);
+        let eps_v = g.constant(eps);
+        let z = g.reparameterize(mu, logvar, eps_v);
+        let reconstruction = self.decoder.forward(g, store, z);
+        let predictions = self.head.forward(g, store, reconstruction);
+        VaeOutput { mu, logvar, z, reconstruction, predictions }
+    }
+
+    /// The paper's loss (formula 5) plus prediction MSE:
+    /// `pred_mse + recon_mse + β · KL` with KL averaged per latent element
+    /// so that the paper's β ∈ {100, 200, 300} stays in a workable range.
+    pub fn loss(
+        &self,
+        g: &mut Graph,
+        out: &VaeOutput,
+        x: Var,
+        targets: Var,
+        beta: f64,
+    ) -> (Var, Var, Var, Var) {
+        let recon = g.mse(out.reconstruction, x);
+        let pred = g.mse(out.predictions, targets);
+        let kl_sum = g.kl_standard_normal(out.mu, out.logvar);
+        // Per-element KL (divide by latent width) keeps β≈100 comparable to
+        // the MSE scale.
+        let kl = g.scale(kl_sum, 1.0 / self.latent as f32);
+        let weighted_kl = g.scale(kl, beta as f32 * 1e-3);
+        let s1 = g.add(recon, pred);
+        let total = g.add(s1, weighted_kl);
+        (total, recon, pred, kl)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup(cfg: &ModelConfig) -> (ParamStore, CostModeler) {
+        let mut store = ParamStore::new();
+        let mut init = Initializer::new(1);
+        let vae = CostModeler::new(&mut store, &mut init, cfg);
+        (store, vae)
+    }
+
+    #[test]
+    fn forward_shapes() {
+        let cfg = ModelConfig::small();
+        let (store, vae) = setup(&cfg);
+        let mut g = Graph::new();
+        let mut init = Initializer::new(2);
+        let x = g.constant(init.normal(4, cfg.joint_dim(), 1.0));
+        let eps = init.standard_normal(4, cfg.vae_latent);
+        let out = vae.forward(&mut g, &store, x, eps);
+        assert_eq!(g.value(out.mu).shape(), (4, cfg.vae_latent));
+        assert_eq!(g.value(out.logvar).shape(), (4, cfg.vae_latent));
+        assert_eq!(g.value(out.z).shape(), (4, cfg.vae_latent));
+        assert_eq!(g.value(out.reconstruction).shape(), (4, cfg.joint_dim()));
+        assert_eq!(g.value(out.predictions).shape(), (4, 3));
+    }
+
+    #[test]
+    fn logvar_is_bounded() {
+        let cfg = ModelConfig::small();
+        let (store, vae) = setup(&cfg);
+        let mut g = Graph::new();
+        let mut init = Initializer::new(3);
+        let x = g.constant(init.normal(2, cfg.joint_dim(), 50.0)); // extreme inputs
+        let out = vae.forward(&mut g, &store, x, Tensor::zeros(2, cfg.vae_latent));
+        for &v in g.value(out.logvar).data() {
+            assert!((-8.0..=8.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn zero_eps_makes_inference_deterministic() {
+        let cfg = ModelConfig::small();
+        let (store, vae) = setup(&cfg);
+        let mut init = Initializer::new(4);
+        let xt = init.normal(1, cfg.joint_dim(), 1.0);
+        let run = |store: &ParamStore| {
+            let mut g = Graph::new();
+            let x = g.constant(xt.clone());
+            let out = vae.forward(&mut g, store, x, Tensor::zeros(1, cfg.vae_latent));
+            g.value(out.predictions).data().to_vec()
+        };
+        assert_eq!(run(&store), run(&store));
+    }
+
+    #[test]
+    fn loss_components_nonnegative_and_beta_scales_kl() {
+        let cfg = ModelConfig::small();
+        let (store, vae) = setup(&cfg);
+        let mut init = Initializer::new(5);
+        let xt = init.normal(3, cfg.joint_dim(), 1.0);
+        let tt = init.normal(3, 3, 1.0);
+        let eval = |beta: f64, store: &ParamStore| -> (f32, f32) {
+            let mut g = Graph::new();
+            let x = g.constant(xt.clone());
+            let t = g.constant(tt.clone());
+            let eps = Initializer::new(6).standard_normal(3, cfg.vae_latent);
+            let out = vae.forward(&mut g, store, x, eps);
+            let (total, _recon, _pred, kl) = vae.loss(&mut g, &out, x, t, beta);
+            (g.value(total).get(0, 0), g.value(kl).get(0, 0))
+        };
+        let (t100, kl100) = eval(100.0, &store);
+        let (t300, kl300) = eval(300.0, &store);
+        assert!(t100 > 0.0 && kl100 >= 0.0);
+        assert_eq!(kl100, kl300, "raw KL independent of beta");
+        assert!(t300 >= t100, "larger beta weights KL more");
+    }
+
+    #[test]
+    fn vae_trains_to_reduce_loss() {
+        let cfg = ModelConfig::small();
+        let (mut store, vae) = setup(&cfg);
+        let mut init = Initializer::new(7);
+        let xt = init.normal(8, cfg.joint_dim(), 1.0);
+        let tt = init.normal(8, 3, 1.0);
+        let mut opt = Adam::new(1e-3);
+        let mut first = None;
+        let mut last = 0.0;
+        for step in 0..60 {
+            store.zero_grads();
+            let mut g = Graph::new();
+            let x = g.constant(xt.clone());
+            let t = g.constant(tt.clone());
+            let eps = Initializer::new(100 + step).standard_normal(8, cfg.vae_latent);
+            let out = vae.forward(&mut g, &store, x, eps);
+            let (total, _, _, _) = vae.loss(&mut g, &out, x, t, 100.0);
+            last = g.backward(total, &mut store);
+            if first.is_none() {
+                first = Some(last);
+            }
+            opt.step(&mut store);
+        }
+        assert!(
+            last < 0.7 * first.unwrap(),
+            "VAE loss should drop: {} -> {}",
+            first.unwrap(),
+            last
+        );
+    }
+}

@@ -1,0 +1,283 @@
+//! Latent-space visualization: exact t-SNE (for Fig. 5) and a silhouette
+//! score quantifying how well QEPs cluster by query template.
+
+/// t-SNE configuration.
+#[derive(Debug, Clone)]
+pub struct TsneConfig {
+    pub perplexity: f64,
+    pub iterations: usize,
+    pub learning_rate: f64,
+    /// Early-exaggeration factor applied for the first quarter of iterations.
+    pub exaggeration: f64,
+    pub seed: u64,
+}
+
+impl Default for TsneConfig {
+    fn default() -> Self {
+        Self { perplexity: 15.0, iterations: 400, learning_rate: 10.0, exaggeration: 1.0, seed: 7 }
+    }
+}
+
+/// Project high-dimensional points to 2-d with exact (O(n²)) t-SNE.
+///
+/// # Panics
+/// Panics when fewer than 3 points are given.
+pub fn tsne(points: &[Vec<f32>], cfg: &TsneConfig) -> Vec<[f64; 2]> {
+    let n = points.len();
+    assert!(n >= 3, "t-SNE needs at least 3 points");
+    let p = joint_probabilities(points, cfg.perplexity);
+
+    // Deterministic small random init.
+    let mut state = cfg.seed ^ 0x9e3779b97f4a7c15;
+    let mut next = move || {
+        state = state.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        ((z ^ (z >> 31)) >> 40) as f64 / (1u64 << 24) as f64 - 0.5
+    };
+    let mut y: Vec<[f64; 2]> = (0..n).map(|_| [next() * 1e-2, next() * 1e-2]).collect();
+    let mut vel: Vec<[f64; 2]> = vec![[0.0; 2]; n];
+    // Per-coordinate adaptive gains (van der Maaten's reference scheme):
+    // grow when gradient and velocity agree in direction, shrink otherwise.
+    let mut gains: Vec<[f64; 2]> = vec![[1.0; 2]; n];
+
+    let exag_iters = cfg.iterations / 4;
+    for iter in 0..cfg.iterations {
+        let exag = if iter < exag_iters { cfg.exaggeration } else { 1.0 };
+        // Student-t affinities in the embedding.
+        let mut q = vec![0.0f64; n * n];
+        let mut q_sum = 0.0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let dx = y[i][0] - y[j][0];
+                let dy = y[i][1] - y[j][1];
+                let w = 1.0 / (1.0 + dx * dx + dy * dy);
+                q[i * n + j] = w;
+                q[j * n + i] = w;
+                q_sum += 2.0 * w;
+            }
+        }
+        let q_sum = q_sum.max(1e-12);
+        // Gradient.
+        let momentum = if iter < exag_iters { 0.5 } else { 0.8 };
+        for i in 0..n {
+            let mut grad = [0.0f64; 2];
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let w = q[i * n + j];
+                let pij = p[i * n + j] * exag;
+                let qij = (w / q_sum).max(1e-12);
+                let mult = 4.0 * (pij - qij) * w;
+                grad[0] += mult * (y[i][0] - y[j][0]);
+                grad[1] += mult * (y[i][1] - y[j][1]);
+            }
+            for d in 0..2 {
+                gains[i][d] = if grad[d].signum() != vel[i][d].signum() {
+                    (gains[i][d] + 0.2).min(10.0)
+                } else {
+                    (gains[i][d] * 0.8).max(0.01)
+                };
+                vel[i][d] = momentum * vel[i][d] - cfg.learning_rate * gains[i][d] * grad[d];
+                y[i][d] += vel[i][d];
+            }
+        }
+    }
+    y
+}
+
+/// Symmetric joint probabilities with per-point sigma found by binary
+/// search to match the target perplexity.
+fn joint_probabilities(points: &[Vec<f32>], perplexity: f64) -> Vec<f64> {
+    let n = points.len();
+    let mut d2 = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let dist: f64 = points[i]
+                .iter()
+                .zip(&points[j])
+                .map(|(a, b)| ((a - b) as f64) * ((a - b) as f64))
+                .sum();
+            d2[i * n + j] = dist;
+            d2[j * n + i] = dist;
+        }
+    }
+    let target_entropy = perplexity.min((n - 1) as f64).max(2.0).ln();
+    let mut p = vec![0.0f64; n * n];
+    for i in 0..n {
+        let (mut lo, mut hi) = (1e-12f64, 1e12f64);
+        let mut beta = 1.0; // 1 / (2 sigma²)
+        for _ in 0..50 {
+            let mut sum = 0.0;
+            let mut h = 0.0;
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let w = (-d2[i * n + j] * beta).exp();
+                sum += w;
+            }
+            let sum = sum.max(1e-300);
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let pj = (-d2[i * n + j] * beta).exp() / sum;
+                if pj > 1e-12 {
+                    h -= pj * pj.ln();
+                }
+            }
+            if (h - target_entropy).abs() < 1e-4 {
+                break;
+            }
+            if h > target_entropy {
+                lo = beta;
+                beta = if hi >= 1e12 { beta * 2.0 } else { (beta + hi) / 2.0 };
+            } else {
+                hi = beta;
+                beta = (beta + lo) / 2.0;
+            }
+        }
+        let mut sum = 0.0;
+        for j in 0..n {
+            if i != j {
+                let w = (-d2[i * n + j] * beta).exp();
+                p[i * n + j] = w;
+                sum += w;
+            }
+        }
+        let sum = sum.max(1e-300);
+        for j in 0..n {
+            p[i * n + j] /= sum;
+        }
+    }
+    // Symmetrize and normalize.
+    let mut joint = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            joint[i * n + j] = ((p[i * n + j] + p[j * n + i]) / (2.0 * n as f64)).max(1e-12);
+        }
+    }
+    joint
+}
+
+/// Mean silhouette coefficient of a labeled point set (1 = perfectly
+/// separated clusters, 0 = overlapping, negative = misassigned). Used to
+/// quantify Fig. 5's "QEPs from the same template cluster together".
+pub fn silhouette(points: &[Vec<f32>], labels: &[usize]) -> f64 {
+    assert_eq!(points.len(), labels.len());
+    let n = points.len();
+    assert!(n >= 2, "silhouette needs at least 2 points");
+    let dist = |a: &[f32], b: &[f32]| -> f64 {
+        a.iter().zip(b).map(|(x, y)| ((x - y) as f64).powi(2)).sum::<f64>().sqrt()
+    };
+    let n_labels = labels.iter().max().expect("non-empty") + 1;
+    let mut total = 0.0;
+    let mut counted = 0usize;
+    for i in 0..n {
+        let mut sums = vec![0.0f64; n_labels];
+        let mut counts = vec![0usize; n_labels];
+        for j in 0..n {
+            if i == j {
+                continue;
+            }
+            sums[labels[j]] += dist(&points[i], &points[j]);
+            counts[labels[j]] += 1;
+        }
+        let own = labels[i];
+        if counts[own] == 0 {
+            continue; // singleton cluster: silhouette undefined
+        }
+        let a = sums[own] / counts[own] as f64;
+        let b = (0..n_labels)
+            .filter(|&l| l != own && counts[l] > 0)
+            .map(|l| sums[l] / counts[l] as f64)
+            .fold(f64::INFINITY, f64::min);
+        if !b.is_finite() {
+            continue; // only one cluster present
+        }
+        total += (b - a) / a.max(b);
+        counted += 1;
+    }
+    if counted == 0 {
+        0.0
+    } else {
+        total / counted as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Three well-separated Gaussian blobs in 8-d.
+    fn blobs() -> (Vec<Vec<f32>>, Vec<usize>) {
+        let mut points = Vec::new();
+        let mut labels = Vec::new();
+        let mut state = 42u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 40) as f32 / (1u64 << 24) as f32) - 0.5
+        };
+        for c in 0..3 {
+            for _ in 0..15 {
+                let mut p = vec![0.0f32; 8];
+                for (d, v) in p.iter_mut().enumerate() {
+                    *v = if d % 3 == c { 10.0 } else { 0.0 } + next();
+                }
+                points.push(p);
+                labels.push(c);
+            }
+        }
+        (points, labels)
+    }
+
+    #[test]
+    fn tsne_output_shape_and_finiteness() {
+        let (points, _) = blobs();
+        let y = tsne(&points, &TsneConfig { iterations: 100, ..Default::default() });
+        assert_eq!(y.len(), points.len());
+        assert!(y.iter().all(|p| p[0].is_finite() && p[1].is_finite()));
+    }
+
+    #[test]
+    fn tsne_preserves_blob_structure() {
+        let (points, labels) = blobs();
+        let y = tsne(&points, &TsneConfig { iterations: 250, ..Default::default() });
+        let y32: Vec<Vec<f32>> = y.iter().map(|p| vec![p[0] as f32, p[1] as f32]).collect();
+        let s = silhouette(&y32, &labels);
+        assert!(s > 0.4, "embedded blobs should stay separated: silhouette {s}");
+    }
+
+    #[test]
+    fn tsne_is_deterministic() {
+        let (points, _) = blobs();
+        let cfg = TsneConfig { iterations: 50, ..Default::default() };
+        let a = tsne(&points, &cfg);
+        let b = tsne(&points, &cfg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn silhouette_of_separated_blobs_is_high() {
+        let (points, labels) = blobs();
+        let s = silhouette(&points, &labels);
+        assert!(s > 0.8, "true-space silhouette {s}");
+    }
+
+    #[test]
+    fn silhouette_of_random_labels_is_low() {
+        let (points, _) = blobs();
+        let random_labels: Vec<usize> = (0..points.len()).map(|i| i % 3).collect();
+        let s = silhouette(&points, &random_labels);
+        assert!(s < 0.2, "random-label silhouette {s}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3 points")]
+    fn tsne_rejects_tiny_input() {
+        tsne(&[vec![0.0], vec![1.0]], &TsneConfig::default());
+    }
+}

@@ -1,0 +1,69 @@
+//! Property tests for QPSeeker's metrics, normalization, and MCTS action
+//! machinery.
+
+use proptest::prelude::*;
+use qpseeker_core::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Q-error is symmetric, ≥ 1, and multiplicative errors stack.
+    #[test]
+    fn q_error_properties(p in 0.0f64..1e12, t in 0.0f64..1e12, k in 1.0f64..100.0) {
+        prop_assert!(q_error(p, t) >= 1.0);
+        prop_assert!((q_error(p, t) - q_error(t, p)).abs() < 1e-9);
+        // Scaling the prediction by k (away from truth) can only worsen it
+        // when already overestimating.
+        let p1 = t.max(1.0) * k;
+        prop_assert!(q_error(p1 * 2.0, t) >= q_error(p1, t) - 1e-9);
+    }
+
+    /// Normalizer round-trips any positive target within 1%.
+    #[test]
+    fn normalizer_round_trip(
+        targets in proptest::collection::vec(
+            (0.0f64..1e9, 0.0f64..1e7, 0.0f64..1e6), 2..50),
+        probe in (1.0f64..1e8, 1.0f64..1e6, 1.0f64..1e5),
+    ) {
+        let raw: Vec<[f64; 3]> = targets.iter().map(|&(a, b, c)| [a, b, c]).collect();
+        let n = TargetNormalizer::fit(&raw);
+        let x = [probe.0, probe.1, probe.2];
+        let enc = n.encode(x);
+        prop_assert!(enc.iter().all(|v| v.is_finite() && v.abs() <= 10.0));
+        let dec = n.decode(enc);
+        for i in 0..3 {
+            // Values inside the clamp range round-trip tightly.
+            if enc[i].abs() < 10.0 {
+                prop_assert!(
+                    (dec[i] - x[i]).abs() < 0.02 * (1.0 + x[i]),
+                    "target {i}: {} vs {}", dec[i], x[i]
+                );
+            }
+        }
+    }
+
+    /// Q-error summaries have ordered percentiles on arbitrary samples.
+    #[test]
+    fn summary_percentiles_ordered(
+        pairs in proptest::collection::vec((0.1f64..1e9, 0.1f64..1e9), 1..200)
+    ) {
+        let s = QErrorSummary::from_pairs(&pairs);
+        prop_assert!(s.p50 >= 1.0);
+        prop_assert!(s.p50 <= s.p90 + 1e-9);
+        prop_assert!(s.p90 <= s.p95 + 1e-9);
+        prop_assert!(s.p95 <= s.p99 + 1e-9);
+        prop_assert_eq!(s.count, pairs.len());
+    }
+
+    /// Silhouette is bounded to [-1, 1] on arbitrary labeled data.
+    #[test]
+    fn silhouette_bounded(
+        points in proptest::collection::vec(
+            proptest::collection::vec(-5.0f32..5.0, 4), 4..40),
+        label_mod in 2usize..4,
+    ) {
+        let labels: Vec<usize> = (0..points.len()).map(|i| i % label_mod).collect();
+        let s = silhouette(&points, &labels);
+        prop_assert!((-1.0..=1.0).contains(&s), "silhouette {}", s);
+    }
+}

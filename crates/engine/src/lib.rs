@@ -1,0 +1,58 @@
+//! `qpseeker-engine` — the query-engine substrate (the "PostgreSQL" of this
+//! reproduction).
+//!
+//! * [`query`] — logical SPJ queries: relations `T_q`, joins `J_q`,
+//!   predicates `P_q` (the paper's three query sets),
+//! * [`plan`] — physical plan trees over the six-operator vocabulary
+//!   (Seq/Index/BitmapIndex scans, Hash/Merge/NestedLoop joins),
+//! * [`executor`] — exact execution with deterministic virtual-time and
+//!   PG-cost-unit accounting (the ground-truth generator),
+//! * [`cardest`] — histogram/MCV cardinality estimation with the
+//!   independence assumption (baseline "PostgreSQL" estimates),
+//! * [`explain`] — per-node EXPLAIN estimates fed to QPSeeker's encoders,
+//! * [`optimizer`] — DP/greedy cost-based planner with Bao-style hints,
+//! * [`paper_cost`] — the paper's §5.1 user-defined cost model (verbatim),
+//! * [`inject`] — pgCuckoo-style plan injection.
+//!
+//! # Example: optimize and execute a join
+//!
+//! ```
+//! use qpseeker_engine::prelude::*;
+//!
+//! let db = qpseeker_storage::datagen::imdb::generate(0.05, 1);
+//! let mut q = Query::new("example");
+//! q.relations = vec![RelRef::new("title"), RelRef::new("movie_info")];
+//! q.joins = vec![JoinPred {
+//!     left: ColRef::new("movie_info", "movie_id"),
+//!     right: ColRef::new("title", "id"),
+//! }];
+//! let plan = PgOptimizer::new(&db).plan(&q);
+//! let result = Executor::new(&db).execute(&plan);
+//! assert!(result.rows > 0);
+//! ```
+
+pub mod cardest;
+pub mod executor;
+pub mod explain;
+pub mod inject;
+pub mod optimizer;
+pub mod paper_cost;
+pub mod plan;
+pub mod query;
+pub mod sql;
+
+/// Convenient glob import for downstream crates.
+pub mod prelude {
+    pub use crate::cardest::CardEstimator;
+    pub use crate::executor::{
+        join_charge, scan_charge, CostUnits, ExecutionResult, Executor, NodeProfile, ScanShape,
+        TimeWeights,
+    };
+    pub use crate::explain::{Explain, NodeEstimate};
+    pub use crate::inject::LeftDeepSpec;
+    pub use crate::optimizer::{Hints, PgOptimizer};
+    pub use crate::paper_cost::PaperCostModel;
+    pub use crate::plan::{JoinOp, PhysicalOp, PlanNode, ScanOp};
+    pub use crate::query::{CmpOp, ColRef, Filter, JoinPred, Query, RelRef};
+    pub use crate::sql::parse as parse_sql;
+}

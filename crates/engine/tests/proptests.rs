@@ -1,0 +1,179 @@
+//! Property tests for the engine: executor correctness against brute force,
+//! operator equivalence, spec round-trips, estimator bounds.
+
+use proptest::prelude::*;
+use qpseeker_engine::prelude::*;
+use qpseeker_storage::{
+    Catalog, Column, ColumnData, ColumnMeta, Database, ForeignKey, IndexMeta, Table, TableMeta,
+};
+
+/// Build a 2-table database from arbitrary small column contents.
+fn build_db(a_vals: Vec<i64>, b_fk: Vec<i64>) -> Database {
+    let a = Table::new(
+        "a",
+        vec![
+            Column { name: "id".into(), data: ColumnData::Int((0..a_vals.len() as i64).collect()) },
+            Column { name: "v".into(), data: ColumnData::Int(a_vals) },
+        ],
+    );
+    let b = Table::new(
+        "b",
+        vec![
+            Column { name: "id".into(), data: ColumnData::Int((0..b_fk.len() as i64).collect()) },
+            Column { name: "a_id".into(), data: ColumnData::Int(b_fk) },
+        ],
+    );
+    let catalog = Catalog {
+        tables: vec![
+            TableMeta {
+                name: "a".into(),
+                columns: vec![
+                    ColumnMeta { name: "id".into(), dtype: qpseeker_storage::DataType::Int },
+                    ColumnMeta { name: "v".into(), dtype: qpseeker_storage::DataType::Int },
+                ],
+            },
+            TableMeta {
+                name: "b".into(),
+                columns: vec![
+                    ColumnMeta { name: "id".into(), dtype: qpseeker_storage::DataType::Int },
+                    ColumnMeta { name: "a_id".into(), dtype: qpseeker_storage::DataType::Int },
+                ],
+            },
+        ],
+        foreign_keys: vec![ForeignKey {
+            from_table: "b".into(),
+            from_col: "a_id".into(),
+            to_table: "a".into(),
+            to_col: "id".into(),
+        }],
+        indexes: vec![
+            IndexMeta::for_column("a", "id", 8, true),
+            IndexMeta::for_column("b", "a_id", 8, false),
+        ],
+    };
+    Database::new("prop", catalog, vec![a, b])
+}
+
+fn join_query() -> Query {
+    let mut q = Query::new("q");
+    q.relations = vec![RelRef::new("a"), RelRef::new("b")];
+    q.joins = vec![JoinPred {
+        left: ColRef::new("b", "a_id"),
+        right: ColRef::new("a", "id"),
+    }];
+    q
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Join cardinality equals the brute-force count for every operator.
+    #[test]
+    fn join_matches_brute_force(
+        a_vals in proptest::collection::vec(-5i64..5, 1..20),
+        b_fk_raw in proptest::collection::vec(0i64..30, 1..30),
+    ) {
+        let n_a = a_vals.len() as i64;
+        // Some FKs dangle (point past a): those rows must not join.
+        let b_fk: Vec<i64> = b_fk_raw;
+        let expected: u64 = b_fk.iter().filter(|&&v| v < n_a).count() as u64;
+        let db = build_db(a_vals, b_fk);
+        let q = join_query();
+        let ex = Executor::new(&db);
+        for op in JoinOp::ALL {
+            let plan = PlanNode::join(
+                &q,
+                op,
+                PlanNode::scan(&q, "a", ScanOp::SeqScan),
+                PlanNode::scan(&q, "b", ScanOp::SeqScan),
+            );
+            prop_assert_eq!(ex.execute(&plan).rows, expected, "{:?}", op);
+        }
+    }
+
+    /// All three scan operators return identical row sets for any filter.
+    #[test]
+    fn scan_operators_agree(
+        a_vals in proptest::collection::vec(-10i64..10, 1..40),
+        threshold in -10.0f64..10.0,
+        op_idx in 0usize..5,
+    ) {
+        let db = build_db(a_vals.clone(), vec![0]);
+        let mut q = Query::new("q");
+        q.relations = vec![RelRef::new("a")];
+        q.filters.push(Filter {
+            col: ColRef::new("a", "id"),
+            op: CmpOp::ALL[op_idx],
+            value: threshold,
+        });
+        let ex = Executor::new(&db);
+        let counts: Vec<u64> = ScanOp::ALL
+            .iter()
+            .map(|&s| ex.execute(&PlanNode::scan(&q, "a", s)).rows)
+            .collect();
+        prop_assert_eq!(counts[0], counts[1]);
+        prop_assert_eq!(counts[0], counts[2]);
+        // And equals the brute-force count over the id column.
+        let brute = (0..a_vals.len() as i64)
+            .filter(|&i| CmpOp::ALL[op_idx].eval(i as f64, threshold))
+            .count() as u64;
+        prop_assert_eq!(counts[0], brute);
+    }
+
+    /// Left-deep specs round-trip through compilation.
+    #[test]
+    fn spec_round_trip(seed in 0u64..500) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let q = join_query();
+        let spec = LeftDeepSpec {
+            scans: vec![
+                ("a".into(), ScanOp::ALL[rng.gen_range(0..3)]),
+                ("b".into(), ScanOp::ALL[rng.gen_range(0..3)]),
+            ],
+            joins: vec![JoinOp::ALL[rng.gen_range(0..3)]],
+        };
+        let plan = spec.compile(&q).unwrap();
+        prop_assert_eq!(LeftDeepSpec::from_plan(&plan).unwrap(), spec);
+    }
+
+    /// Filter selectivities are always within [0, 1] and estimates ≥ 1 row.
+    #[test]
+    fn estimator_bounds(
+        a_vals in proptest::collection::vec(-100i64..100, 2..50),
+        value in -200.0f64..200.0,
+        op_idx in 0usize..5,
+    ) {
+        let db = build_db(a_vals, vec![0]);
+        let est = CardEstimator::new(&db);
+        let f = Filter { col: ColRef::new("a", "v"), op: CmpOp::ALL[op_idx], value };
+        let s = est.filter_selectivity("a", &f);
+        prop_assert!((0.0..=1.0).contains(&s), "selectivity {}", s);
+        let mut q = Query::new("q");
+        q.relations = vec![RelRef::new("a")];
+        q.filters.push(f);
+        prop_assert!(est.scan_rows(&q, "a") >= 1.0);
+    }
+
+    /// Virtual time is additive: a plan's total equals the root profile, and
+    /// every parent's cumulative time is at least the sum of its children's.
+    #[test]
+    fn virtual_time_is_monotone(
+        a_vals in proptest::collection::vec(-5i64..5, 1..15),
+        b_fk in proptest::collection::vec(0i64..15, 1..25),
+    ) {
+        let db = build_db(a_vals, b_fk);
+        let q = join_query();
+        let ex = Executor::new(&db);
+        let plan = PlanNode::join(
+            &q,
+            JoinOp::HashJoin,
+            PlanNode::scan(&q, "a", ScanOp::SeqScan),
+            PlanNode::scan(&q, "b", ScanOp::SeqScan),
+        );
+        let res = ex.execute(&plan);
+        prop_assert_eq!(res.nodes.len(), 3);
+        prop_assert!(res.nodes[2].time_ms >= res.nodes[0].time_ms + res.nodes[1].time_ms);
+        prop_assert!((res.time_ms - res.nodes[2].time_ms).abs() < 1e-9);
+    }
+}

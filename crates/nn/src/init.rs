@@ -1,0 +1,97 @@
+//! Weight initialization.
+
+use crate::tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Deterministic weight initializer.
+///
+/// Wraps a seeded RNG so model construction is reproducible: the same seed
+/// and construction order always yield the same parameters.
+pub struct Initializer {
+    rng: StdRng,
+}
+
+impl Initializer {
+    pub fn new(seed: u64) -> Self {
+        Self { rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// Xavier/Glorot uniform: `U(-a, a)` with `a = sqrt(6 / (fan_in + fan_out))`.
+    pub fn xavier(&mut self, rows: usize, cols: usize) -> Tensor {
+        let a = (6.0 / (rows + cols) as f32).sqrt();
+        self.uniform(rows, cols, -a, a)
+    }
+
+    /// Kaiming/He uniform for ReLU layers: `U(-a, a)` with `a = sqrt(6 / fan_in)`.
+    pub fn kaiming(&mut self, rows: usize, cols: usize) -> Tensor {
+        let a = (6.0 / rows as f32).sqrt();
+        self.uniform(rows, cols, -a, a)
+    }
+
+    /// Uniform in `[lo, hi)`.
+    pub fn uniform(&mut self, rows: usize, cols: usize, lo: f32, hi: f32) -> Tensor {
+        let data = (0..rows * cols).map(|_| self.rng.gen_range(lo..hi)).collect();
+        Tensor::from_vec(rows, cols, data)
+    }
+
+    /// Standard normal scaled by `std`.
+    pub fn normal(&mut self, rows: usize, cols: usize, std: f32) -> Tensor {
+        // Box-Muller transform; rand's Distribution types are avoided to keep
+        // the dependency surface to `rand` core.
+        let n = rows * cols;
+        let mut data = Vec::with_capacity(n);
+        while data.len() < n {
+            let u1: f32 = self.rng.gen_range(f32::EPSILON..1.0);
+            let u2: f32 = self.rng.gen_range(0.0..1.0);
+            let r = (-2.0 * u1.ln()).sqrt();
+            let theta = 2.0 * std::f32::consts::PI * u2;
+            data.push(r * theta.cos() * std);
+            if data.len() < n {
+                data.push(r * theta.sin() * std);
+            }
+        }
+        Tensor::from_vec(rows, cols, data)
+    }
+
+    /// Sample a standard-normal noise tensor (for VAE reparameterization).
+    pub fn standard_normal(&mut self, rows: usize, cols: usize) -> Tensor {
+        self.normal(rows, cols, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = Initializer::new(7).xavier(4, 4);
+        let b = Initializer::new(7).xavier(4, 4);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = Initializer::new(7).xavier(4, 4);
+        let b = Initializer::new(8).xavier(4, 4);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn xavier_respects_bound() {
+        let t = Initializer::new(0).xavier(10, 10);
+        let a = (6.0 / 20.0f32).sqrt();
+        assert!(t.data().iter().all(|&x| x > -a && x < a));
+    }
+
+    #[test]
+    fn normal_moments_roughly_correct() {
+        let t = Initializer::new(1).normal(100, 100, 2.0);
+        let mean = t.mean();
+        let var = t.data().iter().map(|x| (x - mean) * (x - mean)).sum::<f32>()
+            / (t.len() as f32 - 1.0);
+        assert!(mean.abs() < 0.1, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.3, "var {var}");
+    }
+}

@@ -1,0 +1,184 @@
+//! Optimizers: Adam (used by all models, as in the paper) and plain SGD.
+
+use crate::params::ParamStore;
+
+/// Adam optimizer with per-parameter first/second-moment state.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    pub lr: f32,
+    pub beta1: f32,
+    pub beta2: f32,
+    pub eps: f32,
+    pub weight_decay: f32,
+    t: u64,
+    m: Vec<Vec<f32>>,
+    v: Vec<Vec<f32>>,
+}
+
+impl Adam {
+    /// Adam with the paper's defaults (lr 0.001 in the paper; pass any lr).
+    pub fn new(lr: f32) -> Self {
+        Self { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, weight_decay: 0.0, t: 0, m: Vec::new(), v: Vec::new() }
+    }
+
+    pub fn with_weight_decay(mut self, wd: f32) -> Self {
+        self.weight_decay = wd;
+        self
+    }
+
+    /// Number of completed steps.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+
+    /// Apply one update from the gradients currently held in `store`.
+    pub fn step(&mut self, store: &mut ParamStore) {
+        self.t += 1;
+        let t = self.t as f32;
+        let bc1 = 1.0 - self.beta1.powf(t);
+        let bc2 = 1.0 - self.beta2.powf(t);
+        let n = store.len();
+        // Lazily grow moment buffers to match the store (parameters are only
+        // ever appended, never removed).
+        while self.m.len() < n {
+            self.m.push(Vec::new());
+            self.v.push(Vec::new());
+        }
+        for (i, p) in store.params_mut().iter_mut().enumerate() {
+            if !p.trainable {
+                continue;
+            }
+            if self.m[i].len() != p.value.len() {
+                self.m[i] = vec![0.0; p.value.len()];
+                self.v[i] = vec![0.0; p.value.len()];
+            }
+            let (m, v) = (&mut self.m[i], &mut self.v[i]);
+            let wd = self.weight_decay;
+            let values = p.value.data_mut();
+            for (j, gref) in p.grad.data().iter().enumerate() {
+                let mut g = *gref;
+                if !g.is_finite() {
+                    // A single exploding sample must not poison the moments.
+                    g = 0.0;
+                }
+                if wd > 0.0 {
+                    g += wd * values[j];
+                }
+                m[j] = self.beta1 * m[j] + (1.0 - self.beta1) * g;
+                v[j] = self.beta2 * v[j] + (1.0 - self.beta2) * g * g;
+                let mhat = m[j] / bc1;
+                let vhat = v[j] / bc2;
+                values[j] -= self.lr * mhat / (vhat.sqrt() + self.eps);
+            }
+        }
+    }
+}
+
+/// Plain stochastic gradient descent (used in ablations and tests).
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    pub lr: f32,
+}
+
+impl Sgd {
+    pub fn new(lr: f32) -> Self {
+        Self { lr }
+    }
+
+    pub fn step(&mut self, store: &mut ParamStore) {
+        for p in store.params_mut() {
+            if !p.trainable {
+                continue;
+            }
+            let lr = self.lr;
+            let grads = p.grad.data().to_vec();
+            for (x, g) in p.value.data_mut().iter_mut().zip(grads) {
+                if g.is_finite() {
+                    *x -= lr * g;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+    use crate::tensor::Tensor;
+
+    /// Minimize (w - 3)² with each optimizer; both must converge.
+    fn converges(mut step: impl FnMut(&mut ParamStore)) -> f32 {
+        let mut store = ParamStore::new();
+        let w = store.register("w", Tensor::scalar(0.0));
+        for _ in 0..500 {
+            store.zero_grads();
+            let mut g = Graph::new();
+            let wv = g.param(&store, w);
+            let target = g.constant(Tensor::scalar(3.0));
+            let loss = g.mse(wv, target);
+            g.backward(loss, &mut store);
+            step(&mut store);
+        }
+        store.value(w).get(0, 0)
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut opt = Adam::new(0.05);
+        let w = converges(move |s| opt.step(s));
+        assert!((w - 3.0).abs() < 0.05, "w={w}");
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut opt = Sgd::new(0.1);
+        let w = converges(move |s| opt.step(s));
+        assert!((w - 3.0).abs() < 0.05, "w={w}");
+    }
+
+    #[test]
+    fn adam_skips_frozen_params() {
+        let mut store = ParamStore::new();
+        let w = store.register_frozen("frozen", Tensor::scalar(1.0));
+        store.accumulate_grad(w, &Tensor::scalar(10.0));
+        let mut opt = Adam::new(0.1);
+        opt.step(&mut store);
+        assert_eq!(store.value(w).get(0, 0), 1.0);
+    }
+
+    #[test]
+    fn adam_ignores_nan_gradients() {
+        let mut store = ParamStore::new();
+        let w = store.register("w", Tensor::scalar(1.0));
+        store.accumulate_grad(w, &Tensor::scalar(f32::NAN));
+        let mut opt = Adam::new(0.1);
+        opt.step(&mut store);
+        assert!(store.value(w).get(0, 0).is_finite());
+    }
+
+    #[test]
+    fn adam_handles_params_registered_after_first_step() {
+        let mut store = ParamStore::new();
+        let a = store.register("a", Tensor::scalar(0.0));
+        let mut opt = Adam::new(0.05);
+        store.accumulate_grad(a, &Tensor::scalar(1.0));
+        opt.step(&mut store);
+        let b = store.register("b", Tensor::scalar(0.0));
+        store.zero_grads();
+        store.accumulate_grad(b, &Tensor::scalar(1.0));
+        opt.step(&mut store); // must not panic
+        assert!(store.value(b).get(0, 0) < 0.0);
+    }
+
+    #[test]
+    fn step_counter_advances() {
+        let mut store = ParamStore::new();
+        store.register("w", Tensor::scalar(0.0));
+        let mut opt = Adam::new(0.1);
+        assert_eq!(opt.steps(), 0);
+        opt.step(&mut store);
+        opt.step(&mut store);
+        assert_eq!(opt.steps(), 2);
+    }
+}

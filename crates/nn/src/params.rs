@@ -1,0 +1,211 @@
+//! Persistent parameter storage.
+//!
+//! A [`crate::graph::Graph`] is a per-batch tape that is rebuilt for every
+//! forward pass (plan trees have variable shape, so the graph cannot be
+//! static). Learnable parameters therefore live *outside* the graph, in a
+//! [`ParamStore`], addressed by stable [`ParamId`]s. After `backward`, the
+//! graph accumulates gradients back into the store; the optimizer then reads
+//! value/grad pairs from here.
+
+use crate::tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// Stable handle to a parameter inside a [`ParamStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ParamId(pub(crate) usize);
+
+impl ParamId {
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// One learnable tensor with its accumulated gradient.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Param {
+    /// Human-readable name ("query_encoder.rel_mlp.0.weight" style).
+    pub name: String,
+    pub value: Tensor,
+    pub grad: Tensor,
+    /// When false the optimizer skips this parameter (used for frozen
+    /// embeddings, mirroring the paper freezing TaBERT weights).
+    pub trainable: bool,
+}
+
+/// The set of all parameters of a model.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ParamStore {
+    params: Vec<Param>,
+}
+
+impl ParamStore {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a new trainable parameter and return its id.
+    pub fn register(&mut self, name: impl Into<String>, value: Tensor) -> ParamId {
+        let grad = Tensor::zeros(value.rows(), value.cols());
+        self.params.push(Param { name: name.into(), value, grad, trainable: true });
+        ParamId(self.params.len() - 1)
+    }
+
+    /// Register a frozen (non-trainable) parameter.
+    pub fn register_frozen(&mut self, name: impl Into<String>, value: Tensor) -> ParamId {
+        let id = self.register(name, value);
+        self.params[id.0].trainable = false;
+        id
+    }
+
+    pub fn len(&self) -> usize {
+        self.params.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.params.is_empty()
+    }
+
+    /// Total number of scalar weights (the paper quotes ~10.8M for the full model).
+    pub fn num_scalars(&self) -> usize {
+        self.params.iter().map(|p| p.value.len()).sum()
+    }
+
+    pub fn get(&self, id: ParamId) -> &Param {
+        &self.params[id.0]
+    }
+
+    pub fn value(&self, id: ParamId) -> &Tensor {
+        &self.params[id.0].value
+    }
+
+    pub fn value_mut(&mut self, id: ParamId) -> &mut Tensor {
+        &mut self.params[id.0].value
+    }
+
+    pub fn grad(&self, id: ParamId) -> &Tensor {
+        &self.params[id.0].grad
+    }
+
+    /// Accumulate `g` into the gradient of `id`.
+    pub fn accumulate_grad(&mut self, id: ParamId, g: &Tensor) {
+        self.params[id.0].grad.add_assign(g);
+    }
+
+    /// Reset all gradients to zero (call before each batch).
+    pub fn zero_grads(&mut self) {
+        for p in &mut self.params {
+            p.grad.zero();
+        }
+    }
+
+    /// Iterate over `(index, param)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (ParamId, &Param)> {
+        self.params.iter().enumerate().map(|(i, p)| (ParamId(i), p))
+    }
+
+    /// Mutable access for optimizers.
+    pub(crate) fn params_mut(&mut self) -> &mut [Param] {
+        &mut self.params
+    }
+
+    /// Global gradient L2 norm over trainable parameters (for clipping).
+    pub fn grad_norm(&self) -> f32 {
+        self.params
+            .iter()
+            .filter(|p| p.trainable)
+            .map(|p| p.grad.data().iter().map(|x| x * x).sum::<f32>())
+            .sum::<f32>()
+            .sqrt()
+    }
+
+    /// Scale all trainable gradients so the global norm is at most `max_norm`.
+    pub fn clip_grad_norm(&mut self, max_norm: f32) {
+        let norm = self.grad_norm();
+        if norm > max_norm && norm > 0.0 {
+            let scale = max_norm / norm;
+            for p in self.params_mut() {
+                if p.trainable {
+                    for g in p.grad.data_mut() {
+                        *g *= scale;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Serialize to JSON (model checkpointing).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("ParamStore is always serializable")
+    }
+
+    /// Deserialize from JSON produced by [`Self::to_json`].
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_lookup() {
+        let mut store = ParamStore::new();
+        let id = store.register("w", Tensor::ones(2, 3));
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.num_scalars(), 6);
+        assert_eq!(store.value(id).shape(), (2, 3));
+        assert_eq!(store.get(id).name, "w");
+        assert!(store.get(id).trainable);
+    }
+
+    #[test]
+    fn frozen_params_marked() {
+        let mut store = ParamStore::new();
+        let id = store.register_frozen("emb", Tensor::ones(1, 4));
+        assert!(!store.get(id).trainable);
+    }
+
+    #[test]
+    fn grad_accumulation_and_zeroing() {
+        let mut store = ParamStore::new();
+        let id = store.register("w", Tensor::zeros(1, 2));
+        store.accumulate_grad(id, &Tensor::row(vec![1.0, 2.0]));
+        store.accumulate_grad(id, &Tensor::row(vec![1.0, 2.0]));
+        assert_eq!(store.grad(id).data(), &[2.0, 4.0]);
+        store.zero_grads();
+        assert_eq!(store.grad(id).data(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn grad_clipping_scales_to_max_norm() {
+        let mut store = ParamStore::new();
+        let id = store.register("w", Tensor::zeros(1, 2));
+        store.accumulate_grad(id, &Tensor::row(vec![3.0, 4.0])); // norm 5
+        store.clip_grad_norm(1.0);
+        assert!((store.grad_norm() - 1.0).abs() < 1e-6);
+        assert!((store.grad(id).data()[0] - 0.6).abs() < 1e-6);
+    }
+
+    #[test]
+    fn clipping_ignores_frozen() {
+        let mut store = ParamStore::new();
+        let f = store.register_frozen("emb", Tensor::zeros(1, 1));
+        let t = store.register("w", Tensor::zeros(1, 1));
+        store.accumulate_grad(f, &Tensor::scalar(100.0));
+        store.accumulate_grad(t, &Tensor::scalar(3.0));
+        store.clip_grad_norm(1.0);
+        assert_eq!(store.grad(f).data()[0], 100.0);
+        assert!((store.grad(t).data()[0] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let mut store = ParamStore::new();
+        store.register("w", Tensor::from_vec(1, 2, vec![0.5, -0.25]));
+        let json = store.to_json();
+        let back = ParamStore::from_json(&json).unwrap();
+        assert_eq!(back.len(), 1);
+        assert_eq!(back.value(ParamId(0)).data(), &[0.5, -0.25]);
+    }
+}

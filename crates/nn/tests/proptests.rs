@@ -1,0 +1,180 @@
+//! Property-based tests for the tensor and autograd layers.
+
+use proptest::prelude::*;
+use qpseeker_nn::prelude::*;
+
+/// Strategy: a tensor with the given shape and bounded values.
+fn tensor(rows: usize, cols: usize) -> impl Strategy<Value = Tensor> {
+    proptest::collection::vec(-2.0f32..2.0, rows * cols)
+        .prop_map(move |data| Tensor::from_vec(rows, cols, data))
+}
+
+fn small_dims() -> impl Strategy<Value = (usize, usize, usize)> {
+    (1usize..5, 1usize..5, 1usize..5)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// (A·B)ᵀ == Bᵀ·Aᵀ for all shapes.
+    #[test]
+    fn matmul_transpose_identity((m, k, n) in small_dims(),
+                                 seed in 0u64..1000) {
+        let mut init = Initializer::new(seed);
+        let a = init.normal(m, k, 1.0);
+        let b = init.normal(k, n, 1.0);
+        let lhs = a.matmul(&b).transposed();
+        let rhs = b.transposed().matmul(&a.transposed());
+        for (x, y) in lhs.data().iter().zip(rhs.data()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    /// matmul distributes over addition: A·(B+C) == A·B + A·C.
+    #[test]
+    fn matmul_distributive((m, k, n) in small_dims(), seed in 0u64..1000) {
+        let mut init = Initializer::new(seed);
+        let a = init.normal(m, k, 1.0);
+        let b = init.normal(k, n, 1.0);
+        let c = init.normal(k, n, 1.0);
+        let mut bc = b.clone();
+        bc.add_assign(&c);
+        let lhs = a.matmul(&bc);
+        let mut rhs = a.matmul(&b);
+        rhs.add_assign(&a.matmul(&c));
+        for (x, y) in lhs.data().iter().zip(rhs.data()) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    /// d(sum(x))/dx is exactly 1 everywhere, for any parameter shape.
+    #[test]
+    fn sum_gradient_is_ones(rows in 1usize..6, cols in 1usize..6, seed in 0u64..1000) {
+        let mut store = ParamStore::new();
+        let mut init = Initializer::new(seed);
+        let w = store.register("w", init.normal(rows, cols, 1.0));
+        let mut g = Graph::new();
+        let wv = g.param(&store, w);
+        let loss = g.sum_all(wv);
+        g.backward(loss, &mut store);
+        for &v in store.grad(w).data() {
+            prop_assert!((v - 1.0).abs() < 1e-6);
+        }
+    }
+
+    /// Softmax rows always sum to 1 and are positive, regardless of input scale.
+    #[test]
+    fn softmax_rows_is_a_distribution(t in tensor(3, 5), scale in 0.1f32..20.0) {
+        let mut g = Graph::new();
+        let x = g.constant(t.map(|v| v * scale));
+        let y = g.softmax_rows(x);
+        let out = g.value(y);
+        for r in 0..out.rows() {
+            let row = out.row_slice(r);
+            let sum: f32 = row.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4);
+            prop_assert!(row.iter().all(|&p| p >= 0.0));
+        }
+    }
+
+    /// Linear-layer gradients match finite differences on random shapes.
+    #[test]
+    fn linear_gradcheck((bi, i, o) in small_dims(), seed in 0u64..200) {
+        let mut store = ParamStore::new();
+        let mut init = Initializer::new(seed);
+        let layer = Linear::new(&mut store, &mut init, "l", i, o);
+        let x = init.normal(bi, i, 1.0);
+
+        store.zero_grads();
+        let mut g = Graph::new();
+        let xv = g.constant(x.clone());
+        let y = layer.forward(&mut g, &store, xv);
+        let sq = g.mul(y, y);
+        let loss = g.mean_all(sq);
+        g.backward(loss, &mut store);
+        let analytic = store.grad(layer.w).clone();
+
+        let eps = 1e-2f32;
+        for idx in 0..store.value(layer.w).len() {
+            let orig = store.value(layer.w).data()[idx];
+            let eval = |store: &ParamStore| {
+                let mut g = Graph::new();
+                let xv = g.constant(x.clone());
+                let y = layer.forward(&mut g, store, xv);
+                let sq = g.mul(y, y);
+                let loss = g.mean_all(sq);
+                g.value(loss).get(0, 0)
+            };
+            store.value_mut(layer.w).data_mut()[idx] = orig + eps;
+            let lp = eval(&store);
+            store.value_mut(layer.w).data_mut()[idx] = orig - eps;
+            let lm = eval(&store);
+            store.value_mut(layer.w).data_mut()[idx] = orig;
+            let numeric = (lp - lm) / (2.0 * eps);
+            let a = analytic.data()[idx];
+            prop_assert!((a - numeric).abs() < 2e-2 * (1.0 + numeric.abs()),
+                "idx {}: analytic {} vs numeric {}", idx, a, numeric);
+        }
+    }
+
+    /// Reparameterized samples have roughly the statistics N(mu, sigma²).
+    #[test]
+    fn reparameterization_statistics(mu in -1.0f32..1.0, logvar in -1.0f32..1.0) {
+        let n = 4000;
+        let mut init = Initializer::new(99);
+        let mut g = Graph::new();
+        let muv = g.constant(Tensor::filled(n, 1, mu));
+        let lv = g.constant(Tensor::filled(n, 1, logvar));
+        let eps = g.constant(init.standard_normal(n, 1));
+        let z = g.reparameterize(muv, lv, eps);
+        let vals = g.value(z);
+        let mean = vals.mean();
+        let var = vals.data().iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / n as f32;
+        prop_assert!((mean - mu).abs() < 0.1, "mean {} vs mu {}", mean, mu);
+        prop_assert!((var - logvar.exp()).abs() < 0.25 * logvar.exp().max(1.0),
+            "var {} vs sigma² {}", var, logvar.exp());
+    }
+
+    /// stack_rows ∘ slice recovers the original parts (graph shape ops are lossless).
+    #[test]
+    fn stack_then_split_roundtrip(a in tensor(2, 3), b in tensor(3, 3)) {
+        let mut g = Graph::new();
+        let av = g.constant(a.clone());
+        let bv = g.constant(b.clone());
+        let s = g.stack_rows(&[av, bv]);
+        let out = g.value(s);
+        prop_assert_eq!(out.rows(), 5);
+        for r in 0..2 {
+            prop_assert_eq!(out.row_slice(r), a.row_slice(r));
+        }
+        for r in 0..3 {
+            prop_assert_eq!(out.row_slice(2 + r), b.row_slice(r));
+        }
+    }
+
+    /// MSE is non-negative and zero iff pred == target.
+    #[test]
+    fn mse_nonnegative(p in tensor(2, 4), t in tensor(2, 4)) {
+        let mut g = Graph::new();
+        let pv = g.constant(p.clone());
+        let tv = g.constant(t.clone());
+        let loss = g.mse(pv, tv);
+        let l = g.value(loss).get(0, 0);
+        prop_assert!(l >= 0.0);
+        let mut g2 = Graph::new();
+        let pv2 = g2.constant(p.clone());
+        let pv3 = g2.constant(p.clone());
+        let loss2 = g2.mse(pv2, pv3);
+        prop_assert!(g2.value(loss2).get(0, 0).abs() < 1e-9);
+    }
+
+    /// KL divergence to the standard normal is always non-negative.
+    #[test]
+    fn kl_nonnegative(mu in tensor(2, 4), lv in tensor(2, 4)) {
+        let mut g = Graph::new();
+        let m = g.constant(mu);
+        let l = g.constant(lv);
+        let kl = g.kl_standard_normal(m, l);
+        prop_assert!(g.value(kl).get(0, 0) >= -1e-5);
+    }
+}

@@ -1,0 +1,259 @@
+//! Database catalog: schema metadata, foreign keys, indexes and the bundled
+//! [`Database`] handle that the engine, workload generators and QPSeeker's
+//! encoders all share.
+
+use crate::stats::TableStats;
+use crate::table::{DataType, Table};
+use serde::{Deserialize, Serialize};
+
+/// Column metadata.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ColumnMeta {
+    pub name: String,
+    pub dtype: DataType,
+}
+
+/// Table metadata.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TableMeta {
+    pub name: String,
+    pub columns: Vec<ColumnMeta>,
+}
+
+/// A foreign-key edge `from_table.from_col -> to_table.to_col`. These edges
+/// define the set of "all possible joins" that the paper one-hot encodes
+/// (the `M`-sized join vocabulary of the query encoder).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ForeignKey {
+    pub from_table: String,
+    pub from_col: String,
+    pub to_table: String,
+    pub to_col: String,
+}
+
+/// B-tree index metadata. Heights and leaf-page counts feed both the
+/// PG-style cost model and the paper's user-defined cost model (§5.1).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct IndexMeta {
+    pub table: String,
+    pub column: String,
+    pub height: usize,
+    pub leaf_pages: usize,
+    pub unique: bool,
+}
+
+impl IndexMeta {
+    /// Derive B-tree shape parameters from the row count. Fanout ≈ 256 keys
+    /// per internal page, ≈ 360 entries per leaf (PostgreSQL-ish for 8 KiB
+    /// pages and 8-byte keys).
+    pub fn for_column(table: &str, column: &str, n_rows: usize, unique: bool) -> Self {
+        let leaf_pages = (n_rows / 360).max(1);
+        let mut height = 1usize;
+        let mut pages = leaf_pages;
+        while pages > 1 {
+            pages = pages.div_ceil(256);
+            height += 1;
+        }
+        Self { table: table.into(), column: column.into(), height, leaf_pages, unique }
+    }
+}
+
+/// Full schema catalog.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Catalog {
+    pub tables: Vec<TableMeta>,
+    pub foreign_keys: Vec<ForeignKey>,
+    pub indexes: Vec<IndexMeta>,
+}
+
+impl Catalog {
+    /// Number of relations (the `N` of the paper's one-hot relation encoding).
+    pub fn num_tables(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Number of possible joins (the `M` of the one-hot join encoding).
+    pub fn num_joins(&self) -> usize {
+        self.foreign_keys.len()
+    }
+
+    pub fn table_idx(&self, name: &str) -> Option<usize> {
+        self.tables.iter().position(|t| t.name == name)
+    }
+
+    pub fn table_meta(&self, name: &str) -> Option<&TableMeta> {
+        self.tables.iter().find(|t| t.name == name)
+    }
+
+    /// Index of the FK edge joining these two table.column pairs, in either
+    /// direction. This is the join's one-hot id.
+    pub fn join_idx(&self, t1: &str, c1: &str, t2: &str, c2: &str) -> Option<usize> {
+        self.foreign_keys.iter().position(|fk| {
+            (fk.from_table == t1 && fk.from_col == c1 && fk.to_table == t2 && fk.to_col == c2)
+                || (fk.from_table == t2 && fk.from_col == c2 && fk.to_table == t1 && fk.to_col == c1)
+        })
+    }
+
+    /// All FK edges incident to `table`.
+    pub fn joins_of(&self, table: &str) -> Vec<&ForeignKey> {
+        self.foreign_keys
+            .iter()
+            .filter(|fk| fk.from_table == table || fk.to_table == table)
+            .collect()
+    }
+
+    pub fn index_on(&self, table: &str, column: &str) -> Option<&IndexMeta> {
+        self.indexes.iter().find(|i| i.table == table && i.column == column)
+    }
+}
+
+/// A fully materialized database: catalog + data + statistics.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Database {
+    pub name: String,
+    pub catalog: Catalog,
+    pub tables: Vec<Table>,
+    pub stats: Vec<TableStats>,
+}
+
+impl Database {
+    /// Bundle tables into a database and run ANALYZE on every table.
+    pub fn new(name: impl Into<String>, catalog: Catalog, tables: Vec<Table>) -> Self {
+        let stats = tables.iter().map(TableStats::analyze).collect();
+        let db = Self { name: name.into(), catalog, tables, stats };
+        db.validate();
+        db
+    }
+
+    fn validate(&self) {
+        for meta in &self.catalog.tables {
+            let t = self
+                .table(&meta.name)
+                .unwrap_or_else(|| panic!("catalog table {} has no data", meta.name));
+            for cm in &meta.columns {
+                assert!(
+                    t.col_idx(&cm.name).is_some(),
+                    "catalog column {}.{} missing from data",
+                    meta.name,
+                    cm.name
+                );
+            }
+        }
+        for fk in &self.catalog.foreign_keys {
+            assert!(self.table(&fk.from_table).is_some(), "FK from unknown table {}", fk.from_table);
+            assert!(self.table(&fk.to_table).is_some(), "FK to unknown table {}", fk.to_table);
+        }
+    }
+
+    pub fn table(&self, name: &str) -> Option<&Table> {
+        self.tables.iter().find(|t| t.name == name)
+    }
+
+    pub fn table_stats(&self, name: &str) -> Option<&TableStats> {
+        self.stats.iter().find(|s| s.table == name)
+    }
+
+    /// Total number of rows across all tables.
+    pub fn total_rows(&self) -> usize {
+        self.tables.iter().map(|t| t.n_rows()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::{Column, ColumnData};
+
+    fn tiny_db() -> Database {
+        let a = Table::new(
+            "a",
+            vec![
+                Column { name: "id".into(), data: ColumnData::Int(vec![0, 1, 2]) },
+                Column { name: "v".into(), data: ColumnData::Int(vec![10, 20, 30]) },
+            ],
+        );
+        let b = Table::new(
+            "b",
+            vec![
+                Column { name: "id".into(), data: ColumnData::Int(vec![0, 1]) },
+                Column { name: "a_id".into(), data: ColumnData::Int(vec![2, 0]) },
+            ],
+        );
+        let catalog = Catalog {
+            tables: vec![
+                TableMeta {
+                    name: "a".into(),
+                    columns: vec![
+                        ColumnMeta { name: "id".into(), dtype: DataType::Int },
+                        ColumnMeta { name: "v".into(), dtype: DataType::Int },
+                    ],
+                },
+                TableMeta {
+                    name: "b".into(),
+                    columns: vec![
+                        ColumnMeta { name: "id".into(), dtype: DataType::Int },
+                        ColumnMeta { name: "a_id".into(), dtype: DataType::Int },
+                    ],
+                },
+            ],
+            foreign_keys: vec![ForeignKey {
+                from_table: "b".into(),
+                from_col: "a_id".into(),
+                to_table: "a".into(),
+                to_col: "id".into(),
+            }],
+            indexes: vec![IndexMeta::for_column("a", "id", 3, true)],
+        };
+        Database::new("tiny", catalog, vec![a, b])
+    }
+
+    #[test]
+    fn database_bundles_stats() {
+        let db = tiny_db();
+        assert_eq!(db.total_rows(), 5);
+        assert_eq!(db.table_stats("a").unwrap().n_rows, 3);
+        assert!(db.table_stats("missing").is_none());
+    }
+
+    #[test]
+    fn join_lookup_is_direction_agnostic() {
+        let db = tiny_db();
+        assert_eq!(db.catalog.join_idx("b", "a_id", "a", "id"), Some(0));
+        assert_eq!(db.catalog.join_idx("a", "id", "b", "a_id"), Some(0));
+        assert_eq!(db.catalog.join_idx("a", "v", "b", "a_id"), None);
+    }
+
+    #[test]
+    fn joins_of_returns_incident_edges() {
+        let db = tiny_db();
+        assert_eq!(db.catalog.joins_of("a").len(), 1);
+        assert_eq!(db.catalog.joins_of("b").len(), 1);
+    }
+
+    #[test]
+    fn index_shape_grows_with_rows() {
+        let small = IndexMeta::for_column("t", "c", 100, true);
+        let large = IndexMeta::for_column("t", "c", 10_000_000, true);
+        assert_eq!(small.height, 1);
+        assert!(large.height >= 2);
+        assert!(large.leaf_pages > small.leaf_pages);
+    }
+
+    #[test]
+    #[should_panic(expected = "missing from data")]
+    fn validation_catches_schema_mismatch() {
+        let t = Table::new(
+            "a",
+            vec![Column { name: "id".into(), data: ColumnData::Int(vec![]) }],
+        );
+        let catalog = Catalog {
+            tables: vec![TableMeta {
+                name: "a".into(),
+                columns: vec![ColumnMeta { name: "missing".into(), dtype: DataType::Int }],
+            }],
+            foreign_keys: vec![],
+            indexes: vec![],
+        };
+        Database::new("bad", catalog, vec![t]);
+    }
+}

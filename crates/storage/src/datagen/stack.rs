@@ -1,0 +1,196 @@
+//! StackExchange-shaped synthetic database (substrate for the Stack
+//! workload used by Bao and the paper).
+//!
+//! Ten relations centered on `question`/`answer`/`so_user`, with
+//! high-variance but unimodal value distributions — the paper observes that
+//! Stack "follows normal distributions with high variance" and no
+//! multimodality, unlike JOB.
+
+use super::{meta_of, scaled, TableBuilder};
+use crate::catalog::{Catalog, Database, ForeignKey, IndexMeta};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const SIZES: [(&str, usize); 10] = [
+    ("site", 20),
+    ("so_user", 3_000),
+    ("question", 4_000),
+    ("answer", 6_000),
+    ("tag", 200),
+    ("tag_question", 8_000),
+    ("badge", 3_000),
+    ("comment", 5_000),
+    ("post_link", 800),
+    ("vote", 8_000),
+];
+
+fn size_of(name: &str, scale: f64) -> usize {
+    let base = SIZES
+        .iter()
+        .find(|(n, _)| *n == name)
+        .unwrap_or_else(|| panic!("unknown stack table {name}"))
+        .1;
+    scaled(base, scale)
+}
+
+/// Generate the Stack-shaped database.
+pub fn generate(scale: f64, seed: u64) -> Database {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n_site = size_of("site", scale.max(0.25)).min(50);
+    let n_user = size_of("so_user", scale);
+    let n_q = size_of("question", scale);
+    let n_a = size_of("answer", scale);
+    let n_tag = size_of("tag", scale);
+
+    let site = TableBuilder::new("site", n_site, &mut rng)
+        .pk("id")
+        .text_attr("site_name", 60, 1, 0.3)
+        .build();
+
+    let so_user = TableBuilder::new("so_user", n_user, &mut rng)
+        .pk("id")
+        .fk("site_id", n_site, 0.8)
+        .int_attr("reputation", 5_000, 1.6)
+        .int_range_recent("creation_year", 2008, 2024, 0.4)
+        .build();
+
+    let question = TableBuilder::new("question", n_q, &mut rng)
+        .pk("id")
+        .fk("site_id", n_site, 0.8)
+        .fk("owner_user_id", n_user, 1.2)
+        .int_attr("score", 300, 1.5)
+        .int_attr("view_count", 10_000, 1.4)
+        .text_attr("title", 1_000, 4, 1.0)
+        .build();
+
+    let answer = TableBuilder::new("answer", n_a, &mut rng)
+        .pk("id")
+        .fk("site_id", n_site, 0.8)
+        .fk("question_id", n_q, 1.1)
+        .fk("owner_user_id", n_user, 1.3)
+        .int_attr("score", 200, 1.5)
+        .build();
+
+    let tag = TableBuilder::new("tag", n_tag, &mut rng)
+        .pk("id")
+        .fk("site_id", n_site, 0.6)
+        .text_attr("name", 200, 1, 1.1)
+        .build();
+
+    let tag_question = TableBuilder::new("tag_question", size_of("tag_question", scale), &mut rng)
+        .pk("id")
+        .fk("question_id", n_q, 1.0)
+        .fk("tag_id", n_tag, 1.5)
+        .build();
+
+    let badge = TableBuilder::new("badge", size_of("badge", scale), &mut rng)
+        .pk("id")
+        .fk("user_id", n_user, 1.4)
+        .int_attr("badge_class", 3, 0.9)
+        .build();
+
+    let comment = TableBuilder::new("comment", size_of("comment", scale), &mut rng)
+        .pk("id")
+        .fk("question_id", n_q, 1.2)
+        .fk("user_id", n_user, 1.3)
+        .int_attr("score", 50, 1.2)
+        .build();
+
+    let post_link = TableBuilder::new("post_link", size_of("post_link", scale), &mut rng)
+        .pk("id")
+        .fk("question_from", n_q, 1.0)
+        .fk("question_to", n_q, 1.4)
+        .build();
+
+    let vote = TableBuilder::new("vote", size_of("vote", scale), &mut rng)
+        .pk("id")
+        .fk("question_id", n_q, 1.3)
+        .fk("user_id", n_user, 1.1)
+        .int_attr("vote_type", 10, 1.5)
+        .build();
+
+    let tables = vec![
+        site, so_user, question, answer, tag, tag_question, badge, comment, post_link, vote,
+    ];
+
+    let foreign_keys = vec![
+        fk("so_user", "site_id", "site", "id"),
+        fk("question", "site_id", "site", "id"),
+        fk("question", "owner_user_id", "so_user", "id"),
+        fk("answer", "site_id", "site", "id"),
+        fk("answer", "question_id", "question", "id"),
+        fk("answer", "owner_user_id", "so_user", "id"),
+        fk("tag", "site_id", "site", "id"),
+        fk("tag_question", "question_id", "question", "id"),
+        fk("tag_question", "tag_id", "tag", "id"),
+        fk("badge", "user_id", "so_user", "id"),
+        fk("comment", "question_id", "question", "id"),
+        fk("comment", "user_id", "so_user", "id"),
+        fk("post_link", "question_from", "question", "id"),
+        fk("post_link", "question_to", "question", "id"),
+        fk("vote", "question_id", "question", "id"),
+        fk("vote", "user_id", "so_user", "id"),
+    ];
+
+    let mut indexes = Vec::new();
+    for t in &tables {
+        indexes.push(IndexMeta::for_column(&t.name, "id", t.n_rows(), true));
+    }
+    for e in &foreign_keys {
+        let rows = tables.iter().find(|t| t.name == e.from_table).expect("fk table").n_rows();
+        indexes.push(IndexMeta::for_column(&e.from_table, &e.from_col, rows, false));
+    }
+
+    let catalog =
+        Catalog { tables: tables.iter().map(meta_of).collect(), foreign_keys, indexes };
+    Database::new("stack", catalog, tables)
+}
+
+fn fk(from_table: &str, from_col: &str, to_table: &str, to_col: &str) -> ForeignKey {
+    ForeignKey {
+        from_table: from_table.into(),
+        from_col: from_col.into(),
+        to_table: to_table.into(),
+        to_col: to_col.into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_shape() {
+        let db = generate(0.2, 11);
+        assert_eq!(db.catalog.num_tables(), 10);
+        assert_eq!(db.catalog.num_joins(), 16);
+    }
+
+    #[test]
+    fn fks_valid() {
+        let db = generate(0.1, 11);
+        for e in &db.catalog.foreign_keys {
+            let child = db.table(&e.from_table).unwrap();
+            let parent_rows = db.table(&e.to_table).unwrap().n_rows() as i64;
+            let col = child.col(&e.from_col);
+            for i in 0..child.n_rows() {
+                assert!((0..parent_rows).contains(&col.data.key(i)));
+            }
+        }
+    }
+
+    #[test]
+    fn self_referencing_question_links() {
+        let db = generate(0.2, 11);
+        // post_link has two independent FK edges into question.
+        let edges = db.catalog.joins_of("post_link");
+        assert_eq!(edges.len(), 2);
+    }
+
+    #[test]
+    fn larger_scale_means_more_rows() {
+        let small = generate(0.1, 1);
+        let big = generate(0.4, 1);
+        assert!(big.total_rows() > 2 * small.total_rows());
+    }
+}

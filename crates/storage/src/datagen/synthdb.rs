@@ -1,0 +1,176 @@
+//! Random-schema database generator.
+//!
+//! The Zero-Shot cost model (Hilprecht & Binnig) is pretrained on *many
+//! different databases* and then transferred. The paper trains it on the
+//! authors' 19 databases / 77 workloads; we substitute a family of seeded
+//! random schemas that exercise the same transfer code path.
+
+use super::{meta_of, TableBuilder};
+use crate::catalog::{Catalog, Database, ForeignKey, IndexMeta};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generate a random star/snowflake-ish schema with `n_tables` relations and
+/// a spanning tree of FK edges plus a few extra edges.
+pub fn generate(name: &str, n_tables: usize, base_rows: usize, seed: u64) -> Database {
+    assert!(n_tables >= 2, "need at least two tables");
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // Decide sizes first: a mix of large fact tables and small dimensions.
+    let sizes: Vec<usize> = (0..n_tables)
+        .map(|i| {
+            if i == 0 {
+                base_rows * 4 // central fact table
+            } else if rng.gen_bool(0.4) {
+                rng.gen_range(base_rows / 20..base_rows / 2).max(8)
+            } else {
+                rng.gen_range(base_rows / 2..base_rows * 2).max(8)
+            }
+        })
+        .collect();
+
+    // Spanning tree: table i (i>0) references some earlier table.
+    let mut parent_of: Vec<usize> = vec![0; n_tables];
+    for (i, p) in parent_of.iter_mut().enumerate().skip(1) {
+        *p = rng.gen_range(0..i);
+    }
+
+    // Pre-draw the per-table randomness so the builder can hold the RNG
+    // exclusively while generating data.
+    struct TableSpec {
+        fk_skew: f64,
+        attrs: Vec<(usize, f64)>,
+    }
+    let specs: Vec<TableSpec> = (0..n_tables)
+        .map(|_| TableSpec {
+            fk_skew: rng.gen_range(0.5..1.6),
+            attrs: (0..rng.gen_range(1..=3usize))
+                .map(|_| (rng.gen_range(4..400usize), rng.gen_range(0.0..1.8)))
+                .collect(),
+        })
+        .collect();
+
+    let mut tables = Vec::with_capacity(n_tables);
+    let mut foreign_keys = Vec::new();
+    for i in 0..n_tables {
+        let tname = format!("{name}_t{i}");
+        let spec = &specs[i];
+        let mut b = TableBuilder::new(&tname, sizes[i], &mut rng).pk("id");
+        if i > 0 {
+            let p = parent_of[i];
+            let col = format!("t{p}_id");
+            b = b.fk(&col, sizes[p], spec.fk_skew);
+            foreign_keys.push(ForeignKey {
+                from_table: tname.clone(),
+                from_col: col,
+                to_table: format!("{name}_t{p}"),
+                to_col: "id".into(),
+            });
+        }
+        for (a, &(distinct, skew)) in spec.attrs.iter().enumerate() {
+            b = b.int_attr(&format!("attr{a}"), distinct, skew);
+        }
+        tables.push(b.build());
+    }
+
+    // A couple of extra non-tree edges on larger schemas (cycles in the join
+    // graph, like movie_info/movie_info_idx both referencing info_type).
+    if n_tables >= 4 {
+        let extra = rng.gen_range(0..=(n_tables / 3));
+        for _ in 0..extra {
+            let from = rng.gen_range(1..n_tables);
+            let to = rng.gen_range(0..from);
+            let col = format!("x{to}_id");
+            if tables[from].col_idx(&col).is_some() {
+                continue;
+            }
+            let parent_rows = tables[to].n_rows();
+            // Rebuild the table with one extra FK column appended.
+            let mut t = tables[from].clone();
+            let z = crate::zipf::Zipf::new(parent_rows, rng.gen_range(0.3..1.4));
+            let data: Vec<i64> =
+                (0..t.n_rows()).map(|_| z.sample(&mut rng) as i64).collect();
+            t.columns.push(crate::table::Column {
+                name: col.clone(),
+                data: crate::table::ColumnData::Int(data),
+            });
+            foreign_keys.push(ForeignKey {
+                from_table: t.name.clone(),
+                from_col: col,
+                to_table: tables[to].name.clone(),
+                to_col: "id".into(),
+            });
+            tables[from] = t;
+        }
+    }
+
+    let mut indexes = Vec::new();
+    for t in &tables {
+        indexes.push(IndexMeta::for_column(&t.name, "id", t.n_rows(), true));
+    }
+    for e in &foreign_keys {
+        let rows = tables.iter().find(|t| t.name == e.from_table).expect("fk table").n_rows();
+        indexes.push(IndexMeta::for_column(&e.from_table, &e.from_col, rows, false));
+    }
+
+    let catalog =
+        Catalog { tables: tables.iter().map(meta_of).collect(), foreign_keys, indexes };
+    Database::new(name, catalog, tables)
+}
+
+/// The family of training databases used for Zero-Shot pretraining.
+pub fn training_family(count: usize, base_rows: usize, seed: u64) -> Vec<Database> {
+    (0..count)
+        .map(|i| {
+            let n_tables = 3 + (i % 5);
+            generate(&format!("zdb{i}"), n_tables, base_rows, seed.wrapping_add(i as u64 * 101))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_connected_join_graph() {
+        let db = generate("z", 6, 500, 3);
+        assert_eq!(db.catalog.num_tables(), 6);
+        // Spanning tree ⇒ at least n-1 edges.
+        assert!(db.catalog.num_joins() >= 5);
+        // Every non-root table has at least one incident edge.
+        for t in &db.catalog.tables {
+            assert!(!db.catalog.joins_of(&t.name).is_empty() || t.name.ends_with("t0"));
+        }
+    }
+
+    #[test]
+    fn fk_values_in_parent_range() {
+        let db = generate("z", 5, 300, 9);
+        for e in &db.catalog.foreign_keys {
+            let child = db.table(&e.from_table).unwrap();
+            let parent_rows = db.table(&e.to_table).unwrap().n_rows() as i64;
+            let col = child.col(&e.from_col);
+            for i in 0..child.n_rows() {
+                assert!((0..parent_rows).contains(&col.data.key(i)));
+            }
+        }
+    }
+
+    #[test]
+    fn family_members_differ() {
+        let family = training_family(4, 200, 1);
+        assert_eq!(family.len(), 4);
+        let names: Vec<_> = family.iter().map(|d| d.name.clone()).collect();
+        assert_eq!(names, vec!["zdb0", "zdb1", "zdb2", "zdb3"]);
+        assert_ne!(family[0].catalog.num_tables(), family[2].catalog.num_tables());
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = generate("z", 4, 200, 42);
+        let b = generate("z", 4, 200, 42);
+        assert_eq!(a.total_rows(), b.total_rows());
+        assert_eq!(a.catalog.num_joins(), b.catalog.num_joins());
+    }
+}

@@ -1,0 +1,260 @@
+//! ANALYZE-style statistics: equi-depth histograms, most-common values,
+//! distinct counts.
+//!
+//! These statistics power the PG-style cardinality estimator in
+//! `qpseeker-engine` — including its *systematic errors* on correlated,
+//! many-join queries, which are exactly what the paper's evaluation exposes.
+
+use crate::table::Table;
+use serde::{Deserialize, Serialize};
+
+/// Number of histogram buckets (PostgreSQL's default statistics target is
+/// 100; we use the same).
+pub const HISTOGRAM_BUCKETS: usize = 100;
+/// Number of most-common values tracked per column.
+pub const NUM_MCVS: usize = 10;
+/// Simulated page size in bytes (PostgreSQL block size).
+pub const BLOCK_SIZE: usize = 8192;
+
+/// Equi-depth histogram over the numeric projection of a column.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Histogram {
+    /// `buckets + 1` ascending bound values; bucket `i` covers
+    /// `[bounds[i], bounds[i+1])` and holds ~`1/buckets` of the rows.
+    pub bounds: Vec<f64>,
+}
+
+impl Histogram {
+    /// Build from raw values (sorted copy internally).
+    pub fn build(values: &[f64], buckets: usize) -> Self {
+        assert!(buckets > 0, "histogram needs at least one bucket");
+        if values.is_empty() {
+            return Self { bounds: vec![0.0, 0.0] };
+        }
+        let mut sorted = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite stats values"));
+        let n = sorted.len();
+        let b = buckets.min(n).max(1);
+        let mut bounds = Vec::with_capacity(b + 1);
+        for i in 0..=b {
+            let idx = (i * (n - 1)) / b;
+            bounds.push(sorted[idx]);
+        }
+        Self { bounds }
+    }
+
+    pub fn num_buckets(&self) -> usize {
+        self.bounds.len() - 1
+    }
+
+    pub fn min(&self) -> f64 {
+        self.bounds[0]
+    }
+
+    pub fn max(&self) -> f64 {
+        *self.bounds.last().expect("histogram has bounds")
+    }
+
+    /// Estimated selectivity of `col < v` assuming equi-depth buckets with
+    /// linear interpolation inside a bucket (PostgreSQL's ineq_histogram
+    /// approach).
+    pub fn selectivity_lt(&self, v: f64) -> f64 {
+        let b = self.num_buckets() as f64;
+        if v <= self.min() {
+            return 0.0;
+        }
+        if v >= self.max() {
+            return 1.0;
+        }
+        for i in 0..self.num_buckets() {
+            let (lo, hi) = (self.bounds[i], self.bounds[i + 1]);
+            if v < hi || (v <= hi && i == self.num_buckets() - 1) {
+                let frac = if hi > lo { (v - lo) / (hi - lo) } else { 0.5 };
+                return ((i as f64) + frac.clamp(0.0, 1.0)) / b;
+            }
+        }
+        1.0
+    }
+
+    /// Estimated selectivity of `lo <= col <= hi`.
+    pub fn selectivity_range(&self, lo: f64, hi: f64) -> f64 {
+        (self.selectivity_lt(hi) - self.selectivity_lt(lo)).max(0.0)
+    }
+}
+
+/// Per-column statistics.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ColumnStats {
+    pub name: String,
+    pub n_distinct: usize,
+    pub null_frac: f64,
+    pub histogram: Histogram,
+    /// Most common values with their frequency fractions, descending.
+    pub mcvs: Vec<(f64, f64)>,
+}
+
+impl ColumnStats {
+    /// Selectivity of an equality predicate `col = v`.
+    pub fn selectivity_eq(&self, v: f64) -> f64 {
+        for &(mv, freq) in &self.mcvs {
+            if (mv - v).abs() < f64::EPSILON {
+                return freq;
+            }
+        }
+        // Residual mass spread uniformly over non-MCV distinct values.
+        let mcv_mass: f64 = self.mcvs.iter().map(|&(_, f)| f).sum();
+        let residual_distinct = self.n_distinct.saturating_sub(self.mcvs.len()).max(1);
+        ((1.0 - mcv_mass) / residual_distinct as f64).max(1e-9)
+    }
+}
+
+/// Per-table statistics.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TableStats {
+    pub table: String,
+    pub n_rows: usize,
+    pub n_blocks: usize,
+    pub columns: Vec<ColumnStats>,
+}
+
+impl TableStats {
+    /// Compute statistics for a table (the ANALYZE command).
+    pub fn analyze(table: &Table) -> Self {
+        let n_rows = table.n_rows();
+        let n_blocks = ((n_rows * table.row_width()) / BLOCK_SIZE).max(1);
+        let columns = table
+            .columns
+            .iter()
+            .map(|c| {
+                let values: Vec<f64> = (0..n_rows).map(|i| c.data.num(i)).collect();
+                let mut sorted = values.clone();
+                sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+                let n_distinct = count_distinct_sorted(&sorted);
+                let mcvs = most_common(&sorted, NUM_MCVS, n_rows);
+                ColumnStats {
+                    name: c.name.clone(),
+                    n_distinct,
+                    null_frac: 0.0,
+                    histogram: Histogram::build(&values, HISTOGRAM_BUCKETS),
+                    mcvs,
+                }
+            })
+            .collect();
+        Self { table: table.name.clone(), n_rows, n_blocks, columns }
+    }
+
+    pub fn col(&self, name: &str) -> Option<&ColumnStats> {
+        self.columns.iter().find(|c| c.name == name)
+    }
+}
+
+fn count_distinct_sorted(sorted: &[f64]) -> usize {
+    if sorted.is_empty() {
+        return 0;
+    }
+    1 + sorted.windows(2).filter(|w| w[0] != w[1]).count()
+}
+
+fn most_common(sorted: &[f64], k: usize, n_rows: usize) -> Vec<(f64, f64)> {
+    if sorted.is_empty() {
+        return Vec::new();
+    }
+    let mut runs: Vec<(f64, usize)> = Vec::new();
+    let mut current = sorted[0];
+    let mut count = 1usize;
+    for &v in &sorted[1..] {
+        if v == current {
+            count += 1;
+        } else {
+            runs.push((current, count));
+            current = v;
+            count = 1;
+        }
+    }
+    runs.push((current, count));
+    runs.sort_by(|a, b| b.1.cmp(&a.1));
+    runs.truncate(k);
+    // Only keep values that are genuinely common (>1 occurrence), as PG does.
+    runs.retain(|&(_, c)| c > 1);
+    runs.into_iter().map(|(v, c)| (v, c as f64 / n_rows as f64)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::{Column, ColumnData};
+
+    fn int_table(values: Vec<i64>) -> Table {
+        Table::new("t", vec![Column { name: "x".into(), data: ColumnData::Int(values) }])
+    }
+
+    #[test]
+    fn histogram_bounds_are_sorted_and_cover_range() {
+        let values: Vec<f64> = (0..1000).map(|i| (i % 97) as f64).collect();
+        let h = Histogram::build(&values, 10);
+        assert_eq!(h.num_buckets(), 10);
+        assert!(h.bounds.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(h.min(), 0.0);
+        assert_eq!(h.max(), 96.0);
+    }
+
+    #[test]
+    fn histogram_selectivity_uniform_data() {
+        let values: Vec<f64> = (0..10_000).map(|i| i as f64).collect();
+        let h = Histogram::build(&values, 100);
+        assert!((h.selectivity_lt(5000.0) - 0.5).abs() < 0.02);
+        assert!((h.selectivity_range(2500.0, 7500.0) - 0.5).abs() < 0.03);
+        assert_eq!(h.selectivity_lt(-1.0), 0.0);
+        assert_eq!(h.selectivity_lt(1e9), 1.0);
+    }
+
+    #[test]
+    fn histogram_selectivity_skewed_data() {
+        // 90% zeros, 10% spread: equi-depth must place most bounds at 0.
+        let mut values = vec![0.0; 9000];
+        values.extend((0..1000).map(|i| (i + 1) as f64));
+        let h = Histogram::build(&values, 100);
+        let s = h.selectivity_lt(0.5);
+        assert!(s > 0.85, "selectivity below 0.5 should be ~0.9, got {s}");
+    }
+
+    #[test]
+    fn histogram_empty_and_single() {
+        let h = Histogram::build(&[], 10);
+        assert_eq!(h.selectivity_lt(1.0), 1.0);
+        let h1 = Histogram::build(&[5.0], 10);
+        assert_eq!(h1.min(), 5.0);
+        assert_eq!(h1.max(), 5.0);
+    }
+
+    #[test]
+    fn analyze_counts_distinct_and_mcvs() {
+        let t = int_table(vec![1, 1, 1, 1, 2, 2, 3, 4, 5, 6]);
+        let s = TableStats::analyze(&t);
+        assert_eq!(s.n_rows, 10);
+        let c = s.col("x").unwrap();
+        assert_eq!(c.n_distinct, 6);
+        assert_eq!(c.mcvs[0], (1.0, 0.4));
+        assert_eq!(c.mcvs[1], (2.0, 0.2));
+        // singletons are not MCVs
+        assert_eq!(c.mcvs.len(), 2);
+    }
+
+    #[test]
+    fn equality_selectivity_uses_mcv_then_residual() {
+        let t = int_table(vec![1, 1, 1, 1, 2, 2, 3, 4, 5, 6]);
+        let s = TableStats::analyze(&t);
+        let c = s.col("x").unwrap();
+        assert!((c.selectivity_eq(1.0) - 0.4).abs() < 1e-9);
+        // residual: (1 - 0.6) / (6 - 2) = 0.1
+        assert!((c.selectivity_eq(5.0) - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn block_count_scales_with_rows() {
+        let small = TableStats::analyze(&int_table((0..10).collect()));
+        let large = TableStats::analyze(&int_table((0..100_000).collect()));
+        assert!(large.n_blocks > small.n_blocks);
+        assert_eq!(large.n_blocks, 100_000 * 8 / BLOCK_SIZE);
+    }
+}

@@ -1,0 +1,289 @@
+//! In-memory column-store tables.
+//!
+//! Tables are append-only columnar vectors. Text columns are
+//! dictionary-encoded (`u32` codes into a per-column dictionary) so that the
+//! executor can join and filter on fixed-width integers, and so the TaBERT
+//! substitute can cheaply read back cell values.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Logical column datatypes (the paper's TaBERT triplets carry a datatype tag).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DataType {
+    Int,
+    Float,
+    Text,
+}
+
+/// A single cell value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Int(i64),
+    Float(f64),
+    Text(String),
+}
+
+impl Value {
+    /// Numeric projection used by histograms and comparison predicates.
+    /// Text values project to their dictionary code at read time, so this is
+    /// only meaningful for `Int`/`Float` here.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(v) => Some(*v as f64),
+            Value::Float(v) => Some(*v),
+            Value::Text(_) => None,
+        }
+    }
+}
+
+/// Column payload.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum ColumnData {
+    Int(Vec<i64>),
+    Float(Vec<f64>),
+    /// Dictionary-encoded text: `codes[i]` indexes into `dict`.
+    Text { codes: Vec<u32>, dict: Vec<String> },
+}
+
+impl ColumnData {
+    pub fn len(&self) -> usize {
+        match self {
+            ColumnData::Int(v) => v.len(),
+            ColumnData::Float(v) => v.len(),
+            ColumnData::Text { codes, .. } => codes.len(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn dtype(&self) -> DataType {
+        match self {
+            ColumnData::Int(_) => DataType::Int,
+            ColumnData::Float(_) => DataType::Float,
+            ColumnData::Text { .. } => DataType::Text,
+        }
+    }
+
+    /// Numeric projection of row `i` (text projects to its dictionary code,
+    /// which is what the executor compares on).
+    #[inline]
+    pub fn num(&self, i: usize) -> f64 {
+        match self {
+            ColumnData::Int(v) => v[i] as f64,
+            ColumnData::Float(v) => v[i],
+            ColumnData::Text { codes, .. } => codes[i] as f64,
+        }
+    }
+
+    /// Integer key projection of row `i` (floats are truncated; joins in the
+    /// benchmarks are only ever over integer keys or dictionary codes).
+    #[inline]
+    pub fn key(&self, i: usize) -> i64 {
+        match self {
+            ColumnData::Int(v) => v[i],
+            ColumnData::Float(v) => v[i] as i64,
+            ColumnData::Text { codes, .. } => codes[i] as i64,
+        }
+    }
+
+    /// Materialize row `i` as a [`Value`].
+    pub fn value(&self, i: usize) -> Value {
+        match self {
+            ColumnData::Int(v) => Value::Int(v[i]),
+            ColumnData::Float(v) => Value::Float(v[i]),
+            ColumnData::Text { codes, dict } => Value::Text(dict[codes[i] as usize].clone()),
+        }
+    }
+}
+
+/// Named column.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Column {
+    pub name: String,
+    pub data: ColumnData,
+}
+
+/// Helper to build dictionary-encoded text columns.
+#[derive(Debug, Default)]
+pub struct TextBuilder {
+    codes: Vec<u32>,
+    dict: Vec<String>,
+    lookup: HashMap<String, u32>,
+}
+
+impl TextBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn push(&mut self, s: &str) {
+        let code = match self.lookup.get(s) {
+            Some(&c) => c,
+            None => {
+                let c = self.dict.len() as u32;
+                self.dict.push(s.to_string());
+                self.lookup.insert(s.to_string(), c);
+                c
+            }
+        };
+        self.codes.push(code);
+    }
+
+    pub fn finish(self) -> ColumnData {
+        ColumnData::Text { codes: self.codes, dict: self.dict }
+    }
+}
+
+/// An in-memory table.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table {
+    pub name: String,
+    pub columns: Vec<Column>,
+}
+
+impl Table {
+    pub fn new(name: impl Into<String>, columns: Vec<Column>) -> Self {
+        let t = Self { name: name.into(), columns };
+        let n = t.n_rows();
+        for c in &t.columns {
+            assert_eq!(c.data.len(), n, "column {} has inconsistent length", c.name);
+        }
+        t
+    }
+
+    pub fn n_rows(&self) -> usize {
+        self.columns.first().map(|c| c.data.len()).unwrap_or(0)
+    }
+
+    pub fn n_cols(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Find a column index by name.
+    pub fn col_idx(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name == name)
+    }
+
+    /// Borrow a column by name.
+    ///
+    /// # Panics
+    /// Panics if the column is missing (schema bugs should fail loudly).
+    pub fn col(&self, name: &str) -> &Column {
+        self.columns
+            .iter()
+            .find(|c| c.name == name)
+            .unwrap_or_else(|| panic!("table {} has no column {name}", self.name))
+    }
+
+    /// Estimated on-disk width of one row in bytes (8 per numeric column,
+    /// average string length for text). Drives the block-count statistics.
+    pub fn row_width(&self) -> usize {
+        self.columns
+            .iter()
+            .map(|c| match &c.data {
+                ColumnData::Int(_) | ColumnData::Float(_) => 8,
+                ColumnData::Text { codes, dict } => {
+                    if codes.is_empty() {
+                        8
+                    } else {
+                        let total: usize = codes.iter().map(|&c| dict[c as usize].len()).sum();
+                        (total / codes.len()).max(1) + 4
+                    }
+                }
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_table() -> Table {
+        let mut tb = TextBuilder::new();
+        for s in ["ab", "cd", "ab"] {
+            tb.push(s);
+        }
+        Table::new(
+            "t",
+            vec![
+                Column { name: "id".into(), data: ColumnData::Int(vec![1, 2, 3]) },
+                Column { name: "score".into(), data: ColumnData::Float(vec![0.5, 1.5, 2.5]) },
+                Column { name: "tag".into(), data: tb.finish() },
+            ],
+        )
+    }
+
+    #[test]
+    fn dimensions() {
+        let t = sample_table();
+        assert_eq!(t.n_rows(), 3);
+        assert_eq!(t.n_cols(), 3);
+    }
+
+    #[test]
+    fn column_lookup() {
+        let t = sample_table();
+        assert_eq!(t.col_idx("score"), Some(1));
+        assert_eq!(t.col_idx("missing"), None);
+        assert_eq!(t.col("id").data.dtype(), DataType::Int);
+    }
+
+    #[test]
+    #[should_panic(expected = "no column")]
+    fn missing_column_panics() {
+        sample_table().col("nope");
+    }
+
+    #[test]
+    fn dictionary_encoding_dedups() {
+        let t = sample_table();
+        match &t.col("tag").data {
+            ColumnData::Text { codes, dict } => {
+                assert_eq!(dict.len(), 2);
+                assert_eq!(codes, &[0, 1, 0]);
+            }
+            _ => panic!("expected text column"),
+        }
+    }
+
+    #[test]
+    fn numeric_projection() {
+        let t = sample_table();
+        assert_eq!(t.col("id").data.num(2), 3.0);
+        assert_eq!(t.col("score").data.num(1), 1.5);
+        assert_eq!(t.col("tag").data.num(2), 0.0); // dict code of "ab"
+        assert_eq!(t.col("tag").data.key(1), 1);
+    }
+
+    #[test]
+    fn value_materialization() {
+        let t = sample_table();
+        assert_eq!(t.col("tag").data.value(1), Value::Text("cd".into()));
+        assert_eq!(t.col("id").data.value(0), Value::Int(1));
+        assert_eq!(Value::Int(7).as_f64(), Some(7.0));
+        assert_eq!(Value::Text("x".into()).as_f64(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "inconsistent length")]
+    fn ragged_columns_rejected() {
+        Table::new(
+            "bad",
+            vec![
+                Column { name: "a".into(), data: ColumnData::Int(vec![1]) },
+                Column { name: "b".into(), data: ColumnData::Int(vec![1, 2]) },
+            ],
+        );
+    }
+
+    #[test]
+    fn row_width_reasonable() {
+        let t = sample_table();
+        // 8 (int) + 8 (float) + ~2+4 (avg text + code)
+        assert!(t.row_width() >= 18 && t.row_width() <= 24, "width {}", t.row_width());
+    }
+}

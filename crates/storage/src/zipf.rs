@@ -1,0 +1,110 @@
+//! Zipf-distributed sampling (implemented in-repo to keep the dependency
+//! surface to `rand` core).
+//!
+//! Real IMDb/Stack attributes are heavily skewed; the synthetic generators
+//! use Zipf draws for foreign keys and categorical attributes so that join
+//! fan-outs and filter selectivities have realistic long tails.
+
+use rand::Rng;
+
+/// A Zipf(n, s) sampler over `{0, 1, ..., n-1}` via a precomputed CDF and
+/// binary search. Rank 0 is the most frequent value.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// # Panics
+    /// Panics when `n == 0` or `s < 0`.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf needs a non-empty support");
+        assert!(s >= 0.0, "Zipf exponent must be non-negative");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Self { cdf }
+    }
+
+    pub fn support(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Draw a rank in `[0, n)`.
+    pub fn sample(&self, rng: &mut impl Rng) -> usize {
+        let u: f64 = rng.gen();
+        match self.cdf.binary_search_by(|p| p.partial_cmp(&u).expect("finite cdf")) {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+
+    /// The probability mass of rank `k`.
+    pub fn pmf(&self, k: usize) -> f64 {
+        if k == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[k] - self.cdf[k - 1]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_when_s_zero() {
+        let z = Zipf::new(4, 0.0);
+        for k in 0..4 {
+            assert!((z.pmf(k) - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn skew_increases_with_s() {
+        let z1 = Zipf::new(100, 0.5);
+        let z2 = Zipf::new(100, 1.5);
+        assert!(z2.pmf(0) > z1.pmf(0));
+        assert!(z2.pmf(99) < z1.pmf(99));
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let z = Zipf::new(50, 1.1);
+        let total: f64 = (0..50).map(|k| z.pmf(k)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn samples_in_range_and_skewed() {
+        let z = Zipf::new(10, 1.2);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut counts = [0usize; 10];
+        for _ in 0..20_000 {
+            let k = z.sample(&mut rng);
+            assert!(k < 10);
+            counts[k] += 1;
+        }
+        assert!(counts[0] > counts[5]);
+        assert!(counts[0] > counts[9]);
+        // Empirical head frequency matches pmf within 15%.
+        let emp = counts[0] as f64 / 20_000.0;
+        assert!((emp - z.pmf(0)).abs() / z.pmf(0) < 0.15);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_support_rejected() {
+        Zipf::new(0, 1.0);
+    }
+}

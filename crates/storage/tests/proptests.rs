@@ -1,0 +1,116 @@
+//! Property tests for the storage substrate: histograms, Zipf sampling,
+//! statistics, and generator invariants.
+
+use proptest::prelude::*;
+use qpseeker_storage::zipf::Zipf;
+use qpseeker_storage::{Column, ColumnData, Histogram, Table, TableStats};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Histogram selectivity is a valid CDF: monotone, clamped to [0, 1],
+    /// 0 below the min and 1 above the max — on arbitrary data.
+    #[test]
+    fn histogram_is_a_cdf(
+        mut values in proptest::collection::vec(-1e6f64..1e6, 1..500),
+        probes in proptest::collection::vec(-2e6f64..2e6, 10),
+        buckets in 1usize..60,
+    ) {
+        values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let h = Histogram::build(&values, buckets);
+        let mut sorted_probes = probes.clone();
+        sorted_probes.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut last = 0.0f64;
+        for &p in &sorted_probes {
+            let s = h.selectivity_lt(p);
+            prop_assert!((0.0..=1.0).contains(&s), "selectivity {} out of range", s);
+            prop_assert!(s + 1e-9 >= last, "CDF must be monotone: {} after {}", s, last);
+            last = s;
+        }
+        prop_assert_eq!(h.selectivity_lt(values[0] - 1.0), 0.0);
+        prop_assert_eq!(h.selectivity_lt(values[values.len() - 1] + 1.0), 1.0);
+    }
+
+    /// Histogram selectivity approximates the true empirical CDF within a
+    /// bucket's resolution on arbitrary data.
+    #[test]
+    fn histogram_accuracy_bounded_by_bucket_width(
+        values in proptest::collection::vec(0.0f64..1000.0, 200..400),
+        probe in 0.0f64..1000.0,
+    ) {
+        let h = Histogram::build(&values, 50);
+        let est = h.selectivity_lt(probe);
+        let truth = values.iter().filter(|&&v| v < probe).count() as f64 / values.len() as f64;
+        // Equi-depth bucket resolution is 1/50; allow 3 buckets of slack
+        // (ties + interpolation).
+        prop_assert!((est - truth).abs() <= 3.0 / 50.0 + 0.02,
+            "est {} vs truth {}", est, truth);
+    }
+
+    /// Zipf pmf sums to one and is non-increasing in rank for any (n, s).
+    #[test]
+    fn zipf_pmf_valid(n in 1usize..300, s in 0.0f64..2.5) {
+        let z = Zipf::new(n, s);
+        let total: f64 = (0..n).map(|k| z.pmf(k)).sum();
+        prop_assert!((total - 1.0).abs() < 1e-6);
+        for k in 1..n {
+            prop_assert!(z.pmf(k) <= z.pmf(k - 1) + 1e-12);
+        }
+    }
+
+    /// Zipf samples always fall inside the support.
+    #[test]
+    fn zipf_samples_in_support(n in 1usize..100, s in 0.0f64..2.0, seed in 0u64..1000) {
+        let z = Zipf::new(n, s);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..200 {
+            prop_assert!(z.sample(&mut rng) < n);
+        }
+    }
+
+    /// ANALYZE invariants: distinct counts bounded by row count, MCV
+    /// frequencies in (0, 1] and descending, histogram covers min..max.
+    #[test]
+    fn analyze_invariants(values in proptest::collection::vec(-50i64..50, 1..300)) {
+        let t = Table::new(
+            "t",
+            vec![Column { name: "x".into(), data: ColumnData::Int(values.clone()) }],
+        );
+        let stats = TableStats::analyze(&t);
+        let c = stats.col("x").unwrap();
+        prop_assert!(c.n_distinct >= 1 && c.n_distinct <= values.len());
+        let mut last = f64::INFINITY;
+        for &(_, f) in &c.mcvs {
+            prop_assert!(f > 0.0 && f <= 1.0);
+            prop_assert!(f <= last + 1e-12, "MCVs must be sorted by frequency");
+            last = f;
+        }
+        let min = *values.iter().min().unwrap() as f64;
+        let max = *values.iter().max().unwrap() as f64;
+        prop_assert_eq!(c.histogram.min(), min);
+        prop_assert_eq!(c.histogram.max(), max);
+        // Equality selectivities over all distinct values sum to ~1.
+        let mut distinct: Vec<i64> = values.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        let total: f64 = distinct.iter().map(|&v| c.selectivity_eq(v as f64)).sum();
+        prop_assert!(total > 0.2 && total < 2.0, "eq selectivity mass {}", total);
+    }
+
+    /// Synthetic database generators produce valid FK references for any
+    /// scale/seed combination.
+    #[test]
+    fn synthdb_fk_integrity(n_tables in 2usize..6, seed in 0u64..200) {
+        let db = qpseeker_storage::datagen::synthdb::generate("p", n_tables, 100, seed);
+        for e in &db.catalog.foreign_keys {
+            let child = db.table(&e.from_table).unwrap();
+            let parent_rows = db.table(&e.to_table).unwrap().n_rows() as i64;
+            let col = child.col(&e.from_col);
+            for i in 0..child.n_rows() {
+                prop_assert!((0..parent_rows).contains(&col.data.key(i)));
+            }
+        }
+    }
+}

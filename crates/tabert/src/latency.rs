@@ -1,0 +1,77 @@
+//! Simulated TaBERT inference latency.
+//!
+//! Fig. 8 (right) of the paper reports the average time spent inside TaBERT
+//! for K ∈ {1, 3} and Base/Large instances: accuracy is flat across
+//! configurations but latency grows sharply with K (row-wise vertical
+//! attention is quadratic-ish in rows) and with model size (Large has 3×
+//! the parameters). This model reproduces those ratios.
+
+use crate::{ModelSize, TabertConfig};
+
+/// Latency model calibrated to the paper's reported shape.
+#[derive(Debug, Clone)]
+pub struct LatencyModel {
+    /// ms per transformer pass over one column's triplets (Base).
+    base_column_ms: f64,
+    k: usize,
+    size_mult: f64,
+}
+
+impl LatencyModel {
+    pub fn new(config: &TabertConfig) -> Self {
+        let size_mult = match config.size {
+            ModelSize::Base => 1.0,
+            // "the large instance has 3x more parameters than base"
+            ModelSize::Large => 3.0,
+        };
+        Self { base_column_ms: 1.6, k: config.k.max(1), size_mult }
+    }
+
+    /// Simulated time to encode one column.
+    pub fn encode_column_ms(&self) -> f64 {
+        // One BERT pass per snapshot row, plus vertical attention across the
+        // K row encodings (quadratic in K).
+        let passes = self.k as f64;
+        let vertical = if self.k > 1 { 0.8 * (self.k * self.k) as f64 } else { 0.0 };
+        (self.base_column_ms * passes + vertical) * self.size_mult
+    }
+
+    /// Simulated time to encode a table with `n_cols` columns.
+    pub fn encode_table_ms(&self, n_cols: usize) -> f64 {
+        self.encode_column_ms() * n_cols as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(k: usize, size: ModelSize) -> TabertConfig {
+        TabertConfig { k, size, seed: 0 }
+    }
+
+    #[test]
+    fn latency_grows_with_k() {
+        let k1 = LatencyModel::new(&cfg(1, ModelSize::Base));
+        let k2 = LatencyModel::new(&cfg(2, ModelSize::Base));
+        let k3 = LatencyModel::new(&cfg(3, ModelSize::Base));
+        assert!(k2.encode_column_ms() > k1.encode_column_ms());
+        assert!(k3.encode_column_ms() > k2.encode_column_ms());
+        // K=3 is much more than 3x K=1 (vertical attention dominates).
+        assert!(k3.encode_column_ms() > 3.0 * k1.encode_column_ms());
+    }
+
+    #[test]
+    fn large_is_three_times_base() {
+        let base = LatencyModel::new(&cfg(1, ModelSize::Base));
+        let large = LatencyModel::new(&cfg(1, ModelSize::Large));
+        let ratio = large.encode_column_ms() / base.encode_column_ms();
+        assert!((ratio - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table_latency_scales_with_columns() {
+        let m = LatencyModel::new(&cfg(1, ModelSize::Base));
+        assert!((m.encode_table_ms(10) - 10.0 * m.encode_column_ms()).abs() < 1e-9);
+    }
+}

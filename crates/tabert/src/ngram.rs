@@ -1,0 +1,81 @@
+//! Character n-gram overlap, used to pick the content-snapshot rows
+//! (TaBERT selects the top-K rows with the biggest n-gram overlap with the
+//! query).
+
+use std::collections::HashSet;
+
+/// Character trigram set of a string (lowercased, whitespace-normalized).
+pub fn trigrams(s: &str) -> HashSet<[u8; 3]> {
+    let norm: Vec<u8> = s
+        .bytes()
+        .map(|b| if b.is_ascii_uppercase() { b + 32 } else { b })
+        .filter(|b| !b.is_ascii_whitespace() || true)
+        .collect();
+    let mut out = HashSet::new();
+    if norm.len() >= 3 {
+        for w in norm.windows(3) {
+            out.insert([w[0], w[1], w[2]]);
+        }
+    } else if !norm.is_empty() {
+        let mut g = [b' '; 3];
+        for (i, &b) in norm.iter().enumerate() {
+            g[i] = b;
+        }
+        out.insert(g);
+    }
+    out
+}
+
+/// Jaccard overlap between two trigram sets.
+pub fn jaccard(a: &HashSet<[u8; 3]>, b: &HashSet<[u8; 3]>) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 0.0;
+    }
+    let inter = a.intersection(b).count();
+    let union = a.len() + b.len() - inter;
+    inter as f64 / union.max(1) as f64
+}
+
+/// Overlap score of `text` against a prepared query trigram set.
+pub fn overlap_score(query_grams: &HashSet<[u8; 3]>, text: &str) -> f64 {
+    jaccard(query_grams, &trigrams(text))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_strings_have_full_overlap() {
+        let a = trigrams("movie title here");
+        assert!((jaccard(&a, &a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disjoint_strings_have_zero_overlap() {
+        let a = trigrams("aaaa");
+        let b = trigrams("zzzz");
+        assert_eq!(jaccard(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn partial_overlap_ordered_correctly() {
+        let q = trigrams("select title production year 1995");
+        let close = overlap_score(&q, "production year 1995");
+        let far = overlap_score(&q, "company country code");
+        assert!(close > far);
+    }
+
+    #[test]
+    fn case_insensitive() {
+        let a = trigrams("Title");
+        let b = trigrams("title");
+        assert!((jaccard(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn short_strings_still_produce_a_gram() {
+        assert_eq!(trigrams("ab").len(), 1);
+        assert!(trigrams("").is_empty());
+    }
+}

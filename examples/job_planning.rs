@@ -1,0 +1,68 @@
+//! JOB-style multi-join planning: sample QEPs from the plan space of JOB
+//! queries (§5.1 of the paper), train the cost model on them, and compare
+//! the plans QPSeeker produces against the PostgreSQL-style optimizer on
+//! held-out queries.
+//!
+//! ```sh
+//! cargo run --release --example job_planning
+//! ```
+
+use qpseeker_repro::core::prelude::*;
+use qpseeker_repro::engine::prelude::*;
+use qpseeker_repro::workloads::{job, JobConfig, Qep};
+
+fn main() {
+    let db = qpseeker_repro::storage::datagen::imdb::generate(0.15, 11);
+    let cfg = JobConfig { n_queries: 40, n_templates: 12, target_qeps: 500, ..Default::default() };
+
+    println!("sampling the plan space of {} JOB-style queries...", cfg.n_queries);
+    let workload = job::generate(&db, &cfg);
+    println!(
+        "JOB workload: {} queries -> {} QEPs (top-15% by the paper's user cost model)",
+        workload.num_queries(),
+        workload.num_qeps()
+    );
+
+    // Query-level split: evaluation queries are never seen in training.
+    let (train, eval) = workload.split(0.8, true);
+    let mut model = QPSeeker::new(&db, ModelConfig::small());
+    model.fit(&train);
+
+    // Collect the distinct evaluation queries.
+    let mut seen = std::collections::HashSet::new();
+    let eval_queries: Vec<&Qep> =
+        eval.into_iter().filter(|q| seen.insert(q.query.id.clone())).collect();
+
+    let ex = Executor::new(&db);
+    let pg = PgOptimizer::new(&db);
+    let planner = MctsPlanner::new(MctsConfig::default());
+
+    println!("\n{:<12} {:>6} {:>14} {:>14} {:>8}", "query", "joins", "QPSeeker (ms)", "Postgres (ms)", "winner");
+    let (mut qp_total, mut pg_total) = (0.0, 0.0);
+    for qep in &eval_queries {
+        let res = planner.plan(&mut model, &qep.query);
+        let qp_ms = ex.execute(&res.plan).time_ms;
+        let pg_ms = ex.execute(&pg.plan(&qep.query)).time_ms;
+        qp_total += qp_ms;
+        pg_total += pg_ms;
+        let winner = if qp_ms < pg_ms * 0.95 {
+            "QPSeeker"
+        } else if pg_ms < qp_ms * 0.95 {
+            "Postgres"
+        } else {
+            "tie"
+        };
+        println!(
+            "{:<12} {:>6} {:>14.2} {:>14.2} {:>8}",
+            qep.query.id,
+            qep.query.num_joins(),
+            qp_ms,
+            pg_ms,
+            winner
+        );
+    }
+    println!(
+        "\ntotals: QPSeeker {qp_total:.1} ms vs PostgreSQL {pg_total:.1} ms over {} held-out queries",
+        eval_queries.len()
+    );
+}

@@ -1,0 +1,53 @@
+//! Latent-space exploration (paper Fig. 5): train the cost modeler on
+//! sampled JOB QEPs, project the 32-d latent means of the evaluation QEPs
+//! to 2-d with t-SNE, and print a CSV (x, y, template) plus a silhouette
+//! score quantifying per-template clustering.
+//!
+//! ```sh
+//! cargo run --release --example latent_space > latent.csv
+//! ```
+
+use qpseeker_repro::core::prelude::*;
+use qpseeker_repro::workloads::{job, JobConfig};
+use std::collections::HashMap;
+
+fn main() {
+    let db = qpseeker_repro::storage::datagen::imdb::generate(0.1, 31);
+    let workload = job::generate(
+        &db,
+        &JobConfig { n_queries: 30, n_templates: 8, target_qeps: 400, ..Default::default() },
+    );
+    eprintln!("JOB workload: {} QEPs from {} queries", workload.num_qeps(), workload.num_queries());
+
+    let (train, _) = workload.split(0.8, true);
+    let mut model = QPSeeker::new(&db, ModelConfig::small());
+    model.fit(&train);
+
+    // Latents of up to 250 QEPs.
+    let cap = 250.min(workload.qeps.len());
+    let stride = (workload.qeps.len() / cap).max(1);
+    let mut latents = Vec::new();
+    let mut labels = Vec::new();
+    let mut label_ids: HashMap<String, usize> = HashMap::new();
+    let mut templates = Vec::new();
+    for qep in workload.qeps.iter().step_by(stride).take(cap) {
+        latents.push(model.latent_mu(&qep.query, &qep.plan));
+        let next = label_ids.len();
+        labels.push(*label_ids.entry(qep.template.clone()).or_insert(next));
+        templates.push(qep.template.clone());
+    }
+
+    let coords = tsne(&latents, &TsneConfig::default());
+    println!("x,y,template");
+    for (c, t) in coords.iter().zip(&templates) {
+        println!("{:.4},{:.4},{}", c[0], c[1], t);
+    }
+    let sil = silhouette(&latents, &labels);
+    eprintln!(
+        "silhouette by template over {} QEPs / {} templates: {:.3} \
+         (positive = same-template QEPs cluster, as in the paper's Fig. 5)",
+        latents.len(),
+        label_ids.len(),
+        sil
+    );
+}

@@ -1,0 +1,91 @@
+//! Quickstart: generate a small IMDb-shaped database, train QPSeeker on a
+//! small sampled workload (paper §5.1), and let it plan a 3-way join with
+//! MCTS.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use qpseeker_repro::core::prelude::*;
+use qpseeker_repro::engine::prelude::*;
+use qpseeker_repro::workloads::{job, JobConfig, Qep};
+
+fn main() {
+    // 1. A seeded, IMDb-shaped synthetic database (16 relations).
+    let db = qpseeker_repro::storage::datagen::imdb::generate(0.1, 42);
+    println!(
+        "database: {} tables / {} rows total / {} FK edges",
+        db.catalog.num_tables(),
+        db.total_rows(),
+        db.catalog.num_joins()
+    );
+
+    // 2. A small training workload: for each query, *sample* plans from its
+    //    plan space (paper §5.1) and execute them for ground truth. Sampling
+    //    the space — rather than trusting one optimizer plan per query — is
+    //    what teaches the cost model the difference between good and
+    //    catastrophic plans.
+    let workload = job::generate(
+        &db,
+        &JobConfig {
+            n_queries: 24,
+            n_templates: 8,
+            target_qeps: 400,
+            keep_fraction: 1.0, // uniform plan-space coverage
+            ..Default::default()
+        },
+    );
+    println!("workload: {} QEPs sampled from {} queries", workload.num_qeps(), workload.num_queries());
+
+    // 3. Train the neural planner (tiny config for the example).
+    let mut cfg = ModelConfig::small();
+    cfg.epochs = 20;
+    let mut model = QPSeeker::new(&db, cfg);
+    let refs: Vec<&Qep> = workload.qeps.iter().collect();
+    let report = model.fit(&refs);
+    println!(
+        "trained {} parameters in {:.1}s (loss {:.3} -> {:.3})",
+        model.num_parameters(),
+        report.train_seconds,
+        report.epoch_losses.first().unwrap(),
+        report.epoch_losses.last().unwrap()
+    );
+
+    // 4. Plan an unseen 3-way join with MCTS + the learned cost model.
+    let mut q = Query::new("demo");
+    q.relations = vec![
+        RelRef::new("title"),
+        RelRef::new("movie_info"),
+        RelRef::new("movie_keyword"),
+    ];
+    q.joins = vec![
+        JoinPred {
+            left: ColRef::new("movie_info", "movie_id"),
+            right: ColRef::new("title", "id"),
+        },
+        JoinPred {
+            left: ColRef::new("movie_keyword", "movie_id"),
+            right: ColRef::new("title", "id"),
+        },
+    ];
+    q.filters = vec![Filter {
+        col: ColRef::new("title", "production_year"),
+        op: CmpOp::Gt,
+        value: 2000.0,
+    }];
+
+    let planner = MctsPlanner::new(MctsConfig::default());
+    let result = planner.plan(&mut model, &q);
+    println!(
+        "\nMCTS evaluated {} plans in {} simulations; predicted runtime {:.3} ms",
+        result.plans_evaluated, result.simulations, result.predicted_ms
+    );
+    println!("chosen plan:\n{}", result.plan.pretty());
+
+    // 5. Execute both the learned plan and the PostgreSQL-style plan.
+    let ex = Executor::new(&db);
+    let qpseeker_ms = ex.execute(&result.plan).time_ms;
+    let pg_plan = PgOptimizer::new(&db).plan(&q);
+    let pg_ms = ex.execute(&pg_plan).time_ms;
+    println!("executed: QPSeeker plan {qpseeker_ms:.3} ms | PostgreSQL plan {pg_ms:.3} ms");
+}

@@ -1,0 +1,216 @@
+//! `qpseeker` — command-line interface to the reproduction.
+//!
+//! ```text
+//! qpseeker gen-db    --schema imdb|stack --scale 0.2 --seed 42 --out db.json
+//! qpseeker train     --db db.json --workload synthetic|job|stack --queries 200 \
+//!                    --config small|bench|paper --out model.json
+//! qpseeker explain   --db db.json --sql "SELECT COUNT(*) FROM ..."
+//! qpseeker run       --db db.json --sql "SELECT COUNT(*) FROM ..."
+//! qpseeker plan      --db db.json --model model.json --sql "..." [--execute]
+//! ```
+//!
+//! Databases and models are plain JSON artifacts, so sessions compose:
+//! generate once, train once, plan many times.
+
+use qpseeker_repro::core::prelude::*;
+use qpseeker_repro::engine::prelude::*;
+use qpseeker_repro::storage::Database;
+use qpseeker_repro::workloads::{job, stack, synthetic, JobConfig, Qep, StackConfig, SyntheticConfig};
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let opts = match parse_opts(rest) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match cmd.as_str() {
+        "gen-db" => gen_db(&opts),
+        "train" => train(&opts),
+        "explain" => explain(&opts),
+        "run" => run(&opts),
+        "plan" => plan(&opts),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+qpseeker — neural query planner (QPSeeker reproduction)
+
+commands:
+  gen-db   --schema imdb|stack --scale <f64> --seed <u64> --out <db.json>
+  train    --db <db.json> --workload synthetic|job|stack --queries <n>
+           [--config small|bench|paper] [--epochs <n>] --out <model.json>
+  explain  --db <db.json> --sql \"SELECT COUNT(*) FROM ...\"
+  run      --db <db.json> --sql \"...\"            (optimize + execute)
+  plan     --db <db.json> --model <model.json> --sql \"...\" [--execute]
+           (neural planning with MCTS)";
+
+type Opts = HashMap<String, String>;
+
+fn parse_opts(args: &[String]) -> Result<Opts, String> {
+    let mut out = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let key = args[i]
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected --option, got '{}'", args[i]))?;
+        if i + 1 < args.len() && !args[i + 1].starts_with("--") {
+            out.insert(key.to_string(), args[i + 1].clone());
+            i += 2;
+        } else {
+            out.insert(key.to_string(), "true".to_string());
+            i += 1;
+        }
+    }
+    Ok(out)
+}
+
+fn req<'a>(opts: &'a Opts, key: &str) -> Result<&'a str, String> {
+    opts.get(key).map(String::as_str).ok_or_else(|| format!("missing --{key}"))
+}
+
+fn load_db(opts: &Opts) -> Result<Database, String> {
+    let path = req(opts, "db")?;
+    let data = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    serde_json::from_str(&data).map_err(|e| format!("parse {path}: {e}"))
+}
+
+fn gen_db(opts: &Opts) -> Result<(), String> {
+    let schema = req(opts, "schema")?;
+    let scale: f64 = opts.get("scale").map(|s| s.parse()).transpose().map_err(|e| format!("--scale: {e}"))?.unwrap_or(0.1);
+    let seed: u64 = opts.get("seed").map(|s| s.parse()).transpose().map_err(|e| format!("--seed: {e}"))?.unwrap_or(42);
+    let out = req(opts, "out")?;
+    let db = match schema {
+        "imdb" => qpseeker_repro::storage::datagen::imdb::generate(scale, seed),
+        "stack" => qpseeker_repro::storage::datagen::stack::generate(scale, seed),
+        other => return Err(format!("unknown schema '{other}' (imdb|stack)")),
+    };
+    let json = serde_json::to_string(&db).map_err(|e| e.to_string())?;
+    std::fs::write(out, json).map_err(|e| e.to_string())?;
+    println!(
+        "wrote {out}: schema {schema}, {} tables, {} rows",
+        db.catalog.num_tables(),
+        db.total_rows()
+    );
+    Ok(())
+}
+
+fn model_config(opts: &Opts) -> Result<ModelConfig, String> {
+    let mut cfg = match opts.get("config").map(String::as_str).unwrap_or("small") {
+        "small" => ModelConfig::small(),
+        "bench" => ModelConfig::bench(),
+        "paper" => ModelConfig::paper(),
+        other => return Err(format!("unknown config '{other}' (small|bench|paper)")),
+    };
+    if let Some(e) = opts.get("epochs") {
+        cfg.epochs = e.parse().map_err(|e| format!("--epochs: {e}"))?;
+    }
+    Ok(cfg)
+}
+
+fn train(opts: &Opts) -> Result<(), String> {
+    let db = load_db(opts)?;
+    let kind = req(opts, "workload")?;
+    let queries: usize = opts.get("queries").map(|s| s.parse()).transpose().map_err(|e| format!("--queries: {e}"))?.unwrap_or(200);
+    let out = req(opts, "out")?;
+    eprintln!("generating {kind} workload ({queries} queries)...");
+    let workload = match kind {
+        "synthetic" => synthetic::generate_sampled(
+            &db,
+            &SyntheticConfig { n_queries: queries, seed: 7 },
+            4,
+        ),
+        "job" => job::generate(
+            &db,
+            &JobConfig {
+                n_queries: queries.min(113),
+                target_qeps: queries * 8,
+                keep_fraction: 1.0,
+                ..Default::default()
+            },
+        ),
+        "stack" => stack::generate(&db, &StackConfig { n_queries: queries, seed: 7 }),
+        other => return Err(format!("unknown workload '{other}'")),
+    };
+    eprintln!("training on {} QEPs...", workload.num_qeps());
+    let cfg = model_config(opts)?;
+    let mut model = QPSeeker::new(&db, cfg);
+    let refs: Vec<&Qep> = workload.qeps.iter().collect();
+    let report = model.fit(&refs);
+    println!(
+        "trained {} parameters in {:.1}s (loss {:.3} -> {:.3})",
+        model.num_parameters(),
+        report.train_seconds,
+        report.epoch_losses.first().unwrap_or(&f64::NAN),
+        report.epoch_losses.last().unwrap_or(&f64::NAN)
+    );
+    let ckpt = Checkpoint::capture(&model, &db);
+    std::fs::write(out, ckpt.to_json()).map_err(|e| e.to_string())?;
+    println!("wrote {out}");
+    Ok(())
+}
+
+fn explain(opts: &Opts) -> Result<(), String> {
+    let db = load_db(opts)?;
+    let q = parse_sql(&db, req(opts, "sql")?)?;
+    let plan = PgOptimizer::new(&db).plan(&q);
+    let expl = Explain::new(&db);
+    println!("{}", expl.pretty(&q, &plan));
+    Ok(())
+}
+
+fn run(opts: &Opts) -> Result<(), String> {
+    let db = load_db(opts)?;
+    let q = parse_sql(&db, req(opts, "sql")?)?;
+    let plan = PgOptimizer::new(&db).plan(&q);
+    let res = Executor::new(&db).execute(&plan);
+    println!("{}", plan.pretty());
+    println!("rows: {}  cost: {:.2}  virtual time: {:.3} ms", res.rows, res.cost, res.time_ms);
+    Ok(())
+}
+
+fn plan(opts: &Opts) -> Result<(), String> {
+    let db = load_db(opts)?;
+    let q = parse_sql(&db, req(opts, "sql")?)?;
+    let path = req(opts, "model")?;
+    let data = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let ckpt = Checkpoint::from_json(&data).map_err(|e| e.to_string())?;
+    let mut model = ckpt.restore(&db)?;
+    let planner = MctsPlanner::new(MctsConfig::default());
+    let res = planner.plan(&mut model, &q);
+    println!("{}", res.plan.pretty());
+    println!(
+        "predicted runtime: {:.3} ms ({} plans evaluated in {} simulations)",
+        res.predicted_ms, res.plans_evaluated, res.simulations
+    );
+    if opts.contains_key("execute") {
+        let exec = Executor::new(&db).execute(&res.plan);
+        let pg_plan = PgOptimizer::new(&db).plan(&q);
+        let pg = Executor::new(&db).execute(&pg_plan);
+        println!(
+            "executed: {} rows in {:.3} ms (PostgreSQL-style plan: {:.3} ms)",
+            exec.rows, exec.time_ms, pg.time_ms
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,13 @@
+//! Umbrella crate for the QPSeeker reproduction workspace.
+//!
+//! Re-exports the public crates so examples and integration tests can use a
+//! single dependency. See `README.md` for the architecture overview and
+//! `DESIGN.md` for the system inventory.
+
+pub use qpseeker_baselines as baselines;
+pub use qpseeker_core as core;
+pub use qpseeker_engine as engine;
+pub use qpseeker_nn as nn;
+pub use qpseeker_storage as storage;
+pub use qpseeker_tabert as tabert;
+pub use qpseeker_workloads as workloads;

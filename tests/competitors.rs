@@ -1,0 +1,105 @@
+//! Integration tests for the competitor systems against the shared
+//! substrate: every baseline must train on the same workloads QPSeeker uses
+//! and produce sane outputs on held-out data.
+
+use qpseeker_repro::baselines::{
+    Bao, BaoConfig, Mscn, MscnConfig, QppNet, QppNetConfig, ZeroShot, ZeroShotConfig,
+};
+use qpseeker_repro::engine::prelude::*;
+use qpseeker_repro::workloads::{synthetic, Qep, SyntheticConfig};
+
+fn setup() -> (qpseeker_repro::storage::Database, qpseeker_repro::workloads::Workload) {
+    let db = qpseeker_repro::storage::datagen::imdb::generate(0.06, 55);
+    let w = synthetic::generate(&db, &SyntheticConfig { n_queries: 60, seed: 55 });
+    (db, w)
+}
+
+#[test]
+fn mscn_beats_guessing_on_held_out_queries() {
+    let (db, w) = setup();
+    let (train, eval): (Vec<&Qep>, Vec<&Qep>) = w.split(0.8, false);
+    let mut mscn = Mscn::new(&db, MscnConfig { epochs: 20, ..Default::default() });
+    let pairs: Vec<(&Query, f64)> = train.iter().map(|q| (&q.query, q.cardinality())).collect();
+    mscn.fit(&pairs);
+    // Compare against predicting the training median for everything.
+    let mut cards: Vec<f64> = train.iter().map(|q| q.cardinality()).collect();
+    cards.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median_guess = cards[cards.len() / 2];
+    let qerr = |p: f64, t: f64| (p.max(1.0) / t.max(1.0)).max(t.max(1.0) / p.max(1.0));
+    let mut model_err = 0.0;
+    let mut guess_err = 0.0;
+    for q in &eval {
+        model_err += qerr(mscn.predict(&q.query), q.cardinality()).ln();
+        guess_err += qerr(median_guess, q.cardinality()).ln();
+    }
+    assert!(
+        model_err < guess_err,
+        "MSCN (gmean log q-err {model_err:.2}) must beat the median guess ({guess_err:.2})"
+    );
+}
+
+#[test]
+fn qppnet_responds_to_plan_structure() {
+    let (db, w) = setup();
+    let triples: Vec<(&Query, &PlanNode, f64)> =
+        w.qeps.iter().map(|q| (&q.query, &q.plan, q.runtime_ms())).collect();
+    let mut net = QppNet::new(&db, QppNetConfig { epochs: 10, ..Default::default() });
+    net.fit(&triples);
+    // Any 2-relation query: nested loop vs hash join predictions differ.
+    let qep = w.qeps.iter().find(|q| q.query.num_relations() == 2).expect("has joins");
+    let q = &qep.query;
+    let mk = |op| {
+        PlanNode::join(
+            q,
+            op,
+            PlanNode::scan(q, &q.relations[0].alias, ScanOp::SeqScan),
+            PlanNode::scan(q, &q.relations[1].alias, ScanOp::SeqScan),
+        )
+    };
+    let h = net.predict(q, &mk(JoinOp::HashJoin));
+    let n = net.predict(q, &mk(JoinOp::NestedLoopJoin));
+    assert_ne!(h, n, "different operators must route through different neural units");
+}
+
+#[test]
+fn zeroshot_transfers_to_both_databases() {
+    let mut zs = ZeroShot::new(ZeroShotConfig {
+        n_databases: 3,
+        queries_per_db: 15,
+        epochs: 6,
+        ..Default::default()
+    });
+    zs.pretrain();
+    let (imdb, w) = setup();
+    let stack = qpseeker_repro::storage::datagen::stack::generate(0.05, 4);
+    // IMDb plan.
+    let qep = &w.qeps[0];
+    let pred = zs.predict(&imdb, &qep.query, &qep.plan);
+    assert!(pred.is_finite() && pred >= 0.0);
+    // Stack plan from its optimizer (schema never seen at pretraining).
+    let mut q = Query::new("s");
+    q.relations = vec![RelRef::new("question"), RelRef::new("answer")];
+    q.joins = vec![JoinPred {
+        left: ColRef::new("answer", "question_id"),
+        right: ColRef::new("question", "id"),
+    }];
+    let plan = PgOptimizer::new(&stack).plan(&q);
+    let pred2 = zs.predict(&stack, &q, &plan);
+    assert!(pred2.is_finite() && pred2 >= 0.0);
+}
+
+#[test]
+fn bao_arm_restrictions_are_respected_end_to_end() {
+    let (db, w) = setup();
+    let mut bao = Bao::new(&db, BaoConfig { epochs: 3, ..Default::default() });
+    let queries: Vec<&Query> = w.qeps.iter().map(|q| &q.query).take(20).collect();
+    bao.train(&queries);
+    let ex = Executor::new(&db);
+    for q in queries.iter().take(6) {
+        let (plan, arm) = bao.plan(q);
+        assert!(arm < bao.num_arms());
+        // The plan must execute correctly.
+        let res = ex.execute(&plan);
+        assert!(res.time_ms > 0.0);
+    }
+}
