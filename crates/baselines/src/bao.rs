@@ -106,8 +106,7 @@ impl<'a> Bao<'a> {
                 experiences.push(((*q).clone(), plan, res.time_ms));
             }
         }
-        self.norm =
-            Some(LogNormalizer::fit(&experiences.iter().map(|e| e.2).collect::<Vec<_>>()));
+        self.norm = Some(LogNormalizer::fit(&experiences.iter().map(|e| e.2).collect::<Vec<_>>()));
         let norm = self.norm.clone().expect("just set");
         let mut opt = Adam::new(self.cfg.learning_rate as f32);
         let mut rng = StdRng::seed_from_u64(self.cfg.seed);

@@ -60,7 +60,8 @@ pub fn node_features(db: &Database, query: &Query, plan: &PlanNode) -> Vec<Vec<f
                     f[base + 3] = ((stats.n_rows as f64).ln_1p() / 20.0) as f32;
                     f[base + 4] = ((stats.n_blocks as f64).ln_1p() / 15.0) as f32;
                     f[base + 5] = filters.len() as f32 / 8.0;
-                    f[base + 6] = (est.rows / stats.n_rows.max(1) as f64) as f32; // selectivity
+                    f[base + 6] = (est.rows / stats.n_rows.max(1) as f64) as f32;
+                    // selectivity
                 }
                 PlanNode::Join { preds, .. } => {
                     f[base + 5] = preds.len() as f32 / 8.0;
@@ -120,7 +121,7 @@ mod tests {
         // The same code path must produce features on a totally different
         // schema (the zero-shot premise).
         let db = qpseeker_storage::datagen::synthdb::generate("z", 4, 200, 1);
-        let t0 = format!("z_t1");
+        let t0 = "z_t1".to_string();
         let mut q = Query::new("q");
         q.relations = vec![RelRef::new(t0.clone())];
         let plan = PlanNode::scan(&q, &t0, ScanOp::SeqScan);

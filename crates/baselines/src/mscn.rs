@@ -81,10 +81,38 @@ impl<'a> Mscn<'a> {
         let n_cols = col_ranges.len();
         let pred_dim = n_cols + CmpOp::ALL.len() + 1;
         let h = cfg.hidden;
-        let rel_mlp = Mlp::new(&mut store, &mut init, "mscn.rel", &[n, h, h], Activation::Relu, Activation::Relu);
-        let join_mlp = Mlp::new(&mut store, &mut init, "mscn.join", &[m, h, h], Activation::Relu, Activation::Relu);
-        let pred_mlp = Mlp::new(&mut store, &mut init, "mscn.pred", &[pred_dim, h, h], Activation::Relu, Activation::Relu);
-        let out_mlp = Mlp::new(&mut store, &mut init, "mscn.out", &[3 * h, h, 1], Activation::Relu, Activation::Identity);
+        let rel_mlp = Mlp::new(
+            &mut store,
+            &mut init,
+            "mscn.rel",
+            &[n, h, h],
+            Activation::Relu,
+            Activation::Relu,
+        );
+        let join_mlp = Mlp::new(
+            &mut store,
+            &mut init,
+            "mscn.join",
+            &[m, h, h],
+            Activation::Relu,
+            Activation::Relu,
+        );
+        let pred_mlp = Mlp::new(
+            &mut store,
+            &mut init,
+            "mscn.pred",
+            &[pred_dim, h, h],
+            Activation::Relu,
+            Activation::Relu,
+        );
+        let out_mlp = Mlp::new(
+            &mut store,
+            &mut init,
+            "mscn.out",
+            &[3 * h, h, 1],
+            Activation::Relu,
+            Activation::Identity,
+        );
         Self {
             db,
             cfg,
@@ -130,7 +158,8 @@ impl<'a> Mscn<'a> {
             if let Some(&ci) = self.col_index.get(&(table.to_string(), f.col.column.clone())) {
                 preds.set(row, ci, 1.0);
                 let (lo, hi) = self.col_ranges[ci];
-                let norm_v = if hi > lo { ((f.value - lo) / (hi - lo)).clamp(0.0, 1.0) } else { 0.5 };
+                let norm_v =
+                    if hi > lo { ((f.value - lo) / (hi - lo)).clamp(0.0, 1.0) } else { 0.5 };
                 preds.set(row, pred_dim - 1, norm_v as f32);
             }
             let op_i = CmpOp::ALL.iter().position(|&o| o == f.op).expect("known op");
@@ -162,10 +191,8 @@ impl<'a> Mscn<'a> {
         let cards: Vec<f64> = train.iter().map(|&(_, c)| c).collect();
         self.norm = Some(LogNormalizer::fit(&cards));
         let norm = self.norm.clone().expect("just set");
-        let feats: Vec<(MscnFeatures, f32)> = train
-            .iter()
-            .map(|&(q, c)| (self.featurize(q), norm.encode(c)))
-            .collect();
+        let feats: Vec<(MscnFeatures, f32)> =
+            train.iter().map(|&(q, c)| (self.featurize(q), norm.encode(c))).collect();
         let mut opt = Adam::new(self.cfg.learning_rate as f32);
         let mut rng = StdRng::seed_from_u64(self.cfg.seed);
         let mut order: Vec<usize> = (0..feats.len()).collect();

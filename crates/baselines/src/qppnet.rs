@@ -30,7 +30,14 @@ pub struct QppNetConfig {
 
 impl Default for QppNetConfig {
     fn default() -> Self {
-        Self { data_dim: 16, hidden: 48, epochs: 30, batch_size: 16, learning_rate: 1e-3, seed: 0x9909 }
+        Self {
+            data_dim: 16,
+            hidden: 48,
+            epochs: 30,
+            batch_size: 16,
+            learning_rate: 1e-3,
+            seed: 0x9909,
+        }
     }
 }
 

@@ -36,10 +36,8 @@ fn bench_optimizer(c: &mut Criterion) {
         q.relations.push(RelRef::new(t));
     }
     for t in ["movie_info", "movie_keyword", "cast_info", "movie_companies"] {
-        q.joins.push(JoinPred {
-            left: ColRef::new(t, "movie_id"),
-            right: ColRef::new("title", "id"),
-        });
+        q.joins
+            .push(JoinPred { left: ColRef::new(t, "movie_id"), right: ColRef::new("title", "id") });
     }
     let opt = PgOptimizer::new(&db);
     c.bench_function("optimizer/dp_5way", |b| b.iter(|| black_box(opt.plan(black_box(&q)))));

@@ -15,6 +15,9 @@ fn main() {
     experiments::fig9_job_margin::run(&ctx);
     experiments::fig10_through_time::run(&ctx);
     experiments::ablations::run(&ctx);
-    eprintln!("\nall experiments done in {:.1}s; results in {}",
-        start.elapsed().as_secs_f64(), qpseeker_bench::results_dir().display());
+    eprintln!(
+        "\nall experiments done in {:.1}s; results in {}",
+        start.elapsed().as_secs_f64(),
+        qpseeker_bench::results_dir().display()
+    );
 }

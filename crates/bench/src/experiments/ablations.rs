@@ -34,7 +34,8 @@ fn model_ablations(ctx: &Context) {
     let w = ctx.job();
     let db = ctx.db_of(&w);
     let mut rows = Vec::new();
-    let variants: Vec<(&str, Box<dyn Fn(&mut ModelConfig)>)> = vec![
+    type Patch = Box<dyn Fn(&mut ModelConfig)>;
+    let variants: Vec<(&str, Patch)> = vec![
         ("full (attention, beta=100)", Box::new(|_c: &mut ModelConfig| {})),
         ("no attention (concat)", Box::new(|c: &mut ModelConfig| c.use_attention = false)),
         ("beta=0 (plain AE)", Box::new(|c: &mut ModelConfig| c.beta = 0.0)),
@@ -68,7 +69,8 @@ fn model_ablations(ctx: &Context) {
 /// Top-15% (paper) vs uniform plan sampling for the training set.
 fn sampling_ablation(ctx: &Context) {
     let db = &ctx.imdb;
-    let cfg_queries = JobConfig { n_queries: 40, target_qeps: ctx.scale.job_qeps / 2, ..Default::default() };
+    let cfg_queries =
+        JobConfig { n_queries: 40, target_qeps: ctx.scale.job_qeps / 2, ..Default::default() };
     let queries = job::job_queries(db, &cfg_queries);
     let per_query = (cfg_queries.target_qeps / queries.len().max(1)).max(1);
 
@@ -213,9 +215,7 @@ fn planner_ablation(ctx: &Context) {
         &["planner", "total executed (ms)", "avg plans scored/query"],
         &rows
             .iter()
-            .map(|r| {
-                vec![r.planner.clone(), fmt(r.total_executed_ms), fmt(r.avg_plans_scored)]
-            })
+            .map(|r| vec![r.planner.clone(), fmt(r.total_executed_ms), fmt(r.avg_plans_scored)])
             .collect::<Vec<_>>(),
     );
     emit("ablation_planner", &rows, &md);
@@ -276,11 +276,7 @@ fn greedy_plan(model: &mut QPSeeker<'_>, q: &Query) -> (PlanNode, usize) {
 
 /// Complete a partial left-deep prefix with SeqScan/HashJoin steps in
 /// neighbor order (heuristic completion for greedy scoring).
-fn complete(
-    q: &Query,
-    scans: &[(String, ScanOp)],
-    joins: &[JoinOp],
-) -> Option<PlanNode> {
+fn complete(q: &Query, scans: &[(String, ScanOp)], joins: &[JoinOp]) -> Option<PlanNode> {
     use std::collections::BTreeSet;
     let mut scans = scans.to_vec();
     let mut joins = joins.to_vec();

@@ -114,9 +114,7 @@ fn run_set(
         let (bp, _) = bao.plan(q);
         bao_times.push(run_plan_ms(db, &bp));
     }
-    for (system, times) in
-        [("PostgreSQL", pg_times), ("QPSeeker", qp_times), ("Bao", bao_times)]
-    {
+    for (system, times) in [("PostgreSQL", pg_times), ("QPSeeker", qp_times), ("Bao", bao_times)] {
         let mut cum = Vec::with_capacity(times.len());
         let mut acc = 0.0;
         for t in &times {

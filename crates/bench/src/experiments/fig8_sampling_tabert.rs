@@ -89,10 +89,8 @@ pub fn run(ctx: &Context) {
         // Eval 2: runtime q-error on a fixed eval QEP set (optimizer plans).
         let eval_qeps = eval_qeps_cache.get_or_insert_with(|| {
             let opt = qpseeker_engine::optimizer::PgOptimizer::new(db);
-            let items: Vec<(Query, qpseeker_engine::plan::PlanNode, String)> = eval_queries
-                .iter()
-                .map(|(q, t)| (q.clone(), opt.plan(q), t.clone()))
-                .collect();
+            let items: Vec<(Query, qpseeker_engine::plan::PlanNode, String)> =
+                eval_queries.iter().map(|(q, t)| (q.clone(), opt.plan(q), t.clone())).collect();
             let mut qeps = qpseeker_workloads::qep::measure_parallel(db, items);
             qeps.retain(|q| !q.truth.timed_out);
             qeps
@@ -108,7 +106,10 @@ pub fn run(ctx: &Context) {
             plans_total_ms: total,
             runtime_qerr_p50: qerr.p50,
         });
-        eprintln!("[fig8] fraction {frac}: total plan time {total:.1} ms, qerr p50 {:.2}", qerr.p50);
+        eprintln!(
+            "[fig8] fraction {frac}: total plan time {total:.1} ms, qerr p50 {:.2}",
+            qerr.p50
+        );
     }
 
     // --- TaBERT impact: K and model size. ---

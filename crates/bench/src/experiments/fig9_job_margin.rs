@@ -101,7 +101,10 @@ pub fn run(ctx: &Context) {
         postgres_total_ms: rows.iter().map(|r| r.postgres_ms).sum(),
         qpseeker_total_ms: rows.iter().map(|r| r.qpseeker_ms).sum(),
         bao_total_ms: rows.iter().map(|r| r.bao_ms).sum(),
-        qpseeker_better: rows.iter().filter(|r| better(r.qpseeker_margin_ms, r.postgres_ms)).count(),
+        qpseeker_better: rows
+            .iter()
+            .filter(|r| better(r.qpseeker_margin_ms, r.postgres_ms))
+            .count(),
         qpseeker_worse: rows.iter().filter(|r| worse(r.qpseeker_margin_ms, r.postgres_ms)).count(),
         bao_better: rows.iter().filter(|r| better(r.bao_margin_ms, r.postgres_ms)).count(),
         bao_worse: rows.iter().filter(|r| worse(r.bao_margin_ms, r.postgres_ms)).count(),

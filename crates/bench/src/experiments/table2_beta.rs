@@ -30,11 +30,9 @@ pub fn run(ctx: &Context) {
             cfg.beta = beta;
             let (mut model, eval) = train_model(db, w, cfg);
             let e = eval_qpseeker(&mut model, &eval);
-            for (target, s) in [
-                ("cardinality", &e.cardinality),
-                ("cost", &e.cost),
-                ("runtime", &e.runtime),
-            ] {
+            for (target, s) in
+                [("cardinality", &e.cardinality), ("cost", &e.cost), ("runtime", &e.runtime)]
+            {
                 rows.push(Row {
                     workload: w.name.clone(),
                     beta,
@@ -64,10 +62,8 @@ pub fn run(ctx: &Context) {
             ]
         })
         .collect();
-    let md = markdown_table(
-        &["Workload", "β", "Target", "50%", "90%", "95%", "99%", "std"],
-        &md_rows,
-    );
+    let md =
+        markdown_table(&["Workload", "β", "Target", "50%", "90%", "95%", "99%", "std"], &md_rows);
     emit("table2_beta_effect", &rows, &md);
 
     // Headline check: report which β wins runtime per workload.

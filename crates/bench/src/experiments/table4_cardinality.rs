@@ -62,7 +62,8 @@ pub fn run(ctx: &Context) {
         let at_query_level = w.plan_source == qpseeker_workloads::PlanSource::Sampling;
         let (train, _) = w.split(0.8, at_query_level);
         let mscn_train = dedup_queries(&train);
-        let mut mscn = Mscn::new(db, MscnConfig { epochs: ctx.scale.epochs * 2, ..Default::default() });
+        let mut mscn =
+            Mscn::new(db, MscnConfig { epochs: ctx.scale.epochs * 2, ..Default::default() });
         mscn.fit(&mscn_train);
         let mscn_eval = dedup_queries(&eval);
         let pairs: Vec<(f64, f64)> =

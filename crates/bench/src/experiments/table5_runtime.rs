@@ -45,15 +45,12 @@ pub fn run(ctx: &Context) {
         // QPPNet on the same train split.
         let at_query_level = w.plan_source == qpseeker_workloads::PlanSource::Sampling;
         let (train, _) = w.split(0.8, at_query_level);
-        let triples: Vec<_> =
-            train.iter().map(|q| (&q.query, &q.plan, q.runtime_ms())).collect();
+        let triples: Vec<_> = train.iter().map(|q| (&q.query, &q.plan, q.runtime_ms())).collect();
         let mut net =
             QppNet::new(db, QppNetConfig { epochs: ctx.scale.epochs * 2, ..Default::default() });
         net.fit(&triples);
-        let pairs: Vec<(f64, f64)> = eval
-            .iter()
-            .map(|q| (net.predict(&q.query, &q.plan), q.runtime_ms()))
-            .collect();
+        let pairs: Vec<(f64, f64)> =
+            eval.iter().map(|q| (net.predict(&q.query, &q.plan), q.runtime_ms())).collect();
         push(&mut rows, &w.name, "QPPNet", &QErrorSummary::from_pairs(&pairs));
 
         let pg = eval_postgres(db, &eval);

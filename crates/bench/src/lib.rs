@@ -10,8 +10,8 @@
 //! factor) are the reproduction target, not the absolute numbers.
 
 use qpseeker_core::prelude::*;
-use qpseeker_engine::explain::Explain;
 use qpseeker_engine::executor::Executor;
+use qpseeker_engine::explain::Explain;
 use qpseeker_storage::Database;
 use qpseeker_workloads::{
     job, stack as stack_wl, synthetic, JobConfig, Qep, StackConfig, SyntheticConfig, Workload,
@@ -59,11 +59,8 @@ impl Scale {
     /// Parse from CLI args: `--quick` or `--standard` (default standard),
     /// with `QPS_*` environment overrides for individual knobs.
     pub fn from_args() -> Self {
-        let mut s = if std::env::args().any(|a| a == "--quick") {
-            Self::quick()
-        } else {
-            Self::standard()
-        };
+        let mut s =
+            if std::env::args().any(|a| a == "--quick") { Self::quick() } else { Self::standard() };
         let get = |k: &str| std::env::var(k).ok();
         if let Some(v) = get("QPS_DB_SCALE").and_then(|v| v.parse().ok()) {
             s.db_scale = v;

@@ -6,13 +6,50 @@
 //! the config (parameter registration order is deterministic), then swaps in
 //! the saved weights — so a checkpoint is only valid for a database with the
 //! same catalog dimensions (relation/join vocabulary sizes).
+//!
+//! On disk a checkpoint is a versioned envelope
+//! `{"version": 1, "checksum": "<fnv64 hex>", "payload": {…}}`; the checksum
+//! covers the canonical serialization of the payload, so truncated or
+//! bit-flipped checkpoint files are rejected at load with
+//! [`CoreError::CheckpointCorrupted`] instead of restoring garbage weights.
 
 use crate::config::ModelConfig;
+use crate::error::CoreError;
 use crate::model::QPSeeker;
 use crate::normalize::TargetNormalizer;
 use qpseeker_nn::params::ParamStore;
 use qpseeker_storage::Database;
 use serde::{Deserialize, Serialize};
+
+/// Envelope format version this build reads and writes.
+pub const CHECKPOINT_VERSION: u64 = 1;
+
+/// FNV-1a over the payload text exactly as it appears in the envelope.
+fn fnv64(s: &str) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for &b in s.as_bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Extract the raw payload substring from an envelope produced by
+/// [`Checkpoint::to_json`]: everything after the `"payload":` key up to the
+/// envelope's closing brace. Checksumming the raw bytes (rather than a
+/// parsed re-serialization) means even flips that survive float rounding
+/// are caught.
+fn raw_payload(envelope: &str) -> Result<&str, CoreError> {
+    const KEY: &str = "\"payload\":";
+    let start = envelope
+        .find(KEY)
+        .ok_or_else(|| CoreError::CheckpointMalformed("missing payload field".into()))?
+        + KEY.len();
+    let end = envelope
+        .rfind('}')
+        .filter(|&e| e > start)
+        .ok_or_else(|| CoreError::CheckpointMalformed("unterminated envelope".into()))?;
+    Ok(&envelope[start..end])
+}
 
 /// Serialized model state.
 #[derive(Serialize, Deserialize)]
@@ -35,38 +72,72 @@ impl Checkpoint {
         }
     }
 
-    pub fn to_json(&self) -> String {
-        serde_json::to_string(self).expect("checkpoint serializes")
+    /// Serialize to the versioned, checksummed envelope format.
+    pub fn to_json(&self) -> Result<String, CoreError> {
+        let payload = serde_json::to_string(self)?;
+        let checksum = fnv64(&payload);
+        Ok(format!(
+            "{{\"version\":{CHECKPOINT_VERSION},\"checksum\":\"{checksum:016x}\",\"payload\":{payload}}}"
+        ))
     }
 
-    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
-        serde_json::from_str(s)
+    /// Parse an envelope, verifying the format version and the payload
+    /// checksum before deserializing any model state.
+    ///
+    /// # Errors
+    /// [`CoreError::CheckpointMalformed`] for unparseable input or a missing
+    /// envelope field, [`CoreError::CheckpointVersion`] for a version this
+    /// build does not read, [`CoreError::CheckpointCorrupted`] when the
+    /// payload does not match its recorded checksum (truncation, bit-rot).
+    pub fn from_json(s: &str) -> Result<Self, CoreError> {
+        let envelope: serde_json::Value = serde_json::from_str(s)?;
+        let version = envelope
+            .get("version")
+            .and_then(|v| v.as_u64())
+            .ok_or_else(|| CoreError::CheckpointMalformed("missing version field".into()))?;
+        if version != CHECKPOINT_VERSION {
+            return Err(CoreError::CheckpointVersion {
+                found: version,
+                supported: CHECKPOINT_VERSION,
+            });
+        }
+        let expected = envelope
+            .get("checksum")
+            .and_then(|v| v.as_str())
+            .ok_or_else(|| CoreError::CheckpointMalformed("missing checksum field".into()))?
+            .to_string();
+        envelope
+            .get("payload")
+            .ok_or_else(|| CoreError::CheckpointMalformed("missing payload field".into()))?;
+        let payload = raw_payload(s)?;
+        let actual = format!("{:016x}", fnv64(payload));
+        if actual != expected {
+            return Err(CoreError::CheckpointCorrupted { expected, actual });
+        }
+        serde_json::from_str(payload).map_err(CoreError::from)
     }
 
     /// Restore a model bound to `db`.
     ///
     /// # Errors
     /// Fails when the database's catalog dimensions differ from the ones the
-    /// checkpoint was trained against.
-    pub fn restore<'a>(self, db: &'a Database) -> Result<QPSeeker<'a>, String> {
+    /// checkpoint was trained against, or the rebuilt architecture cannot
+    /// hold the saved parameters.
+    pub fn restore<'a>(self, db: &'a Database) -> Result<QPSeeker<'a>, CoreError> {
         let dims = (db.catalog.num_tables(), db.catalog.num_joins());
         if dims != self.schema_dims {
-            return Err(format!(
-                "schema mismatch: checkpoint was trained against {:?} (tables, joins), database has {:?}",
-                self.schema_dims, dims
-            ));
+            return Err(CoreError::SchemaMismatch { expected: self.schema_dims, found: dims });
         }
         let mut model = QPSeeker::new(db, self.config);
         if model.store.len() != self.store.len()
             || model.store.num_scalars() != self.store.num_scalars()
         {
-            return Err(format!(
-                "parameter layout mismatch: rebuilt {} params / {} scalars, checkpoint has {} / {}",
-                model.store.len(),
-                model.store.num_scalars(),
-                self.store.len(),
-                self.store.num_scalars()
-            ));
+            return Err(CoreError::ParamLayout {
+                built_params: model.store.len(),
+                built_scalars: model.store.num_scalars(),
+                saved_params: self.store.len(),
+                saved_scalars: self.store.num_scalars(),
+            });
         }
         model.store = self.store;
         model.normalizer = self.normalizer;
@@ -88,7 +159,7 @@ mod tests {
         model.fit(&refs);
         let before = model.predict(&w.qeps[0].query, &w.qeps[0].plan);
 
-        let json = Checkpoint::capture(&model, &db).to_json();
+        let json = Checkpoint::capture(&model, &db).to_json().unwrap();
         let restored = Checkpoint::from_json(&json).unwrap();
         let mut model2 = restored.restore(&db).unwrap();
         let after = model2.predict(&w.qeps[0].query, &w.qeps[0].plan);
@@ -108,16 +179,62 @@ mod tests {
             Ok(_) => panic!("restore against a different schema must fail"),
             Err(e) => e,
         };
-        assert!(err.contains("schema mismatch"));
+        assert!(matches!(err, CoreError::SchemaMismatch { .. }));
+        assert!(err.to_string().contains("schema mismatch"));
     }
 
     #[test]
     fn unfitted_model_round_trips_too() {
         let db = qpseeker_storage::datagen::imdb::generate(0.04, 2);
         let model = QPSeeker::new(&db, ModelConfig::small());
-        let json = Checkpoint::capture(&model, &db).to_json();
+        let json = Checkpoint::capture(&model, &db).to_json().unwrap();
         let restored = Checkpoint::from_json(&json).unwrap().restore(&db).unwrap();
         assert!(restored.normalizer.is_none());
         assert_eq!(restored.num_parameters(), model.num_parameters());
+    }
+
+    #[test]
+    fn bit_flipped_checkpoint_rejected() {
+        let db = qpseeker_storage::datagen::imdb::generate(0.04, 2);
+        let model = QPSeeker::new(&db, ModelConfig::small());
+        let json = Checkpoint::capture(&model, &db).to_json().unwrap();
+        // Flip one digit inside the payload (keep the JSON well-formed).
+        let pos = json
+            .char_indices()
+            .skip(json.find("payload").unwrap())
+            .find(|(_, c)| ('1'..='8').contains(c))
+            .map(|(i, _)| i)
+            .expect("payload contains a digit");
+        let mut bytes = json.into_bytes();
+        bytes[pos] += 1;
+        let tampered = String::from_utf8(bytes).unwrap();
+        let err =
+            Checkpoint::from_json(&tampered).err().expect("tampered checkpoint must be rejected");
+        assert!(
+            matches!(err, CoreError::CheckpointCorrupted { .. }),
+            "expected corruption error, got: {err}"
+        );
+    }
+
+    #[test]
+    fn truncated_checkpoint_rejected() {
+        let db = qpseeker_storage::datagen::imdb::generate(0.04, 2);
+        let model = QPSeeker::new(&db, ModelConfig::small());
+        let json = Checkpoint::capture(&model, &db).to_json().unwrap();
+        let truncated = &json[..json.len() / 2];
+        let err =
+            Checkpoint::from_json(truncated).err().expect("truncated checkpoint must be rejected");
+        assert!(
+            matches!(err, CoreError::CheckpointMalformed(_)),
+            "expected malformed error, got: {err}"
+        );
+    }
+
+    #[test]
+    fn future_version_rejected() {
+        let err = Checkpoint::from_json(r#"{"version":99,"checksum":"00","payload":{}}"#)
+            .err()
+            .expect("future version must be rejected");
+        assert!(matches!(err, CoreError::CheckpointVersion { found: 99, .. }), "{err}");
     }
 }

@@ -123,7 +123,11 @@ impl ModelConfig {
     /// Plan-node LSTM input width for a schema with `n_tables` relations:
     /// `[child data | relation one-hots | TaBERT | op one-hot | estimates]`.
     pub fn node_input_dim(&self, n_tables: usize) -> usize {
-        self.data_vec_dim() + n_tables + self.tabert.dim() + qpseeker_engine::plan::PhysicalOp::COUNT + 3
+        self.data_vec_dim()
+            + n_tables
+            + self.tabert.dim()
+            + qpseeker_engine::plan::PhysicalOp::COUNT
+            + 3
     }
 
     /// The VAE encoder's layer widths: joint_dim halved `vae_layers` times

@@ -23,14 +23,28 @@ impl QueryEncoder {
         n_joins: usize,
     ) -> Self {
         let mut rel_dims = vec![n_tables.max(1)];
-        rel_dims.extend(std::iter::repeat(cfg.set_mlp_hidden).take(cfg.set_mlp_layers));
+        rel_dims.extend(std::iter::repeat_n(cfg.set_mlp_hidden, cfg.set_mlp_layers));
         rel_dims.push(cfg.set_mlp_out);
         let mut join_dims = vec![n_joins.max(1)];
-        join_dims.extend(std::iter::repeat(cfg.set_mlp_hidden).take(cfg.set_mlp_layers));
+        join_dims.extend(std::iter::repeat_n(cfg.set_mlp_hidden, cfg.set_mlp_layers));
         join_dims.push(cfg.set_mlp_out);
         Self {
-            rel_mlp: Mlp::new(store, init, "query_enc.rel", &rel_dims, Activation::Relu, Activation::Relu),
-            join_mlp: Mlp::new(store, init, "query_enc.join", &join_dims, Activation::Relu, Activation::Relu),
+            rel_mlp: Mlp::new(
+                store,
+                init,
+                "query_enc.rel",
+                &rel_dims,
+                Activation::Relu,
+                Activation::Relu,
+            ),
+            join_mlp: Mlp::new(
+                store,
+                init,
+                "query_enc.join",
+                &join_dims,
+                Activation::Relu,
+                Activation::Relu,
+            ),
             out_dim: cfg.query_dim(),
         }
     }
@@ -42,8 +56,7 @@ impl QueryEncoder {
     /// Encode one query's set features → `[1, query_dim]`.
     pub fn forward(&self, g: &mut Graph, store: &ParamStore, feats: &QueryFeatures) -> Var {
         let rel = self.encode_set(g, store, &self.rel_mlp, &feats.rel_matrix, &feats.rel_mask);
-        let join =
-            self.encode_set(g, store, &self.join_mlp, &feats.join_matrix, &feats.join_mask);
+        let join = self.encode_set(g, store, &self.join_mlp, &feats.join_matrix, &feats.join_mask);
         g.concat_cols(rel, join)
     }
 
@@ -126,9 +139,8 @@ impl PlanEncoder {
             // in the estimate slot, zero initial LSTM state.
             let zeros = g.constant(Tensor::zeros(1, self.data_dim));
             let mid = g.constant(node.mid.clone());
-            let est = g.constant(
-                node.leaf_est.clone().expect("leaf featurization includes estimates"),
-            );
+            let est =
+                g.constant(node.leaf_est.clone().expect("leaf featurization includes estimates"));
             let input = g.concat_cols_all(&[zeros, mid, est]);
             (input, self.cell.zero_state(g, 1))
         } else {
@@ -182,11 +194,8 @@ mod tests {
     fn setup() -> (qpseeker_storage::Database, Query, PlanNode) {
         let db = imdb::generate(0.05, 4);
         let mut q = Query::new("q");
-        q.relations = vec![
-            RelRef::new("title"),
-            RelRef::new("movie_info"),
-            RelRef::new("movie_keyword"),
-        ];
+        q.relations =
+            vec![RelRef::new("title"), RelRef::new("movie_info"), RelRef::new("movie_keyword")];
         q.joins = vec![
             JoinPred {
                 left: ColRef::new("movie_info", "movie_id"),
@@ -310,7 +319,7 @@ mod tests {
     }
 
     #[test]
-    fn gradients_flow_to_both_encoders(){
+    fn gradients_flow_to_both_encoders() {
         let (db, q, plan) = setup();
         let cfg = ModelConfig::small();
         let mut store = ParamStore::new();

@@ -1,0 +1,129 @@
+//! Typed core errors.
+//!
+//! Top link of the workspace error chain: wraps [`EngineError`] (which in
+//! turn wraps `StorageError`) and adds checkpoint-integrity failures. As in
+//! the lower layers, Display texts preserve the phrases the stringly-typed
+//! APIs used ("schema mismatch", "parameter layout mismatch") so messages
+//! stay stable across the conversion.
+
+use qpseeker_engine::error::EngineError;
+use std::fmt;
+
+/// Errors raised by the neural planner: plan compilation/execution failures
+/// lifted from the engine, plus checkpoint load/restore failures.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// A planning or execution failure from the engine layer.
+    Engine(EngineError),
+    /// The checkpoint file is not valid JSON / not a checkpoint envelope.
+    CheckpointMalformed(String),
+    /// The checkpoint envelope declares an unsupported format version.
+    CheckpointVersion { found: u64, supported: u64 },
+    /// The checkpoint payload does not match its recorded checksum
+    /// (truncation or bit-rot).
+    CheckpointCorrupted { expected: String, actual: String },
+    /// The checkpoint was trained against a different catalog.
+    SchemaMismatch { expected: (usize, usize), found: (usize, usize) },
+    /// The rebuilt architecture does not match the saved parameters.
+    ParamLayout {
+        built_params: usize,
+        built_scalars: usize,
+        saved_params: usize,
+        saved_scalars: usize,
+    },
+}
+
+impl CoreError {
+    /// Whether a retry is worthwhile (delegates to the engine layer; all
+    /// checkpoint failures are permanent).
+    pub fn is_transient(&self) -> bool {
+        match self {
+            CoreError::Engine(e) => e.is_transient(),
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Engine(e) => write!(f, "{e}"),
+            CoreError::CheckpointMalformed(why) => {
+                write!(f, "malformed checkpoint: {why}")
+            }
+            CoreError::CheckpointVersion { found, supported } => {
+                write!(f, "unsupported checkpoint version {found} (supported: {supported})")
+            }
+            CoreError::CheckpointCorrupted { expected, actual } => {
+                write!(f, "corrupt checkpoint: checksum {actual} does not match recorded {expected}")
+            }
+            CoreError::SchemaMismatch { expected, found } => write!(
+                f,
+                "schema mismatch: checkpoint was trained against {expected:?} (tables, joins), database has {found:?}"
+            ),
+            CoreError::ParamLayout { built_params, built_scalars, saved_params, saved_scalars } => {
+                write!(
+                    f,
+                    "parameter layout mismatch: rebuilt {built_params} params / {built_scalars} scalars, checkpoint has {saved_params} / {saved_scalars}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Engine(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<EngineError> for CoreError {
+    fn from(e: EngineError) -> Self {
+        CoreError::Engine(e)
+    }
+}
+
+impl From<serde_json::Error> for CoreError {
+    fn from(e: serde_json::Error) -> Self {
+        CoreError::CheckpointMalformed(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qpseeker_storage::StorageError;
+
+    #[test]
+    fn preserves_legacy_message_phrases() {
+        let schema = CoreError::SchemaMismatch { expected: (21, 13), found: (14, 12) };
+        assert!(schema.to_string().contains("schema mismatch"));
+        let layout = CoreError::ParamLayout {
+            built_params: 10,
+            built_scalars: 100,
+            saved_params: 9,
+            saved_scalars: 90,
+        };
+        assert!(layout.to_string().contains("parameter layout mismatch"));
+    }
+
+    #[test]
+    fn engine_errors_lift_with_source() {
+        use std::error::Error;
+        let e: CoreError = EngineError::from(StorageError::UnknownTable("ghost".into())).into();
+        assert!(e.to_string().contains("ghost"));
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn transience_follows_the_engine_layer() {
+        let transient: CoreError =
+            EngineError::from(StorageError::PageRead { table: "t".into(), page: 3 }).into();
+        assert!(transient.is_transient());
+        let corrupt = CoreError::CheckpointCorrupted { expected: "aa".into(), actual: "bb".into() };
+        assert!(!corrupt.is_transient());
+    }
+}

@@ -144,11 +144,8 @@ impl<'a> Featurizer<'a> {
         let query_feats = self.query_features(query);
         let estimates = self.explain.explain(query, plan);
         let mut postorder_idx = 0usize;
-        let plan_feats =
-            self.feat_node(query, plan, &estimates, truths, norm, &mut postorder_idx);
-        let target = truths.map(|t| {
-            norm.encode([t.rows as f64, t.cost, t.time_ms])
-        });
+        let plan_feats = self.feat_node(query, plan, &estimates, truths, norm, &mut postorder_idx);
+        let target = truths.map(|t| norm.encode([t.rows as f64, t.cost, t.time_ms]));
         FeaturizedQep { query: query_feats, plan: plan_feats, target, template: template.into() }
     }
 
@@ -247,10 +244,8 @@ impl<'a> Featurizer<'a> {
         let matching: Vec<u32> = (0..t.n_rows() as u32)
             .filter(|&i| eval_filter(f.op, col.num(i as usize), f.value))
             .collect();
-        let repr = self
-            .tabert
-            .encode_column_filtered(self.db, table, &f.col.column, &matching)
-            .vector;
+        let repr =
+            self.tabert.encode_column_filtered(self.db, table, &f.col.column, &matching).vector;
         self.filtered_cache.insert(key, repr.clone());
         repr
     }
@@ -315,7 +310,7 @@ mod tests {
         assert_eq!(qf.join_matrix.shape(), (m, m));
         assert_eq!(qf.rel_mask.sum(), 2.0); // two relations
         assert_eq!(qf.join_mask.sum(), 1.0); // one join
-        // Each valid row is a one-hot.
+                                             // Each valid row is a one-hot.
         assert_eq!(qf.rel_matrix.row_slice(0).iter().sum::<f32>(), 1.0);
         assert_eq!(qf.rel_matrix.row_slice(1).iter().sum::<f32>(), 1.0);
         assert_eq!(qf.rel_matrix.row_slice(2).iter().sum::<f32>(), 0.0);
@@ -387,9 +382,8 @@ mod tests {
         let truth2 = Executor::new(&db).execute(&plan2);
         let fq2 = f.featurize(&q2, &plan2, Some(&truth2), &n, "t0");
         let n_tables = db.catalog.num_tables();
-        let seg = |fqx: &FeaturizedQep| {
-            fqx.plan.children[0].mid.data()[n_tables..n_tables + 64].to_vec()
-        };
+        let seg =
+            |fqx: &FeaturizedQep| fqx.plan.children[0].mid.data()[n_tables..n_tables + 64].to_vec();
         assert_ne!(seg(&fq), seg(&fq2));
     }
 

@@ -37,11 +37,13 @@
 pub mod checkpoint;
 pub mod config;
 pub mod encoder;
+pub mod error;
 pub mod featurize;
 pub mod mcts;
 pub mod metrics;
 pub mod model;
 pub mod normalize;
+pub mod serve;
 pub mod vae;
 pub mod viz;
 
@@ -49,10 +51,14 @@ pub mod viz;
 pub mod prelude {
     pub use crate::checkpoint::Checkpoint;
     pub use crate::config::ModelConfig;
+    pub use crate::error::CoreError;
     pub use crate::featurize::{FeatNode, FeaturizedQep, Featurizer, QueryFeatures};
     pub use crate::mcts::{Action, MctsConfig, MctsPlanner, MctsResult};
     pub use crate::metrics::{q_error, QErrorSummary};
     pub use crate::model::{Prediction, QPSeeker, TrainReport};
     pub use crate::normalize::TargetNormalizer;
+    pub use crate::serve::{
+        plan_with_fallback, FallbackReason, ServeConfig, ServeResult, ServedBy,
+    };
     pub use crate::viz::{silhouette, tsne, TsneConfig};
 }

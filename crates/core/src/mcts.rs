@@ -213,7 +213,9 @@ impl MctsPlanner {
             let best_seq = &best.as_ref().expect("best set above").0;
             for (depth, &node_idx) in path.iter().enumerate() {
                 nodes[node_idx].visits += 1.0;
-                if depth <= best_seq.len() && actions[..depth] == best_seq[..depth.min(best_seq.len())] {
+                if depth <= best_seq.len()
+                    && actions[..depth] == best_seq[..depth.min(best_seq.len())]
+                {
                     nodes[node_idx].reward += 1.0;
                 }
             }
@@ -308,11 +310,8 @@ mod tests {
     fn three_way(db: &qpseeker_storage::Database) -> Query {
         let _ = db;
         let mut q = Query::new("mcts-q");
-        q.relations = vec![
-            RelRef::new("title"),
-            RelRef::new("movie_info"),
-            RelRef::new("movie_keyword"),
-        ];
+        q.relations =
+            vec![RelRef::new("title"), RelRef::new("movie_info"), RelRef::new("movie_keyword")];
         q.joins = vec![
             JoinPred {
                 left: ColRef::new("movie_info", "movie_id"),
@@ -415,7 +414,9 @@ mod tests {
             &[Action::Start { alias: "movie_info".into(), scan: ScanOp::SeqScan }],
         );
         // Only title is adjacent to movie_info.
-        assert!(after.iter().all(|a| matches!(a, Action::Extend { alias, .. } if alias == "title")));
+        assert!(after
+            .iter()
+            .all(|a| matches!(a, Action::Extend { alias, .. } if alias == "title")));
         assert_eq!(after.len(), 3 * 3); // 1 relation x 3 scans x 3 joins
     }
 }

@@ -35,6 +35,10 @@ pub struct TrainReport {
     pub final_kl: f64,
     /// Wall-clock training seconds.
     pub train_seconds: f64,
+    /// Totals from the optimizer's numerical guards across all steps
+    /// (non-finite gradients zeroed, oversized updates clamped, non-finite
+    /// parameter values reverted). All-zero for a numerically healthy run.
+    pub guards: StepReport,
 }
 
 /// The QPSeeker neural planner, bound to one database.
@@ -115,7 +119,10 @@ impl<'a> QPSeeker<'a> {
         // Auxiliary supervision pairs: (node output var, normalized truth).
         let mut aux = Vec::new();
         if self.config.node_loss_weight > 0.0 {
-            collect_node_truths(&fq.plan, &mut NodeTruthWalker { vars: &ep.node_vars, pos: 0, out: &mut aux });
+            collect_node_truths(
+                &fq.plan,
+                &mut NodeTruthWalker { vars: &ep.node_vars, pos: 0, out: &mut aux },
+            );
         }
         (joint, aux)
     }
@@ -142,6 +149,7 @@ impl<'a> QPSeeker<'a> {
         let mut epoch_losses = Vec::with_capacity(self.config.epochs);
         let mut final_pred = 0.0;
         let mut final_kl = 0.0;
+        let mut guards = StepReport::default();
         for _epoch in 0..self.config.epochs {
             order.shuffle(&mut rng);
             let mut epoch_total = 0.0;
@@ -150,7 +158,8 @@ impl<'a> QPSeeker<'a> {
             let mut batches = 0.0;
             for chunk in order.chunks(self.config.batch_size.max(1)) {
                 let batch: Vec<&FeaturizedQep> = chunk.iter().map(|&i| &feats[i]).collect();
-                let (total, pred, kl) = self.train_batch(&batch, &mut opt);
+                let (total, pred, kl, step_guards) = self.train_batch(&batch, &mut opt);
+                guards.absorb(step_guards);
                 epoch_total += total;
                 epoch_pred += pred;
                 epoch_kl += kl;
@@ -165,10 +174,15 @@ impl<'a> QPSeeker<'a> {
             final_pred_loss: final_pred,
             final_kl,
             train_seconds: 0.0,
+            guards,
         }
     }
 
-    fn train_batch(&mut self, batch: &[&FeaturizedQep], opt: &mut Adam) -> (f64, f64, f64) {
+    fn train_batch(
+        &mut self,
+        batch: &[&FeaturizedQep],
+        opt: &mut Adam,
+    ) -> (f64, f64, f64, StepReport) {
         self.store.zero_grads();
         let mut g = Graph::new();
         let mut joint_rows = Vec::with_capacity(batch.len());
@@ -191,10 +205,8 @@ impl<'a> QPSeeker<'a> {
         // Auxiliary per-node estimate loss on the plan encoder outputs.
         if !aux_pairs.is_empty() && self.config.node_loss_weight > 0.0 {
             let d = self.config.data_vec_dim();
-            let node_vars: Vec<Var> = aux_pairs
-                .iter()
-                .map(|(v, _)| g.slice_cols(*v, d, d + 3))
-                .collect();
+            let node_vars: Vec<Var> =
+                aux_pairs.iter().map(|(v, _)| g.slice_cols(*v, d, d + 3)).collect();
             let stacked_raw = g.stack_rows(&node_vars);
             // Node estimate slots carry z/5 (see featurize::ESTIMATE_SCALE);
             // rescale before comparing against raw z-scored truths.
@@ -210,8 +222,8 @@ impl<'a> QPSeeker<'a> {
         let (pred_v, kl_v) = (g.value(pred).get(0, 0) as f64, g.value(kl).get(0, 0) as f64);
         let loss = g.backward(total, &mut self.store);
         self.store.clip_grad_norm(5.0);
-        opt.step(&mut self.store);
-        (loss as f64, pred_v, kl_v)
+        let guards = opt.step(&mut self.store);
+        (loss as f64, pred_v, kl_v, guards)
     }
 
     /// Predict (cardinality, cost, runtime) for an arbitrary plan of a
@@ -304,10 +316,7 @@ mod tests {
         let model = QPSeeker::new(&db, ModelConfig::paper());
         let params = model.num_parameters();
         // The paper quotes 10.8M; our schema dims land in the same regime.
-        assert!(
-            (8_000_000..16_000_000).contains(&params),
-            "paper-config parameter count {params}"
-        );
+        assert!((8_000_000..16_000_000).contains(&params), "paper-config parameter count {params}");
     }
 
     #[test]

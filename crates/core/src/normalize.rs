@@ -71,9 +71,7 @@ mod tests {
     use super::*;
 
     fn samples() -> Vec<[f64; 3]> {
-        (1..100)
-            .map(|i| [i as f64 * 10.0, i as f64 * 3.0, i as f64 * 0.5])
-            .collect()
+        (1..100).map(|i| [i as f64 * 10.0, i as f64 * 3.0, i as f64 * 0.5]).collect()
     }
 
     #[test]
@@ -99,8 +97,8 @@ mod tests {
         let encoded: Vec<[f32; 3]> = s.iter().map(|&t| n.encode(t)).collect();
         for i in 0..3 {
             let mean: f32 = encoded.iter().map(|e| e[i]).sum::<f32>() / encoded.len() as f32;
-            let var: f32 =
-                encoded.iter().map(|e| (e[i] - mean) * (e[i] - mean)).sum::<f32>() / encoded.len() as f32;
+            let var: f32 = encoded.iter().map(|e| (e[i] - mean) * (e[i] - mean)).sum::<f32>()
+                / encoded.len() as f32;
             assert!(mean.abs() < 1e-3, "mean {mean}");
             assert!((var - 1.0).abs() < 1e-2, "var {var}");
         }

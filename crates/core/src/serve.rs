@@ -1,0 +1,347 @@
+//! Graceful-degradation serving path.
+//!
+//! Production neural planners cannot afford to fail a query because the
+//! model did: [`plan_with_fallback`] runs the MCTS planner under a deadline
+//! watchdog with NaN/Inf prediction checks and bounded retry + exponential
+//! backoff for transient faults, and falls back to the classical DP/greedy
+//! optimizer whenever the neural path cannot produce a valid plan in time.
+//! The [`ServeResult`] records which path served and every failure seen on
+//! the way, so chaos tests (and operators) can audit degradation decisions.
+
+use crate::mcts::{MctsConfig, MctsPlanner};
+use crate::model::QPSeeker;
+use qpseeker_engine::optimizer::PgOptimizer;
+use qpseeker_engine::plan::PlanNode;
+use qpseeker_engine::query::Query;
+use qpseeker_storage::{Database, FaultConfig, FaultInjector, InferenceFault};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Instant;
+
+/// Serving-path configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// MCTS settings for each neural attempt (the seed is varied per
+    /// attempt so a retry explores differently).
+    pub mcts: MctsConfig,
+    /// Wall-clock budget for one neural attempt, in milliseconds. An
+    /// attempt that exceeds it is discarded.
+    pub deadline_ms: f64,
+    /// Retries after the first failed neural attempt.
+    pub max_retries: usize,
+    /// First backoff pause; doubles per retry. Zero disables sleeping
+    /// (virtual backoff is still recorded).
+    pub backoff_base_ms: f64,
+    /// Optional injected inference faults (chaos testing).
+    pub faults: Option<FaultConfig>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            mcts: MctsConfig::default(),
+            deadline_ms: 1_000.0,
+            max_retries: 2,
+            backoff_base_ms: 0.0,
+            faults: None,
+        }
+    }
+}
+
+/// Which optimizer produced the served plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServedBy {
+    /// The QPSeeker MCTS planner.
+    Neural,
+    /// The classical DP/greedy cost-based optimizer.
+    Classical,
+}
+
+/// Why a neural attempt was rejected (and, for the last one, why the
+/// query fell back to the classical optimizer).
+#[derive(Debug, Clone, PartialEq)]
+pub enum FallbackReason {
+    /// No model was provided (e.g. checkpoint failed to load).
+    ModelUnavailable(String),
+    /// The cost model predicted NaN or Inf for the chosen plan.
+    NonFinitePrediction,
+    /// The attempt blew through its deadline.
+    DeadlineExceeded { elapsed_ms: f64, deadline_ms: f64 },
+    /// MCTS produced a plan that failed validation against the query.
+    InvalidPlan(String),
+    /// The planner panicked; the panic was contained.
+    PlannerPanicked(String),
+}
+
+impl std::fmt::Display for FallbackReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FallbackReason::ModelUnavailable(why) => write!(f, "model unavailable: {why}"),
+            FallbackReason::NonFinitePrediction => f.write_str("non-finite cost prediction"),
+            FallbackReason::DeadlineExceeded { elapsed_ms, deadline_ms } => {
+                write!(f, "deadline exceeded: {elapsed_ms:.1}ms > {deadline_ms:.1}ms")
+            }
+            FallbackReason::InvalidPlan(why) => write!(f, "invalid plan: {why}"),
+            FallbackReason::PlannerPanicked(why) => write!(f, "planner panicked: {why}"),
+        }
+    }
+}
+
+/// Outcome of [`plan_with_fallback`]: always carries a valid, executable
+/// plan, plus the full degradation audit trail.
+#[derive(Debug, Clone)]
+pub struct ServeResult {
+    pub plan: PlanNode,
+    pub served_by: ServedBy,
+    /// Neural attempts made (0 when the model was unavailable).
+    pub attempts: usize,
+    /// Total backoff charged between attempts, in milliseconds.
+    pub backoff_ms: f64,
+    /// Why the query was served classically (`None` on the neural path).
+    pub fallback_reason: Option<FallbackReason>,
+    /// Every failed neural attempt, in order.
+    pub attempt_failures: Vec<FallbackReason>,
+    /// The model's runtime prediction for the served plan (neural path only).
+    pub predicted_ms: Option<f64>,
+}
+
+/// Plan `query`, preferring the neural planner but guaranteeing a valid
+/// plan: each neural attempt is guarded by a deadline watchdog, a finite-
+/// prediction check, plan validation and a panic boundary; failures retry
+/// with exponential backoff (a different MCTS seed each time) up to
+/// `cfg.max_retries`, after which the classical optimizer serves the query.
+pub fn plan_with_fallback(
+    db: &Database,
+    query: &Query,
+    model: Option<&mut QPSeeker<'_>>,
+    cfg: &ServeConfig,
+) -> ServeResult {
+    let injector = cfg.faults.clone().map(FaultInjector::new);
+    let mut failures: Vec<FallbackReason> = Vec::new();
+    let mut backoff_ms = 0.0;
+
+    let model = match model {
+        Some(m) => m,
+        None => {
+            let reason = FallbackReason::ModelUnavailable("no model loaded".into());
+            return classical(db, query, 0, backoff_ms, vec![reason.clone()], reason);
+        }
+    };
+
+    let attempts = cfg.max_retries + 1;
+    for attempt in 0..attempts {
+        if attempt > 0 {
+            let pause = cfg.backoff_base_ms * (1 << (attempt - 1)) as f64;
+            backoff_ms += pause;
+            if pause > 0.0 {
+                std::thread::sleep(std::time::Duration::from_micros((pause * 1_000.0) as u64));
+            }
+        }
+
+        let mut mcts = cfg.mcts.clone();
+        mcts.seed ^= attempt as u64;
+        // Never let one attempt's internal budget exceed the watchdog.
+        mcts.budget_ms = mcts.budget_ms.min(cfg.deadline_ms);
+        let planner = MctsPlanner::new(mcts);
+
+        let started = Instant::now();
+        let outcome = catch_unwind(AssertUnwindSafe(|| planner.plan(model, query)));
+        let mut elapsed_ms = started.elapsed().as_secs_f64() * 1_000.0;
+
+        let mut result = match outcome {
+            Ok(r) => r,
+            Err(payload) => {
+                failures.push(FallbackReason::PlannerPanicked(panic_text(payload)));
+                continue;
+            }
+        };
+
+        // Injected inference faults (chaos testing): a stall exhausts the
+        // deadline, a NaN fault poisons the prediction.
+        if let Some(fault) = injector.as_ref().and_then(|fi| fi.inference_fault(&query.id, attempt))
+        {
+            match fault {
+                InferenceFault::Stall => elapsed_ms += cfg.deadline_ms,
+                InferenceFault::NanPrediction => result.predicted_ms = f64::NAN,
+            }
+        }
+
+        if !result.predicted_ms.is_finite() {
+            failures.push(FallbackReason::NonFinitePrediction);
+            continue;
+        }
+        if elapsed_ms > cfg.deadline_ms {
+            failures.push(FallbackReason::DeadlineExceeded {
+                elapsed_ms,
+                deadline_ms: cfg.deadline_ms,
+            });
+            continue;
+        }
+        if let Err(e) = result.plan.validate(query) {
+            failures.push(FallbackReason::InvalidPlan(e.to_string()));
+            continue;
+        }
+
+        return ServeResult {
+            plan: result.plan,
+            served_by: ServedBy::Neural,
+            attempts: attempt + 1,
+            backoff_ms,
+            fallback_reason: None,
+            attempt_failures: failures,
+            predicted_ms: Some(result.predicted_ms),
+        };
+    }
+
+    let reason = failures.last().cloned().unwrap_or(FallbackReason::NonFinitePrediction);
+    classical(db, query, attempts, backoff_ms, failures, reason)
+}
+
+fn classical(
+    db: &Database,
+    query: &Query,
+    attempts: usize,
+    backoff_ms: f64,
+    attempt_failures: Vec<FallbackReason>,
+    reason: FallbackReason,
+) -> ServeResult {
+    ServeResult {
+        plan: PgOptimizer::new(db).plan(query),
+        served_by: ServedBy::Classical,
+        attempts,
+        backoff_ms,
+        fallback_reason: Some(reason),
+        attempt_failures,
+        predicted_ms: None,
+    }
+}
+
+fn panic_text(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ModelConfig;
+    use qpseeker_workloads::{synthetic, Qep, SyntheticConfig};
+
+    fn db_and_workload() -> (Database, Vec<Query>) {
+        let db = qpseeker_storage::datagen::imdb::generate(0.04, 2);
+        let w = synthetic::generate(&db, &SyntheticConfig { n_queries: 8, seed: 7 });
+        let queries = w.qeps.iter().map(|q| q.query.clone()).collect();
+        (db, queries)
+    }
+
+    fn fitted_model(db: &Database) -> QPSeeker<'_> {
+        let w = synthetic::generate(db, &SyntheticConfig { n_queries: 12, seed: 3 });
+        let refs: Vec<&Qep> = w.qeps.iter().collect();
+        let mut model = QPSeeker::new(db, ModelConfig::small());
+        model.fit(&refs);
+        model
+    }
+
+    fn quick_cfg() -> ServeConfig {
+        ServeConfig {
+            mcts: MctsConfig { budget_ms: 30.0, max_simulations: 60, ..MctsConfig::default() },
+            deadline_ms: 5_000.0,
+            max_retries: 1,
+            backoff_base_ms: 0.0,
+            faults: None,
+        }
+    }
+
+    #[test]
+    fn healthy_model_serves_neurally() {
+        let (db, queries) = db_and_workload();
+        let mut model = fitted_model(&db);
+        let r = plan_with_fallback(&db, &queries[0], Some(&mut model), &quick_cfg());
+        assert_eq!(r.served_by, ServedBy::Neural);
+        assert!(r.fallback_reason.is_none());
+        assert!(r.predicted_ms.is_some());
+        assert!(r.plan.validate(&queries[0]).is_ok());
+    }
+
+    #[test]
+    fn missing_model_degrades_to_classical() {
+        let (db, queries) = db_and_workload();
+        let r = plan_with_fallback(&db, &queries[0], None, &quick_cfg());
+        assert_eq!(r.served_by, ServedBy::Classical);
+        assert_eq!(r.attempts, 0);
+        assert!(matches!(r.fallback_reason, Some(FallbackReason::ModelUnavailable(_))));
+        assert!(r.plan.validate(&queries[0]).is_ok());
+    }
+
+    #[test]
+    fn certain_inference_faults_force_classical_fallback() {
+        let (db, queries) = db_and_workload();
+        let mut model = fitted_model(&db);
+        let mut cfg = quick_cfg();
+        cfg.faults = Some(FaultConfig { inference_nan_p: 1.0, ..FaultConfig::default() });
+        let r = plan_with_fallback(&db, &queries[0], Some(&mut model), &cfg);
+        assert_eq!(r.served_by, ServedBy::Classical);
+        assert_eq!(r.attempts, 2, "one attempt plus one retry");
+        assert_eq!(r.attempt_failures.len(), 2);
+        assert!(matches!(r.fallback_reason, Some(FallbackReason::NonFinitePrediction)));
+        assert!(r.plan.validate(&queries[0]).is_ok());
+    }
+
+    #[test]
+    fn retry_can_recover_from_a_transient_fault() {
+        let (db, queries) = db_and_workload();
+        let mut model = fitted_model(&db);
+        // Find a (seed, query) pair where attempt 0 faults but attempt 1
+        // does not — the retry must then serve neurally.
+        let mut cfg = quick_cfg();
+        let mut found = false;
+        'outer: for seed in 0..40u64 {
+            let faults = FaultConfig { seed, inference_nan_p: 0.5, ..FaultConfig::default() };
+            let fi = FaultInjector::new(faults.clone());
+            for q in &queries {
+                if fi.inference_fault(&q.id, 0).is_some() && fi.inference_fault(&q.id, 1).is_none()
+                {
+                    cfg.faults = Some(faults);
+                    let r = plan_with_fallback(&db, q, Some(&mut model), &cfg);
+                    assert_eq!(r.served_by, ServedBy::Neural, "retry should have recovered");
+                    assert_eq!(r.attempts, 2);
+                    assert_eq!(r.attempt_failures.len(), 1);
+                    found = true;
+                    break 'outer;
+                }
+            }
+        }
+        assert!(found, "no (seed, query) pair with a transient first-attempt fault");
+    }
+
+    #[test]
+    fn stall_faults_trip_the_deadline_watchdog() {
+        let (db, queries) = db_and_workload();
+        let mut model = fitted_model(&db);
+        let mut cfg = quick_cfg();
+        cfg.max_retries = 0;
+        cfg.faults = Some(FaultConfig { inference_stall_p: 1.0, ..FaultConfig::default() });
+        let r = plan_with_fallback(&db, &queries[0], Some(&mut model), &cfg);
+        assert_eq!(r.served_by, ServedBy::Classical);
+        assert!(matches!(r.fallback_reason, Some(FallbackReason::DeadlineExceeded { .. })));
+    }
+
+    #[test]
+    fn backoff_doubles_per_retry() {
+        let (db, queries) = db_and_workload();
+        let mut model = fitted_model(&db);
+        let mut cfg = quick_cfg();
+        cfg.max_retries = 3;
+        // Virtual backoff only (no sleeping in tests beyond microseconds).
+        cfg.backoff_base_ms = 0.001;
+        cfg.faults = Some(FaultConfig { inference_nan_p: 1.0, ..FaultConfig::default() });
+        let r = plan_with_fallback(&db, &queries[0], Some(&mut model), &cfg);
+        assert_eq!(r.attempts, 4);
+        // 0.001 + 0.002 + 0.004
+        assert!((r.backoff_ms - 0.007).abs() < 1e-9, "backoff was {}", r.backoff_ms);
+    }
+}

@@ -32,8 +32,22 @@ impl CostModeler {
         let enc_dims = cfg.vae_encoder_dims();
         let dec_dims = cfg.vae_decoder_dims();
         Self {
-            encoder: Mlp::new(store, init, "vae.enc", &enc_dims, Activation::Relu, Activation::Identity),
-            decoder: Mlp::new(store, init, "vae.dec", &dec_dims, Activation::Relu, Activation::Identity),
+            encoder: Mlp::new(
+                store,
+                init,
+                "vae.enc",
+                &enc_dims,
+                Activation::Relu,
+                Activation::Identity,
+            ),
+            decoder: Mlp::new(
+                store,
+                init,
+                "vae.dec",
+                &dec_dims,
+                Activation::Relu,
+                Activation::Identity,
+            ),
             head: Linear::new(store, init, "vae.head", *dec_dims.last().expect("dims"), 3),
             latent: cfg.vae_latent,
         }
@@ -41,13 +55,7 @@ impl CostModeler {
 
     /// Forward with explicit noise (`eps`: `[batch, latent]`, standard
     /// normal for training, zeros for deterministic inference).
-    pub fn forward(
-        &self,
-        g: &mut Graph,
-        store: &ParamStore,
-        x: Var,
-        eps: Tensor,
-    ) -> VaeOutput {
+    pub fn forward(&self, g: &mut Graph, store: &ParamStore, x: Var, eps: Tensor) -> VaeOutput {
         let h = self.encoder.forward(g, store, x);
         let mu = g.slice_cols(h, 0, self.latent);
         let logvar_raw = g.slice_cols(h, self.latent, 2 * self.latent);

@@ -77,8 +77,7 @@ impl<'a> CardEstimator<'a> {
             PlanNode::Join { left, right, preds, .. } => {
                 let l = self.estimate_node(query, left, out);
                 let r = self.estimate_node(query, right, out);
-                let sel: f64 =
-                    preds.iter().map(|p| self.join_selectivity(query, p)).product();
+                let sel: f64 = preds.iter().map(|p| self.join_selectivity(query, p)).product();
                 (l * r * sel).max(1.0)
             }
         };
@@ -189,11 +188,8 @@ mod tests {
         let db = db();
         let est = CardEstimator::new(&db);
         let mut q = Query::new("q");
-        q.relations = vec![
-            RelRef::new("title"),
-            RelRef::new("movie_info"),
-            RelRef::new("movie_keyword"),
-        ];
+        q.relations =
+            vec![RelRef::new("title"), RelRef::new("movie_info"), RelRef::new("movie_keyword")];
         q.joins = vec![
             JoinPred {
                 left: ColRef::new("movie_info", "movie_id"),
@@ -229,7 +225,8 @@ mod tests {
         let e1 = est.estimate_plan(&q, &p1);
         let e2 = est.estimate_plan(&q, &p2);
         assert_eq!(e1.len(), 5);
-        let rel = (e1.last().unwrap() / e2.last().unwrap()).max(e2.last().unwrap() / e1.last().unwrap());
+        let rel =
+            (e1.last().unwrap() / e2.last().unwrap()).max(e2.last().unwrap() / e1.last().unwrap());
         assert!(rel < 1.01, "root estimate must be join-order invariant, ratio {rel}");
         // And matches the closed-form query estimate.
         let eq = est.estimate_query(&q);
@@ -240,18 +237,11 @@ mod tests {
     fn selectivities_are_clamped() {
         let db = db();
         let est = CardEstimator::new(&db);
-        let f = Filter {
-            col: ColRef::new("title", "production_year"),
-            op: CmpOp::Eq,
-            value: -99999.0,
-        };
+        let f =
+            Filter { col: ColRef::new("title", "production_year"), op: CmpOp::Eq, value: -99999.0 };
         let s = est.filter_selectivity("title", &f);
-        assert!(s >= MIN_SEL && s <= 1.0);
-        let g = Filter {
-            col: ColRef::new("title", "production_year"),
-            op: CmpOp::Lt,
-            value: 1e12,
-        };
+        assert!((MIN_SEL..=1.0).contains(&s));
+        let g = Filter { col: ColRef::new("title", "production_year"), op: CmpOp::Lt, value: 1e12 };
         assert!(est.filter_selectivity("title", &g) <= 1.0);
     }
 }

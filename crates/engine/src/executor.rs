@@ -15,9 +15,12 @@
 //! only the accounting. This keeps ground-truth generation fast while
 //! keeping the cost/runtime figures faithful to each operator's work model.
 
+use crate::error::EngineError;
 use crate::plan::{JoinOp, PhysicalOp, PlanNode, ScanOp};
 use crate::query::{CmpOp, Filter};
-use qpseeker_storage::{ColumnData, Database, Table, BLOCK_SIZE};
+use qpseeker_storage::{
+    ColumnData, Database, FaultConfig, FaultInjector, Table, TableStats, BLOCK_SIZE,
+};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -146,7 +149,8 @@ pub fn scan_charge(
             (
                 degrade * (blocks * w.seq_page_ms + n * (w.tuple_cpu_ms + nf * w.predicate_ms)),
                 degrade
-                    * (blocks * c.seq_page_cost + n * (c.cpu_tuple_cost + nf * c.cpu_operator_cost)),
+                    * (blocks * c.seq_page_cost
+                        + n * (c.cpu_tuple_cost + nf * c.cpu_operator_cost)),
             )
         }
         (ScanOp::IndexScan, true) => (
@@ -266,11 +270,7 @@ struct Chunk {
 
 impl Chunk {
     fn n_tuples(&self) -> usize {
-        if self.width == 0 {
-            0
-        } else {
-            self.rows.len() / self.width
-        }
+        self.rows.len().checked_div(self.width).unwrap_or(0)
     }
 
     fn alias_pos(&self, alias: &str) -> usize {
@@ -286,51 +286,96 @@ impl Chunk {
     }
 }
 
+/// Why execution stopped early: either the row cap tripped (reported as a
+/// timed-out [`ExecutionResult`], like a statement timeout) or a typed
+/// fault surfaced (reported as an `Err` from [`Executor::try_execute`]).
+enum Interrupt {
+    RowCap(f64),
+    Fault(EngineError),
+}
+
 /// The plan executor.
 pub struct Executor<'a> {
     db: &'a Database,
     weights: TimeWeights,
     costs: CostUnits,
     indexes: HashMap<(String, String), BtreeIndex>,
+    faults: Option<FaultInjector>,
     /// Abort threshold for intermediate results.
     pub max_intermediate: usize,
 }
 
 impl<'a> Executor<'a> {
     /// Build an executor (materializes B-tree indexes declared in the catalog).
+    ///
+    /// # Panics
+    /// Panics when the catalog declares an index on a missing table; use
+    /// [`Executor::try_new`] on library paths that must not panic.
     pub fn new(db: &'a Database) -> Self {
         Self::with_weights(db, TimeWeights::default(), CostUnits::default())
     }
 
+    /// Fallible variant of [`Executor::new`].
+    pub fn try_new(db: &'a Database) -> Result<Self, EngineError> {
+        Self::try_with_weights(db, TimeWeights::default(), CostUnits::default())
+    }
+
     pub fn with_weights(db: &'a Database, weights: TimeWeights, costs: CostUnits) -> Self {
+        Self::try_with_weights(db, weights, costs).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    pub fn try_with_weights(
+        db: &'a Database,
+        weights: TimeWeights,
+        costs: CostUnits,
+    ) -> Result<Self, EngineError> {
         let mut indexes = HashMap::new();
         for im in &db.catalog.indexes {
-            let table = db.table(&im.table).expect("index on unknown table");
+            let table = db.try_table(&im.table)?;
             let col = table.col(&im.column);
-            indexes
-                .insert((im.table.clone(), im.column.clone()), BtreeIndex::build(&col.data));
+            indexes.insert((im.table.clone(), im.column.clone()), BtreeIndex::build(&col.data));
         }
-        Self { db, weights, costs, indexes, max_intermediate: 3_000_000 }
+        Ok(Self { db, weights, costs, indexes, faults: None, max_intermediate: 3_000_000 })
+    }
+
+    /// Arm deterministic fault injection: page-read failures, latency
+    /// spikes, corrupted statistics and row-budget aborts, per `cfg`.
+    /// Execute such plans through [`Executor::try_execute`].
+    pub fn with_faults(mut self, cfg: FaultConfig) -> Self {
+        self.faults = Some(FaultInjector::new(cfg));
+        self
     }
 
     /// Execute a plan, returning exact cardinalities and virtual-time/cost
     /// profiles for every node.
+    ///
+    /// # Panics
+    /// Panics on a typed execution fault (unknown table, injected fault);
+    /// fault-injected executors should use [`Executor::try_execute`].
     pub fn execute(&self, plan: &PlanNode) -> ExecutionResult {
+        self.try_execute(plan).unwrap_or_else(|e| panic!("plan execution failed: {e}"))
+    }
+
+    /// Execute a plan, surfacing typed faults instead of panicking. A row
+    /// cap overflow is still reported as a timed-out `Ok` result (it mimics
+    /// a statement timeout, which PostgreSQL also reports in-band).
+    pub fn try_execute(&self, plan: &PlanNode) -> Result<ExecutionResult, EngineError> {
         let mut nodes = Vec::with_capacity(plan.len());
         let mut peak_mem = 0u64;
-        match self.exec_node(plan, &mut nodes, &mut peak_mem) {
+        let mut rows_processed = 0u64;
+        match self.exec_node(plan, &mut nodes, &mut peak_mem, &mut rows_processed) {
             Ok(chunk) => {
                 let last = nodes.last().expect("at least one node profile");
-                ExecutionResult {
+                Ok(ExecutionResult {
                     rows: chunk.n_tuples() as u64,
                     cost: last.cost,
                     time_ms: last.time_ms,
                     nodes,
                     timed_out: false,
                     peak_mem_tuples: peak_mem,
-                }
+                })
             }
-            Err(partial_time) => {
+            Err(Interrupt::RowCap(partial_time)) => {
                 // Timed out: charge everything so far plus a large penalty,
                 // mimicking a statement timeout on an exploding plan.
                 let penalty = partial_time.max(1.0) * 10.0;
@@ -338,16 +383,31 @@ impl<'a> Executor<'a> {
                     .last()
                     .map(|n| (n.rows, n.cost))
                     .unwrap_or((self.max_intermediate as u64, 0.0));
-                ExecutionResult {
+                Ok(ExecutionResult {
                     rows,
                     cost: cost * 10.0,
                     time_ms: partial_time + penalty,
                     nodes,
                     timed_out: true,
                     peak_mem_tuples: peak_mem,
-                }
+                })
+            }
+            Err(Interrupt::Fault(e)) => Err(e),
+        }
+    }
+
+    /// Charge `n` rows against the injected row budget, if one is armed.
+    fn charge_rows(&self, processed: &mut u64, n: u64) -> Result<(), Interrupt> {
+        *processed += n;
+        if let Some(budget) = self.faults.as_ref().and_then(|f| f.row_budget()) {
+            if *processed > budget {
+                return Err(Interrupt::Fault(EngineError::RowBudgetExceeded {
+                    processed: *processed,
+                    budget,
+                }));
             }
         }
+        Ok(())
     }
 
     fn exec_node(
@@ -355,12 +415,15 @@ impl<'a> Executor<'a> {
         node: &PlanNode,
         profiles: &mut Vec<NodeProfile>,
         peak_mem: &mut u64,
-    ) -> Result<Chunk, f64> {
+        rows_processed: &mut u64,
+    ) -> Result<Chunk, Interrupt> {
         match node {
             PlanNode::Scan { alias, table, op, filters } => {
-                let t = self.db.table(table).unwrap_or_else(|| panic!("unknown table {table}"));
-                let (rows, time, cost) = self.exec_scan(t, *op, filters);
+                let t = self.db.try_table(table).map_err(|e| Interrupt::Fault(e.into()))?;
+                let (rows, time, cost) =
+                    self.exec_scan(t, *op, filters).map_err(Interrupt::Fault)?;
                 let n = rows.len();
+                self.charge_rows(rows_processed, n as u64)?;
                 profiles.push(NodeProfile {
                     op: PhysicalOp::Scan(*op),
                     rows: n as u64,
@@ -370,9 +433,9 @@ impl<'a> Executor<'a> {
                 Ok(Chunk { aliases: vec![alias.clone()], width: 1, rows })
             }
             PlanNode::Join { op, left, right, preds } => {
-                let l = self.exec_node(left, profiles, peak_mem)?;
+                let l = self.exec_node(left, profiles, peak_mem, rows_processed)?;
                 let lprof_idx = profiles.len() - 1;
-                let r = self.exec_node(right, profiles, peak_mem)?;
+                let r = self.exec_node(right, profiles, peak_mem, rows_processed)?;
                 let rprof_idx = profiles.len() - 1;
                 let child_time = profiles[lprof_idx].time_ms + profiles[rprof_idx].time_ms;
                 let child_cost = profiles[lprof_idx].cost + profiles[rprof_idx].cost;
@@ -380,8 +443,12 @@ impl<'a> Executor<'a> {
                 let out = self.join_chunks(&l, &r, preds, peak_mem);
                 let (nl, nr) = (l.n_tuples() as f64, r.n_tuples() as f64);
                 let nout = out.n_tuples() as u64;
-                let (self_time, self_cost) =
+                let (mut self_time, self_cost) =
                     join_charge(*op, nl, nr, nout as f64, &self.weights, &self.costs);
+                if let Some(fi) = &self.faults {
+                    self_time += fi.latency_spike_ms(&format!("join:{}", profiles.len()));
+                }
+                self.charge_rows(rows_processed, nout)?;
                 profiles.push(NodeProfile {
                     op: PhysicalOp::Join(*op),
                     rows: nout,
@@ -389,7 +456,7 @@ impl<'a> Executor<'a> {
                     time_ms: child_time + self_time,
                 });
                 if out.n_tuples() > self.max_intermediate {
-                    return Err(child_time + self_time);
+                    return Err(Interrupt::RowCap(child_time + self_time));
                 }
                 Ok(out)
             }
@@ -398,9 +465,26 @@ impl<'a> Executor<'a> {
 
     /// Execute a scan: compute matching base-row ids and charge the chosen
     /// access path.
-    fn exec_scan(&self, table: &Table, op: ScanOp, filters: &[Filter]) -> (Vec<u32>, f64, f64) {
+    fn exec_scan(
+        &self,
+        table: &Table,
+        op: ScanOp,
+        filters: &[Filter],
+    ) -> Result<(Vec<u32>, f64, f64), EngineError> {
+        if let Some(fi) = &self.faults {
+            fi.page_read(&table.name)?;
+        }
         let n = table.n_rows();
-        let stats = self.db.table_stats(&table.name).expect("stats exist");
+        let base_stats = self.db.try_table_stats(&table.name)?;
+        let corrupted;
+        let stats: &TableStats = match &self.faults {
+            Some(fi) if fi.corrupts_stats(&table.name) => {
+                corrupted = fi.corrupted_stats(base_stats);
+                &corrupted
+            }
+            _ => base_stats,
+        };
+        stats.validate()?;
         let blocks = stats.n_blocks as f64;
         let w = &self.weights;
         let c = &self.costs;
@@ -447,10 +531,10 @@ impl<'a> Executor<'a> {
         }
 
         let matched = candidates.len() as f64;
-        let meta = self.db.catalog.index_on(
-            &table.name,
-            idx_used.map(|f| f.col.column.as_str()).unwrap_or("id"),
-        );
+        let meta = self
+            .db
+            .catalog
+            .index_on(&table.name, idx_used.map(|f| f.col.column.as_str()).unwrap_or("id"));
         let (height, leaf_pages) =
             meta.map(|m| (m.height as f64, m.leaf_pages as f64)).unwrap_or((1.0, 1.0));
         let sel = if n > 0 { matched / n as f64 } else { 0.0 };
@@ -462,12 +546,21 @@ impl<'a> Executor<'a> {
             index_usable: idx_used.is_some(),
             n_filters: filters.len() as f64,
         };
-        let (time, cost) = scan_charge(op, &shape, sel, matched, w, c);
-        (out, time, cost)
+        let (mut time, cost) = scan_charge(op, &shape, sel, matched, w, c);
+        if let Some(fi) = &self.faults {
+            time += fi.latency_spike_ms(&table.name);
+        }
+        Ok((out, time, cost))
     }
 
     /// Compute the exact join result (hash-based, operator-independent).
-    fn join_chunks(&self, l: &Chunk, r: &Chunk, preds: &[crate::query::JoinPred], peak_mem: &mut u64) -> Chunk {
+    fn join_chunks(
+        &self,
+        l: &Chunk,
+        r: &Chunk,
+        preds: &[crate::query::JoinPred],
+        peak_mem: &mut u64,
+    ) -> Chunk {
         let mut aliases = l.aliases.clone();
         aliases.extend(r.aliases.iter().cloned());
         let width = l.width + r.width;
@@ -502,7 +595,7 @@ impl<'a> Executor<'a> {
         let keys: Vec<Key> = preds
             .iter()
             .map(|p| {
-                let (lref, rref) = if l.aliases.iter().any(|a| *a == p.left.alias) {
+                let (lref, rref) = if l.aliases.contains(&p.left.alias) {
                     (&p.left, &p.right)
                 } else {
                     (&p.right, &p.left)
@@ -565,8 +658,7 @@ impl<'a> Executor<'a> {
         'probe: for t in 0..probe.n_tuples() {
             if let Some(matches) = ht.get(&probe_key(t)) {
                 for &b in matches {
-                    let (lt, rt) =
-                        if build_is_left { (b as usize, t) } else { (t, b as usize) };
+                    let (lt, rt) = if build_is_left { (b as usize, t) } else { (t, b as usize) };
                     if verify(lt, rt) {
                         for p in 0..l.width {
                             rows.push(l.base_row(lt, p));
@@ -593,9 +685,7 @@ impl<'a> Executor<'a> {
             return t;
         }
         let base = alias.split('#').next().expect("non-empty alias");
-        self.db
-            .table(base)
-            .unwrap_or_else(|| panic!("cannot resolve alias {alias} to a table"))
+        self.db.table(base).unwrap_or_else(|| panic!("cannot resolve alias {alias} to a table"))
     }
 
     /// Exact cardinality of a full query via its cheapest structural plan
@@ -627,7 +717,9 @@ mod tests {
     use crate::plan::{JoinOp, PlanNode, ScanOp};
     use crate::query::{ColRef, Filter, JoinPred, Query, RelRef};
     use qpseeker_storage::datagen::imdb;
-    use qpseeker_storage::{Catalog, Column, ColumnMeta, Database, ForeignKey, IndexMeta, TableMeta};
+    use qpseeker_storage::{
+        Catalog, Column, ColumnMeta, Database, ForeignKey, IndexMeta, TableMeta,
+    };
 
     /// Hand-built 2-table database with known join result.
     fn micro_db() -> Database {
@@ -679,10 +771,7 @@ mod tests {
     fn micro_query() -> Query {
         let mut q = Query::new("q");
         q.relations = vec![RelRef::new("a"), RelRef::new("b")];
-        q.joins = vec![JoinPred {
-            left: ColRef::new("b", "a_id"),
-            right: ColRef::new("a", "id"),
-        }];
+        q.joins = vec![JoinPred { left: ColRef::new("b", "a_id"), right: ColRef::new("a", "id") }];
         q
     }
 
@@ -892,11 +981,8 @@ mod tests {
         let db = imdb::generate(0.2, 3);
         let ex = Executor::new(&db);
         let mut q = Query::new("q");
-        q.relations = vec![
-            RelRef::new("title"),
-            RelRef::new("movie_info"),
-            RelRef::new("movie_keyword"),
-        ];
+        q.relations =
+            vec![RelRef::new("title"), RelRef::new("movie_info"), RelRef::new("movie_keyword")];
         q.joins = vec![
             JoinPred {
                 left: ColRef::new("movie_info", "movie_id"),

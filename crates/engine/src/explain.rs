@@ -56,11 +56,8 @@ impl<'a> Explain<'a> {
                     .find(|f| self.db.catalog.index_on(table, &f.col.column).is_some());
                 let (height, leaf_pages, usable) = match index_filter {
                     Some(f) => {
-                        let m = self
-                            .db
-                            .catalog
-                            .index_on(table, &f.col.column)
-                            .expect("checked above");
+                        let m =
+                            self.db.catalog.index_on(table, &f.col.column).expect("checked above");
                         (m.height as f64, m.leaf_pages as f64, true)
                     }
                     None => (1.0, 1.0, false),
@@ -80,8 +77,7 @@ impl<'a> Explain<'a> {
             PlanNode::Join { op, left, right, preds } => {
                 let l = self.node(query, left, out);
                 let r = self.node(query, right, out);
-                let sel: f64 =
-                    preds.iter().map(|p| self.est.join_selectivity(query, p)).product();
+                let sel: f64 = preds.iter().map(|p| self.est.join_selectivity(query, p)).product();
                 let rows = (l.rows * r.rows * sel).max(1.0);
                 let (t, c) = join_charge(*op, l.rows, r.rows, rows, &self.weights, &self.costs);
                 NodeEstimate { rows, cost: l.cost + r.cost + c, time_ms: l.time_ms + r.time_ms + t }

@@ -7,6 +7,7 @@
 //! operator choices) and [`LeftDeepSpec::compile`] turns it into an
 //! executable [`PlanNode`], validating it against the query.
 
+use crate::error::EngineError;
 use crate::plan::{JoinOp, PlanNode, ScanOp};
 use crate::query::Query;
 use serde::{Deserialize, Serialize};
@@ -22,27 +23,25 @@ pub struct LeftDeepSpec {
 impl LeftDeepSpec {
     /// Compile to an executable plan, re-attaching the query's filters and
     /// join predicates.
-    pub fn compile(&self, query: &Query) -> Result<PlanNode, String> {
+    pub fn compile(&self, query: &Query) -> Result<PlanNode, EngineError> {
         if self.scans.is_empty() {
-            return Err("empty plan spec".into());
+            return Err(EngineError::EmptySpec);
         }
         if self.joins.len() + 1 != self.scans.len() {
-            return Err(format!(
-                "spec shape mismatch: {} scans need {} joins, got {}",
-                self.scans.len(),
-                self.scans.len() - 1,
-                self.joins.len()
-            ));
+            return Err(EngineError::SpecShape {
+                scans: self.scans.len(),
+                joins: self.joins.len(),
+            });
         }
         for (alias, _) in &self.scans {
             if query.table_of(alias).is_none() {
-                return Err(format!("spec references unknown alias {alias}"));
+                return Err(EngineError::SpecUnknownAlias { alias: alias.clone() });
             }
         }
-        let mut plan = PlanNode::scan(query, &self.scans[0].0, self.scans[0].1);
+        let mut plan = PlanNode::try_scan(query, &self.scans[0].0, self.scans[0].1)?;
         for (i, join_op) in self.joins.iter().enumerate() {
             let (alias, scan_op) = &self.scans[i + 1];
-            let scan = PlanNode::scan(query, alias, *scan_op);
+            let scan = PlanNode::try_scan(query, alias, *scan_op)?;
             plan = PlanNode::join(query, *join_op, plan, scan);
         }
         plan.validate(query)?;
@@ -51,9 +50,9 @@ impl LeftDeepSpec {
 
     /// Extract the spec back from a left-deep plan (round-trip for tests and
     /// serialization of chosen plans).
-    pub fn from_plan(plan: &PlanNode) -> Result<Self, String> {
+    pub fn from_plan(plan: &PlanNode) -> Result<Self, EngineError> {
         if !plan.is_left_deep() {
-            return Err("plan is not left-deep".into());
+            return Err(EngineError::NotLeftDeep);
         }
         let mut scans = Vec::new();
         let mut joins = Vec::new();
@@ -126,17 +125,18 @@ mod tests {
             scans: vec![("a".into(), ScanOp::SeqScan), ("b".into(), ScanOp::SeqScan)],
             joins: vec![],
         };
-        assert!(spec.compile(&q).unwrap_err().contains("shape mismatch"));
+        let err = spec.compile(&q).unwrap_err();
+        assert!(matches!(err, EngineError::SpecShape { scans: 2, joins: 0 }));
+        assert!(err.to_string().contains("shape mismatch"));
     }
 
     #[test]
     fn unknown_alias_rejected() {
         let q = query3();
-        let spec = LeftDeepSpec {
-            scans: vec![("zzz".into(), ScanOp::SeqScan)],
-            joins: vec![],
-        };
-        assert!(spec.compile(&q).unwrap_err().contains("unknown alias"));
+        let spec = LeftDeepSpec { scans: vec![("zzz".into(), ScanOp::SeqScan)], joins: vec![] };
+        let err = spec.compile(&q).unwrap_err();
+        assert!(matches!(err, EngineError::SpecUnknownAlias { .. }));
+        assert!(err.to_string().contains("unknown alias"));
     }
 
     #[test]

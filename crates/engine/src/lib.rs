@@ -32,6 +32,7 @@
 //! ```
 
 pub mod cardest;
+pub mod error;
 pub mod executor;
 pub mod explain;
 pub mod inject;
@@ -44,6 +45,7 @@ pub mod sql;
 /// Convenient glob import for downstream crates.
 pub mod prelude {
     pub use crate::cardest::CardEstimator;
+    pub use crate::error::EngineError;
     pub use crate::executor::{
         join_charge, scan_charge, CostUnits, ExecutionResult, Executor, NodeProfile, ScanShape,
         TimeWeights,

@@ -36,8 +36,14 @@ impl Hints {
         vec![
             Hints::default(),
             Hints { join_ops: vec![JoinOp::HashJoin, JoinOp::MergeJoin], ..Default::default() },
-            Hints { join_ops: vec![JoinOp::HashJoin, JoinOp::NestedLoopJoin], ..Default::default() },
-            Hints { join_ops: vec![JoinOp::MergeJoin, JoinOp::NestedLoopJoin], ..Default::default() },
+            Hints {
+                join_ops: vec![JoinOp::HashJoin, JoinOp::NestedLoopJoin],
+                ..Default::default()
+            },
+            Hints {
+                join_ops: vec![JoinOp::MergeJoin, JoinOp::NestedLoopJoin],
+                ..Default::default()
+            },
             Hints {
                 join_ops: vec![JoinOp::HashJoin],
                 scan_ops: vec![ScanOp::SeqScan, ScanOp::IndexScan],
@@ -182,14 +188,14 @@ impl<'a> PgOptimizer<'a> {
                 (1u64..(1 << n)).filter(|m| m.count_ones() as usize == size).collect();
             for mask in masks {
                 let mut best: Option<DpEntry> = None;
-                for i in 0..n {
+                for (i, alias) in aliases.iter().enumerate() {
                     let bit = 1u64 << i;
                     if mask & bit == 0 {
                         continue;
                     }
                     let rest = mask & !bit;
                     let Some(sub) = dp.get(&rest) else { continue };
-                    let (scan, scan_cost, scan_rows) = self.best_scan(query, &aliases[i]);
+                    let (scan, scan_cost, scan_rows) = self.best_scan(query, alias);
                     let Some((plan, join_cost, out)) =
                         self.best_join(query, &sub.plan, &scan, sub.rows, scan_rows)
                     else {
@@ -216,14 +222,10 @@ impl<'a> PgOptimizer<'a> {
 
     /// Greedy join ordering for very large queries.
     fn plan_greedy(&self, query: &Query) -> PlanNode {
-        let mut remaining: Vec<String> =
-            query.relations.iter().map(|r| r.alias.clone()).collect();
+        let mut remaining: Vec<String> = query.relations.iter().map(|r| r.alias.clone()).collect();
         // Start with the cheapest (smallest estimated) scan.
         remaining.sort_by(|a, b| {
-            self.est
-                .scan_rows(query, a)
-                .partial_cmp(&self.est.scan_rows(query, b))
-                .expect("finite")
+            self.est.scan_rows(query, a).partial_cmp(&self.est.scan_rows(query, b)).expect("finite")
         });
         let first = remaining.remove(0);
         let (mut plan, _, mut rows) = self.best_scan(query, &first);
@@ -359,10 +361,8 @@ mod tests {
     #[test]
     fn hints_restrict_operators() {
         let db = imdb::generate(0.2, 5);
-        let hints = Hints {
-            join_ops: vec![JoinOp::NestedLoopJoin],
-            scan_ops: vec![ScanOp::SeqScan],
-        };
+        let hints =
+            Hints { join_ops: vec![JoinOp::NestedLoopJoin], scan_ops: vec![ScanOp::SeqScan] };
         let opt = PgOptimizer::with_hints(&db, hints);
         let q = chain_query(&db, &["title", "movie_info", "movie_keyword"]);
         let p = opt.plan(&q);

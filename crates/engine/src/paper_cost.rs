@@ -78,7 +78,14 @@ impl<'a> PaperCostModel<'a> {
 
     /// Cost of a join per the paper's formulas, given estimated input sizes
     /// and estimated block counts of the inputs.
-    pub fn join_cost(&self, op: JoinOp, rel_a: f64, rel_b: f64, a_blocks: f64, b_blocks: f64) -> f64 {
+    pub fn join_cost(
+        &self,
+        op: JoinOp,
+        rel_a: f64,
+        rel_b: f64,
+        a_blocks: f64,
+        b_blocks: f64,
+    ) -> f64 {
         let c = &self.cfg;
         let log = |x: f64| x.max(1.0).ln();
         match op {
@@ -107,8 +114,7 @@ impl<'a> PaperCostModel<'a> {
             PlanNode::Join { op, left, right, preds } => {
                 let (lc, lr) = self.node_cost(query, left);
                 let (rc, rr) = self.node_cost(query, right);
-                let sel: f64 =
-                    preds.iter().map(|p| self.est.join_selectivity(query, p)).product();
+                let sel: f64 = preds.iter().map(|p| self.est.join_selectivity(query, p)).product();
                 let out = (lr * rr * sel).max(1.0);
                 let blocks = |rows: f64| (rows / 100.0).max(1.0);
                 let cost = self.join_cost(*op, lr, rr, blocks(lr), blocks(rr));
@@ -147,15 +153,13 @@ mod tests {
         // info_type is tiny: PK index height is 1.
         assert_eq!(db.catalog.index_on("info_type", "id").unwrap().height, 1);
         assert!(
-            m.scan_cost("info_type", ScanOp::IndexScan)
-                < m.scan_cost("info_type", ScanOp::SeqScan)
+            m.scan_cost("info_type", ScanOp::IndexScan) < m.scan_cost("info_type", ScanOp::SeqScan)
         );
         // cast_info is large enough for height 2: index loses under the
         // verbatim formula.
         assert!(db.catalog.index_on("cast_info", "id").unwrap().height >= 2);
         assert!(
-            m.scan_cost("cast_info", ScanOp::IndexScan)
-                > m.scan_cost("cast_info", ScanOp::SeqScan)
+            m.scan_cost("cast_info", ScanOp::IndexScan) > m.scan_cost("cast_info", ScanOp::SeqScan)
         );
     }
 
@@ -193,11 +197,8 @@ mod tests {
     fn deeper_plans_cost_more() {
         let (db, _) = setup();
         let mut q = Query::new("q");
-        q.relations = vec![
-            RelRef::new("title"),
-            RelRef::new("movie_info"),
-            RelRef::new("movie_keyword"),
-        ];
+        q.relations =
+            vec![RelRef::new("title"), RelRef::new("movie_info"), RelRef::new("movie_keyword")];
         q.joins = vec![
             JoinPred {
                 left: ColRef::new("movie_info", "movie_id"),
@@ -215,7 +216,12 @@ mod tests {
             PlanNode::scan(&q, "title", ScanOp::SeqScan),
             PlanNode::scan(&q, "movie_info", ScanOp::SeqScan),
         );
-        let three = PlanNode::join(&q, JoinOp::HashJoin, two.clone(), PlanNode::scan(&q, "movie_keyword", ScanOp::SeqScan));
+        let three = PlanNode::join(
+            &q,
+            JoinOp::HashJoin,
+            two.clone(),
+            PlanNode::scan(&q, "movie_keyword", ScanOp::SeqScan),
+        );
         assert!(m.plan_cost(&q, &three) > m.plan_cost(&q, &two));
     }
 }

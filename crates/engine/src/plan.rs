@@ -4,6 +4,7 @@
 //! or bitmap index scans) and internal nodes join two subplans (hash, merge,
 //! or nested-loop joins) — the operator vocabulary of §5.1 of the paper.
 
+use crate::error::EngineError;
 use crate::query::{Filter, JoinPred, Query};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
@@ -93,17 +94,29 @@ pub enum PlanNode {
 
 impl PlanNode {
     /// Build a scan leaf for `alias` of `query`, pushing down its filters.
+    ///
+    /// # Panics
+    /// Panics when `query` has no relation bound to `alias`; use
+    /// [`PlanNode::try_scan`] on library paths that must not panic.
     pub fn scan(query: &Query, alias: &str, op: ScanOp) -> PlanNode {
+        Self::try_scan(query, alias, op).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible variant of [`PlanNode::scan`].
+    pub fn try_scan(query: &Query, alias: &str, op: ScanOp) -> Result<PlanNode, EngineError> {
         let table = query
             .table_of(alias)
-            .unwrap_or_else(|| panic!("query {} has no alias {alias}", query.id))
+            .ok_or_else(|| EngineError::UnknownAlias {
+                query: query.id.clone(),
+                alias: alias.to_string(),
+            })?
             .to_string();
-        PlanNode::Scan {
+        Ok(PlanNode::Scan {
             alias: alias.to_string(),
             table,
             op,
             filters: query.filters_of(alias).into_iter().cloned().collect(),
-        }
+        })
     }
 
     /// Join two subplans, attaching every join predicate of `query` that
@@ -207,26 +220,25 @@ impl PlanNode {
     /// Validate this plan implements `query`: every relation appears exactly
     /// once and every join node has at least one predicate (no accidental
     /// cross products) unless the query itself is a cross product.
-    pub fn validate(&self, query: &Query) -> Result<(), String> {
+    pub fn validate(&self, query: &Query) -> Result<(), EngineError> {
         let aliases = self.aliases();
-        let expected: BTreeSet<String> =
-            query.relations.iter().map(|r| r.alias.clone()).collect();
+        let expected: BTreeSet<String> = query.relations.iter().map(|r| r.alias.clone()).collect();
         if aliases != expected {
-            return Err(format!(
-                "plan covers {:?} but query has {:?}",
-                aliases, expected
-            ));
+            return Err(EngineError::PlanCoverage {
+                plan: aliases.into_iter().collect(),
+                query: expected.into_iter().collect(),
+            });
         }
         let mut count = 0usize;
         self.count_scans(&mut count);
         if count != query.relations.len() {
-            return Err("a relation appears more than once in the plan".into());
+            return Err(EngineError::DuplicateRelation);
         }
         if query.is_connected() {
             for node in self.postorder() {
                 if let PlanNode::Join { preds, .. } = node {
                     if preds.is_empty() {
-                        return Err("join node without predicates (cross product)".into());
+                        return Err(EngineError::CrossProduct);
                     }
                 }
             }
@@ -283,8 +295,7 @@ mod tests {
 
     fn query3() -> Query {
         let mut q = Query::new("q");
-        q.relations =
-            vec![RelRef::new("a"), RelRef::new("b"), RelRef::new("c")];
+        q.relations = vec![RelRef::new("a"), RelRef::new("b"), RelRef::new("c")];
         q.joins = vec![
             JoinPred { left: ColRef::new("a", "id"), right: ColRef::new("b", "a_id") },
             JoinPred { left: ColRef::new("b", "id"), right: ColRef::new("c", "b_id") },
@@ -327,10 +338,7 @@ mod tests {
     fn bushy_plan_detected() {
         let mut q = query3();
         q.relations.push(RelRef::new("d"));
-        q.joins.push(JoinPred {
-            left: ColRef::new("c", "id"),
-            right: ColRef::new("d", "c_id"),
-        });
+        q.joins.push(JoinPred { left: ColRef::new("c", "id"), right: ColRef::new("d", "c_id") });
         let sa = PlanNode::scan(&q, "a", ScanOp::SeqScan);
         let sb = PlanNode::scan(&q, "b", ScanOp::SeqScan);
         let sc = PlanNode::scan(&q, "c", ScanOp::SeqScan);
@@ -362,7 +370,8 @@ mod tests {
         let sb = PlanNode::scan(&q, "b", ScanOp::SeqScan);
         let ab = PlanNode::join(&q, JoinOp::HashJoin, sa, sb);
         let err = ab.validate(&q).unwrap_err();
-        assert!(err.contains("plan covers"));
+        assert!(matches!(err, EngineError::PlanCoverage { .. }));
+        assert!(err.to_string().contains("plan covers"));
     }
 
     #[test]
@@ -374,7 +383,15 @@ mod tests {
         let sb = PlanNode::scan(&q, "b", ScanOp::SeqScan);
         let ac = PlanNode::join(&q, JoinOp::HashJoin, sa, sc);
         let p = PlanNode::join(&q, JoinOp::HashJoin, ac, sb);
-        assert!(p.validate(&q).unwrap_err().contains("cross product"));
+        assert_eq!(p.validate(&q).unwrap_err(), EngineError::CrossProduct);
+    }
+
+    #[test]
+    fn try_scan_reports_unknown_alias() {
+        let q = query3();
+        let err = PlanNode::try_scan(&q, "zzz", ScanOp::SeqScan).unwrap_err();
+        assert!(matches!(err, EngineError::UnknownAlias { .. }));
+        assert!(err.to_string().contains("no alias zzz"));
     }
 
     #[test]

@@ -255,11 +255,8 @@ mod tests {
 
     fn two_join_query() -> Query {
         let mut q = Query::new("q1");
-        q.relations = vec![
-            RelRef::new("title"),
-            RelRef::new("movie_info"),
-            RelRef::new("cast_info"),
-        ];
+        q.relations =
+            vec![RelRef::new("title"), RelRef::new("movie_info"), RelRef::new("cast_info")];
         q.joins = vec![
             JoinPred {
                 left: ColRef::new("movie_info", "movie_id"),
@@ -333,10 +330,7 @@ mod tests {
     fn self_join_via_aliases_validates() {
         let db = imdb::generate(0.05, 1);
         let mut q = Query::new("self");
-        q.relations = vec![
-            RelRef::aliased("title", "t1"),
-            RelRef::aliased("title", "t2"),
-        ];
+        q.relations = vec![RelRef::aliased("title", "t1"), RelRef::aliased("title", "t2")];
         q.joins = vec![JoinPred {
             left: ColRef::new("t1", "kind_id"),
             right: ColRef::new("t2", "kind_id"),

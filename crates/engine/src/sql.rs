@@ -48,9 +48,7 @@ pub fn parse(db: &Database, sql: &str) -> Result<Query, String> {
         let rel = match parts.as_slice() {
             [table] => RelRef::new(*table),
             [table, alias] => RelRef::aliased(*table, *alias),
-            [table, kw, alias] if kw.eq_ignore_ascii_case("as") => {
-                RelRef::aliased(*table, *alias)
-            }
+            [table, kw, alias] if kw.eq_ignore_ascii_case("as") => RelRef::aliased(*table, *alias),
             _ => return Err(format!("cannot parse FROM item '{}'", item.trim())),
         };
         query.relations.push(rel);
@@ -86,28 +84,22 @@ fn parse_pred(db: &Database, query: &mut Query, pred: &str) -> Result<(), String
     Ok(())
 }
 
-fn parse_literal(
-    db: &Database,
-    query: &Query,
-    col: &ColRef,
-    raw: &str,
-) -> Result<f64, String> {
+fn parse_literal(db: &Database, query: &Query, col: &ColRef, raw: &str) -> Result<f64, String> {
     let raw = raw.trim();
     if let Some(text) = raw.strip_prefix('\'').and_then(|r| r.strip_suffix('\'')) {
         // Resolve a text literal to its dictionary code.
-        let table = query
-            .table_of(&col.alias)
-            .ok_or_else(|| format!("unknown alias {}", col.alias))?;
+        let table =
+            query.table_of(&col.alias).ok_or_else(|| format!("unknown alias {}", col.alias))?;
         let t = db.table(table).ok_or_else(|| format!("unknown table {table}"))?;
         let c = t
             .col_idx(&col.column)
             .ok_or_else(|| format!("unknown column {}.{}", col.alias, col.column))?;
         match &t.columns[c].data {
-            ColumnData::Text { dict, .. } => dict
-                .iter()
-                .position(|d| d == text)
-                .map(|code| code as f64)
-                .ok_or_else(|| format!("value '{text}' not present in {}.{}", table, col.column)),
+            ColumnData::Text { dict, .. } => {
+                dict.iter().position(|d| d == text).map(|code| code as f64).ok_or_else(|| {
+                    format!("value '{text}' not present in {}.{}", table, col.column)
+                })
+            }
             _ => Err(format!("{}.{} is not a text column", col.alias, col.column)),
         }
     } else {
@@ -132,7 +124,8 @@ fn parse_colref(s: &str) -> Option<ColRef> {
 
 fn split_comparison(pred: &str) -> Result<(&str, CmpOp, &str), String> {
     // Two-char operators first.
-    for (tok, op) in [("<=", CmpOp::Le), (">=", CmpOp::Ge), ("=", CmpOp::Eq), ("<", CmpOp::Lt), (">", CmpOp::Gt)]
+    for (tok, op) in
+        [("<=", CmpOp::Le), (">=", CmpOp::Ge), ("=", CmpOp::Eq), ("<", CmpOp::Lt), (">", CmpOp::Gt)]
     {
         if let Some(i) = pred.find(tok) {
             let (l, r) = pred.split_at(i);
@@ -159,8 +152,7 @@ fn split_keyword<'a>(s: &'a str, kw: &str) -> Option<(&'a str, &'a str)> {
         let i = from + i;
         let before_ok = i == 0 || !lower.as_bytes()[i - 1].is_ascii_alphanumeric();
         let after = i + kw.len();
-        let after_ok =
-            after >= lower.len() || !lower.as_bytes()[after].is_ascii_alphanumeric();
+        let after_ok = after >= lower.len() || !lower.as_bytes()[after].is_ascii_alphanumeric();
         if before_ok && after_ok {
             return Some((&s[..i], &s[after..]));
         }
@@ -241,11 +233,8 @@ mod tests {
     #[test]
     fn aliases_supported() {
         let db = db();
-        let q = parse(
-            &db,
-            "SELECT * FROM title t1, title t2 WHERE t1.kind_id = t2.kind_id",
-        )
-        .unwrap();
+        let q =
+            parse(&db, "SELECT * FROM title t1, title t2 WHERE t1.kind_id = t2.kind_id").unwrap();
         assert_eq!(q.relations[0].alias, "t1");
         assert_eq!(q.relations[1].table, "title");
         assert_eq!(q.num_joins(), 1);
@@ -260,11 +249,9 @@ mod tests {
             ColumnData::Text { dict, .. } => dict[3].clone(),
             _ => unreachable!(),
         };
-        let q = parse(
-            &db,
-            &format!("SELECT COUNT(*) FROM keyword WHERE keyword.keyword = '{word}'"),
-        )
-        .unwrap();
+        let q =
+            parse(&db, &format!("SELECT COUNT(*) FROM keyword WHERE keyword.keyword = '{word}'"))
+                .unwrap();
         assert_eq!(q.filters[0].value, 3.0);
     }
 
@@ -275,11 +262,14 @@ mod tests {
         assert!(parse(&db, "SELECT COUNT(*) FROM title WHERE title.nope = 1").is_err());
         assert!(parse(&db, "SELECT COUNT(*) FROM title WHERE title.id ~ 3").is_err());
         assert!(parse(&db, "DELETE FROM title").is_err());
-        assert!(parse(
-            &db,
-            "SELECT COUNT(*) FROM title, movie_info WHERE movie_info.movie_id < title.id"
-        )
-        .is_err(), "non-equi joins are rejected");
+        assert!(
+            parse(
+                &db,
+                "SELECT COUNT(*) FROM title, movie_info WHERE movie_info.movie_id < title.id"
+            )
+            .is_err(),
+            "non-equi joins are rejected"
+        );
     }
 
     #[test]

@@ -57,10 +57,7 @@ fn build_db(a_vals: Vec<i64>, b_fk: Vec<i64>) -> Database {
 fn join_query() -> Query {
     let mut q = Query::new("q");
     q.relations = vec![RelRef::new("a"), RelRef::new("b")];
-    q.joins = vec![JoinPred {
-        left: ColRef::new("b", "a_id"),
-        right: ColRef::new("a", "id"),
-    }];
+    q.joins = vec![JoinPred { left: ColRef::new("b", "a_id"), right: ColRef::new("a", "id") }];
     q
 }
 

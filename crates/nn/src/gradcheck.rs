@@ -40,12 +40,8 @@ pub fn check_gradient(
     g.backward(loss, store);
     let analytic = store.grad(param).clone();
 
-    let mut report = GradCheckReport {
-        max_rel_error: 0.0,
-        worst_index: 0,
-        analytic: 0.0,
-        numeric: 0.0,
-    };
+    let mut report =
+        GradCheckReport { max_rel_error: 0.0, worst_index: 0, analytic: 0.0, numeric: 0.0 };
     for i in 0..store.value(param).len() {
         let orig = store.value(param).data()[i];
         store.value_mut(param).data_mut()[i] = orig + eps;
@@ -77,8 +73,14 @@ mod tests {
     fn passes_on_a_correct_network() {
         let mut store = ParamStore::new();
         let mut init = Initializer::new(3);
-        let mlp =
-            Mlp::new(&mut store, &mut init, "m", &[3, 8, 1], Activation::Tanh, Activation::Identity);
+        let mlp = Mlp::new(
+            &mut store,
+            &mut init,
+            "m",
+            &[3, 8, 1],
+            Activation::Tanh,
+            Activation::Identity,
+        );
         let x = init.normal(4, 3, 1.0);
         let w = mlp.layers[0].w;
         let report = check_gradient(&mut store, w, 1e-2, |g, s| {

@@ -486,8 +486,7 @@ impl Graph {
                     let ta = &self.nodes[a.0].value;
                     let mut ga = Tensor::zeros(ta.rows(), ta.cols());
                     for r in 0..g.rows() {
-                        ga.row_slice_mut(r)[*from..from + g.cols()]
-                            .copy_from_slice(g.row_slice(r));
+                        ga.row_slice_mut(r)[*from..from + g.cols()].copy_from_slice(g.row_slice(r));
                     }
                     accumulate(&mut grads, a.0, ga);
                 }

@@ -89,8 +89,8 @@ mod tests {
     fn normal_moments_roughly_correct() {
         let t = Initializer::new(1).normal(100, 100, 2.0);
         let mean = t.mean();
-        let var = t.data().iter().map(|x| (x - mean) * (x - mean)).sum::<f32>()
-            / (t.len() as f32 - 1.0);
+        let var =
+            t.data().iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / (t.len() as f32 - 1.0);
         assert!(mean.abs() < 0.1, "mean {mean}");
         assert!((var - 4.0).abs() < 0.3, "var {var}");
     }

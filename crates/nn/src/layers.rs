@@ -213,6 +213,7 @@ pub struct MultiHeadCrossAttention {
 }
 
 impl MultiHeadCrossAttention {
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         store: &mut ParamStore,
         init: &mut Initializer,

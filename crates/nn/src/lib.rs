@@ -47,8 +47,10 @@ pub mod prelude {
     pub use crate::gradcheck::{check_gradient, GradCheckReport};
     pub use crate::graph::{Graph, Var};
     pub use crate::init::Initializer;
-    pub use crate::layers::{Activation, Linear, LstmCell, LstmState, Mlp, MultiHeadCrossAttention};
-    pub use crate::optim::{Adam, Sgd};
+    pub use crate::layers::{
+        Activation, Linear, LstmCell, LstmState, Mlp, MultiHeadCrossAttention,
+    };
+    pub use crate::optim::{Adam, Sgd, StepReport};
     pub use crate::params::{Param, ParamId, ParamStore};
     pub use crate::tensor::Tensor;
 }

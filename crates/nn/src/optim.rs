@@ -1,6 +1,39 @@
 //! Optimizers: Adam (used by all models, as in the paper) and plain SGD.
+//!
+//! Both optimizers guard every update: non-finite gradients are zeroed
+//! before touching the moment buffers, oversized per-element updates are
+//! clamped, and any parameter that would become non-finite is reverted.
+//! [`StepReport`] counts what fired, so training loops can surface
+//! numerical trouble instead of silently diverging.
 
 use crate::params::ParamStore;
+
+/// What the numerical guards did during one optimizer step. All-zero for a
+/// healthy step.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StepReport {
+    /// Gradient elements that were NaN/Inf and treated as zero.
+    pub nonfinite_grads: usize,
+    /// Updates whose magnitude was clamped to the per-element cap.
+    pub clipped_updates: usize,
+    /// Parameter values that would have become non-finite and were kept at
+    /// their previous value instead.
+    pub reverted_values: usize,
+}
+
+impl StepReport {
+    /// No guard fired.
+    pub fn is_clean(&self) -> bool {
+        *self == Self::default()
+    }
+
+    /// Accumulate another step's counters (for per-epoch totals).
+    pub fn absorb(&mut self, other: StepReport) {
+        self.nonfinite_grads += other.nonfinite_grads;
+        self.clipped_updates += other.clipped_updates;
+        self.reverted_values += other.reverted_values;
+    }
+}
 
 /// Adam optimizer with per-parameter first/second-moment state.
 #[derive(Debug, Clone)]
@@ -10,6 +43,9 @@ pub struct Adam {
     pub beta2: f32,
     pub eps: f32,
     pub weight_decay: f32,
+    /// Per-element update magnitude cap. Far above any healthy Adam update
+    /// (which is ≈ lr); only pathological moment states reach it.
+    pub max_update: f32,
     t: u64,
     m: Vec<Vec<f32>>,
     v: Vec<Vec<f32>>,
@@ -18,7 +54,17 @@ pub struct Adam {
 impl Adam {
     /// Adam with the paper's defaults (lr 0.001 in the paper; pass any lr).
     pub fn new(lr: f32) -> Self {
-        Self { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, weight_decay: 0.0, t: 0, m: Vec::new(), v: Vec::new() }
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 0.0,
+            max_update: 10.0,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
     }
 
     pub fn with_weight_decay(mut self, wd: f32) -> Self {
@@ -32,7 +78,8 @@ impl Adam {
     }
 
     /// Apply one update from the gradients currently held in `store`.
-    pub fn step(&mut self, store: &mut ParamStore) {
+    pub fn step(&mut self, store: &mut ParamStore) -> StepReport {
+        let mut report = StepReport::default();
         self.t += 1;
         let t = self.t as f32;
         let bc1 = 1.0 - self.beta1.powf(t);
@@ -60,6 +107,7 @@ impl Adam {
                 if !g.is_finite() {
                     // A single exploding sample must not poison the moments.
                     g = 0.0;
+                    report.nonfinite_grads += 1;
                 }
                 if wd > 0.0 {
                     g += wd * values[j];
@@ -68,9 +116,20 @@ impl Adam {
                 v[j] = self.beta2 * v[j] + (1.0 - self.beta2) * g * g;
                 let mhat = m[j] / bc1;
                 let vhat = v[j] / bc2;
-                values[j] -= self.lr * mhat / (vhat.sqrt() + self.eps);
+                let mut u = self.lr * mhat / (vhat.sqrt() + self.eps);
+                if u.abs() > self.max_update {
+                    u = u.signum() * self.max_update;
+                    report.clipped_updates += 1;
+                }
+                let next = values[j] - u;
+                if next.is_finite() {
+                    values[j] = next;
+                } else {
+                    report.reverted_values += 1;
+                }
             }
         }
+        report
     }
 }
 
@@ -85,7 +144,8 @@ impl Sgd {
         Self { lr }
     }
 
-    pub fn step(&mut self, store: &mut ParamStore) {
+    pub fn step(&mut self, store: &mut ParamStore) -> StepReport {
+        let mut report = StepReport::default();
         for p in store.params_mut() {
             if !p.trainable {
                 continue;
@@ -93,11 +153,19 @@ impl Sgd {
             let lr = self.lr;
             let grads = p.grad.data().to_vec();
             for (x, g) in p.value.data_mut().iter_mut().zip(grads) {
-                if g.is_finite() {
-                    *x -= lr * g;
+                if !g.is_finite() {
+                    report.nonfinite_grads += 1;
+                    continue;
+                }
+                let next = *x - lr * g;
+                if next.is_finite() {
+                    *x = next;
+                } else {
+                    report.reverted_values += 1;
                 }
             }
         }
+        report
     }
 }
 
@@ -126,14 +194,18 @@ mod tests {
     #[test]
     fn adam_converges_on_quadratic() {
         let mut opt = Adam::new(0.05);
-        let w = converges(move |s| opt.step(s));
+        let w = converges(move |s| {
+            opt.step(s);
+        });
         assert!((w - 3.0).abs() < 0.05, "w={w}");
     }
 
     #[test]
     fn sgd_converges_on_quadratic() {
         let mut opt = Sgd::new(0.1);
-        let w = converges(move |s| opt.step(s));
+        let w = converges(move |s| {
+            opt.step(s);
+        });
         assert!((w - 3.0).abs() < 0.05, "w={w}");
     }
 
@@ -153,8 +225,53 @@ mod tests {
         let w = store.register("w", Tensor::scalar(1.0));
         store.accumulate_grad(w, &Tensor::scalar(f32::NAN));
         let mut opt = Adam::new(0.1);
-        opt.step(&mut store);
+        let report = opt.step(&mut store);
         assert!(store.value(w).get(0, 0).is_finite());
+        assert_eq!(report.nonfinite_grads, 1);
+        assert!(!report.is_clean());
+    }
+
+    #[test]
+    fn clean_step_reports_no_guards() {
+        let mut store = ParamStore::new();
+        let w = store.register("w", Tensor::scalar(1.0));
+        store.accumulate_grad(w, &Tensor::scalar(0.5));
+        let mut opt = Adam::new(0.1);
+        assert!(opt.step(&mut store).is_clean());
+    }
+
+    #[test]
+    fn oversized_updates_are_clamped() {
+        let mut store = ParamStore::new();
+        let w = store.register("w", Tensor::scalar(0.0));
+        store.accumulate_grad(w, &Tensor::scalar(1.0));
+        let mut opt = Adam::new(1.0);
+        opt.max_update = 1e-3;
+        let report = opt.step(&mut store);
+        assert_eq!(report.clipped_updates, 1);
+        assert!((store.value(w).get(0, 0) + 1e-3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sgd_reverts_updates_that_overflow() {
+        let mut store = ParamStore::new();
+        let w = store.register("w", Tensor::scalar(f32::MAX));
+        store.accumulate_grad(w, &Tensor::scalar(-f32::MAX));
+        let mut opt = Sgd::new(1.0);
+        let report = opt.step(&mut store);
+        assert_eq!(report.reverted_values, 1);
+        assert_eq!(store.value(w).get(0, 0), f32::MAX);
+    }
+
+    #[test]
+    fn step_reports_accumulate() {
+        let mut total = StepReport::default();
+        total.absorb(StepReport { nonfinite_grads: 2, clipped_updates: 1, reverted_values: 0 });
+        total.absorb(StepReport { nonfinite_grads: 1, clipped_updates: 0, reverted_values: 3 });
+        assert_eq!(
+            total,
+            StepReport { nonfinite_grads: 3, clipped_updates: 1, reverted_values: 3 }
+        );
     }
 
     #[test]

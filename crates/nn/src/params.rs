@@ -109,11 +109,13 @@ impl ParamStore {
     }
 
     /// Global gradient L2 norm over trainable parameters (for clipping).
+    /// Non-finite gradient elements are excluded — a single NaN must not
+    /// poison the norm and silently disable clipping for every parameter.
     pub fn grad_norm(&self) -> f32 {
         self.params
             .iter()
             .filter(|p| p.trainable)
-            .map(|p| p.grad.data().iter().map(|x| x * x).sum::<f32>())
+            .map(|p| p.grad.data().iter().filter(|x| x.is_finite()).map(|x| x * x).sum::<f32>())
             .sum::<f32>()
             .sqrt()
     }
@@ -185,6 +187,18 @@ mod tests {
         store.clip_grad_norm(1.0);
         assert!((store.grad_norm() - 1.0).abs() < 1e-6);
         assert!((store.grad(id).data()[0] - 0.6).abs() < 1e-6);
+    }
+
+    #[test]
+    fn nan_gradient_does_not_disable_clipping() {
+        let mut store = ParamStore::new();
+        let a = store.register("a", Tensor::zeros(1, 1));
+        let b = store.register("b", Tensor::zeros(1, 2));
+        store.accumulate_grad(a, &Tensor::scalar(f32::NAN));
+        store.accumulate_grad(b, &Tensor::row(vec![3.0, 4.0])); // norm 5
+        assert!((store.grad_norm() - 5.0).abs() < 1e-6, "NaN poisoned the norm");
+        store.clip_grad_norm(1.0);
+        assert!((store.grad(b).data()[0] - 0.6).abs() < 1e-6, "clipping was skipped");
     }
 
     #[test]

@@ -90,7 +90,10 @@ impl Catalog {
     pub fn join_idx(&self, t1: &str, c1: &str, t2: &str, c2: &str) -> Option<usize> {
         self.foreign_keys.iter().position(|fk| {
             (fk.from_table == t1 && fk.from_col == c1 && fk.to_table == t2 && fk.to_col == c2)
-                || (fk.from_table == t2 && fk.from_col == c2 && fk.to_table == t1 && fk.to_col == c1)
+                || (fk.from_table == t2
+                    && fk.from_col == c2
+                    && fk.to_table == t1
+                    && fk.to_col == c1)
         })
     }
 
@@ -140,7 +143,11 @@ impl Database {
             }
         }
         for fk in &self.catalog.foreign_keys {
-            assert!(self.table(&fk.from_table).is_some(), "FK from unknown table {}", fk.from_table);
+            assert!(
+                self.table(&fk.from_table).is_some(),
+                "FK from unknown table {}",
+                fk.from_table
+            );
             assert!(self.table(&fk.to_table).is_some(), "FK to unknown table {}", fk.to_table);
         }
     }
@@ -149,8 +156,20 @@ impl Database {
         self.tables.iter().find(|t| t.name == name)
     }
 
+    /// Like [`Database::table`], but with a typed error for the library
+    /// path (no panic, no stringly-typed failure).
+    pub fn try_table(&self, name: &str) -> Result<&Table, crate::error::StorageError> {
+        self.table(name).ok_or_else(|| crate::error::StorageError::UnknownTable(name.to_string()))
+    }
+
     pub fn table_stats(&self, name: &str) -> Option<&TableStats> {
         self.stats.iter().find(|s| s.table == name)
+    }
+
+    /// Like [`Database::table_stats`], but with a typed error.
+    pub fn try_table_stats(&self, name: &str) -> Result<&TableStats, crate::error::StorageError> {
+        self.table_stats(name)
+            .ok_or_else(|| crate::error::StorageError::MissingStats(name.to_string()))
     }
 
     /// Total number of rows across all tables.
@@ -242,10 +261,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "missing from data")]
     fn validation_catches_schema_mismatch() {
-        let t = Table::new(
-            "a",
-            vec![Column { name: "id".into(), data: ColumnData::Int(vec![]) }],
-        );
+        let t = Table::new("a", vec![Column { name: "id".into(), data: ColumnData::Int(vec![]) }]);
         let catalog = Catalog {
             tables: vec![TableMeta {
                 name: "a".into(),

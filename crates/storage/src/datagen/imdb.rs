@@ -144,16 +144,20 @@ pub fn generate(scale: f64, seed: u64) -> Database {
         .text_attr("info", 150, 1, 0.5)
         .build();
 
-    let kind_type =
-        TableBuilder::new("kind_type", n_kind, &mut rng).pk("id").text_attr("kind", 7, 1, 0.0).build();
+    let kind_type = TableBuilder::new("kind_type", n_kind, &mut rng)
+        .pk("id")
+        .text_attr("kind", 7, 1, 0.0)
+        .build();
 
     let company_type = TableBuilder::new("company_type", n_ctype, &mut rng)
         .pk("id")
         .text_attr("kind", 4, 1, 0.0)
         .build();
 
-    let role_type =
-        TableBuilder::new("role_type", n_role, &mut rng).pk("id").text_attr("role", 12, 1, 0.0).build();
+    let role_type = TableBuilder::new("role_type", n_role, &mut rng)
+        .pk("id")
+        .text_attr("role", 12, 1, 0.0)
+        .build();
 
     let tables = vec![
         title,
@@ -203,8 +207,7 @@ pub fn generate(scale: f64, seed: u64) -> Database {
         indexes.push(IndexMeta::for_column(&e.from_table, &e.from_col, rows, false));
     }
 
-    let catalog =
-        Catalog { tables: tables.iter().map(meta_of).collect(), foreign_keys, indexes };
+    let catalog = Catalog { tables: tables.iter().map(meta_of).collect(), foreign_keys, indexes };
     Database::new("imdb", catalog, tables)
 }
 
@@ -256,8 +259,10 @@ mod tests {
     fn deterministic_per_seed() {
         let a = generate(0.1, 5);
         let b = generate(0.1, 5);
-        assert_eq!(a.table("title").unwrap().col("production_year").data.key(17),
-                   b.table("title").unwrap().col("production_year").data.key(17));
+        assert_eq!(
+            a.table("title").unwrap().col("production_year").data.key(17),
+            b.table("title").unwrap().col("production_year").data.key(17)
+        );
     }
 
     #[test]

@@ -124,8 +124,7 @@ impl<'a> TableBuilder<'a> {
 
 /// Deterministic pseudo-word for vocabulary token `k` ("mova", "terin", ...).
 pub fn word(k: usize) -> String {
-    const ONSETS: [&str; 12] =
-        ["m", "t", "k", "s", "r", "l", "d", "b", "p", "v", "n", "g"];
+    const ONSETS: [&str; 12] = ["m", "t", "k", "s", "r", "l", "d", "b", "p", "v", "n", "g"];
     const NUCLEI: [&str; 6] = ["a", "e", "i", "o", "u", "ai"];
     let mut s = String::new();
     let mut x = k + 1;

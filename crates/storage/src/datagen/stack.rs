@@ -109,9 +109,8 @@ pub fn generate(scale: f64, seed: u64) -> Database {
         .int_attr("vote_type", 10, 1.5)
         .build();
 
-    let tables = vec![
-        site, so_user, question, answer, tag, tag_question, badge, comment, post_link, vote,
-    ];
+    let tables =
+        vec![site, so_user, question, answer, tag, tag_question, badge, comment, post_link, vote];
 
     let foreign_keys = vec![
         fk("so_user", "site_id", "site", "id"),
@@ -141,8 +140,7 @@ pub fn generate(scale: f64, seed: u64) -> Database {
         indexes.push(IndexMeta::for_column(&e.from_table, &e.from_col, rows, false));
     }
 
-    let catalog =
-        Catalog { tables: tables.iter().map(meta_of).collect(), foreign_keys, indexes };
+    let catalog = Catalog { tables: tables.iter().map(meta_of).collect(), foreign_keys, indexes };
     Database::new("stack", catalog, tables)
 }
 

@@ -88,8 +88,7 @@ pub fn generate(name: &str, n_tables: usize, base_rows: usize, seed: u64) -> Dat
             // Rebuild the table with one extra FK column appended.
             let mut t = tables[from].clone();
             let z = crate::zipf::Zipf::new(parent_rows, rng.gen_range(0.3..1.4));
-            let data: Vec<i64> =
-                (0..t.n_rows()).map(|_| z.sample(&mut rng) as i64).collect();
+            let data: Vec<i64> = (0..t.n_rows()).map(|_| z.sample(&mut rng) as i64).collect();
             t.columns.push(crate::table::Column {
                 name: col.clone(),
                 data: crate::table::ColumnData::Int(data),
@@ -113,8 +112,7 @@ pub fn generate(name: &str, n_tables: usize, base_rows: usize, seed: u64) -> Dat
         indexes.push(IndexMeta::for_column(&e.from_table, &e.from_col, rows, false));
     }
 
-    let catalog =
-        Catalog { tables: tables.iter().map(meta_of).collect(), foreign_keys, indexes };
+    let catalog = Catalog { tables: tables.iter().map(meta_of).collect(), foreign_keys, indexes };
     Database::new(name, catalog, tables)
 }
 

@@ -1,0 +1,77 @@
+//! Typed storage errors.
+//!
+//! The storage layer is the bottom of the error `From`-chain: engine errors
+//! wrap [`StorageError`], core errors wrap engine errors. Variants carry
+//! enough context (table, column, page) for the serving layer to decide
+//! whether a failure is transient (retry) or permanent (degrade).
+
+use std::fmt;
+
+/// Errors raised by the storage substrate, including injected faults.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StorageError {
+    /// A table name did not resolve against the catalog.
+    UnknownTable(String),
+    /// ANALYZE statistics are missing for a table that has them by contract.
+    MissingStats(String),
+    /// A (possibly injected) page-read failure — transient by definition:
+    /// a retry re-reads the page.
+    PageRead { table: String, page: u64 },
+    /// Statistics failed integrity validation (NaN bounds, impossible
+    /// counts). Permanent until the table is re-ANALYZEd.
+    CorruptStats { table: String, column: String, reason: String },
+}
+
+impl StorageError {
+    /// Transient errors are worth retrying; permanent ones are not.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, StorageError::PageRead { .. })
+    }
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::UnknownTable(t) => write!(f, "unknown table {t}"),
+            StorageError::MissingStats(t) => write!(f, "no statistics for table {t}"),
+            StorageError::PageRead { table, page } => {
+                write!(f, "page read failed: table {table}, page {page}")
+            }
+            StorageError::CorruptStats { table, column, reason } => {
+                write!(f, "corrupt statistics on {table}.{column}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_carries_context() {
+        let e = StorageError::PageRead { table: "title".into(), page: 7 };
+        assert!(e.to_string().contains("title"));
+        assert!(e.to_string().contains("7"));
+        let e = StorageError::CorruptStats {
+            table: "title".into(),
+            column: "id".into(),
+            reason: "NaN bound".into(),
+        };
+        assert!(e.to_string().contains("title.id"));
+    }
+
+    #[test]
+    fn transience_classification() {
+        assert!(StorageError::PageRead { table: "t".into(), page: 0 }.is_transient());
+        assert!(!StorageError::UnknownTable("t".into()).is_transient());
+        assert!(!StorageError::CorruptStats {
+            table: "t".into(),
+            column: "c".into(),
+            reason: "x".into()
+        }
+        .is_transient());
+    }
+}

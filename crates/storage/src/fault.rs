@@ -1,0 +1,268 @@
+//! Deterministic fault injection.
+//!
+//! A [`FaultConfig`] describes *which* faults to inject and at what rate; a
+//! [`FaultInjector`] decides *where* they fire. Decisions are pure functions
+//! of `(seed, site, key)` — hashed, not drawn from a stateful RNG — so the
+//! same seed produces the same fault schedule regardless of execution order,
+//! which keeps chaos tests reproducible and lets a retry of a *different*
+//! attempt see a different outcome while a re-run of the same attempt sees
+//! the same one.
+//!
+//! Fault classes (all off by default):
+//! * **page-read failures** — a scan's page fetch errors (transient),
+//! * **latency spikes** — extra virtual milliseconds charged to an operator,
+//! * **corrupted statistics** — a table's ANALYZE stats are served with NaN
+//!   histogram bounds and zeroed distinct counts (permanent),
+//! * **row-budget aborts** — execution exceeds an admission-control row cap,
+//! * **inference faults** — the serving layer's model produces a non-finite
+//!   prediction or stalls past its deadline (exercises graceful degradation).
+
+use crate::error::StorageError;
+use crate::stats::TableStats;
+
+/// Fault-injection configuration. `Default` injects nothing.
+#[derive(Debug, Clone)]
+pub struct FaultConfig {
+    /// Seed for the deterministic fault schedule.
+    pub seed: u64,
+    /// Probability a scan's page read fails (transient).
+    pub page_read_p: f64,
+    /// Probability an operator is charged a latency spike.
+    pub latency_spike_p: f64,
+    /// Size of one latency spike, in virtual milliseconds.
+    pub latency_spike_ms: f64,
+    /// Probability a table's statistics are served corrupted.
+    pub corrupt_stats_p: f64,
+    /// Abort execution once this many rows have been processed.
+    pub row_budget: Option<u64>,
+    /// Probability one neural-inference attempt yields a NaN prediction.
+    pub inference_nan_p: f64,
+    /// Probability one neural-inference attempt stalls past its deadline.
+    pub inference_stall_p: f64,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        Self {
+            seed: 0,
+            page_read_p: 0.0,
+            latency_spike_p: 0.0,
+            latency_spike_ms: 0.0,
+            corrupt_stats_p: 0.0,
+            row_budget: None,
+            inference_nan_p: 0.0,
+            inference_stall_p: 0.0,
+        }
+    }
+}
+
+impl FaultConfig {
+    /// Every fault class armed at probability `p` (the chaos-suite preset).
+    pub fn chaos(seed: u64, p: f64) -> Self {
+        Self {
+            seed,
+            page_read_p: p,
+            latency_spike_p: p,
+            latency_spike_ms: 50.0,
+            corrupt_stats_p: p,
+            row_budget: None,
+            inference_nan_p: p,
+            inference_stall_p: p,
+        }
+    }
+}
+
+/// Simulated model-inference faults, decided per `(query, attempt)` so a
+/// retry of the same query can succeed where the first attempt failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InferenceFault {
+    /// The cost model returned NaN/Inf.
+    NanPrediction,
+    /// The planner blew through its deadline.
+    Stall,
+}
+
+/// Stateless decider for an armed [`FaultConfig`].
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    cfg: FaultConfig,
+}
+
+impl FaultInjector {
+    pub fn new(cfg: FaultConfig) -> Self {
+        Self { cfg }
+    }
+
+    pub fn config(&self) -> &FaultConfig {
+        &self.cfg
+    }
+
+    /// Deterministic Bernoulli trial for `(site, key)` at probability `p`.
+    fn trips(&self, site: &str, key: &str, p: f64) -> bool {
+        if p <= 0.0 {
+            return false;
+        }
+        let h = fault_hash(self.cfg.seed, site, key);
+        // 53 mantissa bits -> uniform in [0, 1).
+        let u = (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        u < p
+    }
+
+    /// Simulate the page reads backing a scan of `table`. Fails with a
+    /// transient [`StorageError::PageRead`] per the configured rate.
+    pub fn page_read(&self, table: &str) -> Result<(), StorageError> {
+        if self.trips("page_read", table, self.cfg.page_read_p) {
+            let page = fault_hash(self.cfg.seed, "page_no", table) % 1024;
+            return Err(StorageError::PageRead { table: table.to_string(), page });
+        }
+        Ok(())
+    }
+
+    /// Extra virtual milliseconds charged to the operator identified by
+    /// `key` (zero when no spike fires).
+    pub fn latency_spike_ms(&self, key: &str) -> f64 {
+        if self.trips("latency", key, self.cfg.latency_spike_p) {
+            self.cfg.latency_spike_ms
+        } else {
+            0.0
+        }
+    }
+
+    /// Whether `table`'s statistics should be served corrupted.
+    pub fn corrupts_stats(&self, table: &str) -> bool {
+        self.trips("stats", table, self.cfg.corrupt_stats_p)
+    }
+
+    /// A corrupted clone of `stats`: NaN histogram bounds and zeroed
+    /// distinct counts, as a bit-rotted ANALYZE snapshot would present.
+    pub fn corrupted_stats(&self, stats: &TableStats) -> TableStats {
+        let mut out = stats.clone();
+        for col in &mut out.columns {
+            for b in &mut col.histogram.bounds {
+                *b = f64::NAN;
+            }
+            col.n_distinct = 0;
+            col.mcvs.clear();
+        }
+        out
+    }
+
+    /// The configured row budget, if any.
+    pub fn row_budget(&self) -> Option<u64> {
+        self.cfg.row_budget
+    }
+
+    /// Fault decision for one neural-inference attempt.
+    pub fn inference_fault(&self, query_id: &str, attempt: usize) -> Option<InferenceFault> {
+        let key = format!("{query_id}#{attempt}");
+        if self.trips("infer_nan", &key, self.cfg.inference_nan_p) {
+            Some(InferenceFault::NanPrediction)
+        } else if self.trips("infer_stall", &key, self.cfg.inference_stall_p) {
+            Some(InferenceFault::Stall)
+        } else {
+            None
+        }
+    }
+}
+
+/// FNV-1a over `(seed, site, key)` with separators so distinct sites never
+/// alias, finished with a splitmix64-style avalanche. The finalizer matters:
+/// raw FNV barely moves the high bits when only a trailing byte changes
+/// (e.g. the attempt index), and the high bits are what [`FaultInjector`]
+/// turns into the uniform draw.
+fn fault_hash(seed: u64, site: &str, key: &str) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    {
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h = (h ^ b as u64).wrapping_mul(0x100000001b3);
+            }
+            h = (h ^ 0xff).wrapping_mul(0x100000001b3);
+        };
+        eat(&seed.to_le_bytes());
+        eat(site.as_bytes());
+        eat(key.as_bytes());
+    }
+    h ^= h >> 30;
+    h = h.wrapping_mul(0xbf58476d1ce4e5b9);
+    h ^= h >> 27;
+    h = h.wrapping_mul(0x94d049bb133111eb);
+    h ^ (h >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_injects_nothing() {
+        let fi = FaultInjector::new(FaultConfig::default());
+        for t in ["title", "cast_info", "movie_info"] {
+            assert!(fi.page_read(t).is_ok());
+            assert_eq!(fi.latency_spike_ms(t), 0.0);
+            assert!(!fi.corrupts_stats(t));
+            assert!(fi.inference_fault(t, 0).is_none());
+        }
+        assert!(fi.row_budget().is_none());
+    }
+
+    #[test]
+    fn decisions_are_deterministic_per_seed() {
+        let a = FaultInjector::new(FaultConfig::chaos(9, 0.5));
+        let b = FaultInjector::new(FaultConfig::chaos(9, 0.5));
+        for i in 0..100 {
+            let key = format!("t{i}");
+            assert_eq!(a.page_read(&key).is_err(), b.page_read(&key).is_err());
+            assert_eq!(a.latency_spike_ms(&key), b.latency_spike_ms(&key));
+            assert_eq!(a.corrupts_stats(&key), b.corrupts_stats(&key));
+            assert_eq!(a.inference_fault(&key, i), b.inference_fault(&key, i));
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_different_schedules() {
+        let a = FaultInjector::new(FaultConfig::chaos(1, 0.5));
+        let b = FaultInjector::new(FaultConfig::chaos(2, 0.5));
+        let diverges = (0..100).any(|i| {
+            let key = format!("t{i}");
+            a.page_read(&key).is_err() != b.page_read(&key).is_err()
+        });
+        assert!(diverges, "seeds 1 and 2 produced identical page-read schedules");
+    }
+
+    #[test]
+    fn trip_rate_tracks_probability() {
+        let fi = FaultInjector::new(FaultConfig::chaos(3, 0.1));
+        let n = 10_000;
+        let hits = (0..n).filter(|i| fi.page_read(&format!("t{i}")).is_err()).count();
+        let rate = hits as f64 / n as f64;
+        assert!((rate - 0.1).abs() < 0.02, "p=0.1 schedule fired at rate {rate}");
+    }
+
+    #[test]
+    fn corrupted_stats_fail_validation() {
+        use crate::table::{Column, ColumnData, Table};
+        let t = Table::new(
+            "t",
+            vec![Column { name: "x".into(), data: ColumnData::Int(vec![1, 2, 3]) }],
+        );
+        let stats = TableStats::analyze(&t);
+        assert!(stats.validate().is_ok());
+        let fi = FaultInjector::new(FaultConfig::chaos(1, 1.0));
+        let bad = fi.corrupted_stats(&stats);
+        let err = bad.validate().unwrap_err();
+        assert!(matches!(err, StorageError::CorruptStats { .. }), "{err}");
+    }
+
+    #[test]
+    fn retry_can_clear_an_inference_fault() {
+        // At p = 0.5 some (query, attempt) pairs fault and others do not;
+        // verify the attempt index actually changes the decision.
+        let fi = FaultInjector::new(FaultConfig::chaos(4, 0.5));
+        let varies = (0..50).any(|i| {
+            let q = format!("q{i}");
+            fi.inference_fault(&q, 0).is_some() != fi.inference_fault(&q, 1).is_some()
+        });
+        assert!(varies, "attempt index never changed the fault decision");
+    }
+}

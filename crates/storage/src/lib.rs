@@ -26,10 +26,14 @@
 
 pub mod catalog;
 pub mod datagen;
+pub mod error;
+pub mod fault;
 pub mod stats;
 pub mod table;
 pub mod zipf;
 
 pub use catalog::{Catalog, ColumnMeta, Database, ForeignKey, IndexMeta, TableMeta};
+pub use error::StorageError;
+pub use fault::{FaultConfig, FaultInjector, InferenceFault};
 pub use stats::{ColumnStats, Histogram, TableStats, BLOCK_SIZE};
 pub use table::{Column, ColumnData, DataType, Table, TextBuilder, Value};

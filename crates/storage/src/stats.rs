@@ -5,6 +5,7 @@
 //! `qpseeker-engine` — including its *systematic errors* on correlated,
 //! many-join queries, which are exactly what the paper's evaluation exposes.
 
+use crate::error::StorageError;
 use crate::table::Table;
 use serde::{Deserialize, Serialize};
 
@@ -146,6 +147,35 @@ impl TableStats {
     pub fn col(&self, name: &str) -> Option<&ColumnStats> {
         self.columns.iter().find(|c| c.name == name)
     }
+
+    /// Integrity check: detects corrupted ANALYZE snapshots (NaN or
+    /// unsorted histogram bounds, impossible distinct counts) before they
+    /// can poison cardinality estimates or cost accounting.
+    pub fn validate(&self) -> Result<(), StorageError> {
+        let corrupt = |column: &str, reason: &str| StorageError::CorruptStats {
+            table: self.table.clone(),
+            column: column.to_string(),
+            reason: reason.to_string(),
+        };
+        for c in &self.columns {
+            if c.histogram.bounds.len() < 2 {
+                return Err(corrupt(&c.name, "histogram has fewer than two bounds"));
+            }
+            if c.histogram.bounds.iter().any(|b| !b.is_finite()) {
+                return Err(corrupt(&c.name, "non-finite histogram bound"));
+            }
+            if c.histogram.bounds.windows(2).any(|w| w[0] > w[1]) {
+                return Err(corrupt(&c.name, "histogram bounds are not ascending"));
+            }
+            if self.n_rows > 0 && c.n_distinct == 0 {
+                return Err(corrupt(&c.name, "zero distinct values in a non-empty table"));
+            }
+            if c.mcvs.iter().any(|&(v, f)| !v.is_finite() || !(0.0..=1.0).contains(&f)) {
+                return Err(corrupt(&c.name, "MCV value or frequency out of range"));
+            }
+        }
+        Ok(())
+    }
 }
 
 fn count_distinct_sorted(sorted: &[f64]) -> usize {
@@ -172,7 +202,7 @@ fn most_common(sorted: &[f64], k: usize, n_rows: usize) -> Vec<(f64, f64)> {
         }
     }
     runs.push((current, count));
-    runs.sort_by(|a, b| b.1.cmp(&a.1));
+    runs.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
     runs.truncate(k);
     // Only keep values that are genuinely common (>1 occurrence), as PG does.
     runs.retain(|&(_, c)| c > 1);

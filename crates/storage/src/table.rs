@@ -43,7 +43,10 @@ pub enum ColumnData {
     Int(Vec<i64>),
     Float(Vec<f64>),
     /// Dictionary-encoded text: `codes[i]` indexes into `dict`.
-    Text { codes: Vec<u32>, dict: Vec<String> },
+    Text {
+        codes: Vec<u32>,
+        dict: Vec<String>,
+    },
 }
 
 impl ColumnData {

@@ -109,8 +109,7 @@ impl TabSim {
         hash_token(&mut feats, &format!("type:{:?}", col.data.dtype()));
         hash_token(&mut feats, &format!("tbl:{table}"));
         hash_token(&mut feats, "filtered");
-        let values: Vec<f64> =
-            matching_rows.iter().map(|&r| col.data.num(r as usize)).collect();
+        let values: Vec<f64> = matching_rows.iter().map(|&r| col.data.num(r as usize)).collect();
         write_stats(&mut feats[HASH_DIM..], &values, t.n_rows());
         ColumnEncoding { vector: self.project(&feats) }
     }
@@ -170,12 +169,8 @@ impl TabSim {
         let mut scored: Vec<(usize, f64)> = (0..n)
             .step_by(stride)
             .map(|row| {
-                let text: String = t
-                    .columns
-                    .iter()
-                    .map(|c| cell_text(&c.data, row))
-                    .collect::<Vec<_>>()
-                    .join(" ");
+                let text: String =
+                    t.columns.iter().map(|c| cell_text(&c.data, row)).collect::<Vec<_>>().join(" ");
                 (row, ngram::overlap_score(&qgrams, &text))
             })
             .collect();
@@ -300,7 +295,8 @@ mod tests {
         for c in enc.columns.values() {
             assert_eq!(c.vector.len(), 64);
         }
-        let large = TabSim::new(TabertConfig { size: ModelSize::Large, ..TabertConfig::paper_default() });
+        let large =
+            TabSim::new(TabertConfig { size: ModelSize::Large, ..TabertConfig::paper_default() });
         assert_eq!(large.dim(), 96);
     }
 

@@ -49,7 +49,7 @@ pub struct TabertConfig {
 impl TabertConfig {
     /// The paper's default: K = 1, Base.
     pub fn paper_default() -> Self {
-        Self { k: 1, size: ModelSize::Base, seed: 0x7ab3_57 }
+        Self { k: 1, size: ModelSize::Base, seed: 0x007a_b357 }
     }
 
     /// Output embedding width (scaled down from BERT's 768/1024).

@@ -9,7 +9,7 @@ pub fn trigrams(s: &str) -> HashSet<[u8; 3]> {
     let norm: Vec<u8> = s
         .bytes()
         .map(|b| if b.is_ascii_uppercase() { b + 32 } else { b })
-        .filter(|b| !b.is_ascii_whitespace() || true)
+        .filter(|b| !b.is_ascii_whitespace())
         .collect();
     let mut out = HashSet::new();
     if norm.len() >= 3 {

@@ -31,7 +31,13 @@ pub struct JobConfig {
 
 impl Default for JobConfig {
     fn default() -> Self {
-        Self { n_templates: 33, n_queries: 113, target_qeps: 2_000, keep_fraction: 0.15, seed: 0x10b }
+        Self {
+            n_templates: 33,
+            n_queries: 113,
+            target_qeps: 2_000,
+            keep_fraction: 0.15,
+            seed: 0x10b,
+        }
     }
 }
 
@@ -238,15 +244,15 @@ mod tests {
     #[test]
     fn sampled_workload_has_many_qeps_per_query() {
         let db = db();
-        let cfg = JobConfig {
-            n_templates: 4,
-            n_queries: 8,
-            target_qeps: 80,
-            ..Default::default()
-        };
+        let cfg = JobConfig { n_templates: 4, n_queries: 8, target_qeps: 80, ..Default::default() };
         let w = generate(&db, &cfg);
         assert_eq!(w.plan_source, PlanSource::Sampling);
-        assert!(w.num_qeps() > w.num_queries(), "{} qeps / {} queries", w.num_qeps(), w.num_queries());
+        assert!(
+            w.num_qeps() > w.num_queries(),
+            "{} qeps / {} queries",
+            w.num_qeps(),
+            w.num_queries()
+        );
         // Same query under different plans can have different runtimes but
         // identical cardinality (cardinality is plan-invariant).
         use std::collections::HashMap;

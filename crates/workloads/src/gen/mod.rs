@@ -106,10 +106,7 @@ impl<'a> QueryBuilder<'a> {
             guard += 1;
             let alias = &aliases[rng.gen_range(0..aliases.len())];
             if let Some(f) = self.random_filter(rng, query, alias) {
-                let dup = query
-                    .filters
-                    .iter()
-                    .any(|g| g.col == f.col);
+                let dup = query.filters.iter().any(|g| g.col == f.col);
                 if !dup {
                     query.filters.push(f);
                 }
@@ -174,11 +171,8 @@ mod tests {
             assert!(!f.col.column.ends_with("_id") && f.col.column != "id");
         }
         // No duplicate filter slots.
-        let mut slots: Vec<(String, String)> = q
-            .filters
-            .iter()
-            .map(|f| (f.col.alias.clone(), f.col.column.clone()))
-            .collect();
+        let mut slots: Vec<(String, String)> =
+            q.filters.iter().map(|f| (f.col.alias.clone(), f.col.column.clone())).collect();
         slots.sort();
         let n = slots.len();
         slots.dedup();

@@ -86,8 +86,7 @@ impl Distribution {
         values.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
         let pct = |p: f64| values[((values.len() - 1) as f64 * p) as usize];
         let mean = values.iter().sum::<f64>() / values.len() as f64;
-        let var =
-            values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / values.len() as f64;
+        let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / values.len() as f64;
         Self {
             min: values[0],
             p50: pct(0.5),
@@ -190,16 +189,10 @@ fn fnv(bytes: &[u8]) -> u64 {
 }
 
 /// Execute many (query, plan, template) triples in parallel to build QEPs.
-pub fn measure_parallel(
-    db: &Database,
-    items: Vec<(Query, PlanNode, String)>,
-) -> Vec<Qep> {
+pub fn measure_parallel(db: &Database, items: Vec<(Query, PlanNode, String)>) -> Vec<Qep> {
     let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(8);
     if items.len() < 16 || threads <= 1 {
-        return items
-            .into_iter()
-            .map(|(q, p, t)| Qep::measure(db, q, p, t))
-            .collect();
+        return items.into_iter().map(|(q, p, t)| Qep::measure(db, q, p, t)).collect();
     }
     let chunk = items.len().div_ceil(threads);
     let chunks: Vec<Vec<(Query, PlanNode, String)>> =
@@ -358,11 +351,8 @@ mod tests {
                 (q, p, "t".to_string())
             })
             .collect();
-        let serial: Vec<Qep> = items
-            .iter()
-            .cloned()
-            .map(|(q, p, t)| Qep::measure(&db, q, p, t))
-            .collect();
+        let serial: Vec<Qep> =
+            items.iter().cloned().map(|(q, p, t)| Qep::measure(&db, q, p, t)).collect();
         let parallel = measure_parallel(&db, items);
         assert_eq!(serial.len(), parallel.len());
         // Parallel order may differ per chunking; compare multisets of times.

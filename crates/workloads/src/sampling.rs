@@ -115,8 +115,8 @@ pub fn sample_plans(db: &Database, query: &Query, cfg: &SamplingConfig) -> Vec<S
     // Dedup identical plans (same ordering can draw the same operators).
     candidates.sort_by(|a, b| a.paper_cost.partial_cmp(&b.paper_cost).expect("finite cost"));
     candidates.dedup_by(|a, b| a.plan == b.plan);
-    let keep = ((candidates.len() as f64 * cfg.keep_fraction).ceil() as usize)
-        .clamp(1, candidates.len());
+    let keep =
+        ((candidates.len() as f64 * cfg.keep_fraction).ceil() as usize).clamp(1, candidates.len());
     candidates.truncate(keep);
     candidates
 }
@@ -174,10 +174,7 @@ mod tests {
             let mut joined = BTreeSet::new();
             joined.insert(ord[0].clone());
             for a in &ord[1..] {
-                assert!(
-                    !q.joins_between(&joined, a).is_empty(),
-                    "disconnected prefix in {ord:?}"
-                );
+                assert!(!q.joins_between(&joined, a).is_empty(), "disconnected prefix in {ord:?}");
                 joined.insert(a.clone());
             }
         }
@@ -211,16 +208,10 @@ mod tests {
     fn keep_fraction_limits_output() {
         let db = imdb::generate(0.05, 2);
         let q = star_query(3);
-        let all = sample_plans(
-            &db,
-            &q,
-            &SamplingConfig { keep_fraction: 1.0, ..Default::default() },
-        );
-        let kept = sample_plans(
-            &db,
-            &q,
-            &SamplingConfig { keep_fraction: 0.15, ..Default::default() },
-        );
+        let all =
+            sample_plans(&db, &q, &SamplingConfig { keep_fraction: 1.0, ..Default::default() });
+        let kept =
+            sample_plans(&db, &q, &SamplingConfig { keep_fraction: 0.15, ..Default::default() });
         assert!(kept.len() < all.len());
         assert!(kept.len() >= all.len() * 10 / 100, "15% floor: {} of {}", kept.len(), all.len());
     }

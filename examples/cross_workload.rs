@@ -18,8 +18,7 @@ fn main() {
     // Train everything on Synthetic (0-2 join queries only). QPSeeker uses
     // the sampled variant (§3.1 setting (b)) for plan-space coverage.
     let synth = synthetic::generate(&db, &SyntheticConfig { n_queries: 200, seed: 5 });
-    let sampled =
-        synthetic::generate_sampled(&db, &SyntheticConfig { n_queries: 200, seed: 5 }, 4);
+    let sampled = synthetic::generate_sampled(&db, &SyntheticConfig { n_queries: 200, seed: 5 }, 4);
     println!(
         "training workload: Synthetic ({} queries, <=2 joins; {} sampled QEPs)",
         synth.num_qeps(),
@@ -37,7 +36,8 @@ fn main() {
 
     // Evaluate on JOB queries with up to 16 joins — a totally different
     // distribution.
-    let queries = job::job_queries(&db, &JobConfig { n_queries: 25, n_templates: 8, ..Default::default() });
+    let queries =
+        job::job_queries(&db, &JobConfig { n_queries: 25, n_templates: 8, ..Default::default() });
     let ex = Executor::new(&db);
     let pg = PgOptimizer::new(&db);
     let planner = MctsPlanner::new(MctsConfig::default());
@@ -61,9 +61,14 @@ fn main() {
             qp_losses += 1;
         }
     }
-    println!("\nJOB evaluation ({} queries, up to 16 joins, never seen in training):", queries.len());
+    println!(
+        "\nJOB evaluation ({} queries, up to 16 joins, never seen in training):",
+        queries.len()
+    );
     println!("  PostgreSQL total: {pg_total:>10.1} ms");
-    println!("  QPSeeker total:   {qp_total:>10.1} ms   (better on {qp_wins}, worse on {qp_losses})");
+    println!(
+        "  QPSeeker total:   {qp_total:>10.1} ms   (better on {qp_wins}, worse on {qp_losses})"
+    );
     println!("  Bao total:        {bao_total:>10.1} ms");
     println!(
         "\npaper shape: QPSeeker stays on par with PostgreSQL on the unseen \

@@ -37,7 +37,10 @@ fn main() {
     let pg = PgOptimizer::new(&db);
     let planner = MctsPlanner::new(MctsConfig::default());
 
-    println!("\n{:<12} {:>6} {:>14} {:>14} {:>8}", "query", "joins", "QPSeeker (ms)", "Postgres (ms)", "winner");
+    println!(
+        "\n{:<12} {:>6} {:>14} {:>14} {:>8}",
+        "query", "joins", "QPSeeker (ms)", "Postgres (ms)", "winner"
+    );
     let (mut qp_total, mut pg_total) = (0.0, 0.0);
     for qep in &eval_queries {
         let res = planner.plan(&mut model, &qep.query);

@@ -35,7 +35,11 @@ fn main() {
             ..Default::default()
         },
     );
-    println!("workload: {} QEPs sampled from {} queries", workload.num_qeps(), workload.num_queries());
+    println!(
+        "workload: {} QEPs sampled from {} queries",
+        workload.num_qeps(),
+        workload.num_queries()
+    );
 
     // 3. Train the neural planner (tiny config for the example).
     let mut cfg = ModelConfig::small();
@@ -53,26 +57,17 @@ fn main() {
 
     // 4. Plan an unseen 3-way join with MCTS + the learned cost model.
     let mut q = Query::new("demo");
-    q.relations = vec![
-        RelRef::new("title"),
-        RelRef::new("movie_info"),
-        RelRef::new("movie_keyword"),
-    ];
+    q.relations =
+        vec![RelRef::new("title"), RelRef::new("movie_info"), RelRef::new("movie_keyword")];
     q.joins = vec![
-        JoinPred {
-            left: ColRef::new("movie_info", "movie_id"),
-            right: ColRef::new("title", "id"),
-        },
+        JoinPred { left: ColRef::new("movie_info", "movie_id"), right: ColRef::new("title", "id") },
         JoinPred {
             left: ColRef::new("movie_keyword", "movie_id"),
             right: ColRef::new("title", "id"),
         },
     ];
-    q.filters = vec![Filter {
-        col: ColRef::new("title", "production_year"),
-        op: CmpOp::Gt,
-        value: 2000.0,
-    }];
+    q.filters =
+        vec![Filter { col: ColRef::new("title", "production_year"), op: CmpOp::Gt, value: 2000.0 }];
 
     let planner = MctsPlanner::new(MctsConfig::default());
     let result = planner.plan(&mut model, &q);

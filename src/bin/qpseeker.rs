@@ -15,7 +15,9 @@
 use qpseeker_repro::core::prelude::*;
 use qpseeker_repro::engine::prelude::*;
 use qpseeker_repro::storage::Database;
-use qpseeker_repro::workloads::{job, stack, synthetic, JobConfig, Qep, StackConfig, SyntheticConfig};
+use qpseeker_repro::workloads::{
+    job, stack, synthetic, JobConfig, Qep, StackConfig, SyntheticConfig,
+};
 use std::collections::HashMap;
 use std::process::ExitCode;
 
@@ -38,6 +40,7 @@ fn main() -> ExitCode {
         "explain" => explain(&opts),
         "run" => run(&opts),
         "plan" => plan(&opts),
+        "serve" => serve(&opts),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -63,7 +66,11 @@ commands:
   explain  --db <db.json> --sql \"SELECT COUNT(*) FROM ...\"
   run      --db <db.json> --sql \"...\"            (optimize + execute)
   plan     --db <db.json> --model <model.json> --sql \"...\" [--execute]
-           (neural planning with MCTS)";
+           (neural planning with MCTS)
+  serve    --db <db.json> --sql \"...\" [--model <model.json>]
+           [--deadline-ms <f64>] [--retries <n>] [--chaos <p> --seed <u64>]
+           (neural planning with deadline watchdog, retries and classical
+            fallback; --chaos arms deterministic fault injection)";
 
 type Opts = HashMap<String, String>;
 
@@ -97,8 +104,18 @@ fn load_db(opts: &Opts) -> Result<Database, String> {
 
 fn gen_db(opts: &Opts) -> Result<(), String> {
     let schema = req(opts, "schema")?;
-    let scale: f64 = opts.get("scale").map(|s| s.parse()).transpose().map_err(|e| format!("--scale: {e}"))?.unwrap_or(0.1);
-    let seed: u64 = opts.get("seed").map(|s| s.parse()).transpose().map_err(|e| format!("--seed: {e}"))?.unwrap_or(42);
+    let scale: f64 = opts
+        .get("scale")
+        .map(|s| s.parse())
+        .transpose()
+        .map_err(|e| format!("--scale: {e}"))?
+        .unwrap_or(0.1);
+    let seed: u64 = opts
+        .get("seed")
+        .map(|s| s.parse())
+        .transpose()
+        .map_err(|e| format!("--seed: {e}"))?
+        .unwrap_or(42);
     let out = req(opts, "out")?;
     let db = match schema {
         "imdb" => qpseeker_repro::storage::datagen::imdb::generate(scale, seed),
@@ -131,15 +148,18 @@ fn model_config(opts: &Opts) -> Result<ModelConfig, String> {
 fn train(opts: &Opts) -> Result<(), String> {
     let db = load_db(opts)?;
     let kind = req(opts, "workload")?;
-    let queries: usize = opts.get("queries").map(|s| s.parse()).transpose().map_err(|e| format!("--queries: {e}"))?.unwrap_or(200);
+    let queries: usize = opts
+        .get("queries")
+        .map(|s| s.parse())
+        .transpose()
+        .map_err(|e| format!("--queries: {e}"))?
+        .unwrap_or(200);
     let out = req(opts, "out")?;
     eprintln!("generating {kind} workload ({queries} queries)...");
     let workload = match kind {
-        "synthetic" => synthetic::generate_sampled(
-            &db,
-            &SyntheticConfig { n_queries: queries, seed: 7 },
-            4,
-        ),
+        "synthetic" => {
+            synthetic::generate_sampled(&db, &SyntheticConfig { n_queries: queries, seed: 7 }, 4)
+        }
         "job" => job::generate(
             &db,
             &JobConfig {
@@ -164,8 +184,17 @@ fn train(opts: &Opts) -> Result<(), String> {
         report.epoch_losses.first().unwrap_or(&f64::NAN),
         report.epoch_losses.last().unwrap_or(&f64::NAN)
     );
+    if !report.guards.is_clean() {
+        eprintln!(
+            "numerical guards fired: {} non-finite gradients zeroed, {} updates clamped, {} values reverted",
+            report.guards.nonfinite_grads,
+            report.guards.clipped_updates,
+            report.guards.reverted_values
+        );
+    }
     let ckpt = Checkpoint::capture(&model, &db);
-    std::fs::write(out, ckpt.to_json()).map_err(|e| e.to_string())?;
+    let json = ckpt.to_json().map_err(|e| e.to_string())?;
+    std::fs::write(out, json).map_err(|e| e.to_string())?;
     println!("wrote {out}");
     Ok(())
 }
@@ -195,7 +224,7 @@ fn plan(opts: &Opts) -> Result<(), String> {
     let path = req(opts, "model")?;
     let data = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
     let ckpt = Checkpoint::from_json(&data).map_err(|e| e.to_string())?;
-    let mut model = ckpt.restore(&db)?;
+    let mut model = ckpt.restore(&db).map_err(|e| e.to_string())?;
     let planner = MctsPlanner::new(MctsConfig::default());
     let res = planner.plan(&mut model, &q);
     println!("{}", res.plan.pretty());
@@ -211,6 +240,59 @@ fn plan(opts: &Opts) -> Result<(), String> {
             "executed: {} rows in {:.3} ms (PostgreSQL-style plan: {:.3} ms)",
             exec.rows, exec.time_ms, pg.time_ms
         );
+    }
+    Ok(())
+}
+
+/// Serve a query through the graceful-degradation path: neural planning
+/// guarded by a deadline watchdog with bounded retries, falling back to the
+/// classical optimizer. `--chaos <p>` arms every fault class at rate `p`.
+fn serve(opts: &Opts) -> Result<(), String> {
+    let db = load_db(opts)?;
+    let q = parse_sql(&db, req(opts, "sql")?)?;
+
+    let mut cfg = ServeConfig::default();
+    if let Some(d) = opts.get("deadline-ms") {
+        cfg.deadline_ms = d.parse().map_err(|e| format!("--deadline-ms: {e}"))?;
+    }
+    if let Some(r) = opts.get("retries") {
+        cfg.max_retries = r.parse().map_err(|e| format!("--retries: {e}"))?;
+    }
+    if let Some(p) = opts.get("chaos") {
+        let p: f64 = p.parse().map_err(|e| format!("--chaos: {e}"))?;
+        let seed: u64 = opts
+            .get("seed")
+            .map(|s| s.parse())
+            .transpose()
+            .map_err(|e| format!("--seed: {e}"))?
+            .unwrap_or(42);
+        cfg.faults = Some(qpseeker_repro::storage::FaultConfig::chaos(seed, p));
+    }
+
+    let mut model = match opts.get("model") {
+        Some(path) => {
+            let data = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+            let ckpt = Checkpoint::from_json(&data).map_err(|e| e.to_string())?;
+            Some(ckpt.restore(&db).map_err(|e| e.to_string())?)
+        }
+        None => None,
+    };
+
+    let r = plan_with_fallback(&db, &q, model.as_mut(), &cfg);
+    println!("{}", r.plan.pretty());
+    let path = match r.served_by {
+        ServedBy::Neural => "neural (MCTS)",
+        ServedBy::Classical => "classical (DP/greedy fallback)",
+    };
+    println!("served by: {path} after {} neural attempt(s)", r.attempts);
+    if let Some(p) = r.predicted_ms {
+        println!("predicted runtime: {p:.3} ms");
+    }
+    for (i, f) in r.attempt_failures.iter().enumerate() {
+        println!("  attempt {}: {f}", i + 1);
+    }
+    if let Some(reason) = &r.fallback_reason {
+        println!("fallback reason: {reason}");
     }
     Ok(())
 }

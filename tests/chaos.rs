@@ -1,0 +1,216 @@
+//! Chaos suite: deterministic fault injection across the whole stack.
+//!
+//! Three guarantees are exercised here, end to end:
+//! 1. the executor under any fault schedule either completes or returns a
+//!    typed error — it never panics;
+//! 2. `plan_with_fallback` always produces a valid, executable plan, and
+//!    records why whenever it degrades to the classical optimizer;
+//! 3. corrupted checkpoints are rejected at load with a typed error.
+
+use proptest::prelude::*;
+use qpseeker_repro::core::prelude::*;
+use qpseeker_repro::engine::prelude::*;
+use qpseeker_repro::storage::{Database, FaultConfig};
+use qpseeker_repro::workloads::{synthetic, Qep, SyntheticConfig};
+use std::sync::{Mutex, OnceLock};
+
+fn shared_db() -> &'static Database {
+    static DB: OnceLock<Database> = OnceLock::new();
+    DB.get_or_init(|| qpseeker_repro::storage::datagen::imdb::generate(0.04, 2))
+}
+
+/// One fitted model shared by every chaos case (training is the slow part).
+fn shared_model() -> &'static Mutex<QPSeeker<'static>> {
+    static MODEL: OnceLock<Mutex<QPSeeker<'static>>> = OnceLock::new();
+    MODEL.get_or_init(|| {
+        let db = shared_db();
+        let w = synthetic::generate(db, &SyntheticConfig { n_queries: 12, seed: 3 });
+        let refs: Vec<&Qep> = w.qeps.iter().collect();
+        let mut model = QPSeeker::new(db, ModelConfig::small());
+        model.fit(&refs);
+        Mutex::new(model)
+    })
+}
+
+fn chaos_queries(n: usize, seed: u64) -> Vec<Query> {
+    synthetic::generate_queries(shared_db(), &SyntheticConfig { n_queries: n, seed })
+        .into_iter()
+        .map(|(q, _sql)| q)
+        .collect()
+}
+
+fn quick_serve_cfg(faults: Option<FaultConfig>) -> ServeConfig {
+    ServeConfig {
+        mcts: MctsConfig { budget_ms: 10.0, max_simulations: 25, ..MctsConfig::default() },
+        deadline_ms: 10_000.0,
+        max_retries: 1,
+        backoff_base_ms: 0.0,
+        faults,
+    }
+}
+
+/// The acceptance sweep: every fault class armed at p = 0.1 over 200 seeded
+/// queries. Zero panics, a valid executable plan for every query, and a
+/// recorded reason for every degradation.
+#[test]
+fn chaos_sweep_200_queries_at_p_10() {
+    let db = shared_db();
+    let queries = chaos_queries(200, 0xc4a05);
+    assert!(queries.len() >= 200, "sweep needs at least 200 queries");
+    let model = shared_model();
+    let mut served_neural = 0usize;
+    let mut served_classical = 0usize;
+    for (i, q) in queries.iter().enumerate() {
+        let faults = FaultConfig::chaos(0x5eed ^ i as u64, 0.1);
+        let cfg = quick_serve_cfg(Some(faults.clone()));
+        let mut guard = model.lock().unwrap();
+        let r = plan_with_fallback(db, q, Some(&mut guard), &cfg);
+        drop(guard);
+        r.plan.validate(q).unwrap_or_else(|e| panic!("query {i}: served plan invalid: {e}"));
+        match r.served_by {
+            ServedBy::Neural => {
+                served_neural += 1;
+                assert!(r.fallback_reason.is_none());
+                assert!(r.predicted_ms.is_some());
+            }
+            ServedBy::Classical => {
+                served_classical += 1;
+                assert!(
+                    r.fallback_reason.is_some(),
+                    "query {i}: degraded without a recorded reason"
+                );
+                assert_eq!(
+                    r.attempt_failures.len(),
+                    cfg.max_retries + 1,
+                    "query {i}: every failed attempt must be recorded"
+                );
+            }
+        }
+        // The served plan must also execute under the same fault schedule
+        // (or fail with a typed error — never a panic).
+        let exec = Executor::try_new(db).expect("executor builds").with_faults(faults);
+        match exec.try_execute(&r.plan) {
+            Ok(res) => assert!(res.rows > 0 || !res.nodes.is_empty()),
+            Err(e) => assert!(!e.to_string().is_empty()),
+        }
+    }
+    assert_eq!(served_neural + served_classical, queries.len());
+    // At p = 0.1 per class with one retry, both paths must actually occur —
+    // otherwise the sweep is not exercising degradation at all.
+    assert!(served_neural > 0, "no query was served neurally");
+    assert!(served_classical > 0, "no query degraded to the classical path");
+}
+
+/// Corrupted checkpoints (bit flips anywhere in the payload) are rejected
+/// at load with a typed corruption error; truncations are malformed.
+#[test]
+fn chaos_checkpoint_corruption_is_detected() {
+    let db = shared_db();
+    let model = shared_model().lock().unwrap();
+    let json = Checkpoint::capture(&model, db).to_json().unwrap();
+    drop(model);
+
+    let start = json.find("payload").unwrap();
+    let digit_positions: Vec<usize> = json
+        .char_indices()
+        .skip(start)
+        .filter(|(_, c)| ('1'..='8').contains(c))
+        .map(|(i, _)| i)
+        .collect();
+    // Flip digits spread across the payload.
+    for k in 0..20 {
+        let pos = digit_positions[(k * digit_positions.len()) / 20];
+        let mut bytes = json.clone().into_bytes();
+        bytes[pos] += 1;
+        let tampered = String::from_utf8(bytes).unwrap();
+        match Checkpoint::from_json(&tampered) {
+            Err(CoreError::CheckpointCorrupted { .. }) => {}
+            Err(other) => panic!("flip at {pos}: expected corruption error, got {other}"),
+            Ok(_) => panic!("flip at {pos}: tampered checkpoint was accepted"),
+        }
+    }
+    for frac in [1, 2, 3] {
+        let truncated = &json[..json.len() * frac / 4];
+        assert!(Checkpoint::from_json(truncated).is_err(), "truncation to {frac}/4 was accepted");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Under an arbitrary fault schedule the executor completes or returns
+    /// a typed error; it never panics. With faults off it must agree with
+    /// the fault-free executor.
+    #[test]
+    fn executor_returns_err_never_panics(
+        seed in 0u64..1_000_000,
+        page_p in 0.0f64..0.4,
+        spike_p in 0.0f64..0.4,
+        stats_p in 0.0f64..0.4,
+        budget_raw in 0u64..5_000,
+        qseed in 0u64..1_000,
+    ) {
+        let db = shared_db();
+        let queries = chaos_queries(3, qseed);
+        let faults = FaultConfig {
+            seed,
+            page_read_p: page_p,
+            latency_spike_p: spike_p,
+            latency_spike_ms: 25.0,
+            corrupt_stats_p: stats_p,
+            // 0 means "no budget" so the schedule space covers both modes.
+            row_budget: (budget_raw > 0).then_some(budget_raw),
+            ..FaultConfig::default()
+        };
+        for q in &queries {
+            let plan = PgOptimizer::new(db).plan(q);
+            let exec = Executor::try_new(db).expect("executor builds").with_faults(faults.clone());
+            match exec.try_execute(&plan) {
+                Ok(res) => {
+                    prop_assert!(res.time_ms.is_finite());
+                    prop_assert!(res.cost.is_finite());
+                }
+                Err(e) => {
+                    // Typed, displayable, and classified for retry policy.
+                    prop_assert!(!e.to_string().is_empty());
+                    let _ = e.is_transient();
+                }
+            }
+            // A fault-free executor over the same plan must succeed.
+            let clean = Executor::try_new(db).expect("executor builds");
+            let res = clean.try_execute(&plan);
+            prop_assert!(res.is_ok(), "fault-free execution failed: {}", res.err().map(|e| e.to_string()).unwrap_or_default());
+        }
+    }
+
+    /// `plan_with_fallback` serves a valid plan under any inference-fault
+    /// schedule, and records a reason whenever it degrades.
+    #[test]
+    fn fallback_always_serves_valid_plan(
+        seed in 0u64..1_000_000,
+        nan_p in 0.0f64..1.0,
+        stall_p in 0.0f64..1.0,
+        qseed in 0u64..1_000,
+    ) {
+        let db = shared_db();
+        let queries = chaos_queries(2, qseed);
+        let faults = FaultConfig {
+            seed,
+            inference_nan_p: nan_p,
+            inference_stall_p: stall_p,
+            ..FaultConfig::default()
+        };
+        let cfg = quick_serve_cfg(Some(faults));
+        for q in &queries {
+            let mut model = shared_model().lock().unwrap();
+            let r = plan_with_fallback(db, q, Some(&mut model), &cfg);
+            drop(model);
+            prop_assert!(r.plan.validate(q).is_ok(), "served plan invalid");
+            match r.served_by {
+                ServedBy::Neural => prop_assert!(r.fallback_reason.is_none()),
+                ServedBy::Classical => prop_assert!(r.fallback_reason.is_some()),
+            }
+            prop_assert!(r.attempts <= cfg.max_retries + 1);
+        }
+    }
+}

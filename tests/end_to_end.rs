@@ -29,7 +29,10 @@ fn random_plan(q: &Query, rng: &mut StdRng) -> PlanNode {
 }
 
 #[test]
-#[cfg_attr(debug_assertions, ignore = "trains a model over a sampled 16-join plan space; minutes in debug builds — run with --release")]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "trains a model over a sampled 16-join plan space; minutes in debug builds — run with --release"
+)]
 fn trained_mcts_planner_beats_random_planning() {
     let db = db();
     // Train on sampled JOB QEPs (the setting where the learned cost model
@@ -125,7 +128,10 @@ fn injected_plans_execute_identically_to_directly_built_plans() {
 }
 
 #[test]
-#[cfg_attr(debug_assertions, ignore = "trains a model over a sampled 16-join plan space; minutes in debug builds — run with --release")]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "trains a model over a sampled 16-join plan space; minutes in debug builds — run with --release"
+)]
 fn model_predictions_differentiate_good_from_catastrophic_plans() {
     let db = db();
     let workload = job::generate(
@@ -157,13 +163,11 @@ fn model_predictions_differentiate_good_from_catastrophic_plans() {
             continue;
         }
         let q = &qep.query;
-        let ordering: Vec<String> = match qpseeker_repro::workloads::enumerate_orderings(q, 1)
-            .into_iter()
-            .next()
-        {
-            Some(o) => o,
-            None => continue,
-        };
+        let ordering: Vec<String> =
+            match qpseeker_repro::workloads::enumerate_orderings(q, 1).into_iter().next() {
+                Some(o) => o,
+                None => continue,
+            };
         let mk = |op: JoinOp| {
             LeftDeepSpec {
                 scans: ordering.iter().map(|a| (a.clone(), ScanOp::SeqScan)).collect(),

@@ -22,7 +22,10 @@ fn example_db() -> Database {
         name: name.into(),
         columns: cols
             .iter()
-            .map(|c| ColumnMeta { name: (*c).into(), dtype: qpseeker_repro::storage::DataType::Int })
+            .map(|c| ColumnMeta {
+                name: (*c).into(),
+                dtype: qpseeker_repro::storage::DataType::Int,
+            })
             .collect(),
     };
     let a = Table::new(
@@ -44,10 +47,24 @@ fn example_db() -> Database {
         vec![Column { name: "c1".into(), data: ColumnData::Int((0..20).collect()) }],
     );
     let catalog = Catalog {
-        tables: vec![mk_meta("a", &["a1", "a2"]), mk_meta("b", &["b1", "b2"]), mk_meta("c", &["c1"])],
+        tables: vec![
+            mk_meta("a", &["a1", "a2"]),
+            mk_meta("b", &["b1", "b2"]),
+            mk_meta("c", &["c1"]),
+        ],
         foreign_keys: vec![
-            ForeignKey { from_table: "b".into(), from_col: "b1".into(), to_table: "a".into(), to_col: "a1".into() },
-            ForeignKey { from_table: "b".into(), from_col: "b2".into(), to_table: "c".into(), to_col: "c1".into() },
+            ForeignKey {
+                from_table: "b".into(),
+                from_col: "b1".into(),
+                to_table: "a".into(),
+                to_col: "a1".into(),
+            },
+            ForeignKey {
+                from_table: "b".into(),
+                from_col: "b2".into(),
+                to_table: "c".into(),
+                to_col: "c1".into(),
+            },
         ],
         indexes: vec![
             IndexMeta::for_column("a", "a1", 40, true),
@@ -165,11 +182,8 @@ fn mcts_plans_the_example_query() {
     let mut model = QPSeeker::new(&db, ModelConfig::small());
     let refs: Vec<&Qep> = qeps.iter().collect();
     model.fit(&refs);
-    let planner = MctsPlanner::new(MctsConfig {
-        budget_ms: 1e9,
-        max_simulations: 50,
-        ..Default::default()
-    });
+    let planner =
+        MctsPlanner::new(MctsConfig { budget_ms: 1e9, max_simulations: 50, ..Default::default() });
     let res = planner.plan(&mut model, &q);
     assert!(res.plan.validate(&q).is_ok());
     assert_eq!(res.plan.aliases().len(), 3);

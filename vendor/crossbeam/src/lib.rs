@@ -1,0 +1,69 @@
+//! Offline, in-workspace shim for `crossbeam::scope`, backed by
+//! `std::thread::scope` (stable since Rust 1.63, which post-dates the
+//! crossbeam API this workspace was written against). Only the scoped
+//! spawn/join surface is provided.
+
+use std::panic::AssertUnwindSafe;
+use std::thread;
+
+/// Mirrors `crossbeam::thread::Scope`: spawn closures receive `&Scope` so
+/// they can spawn further scoped threads.
+#[derive(Clone, Copy)]
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope thread::Scope<'scope, 'env>,
+}
+
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: thread::ScopedJoinHandle<'scope, T>,
+}
+
+impl<'scope, T> ScopedJoinHandle<'scope, T> {
+    pub fn join(self) -> thread::Result<T> {
+        self.inner.join()
+    }
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let shim = *self;
+        ScopedJoinHandle { inner: self.inner.spawn(move || f(&shim)) }
+    }
+}
+
+/// Like `crossbeam::scope`: runs `f` with a scope handle, joining all
+/// spawned threads before returning. A panic from the closure or from an
+/// unjoined child thread surfaces as `Err`, matching crossbeam's contract.
+pub fn scope<'env, F, R>(f: F) -> thread::Result<R>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    std::panic::catch_unwind(AssertUnwindSafe(|| thread::scope(|s| f(&Scope { inner: s }))))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_join_and_borrow() {
+        let data = [1u64, 2, 3, 4];
+        let total = super::scope(|s| {
+            let handles: Vec<_> =
+                data.chunks(2).map(|c| s.spawn(move |_| c.iter().sum::<u64>())).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum::<u64>()
+        })
+        .unwrap();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn child_panic_is_err() {
+        let r = super::scope(|s| {
+            let h = s.spawn(|_| panic!("boom"));
+            h.join().is_err()
+        });
+        assert!(r.unwrap());
+    }
+}

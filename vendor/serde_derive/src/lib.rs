@@ -1,0 +1,439 @@
+//! Offline `#[derive(Serialize, Deserialize)]` for the vendored `serde`
+//! value model (`serde::Value`).
+//!
+//! The real `serde_derive` depends on `syn`/`quote`, which are unavailable
+//! in this offline build environment, so this crate parses the item token
+//! stream by hand. It supports exactly the shapes this workspace derives
+//! on: non-generic named-field structs, tuple structs, and enums with
+//! unit / tuple / struct variants (serialized in serde's externally-tagged
+//! JSON layout). Anything else produces a compile error rather than wrong
+//! code.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug, Clone)]
+enum Fields {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+#[derive(Debug)]
+enum Item {
+    Struct { name: String, fields: Fields },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().expect("valid compile_error tokens")
+}
+
+/// Skip `#[...]` attribute groups and `pub` / `pub(...)` visibility.
+fn skip_attrs_and_vis(it: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) {
+    loop {
+        match it.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                it.next();
+                // The bracketed attribute body.
+                it.next();
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                it.next();
+                if let Some(TokenTree::Group(g)) = it.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        it.next();
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Parse the named fields of `{ a: T, pub b: U, ... }`, returning the names.
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut it = body.into_iter().peekable();
+    let mut names = Vec::new();
+    loop {
+        skip_attrs_and_vis(&mut it);
+        let name = match it.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => return Err(format!("expected field name, found `{other}`")),
+        };
+        match it.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("expected `:` after field `{name}`, found {other:?}")),
+        }
+        names.push(name);
+        // Consume the type, tracking `<...>` nesting so commas inside
+        // generic arguments don't terminate the field early.
+        let mut angle = 0i32;
+        for tok in it.by_ref() {
+            match tok {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => break,
+                _ => {}
+            }
+        }
+    }
+    Ok(names)
+}
+
+/// Count the fields of a tuple struct / tuple variant body `(T, U, ...)`.
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let mut angle = 0i32;
+    let mut fields = 0usize;
+    let mut saw_tokens = false;
+    let mut last_was_comma = false;
+    for tok in body {
+        saw_tokens = true;
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                angle += 1;
+                last_was_comma = false;
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle -= 1;
+                last_was_comma = false;
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                fields += 1;
+                last_was_comma = true;
+            }
+            _ => last_was_comma = false,
+        }
+    }
+    if !saw_tokens {
+        0
+    } else if last_was_comma {
+        fields
+    } else {
+        fields + 1
+    }
+}
+
+fn parse_variants(body: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut it = body.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attrs_and_vis(&mut it);
+        let name = match it.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => return Err(format!("expected variant name, found `{other}`")),
+        };
+        let fields = match it.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                it.next();
+                Fields::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let names = parse_named_fields(g.stream())?;
+                it.next();
+                Fields::Named(names)
+            }
+            _ => Fields::Unit,
+        };
+        // Optional explicit discriminant, then the separating comma.
+        let mut depth = 0i32;
+        while let Some(tok) = it.peek() {
+            match tok {
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    it.next();
+                    break;
+                }
+                TokenTree::Punct(p) if p.as_char() == '<' => {
+                    depth += 1;
+                    it.next();
+                }
+                TokenTree::Punct(p) if p.as_char() == '>' => {
+                    depth -= 1;
+                    it.next();
+                }
+                _ => {
+                    it.next();
+                }
+            }
+        }
+        variants.push(Variant { name, fields });
+    }
+    Ok(variants)
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut it = input.into_iter().peekable();
+    skip_attrs_and_vis(&mut it);
+    let kind = match it.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    if kind != "struct" && kind != "enum" {
+        return Err(format!("expected `struct` or `enum`, found `{kind}`"));
+    }
+    let name = match it.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, found {other:?}")),
+    };
+    if let Some(TokenTree::Punct(p)) = it.peek() {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "the vendored serde_derive does not support generic type `{name}`"
+            ));
+        }
+    }
+    if kind == "enum" {
+        match it.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Ok(Item::Enum { name, variants: parse_variants(g.stream())? })
+            }
+            other => Err(format!("expected enum body, found {other:?}")),
+        }
+    } else {
+        match it.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Ok(Item::Struct { name, fields: Fields::Named(parse_named_fields(g.stream())?) })
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Ok(Item::Struct { name, fields: Fields::Tuple(count_tuple_fields(g.stream())) })
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
+                Ok(Item::Struct { name, fields: Fields::Unit })
+            }
+            other => Err(format!("expected struct body, found {other:?}")),
+        }
+    }
+}
+
+// ---------------------------------------------------------------- Serialize
+
+fn ser_named(names: &[String], access: &str) -> String {
+    let entries: Vec<String> = names
+        .iter()
+        .map(|n| format!("({n:?}.to_string(), ::serde::Serialize::to_value({access}{n}))"))
+        .collect();
+    format!("::serde::Value::Obj(vec![{}])", entries.join(", "))
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Named(names) => ser_named(names, "&self."),
+                Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+                Fields::Tuple(n) => {
+                    let elems: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                        .collect();
+                    format!("::serde::Value::Arr(vec![{}])", elems.join(", "))
+                }
+                Fields::Unit => "::serde::Value::Null".to_string(),
+            };
+            (name, body)
+        }
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.fields {
+                        Fields::Unit => format!(
+                            "{name}::{vn} => ::serde::Value::Str({vn:?}.to_string()),"
+                        ),
+                        Fields::Tuple(1) => format!(
+                            "{name}::{vn}(f0) => ::serde::Value::Obj(vec![({vn:?}.to_string(), \
+                             ::serde::Serialize::to_value(f0))]),"
+                        ),
+                        Fields::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                            let elems: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Serialize::to_value(f{i})"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({binds}) => ::serde::Value::Obj(vec![({vn:?}.to_string(), \
+                                 ::serde::Value::Arr(vec![{elems}]))]),",
+                                binds = binds.join(", "),
+                                elems = elems.join(", ")
+                            )
+                        }
+                        Fields::Named(fields) => {
+                            let binds = fields.join(", ");
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "({f:?}.to_string(), ::serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => ::serde::Value::Obj(vec![({vn:?}.to_string(), \
+                                 ::serde::Value::Obj(vec![{entries}]))]),",
+                                entries = entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            (name, format!("match self {{ {} }}", arms.join("\n")))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+// -------------------------------------------------------------- Deserialize
+
+fn de_named_fields(type_label: &str, names: &[String]) -> String {
+    let fields: Vec<String> = names
+        .iter()
+        .map(|n| {
+            format!(
+                "{n}: ::serde::Deserialize::from_value(::serde::obj_field(__obj, {n:?}))\
+                 .map_err(|e| e.in_field({type_label:?}, {n:?}))?"
+            )
+        })
+        .collect();
+    fields.join(", ")
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Named(names) => {
+                    let inner = de_named_fields(name, names);
+                    format!(
+                        "let __obj = v.as_obj().ok_or_else(|| \
+                         ::serde::Error::type_mismatch({name:?}, \"object\", v))?;\n\
+                         Ok({name} {{ {inner} }})"
+                    )
+                }
+                Fields::Tuple(1) => format!("Ok({name}(::serde::Deserialize::from_value(v)?))"),
+                Fields::Tuple(n) => {
+                    let elems: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Deserialize::from_value(&__arr[{i}])?"))
+                        .collect();
+                    format!(
+                        "let __arr = v.as_arr().ok_or_else(|| \
+                         ::serde::Error::type_mismatch({name:?}, \"array\", v))?;\n\
+                         if __arr.len() != {n} {{ return Err(::serde::Error::msg(format!(\
+                         \"{name}: expected {n} elements, got {{}}\", __arr.len()))); }}\n\
+                         Ok({name}({elems}))",
+                        elems = elems.join(", ")
+                    )
+                }
+                Fields::Unit => format!("Ok({name})"),
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         {body}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.fields, Fields::Unit))
+                .map(|v| format!("{vn:?} => Ok({name}::{vn}),", vn = v.name))
+                .collect();
+            let tagged_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    let label = format!("{name}::{vn}");
+                    match &v.fields {
+                        Fields::Unit => None,
+                        Fields::Tuple(1) => Some(format!(
+                            "{vn:?} => Ok({name}::{vn}(::serde::Deserialize::from_value(__payload)\
+                             .map_err(|e| e.in_field({label:?}, \"0\"))?)),"
+                        )),
+                        Fields::Tuple(n) => {
+                            let elems: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Deserialize::from_value(&__arr[{i}])?"))
+                                .collect();
+                            Some(format!(
+                                "{vn:?} => {{\n\
+                                     let __arr = __payload.as_arr().ok_or_else(|| \
+                                     ::serde::Error::type_mismatch({label:?}, \"array\", __payload))?;\n\
+                                     if __arr.len() != {n} {{ return Err(::serde::Error::msg(format!(\
+                                     \"{label}: expected {n} elements, got {{}}\", __arr.len()))); }}\n\
+                                     Ok({name}::{vn}({elems}))\n\
+                                 }},",
+                                elems = elems.join(", ")
+                            ))
+                        }
+                        Fields::Named(fields) => {
+                            let inner = de_named_fields(&label, fields);
+                            Some(format!(
+                                "{vn:?} => {{\n\
+                                     let __obj = __payload.as_obj().ok_or_else(|| \
+                                     ::serde::Error::type_mismatch({label:?}, \"object\", __payload))?;\n\
+                                     Ok({name}::{vn} {{ {inner} }})\n\
+                                 }},"
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         match v {{\n\
+                             ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                                 {unit_arms}\n\
+                                 __other => Err(::serde::Error::msg(format!(\
+                                 \"{name}: unknown variant `{{__other}}`\"))),\n\
+                             }},\n\
+                             ::serde::Value::Obj(__o) if __o.len() == 1 => {{\n\
+                                 let __payload = &__o[0].1;\n\
+                                 match __o[0].0.as_str() {{\n\
+                                     {tagged_arms}\n\
+                                     __other => Err(::serde::Error::msg(format!(\
+                                     \"{name}: unknown variant `{{__other}}`\"))),\n\
+                                 }}\n\
+                             }}\n\
+                             __other => Err(::serde::Error::type_mismatch({name:?}, \
+                             \"string or single-key object\", __other)),\n\
+                         }}\n\
+                     }}\n\
+                 }}",
+                unit_arms = unit_arms.join("\n"),
+                tagged_arms = tagged_arms.join("\n")
+            )
+        }
+    }
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_serialize(&item)
+            .parse()
+            .unwrap_or_else(|e| compile_error(&format!("serde_derive codegen error: {e}"))),
+        Err(e) => compile_error(&e),
+    }
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_deserialize(&item)
+            .parse()
+            .unwrap_or_else(|e| compile_error(&format!("serde_derive codegen error: {e}"))),
+        Err(e) => compile_error(&e),
+    }
+}
