@@ -48,8 +48,25 @@ fn bench_tabert(c: &mut Criterion) {
     c.bench_function("tabert/encode_table_uncached", |b| {
         b.iter_with_setup(
             || TabSim::new(TabertConfig::paper_default()),
-            |mut ts| black_box(ts.encode_table(&db, "title", "select * from title")),
+            |ts| black_box(ts.encode_table(&db, "title", "select * from title")),
         )
+    });
+}
+
+fn bench_matmul_kernel(c: &mut Criterion) {
+    use qpseeker_nn::tensor::Tensor;
+    // Shapes matched to the small-config VAE encoder hot spot.
+    let a = Tensor::from_vec(8, 96, (0..8 * 96).map(|i| (i as f32 * 0.37).sin()).collect());
+    let b_ = Tensor::from_vec(96, 96, (0..96 * 96).map(|i| (i as f32 * 0.11).cos()).collect());
+    c.bench_function("nn/matmul_8x96x96", |b| {
+        b.iter(|| black_box(black_box(&a).matmul(black_box(&b_))))
+    });
+    let mut out = Tensor::zeros(8, 96);
+    c.bench_function("nn/matmul_into_8x96x96", |b| {
+        b.iter(|| {
+            black_box(&a).matmul_into(black_box(&b_), &mut out);
+            black_box(&out);
+        })
     });
 }
 
@@ -60,13 +77,39 @@ fn bench_model(c: &mut Criterion) {
     let mut model = QPSeeker::new(&db, ModelConfig::small());
     model.fit(&refs);
     let qep = w.qeps.iter().find(|q| q.query.num_joins() >= 1).expect("join query");
+    // Tape-free fast path (the default) vs the autodiff-tape reference.
     c.bench_function("qpseeker/predict", |b| {
         b.iter(|| black_box(model.predict(black_box(&qep.query), black_box(&qep.plan))))
+    });
+    c.bench_function("qpseeker/predict_tape", |b| {
+        b.iter(|| black_box(model.predict_tape(black_box(&qep.query), black_box(&qep.plan))))
+    });
+    // Amortized per-plan cost when the query is encoded once and every
+    // candidate reuses the context — the MCTS hot-loop shape.
+    c.bench_function("qpseeker/predict_with_context", |b| {
+        let mut ctx = model.query_context(&qep.query);
+        b.iter(|| {
+            black_box(model.predict_with_context(
+                black_box(&qep.query),
+                black_box(&qep.plan),
+                &mut ctx,
+            ))
+        })
     });
     let planner =
         MctsPlanner::new(MctsConfig { budget_ms: 1e9, max_simulations: 20, ..Default::default() });
     c.bench_function("qpseeker/mcts_20_simulations", |b| {
-        b.iter(|| black_box(planner.plan(&mut model, black_box(&qep.query))))
+        b.iter(|| black_box(planner.plan(&model, black_box(&qep.query))))
+    });
+    // Search throughput under the paper's default wall-clock budget, scaled
+    // to 100 ms per iteration: plans_evaluated is the figure of merit.
+    let budget = MctsPlanner::new(MctsConfig {
+        budget_ms: 100.0,
+        max_simulations: usize::MAX,
+        ..Default::default()
+    });
+    c.bench_function("qpseeker/mcts_plans_per_100ms", |b| {
+        b.iter(|| black_box(budget.plan(&model, black_box(&qep.query)).plans_evaluated))
     });
 }
 
@@ -91,6 +134,7 @@ fn bench_training_step(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_executor, bench_optimizer, bench_tabert, bench_model, bench_training_step
+    targets = bench_executor, bench_optimizer, bench_tabert, bench_matmul_kernel, bench_model,
+        bench_training_step
 }
 criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! Perf-trajectory harness: measures the inference-path hot spots (matmul
+//! kernel, one cost-model forward, MCTS plans-evaluated-per-100ms) and
+//! prints a machine-readable JSON blob for BENCH_PR<N>.json at repo root.
+//!
+//! Run with `cargo run --release -p qpseeker-bench --example perf_trajectory`.
+
+use qpseeker_core::prelude::*;
+use qpseeker_nn::tensor::Tensor;
+use qpseeker_workloads::{synthetic, Qep, SyntheticConfig};
+use std::hint::black_box;
+use std::time::Instant;
+
+fn time_ms(iters: usize, mut f: impl FnMut()) -> f64 {
+    // One warmup, then the minimum over 5 timed repetitions.
+    f();
+    let mut best = f64::INFINITY;
+    for _ in 0..5 {
+        let start = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        best = best.min(start.elapsed().as_secs_f64() * 1e3 / iters as f64);
+    }
+    best
+}
+
+fn main() {
+    let db = qpseeker_storage::datagen::imdb::generate(0.06, 1);
+    let w = synthetic::generate(&db, &SyntheticConfig { n_queries: 40, seed: 1 });
+    let refs: Vec<&Qep> = w.qeps.iter().collect();
+    let mut model = QPSeeker::new(&db, ModelConfig::small());
+    model.fit(&refs);
+
+    // --- matmul kernel (sizes shaped like the small-config VAE encoder) ---
+    let a = Tensor::from_vec(8, 96, (0..8 * 96).map(|i| (i as f32 * 0.37).sin()).collect());
+    let b = Tensor::from_vec(96, 96, (0..96 * 96).map(|i| (i as f32 * 0.11).cos()).collect());
+    let matmul_ms = time_ms(200, || {
+        black_box(black_box(&a).matmul(black_box(&b)));
+    });
+
+    // --- one full model forward (predict) on a join query ---
+    let qep = w.qeps.iter().find(|q| q.query.num_joins() >= 1).expect("join query");
+    let predict_ms = time_ms(50, || {
+        black_box(model.predict(black_box(&qep.query), black_box(&qep.plan)));
+    });
+
+    // --- MCTS throughput: plans evaluated under a 100 ms budget ---
+    // Standard workload: 5-way star joins over the IMDb FK schema (the same
+    // shape as the optimizer bench), where the left-deep plan space is far
+    // larger than the budget so plans-evaluated measures search throughput.
+    use qpseeker_engine::query::{ColRef, JoinPred, Query, RelRef};
+    let queries: Vec<Query> = (0..5)
+        .map(|i| {
+            let mut q = Query::new(format!("star-{i}"));
+            for t in ["title", "movie_info", "movie_keyword", "cast_info", "movie_companies"] {
+                q.relations.push(RelRef::new(t));
+            }
+            for t in ["movie_info", "movie_keyword", "cast_info", "movie_companies"] {
+                q.joins.push(JoinPred {
+                    left: ColRef::new(t, "movie_id"),
+                    right: ColRef::new("title", "id"),
+                });
+            }
+            q
+        })
+        .collect();
+    let mut total_plans = 0usize;
+    let mut total_sims = 0usize;
+    for q in &queries {
+        let planner = MctsPlanner::new(MctsConfig {
+            budget_ms: 100.0,
+            max_simulations: usize::MAX,
+            seed: 0xacc5,
+            ..Default::default()
+        });
+        let r = planner.plan(&model, q);
+        total_plans += r.plans_evaluated;
+        total_sims += r.simulations;
+    }
+    let plans_per_100ms = total_plans as f64 / queries.len() as f64;
+    let sims_per_100ms = total_sims as f64 / queries.len() as f64;
+
+    println!(
+        "{{\"matmul_8x96x96_ms\": {matmul_ms:.6}, \"predict_ms\": {predict_ms:.4}, \
+         \"mcts_plans_per_100ms\": {plans_per_100ms:.1}, \
+         \"mcts_sims_per_100ms\": {sims_per_100ms:.1}}}"
+    );
+}

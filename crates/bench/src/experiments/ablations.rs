@@ -44,7 +44,7 @@ fn model_ablations(ctx: &Context) {
     for (name, patch) in variants {
         let mut cfg = ctx.scale.model_config();
         patch(&mut cfg);
-        let (mut model, eval) = train_model(db, &w, cfg);
+        let (model, eval) = train_model(db, &w, cfg);
         let pairs: Vec<(f64, f64)> = eval
             .iter()
             .map(|q| (model.predict(&q.query, &q.plan).runtime_ms, q.runtime_ms()))
@@ -104,7 +104,7 @@ fn sampling_ablation(ctx: &Context) {
             plan_source: qpseeker_workloads::PlanSource::Sampling,
             qeps,
         };
-        let (mut model, eval) = train_model(db, &workload, ctx.scale.model_config());
+        let (model, eval) = train_model(db, &workload, ctx.scale.model_config());
         let pairs: Vec<(f64, f64)> = eval
             .iter()
             .map(|q: &&Qep| (model.predict(&q.query, &q.plan).runtime_ms, q.runtime_ms()))
@@ -156,7 +156,7 @@ fn planner_ablation(ctx: &Context) {
     let mut total = 0.0;
     let mut scored = 0usize;
     for q in &queries {
-        let res = planner.plan(&mut model, q);
+        let res = planner.plan(&model, q);
         scored += res.plans_evaluated;
         total += run_plan_ms(db, &res.plan);
     }
@@ -172,7 +172,7 @@ fn planner_ablation(ctx: &Context) {
     let mut total = 0.0;
     let mut scored = 0usize;
     for q in &queries {
-        let (plan, s) = greedy_plan(&mut model, q);
+        let (plan, s) = greedy_plan(&model, q);
         scored += s;
         total += run_plan_ms(db, &plan);
     }
@@ -224,7 +224,7 @@ fn planner_ablation(ctx: &Context) {
 /// Greedy: grow the plan one relation at a time, at each step picking the
 /// (relation, ops) whose *completed* plan (cheapest completion heuristic)
 /// the model scores fastest. Returns (plan, plans scored).
-fn greedy_plan(model: &mut QPSeeker<'_>, q: &Query) -> (PlanNode, usize) {
+fn greedy_plan(model: &QPSeeker<'_>, q: &Query) -> (PlanNode, usize) {
     use std::collections::BTreeSet;
     let mut scans: Vec<(String, ScanOp)> = Vec::new();
     let mut joins: Vec<JoinOp> = Vec::new();

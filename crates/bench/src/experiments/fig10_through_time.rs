@@ -53,7 +53,7 @@ pub fn run(ctx: &Context) {
             ("job-extended", job::job_extended_queries(db, ctx.scale.seed)),
         ];
         for (name, queries) in sets {
-            run_set(ctx, db, name, &queries, &mut model, &bao, &mut series);
+            run_set(ctx, db, name, &queries, &model, &bao, &mut series);
         }
     }
 
@@ -69,7 +69,7 @@ pub fn run(ctx: &Context) {
         bao.train(&bao_train);
         let queries: Vec<(Query, String)> =
             eval.iter().map(|q| (q.query.clone(), q.template.clone())).collect();
-        run_set(ctx, db, "stack", &queries, &mut model, &bao, &mut series);
+        run_set(ctx, db, "stack", &queries, &model, &bao, &mut series);
     }
 
     let md_rows: Vec<Vec<String>> = series
@@ -97,7 +97,7 @@ fn run_set(
     db: &qpseeker_storage::Database,
     name: &str,
     queries: &[(Query, String)],
-    model: &mut QPSeeker<'_>,
+    model: &QPSeeker<'_>,
     bao: &Bao<'_>,
     series: &mut Vec<Series>,
 ) {

@@ -30,7 +30,7 @@ pub struct PointRow {
 pub fn run(ctx: &Context) {
     let w = ctx.job();
     let db = ctx.db_of(&w);
-    let (mut model, _eval) = train_model(db, &w, ctx.scale.model_config());
+    let (model, _eval) = train_model(db, &w, ctx.scale.model_config());
 
     // Latents for a bounded sample of QEPs (t-SNE is O(n²)).
     let cap = 400.min(w.qeps.len());

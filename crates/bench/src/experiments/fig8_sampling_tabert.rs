@@ -83,7 +83,7 @@ pub fn run(ctx: &Context) {
         let planner = MctsPlanner::new(MctsConfig::default());
         let mut total = 0.0;
         for (q, _) in eval_queries {
-            let res = planner.plan(&mut model, q);
+            let res = planner.plan(&model, q);
             total += run_plan_ms(db, &res.plan);
         }
         // Eval 2: runtime q-error on a fixed eval QEP set (optimizer plans).

@@ -79,7 +79,7 @@ pub fn run(ctx: &Context) {
     let tol = 0.05;
     for (q, _tpl) in &queries {
         let pg_ms = run_plan_ms(db, &pg.plan(q));
-        let res = planner.plan(&mut model, q);
+        let res = planner.plan(&model, q);
         plans_evaluated += res.plans_evaluated;
         let qp_ms = run_plan_ms(db, &res.plan);
         let (bao_plan, _arm) = bao.plan(q);

@@ -28,8 +28,8 @@ pub fn run(ctx: &Context) {
         for beta in [100.0, 200.0, 300.0] {
             let mut cfg = ctx.scale.model_config();
             cfg.beta = beta;
-            let (mut model, eval) = train_model(db, w, cfg);
-            let e = eval_qpseeker(&mut model, &eval);
+            let (model, eval) = train_model(db, w, cfg);
+            let e = eval_qpseeker(&model, &eval);
             for (target, s) in
                 [("cardinality", &e.cardinality), ("cost", &e.cost), ("runtime", &e.runtime)]
             {

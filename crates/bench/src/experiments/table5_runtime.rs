@@ -37,9 +37,9 @@ pub fn run(ctx: &Context) {
     let mut rows: Vec<Row> = Vec::new();
     for w in [ctx.synthetic(), ctx.job(), ctx.stack()] {
         let db = ctx.db_of(&w);
-        let (mut model, eval) = train_model(db, &w, ctx.scale.model_config());
+        let (model, eval) = train_model(db, &w, ctx.scale.model_config());
 
-        let qp = eval_qpseeker(&mut model, &eval);
+        let qp = eval_qpseeker(&model, &eval);
         push(&mut rows, &w.name, "QPSeeker", &qp.runtime);
 
         // QPPNet on the same train split.

@@ -147,7 +147,7 @@ pub struct ModelQErrors {
 }
 
 /// Evaluate a trained model against ground truth.
-pub fn eval_qpseeker(model: &mut QPSeeker<'_>, eval: &[&Qep]) -> ModelQErrors {
+pub fn eval_qpseeker(model: &QPSeeker<'_>, eval: &[&Qep]) -> ModelQErrors {
     let mut card = Vec::new();
     let mut cost = Vec::new();
     let mut time = Vec::new();

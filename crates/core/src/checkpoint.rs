@@ -161,7 +161,7 @@ mod tests {
 
         let json = Checkpoint::capture(&model, &db).to_json().unwrap();
         let restored = Checkpoint::from_json(&json).unwrap();
-        let mut model2 = restored.restore(&db).unwrap();
+        let model2 = restored.restore(&db).unwrap();
         let after = model2.predict(&w.qeps[0].query, &w.qeps[0].plan);
         assert_eq!(before, after, "restored model must predict identically");
     }

@@ -1,9 +1,14 @@
 //! QPSeeker model configuration.
 
 use qpseeker_tabert::TabertConfig;
+use serde::Serialize;
 
 /// Hyperparameters of the full QPSeeker model (paper §6.2).
-#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+///
+/// `Deserialize` is written by hand (instead of derived) so the knobs added
+/// after the first release — `train_threads`, `fast_inference` — fall back
+/// to their defaults when absent, keeping older checkpoints loadable.
+#[derive(Debug, Clone, Serialize)]
 pub struct ModelConfig {
     /// Hidden width of the relation/join set MLPs (paper: 256).
     pub set_mlp_hidden: usize,
@@ -33,6 +38,56 @@ pub struct ModelConfig {
     pub epochs: usize,
     pub seed: u64,
     pub tabert: TabertConfig,
+    /// Worker threads for data-parallel training (1 = serial). Gradients are
+    /// merged in sample order, so every value yields bit-identical parameters
+    /// under a fixed seed. Defaults to 1 for checkpoints predating the knob.
+    pub train_threads: usize,
+    /// Tape-free inference with per-query encoding caches (the MCTS fast
+    /// path). Off falls back to the autodiff-tape reference forward.
+    pub fast_inference: bool,
+}
+
+impl serde::Deserialize for ModelConfig {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let obj =
+            v.as_obj().ok_or_else(|| serde::Error::type_mismatch("ModelConfig", "object", v))?;
+        fn req<T: serde::Deserialize>(
+            obj: &[(String, serde::Value)],
+            name: &str,
+        ) -> Result<T, serde::Error> {
+            T::from_value(serde::obj_field(obj, name)).map_err(|e| e.in_field("ModelConfig", name))
+        }
+        fn opt<T: serde::Deserialize>(
+            obj: &[(String, serde::Value)],
+            name: &str,
+            default: T,
+        ) -> Result<T, serde::Error> {
+            match serde::obj_field(obj, name) {
+                serde::Value::Null => Ok(default),
+                v => T::from_value(v).map_err(|e| e.in_field("ModelConfig", name)),
+            }
+        }
+        Ok(ModelConfig {
+            set_mlp_hidden: req(obj, "set_mlp_hidden")?,
+            set_mlp_out: req(obj, "set_mlp_out")?,
+            set_mlp_layers: req(obj, "set_mlp_layers")?,
+            plan_node_out: req(obj, "plan_node_out")?,
+            attn_heads: req(obj, "attn_heads")?,
+            attn_head_dim: req(obj, "attn_head_dim")?,
+            vae_latent: req(obj, "vae_latent")?,
+            vae_layers: req(obj, "vae_layers")?,
+            beta: req(obj, "beta")?,
+            node_loss_weight: req(obj, "node_loss_weight")?,
+            use_attention: req(obj, "use_attention")?,
+            learning_rate: req(obj, "learning_rate")?,
+            batch_size: req(obj, "batch_size")?,
+            epochs: req(obj, "epochs")?,
+            seed: req(obj, "seed")?,
+            tabert: req(obj, "tabert")?,
+            train_threads: opt(obj, "train_threads", 1)?,
+            fast_inference: opt(obj, "fast_inference", true)?,
+        })
+    }
 }
 
 impl ModelConfig {
@@ -55,6 +110,8 @@ impl ModelConfig {
             epochs: 10,
             seed: 0x9b5,
             tabert: TabertConfig::paper_default(),
+            train_threads: 1,
+            fast_inference: true,
         }
     }
 
@@ -78,6 +135,8 @@ impl ModelConfig {
             epochs: 12,
             seed: 0x9b5,
             tabert: TabertConfig::paper_default(),
+            train_threads: 1,
+            fast_inference: true,
         }
     }
 
@@ -100,6 +159,8 @@ impl ModelConfig {
             epochs: 6,
             seed: 0x9b5,
             tabert: TabertConfig::paper_default(),
+            train_threads: 1,
+            fast_inference: true,
         }
     }
 

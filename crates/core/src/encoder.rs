@@ -76,6 +76,51 @@ impl QueryEncoder {
         let count = mask.sum().max(1.0);
         g.scale(summed, 1.0 / count)
     }
+
+    /// Tape-free [`Self::forward`]: identical math, scratch buffers instead
+    /// of graph nodes. The result comes from `sc` — recycle it when done.
+    pub fn forward_inference(
+        &self,
+        store: &ParamStore,
+        feats: &QueryFeatures,
+        sc: &mut ScratchArena,
+    ) -> Tensor {
+        let rel = self.set_inference(store, &self.rel_mlp, &feats.rel_matrix, &feats.rel_mask, sc);
+        let join =
+            self.set_inference(store, &self.join_mlp, &feats.join_matrix, &feats.join_mask, sc);
+        let mut out = sc.take(1, rel.cols() + join.cols());
+        out.data_mut()[..rel.cols()].copy_from_slice(rel.data());
+        out.data_mut()[rel.cols()..].copy_from_slice(join.data());
+        sc.recycle(rel);
+        sc.recycle(join);
+        out
+    }
+
+    fn set_inference(
+        &self,
+        store: &ParamStore,
+        mlp: &Mlp,
+        matrix: &Tensor,
+        mask: &Tensor,
+        sc: &mut ScratchArena,
+    ) -> Tensor {
+        let h = mlp.forward_inference(store, matrix, sc); // [rows, out]
+        let mut pooled = sc.take(1, h.cols());
+        for r in 0..h.rows() {
+            let m = mask.get(r, 0);
+            if m != 0.0 {
+                for (p, v) in pooled.data_mut().iter_mut().zip(h.row_slice(r)) {
+                    *p += v * m;
+                }
+            }
+        }
+        let inv = 1.0 / mask.sum().max(1.0);
+        for p in pooled.data_mut() {
+            *p *= inv;
+        }
+        sc.recycle(h);
+        pooled
+    }
 }
 
 /// Bottom-up LSTM-cell plan encoder. Each plan node is one LSTM step whose
@@ -165,6 +210,78 @@ impl PlanEncoder {
         let state_out = self.cell.step(g, store, input, state_in);
         out.push(state_out.h);
         (state_out, state_out.h)
+    }
+
+    /// Tape-free [`Self::forward`]: the `[n_nodes, out_dim]` postorder node
+    /// outputs (root = last row), built entirely from scratch buffers. The
+    /// result comes from `sc` — recycle it when done.
+    pub fn forward_inference(
+        &self,
+        store: &ParamStore,
+        plan: &FeatNode,
+        sc: &mut ScratchArena,
+    ) -> Tensor {
+        let mut nodes = sc.take(plan.count(), self.out_dim);
+        let mut pos = 0usize;
+        let root_state = self.node_inference(store, plan, &mut nodes, &mut pos, sc);
+        root_state.recycle(sc);
+        nodes
+    }
+
+    fn node_inference(
+        &self,
+        store: &ParamStore,
+        node: &FeatNode,
+        nodes: &mut Tensor,
+        pos: &mut usize,
+        sc: &mut ScratchArena,
+    ) -> LstmStateBuf {
+        let mid_cols = node.mid.cols();
+        // The estimate slot is always out_dim - data_dim = 3 wide.
+        let input_dim = self.data_dim + mid_cols + (self.out_dim - self.data_dim);
+        let (input, state_in) = if node.children.is_empty() {
+            let mut input = sc.take(1, input_dim);
+            let est = node.leaf_est.as_ref().expect("leaf featurization includes estimates");
+            let d = input.data_mut();
+            d[self.data_dim..self.data_dim + mid_cols].copy_from_slice(node.mid.data());
+            d[self.data_dim + mid_cols..].copy_from_slice(est.data());
+            (input, self.cell.zero_state_buf(1, sc))
+        } else {
+            // Sum child h/c states in child order (matching the tape's
+            // stack_rows + mean_rows accumulation), then scale to the mean.
+            // The pooled h doubles as the parent's child-data/estimate input.
+            let mut hsum = sc.take(1, self.out_dim);
+            let mut csum = sc.take(1, self.out_dim);
+            for c in &node.children {
+                let s = self.node_inference(store, c, nodes, pos, sc);
+                for (a, v) in hsum.data_mut().iter_mut().zip(s.h.data()) {
+                    *a += v;
+                }
+                for (a, v) in csum.data_mut().iter_mut().zip(s.c.data()) {
+                    *a += v;
+                }
+                s.recycle(sc);
+            }
+            let inv = 1.0 / node.children.len().max(1) as f32;
+            for a in hsum.data_mut() {
+                *a *= inv;
+            }
+            for a in csum.data_mut() {
+                *a *= inv;
+            }
+            let mut input = sc.take(1, input_dim);
+            let d = input.data_mut();
+            d[..self.data_dim].copy_from_slice(&hsum.data()[..self.data_dim]);
+            d[self.data_dim..self.data_dim + mid_cols].copy_from_slice(node.mid.data());
+            d[self.data_dim + mid_cols..].copy_from_slice(&hsum.data()[self.data_dim..]);
+            (input, LstmStateBuf { h: hsum, c: csum })
+        };
+        let out = self.cell.step_inference(store, &input, &state_in, sc);
+        sc.recycle(input);
+        state_in.recycle(sc);
+        nodes.row_slice_mut(*pos).copy_from_slice(out.h.data());
+        *pos += 1;
+        out
     }
 }
 
@@ -279,7 +396,7 @@ mod tests {
         let penc = PlanEncoder::new(&mut store, &mut init, &cfg, db.catalog.num_tables());
         let truth = Executor::new(&db).execute(&plan);
         let norm = TargetNormalizer::fit(&[[1.0, 1.0, 1.0], [100.0, 50.0, 10.0]]);
-        let mut f = Featurizer::new(&db, TabSim::new(TabertConfig::paper_default()));
+        let f = Featurizer::new(&db, TabSim::new(TabertConfig::paper_default()));
         let fq = f.featurize(&q, &plan, Some(&truth), &norm, "t");
         let mut g = Graph::new();
         let enc = penc.forward(&mut g, &store, &fq.plan);
@@ -296,7 +413,7 @@ mod tests {
         let mut init = Initializer::new(0);
         let penc = PlanEncoder::new(&mut store, &mut init, &cfg, db.catalog.num_tables());
         let norm = TargetNormalizer::fit(&[[1.0, 1.0, 1.0], [100.0, 50.0, 10.0]]);
-        let mut f = Featurizer::new(&db, TabSim::new(TabertConfig::paper_default()));
+        let f = Featurizer::new(&db, TabSim::new(TabertConfig::paper_default()));
         let mk = |op| {
             PlanNode::join(
                 &q,
@@ -333,7 +450,7 @@ mod tests {
         );
         let penc = PlanEncoder::new(&mut store, &mut init, &cfg, db.catalog.num_tables());
         let norm = TargetNormalizer::fit(&[[1.0, 1.0, 1.0], [100.0, 50.0, 10.0]]);
-        let mut f = Featurizer::new(&db, TabSim::new(TabertConfig::paper_default()));
+        let f = Featurizer::new(&db, TabSim::new(TabertConfig::paper_default()));
         let fq = f.featurize(&q, &plan, None, &norm, "t");
         store.zero_grads();
         let mut g = Graph::new();

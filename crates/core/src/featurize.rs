@@ -15,6 +15,7 @@ use qpseeker_nn::tensor::Tensor;
 use qpseeker_storage::Database;
 use qpseeker_tabert::TabSim;
 use std::collections::HashMap;
+use std::sync::Mutex;
 
 /// Scale applied to normalized (z-scored) estimate values wherever they
 /// travel through plan-node vectors. Node outputs are LSTM hidden states,
@@ -67,23 +68,71 @@ pub struct FeaturizedQep {
     pub template: String,
 }
 
+/// Per-query featurization cache for the MCTS hot loop.
+///
+/// Candidate plans of one query share almost all featurization work: the
+/// constant `[rel one-hot sum ‖ TaBERT repr]` prefix of a node depends only
+/// on the *set* of aliases under it, and a leaf's EXPLAIN estimate depends
+/// only on `(alias, scan op)` — scan estimates are context-independent. Both
+/// are memoized here, keyed by a `u64` alias bitmask (bit = index of the
+/// alias in `query.relations`). Leaf masks have exactly one bit and join
+/// masks at least two, so leaves and joins can never collide.
+///
+/// Only exact for queries with at most 64 relations; callers fall back to
+/// [`Featurizer::featurize`] beyond that.
+pub struct PlanFeatCache {
+    sql: String,
+    /// alias → bit index, in `query.relations` order.
+    alias_bits: HashMap<String, u32>,
+    /// bit index → alias (for mask iteration).
+    aliases: Vec<String>,
+    /// subtree alias-bitmask → `[rel one-hot sum ‖ TaBERT repr]` prefix.
+    mid_prefix: HashMap<u64, Vec<f32>>,
+    /// `(alias bit, scan-op one-hot index)` → normalized, scaled estimates.
+    leaf_est: HashMap<(u32, usize), Tensor>,
+}
+
+impl PlanFeatCache {
+    pub fn new(query: &Query) -> Self {
+        let mut alias_bits = HashMap::new();
+        let mut aliases = Vec::with_capacity(query.relations.len());
+        for (i, rel) in query.relations.iter().enumerate() {
+            alias_bits.insert(rel.alias.clone(), i as u32);
+            aliases.push(rel.alias.clone());
+        }
+        Self {
+            sql: query.to_sql(),
+            alias_bits,
+            aliases,
+            mid_prefix: HashMap::new(),
+            leaf_est: HashMap::new(),
+        }
+    }
+
+    /// Whether the bitmask representation is exact for `query`.
+    pub fn supports(query: &Query) -> bool {
+        query.relations.len() <= 64
+    }
+}
+
 /// The featurizer. Owns the TabSim instance (encodings cached inside) and a
-/// filtered-column cache.
+/// filtered-column cache. All methods take `&self` (internal caches use
+/// interior mutability) so a fitted model can serve predictions concurrently.
 pub struct Featurizer<'a> {
     pub db: &'a Database,
     explain: Explain<'a>,
     pub tabert: TabSim,
-    filtered_cache: HashMap<String, Vec<f32>>,
+    filtered_cache: Mutex<HashMap<String, Vec<f32>>>,
 }
 
 impl<'a> Featurizer<'a> {
     pub fn new(db: &'a Database, tabert: TabSim) -> Self {
-        Self { db, explain: Explain::new(db), tabert, filtered_cache: HashMap::new() }
+        Self { db, explain: Explain::new(db), tabert, filtered_cache: Mutex::new(HashMap::new()) }
     }
 
     /// Total simulated TaBERT time spent so far (Fig. 8 right).
     pub fn tabert_ms(&self) -> f64 {
-        self.tabert.simulated_ms
+        self.tabert.simulated_ms()
     }
 
     /// Build the MSCN set features of a query.
@@ -126,7 +175,7 @@ impl<'a> Featurizer<'a> {
     /// Featurize a full QEP. `truths` supplies the per-node ground truth in
     /// postorder (from execution) for training; pass `None` at inference.
     pub fn featurize(
-        &mut self,
+        &self,
         query: &Query,
         plan: &PlanNode,
         truths: Option<&qpseeker_engine::executor::ExecutionResult>,
@@ -143,27 +192,31 @@ impl<'a> Featurizer<'a> {
         }
         let query_feats = self.query_features(query);
         let estimates = self.explain.explain(query, plan);
+        let sql = query.to_sql();
         let mut postorder_idx = 0usize;
-        let plan_feats = self.feat_node(query, plan, &estimates, truths, norm, &mut postorder_idx);
+        let plan_feats =
+            self.feat_node(query, plan, &estimates, truths, norm, &sql, &mut postorder_idx);
         let target = truths.map(|t| norm.encode([t.rows as f64, t.cost, t.time_ms]));
         FeaturizedQep { query: query_feats, plan: plan_feats, target, template: template.into() }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn feat_node(
-        &mut self,
+        &self,
         query: &Query,
         node: &PlanNode,
         estimates: &[qpseeker_engine::explain::NodeEstimate],
         truths: Option<&qpseeker_engine::executor::ExecutionResult>,
         norm: &TargetNormalizer,
+        sql: &str,
         postorder_idx: &mut usize,
     ) -> FeatNode {
         // Children first (postorder indexing must match Explain/Executor).
         let children: Vec<FeatNode> = match node {
             PlanNode::Scan { .. } => Vec::new(),
             PlanNode::Join { left, right, .. } => vec![
-                self.feat_node(query, left, estimates, truths, norm, postorder_idx),
-                self.feat_node(query, right, estimates, truths, norm, postorder_idx),
+                self.feat_node(query, left, estimates, truths, norm, sql, postorder_idx),
+                self.feat_node(query, right, estimates, truths, norm, sql, postorder_idx),
             ],
         };
         let my_idx = *postorder_idx;
@@ -171,7 +224,6 @@ impl<'a> Featurizer<'a> {
 
         let n_tables = self.db.catalog.num_tables().max(1);
         let tdim = self.tabert.dim();
-        let sql = query.to_sql();
 
         // (d) relation one-hot sum over the subtree.
         let mut rel_enc = vec![0.0f32; n_tables];
@@ -188,7 +240,7 @@ impl<'a> Featurizer<'a> {
                 let _ = alias;
                 match filters.first() {
                     Some(f) => self.filtered_column_repr(table, f),
-                    None => self.tabert.encode_table(self.db, table, &sql).cls,
+                    None => self.tabert.encode_table(self.db, table, sql).cls,
                 }
             }
             PlanNode::Join { .. } => {
@@ -197,7 +249,7 @@ impl<'a> Featurizer<'a> {
                 let aliases = node.aliases();
                 for alias in &aliases {
                     let table = query.table_of(alias).unwrap_or(alias).to_string();
-                    let cls = self.tabert.encode_table(self.db, &table, &sql).cls;
+                    let cls = self.tabert.encode_table(self.db, &table, sql).cls;
                     for (a, c) in acc.iter_mut().zip(&cls) {
                         *a += c / aliases.len() as f32;
                     }
@@ -234,9 +286,10 @@ impl<'a> Featurizer<'a> {
 
     /// Representation of a filtered column (paper §4.2(c)): TabSim encoding
     /// of the column restricted to the rows matching the predicate. Cached.
-    fn filtered_column_repr(&mut self, table: &str, f: &Filter) -> Vec<f32> {
+    fn filtered_column_repr(&self, table: &str, f: &Filter) -> Vec<f32> {
         let key = format!("{table}.{}:{:?}:{}", f.col.column, f.op, f.value);
-        if let Some(hit) = self.filtered_cache.get(&key) {
+        let mut cache = self.filtered_cache.lock().expect("filtered cache lock");
+        if let Some(hit) = cache.get(&key) {
             return hit.clone();
         }
         let t = self.db.table(table).expect("table exists");
@@ -246,8 +299,110 @@ impl<'a> Featurizer<'a> {
             .collect();
         let repr =
             self.tabert.encode_column_filtered(self.db, table, &f.col.column, &matching).vector;
-        self.filtered_cache.insert(key, repr.clone());
+        cache.insert(key, repr.clone());
         repr
+    }
+
+    /// Featurize one candidate plan of `query` through a [`PlanFeatCache`],
+    /// reusing the `[rel ‖ TaBERT]` prefixes and leaf estimates computed for
+    /// earlier candidates of the same query. Produces a [`FeatNode`] tree
+    /// numerically identical to [`Featurizer::featurize`]'s (with no truth
+    /// labels — this is an inference-only path).
+    pub fn featurize_plan_fast(
+        &self,
+        query: &Query,
+        plan: &PlanNode,
+        norm: &TargetNormalizer,
+        cache: &mut PlanFeatCache,
+    ) -> FeatNode {
+        debug_assert!(PlanFeatCache::supports(query), "fall back to featurize() beyond 64 rels");
+        self.fast_node(query, plan, norm, cache).0
+    }
+
+    fn fast_node(
+        &self,
+        query: &Query,
+        node: &PlanNode,
+        norm: &TargetNormalizer,
+        cache: &mut PlanFeatCache,
+    ) -> (FeatNode, u64) {
+        let n_tables = self.db.catalog.num_tables().max(1);
+        match node {
+            PlanNode::Scan { alias, table, filters, .. } => {
+                let bit = cache.alias_bits.get(alias).copied().unwrap_or(0);
+                let mask = 1u64 << (bit as u64 % 64);
+                if !cache.mid_prefix.contains_key(&mask) {
+                    let mut prefix = Vec::with_capacity(n_tables + self.tabert.dim());
+                    prefix.resize(n_tables, 0.0);
+                    if let Some(idx) = self.db.catalog.table_idx(table) {
+                        prefix[idx] += 1.0;
+                    }
+                    let repr = match filters.first() {
+                        Some(f) => self.filtered_column_repr(table, f),
+                        None => self.tabert.encode_table_cls(self.db, table, &cache.sql),
+                    };
+                    prefix.extend_from_slice(&repr);
+                    cache.mid_prefix.insert(mask, prefix);
+                }
+                let op_idx = node.physical_op().one_hot_index();
+                let est = cache
+                    .leaf_est
+                    .entry((bit, op_idx))
+                    .or_insert_with(|| {
+                        // Scan estimates are context-independent, so the
+                        // single-node plan yields the same NodeEstimate the
+                        // full-plan EXPLAIN would.
+                        let e = self.explain.explain(query, node)[0];
+                        let enc = norm.encode([e.rows, e.cost, e.time_ms]);
+                        Tensor::row(enc.iter().map(|v| v * ESTIMATE_SCALE).collect())
+                    })
+                    .clone();
+                let mid = self.finish_mid(&cache.mid_prefix[&mask], op_idx);
+                (FeatNode { mid, leaf_est: Some(est), truth: None, children: Vec::new() }, mask)
+            }
+            PlanNode::Join { left, right, .. } => {
+                let (lf, lm) = self.fast_node(query, left, norm, cache);
+                let (rf, rm) = self.fast_node(query, right, norm, cache);
+                let mask = lm | rm;
+                if !cache.mid_prefix.contains_key(&mask) {
+                    // Aliases in sorted order, matching PlanNode::aliases()'
+                    // BTreeSet iteration so float accumulation is identical.
+                    let mut aliases: Vec<&str> = (0..64)
+                        .filter(|b| mask & (1u64 << b) != 0)
+                        .filter_map(|b| cache.aliases.get(b as usize).map(String::as_str))
+                        .collect();
+                    aliases.sort_unstable();
+                    let mut prefix = Vec::with_capacity(n_tables + self.tabert.dim());
+                    prefix.resize(n_tables, 0.0);
+                    let mut acc = vec![0.0f32; self.tabert.dim()];
+                    for alias in &aliases {
+                        let table = query.table_of(alias).unwrap_or(alias);
+                        if let Some(idx) = self.db.catalog.table_idx(table) {
+                            prefix[idx] += 1.0;
+                        }
+                        let cls = self.tabert.encode_table_cls(self.db, table, &cache.sql);
+                        for (a, c) in acc.iter_mut().zip(&cls) {
+                            *a += c / aliases.len() as f32;
+                        }
+                    }
+                    prefix.extend_from_slice(&acc);
+                    cache.mid_prefix.insert(mask, prefix);
+                }
+                let op_idx = node.physical_op().one_hot_index();
+                let mid = self.finish_mid(&cache.mid_prefix[&mask], op_idx);
+                (FeatNode { mid, leaf_est: None, truth: None, children: vec![lf, rf] }, mask)
+            }
+        }
+    }
+
+    /// Append the operator one-hot to a cached `[rel ‖ TaBERT]` prefix.
+    fn finish_mid(&self, prefix: &[f32], op_idx: usize) -> Tensor {
+        let mut mid = Vec::with_capacity(prefix.len() + PhysicalOp::COUNT);
+        mid.extend_from_slice(prefix);
+        let start = mid.len();
+        mid.resize(start + PhysicalOp::COUNT, 0.0);
+        mid[start + op_idx] = 1.0;
+        Tensor::row(mid)
     }
 }
 
@@ -330,7 +485,7 @@ mod tests {
     fn featurized_plan_structure_mirrors_plan() {
         let (db, q, plan) = setup();
         let truth = Executor::new(&db).execute(&plan);
-        let mut f = Featurizer::new(&db, TabSim::new(TabertConfig::paper_default()));
+        let f = Featurizer::new(&db, TabSim::new(TabertConfig::paper_default()));
         let n = norm();
         let fq = f.featurize(&q, &plan, Some(&truth), &n, "t0");
         assert_eq!(fq.plan.count(), 3);
@@ -351,7 +506,7 @@ mod tests {
     fn join_node_relation_encoding_sums_subtree() {
         let (db, q, plan) = setup();
         let truth = Executor::new(&db).execute(&plan);
-        let mut f = Featurizer::new(&db, TabSim::new(TabertConfig::paper_default()));
+        let f = Featurizer::new(&db, TabSim::new(TabertConfig::paper_default()));
         let n = norm();
         let fq = f.featurize(&q, &plan, Some(&truth), &n, "t0");
         let n_tables = db.catalog.num_tables();
@@ -365,7 +520,7 @@ mod tests {
     fn filtered_leaf_differs_from_unfiltered() {
         let (db, q, plan) = setup();
         let truth = Executor::new(&db).execute(&plan);
-        let mut f = Featurizer::new(&db, TabSim::new(TabertConfig::paper_default()));
+        let f = Featurizer::new(&db, TabSim::new(TabertConfig::paper_default()));
         let n = norm();
         let fq = f.featurize(&q, &plan, Some(&truth), &n, "t0");
         // title leaf has a filter, movie_info leaf does not; their TaBERT
@@ -390,7 +545,7 @@ mod tests {
     #[test]
     fn inference_featurization_needs_no_truth() {
         let (db, q, plan) = setup();
-        let mut f = Featurizer::new(&db, TabSim::new(TabertConfig::paper_default()));
+        let f = Featurizer::new(&db, TabSim::new(TabertConfig::paper_default()));
         let n = norm();
         let fq = f.featurize(&q, &plan, None, &n, "t0");
         assert!(fq.target.is_none());
@@ -401,7 +556,7 @@ mod tests {
     #[test]
     fn operator_one_hot_is_set() {
         let (db, q, plan) = setup();
-        let mut f = Featurizer::new(&db, TabSim::new(TabertConfig::paper_default()));
+        let f = Featurizer::new(&db, TabSim::new(TabertConfig::paper_default()));
         let n = norm();
         let fq = f.featurize(&q, &plan, None, &n, "t0");
         let n_tables = db.catalog.num_tables();

@@ -30,7 +30,7 @@
 //! let mut model = QPSeeker::new(&db, ModelConfig::small());
 //! model.fit(&refs);
 //! let planner = MctsPlanner::new(MctsConfig::default());
-//! let chosen = planner.plan(&mut model, &workload.qeps[0].query);
+//! let chosen = planner.plan(&model, &workload.qeps[0].query);
 //! println!("{}", chosen.plan.pretty());
 //! ```
 
@@ -55,7 +55,7 @@ pub mod prelude {
     pub use crate::featurize::{FeatNode, FeaturizedQep, Featurizer, QueryFeatures};
     pub use crate::mcts::{Action, MctsConfig, MctsPlanner, MctsResult};
     pub use crate::metrics::{q_error, QErrorSummary};
-    pub use crate::model::{Prediction, QPSeeker, TrainReport};
+    pub use crate::model::{Prediction, QPSeeker, QueryContext, TrainReport};
     pub use crate::normalize::TargetNormalizer;
     pub use crate::serve::{
         plan_with_fallback, FallbackReason, ServeConfig, ServeResult, ServedBy,

@@ -15,17 +15,94 @@ use qpseeker_engine::plan::{JoinOp, PlanNode, ScanOp};
 use qpseeker_engine::query::Query;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::collections::{BTreeSet, HashMap};
+use std::collections::HashMap;
 
 use std::time::Instant;
 
-/// One plan-construction step.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+/// One plan-construction step. Relations are interned as indices into
+/// `query.relations`, so actions are `Copy` and the hot loop never touches a
+/// `String`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Action {
     /// Choose the first relation and its scan operator.
-    Start { alias: String, scan: ScanOp },
+    Start { rel: u32, scan: ScanOp },
     /// Join one more relation onto the prefix.
-    Extend { alias: String, scan: ScanOp, join: JoinOp },
+    Extend { rel: u32, scan: ScanOp, join: JoinOp },
+}
+
+impl Action {
+    fn rel(self) -> u32 {
+        match self {
+            Action::Start { rel, .. } | Action::Extend { rel, .. } => rel,
+        }
+    }
+
+    /// Compact signature: `rel << 4 | scan << 2 | join`. Used to key the
+    /// evaluation cache with a `Vec<u64>` instead of owned `String`s. The
+    /// join field is 0..=2 for `Extend` and 3 for `Start`, so the packing is
+    /// injective.
+    fn pack(self) -> u64 {
+        match self {
+            Action::Start { rel, scan } => (rel as u64) << 4 | (op_idx_scan(scan) as u64) << 2 | 3,
+            Action::Extend { rel, scan, join } => {
+                (rel as u64) << 4 | (op_idx_scan(scan) as u64) << 2 | op_idx_join(join) as u64
+            }
+        }
+    }
+}
+
+fn op_idx_scan(s: ScanOp) -> u8 {
+    match s {
+        ScanOp::SeqScan => 0,
+        ScanOp::IndexScan => 1,
+        ScanOp::BitmapIndexScan => 2,
+    }
+}
+
+fn op_idx_join(j: JoinOp) -> u8 {
+    match j {
+        JoinOp::HashJoin => 0,
+        JoinOp::MergeJoin => 1,
+        JoinOp::NestedLoopJoin => 2,
+    }
+}
+
+/// Precomputed join connectivity of one query: `adj[i]` is the bitmask of
+/// relations sharing a join predicate with relation `i`. Supports up to 64
+/// relations (the IMDb/JOB regime is ≤ 17).
+struct QueryIndex {
+    n: usize,
+    adj: Vec<u64>,
+}
+
+impl QueryIndex {
+    fn new(query: &Query) -> Self {
+        let n = query.relations.len();
+        assert!(n <= 64, "MCTS bitmask connectivity supports at most 64 relations");
+        let idx_of = |alias: &str| query.relations.iter().position(|r| r.alias == alias);
+        let mut adj = vec![0u64; n];
+        for j in &query.joins {
+            if let (Some(l), Some(r)) = (idx_of(&j.left.alias), idx_of(&j.right.alias)) {
+                if l != r {
+                    adj[l] |= 1 << r;
+                    adj[r] |= 1 << l;
+                }
+            }
+        }
+        Self { n, adj }
+    }
+
+    /// Relations reachable from the joined set, as a bitmask.
+    fn frontier(&self, joined: u64) -> u64 {
+        let mut reach = 0u64;
+        let mut rest = joined;
+        while rest != 0 {
+            let i = rest.trailing_zeros() as usize;
+            rest &= rest - 1;
+            reach |= self.adj[i];
+        }
+        reach & !joined
+    }
 }
 
 /// MCTS configuration.
@@ -66,6 +143,25 @@ struct TreeNode {
     children: Vec<(Action, usize)>,
     untried: Vec<Action>,
     expanded: bool,
+    /// The subtree below this node is fully enumerated (every reachable
+    /// complete plan has been evaluated), so descending into it again can
+    /// never surface a new plan. UCT skips exhausted children, which keeps
+    /// the simulation budget pointed at plans the cost model has not scored
+    /// yet instead of re-walking the incumbent best path.
+    exhausted: bool,
+}
+
+impl TreeNode {
+    fn fresh() -> Self {
+        Self {
+            visits: 0.0,
+            reward: 0.0,
+            children: Vec::new(),
+            untried: Vec::new(),
+            expanded: false,
+            exhausted: false,
+        }
+    }
 }
 
 /// The MCTS planner. Owns the search tree for one query.
@@ -78,11 +174,14 @@ impl MctsPlanner {
         Self { cfg }
     }
 
-    /// Plan `query` using `model` as the evaluation function.
-    pub fn plan(&self, model: &mut QPSeeker<'_>, query: &Query) -> MctsResult {
+    /// Plan `query` using `model` as the evaluation function. The query is
+    /// encoded exactly once (via [`QPSeeker::query_context`]); every rollout
+    /// evaluation reuses that embedding and only pays for the plan side.
+    pub fn plan(&self, model: &QPSeeker<'_>, query: &Query) -> MctsResult {
         assert!(!query.relations.is_empty(), "cannot plan an empty query");
         let start = Instant::now();
         let mut rng = StdRng::seed_from_u64(self.cfg.seed ^ fnv(query.id.as_bytes()));
+        let mut ctx = model.query_context(query);
 
         // Single relation: evaluate the three scan choices directly.
         if query.relations.len() == 1 {
@@ -91,7 +190,7 @@ impl MctsPlanner {
             let mut evaluated = 0;
             for op in ScanOp::ALL {
                 let plan = PlanNode::scan(query, &alias, op);
-                let t = model.predict_runtime_ms(query, &plan);
+                let t = model.predict_with_context(query, &plan, &mut ctx).runtime_ms;
                 evaluated += 1;
                 if best.as_ref().map(|(_, bt)| t < *bt).unwrap_or(true) {
                     best = Some((plan, t));
@@ -107,17 +206,20 @@ impl MctsPlanner {
             };
         }
 
-        let mut nodes: Vec<TreeNode> = vec![TreeNode {
-            visits: 0.0,
-            reward: 0.0,
-            children: Vec::new(),
-            untried: Vec::new(),
-            expanded: false,
-        }];
-        let mut eval_cache: HashMap<Vec<Action>, f64> = HashMap::new();
+        let qi = QueryIndex::new(query);
+        let mut nodes: Vec<TreeNode> = vec![TreeNode::fresh()];
+        let mut eval_cache: HashMap<Vec<u64>, f64> = HashMap::new();
         let mut best: Option<(Vec<Action>, f64)> = None;
         let mut simulations = 0usize;
         let mut budget_exhausted = false;
+
+        // Reused across iterations so the hot loop allocates nothing in the
+        // steady state.
+        let mut path: Vec<usize> = Vec::new();
+        let mut actions: Vec<Action> = Vec::new();
+        let mut rollout: Vec<Action> = Vec::new();
+        let mut acts_buf: Vec<Action> = Vec::new();
+        let mut key_buf: Vec<u64> = Vec::new();
 
         while simulations < self.cfg.max_simulations {
             if start.elapsed().as_secs_f64() * 1000.0 > self.cfg.budget_ms {
@@ -127,16 +229,18 @@ impl MctsPlanner {
             simulations += 1;
 
             // ---- Selection + Expansion ----
-            let mut path: Vec<usize> = vec![0];
-            let mut actions: Vec<Action> = Vec::new();
+            path.clear();
+            path.push(0);
+            actions.clear();
+            let mut joined = 0u64;
             loop {
                 let node_idx = *path.last().expect("path non-empty");
                 if !nodes[node_idx].expanded {
-                    let acts = legal_actions(query, &actions);
-                    nodes[node_idx].untried = acts;
+                    legal_actions_into(&qi, &actions, joined, &mut acts_buf);
+                    nodes[node_idx].untried = acts_buf.clone();
                     nodes[node_idx].expanded = true;
                 }
-                if actions.len() == query.relations.len() {
+                if actions.len() == qi.n {
                     break; // complete plan reached inside the tree
                 }
                 if !nodes[node_idx].untried.is_empty() {
@@ -144,23 +248,24 @@ impl MctsPlanner {
                     let i = rng.gen_range(0..nodes[node_idx].untried.len());
                     let action = nodes[node_idx].untried.swap_remove(i);
                     let child = nodes.len();
-                    nodes.push(TreeNode {
-                        visits: 0.0,
-                        reward: 0.0,
-                        children: Vec::new(),
-                        untried: Vec::new(),
-                        expanded: false,
-                    });
-                    nodes[node_idx].children.push((action.clone(), child));
+                    nodes.push(TreeNode::fresh());
+                    nodes[node_idx].children.push((action, child));
                     actions.push(action);
+                    joined |= 1 << action.rel();
                     path.push(child);
                     break;
                 }
-                // Fully expanded: UCT descent.
+                // Fully expanded: UCT descent over child indices; `Action`
+                // is `Copy`, so no per-step clone of the child list.
+                // Exhausted subtrees hold no unevaluated plans and are
+                // skipped.
                 let parent_visits = nodes[node_idx].visits.max(1.0);
                 let mut best_child: Option<(f64, Action, usize)> = None;
-                for (a, c) in nodes[node_idx].children.clone() {
+                for &(a, c) in &nodes[node_idx].children {
                     let child = &nodes[c];
+                    if child.exhausted {
+                        continue;
+                    }
                     let score = if child.visits == 0.0 {
                         f64::INFINITY
                     } else {
@@ -174,33 +279,40 @@ impl MctsPlanner {
                 match best_child {
                     Some((_, a, c)) => {
                         actions.push(a);
+                        joined |= 1 << a.rel();
                         path.push(c);
                     }
-                    None => break, // dead end (disconnected query)
+                    None => break, // dead end or fully enumerated subtree
                 }
             }
 
             // ---- Rollout ----
-            let mut rollout = actions.clone();
-            while rollout.len() < query.relations.len() {
-                let acts = legal_actions(query, &rollout);
-                if acts.is_empty() {
+            rollout.clear();
+            rollout.extend_from_slice(&actions);
+            let mut roll_joined = joined;
+            while rollout.len() < qi.n {
+                legal_actions_into(&qi, &rollout, roll_joined, &mut acts_buf);
+                if acts_buf.is_empty() {
                     break;
                 }
-                rollout.push(acts[rng.gen_range(0..acts.len())].clone());
+                let a = acts_buf[rng.gen_range(0..acts_buf.len())];
+                roll_joined |= 1 << a.rel();
+                rollout.push(a);
             }
-            if rollout.len() != query.relations.len() {
+            if rollout.len() != qi.n {
                 continue; // disconnected: cannot finish from here
             }
 
             // ---- Evaluation ----
-            let t = match eval_cache.get(&rollout) {
+            key_buf.clear();
+            key_buf.extend(rollout.iter().map(|a| a.pack()));
+            let t = match eval_cache.get(key_buf.as_slice()) {
                 Some(&t) => t,
                 None => {
-                    let spec = to_spec(&rollout);
+                    let spec = to_spec(query, &rollout);
                     let plan = spec.compile(query).expect("rollout builds a valid plan");
-                    let t = model.predict_runtime_ms(query, &plan);
-                    eval_cache.insert(rollout.clone(), t);
+                    let t = model.predict_with_context(query, &plan, &mut ctx).runtime_ms;
+                    eval_cache.insert(key_buf.clone(), t);
                     t
                 }
             };
@@ -219,18 +331,42 @@ impl MctsPlanner {
                     nodes[node_idx].reward += 1.0;
                 }
             }
+
+            // ---- Exhaustion propagation (bottom-up along the path) ----
+            // A terminal node and a dead end both have an empty `untried`
+            // and no unexhausted children; an interior node becomes
+            // exhausted once every child is.
+            for &node_idx in path.iter().rev() {
+                let n = &nodes[node_idx];
+                if n.expanded
+                    && n.untried.is_empty()
+                    && n.children.iter().all(|&(_, c)| nodes[c].exhausted)
+                {
+                    nodes[node_idx].exhausted = true;
+                } else {
+                    break;
+                }
+            }
+            if nodes[0].exhausted {
+                // The whole left-deep plan space has been scored; further
+                // simulations cannot find anything new.
+                break;
+            }
         }
 
         let (best_seq, predicted_ms) = best.unwrap_or_else(|| {
             // Budget hit before any complete rollout: greedy completion.
-            let mut seq = Vec::new();
-            while seq.len() < query.relations.len() {
-                let acts = legal_actions(query, &seq);
-                seq.push(acts.first().expect("connected query").clone());
+            let mut seq: Vec<Action> = Vec::new();
+            let mut seq_joined = 0u64;
+            while seq.len() < qi.n {
+                legal_actions_into(&qi, &seq, seq_joined, &mut acts_buf);
+                let a = *acts_buf.first().expect("connected query");
+                seq_joined |= 1 << a.rel();
+                seq.push(a);
             }
             (seq, f64::INFINITY)
         });
-        let plan = to_spec(&best_seq).compile(query).expect("best plan is valid");
+        let plan = to_spec(query, &best_seq).compile(query).expect("best plan is valid");
         MctsResult {
             plan,
             predicted_ms,
@@ -241,41 +377,40 @@ impl MctsPlanner {
     }
 }
 
-/// Legal actions from a partial action sequence: connected extensions only.
-fn legal_actions(query: &Query, actions: &[Action]) -> Vec<Action> {
-    let mut out = Vec::new();
+/// Legal actions from a partial action sequence into `out` (cleared first):
+/// connected extensions only, in relation-index order so the search is
+/// deterministic.
+fn legal_actions_into(qi: &QueryIndex, actions: &[Action], joined: u64, out: &mut Vec<Action>) {
+    out.clear();
     if actions.is_empty() {
-        for r in &query.relations {
+        for rel in 0..qi.n as u32 {
             for scan in ScanOp::ALL {
-                out.push(Action::Start { alias: r.alias.clone(), scan });
+                out.push(Action::Start { rel, scan });
             }
         }
-        return out;
+        return;
     }
-    let joined: BTreeSet<String> = actions
-        .iter()
-        .map(|a| match a {
-            Action::Start { alias, .. } | Action::Extend { alias, .. } => alias.clone(),
-        })
-        .collect();
-    for alias in query.neighbors(&joined) {
+    let mut frontier = qi.frontier(joined);
+    while frontier != 0 {
+        let rel = frontier.trailing_zeros();
+        frontier &= frontier - 1;
         for scan in ScanOp::ALL {
             for join in JoinOp::ALL {
-                out.push(Action::Extend { alias: alias.clone(), scan, join });
+                out.push(Action::Extend { rel, scan, join });
             }
         }
     }
-    out
 }
 
-fn to_spec(actions: &[Action]) -> LeftDeepSpec {
+fn to_spec(query: &Query, actions: &[Action]) -> LeftDeepSpec {
     let mut scans = Vec::with_capacity(actions.len());
     let mut joins = Vec::with_capacity(actions.len().saturating_sub(1));
     for a in actions {
+        let alias = query.relations[a.rel() as usize].alias.clone();
         match a {
-            Action::Start { alias, scan } => scans.push((alias.clone(), *scan)),
-            Action::Extend { alias, scan, join } => {
-                scans.push((alias.clone(), *scan));
+            Action::Start { scan, .. } => scans.push((alias, *scan)),
+            Action::Extend { scan, join, .. } => {
+                scans.push((alias, *scan));
                 joins.push(*join);
             }
         }
@@ -328,14 +463,14 @@ mod tests {
     #[test]
     fn produces_valid_left_deep_plan() {
         let db = imdb::generate(0.05, 1);
-        let mut model = fitted_model(&db);
+        let model = fitted_model(&db);
         let q = three_way(&db);
         let planner = MctsPlanner::new(MctsConfig {
             budget_ms: 500.0,
             max_simulations: 60,
             ..Default::default()
         });
-        let res = planner.plan(&mut model, &q);
+        let res = planner.plan(&model, &q);
         assert!(res.plan.validate(&q).is_ok());
         assert!(res.plan.is_left_deep());
         assert!(res.simulations > 0);
@@ -348,10 +483,10 @@ mod tests {
         let db = imdb::generate(0.05, 1);
         let q = three_way(&db);
         let cfg = MctsConfig { budget_ms: 1e9, max_simulations: 40, ..Default::default() };
-        let mut m1 = fitted_model(&db);
-        let r1 = MctsPlanner::new(cfg.clone()).plan(&mut m1, &q);
-        let mut m2 = fitted_model(&db);
-        let r2 = MctsPlanner::new(cfg).plan(&mut m2, &q);
+        let m1 = fitted_model(&db);
+        let r1 = MctsPlanner::new(cfg.clone()).plan(&m1, &q);
+        let m2 = fitted_model(&db);
+        let r2 = MctsPlanner::new(cfg).plan(&m2, &q);
         assert_eq!(r1.plan, r2.plan);
         assert_eq!(r1.simulations, r2.simulations);
     }
@@ -359,10 +494,10 @@ mod tests {
     #[test]
     fn single_relation_query_picks_a_scan() {
         let db = imdb::generate(0.05, 1);
-        let mut model = fitted_model(&db);
+        let model = fitted_model(&db);
         let mut q = Query::new("single");
         q.relations = vec![RelRef::new("title")];
-        let res = MctsPlanner::new(MctsConfig::default()).plan(&mut model, &q);
+        let res = MctsPlanner::new(MctsConfig::default()).plan(&model, &q);
         assert!(matches!(res.plan, PlanNode::Scan { .. }));
         assert_eq!(res.plans_evaluated, 3);
     }
@@ -370,14 +505,14 @@ mod tests {
     #[test]
     fn budget_cuts_off_search() {
         let db = imdb::generate(0.05, 1);
-        let mut model = fitted_model(&db);
+        let model = fitted_model(&db);
         let q = three_way(&db);
         let planner = MctsPlanner::new(MctsConfig {
             budget_ms: 1.0, // 1ms: will be exhausted almost immediately
             max_simulations: usize::MAX,
             ..Default::default()
         });
-        let res = planner.plan(&mut model, &q);
+        let res = planner.plan(&model, &q);
         assert!(res.budget_exhausted);
         assert!(res.plan.validate(&q).is_ok(), "still returns the best plan found so far");
     }
@@ -386,20 +521,20 @@ mod tests {
     fn more_simulations_never_worsen_predicted_time() {
         let db = imdb::generate(0.05, 1);
         let q = three_way(&db);
-        let mut m1 = fitted_model(&db);
+        let m1 = fitted_model(&db);
         let few = MctsPlanner::new(MctsConfig {
             budget_ms: 1e9,
             max_simulations: 5,
             ..Default::default()
         })
-        .plan(&mut m1, &q);
-        let mut m2 = fitted_model(&db);
+        .plan(&m1, &q);
+        let m2 = fitted_model(&db);
         let many = MctsPlanner::new(MctsConfig {
             budget_ms: 1e9,
             max_simulations: 100,
             ..Default::default()
         })
-        .plan(&mut m2, &q);
+        .plan(&m2, &q);
         assert!(many.predicted_ms <= few.predicted_ms + 1e-9);
     }
 
@@ -407,16 +542,27 @@ mod tests {
     fn legal_actions_respect_connectivity() {
         let db = imdb::generate(0.05, 1);
         let q = three_way(&db);
-        let start = legal_actions(&q, &[]);
-        assert_eq!(start.len(), 3 * 3); // 3 relations x 3 scan ops
-        let after = legal_actions(
-            &q,
-            &[Action::Start { alias: "movie_info".into(), scan: ScanOp::SeqScan }],
-        );
-        // Only title is adjacent to movie_info.
-        assert!(after
-            .iter()
-            .all(|a| matches!(a, Action::Extend { alias, .. } if alias == "title")));
-        assert_eq!(after.len(), 3 * 3); // 1 relation x 3 scans x 3 joins
+        let qi = QueryIndex::new(&q);
+        let mut acts = Vec::new();
+        legal_actions_into(&qi, &[], 0, &mut acts);
+        assert_eq!(acts.len(), 3 * 3); // 3 relations x 3 scan ops
+                                       // movie_info is relation index 1; title (index 0) is its only neighbor.
+        let start = Action::Start { rel: 1, scan: ScanOp::SeqScan };
+        legal_actions_into(&qi, &[start], 1 << 1, &mut acts);
+        assert!(acts.iter().all(|a| matches!(a, Action::Extend { rel: 0, .. })));
+        assert_eq!(acts.len(), 3 * 3); // 1 relation x 3 scans x 3 joins
+    }
+
+    #[test]
+    fn action_pack_is_injective_over_ops() {
+        let mut seen = std::collections::HashSet::new();
+        for rel in 0..4u32 {
+            for scan in ScanOp::ALL {
+                assert!(seen.insert(Action::Start { rel, scan }.pack()));
+                for join in JoinOp::ALL {
+                    assert!(seen.insert(Action::Extend { rel, scan, join }.pack()));
+                }
+            }
+        }
     }
 }

@@ -3,7 +3,7 @@
 
 use crate::config::ModelConfig;
 use crate::encoder::{PlanEncoder, QueryEncoder};
-use crate::featurize::{FeaturizedQep, Featurizer};
+use crate::featurize::{FeaturizedQep, Featurizer, PlanFeatCache};
 use crate::normalize::TargetNormalizer;
 use crate::vae::CostModeler;
 use qpseeker_engine::plan::PlanNode;
@@ -99,7 +99,7 @@ impl<'a> QPSeeker<'a> {
     }
 
     /// Featurize a training QEP (requires a fitted normalizer).
-    pub fn featurize_qep(&mut self, qep: &Qep) -> FeaturizedQep {
+    pub fn featurize_qep(&self, qep: &Qep) -> FeaturizedQep {
         let norm = self.normalizer.as_ref().expect("fit or set a normalizer first");
         self.feat.featurize(&qep.query, &qep.plan, Some(&qep.truth), norm, &qep.template)
     }
@@ -178,73 +178,208 @@ impl<'a> QPSeeker<'a> {
         }
     }
 
+    /// One optimizer step over `batch`, data-parallel across
+    /// `config.train_threads` crossbeam-scoped workers.
+    ///
+    /// Each sample's tape forward/backward runs independently into a
+    /// thread-local [`GradBuffer`]; buffers are then merged into the shared
+    /// store in *sample-index* order (never shard order) and the loss terms
+    /// are summed in the same order. Latent noise is drawn for the whole
+    /// batch upfront from the model's single RNG stream. Together these make
+    /// a seeded run bit-identical for every `train_threads` value.
     fn train_batch(
         &mut self,
         batch: &[&FeaturizedQep],
         opt: &mut Adam,
     ) -> (f64, f64, f64, StepReport) {
         self.store.zero_grads();
-        let mut g = Graph::new();
-        let mut joint_rows = Vec::with_capacity(batch.len());
-        let mut target_rows = Vec::with_capacity(batch.len());
-        let mut aux_pairs: Vec<(Var, [f32; 3])> = Vec::new();
-        for fq in batch {
-            let (joint, mut aux) = self.encode_joint(&mut g, fq);
-            joint_rows.push(joint);
-            aux_pairs.append(&mut aux);
-            let t = fq.target.expect("training QEPs carry targets");
-            target_rows.push(Tensor::row(t.to_vec()));
+        let b = batch.len();
+        let eps_all = self.noise.standard_normal(b, self.config.vae_latent);
+        // Auxiliary-loss rows across the whole batch: each sample's node
+        // loss is scaled by its share so the sum equals the batch MSE.
+        let total_aux: usize = if self.config.node_loss_weight > 0.0 {
+            batch.iter().map(|fq| count_truth_nodes(&fq.plan)).sum()
+        } else {
+            0
+        };
+        let shards = self.config.train_threads.max(1).min(b.max(1));
+        let results: Vec<SampleGrad> = if shards <= 1 {
+            batch
+                .iter()
+                .enumerate()
+                .map(|(i, fq)| self.train_sample(fq, eps_row(&eps_all, i), b, total_aux))
+                .collect()
+        } else {
+            let chunk = b.div_ceil(shards);
+            let this = &*self;
+            let eps_ref = &eps_all;
+            crossbeam::scope(|s| {
+                let handles: Vec<_> = batch
+                    .chunks(chunk)
+                    .enumerate()
+                    .map(|(ci, samples)| {
+                        s.spawn(move |_| {
+                            samples
+                                .iter()
+                                .enumerate()
+                                .map(|(j, fq)| {
+                                    let i = ci * chunk + j;
+                                    this.train_sample(fq, eps_row(eps_ref, i), b, total_aux)
+                                })
+                                .collect::<Vec<SampleGrad>>()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("training worker panicked"))
+                    .collect()
+            })
+            .expect("crossbeam training scope")
+        };
+        let (mut loss, mut pred, mut kl) = (0.0, 0.0, 0.0);
+        for r in &results {
+            r.buf.merge_into(&mut self.store);
+            loss += r.loss;
+            pred += r.pred;
+            kl += r.kl;
         }
-        let x = g.stack_rows(&joint_rows);
-        let t_refs: Vec<&Tensor> = target_rows.iter().collect();
-        let targets = g.constant(Tensor::stack_rows(&t_refs));
-        let eps = self.noise.standard_normal(batch.len(), self.config.vae_latent);
-        let out = self.vae.forward(&mut g, &self.store, x, eps);
-        let (mut total, _recon, pred, kl) =
-            self.vae.loss(&mut g, &out, x, targets, self.config.beta);
-        // Auxiliary per-node estimate loss on the plan encoder outputs.
-        if !aux_pairs.is_empty() && self.config.node_loss_weight > 0.0 {
+        self.store.clip_grad_norm(5.0);
+        let guards = opt.step(&mut self.store);
+        (loss, pred / b as f64, kl / b as f64, guards)
+    }
+
+    /// Forward/backward for one sample on its own tape, gradients into a
+    /// private buffer. The per-sample loss is scaled `1/batch` (and the aux
+    /// node loss by its row share) so the merged batch matches a joint pass.
+    fn train_sample(
+        &self,
+        fq: &FeaturizedQep,
+        eps: Tensor,
+        batch_size: usize,
+        total_aux: usize,
+    ) -> SampleGrad {
+        let mut g = Graph::new();
+        let (joint, aux) = self.encode_joint(&mut g, fq);
+        let t = fq.target.expect("training QEPs carry targets");
+        let targets = g.constant(Tensor::row(t.to_vec()));
+        let out = self.vae.forward(&mut g, &self.store, joint, eps);
+        let (sample_total, _recon, pred, kl) =
+            self.vae.loss(&mut g, &out, joint, targets, self.config.beta);
+        let mut total = g.scale(sample_total, 1.0 / batch_size as f32);
+        if !aux.is_empty() && total_aux > 0 {
             let d = self.config.data_vec_dim();
-            let node_vars: Vec<Var> =
-                aux_pairs.iter().map(|(v, _)| g.slice_cols(*v, d, d + 3)).collect();
+            let node_vars: Vec<Var> = aux.iter().map(|(v, _)| g.slice_cols(*v, d, d + 3)).collect();
             let stacked_raw = g.stack_rows(&node_vars);
             // Node estimate slots carry z/5 (see featurize::ESTIMATE_SCALE);
             // rescale before comparing against raw z-scored truths.
             let stacked = g.scale(stacked_raw, 1.0 / crate::featurize::ESTIMATE_SCALE);
             let truth_rows: Vec<Tensor> =
-                aux_pairs.iter().map(|(_, t)| Tensor::row(t.to_vec())).collect();
+                aux.iter().map(|(_, t)| Tensor::row(t.to_vec())).collect();
             let truth_refs: Vec<&Tensor> = truth_rows.iter().collect();
             let truths = g.constant(Tensor::stack_rows(&truth_refs));
             let node_loss = g.mse(stacked, truths);
-            let weighted = g.scale(node_loss, self.config.node_loss_weight as f32);
+            // This sample's mean over aux.len() rows, reweighted to its
+            // share of the batch-wide mean over total_aux rows.
+            let share = aux.len() as f32 / total_aux as f32;
+            let weighted = g.scale(node_loss, self.config.node_loss_weight as f32 * share);
             total = g.add(total, weighted);
         }
-        let (pred_v, kl_v) = (g.value(pred).get(0, 0) as f64, g.value(kl).get(0, 0) as f64);
-        let loss = g.backward(total, &mut self.store);
-        self.store.clip_grad_norm(5.0);
-        let guards = opt.step(&mut self.store);
-        (loss as f64, pred_v, kl_v, guards)
+        let pred_v = g.value(pred).get(0, 0) as f64;
+        let kl_v = g.value(kl).get(0, 0) as f64;
+        let mut buf = GradBuffer::new();
+        let loss = g.backward(total, &mut buf) as f64;
+        SampleGrad { buf, loss, pred: pred_v, kl: kl_v }
     }
 
     /// Predict (cardinality, cost, runtime) for an arbitrary plan of a
     /// query. Deterministic (zero latent noise).
-    pub fn predict(&mut self, query: &Query, plan: &PlanNode) -> Prediction {
-        let norm = self.normalizer.clone().expect("model must be fitted before predict");
-        let fq = self.feat.featurize(query, plan, None, &norm, "");
-        let (preds, _mu) = self.forward_inference(&fq);
+    pub fn predict(&self, query: &Query, plan: &PlanNode) -> Prediction {
+        let mut ctx = self.query_context(query);
+        self.predict_with_context(query, plan, &mut ctx)
+    }
+
+    /// Build the per-query state for [`Self::predict_with_context`]. The
+    /// query encoder runs once here; each candidate plan then only pays for
+    /// the plan encoder, attention, and VAE head — the MCTS hot loop builds
+    /// one context per search and scores every rollout through it.
+    pub fn query_context(&self, query: &Query) -> QueryContext {
+        let fast = self.config.fast_inference && PlanFeatCache::supports(query);
+        let qemb = if fast {
+            let qf = self.feat.query_features(query);
+            with_thread_scratch(|sc| {
+                let e = self.query_enc.forward_inference(&self.store, &qf, sc);
+                let owned = e.clone();
+                sc.recycle(e);
+                owned
+            })
+        } else {
+            Tensor::zeros(1, 1)
+        };
+        QueryContext { qemb, plan_cache: PlanFeatCache::new(query), fast }
+    }
+
+    /// [`Self::predict`] through a reusable [`QueryContext`]. With the fast
+    /// path enabled this is tape-free: plan featurization hits the per-query
+    /// cache and every layer writes into recycled scratch buffers.
+    pub fn predict_with_context(
+        &self,
+        query: &Query,
+        plan: &PlanNode,
+        ctx: &mut QueryContext,
+    ) -> Prediction {
+        let norm = self.normalizer.as_ref().expect("model must be fitted before predict");
+        if !ctx.fast {
+            let fq = self.feat.featurize(query, plan, None, norm, "");
+            let (preds, _mu) = self.forward_tape(&fq);
+            let raw = norm.decode(preds);
+            return Prediction { cardinality: raw[0], cost: raw[1], runtime_ms: raw[2] };
+        }
+        let fplan = self.feat.featurize_plan_fast(query, plan, norm, &mut ctx.plan_cache);
+        let preds = with_thread_scratch(|sc| {
+            let nodes = self.plan_enc.forward_inference(&self.store, &fplan, sc);
+            let joint = if fplan.count() > 1 && self.config.use_attention {
+                let j = self.attn.forward_inference(&self.store, &ctx.qemb, &nodes, sc, None);
+                sc.recycle(nodes);
+                j
+            } else {
+                let qd = ctx.qemb.cols();
+                let mut j = sc.take(1, qd + self.plan_enc.out_dim());
+                j.data_mut()[..qd].copy_from_slice(ctx.qemb.data());
+                j.data_mut()[qd..].copy_from_slice(nodes.row_slice(nodes.rows() - 1));
+                sc.recycle(nodes);
+                j
+            };
+            let (p, _mu) = self.vae.forward_inference(&self.store, &joint, sc);
+            sc.recycle(joint);
+            let out = [p.get(0, 0), p.get(0, 1), p.get(0, 2)];
+            sc.recycle(p);
+            out
+        });
+        let raw = norm.decode(preds);
+        Prediction { cardinality: raw[0], cost: raw[1], runtime_ms: raw[2] }
+    }
+
+    /// Reference prediction through the autodiff tape (the training-path
+    /// forward). The fast path is property-tested to match this within 1e-5;
+    /// it also backs prediction when `config.fast_inference` is off.
+    pub fn predict_tape(&self, query: &Query, plan: &PlanNode) -> Prediction {
+        let norm = self.normalizer.as_ref().expect("model must be fitted before predict");
+        let fq = self.feat.featurize(query, plan, None, norm, "");
+        let (preds, _mu) = self.forward_tape(&fq);
         let raw = norm.decode(preds);
         Prediction { cardinality: raw[0], cost: raw[1], runtime_ms: raw[2] }
     }
 
     /// The 32-d latent mean of a QEP (Fig. 5's latent space).
-    pub fn latent_mu(&mut self, query: &Query, plan: &PlanNode) -> Vec<f32> {
-        let norm = self.normalizer.clone().expect("model must be fitted before latent_mu");
-        let fq = self.feat.featurize(query, plan, None, &norm, "");
-        let (_preds, mu) = self.forward_inference(&fq);
+    pub fn latent_mu(&self, query: &Query, plan: &PlanNode) -> Vec<f32> {
+        let norm = self.normalizer.as_ref().expect("model must be fitted before latent_mu");
+        let fq = self.feat.featurize(query, plan, None, norm, "");
+        let (_preds, mu) = self.forward_tape(&fq);
         mu
     }
 
-    fn forward_inference(&self, fq: &FeaturizedQep) -> ([f32; 3], Vec<f32>) {
+    fn forward_tape(&self, fq: &FeaturizedQep) -> ([f32; 3], Vec<f32>) {
         let mut g = Graph::new();
         let (joint, _aux) = self.encode_joint(&mut g, fq);
         let eps = Tensor::zeros(1, self.config.vae_latent);
@@ -256,7 +391,7 @@ impl<'a> QPSeeker<'a> {
     }
 
     /// Predicted runtime only (the MCTS scoring function).
-    pub fn predict_runtime_ms(&mut self, query: &Query, plan: &PlanNode) -> f64 {
+    pub fn predict_runtime_ms(&self, query: &Query, plan: &PlanNode) -> f64 {
         self.predict(query, plan).runtime_ms
     }
 
@@ -265,9 +400,9 @@ impl<'a> QPSeeker<'a> {
     /// paper's §4.3 introspection — "which nodes in the plan have the
     /// higher impact on the final estimations". Single-node plans (no
     /// attention) return an empty vector.
-    pub fn attention_scores(&mut self, query: &Query, plan: &PlanNode) -> Vec<Vec<f32>> {
-        let norm = self.normalizer.clone().expect("model must be fitted first");
-        let fq = self.feat.featurize(query, plan, None, &norm, "");
+    pub fn attention_scores(&self, query: &Query, plan: &PlanNode) -> Vec<Vec<f32>> {
+        let norm = self.normalizer.as_ref().expect("model must be fitted first");
+        let fq = self.feat.featurize(query, plan, None, norm, "");
         if fq.plan.count() <= 1 || !self.config.use_attention {
             return Vec::new();
         }
@@ -277,6 +412,38 @@ impl<'a> QPSeeker<'a> {
         let (_out, scores) = self.attn.forward(&mut g, &self.store, qv, ep.nodes);
         scores.iter().map(|&s| g.value(s).data().to_vec()).collect()
     }
+}
+
+/// Cached per-query inference state: the tape-free query embedding plus the
+/// plan featurization cache, both shared by every candidate plan of one
+/// query. Built by [`QPSeeker::query_context`].
+pub struct QueryContext {
+    qemb: Tensor,
+    plan_cache: PlanFeatCache,
+    /// False when the fast path cannot serve this query (toggle off, or
+    /// more than 64 relations); predictions then take the tape path.
+    fast: bool,
+}
+
+/// One sample's contribution to a training step.
+struct SampleGrad {
+    buf: GradBuffer,
+    /// Per-sample total loss, pre-scaled by `1/batch` (sums to batch loss).
+    loss: f64,
+    /// Per-sample prediction MSE (batch value = mean over samples).
+    pred: f64,
+    /// Per-sample KL (batch value = mean over samples).
+    kl: f64,
+}
+
+/// Row `i` of the batch noise tensor as a standalone `[1, latent]` tensor.
+fn eps_row(eps_all: &Tensor, i: usize) -> Tensor {
+    Tensor::row(eps_all.row_slice(i).to_vec())
+}
+
+/// Number of nodes carrying ground truth (the auxiliary-loss rows).
+fn count_truth_nodes(node: &crate::featurize::FeatNode) -> usize {
+    usize::from(node.truth.is_some()) + node.children.iter().map(count_truth_nodes).sum::<usize>()
 }
 
 /// Walker pairing postorder node vars with featurized truths.
@@ -392,7 +559,7 @@ mod tests {
     #[should_panic(expected = "must be fitted")]
     fn predict_before_fit_panics() {
         let db = imdb::generate(0.02, 1);
-        let mut model = QPSeeker::new(&db, ModelConfig::small());
+        let model = QPSeeker::new(&db, ModelConfig::small());
         let mut q = Query::new("q");
         q.relations = vec![RelRef::new("title")];
         let plan = PgOptimizer::new(&db).plan(&q);

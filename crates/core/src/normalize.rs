@@ -55,12 +55,18 @@ impl TargetNormalizer {
         out
     }
 
-    /// Normalized → raw (clamped to ≥ 0).
+    /// Normalized → raw (clamped to ≥ 0). NaN inputs stay NaN — `max(0.0)`
+    /// must not launder a poisoned prediction into a plausible zero, or the
+    /// serving watchdog can never catch it.
     pub fn decode(&self, norm: [f32; 3]) -> [f64; 3] {
         let mut out = [0.0f64; 3];
         for i in 0..3 {
             let ln1p = norm[i] as f64 * self.std[i] + self.mean[i];
-            out[i] = (ln1p.clamp(-10.0, 60.0).exp() - 1.0).max(0.0);
+            out[i] = if ln1p.is_nan() {
+                f64::NAN
+            } else {
+                (ln1p.clamp(-10.0, 60.0).exp() - 1.0).max(0.0)
+            };
         }
         out
     }
@@ -102,6 +108,15 @@ mod tests {
             assert!(mean.abs() < 1e-3, "mean {mean}");
             assert!((var - 1.0).abs() < 1e-2, "var {var}");
         }
+    }
+
+    #[test]
+    fn decode_propagates_nan() {
+        let n = TargetNormalizer::fit(&samples());
+        let d = n.decode([f32::NAN, 0.0, f32::NAN]);
+        assert!(d[0].is_nan(), "NaN must survive decode for watchdog detection");
+        assert!(d[1].is_finite());
+        assert!(d[2].is_nan());
     }
 
     #[test]

@@ -112,7 +112,7 @@ pub struct ServeResult {
 pub fn plan_with_fallback(
     db: &Database,
     query: &Query,
-    model: Option<&mut QPSeeker<'_>>,
+    model: Option<&QPSeeker<'_>>,
     cfg: &ServeConfig,
 ) -> ServeResult {
     let injector = cfg.faults.clone().map(FaultInjector::new);
@@ -259,8 +259,8 @@ mod tests {
     #[test]
     fn healthy_model_serves_neurally() {
         let (db, queries) = db_and_workload();
-        let mut model = fitted_model(&db);
-        let r = plan_with_fallback(&db, &queries[0], Some(&mut model), &quick_cfg());
+        let model = fitted_model(&db);
+        let r = plan_with_fallback(&db, &queries[0], Some(&model), &quick_cfg());
         assert_eq!(r.served_by, ServedBy::Neural);
         assert!(r.fallback_reason.is_none());
         assert!(r.predicted_ms.is_some());
@@ -280,10 +280,10 @@ mod tests {
     #[test]
     fn certain_inference_faults_force_classical_fallback() {
         let (db, queries) = db_and_workload();
-        let mut model = fitted_model(&db);
+        let model = fitted_model(&db);
         let mut cfg = quick_cfg();
         cfg.faults = Some(FaultConfig { inference_nan_p: 1.0, ..FaultConfig::default() });
-        let r = plan_with_fallback(&db, &queries[0], Some(&mut model), &cfg);
+        let r = plan_with_fallback(&db, &queries[0], Some(&model), &cfg);
         assert_eq!(r.served_by, ServedBy::Classical);
         assert_eq!(r.attempts, 2, "one attempt plus one retry");
         assert_eq!(r.attempt_failures.len(), 2);
@@ -294,7 +294,7 @@ mod tests {
     #[test]
     fn retry_can_recover_from_a_transient_fault() {
         let (db, queries) = db_and_workload();
-        let mut model = fitted_model(&db);
+        let model = fitted_model(&db);
         // Find a (seed, query) pair where attempt 0 faults but attempt 1
         // does not — the retry must then serve neurally.
         let mut cfg = quick_cfg();
@@ -306,7 +306,7 @@ mod tests {
                 if fi.inference_fault(&q.id, 0).is_some() && fi.inference_fault(&q.id, 1).is_none()
                 {
                     cfg.faults = Some(faults);
-                    let r = plan_with_fallback(&db, q, Some(&mut model), &cfg);
+                    let r = plan_with_fallback(&db, q, Some(&model), &cfg);
                     assert_eq!(r.served_by, ServedBy::Neural, "retry should have recovered");
                     assert_eq!(r.attempts, 2);
                     assert_eq!(r.attempt_failures.len(), 1);
@@ -321,11 +321,11 @@ mod tests {
     #[test]
     fn stall_faults_trip_the_deadline_watchdog() {
         let (db, queries) = db_and_workload();
-        let mut model = fitted_model(&db);
+        let model = fitted_model(&db);
         let mut cfg = quick_cfg();
         cfg.max_retries = 0;
         cfg.faults = Some(FaultConfig { inference_stall_p: 1.0, ..FaultConfig::default() });
-        let r = plan_with_fallback(&db, &queries[0], Some(&mut model), &cfg);
+        let r = plan_with_fallback(&db, &queries[0], Some(&model), &cfg);
         assert_eq!(r.served_by, ServedBy::Classical);
         assert!(matches!(r.fallback_reason, Some(FallbackReason::DeadlineExceeded { .. })));
     }
@@ -333,13 +333,13 @@ mod tests {
     #[test]
     fn backoff_doubles_per_retry() {
         let (db, queries) = db_and_workload();
-        let mut model = fitted_model(&db);
+        let model = fitted_model(&db);
         let mut cfg = quick_cfg();
         cfg.max_retries = 3;
         // Virtual backoff only (no sleeping in tests beyond microseconds).
         cfg.backoff_base_ms = 0.001;
         cfg.faults = Some(FaultConfig { inference_nan_p: 1.0, ..FaultConfig::default() });
-        let r = plan_with_fallback(&db, &queries[0], Some(&mut model), &cfg);
+        let r = plan_with_fallback(&db, &queries[0], Some(&model), &cfg);
         assert_eq!(r.attempts, 4);
         // 0.001 + 0.002 + 0.004
         assert!((r.backoff_ms - 0.007).abs() < 1e-9, "backoff was {}", r.backoff_ms);

@@ -69,6 +69,31 @@ impl CostModeler {
         VaeOutput { mu, logvar, z, reconstruction, predictions }
     }
 
+    /// Tape-free deterministic inference (`eps = 0` ⇒ `z = mu`): returns the
+    /// `[rows, 3]` predictions (from `sc` — recycle when done) and the mean
+    /// latent code.
+    pub fn forward_inference(
+        &self,
+        store: &ParamStore,
+        x: &Tensor,
+        sc: &mut ScratchArena,
+    ) -> (Tensor, Vec<f32>) {
+        let h = self.encoder.forward_inference(store, x, sc); // [rows, 2*latent]
+        let mut mu = sc.take(h.rows(), self.latent);
+        for r in 0..h.rows() {
+            mu.row_slice_mut(r).copy_from_slice(&h.row_slice(r)[..self.latent]);
+        }
+        sc.recycle(h);
+        // With zero noise the reparameterization is the identity on mu, so
+        // the log-variance head is never evaluated here.
+        let reconstruction = self.decoder.forward_inference(store, &mu, sc);
+        let predictions = self.head.forward_inference(store, &reconstruction, sc);
+        sc.recycle(reconstruction);
+        let mu_vec = mu.data().to_vec();
+        sc.recycle(mu);
+        (predictions, mu_vec)
+    }
+
     /// The paper's loss (formula 5) plus prediction MSE:
     /// `pred_mse + recon_mse + β · KL` with KL averaged per latent element
     /// so that the paper's β ∈ {100, 200, 300} stays in a workable range.

@@ -1,0 +1,144 @@
+//! The tape-free inference fast path must be numerically interchangeable
+//! with the reference tape forward, and crossbeam data-parallel training
+//! must be bit-reproducible regardless of the shard count.
+
+use proptest::prelude::*;
+use qpseeker_core::prelude::*;
+use qpseeker_engine::inject::LeftDeepSpec;
+use qpseeker_engine::plan::{JoinOp, PlanNode, ScanOp};
+use qpseeker_engine::query::{ColRef, JoinPred, Query, RelRef};
+use qpseeker_storage::datagen::imdb;
+use qpseeker_storage::Database;
+use qpseeker_workloads::{synthetic, Qep, SyntheticConfig};
+use std::sync::OnceLock;
+
+fn three_way() -> Query {
+    let mut q = Query::new("fastpath-q");
+    q.relations =
+        vec![RelRef::new("title"), RelRef::new("movie_info"), RelRef::new("movie_keyword")];
+    q.joins = vec![
+        JoinPred { left: ColRef::new("movie_info", "movie_id"), right: ColRef::new("title", "id") },
+        JoinPred {
+            left: ColRef::new("movie_keyword", "movie_id"),
+            right: ColRef::new("title", "id"),
+        },
+    ];
+    q
+}
+
+/// One fitted model shared by every proptest case (fitting is the
+/// expensive part; prediction is what's under test).
+fn shared_model() -> &'static QPSeeker<'static> {
+    static MODEL: OnceLock<QPSeeker<'static>> = OnceLock::new();
+    MODEL.get_or_init(|| {
+        let db: &'static Database = Box::leak(Box::new(imdb::generate(0.05, 1)));
+        let w = Box::leak(Box::new(synthetic::generate(
+            db,
+            &SyntheticConfig { n_queries: 24, seed: 7 },
+        )));
+        let refs: Vec<&Qep> = w.qeps.iter().collect();
+        let mut m = QPSeeker::new(db, ModelConfig::small());
+        m.fit(&refs);
+        m
+    })
+}
+
+/// Left-deep join orders of the three-way query that stay connected
+/// (title is the hub relation).
+const ORDERS: [[&str; 3]; 4] = [
+    ["title", "movie_info", "movie_keyword"],
+    ["title", "movie_keyword", "movie_info"],
+    ["movie_info", "title", "movie_keyword"],
+    ["movie_keyword", "title", "movie_info"],
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every (join order, scan ops, join ops) combination predicts the same
+    /// targets through the scratch-arena fast path as through the autodiff
+    /// tape, within 1e-5 relative.
+    #[test]
+    fn fast_inference_matches_tape(
+        order in 0usize..4,
+        scan_ops in proptest::collection::vec(0usize..3, 3),
+        join_ops in proptest::collection::vec(0usize..3, 2),
+    ) {
+        let model = shared_model();
+        let q = three_way();
+        let spec = LeftDeepSpec {
+            scans: ORDERS[order]
+                .iter()
+                .zip(&scan_ops)
+                .map(|(a, &s)| (a.to_string(), ScanOp::ALL[s]))
+                .collect(),
+            joins: join_ops.iter().map(|&j| JoinOp::ALL[j]).collect(),
+        };
+        let plan = spec.compile(&q).expect("connected left-deep order");
+        let fast = model.predict(&q, &plan);
+        let tape = model.predict_tape(&q, &plan);
+        for (name, a, b) in [
+            ("cardinality", fast.cardinality, tape.cardinality),
+            ("cost", fast.cost, tape.cost),
+            ("runtime_ms", fast.runtime_ms, tape.runtime_ms),
+        ] {
+            prop_assert!(
+                (a - b).abs() <= 1e-5 * (1.0 + b.abs()),
+                "{name}: fast {a} vs tape {b}"
+            );
+        }
+    }
+}
+
+#[test]
+fn fast_inference_matches_tape_on_single_scans() {
+    let model = shared_model();
+    let mut q = Query::new("fastpath-single");
+    q.relations = vec![RelRef::new("title")];
+    for op in ScanOp::ALL {
+        let plan = PlanNode::scan(&q, "title", op);
+        let fast = model.predict(&q, &plan);
+        let tape = model.predict_tape(&q, &plan);
+        assert!(
+            (fast.runtime_ms - tape.runtime_ms).abs() <= 1e-5 * (1.0 + tape.runtime_ms.abs()),
+            "scan {op:?}: fast {} vs tape {}",
+            fast.runtime_ms,
+            tape.runtime_ms
+        );
+    }
+}
+
+#[test]
+fn parallel_training_is_bit_identical_across_shard_counts() {
+    let db = imdb::generate(0.05, 1);
+    let w = synthetic::generate(&db, &SyntheticConfig { n_queries: 12, seed: 11 });
+    let refs: Vec<&Qep> = w.qeps.iter().collect();
+    let train = |threads: usize| {
+        let mut cfg = ModelConfig::small();
+        cfg.train_threads = threads;
+        let mut m = QPSeeker::new(&db, cfg);
+        m.fit(&refs);
+        m
+    };
+    let reference = train(1);
+    for threads in 2..=4 {
+        let sharded = train(threads);
+        assert!(
+            reference.store.values_bitwise_eq(&sharded.store),
+            "train_threads={threads} diverged bitwise from the serial run"
+        );
+        // And the models they produce are observably identical.
+        let q = three_way();
+        let plan = LeftDeepSpec {
+            scans: vec![
+                ("title".into(), ScanOp::SeqScan),
+                ("movie_info".into(), ScanOp::IndexScan),
+                ("movie_keyword".into(), ScanOp::SeqScan),
+            ],
+            joins: vec![JoinOp::HashJoin, JoinOp::MergeJoin],
+        }
+        .compile(&q)
+        .expect("valid plan");
+        assert_eq!(reference.predict(&q, &plan).runtime_ms, sharded.predict(&q, &plan).runtime_ms);
+    }
+}

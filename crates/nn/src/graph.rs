@@ -10,7 +10,7 @@
 //! Every op's gradient rule is verified against central finite differences in
 //! the unit tests below and in the crate's proptest suite.
 
-use crate::params::{ParamId, ParamStore};
+use crate::params::{GradAccumulator, ParamId, ParamStore};
 use crate::tensor::Tensor;
 
 /// Handle to a node in a [`Graph`].
@@ -329,11 +329,13 @@ impl Graph {
     // ---- backward -----------------------------------------------------------
 
     /// Backpropagate from scalar `loss`, accumulating parameter gradients
-    /// into `store`. Returns the loss value.
+    /// into `store` — either the shared [`ParamStore`] (serial training) or a
+    /// thread-local [`GradBuffer`](crate::params::GradBuffer) (data-parallel
+    /// training). Returns the loss value.
     ///
     /// # Panics
     /// Panics if `loss` is not `1x1`.
-    pub fn backward(&self, loss: Var, store: &mut ParamStore) -> f32 {
+    pub fn backward<A: GradAccumulator>(&self, loss: Var, store: &mut A) -> f32 {
         assert_eq!(self.nodes[loss.0].value.shape(), (1, 1), "loss must be scalar");
         let mut grads: Vec<Option<Tensor>> = vec![None; self.nodes.len()];
         grads[loss.0] = Some(Tensor::scalar(1.0));
@@ -345,7 +347,7 @@ impl Graph {
             };
             match &self.nodes[i].op {
                 Op::Constant => {}
-                Op::Param(id) => store.accumulate_grad(*id, &g),
+                Op::Param(id) => store.accumulate(*id, &g),
                 Op::MatMul(a, b) => {
                     let ga = g.matmul_nt(&self.nodes[b.0].value);
                     let gb = self.nodes[a.0].value.matmul_tn(&g);

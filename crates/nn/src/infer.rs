@@ -1,0 +1,386 @@
+//! Tape-free inference fast path.
+//!
+//! Training needs the autodiff tape in [`crate::graph`]; inference does not.
+//! MCTS planning calls the cost model hundreds of times per query inside a
+//! 200 ms budget, and on that path the tape is pure overhead: every op clones
+//! its output tensor into a graph node, allocates, and (in debug builds) runs
+//! finiteness asserts. This module gives each layer a `forward_inference`
+//! counterpart that computes values only, writing into tensors recycled
+//! through a [`ScratchArena`].
+//!
+//! Two deliberate differences from the tape path:
+//!
+//! * **No finiteness asserts.** A NaN produced here (e.g. by injected faults
+//!   or corrupted weights) flows through to the caller's `is_finite()` check
+//!   and triggers graceful degradation instead of a panic.
+//! * **Blocked kernels.** Products go through [`Tensor::matmul_into`] /
+//!   [`Tensor::matmul_nt_into`], which changes float accumulation order; the
+//!   fast path is guaranteed to match the tape within 1e-5, not bitwise.
+
+use crate::layers::{Activation, Linear, LstmCell, Mlp, MultiHeadCrossAttention};
+use crate::params::ParamStore;
+use crate::tensor::Tensor;
+use std::cell::RefCell;
+
+/// A pool of `Tensor` allocations reused across inference calls.
+///
+/// `take` hands out a zeroed tensor of the requested shape (recycling a
+/// previous allocation when one is available); `recycle` returns a tensor to
+/// the pool. The arena is deliberately dumb — a LIFO stack of buffers — which
+/// is enough to make the steady-state inference loop allocation-free.
+#[derive(Default)]
+pub struct ScratchArena {
+    pool: Vec<Tensor>,
+}
+
+impl ScratchArena {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of pooled buffers currently idle.
+    pub fn idle(&self) -> usize {
+        self.pool.len()
+    }
+
+    /// A zeroed `rows x cols` tensor, recycled when possible.
+    pub fn take(&mut self, rows: usize, cols: usize) -> Tensor {
+        match self.pool.pop() {
+            Some(mut t) => {
+                t.reshape_for(rows, cols);
+                t
+            }
+            None => Tensor::zeros(rows, cols),
+        }
+    }
+
+    /// Return a tensor's allocation to the pool.
+    pub fn recycle(&mut self, t: Tensor) {
+        self.pool.push(t);
+    }
+}
+
+thread_local! {
+    static SCRATCH: RefCell<ScratchArena> = RefCell::new(ScratchArena::new());
+}
+
+/// Run `f` with this thread's shared [`ScratchArena`].
+///
+/// Top-level inference entry points use this so repeated predictions on one
+/// thread reuse the same buffers; nested calls must instead thread the arena
+/// explicitly (the closure holds the `RefCell` borrow).
+pub fn with_thread_scratch<R>(f: impl FnOnce(&mut ScratchArena) -> R) -> R {
+    SCRATCH.with(|s| f(&mut s.borrow_mut()))
+}
+
+/// `x[r,c] += bias[1,c]` broadcast over rows, in place.
+pub fn add_row_broadcast_assign(x: &mut Tensor, bias: &Tensor) {
+    debug_assert_eq!(bias.rows(), 1, "bias must be a row vector");
+    debug_assert_eq!(x.cols(), bias.cols(), "bias width mismatch");
+    let b = bias.data();
+    for r in 0..x.rows() {
+        for (v, bv) in x.row_slice_mut(r).iter_mut().zip(b) {
+            *v += bv;
+        }
+    }
+}
+
+/// Apply an [`Activation`] elementwise in place. The scalar functions are the
+/// exact expressions the tape ops use, so both paths agree bit-for-bit here.
+pub fn activate_inplace(x: &mut Tensor, a: Activation) {
+    match a {
+        Activation::Identity => {}
+        Activation::Relu => {
+            for v in x.data_mut() {
+                *v = v.max(0.0);
+            }
+        }
+        Activation::Tanh => {
+            for v in x.data_mut() {
+                *v = v.tanh();
+            }
+        }
+        Activation::Sigmoid => {
+            for v in x.data_mut() {
+                *v = 1.0 / (1.0 + (-*v).exp());
+            }
+        }
+    }
+}
+
+/// Row-wise softmax with max-subtraction, in place. NaN inputs produce NaN
+/// outputs (no panic) so faults degrade gracefully downstream.
+pub fn softmax_rows_inplace(x: &mut Tensor) {
+    for r in 0..x.rows() {
+        let row = x.row_slice_mut(r);
+        let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        for v in row.iter_mut() {
+            *v /= sum;
+        }
+    }
+}
+
+impl Linear {
+    /// Tape-free `x·W + b` into a scratch tensor.
+    pub fn forward_inference(
+        &self,
+        store: &ParamStore,
+        x: &Tensor,
+        sc: &mut ScratchArena,
+    ) -> Tensor {
+        let mut y = sc.take(x.rows(), self.out_dim);
+        x.matmul_into(store.value(self.w), &mut y);
+        add_row_broadcast_assign(&mut y, store.value(self.b));
+        y
+    }
+}
+
+impl Mlp {
+    /// Tape-free MLP forward; intermediate activations are recycled.
+    pub fn forward_inference(
+        &self,
+        store: &ParamStore,
+        x: &Tensor,
+        sc: &mut ScratchArena,
+    ) -> Tensor {
+        let last = self.layers.len() - 1;
+        let mut h: Option<Tensor> = None;
+        for (i, layer) in self.layers.iter().enumerate() {
+            let mut y = layer.forward_inference(store, h.as_ref().unwrap_or(x), sc);
+            let act = if i == last { self.output_activation } else { self.hidden_activation };
+            activate_inplace(&mut y, act);
+            if let Some(prev) = h.replace(y) {
+                sc.recycle(prev);
+            }
+        }
+        h.expect("MLP has layers")
+    }
+}
+
+/// Owned hidden/cell state for tape-free LSTM steps.
+pub struct LstmStateBuf {
+    pub h: Tensor,
+    pub c: Tensor,
+}
+
+impl LstmStateBuf {
+    /// Return both state tensors to the arena.
+    pub fn recycle(self, sc: &mut ScratchArena) {
+        sc.recycle(self.h);
+        sc.recycle(self.c);
+    }
+}
+
+impl LstmCell {
+    /// Zero initial state for `rows` sequences, drawn from the arena.
+    pub fn zero_state_buf(&self, rows: usize, sc: &mut ScratchArena) -> LstmStateBuf {
+        LstmStateBuf { h: sc.take(rows, self.hidden_dim), c: sc.take(rows, self.hidden_dim) }
+    }
+
+    /// One tape-free step. Gate math mirrors [`LstmCell::step`] exactly:
+    /// `i,f,g,o = split(x·W_ih + h·W_hh + b)`, `c' = σ(f)⊙c + σ(i)⊙tanh(g)`,
+    /// `h' = σ(o)⊙tanh(c')`.
+    pub fn step_inference(
+        &self,
+        store: &ParamStore,
+        x: &Tensor,
+        state: &LstmStateBuf,
+        sc: &mut ScratchArena,
+    ) -> LstmStateBuf {
+        debug_assert_eq!(x.cols(), self.input_dim, "LSTM input width mismatch");
+        let rows = x.rows();
+        let d = self.hidden_dim;
+        let mut gates = sc.take(rows, 4 * d);
+        x.matmul_into(store.value(self.w_ih), &mut gates);
+        let mut hw = sc.take(rows, 4 * d);
+        state.h.matmul_into(store.value(self.w_hh), &mut hw);
+        gates.add_assign(&hw);
+        sc.recycle(hw);
+        add_row_broadcast_assign(&mut gates, store.value(self.bias));
+
+        let mut c = sc.take(rows, d);
+        let mut h = sc.take(rows, d);
+        let sigmoid = |v: f32| 1.0 / (1.0 + (-v).exp());
+        for r in 0..rows {
+            let grow = gates.row_slice(r);
+            for j in 0..d {
+                let i_g = sigmoid(grow[j]);
+                let f_g = sigmoid(grow[d + j]);
+                let g_g = grow[2 * d + j].tanh();
+                let o_g = sigmoid(grow[3 * d + j]);
+                let cv = f_g * state.c.get(r, j) + i_g * g_g;
+                c.set(r, j, cv);
+                h.set(r, j, o_g * cv.tanh());
+            }
+        }
+        sc.recycle(gates);
+        LstmStateBuf { h, c }
+    }
+}
+
+impl MultiHeadCrossAttention {
+    /// Tape-free attention: `query [1, q_dim]`, `kv [n, kv_dim]` → `[1, out_dim]`.
+    ///
+    /// When `scores_out` is `Some`, each head's attention row (`n` weights) is
+    /// appended to it for introspection.
+    pub fn forward_inference(
+        &self,
+        store: &ParamStore,
+        query: &Tensor,
+        kv: &Tensor,
+        sc: &mut ScratchArena,
+        mut scores_out: Option<&mut Vec<Vec<f32>>>,
+    ) -> Tensor {
+        debug_assert_eq!(query.rows(), 1, "attention query must be a single row");
+        let d = self.head_dim;
+        let n = kv.rows();
+        let scale = 1.0 / (d as f32).sqrt();
+        let mut cat = sc.take(1, self.heads * d);
+        let mut q = sc.take(1, d);
+        let mut k = sc.take(n, d);
+        let mut v = sc.take(n, d);
+        let mut scores = sc.take(1, n);
+        let mut ctx = sc.take(1, d);
+        for h in 0..self.heads {
+            query.matmul_into(store.value(self.wq[h]), &mut q);
+            kv.matmul_into(store.value(self.wk[h]), &mut k);
+            kv.matmul_into(store.value(self.wv[h]), &mut v);
+            q.matmul_nt_into(&k, &mut scores);
+            for s in scores.data_mut() {
+                *s *= scale;
+            }
+            softmax_rows_inplace(&mut scores);
+            if let Some(out) = scores_out.as_deref_mut() {
+                out.push(scores.data().to_vec());
+            }
+            scores.matmul_into(&v, &mut ctx);
+            cat.data_mut()[h * d..(h + 1) * d].copy_from_slice(ctx.data());
+        }
+        sc.recycle(q);
+        sc.recycle(k);
+        sc.recycle(v);
+        sc.recycle(scores);
+        sc.recycle(ctx);
+        let out = self.out.forward_inference(store, &cat, sc);
+        sc.recycle(cat);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+    use crate::init::Initializer;
+
+    fn close(a: &[f32], b: &[f32], tol: f32) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert!((x - y).abs() < tol, "fast path diverged: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn arena_recycles_allocations() {
+        let mut sc = ScratchArena::new();
+        let t = sc.take(3, 4);
+        assert_eq!(t.shape(), (3, 4));
+        assert!(t.data().iter().all(|&x| x == 0.0));
+        sc.recycle(t);
+        assert_eq!(sc.idle(), 1);
+        let t2 = sc.take(2, 2); // reshaped reuse
+        assert_eq!(sc.idle(), 0);
+        assert_eq!(t2.shape(), (2, 2));
+        assert!(t2.data().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn mlp_inference_matches_tape() {
+        let mut store = ParamStore::new();
+        let mut init = Initializer::new(7);
+        let m =
+            Mlp::new(&mut store, &mut init, "m", &[5, 8, 3], Activation::Relu, Activation::Tanh);
+        let x = Initializer::new(9).normal(4, 5, 1.0);
+
+        let mut g = Graph::new();
+        let xv = g.constant(x.clone());
+        let tape = m.forward(&mut g, &store, xv);
+
+        let mut sc = ScratchArena::new();
+        let fast = m.forward_inference(&store, &x, &mut sc);
+        close(fast.data(), g.value(tape).data(), 1e-5);
+    }
+
+    #[test]
+    fn lstm_inference_matches_tape_over_two_steps() {
+        let mut store = ParamStore::new();
+        let mut init = Initializer::new(11);
+        let cell = LstmCell::new(&mut store, &mut init, "l", 6, 4);
+        let x1 = Initializer::new(1).normal(2, 6, 1.0);
+        let x2 = Initializer::new(2).normal(2, 6, 1.0);
+
+        let mut g = Graph::new();
+        let s0 = cell.zero_state(&mut g, 2);
+        let x1v = g.constant(x1.clone());
+        let s1 = cell.step(&mut g, &store, x1v, s0);
+        let x2v = g.constant(x2.clone());
+        let s2 = cell.step(&mut g, &store, x2v, s1);
+
+        let mut sc = ScratchArena::new();
+        let b0 = cell.zero_state_buf(2, &mut sc);
+        let b1 = cell.step_inference(&store, &x1, &b0, &mut sc);
+        let b2 = cell.step_inference(&store, &x2, &b1, &mut sc);
+        close(b2.h.data(), g.value(s2.h).data(), 1e-5);
+        close(b2.c.data(), g.value(s2.c).data(), 1e-5);
+    }
+
+    #[test]
+    fn attention_inference_matches_tape_and_reports_scores() {
+        let mut store = ParamStore::new();
+        let mut init = Initializer::new(13);
+        let attn = MultiHeadCrossAttention::new(&mut store, &mut init, "a", 8, 6, 4, 5, 10);
+        let q = Initializer::new(3).normal(1, 8, 1.0);
+        let kv = Initializer::new(4).normal(3, 6, 1.0);
+
+        let mut g = Graph::new();
+        let qv = g.constant(q.clone());
+        let kvv = g.constant(kv.clone());
+        let (tape, tape_scores) = attn.forward(&mut g, &store, qv, kvv);
+
+        let mut sc = ScratchArena::new();
+        let mut scores = Vec::new();
+        let fast = attn.forward_inference(&store, &q, &kv, &mut sc, Some(&mut scores));
+        close(fast.data(), g.value(tape).data(), 1e-5);
+        assert_eq!(scores.len(), 4);
+        for (row, tv) in scores.iter().zip(&tape_scores) {
+            close(row, g.value(*tv).data(), 1e-5);
+        }
+    }
+
+    #[test]
+    fn nan_weights_flow_through_without_panic() {
+        let mut store = ParamStore::new();
+        let mut init = Initializer::new(17);
+        let m = Mlp::new(
+            &mut store,
+            &mut init,
+            "m",
+            &[3, 4, 2],
+            Activation::Relu,
+            Activation::Identity,
+        );
+        // Poison the output layer: the hidden ReLU would absorb a NaN
+        // (max(NaN, 0) == 0), which is also the tape path's behavior.
+        let wid = m.layers[1].w;
+        store.value_mut(wid).data_mut()[0] = f32::NAN;
+        let x = Tensor::ones(1, 3);
+        let mut sc = ScratchArena::new();
+        let y = m.forward_inference(&store, &x, &mut sc);
+        assert!(y.data().iter().any(|v| v.is_nan()), "NaN should propagate, not panic");
+    }
+}

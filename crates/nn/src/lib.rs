@@ -36,6 +36,7 @@
 
 pub mod gradcheck;
 pub mod graph;
+pub mod infer;
 pub mod init;
 pub mod layers;
 pub mod optim;
@@ -46,11 +47,12 @@ pub mod tensor;
 pub mod prelude {
     pub use crate::gradcheck::{check_gradient, GradCheckReport};
     pub use crate::graph::{Graph, Var};
+    pub use crate::infer::{with_thread_scratch, LstmStateBuf, ScratchArena};
     pub use crate::init::Initializer;
     pub use crate::layers::{
         Activation, Linear, LstmCell, LstmState, Mlp, MultiHeadCrossAttention,
     };
     pub use crate::optim::{Adam, Sgd, StepReport};
-    pub use crate::params::{Param, ParamId, ParamStore};
+    pub use crate::params::{GradAccumulator, GradBuffer, Param, ParamId, ParamStore};
     pub use crate::tensor::Tensor;
 }

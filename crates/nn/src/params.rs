@@ -140,9 +140,75 @@ impl ParamStore {
         serde_json::to_string(self).expect("ParamStore is always serializable")
     }
 
+    /// Bitwise equality of parameter values (determinism tests).
+    pub fn values_bitwise_eq(&self, other: &ParamStore) -> bool {
+        self.params.len() == other.params.len()
+            && self.params.iter().zip(&other.params).all(|(a, b)| {
+                a.value.shape() == b.value.shape()
+                    && a.value
+                        .data()
+                        .iter()
+                        .zip(b.value.data())
+                        .all(|(x, y)| x.to_bits() == y.to_bits())
+            })
+    }
+
     /// Deserialize from JSON produced by [`Self::to_json`].
     pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
         serde_json::from_str(s)
+    }
+}
+
+/// Sink for the gradients produced by a backward pass.
+///
+/// [`ParamStore`] implements it directly (the classic serial training path);
+/// [`GradBuffer`] implements it for thread-local accumulation in data-parallel
+/// training, where worker threads must not write to the shared store.
+pub trait GradAccumulator {
+    fn accumulate(&mut self, id: ParamId, g: &Tensor);
+}
+
+impl GradAccumulator for ParamStore {
+    fn accumulate(&mut self, id: ParamId, g: &Tensor) {
+        self.accumulate_grad(id, g);
+    }
+}
+
+/// Sparse per-sample gradient buffer: only parameters actually touched by a
+/// backward pass get an entry, so short plans don't pay for the full model.
+///
+/// Data-parallel training computes one `GradBuffer` per *sample* and merges
+/// them into the [`ParamStore`] in sample-index order — never shard order —
+/// which makes the summed gradient bit-identical for any thread count.
+#[derive(Debug, Default)]
+pub struct GradBuffer {
+    grads: Vec<Option<Tensor>>,
+}
+
+impl GradBuffer {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add every buffered gradient into the store, in `ParamId` order.
+    pub fn merge_into(&self, store: &mut ParamStore) {
+        for (i, g) in self.grads.iter().enumerate() {
+            if let Some(g) = g {
+                store.accumulate_grad(ParamId(i), g);
+            }
+        }
+    }
+}
+
+impl GradAccumulator for GradBuffer {
+    fn accumulate(&mut self, id: ParamId, g: &Tensor) {
+        if self.grads.len() <= id.0 {
+            self.grads.resize(id.0 + 1, None);
+        }
+        match &mut self.grads[id.0] {
+            Some(t) => t.add_assign(g),
+            slot => *slot = Some(g.clone()),
+        }
     }
 }
 

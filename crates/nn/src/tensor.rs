@@ -129,32 +129,70 @@ impl Tensor {
     /// # Panics
     /// Panics on an inner-dimension mismatch.
     pub fn matmul(&self, other: &Tensor) -> Tensor {
+        let mut out = Tensor::zeros(self.rows, other.cols);
+        self.matmul_into(other, &mut out);
+        out
+    }
+
+    /// Matrix product `self * other` written into `out`, which is reshaped to
+    /// `self.rows x other.cols` reusing its allocation. This is the inference
+    /// fast path: no fresh `Vec` per product.
+    ///
+    /// # Panics
+    /// Panics on an inner-dimension mismatch.
+    pub fn matmul_into(&self, other: &Tensor, out: &mut Tensor) {
         assert_eq!(
             self.cols, other.rows,
             "matmul shape mismatch: {}x{} * {}x{}",
             self.rows, self.cols, other.rows, other.cols
         );
-        let mut out = Tensor::zeros(self.rows, other.cols);
-        // i-k-j loop order: the inner loop walks both `other` and `out`
-        // contiguously, which matters because matmul dominates training time.
+        out.reshape_for(self.rows, other.cols);
+        matmul_kernel(self.rows, self.cols, other.cols, &self.data, &other.data, &mut out.data);
+    }
+
+    /// `self * otherᵀ` written into `out` (reshaped to `self.rows x other.rows`).
+    ///
+    /// # Panics
+    /// Panics when column counts differ.
+    pub fn matmul_nt_into(&self, other: &Tensor, out: &mut Tensor) {
+        assert_eq!(
+            self.cols, other.cols,
+            "matmul_nt shape mismatch: {}x{} * ({}x{})ᵀ",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        out.reshape_for(self.rows, other.rows);
+        let k = self.cols;
         for i in 0..self.rows {
-            let out_row = i * other.cols;
-            for k in 0..self.cols {
-                let a = self.data[i * self.cols + k];
-                if a == 0.0 {
-                    continue; // one-hot/sparse inputs are common in encoders
+            let a_row = &self.data[i * k..(i + 1) * k];
+            for j in 0..other.rows {
+                let b_row = &other.data[j * k..(j + 1) * k];
+                // Four independent accumulators hide the FMA latency chain.
+                let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+                let mut kk = 0;
+                while kk + 4 <= k {
+                    s0 += a_row[kk] * b_row[kk];
+                    s1 += a_row[kk + 1] * b_row[kk + 1];
+                    s2 += a_row[kk + 2] * b_row[kk + 2];
+                    s3 += a_row[kk + 3] * b_row[kk + 3];
+                    kk += 4;
                 }
-                let b_row = k * other.cols;
-                let (bs, os) = (
-                    &other.data[b_row..b_row + other.cols],
-                    &mut out.data[out_row..out_row + other.cols],
-                );
-                for (o, &b) in os.iter_mut().zip(bs.iter()) {
-                    *o += a * b;
+                let mut acc = (s0 + s1) + (s2 + s3);
+                while kk < k {
+                    acc += a_row[kk] * b_row[kk];
+                    kk += 1;
                 }
+                out.data[i * other.rows + j] = acc;
             }
         }
-        out
+    }
+
+    /// Reshape in place to `rows x cols` filled with zeros, reusing the
+    /// allocation when it is large enough.
+    pub(crate) fn reshape_for(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
     }
 
     /// `selfᵀ * other` without materializing the transpose.
@@ -299,6 +337,43 @@ impl Tensor {
     }
 }
 
+/// Blocked i-k-j matmul: `out[m x n] += a[m x k] * b[k x n]`, `out` pre-zeroed.
+///
+/// The k loop is unrolled 4-wide with fused updates so the inner j loop reads
+/// four rows of `b` per pass over `out` — roughly quartering the `out` traffic
+/// versus the scalar i-k-j loop. All-zero k-blocks are skipped, which keeps the
+/// one-hot/sparse encoder inputs as cheap as the old per-element zero test.
+fn matmul_kernel(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let o_row = &mut out[i * n..(i + 1) * n];
+        let mut kk = 0;
+        while kk + 4 <= k {
+            let (a0, a1, a2, a3) = (a_row[kk], a_row[kk + 1], a_row[kk + 2], a_row[kk + 3]);
+            if a0 != 0.0 || a1 != 0.0 || a2 != 0.0 || a3 != 0.0 {
+                let b0 = &b[kk * n..][..n];
+                let b1 = &b[(kk + 1) * n..][..n];
+                let b2 = &b[(kk + 2) * n..][..n];
+                let b3 = &b[(kk + 3) * n..][..n];
+                for (j, o) in o_row.iter_mut().enumerate() {
+                    *o += a0 * b0[j] + a1 * b1[j] + a2 * b2[j] + a3 * b3[j];
+                }
+            }
+            kk += 4;
+        }
+        while kk < k {
+            let a0 = a_row[kk];
+            if a0 != 0.0 {
+                let b0 = &b[kk * n..][..n];
+                for (j, o) in o_row.iter_mut().enumerate() {
+                    *o += a0 * b0[j];
+                }
+            }
+            kk += 1;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -325,6 +400,63 @@ mod tests {
         let c = a.matmul(&b);
         assert_eq!(c.shape(), (2, 2));
         assert_eq!(c.data(), &[58., 64., 139., 154.]);
+    }
+
+    /// Scalar triple-loop reference used to validate the blocked kernel.
+    fn matmul_naive(a: &Tensor, b: &Tensor) -> Tensor {
+        let mut out = Tensor::zeros(a.rows(), b.cols());
+        for i in 0..a.rows() {
+            for j in 0..b.cols() {
+                let mut acc = 0.0f32;
+                for k in 0..a.cols() {
+                    acc += a.get(i, k) * b.get(k, j);
+                }
+                out.set(i, j, acc);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn blocked_matmul_matches_naive_on_odd_shapes() {
+        // Shapes straddle the 4-wide k-blocking (remainders 1..3) and include
+        // zero runs to exercise the sparse-block skip.
+        for &(m, k, n) in &[(1, 1, 1), (2, 3, 5), (3, 7, 4), (5, 9, 6), (4, 8, 8)] {
+            let a = Tensor::from_vec(
+                m,
+                k,
+                (0..m * k).map(|i| if i % 3 == 0 { 0.0 } else { (i as f32 * 0.7).sin() }).collect(),
+            );
+            let b = Tensor::from_vec(k, n, (0..k * n).map(|i| (i as f32 * 0.3).cos()).collect());
+            let fast = a.matmul(&b);
+            let slow = matmul_naive(&a, &b);
+            for (x, y) in fast.data().iter().zip(slow.data()) {
+                assert!((x - y).abs() < 1e-5, "blocked kernel diverged: {x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_into_reuses_and_reshapes_buffer() {
+        let a = Tensor::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        let b = Tensor::from_vec(3, 2, vec![7., 8., 9., 10., 11., 12.]);
+        let mut out = Tensor::filled(7, 7, f32::NAN); // stale shape and contents
+        a.matmul_into(&b, &mut out);
+        assert_eq!(out.shape(), (2, 2));
+        assert_eq!(out.data(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn matmul_nt_into_matches_matmul_nt() {
+        let a = Tensor::from_vec(3, 7, (0..21).map(|i| (i as f32 * 0.13).sin()).collect());
+        let b = Tensor::from_vec(4, 7, (0..28).map(|i| (i as f32 * 0.29).cos()).collect());
+        let mut out = Tensor::zeros(1, 1);
+        a.matmul_nt_into(&b, &mut out);
+        let expect = a.matmul_nt(&b);
+        assert_eq!(out.shape(), expect.shape());
+        for (x, y) in out.data().iter().zip(expect.data()) {
+            assert!((x - y).abs() < 1e-5);
+        }
     }
 
     #[test]

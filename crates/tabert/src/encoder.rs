@@ -6,6 +6,7 @@ use crate::ngram;
 use crate::TabertConfig;
 use qpseeker_storage::{ColumnData, Database, Table};
 use std::collections::HashMap;
+use std::sync::Mutex;
 
 /// Width of the hashed feature space before projection.
 const HASH_DIM: usize = 192;
@@ -27,16 +28,25 @@ pub struct TableEncoding {
 }
 
 /// The TabSim encoder. Create once per database; encodings are cached.
+///
+/// Encoding goes through `&self`: the cache and latency counter live behind a
+/// `Mutex` so the planner can share one encoder across threads (data-parallel
+/// training, concurrent serving) without exclusive access.
 pub struct TabSim {
     config: TabertConfig,
     /// Frozen projection matrix `[HASH_DIM + STATS_DIM, dim]`, row-major.
     projection: Vec<f32>,
     latency: LatencyModel,
+    state: Mutex<TabState>,
+}
+
+/// Interior-mutable encoder state.
+struct TabState {
     /// Cache: (table, query-bucket) → encoding. The query only influences
     /// the snapshot-row choice, so we bucket queries by their trigram hash.
     cache: HashMap<(String, u64), TableEncoding>,
     /// Cumulative simulated encoding time (drives Fig. 8 right).
-    pub simulated_ms: f64,
+    simulated_ms: f64,
 }
 
 impl TabSim {
@@ -64,7 +74,17 @@ impl TabSim {
             })
             .collect();
         let latency = LatencyModel::new(&config);
-        Self { config, projection, latency, cache: HashMap::new(), simulated_ms: 0.0 }
+        Self {
+            config,
+            projection,
+            latency,
+            state: Mutex::new(TabState { cache: HashMap::new(), simulated_ms: 0.0 }),
+        }
+    }
+
+    /// Cumulative simulated encoding time in milliseconds.
+    pub fn simulated_ms(&self) -> f64 {
+        self.state.lock().expect("tabert state lock").simulated_ms
     }
 
     pub fn config(&self) -> &TabertConfig {
@@ -78,16 +98,34 @@ impl TabSim {
     /// Encode a table in the context of a query (the paper concatenates the
     /// query with the column triplets; here the query drives snapshot-row
     /// selection). Cached per (table, query-shape).
-    pub fn encode_table(&mut self, db: &Database, table: &str, query_text: &str) -> TableEncoding {
+    pub fn encode_table(&self, db: &Database, table: &str, query_text: &str) -> TableEncoding {
         let qkey = query_bucket(query_text);
-        if let Some(hit) = self.cache.get(&(table.to_string(), qkey)) {
+        let mut state = self.state.lock().expect("tabert state lock");
+        if let Some(hit) = state.cache.get(&(table.to_string(), qkey)) {
             return hit.clone();
         }
         let t = db.table(table).unwrap_or_else(|| panic!("unknown table {table}"));
-        self.simulated_ms += self.latency.encode_table_ms(t.n_cols());
+        state.simulated_ms += self.latency.encode_table_ms(t.n_cols());
         let enc = self.encode_uncached(t, query_text);
-        self.cache.insert((table.to_string(), qkey), enc.clone());
+        state.cache.insert((table.to_string(), qkey), enc.clone());
         enc
+    }
+
+    /// The `[CLS]` table vector only. On a cache hit this clones one `Vec`
+    /// instead of the whole per-column encoding map — the planner's hot loop
+    /// needs nothing else.
+    pub fn encode_table_cls(&self, db: &Database, table: &str, query_text: &str) -> Vec<f32> {
+        let qkey = query_bucket(query_text);
+        let mut state = self.state.lock().expect("tabert state lock");
+        if let Some(hit) = state.cache.get(&(table.to_string(), qkey)) {
+            return hit.cls.clone();
+        }
+        let t = db.table(table).unwrap_or_else(|| panic!("unknown table {table}"));
+        state.simulated_ms += self.latency.encode_table_ms(t.n_cols());
+        let enc = self.encode_uncached(t, query_text);
+        let cls = enc.cls.clone();
+        state.cache.insert((table.to_string(), qkey), enc);
+        cls
     }
 
     /// Representation of a column *restricted by a predicate* (paper §4.2:
@@ -95,7 +133,7 @@ impl TabSim {
     /// predicate"). The statistics half of the feature vector is recomputed
     /// over the matching rows only.
     pub fn encode_column_filtered(
-        &mut self,
+        &self,
         db: &Database,
         table: &str,
         column: &str,
@@ -103,7 +141,8 @@ impl TabSim {
     ) -> ColumnEncoding {
         let t = db.table(table).unwrap_or_else(|| panic!("unknown table {table}"));
         let col = t.col(column);
-        self.simulated_ms += self.latency.encode_column_ms();
+        self.state.lock().expect("tabert state lock").simulated_ms +=
+            self.latency.encode_column_ms();
         let mut feats = vec![0.0f32; HASH_DIM + STATS_DIM];
         hash_token(&mut feats, &format!("name:{column}"));
         hash_token(&mut feats, &format!("type:{:?}", col.data.dtype()));
@@ -200,7 +239,7 @@ impl TabSim {
 
     /// Cache statistics (entries, simulated milliseconds spent).
     pub fn cache_len(&self) -> usize {
-        self.cache.len()
+        self.state.lock().expect("tabert state lock").cache.len()
     }
 }
 
@@ -289,7 +328,7 @@ mod tests {
     #[test]
     fn encoding_has_requested_dimension() {
         let db = db();
-        let mut ts = TabSim::new(TabertConfig::paper_default());
+        let ts = TabSim::new(TabertConfig::paper_default());
         let enc = ts.encode_table(&db, "title", "select * from title");
         assert_eq!(enc.cls.len(), 64);
         for c in enc.columns.values() {
@@ -303,13 +342,13 @@ mod tests {
     #[test]
     fn deterministic_per_seed() {
         let db = db();
-        let mut a = TabSim::new(TabertConfig::paper_default());
-        let mut b = TabSim::new(TabertConfig::paper_default());
+        let a = TabSim::new(TabertConfig::paper_default());
+        let b = TabSim::new(TabertConfig::paper_default());
         let ea = a.encode_table(&db, "title", "q");
         let eb = b.encode_table(&db, "title", "q");
         assert_eq!(ea.cls, eb.cls);
 
-        let mut c = TabSim::new(TabertConfig { seed: 999, ..TabertConfig::paper_default() });
+        let c = TabSim::new(TabertConfig { seed: 999, ..TabertConfig::paper_default() });
         let ec = c.encode_table(&db, "title", "q");
         assert_ne!(ea.cls, ec.cls);
     }
@@ -317,7 +356,7 @@ mod tests {
     #[test]
     fn different_tables_encode_differently() {
         let db = db();
-        let mut ts = TabSim::new(TabertConfig::paper_default());
+        let ts = TabSim::new(TabertConfig::paper_default());
         let a = ts.encode_table(&db, "title", "q");
         let b = ts.encode_table(&db, "name", "q");
         assert_ne!(a.cls, b.cls);
@@ -326,7 +365,7 @@ mod tests {
     #[test]
     fn columns_of_same_table_encode_differently() {
         let db = db();
-        let mut ts = TabSim::new(TabertConfig::paper_default());
+        let ts = TabSim::new(TabertConfig::paper_default());
         let enc = ts.encode_table(&db, "title", "q");
         let id = &enc.columns["id"].vector;
         let year = &enc.columns["production_year"].vector;
@@ -336,7 +375,7 @@ mod tests {
     #[test]
     fn filtered_column_differs_from_unfiltered() {
         let db = db();
-        let mut ts = TabSim::new(TabertConfig::paper_default());
+        let ts = TabSim::new(TabertConfig::paper_default());
         let all: Vec<u32> = (0..db.table("title").unwrap().n_rows() as u32).collect();
         let some: Vec<u32> = all.iter().take(10).cloned().collect();
         let a = ts.encode_column_filtered(&db, "title", "production_year", &all);
@@ -347,7 +386,7 @@ mod tests {
     #[test]
     fn values_are_bounded() {
         let db = db();
-        let mut ts = TabSim::new(TabertConfig::paper_default());
+        let ts = TabSim::new(TabertConfig::paper_default());
         let enc = ts.encode_table(&db, "cast_info", "select big join query");
         assert!(enc.cls.iter().all(|v| v.abs() <= 1.0));
         for c in enc.columns.values() {
@@ -358,27 +397,27 @@ mod tests {
     #[test]
     fn caching_hits_on_same_query_shape() {
         let db = db();
-        let mut ts = TabSim::new(TabertConfig::paper_default());
+        let ts = TabSim::new(TabertConfig::paper_default());
         ts.encode_table(&db, "title", "same query");
-        let after_first = ts.simulated_ms;
+        let after_first = ts.simulated_ms();
         ts.encode_table(&db, "title", "same query");
-        assert_eq!(ts.simulated_ms, after_first, "cache hit must not add latency");
+        assert_eq!(ts.simulated_ms(), after_first, "cache hit must not add latency");
         ts.encode_table(&db, "title", "different query");
-        assert!(ts.simulated_ms > after_first);
+        assert!(ts.simulated_ms() > after_first);
         assert_eq!(ts.cache_len(), 2);
     }
 
     #[test]
     fn k3_and_large_cost_more_simulated_time() {
         let db = db();
-        let mut base = TabSim::new(TabertConfig { k: 1, size: ModelSize::Base, seed: 1 });
-        let mut k3 = TabSim::new(TabertConfig { k: 3, size: ModelSize::Base, seed: 1 });
-        let mut large = TabSim::new(TabertConfig { k: 1, size: ModelSize::Large, seed: 1 });
+        let base = TabSim::new(TabertConfig { k: 1, size: ModelSize::Base, seed: 1 });
+        let k3 = TabSim::new(TabertConfig { k: 3, size: ModelSize::Base, seed: 1 });
+        let large = TabSim::new(TabertConfig { k: 1, size: ModelSize::Large, seed: 1 });
         base.encode_table(&db, "title", "q");
         k3.encode_table(&db, "title", "q");
         large.encode_table(&db, "title", "q");
-        assert!(k3.simulated_ms > base.simulated_ms, "K=3 must cost more (row-wise attention)");
-        assert!(large.simulated_ms > base.simulated_ms, "Large must cost more (3x params)");
+        assert!(k3.simulated_ms() > base.simulated_ms(), "K=3 must cost more (row-wise attention)");
+        assert!(large.simulated_ms() > base.simulated_ms(), "Large must cost more (3x params)");
     }
 
     #[test]

@@ -47,7 +47,7 @@ fn main() {
     let mut qp_losses = 0;
     for (q, _) in &queries {
         let pg_ms = ex.execute(&pg.plan(q)).time_ms;
-        let res = planner.plan(&mut model, q);
+        let res = planner.plan(&model, q);
         let qp_ms = ex.execute(&res.plan).time_ms;
         let (bao_plan, _) = bao.plan(q);
         let bao_ms = ex.execute(&bao_plan).time_ms;

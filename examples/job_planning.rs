@@ -43,7 +43,7 @@ fn main() {
     );
     let (mut qp_total, mut pg_total) = (0.0, 0.0);
     for qep in &eval_queries {
-        let res = planner.plan(&mut model, &qep.query);
+        let res = planner.plan(&model, &qep.query);
         let qp_ms = ex.execute(&res.plan).time_ms;
         let pg_ms = ex.execute(&pg.plan(&qep.query)).time_ms;
         qp_total += qp_ms;

@@ -70,7 +70,7 @@ fn main() {
         vec![Filter { col: ColRef::new("title", "production_year"), op: CmpOp::Gt, value: 2000.0 }];
 
     let planner = MctsPlanner::new(MctsConfig::default());
-    let result = planner.plan(&mut model, &q);
+    let result = planner.plan(&model, &q);
     println!(
         "\nMCTS evaluated {} plans in {} simulations; predicted runtime {:.3} ms",
         result.plans_evaluated, result.simulations, result.predicted_ms

@@ -224,9 +224,9 @@ fn plan(opts: &Opts) -> Result<(), String> {
     let path = req(opts, "model")?;
     let data = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
     let ckpt = Checkpoint::from_json(&data).map_err(|e| e.to_string())?;
-    let mut model = ckpt.restore(&db).map_err(|e| e.to_string())?;
+    let model = ckpt.restore(&db).map_err(|e| e.to_string())?;
     let planner = MctsPlanner::new(MctsConfig::default());
-    let res = planner.plan(&mut model, &q);
+    let res = planner.plan(&model, &q);
     println!("{}", res.plan.pretty());
     println!(
         "predicted runtime: {:.3} ms ({} plans evaluated in {} simulations)",
@@ -269,7 +269,7 @@ fn serve(opts: &Opts) -> Result<(), String> {
         cfg.faults = Some(qpseeker_repro::storage::FaultConfig::chaos(seed, p));
     }
 
-    let mut model = match opts.get("model") {
+    let model = match opts.get("model") {
         Some(path) => {
             let data = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
             let ckpt = Checkpoint::from_json(&data).map_err(|e| e.to_string())?;
@@ -278,7 +278,7 @@ fn serve(opts: &Opts) -> Result<(), String> {
         None => None,
     };
 
-    let r = plan_with_fallback(&db, &q, model.as_mut(), &cfg);
+    let r = plan_with_fallback(&db, &q, model.as_ref(), &cfg);
     println!("{}", r.plan.pretty());
     let path = match r.served_by {
         ServedBy::Neural => "neural (MCTS)",

@@ -12,7 +12,7 @@ use qpseeker_repro::core::prelude::*;
 use qpseeker_repro::engine::prelude::*;
 use qpseeker_repro::storage::{Database, FaultConfig};
 use qpseeker_repro::workloads::{synthetic, Qep, SyntheticConfig};
-use std::sync::{Mutex, OnceLock};
+use std::sync::OnceLock;
 
 fn shared_db() -> &'static Database {
     static DB: OnceLock<Database> = OnceLock::new();
@@ -20,15 +20,17 @@ fn shared_db() -> &'static Database {
 }
 
 /// One fitted model shared by every chaos case (training is the slow part).
-fn shared_model() -> &'static Mutex<QPSeeker<'static>> {
-    static MODEL: OnceLock<Mutex<QPSeeker<'static>>> = OnceLock::new();
+/// Planning is `&self` since the tape-free fast path landed, so no lock is
+/// needed around it.
+fn shared_model() -> &'static QPSeeker<'static> {
+    static MODEL: OnceLock<QPSeeker<'static>> = OnceLock::new();
     MODEL.get_or_init(|| {
         let db = shared_db();
         let w = synthetic::generate(db, &SyntheticConfig { n_queries: 12, seed: 3 });
         let refs: Vec<&Qep> = w.qeps.iter().collect();
         let mut model = QPSeeker::new(db, ModelConfig::small());
         model.fit(&refs);
-        Mutex::new(model)
+        model
     })
 }
 
@@ -63,9 +65,7 @@ fn chaos_sweep_200_queries_at_p_10() {
     for (i, q) in queries.iter().enumerate() {
         let faults = FaultConfig::chaos(0x5eed ^ i as u64, 0.1);
         let cfg = quick_serve_cfg(Some(faults.clone()));
-        let mut guard = model.lock().unwrap();
-        let r = plan_with_fallback(db, q, Some(&mut guard), &cfg);
-        drop(guard);
+        let r = plan_with_fallback(db, q, Some(model), &cfg);
         r.plan.validate(q).unwrap_or_else(|e| panic!("query {i}: served plan invalid: {e}"));
         match r.served_by {
             ServedBy::Neural => {
@@ -101,14 +101,45 @@ fn chaos_sweep_200_queries_at_p_10() {
     assert!(served_classical > 0, "no query degraded to the classical path");
 }
 
+/// NaN-poisoned weights on the tape-free fast path never panic: the fast
+/// path (unlike the debug-asserting tape) propagates the NaN to the
+/// prediction, the watchdog flags it as non-finite, and the query degrades
+/// to the classical optimizer with a recorded reason.
+#[test]
+fn chaos_nan_weights_degrade_gracefully_on_fast_path() {
+    let db = shared_db();
+    let w = synthetic::generate(db, &SyntheticConfig { n_queries: 6, seed: 17 });
+    let refs: Vec<&Qep> = w.qeps.iter().collect();
+    let mut model = QPSeeker::new(db, ModelConfig::small());
+    assert!(model.config.fast_inference, "presets enable the fast path");
+    model.fit(&refs);
+    // Poison every parameter tensor so any forward pass yields NaN.
+    let ids: Vec<_> = model.store.iter().map(|(id, _)| id).collect();
+    for id in ids {
+        for v in model.store.value_mut(id).data_mut() {
+            *v = f32::NAN;
+        }
+    }
+    let cfg = quick_serve_cfg(None);
+    for q in chaos_queries(4, 0xfa57).iter() {
+        let r = plan_with_fallback(db, q, Some(&model), &cfg);
+        assert_eq!(r.served_by, ServedBy::Classical, "NaN model must not serve neurally");
+        assert!(
+            r.attempt_failures.iter().all(|f| matches!(f, FallbackReason::NonFinitePrediction)),
+            "expected non-finite prediction failures, got {:?}",
+            r.attempt_failures
+        );
+        r.plan.validate(q).expect("classical fallback plan is valid");
+    }
+}
+
 /// Corrupted checkpoints (bit flips anywhere in the payload) are rejected
 /// at load with a typed corruption error; truncations are malformed.
 #[test]
 fn chaos_checkpoint_corruption_is_detected() {
     let db = shared_db();
-    let model = shared_model().lock().unwrap();
-    let json = Checkpoint::capture(&model, db).to_json().unwrap();
-    drop(model);
+    let model = shared_model();
+    let json = Checkpoint::capture(model, db).to_json().unwrap();
 
     let start = json.find("payload").unwrap();
     let digit_positions: Vec<usize> = json
@@ -202,9 +233,7 @@ proptest! {
         };
         let cfg = quick_serve_cfg(Some(faults));
         for q in &queries {
-            let mut model = shared_model().lock().unwrap();
-            let r = plan_with_fallback(db, q, Some(&mut model), &cfg);
-            drop(model);
+            let r = plan_with_fallback(db, q, Some(shared_model()), &cfg);
             prop_assert!(r.plan.validate(q).is_ok(), "served plan invalid");
             match r.served_by {
                 ServedBy::Neural => prop_assert!(r.fallback_reason.is_none()),

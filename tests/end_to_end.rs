@@ -77,7 +77,7 @@ fn trained_mcts_planner_beats_random_planning() {
     let mut mcts_total = 0.0;
     let mut random_total = 0.0;
     for q in queries {
-        let res = planner.plan(&mut model, q);
+        let res = planner.plan(&model, q);
         mcts_total += ex.execute(&res.plan).time_ms;
         // Average of several random plans.
         let mut acc = 0.0;

@@ -184,7 +184,7 @@ fn mcts_plans_the_example_query() {
     model.fit(&refs);
     let planner =
         MctsPlanner::new(MctsConfig { budget_ms: 1e9, max_simulations: 50, ..Default::default() });
-    let res = planner.plan(&mut model, &q);
+    let res = planner.plan(&model, &q);
     assert!(res.plan.validate(&q).is_ok());
     assert_eq!(res.plan.aliases().len(), 3);
 }
