@@ -75,7 +75,7 @@ fn bench_model(c: &mut Criterion) {
     let w = synthetic::generate(&db, &SyntheticConfig { n_queries: 40, seed: 1 });
     let refs: Vec<&Qep> = w.qeps.iter().collect();
     let mut model = QPSeeker::new(&db, ModelConfig::small());
-    model.fit(&refs);
+    model.fit(&refs).expect("training succeeds");
     let qep = w.qeps.iter().find(|q| q.query.num_joins() >= 1).expect("join query");
     // Tape-free fast path (the default) vs the autodiff-tape reference.
     c.bench_function("qpseeker/predict", |b| {
@@ -125,7 +125,7 @@ fn bench_training_step(c: &mut Criterion) {
             },
             |mut model| {
                 let refs: Vec<&Qep> = w.qeps.iter().collect();
-                black_box(model.fit(&refs))
+                black_box(model.fit(&refs).expect("training succeeds"))
             },
         )
     });

@@ -30,7 +30,7 @@ fn main() {
         cfg.beta = b.parse().unwrap();
     }
     let mut model = QPSeeker::new(&db, cfg);
-    let rep = model.fit(&train);
+    let rep = model.fit(&train).expect("training succeeds");
     println!("loss {:?} -> {:?}", rep.epoch_losses.first(), rep.epoch_losses.last());
 
     let ex = Executor::new(&db);

@@ -29,7 +29,7 @@ fn main() {
     let w = synthetic::generate(&db, &SyntheticConfig { n_queries: 40, seed: 1 });
     let refs: Vec<&Qep> = w.qeps.iter().collect();
     let mut model = QPSeeker::new(&db, ModelConfig::small());
-    model.fit(&refs);
+    model.fit(&refs).expect("training succeeds");
 
     // --- matmul kernel (sizes shaped like the small-config VAE encoder) ---
     let a = Tensor::from_vec(8, 96, (0..8 * 96).map(|i| (i as f32 * 0.37).sin()).collect());

@@ -1,23 +1,33 @@
 //! Runs every table/figure experiment in sequence (the full reproduction).
 //! Pass `--quick` for a smoke-scale run.
 use qpseeker_bench::{experiments, Context, Scale};
+use qpseeker_core::prelude::CoreError;
+use std::process::ExitCode;
 
-fn main() {
+fn run_all(ctx: &Context) -> Result<(), CoreError> {
+    experiments::table1_workloads::run(ctx)?;
+    experiments::table2_beta::run(ctx)?;
+    experiments::table3_cost::run(ctx)?;
+    experiments::table4_cardinality::run(ctx)?;
+    experiments::table5_runtime::run(ctx)?;
+    experiments::fig5_latent::run(ctx)?;
+    experiments::fig8_sampling_tabert::run(ctx)?;
+    experiments::fig9_job_margin::run(ctx)?;
+    experiments::fig10_through_time::run(ctx)?;
+    experiments::ablations::run(ctx)
+}
+
+fn main() -> ExitCode {
     let start = std::time::Instant::now();
     let ctx = Context::new(Scale::from_args());
-    experiments::table1_workloads::run(&ctx);
-    experiments::table2_beta::run(&ctx);
-    experiments::table3_cost::run(&ctx);
-    experiments::table4_cardinality::run(&ctx);
-    experiments::table5_runtime::run(&ctx);
-    experiments::fig5_latent::run(&ctx);
-    experiments::fig8_sampling_tabert::run(&ctx);
-    experiments::fig9_job_margin::run(&ctx);
-    experiments::fig10_through_time::run(&ctx);
-    experiments::ablations::run(&ctx);
+    if let Err(e) = run_all(&ctx) {
+        eprintln!("error: {e}");
+        return ExitCode::FAILURE;
+    }
     eprintln!(
         "\nall experiments done in {:.1}s; results in {}",
         start.elapsed().as_secs_f64(),
         qpseeker_bench::results_dir().display()
     );
+    ExitCode::SUCCESS
 }

@@ -1,6 +1,12 @@
 //! Regenerates the `table1_workloads` experiment (see DESIGN.md §4). Pass `--quick`
 //! for a smoke-scale run.
-fn main() {
+fn main() -> std::process::ExitCode {
     let ctx = qpseeker_bench::Context::new(qpseeker_bench::Scale::from_args());
-    qpseeker_bench::experiments::table1_workloads::run(&ctx);
+    match qpseeker_bench::experiments::table1_workloads::run(&ctx) {
+        Ok(()) => std::process::ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::ExitCode::FAILURE
+        }
+    }
 }

@@ -1,6 +1,12 @@
 //! Regenerates the `table2_beta` experiment (see DESIGN.md §4). Pass `--quick`
 //! for a smoke-scale run.
-fn main() {
+fn main() -> std::process::ExitCode {
     let ctx = qpseeker_bench::Context::new(qpseeker_bench::Scale::from_args());
-    qpseeker_bench::experiments::table2_beta::run(&ctx);
+    match qpseeker_bench::experiments::table2_beta::run(&ctx) {
+        Ok(()) => std::process::ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::ExitCode::FAILURE
+        }
+    }
 }

@@ -1,6 +1,12 @@
 //! Regenerates the `table3_cost` experiment (see DESIGN.md §4). Pass `--quick`
 //! for a smoke-scale run.
-fn main() {
+fn main() -> std::process::ExitCode {
     let ctx = qpseeker_bench::Context::new(qpseeker_bench::Scale::from_args());
-    qpseeker_bench::experiments::table3_cost::run(&ctx);
+    match qpseeker_bench::experiments::table3_cost::run(&ctx) {
+        Ok(()) => std::process::ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::ExitCode::FAILURE
+        }
+    }
 }

@@ -23,14 +23,14 @@ pub struct VariantRow {
     pub runtime_qerr_p95: f64,
 }
 
-pub fn run(ctx: &Context) {
-    model_ablations(ctx);
-    sampling_ablation(ctx);
-    planner_ablation(ctx);
+pub fn run(ctx: &Context) -> Result<(), CoreError> {
+    model_ablations(ctx)?;
+    sampling_ablation(ctx)?;
+    planner_ablation(ctx)
 }
 
 /// Attention / β ablations on JOB.
-fn model_ablations(ctx: &Context) {
+fn model_ablations(ctx: &Context) -> Result<(), CoreError> {
     let w = ctx.job();
     let db = ctx.db_of(&w);
     let mut rows = Vec::new();
@@ -44,7 +44,7 @@ fn model_ablations(ctx: &Context) {
     for (name, patch) in variants {
         let mut cfg = ctx.scale.model_config();
         patch(&mut cfg);
-        let (model, eval) = train_model(db, &w, cfg);
+        let (model, eval) = train_model(db, &w, cfg)?;
         let pairs: Vec<(f64, f64)> = eval
             .iter()
             .map(|q| (model.predict(&q.query, &q.plan).runtime_ms, q.runtime_ms()))
@@ -63,11 +63,12 @@ fn model_ablations(ctx: &Context) {
             .map(|r| vec![r.variant.clone(), fmt(r.runtime_qerr_p50), fmt(r.runtime_qerr_p95)])
             .collect::<Vec<_>>(),
     );
-    emit("ablation_model", &rows, &md);
+    emit("ablation_model", &rows, &md)?;
+    Ok(())
 }
 
 /// Top-15% (paper) vs uniform plan sampling for the training set.
-fn sampling_ablation(ctx: &Context) {
+fn sampling_ablation(ctx: &Context) -> Result<(), CoreError> {
     let db = &ctx.imdb;
     let cfg_queries =
         JobConfig { n_queries: 40, target_qeps: ctx.scale.job_qeps / 2, ..Default::default() };
@@ -104,7 +105,7 @@ fn sampling_ablation(ctx: &Context) {
             plan_source: qpseeker_workloads::PlanSource::Sampling,
             qeps,
         };
-        let (model, eval) = train_model(db, &workload, ctx.scale.model_config());
+        let (model, eval) = train_model(db, &workload, ctx.scale.model_config())?;
         let pairs: Vec<(f64, f64)> = eval
             .iter()
             .map(|q: &&Qep| (model.predict(&q.query, &q.plan).runtime_ms, q.runtime_ms()))
@@ -123,7 +124,8 @@ fn sampling_ablation(ctx: &Context) {
             .map(|r| vec![r.variant.clone(), fmt(r.runtime_qerr_p50), fmt(r.runtime_qerr_p95)])
             .collect::<Vec<_>>(),
     );
-    emit("ablation_sampling", &rows, &md);
+    emit("ablation_sampling", &rows, &md)?;
+    Ok(())
 }
 
 #[derive(Serialize)]
@@ -134,12 +136,12 @@ pub struct PlannerRow {
 }
 
 /// MCTS vs greedy vs exhaustive planning with the same learned model.
-fn planner_ablation(ctx: &Context) {
+fn planner_ablation(ctx: &Context) -> Result<(), CoreError> {
     let w = ctx.synthetic();
     let db = ctx.db_of(&w);
     let refs: Vec<&Qep> = w.qeps.iter().collect();
     let mut model = QPSeeker::new(db, ctx.scale.model_config());
-    model.fit(&refs);
+    model.fit(&refs)?;
 
     // Small JOB queries (exhaustive enumeration must stay tractable).
     let queries: Vec<Query> = job::job_light_queries(db, ctx.scale.seed)
@@ -218,7 +220,8 @@ fn planner_ablation(ctx: &Context) {
             .map(|r| vec![r.planner.clone(), fmt(r.total_executed_ms), fmt(r.avg_plans_scored)])
             .collect::<Vec<_>>(),
     );
-    emit("ablation_planner", &rows, &md);
+    emit("ablation_planner", &rows, &md)?;
+    Ok(())
 }
 
 /// Greedy: grow the plan one relation at a time, at each step picking the

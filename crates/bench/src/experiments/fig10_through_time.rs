@@ -24,7 +24,7 @@ pub struct Series {
     pub total_ms: f64,
 }
 
-pub fn run(ctx: &Context) {
+pub fn run(ctx: &Context) -> Result<(), CoreError> {
     let mut series: Vec<Series> = Vec::new();
 
     // --- IMDb-side query sets, planners trained on Synthetic. ---
@@ -43,7 +43,7 @@ pub fn run(ctx: &Context) {
         );
         let refs: Vec<&Qep> = sampled.qeps.iter().collect();
         let mut model = QPSeeker::new(db, ctx.scale.model_config());
-        model.fit(&refs);
+        model.fit(&refs)?;
         let mut bao = Bao::new(db, BaoConfig { epochs: ctx.scale.epochs, ..Default::default() });
         let bao_train: Vec<&Query> = synth.qeps.iter().map(|q| &q.query).take(120).collect();
         bao.train(&bao_train);
@@ -63,7 +63,7 @@ pub fn run(ctx: &Context) {
         let stack = ctx.stack();
         let (train, eval) = stack.split(0.8, false);
         let mut model = QPSeeker::new(db, ctx.scale.model_config());
-        model.fit(&train);
+        model.fit(&train)?;
         let mut bao = Bao::new(db, BaoConfig { epochs: ctx.scale.epochs, ..Default::default() });
         let bao_train: Vec<&Query> = train.iter().map(|q| &q.query).take(120).collect();
         bao.train(&bao_train);
@@ -89,7 +89,8 @@ pub fn run(ctx: &Context) {
         &["workload", "system", "queries", "time to 50% (ms)", "total (ms)"],
         &md_rows,
     );
-    emit("fig10_queries_through_time", &series, &md);
+    emit("fig10_queries_through_time", &series, &md)?;
+    Ok(())
 }
 
 fn run_set(

@@ -27,10 +27,10 @@ pub struct PointRow {
     pub query_id: String,
 }
 
-pub fn run(ctx: &Context) {
+pub fn run(ctx: &Context) -> Result<(), CoreError> {
     let w = ctx.job();
     let db = ctx.db_of(&w);
-    let (model, _eval) = train_model(db, &w, ctx.scale.model_config());
+    let (model, _eval) = train_model(db, &w, ctx.scale.model_config())?;
 
     // Latents for a bounded sample of QEPs (t-SNE is O(n²)).
     let cap = 400.min(w.qeps.len());
@@ -79,11 +79,12 @@ pub fn run(ctx: &Context) {
             vec!["silhouette (null baseline)".into(), fmt(sil_null)],
         ],
     );
-    emit("fig5_latent_tsne", &out, &md);
+    emit("fig5_latent_tsne", &out, &md)?;
     println!(
         "latent clustering {} null baseline ({} vs {})",
         if sil > sil_null { "beats" } else { "DOES NOT beat" },
         fmt(sil),
         fmt(sil_null)
     );
+    Ok(())
 }

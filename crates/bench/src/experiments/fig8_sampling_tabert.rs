@@ -39,7 +39,7 @@ pub struct Output {
     pub tabert: Vec<TabertRow>,
 }
 
-pub fn run(ctx: &Context) {
+pub fn run(ctx: &Context) -> Result<(), CoreError> {
     let db = &ctx.stack_db;
     // Query pool + sampled QEP pool (the Stack sampling experiment).
     let queries = stack_wl::generate_queries(
@@ -77,7 +77,7 @@ pub fn run(ctx: &Context) {
         qeps.retain(|q| !q.truth.timed_out);
         let refs: Vec<&Qep> = qeps.iter().collect();
         let mut model = QPSeeker::new(db, ctx.scale.model_config());
-        model.fit(&refs);
+        model.fit(&refs)?;
 
         // Eval 1: plan the held-out queries with MCTS and execute.
         let planner = MctsPlanner::new(MctsConfig::default());
@@ -125,7 +125,7 @@ pub fn run(ctx: &Context) {
         let mut cfg = ctx.scale.model_config();
         cfg.tabert = TabertConfig { k, size, seed: cfg.tabert.seed };
         let mut model = QPSeeker::new(db, cfg);
-        model.fit(&train);
+        model.fit(&train)?;
         let featurized = train.len();
         let pairs: Vec<(f64, f64)> = eval
             .iter()
@@ -171,5 +171,6 @@ pub fn run(ctx: &Context) {
             .collect::<Vec<_>>(),
     ));
     let out = Output { fractions, tabert: tabert_rows };
-    emit("fig8_sampling_and_tabert", &out, &md);
+    emit("fig8_sampling_and_tabert", &out, &md)?;
+    Ok(())
 }

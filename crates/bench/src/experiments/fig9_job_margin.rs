@@ -44,7 +44,7 @@ pub struct Totals {
     pub avg_plans_evaluated: f64,
 }
 
-pub fn run(ctx: &Context) {
+pub fn run(ctx: &Context) -> Result<(), CoreError> {
     let db = &ctx.imdb;
     // Train both learners on Synthetic (the cross-workload setting).
     // QPSeeker trains on the *sampled* variant (§3.1 setting (b)): the cost
@@ -61,7 +61,7 @@ pub fn run(ctx: &Context) {
     );
     let train_refs: Vec<&Qep> = sampled.qeps.iter().collect();
     let mut model = QPSeeker::new(db, ctx.scale.model_config());
-    model.fit(&train_refs);
+    model.fit(&train_refs)?;
 
     let mut bao = Bao::new(db, BaoConfig { epochs: ctx.scale.epochs, ..Default::default() });
     let bao_queries: Vec<&Query> = synth.qeps.iter().map(|q| &q.query).collect();
@@ -138,6 +138,7 @@ pub fn run(ctx: &Context) {
         ],
     );
     let out = Output { rows, totals };
-    emit("fig9_job_margin", &out, &md);
+    emit("fig9_job_margin", &out, &md)?;
     println!("avg plans evaluated per query by MCTS: {:.0}", out.totals.avg_plans_evaluated);
+    Ok(())
 }

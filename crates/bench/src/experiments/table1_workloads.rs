@@ -3,6 +3,7 @@
 //! the paper's Fig. 7-style statistics).
 
 use crate::{emit, fmt, markdown_table, Context};
+use qpseeker_core::prelude::CoreError;
 use qpseeker_workloads::{job, WorkloadSummary};
 use serde::Serialize;
 
@@ -35,7 +36,7 @@ fn row(s: &WorkloadSummary) -> Row {
     }
 }
 
-pub fn run(ctx: &Context) {
+pub fn run(ctx: &Context) -> Result<(), CoreError> {
     let mut rows = Vec::new();
     for w in [ctx.synthetic(), ctx.job(), ctx.stack()] {
         rows.push(row(&w.summary()));
@@ -90,5 +91,6 @@ pub fn run(ctx: &Context) {
         ],
         &md_rows,
     );
-    emit("table1_workloads", &rows, &md);
+    emit("table1_workloads", &rows, &md)?;
+    Ok(())
 }

@@ -6,6 +6,7 @@
 //! workload for QPSeeker (sparse set encodings).
 
 use crate::{emit, eval_qpseeker, fmt, markdown_table, train_model, Context};
+use qpseeker_core::prelude::CoreError;
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -20,7 +21,7 @@ pub struct Row {
     pub std: f64,
 }
 
-pub fn run(ctx: &Context) {
+pub fn run(ctx: &Context) -> Result<(), CoreError> {
     let mut rows: Vec<Row> = Vec::new();
     let workloads = [ctx.synthetic(), ctx.job(), ctx.stack()];
     for w in &workloads {
@@ -28,7 +29,7 @@ pub fn run(ctx: &Context) {
         for beta in [100.0, 200.0, 300.0] {
             let mut cfg = ctx.scale.model_config();
             cfg.beta = beta;
-            let (model, eval) = train_model(db, w, cfg);
+            let (model, eval) = train_model(db, w, cfg)?;
             let e = eval_qpseeker(&model, &eval);
             for (target, s) in
                 [("cardinality", &e.cardinality), ("cost", &e.cost), ("runtime", &e.runtime)]
@@ -64,7 +65,7 @@ pub fn run(ctx: &Context) {
         .collect();
     let md =
         markdown_table(&["Workload", "β", "Target", "50%", "90%", "95%", "99%", "std"], &md_rows);
-    emit("table2_beta_effect", &rows, &md);
+    emit("table2_beta_effect", &rows, &md)?;
 
     // Headline check: report which β wins runtime per workload.
     for w in ["synthetic", "job", "stack"] {
@@ -76,4 +77,5 @@ pub fn run(ctx: &Context) {
             println!("best runtime beta for {w}: {}", b.beta);
         }
     }
+    Ok(())
 }

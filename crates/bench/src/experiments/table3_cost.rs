@@ -33,7 +33,7 @@ fn push(rows: &mut Vec<Row>, workload: &str, system: &str, s: &QErrorSummary) {
     });
 }
 
-pub fn run(ctx: &Context) {
+pub fn run(ctx: &Context) -> Result<(), CoreError> {
     // Zero-Shot pretrains once on its own database family, then transfers.
     eprintln!("[table3] pretraining Zero-Shot on the synthetic database family...");
     let mut zs = ZeroShot::new(ZeroShotConfig::default());
@@ -42,7 +42,7 @@ pub fn run(ctx: &Context) {
     let mut rows: Vec<Row> = Vec::new();
     for w in [ctx.synthetic(), ctx.job(), ctx.stack()] {
         let db = ctx.db_of(&w);
-        let (model, eval) = train_model(db, &w, ctx.scale.model_config());
+        let (model, eval) = train_model(db, &w, ctx.scale.model_config())?;
 
         let qp = eval_qpseeker(&model, &eval);
         push(&mut rows, &w.name, "QPSeeker", &qp.cost);
@@ -72,5 +72,6 @@ pub fn run(ctx: &Context) {
         })
         .collect();
     let md = markdown_table(&["Workload", "System", "50%", "90%", "95%", "99%", "std"], &md_rows);
-    emit("table3_cost_estimation", &rows, &md);
+    emit("table3_cost_estimation", &rows, &md)?;
+    Ok(())
 }

@@ -49,11 +49,11 @@ fn dedup_queries<'a>(qeps: &[&'a Qep]) -> Vec<(&'a Query, f64)> {
     out
 }
 
-pub fn run(ctx: &Context) {
+pub fn run(ctx: &Context) -> Result<(), CoreError> {
     let mut rows: Vec<Row> = Vec::new();
     for w in [ctx.synthetic(), ctx.job(), ctx.stack()] {
         let db = ctx.db_of(&w);
-        let (model, eval) = train_model(db, &w, ctx.scale.model_config());
+        let (model, eval) = train_model(db, &w, ctx.scale.model_config())?;
 
         let qp = eval_qpseeker(&model, &eval);
         push(&mut rows, &w.name, "QPSeeker", &qp.cardinality);
@@ -89,5 +89,6 @@ pub fn run(ctx: &Context) {
         })
         .collect();
     let md = markdown_table(&["Workload", "System", "50%", "90%", "95%", "99%", "std"], &md_rows);
-    emit("table4_cardinality", &rows, &md);
+    emit("table4_cardinality", &rows, &md)?;
+    Ok(())
 }

@@ -33,11 +33,11 @@ fn push(rows: &mut Vec<Row>, workload: &str, system: &str, s: &QErrorSummary) {
     });
 }
 
-pub fn run(ctx: &Context) {
+pub fn run(ctx: &Context) -> Result<(), CoreError> {
     let mut rows: Vec<Row> = Vec::new();
     for w in [ctx.synthetic(), ctx.job(), ctx.stack()] {
         let db = ctx.db_of(&w);
-        let (model, eval) = train_model(db, &w, ctx.scale.model_config());
+        let (model, eval) = train_model(db, &w, ctx.scale.model_config())?;
 
         let qp = eval_qpseeker(&model, &eval);
         push(&mut rows, &w.name, "QPSeeker", &qp.runtime);
@@ -72,5 +72,6 @@ pub fn run(ctx: &Context) {
         })
         .collect();
     let md = markdown_table(&["Workload", "System", "50%", "90%", "95%", "99%", "std"], &md_rows);
-    emit("table5_runtime", &rows, &md);
+    emit("table5_runtime", &rows, &md)?;
+    Ok(())
 }

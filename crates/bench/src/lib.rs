@@ -189,7 +189,7 @@ pub fn train_model<'a>(
     db: &'a Database,
     workload: &'a Workload,
     cfg: ModelConfig,
-) -> (QPSeeker<'a>, Vec<&'a Qep>) {
+) -> Result<(QPSeeker<'a>, Vec<&'a Qep>), CoreError> {
     let at_query_level = workload.plan_source == qpseeker_workloads::PlanSource::Sampling;
     let (train, eval) = workload.split(0.8, at_query_level);
     eprintln!(
@@ -200,7 +200,7 @@ pub fn train_model<'a>(
         cfg.beta
     );
     let mut model = QPSeeker::new(db, cfg);
-    let report = model.fit(&train);
+    let report = model.fit(&train)?;
     eprintln!(
         "[train] {}: loss {:.3} -> {:.3} in {:.1}s",
         workload.name,
@@ -208,7 +208,7 @@ pub fn train_model<'a>(
         report.epoch_losses.last().unwrap_or(&f64::NAN),
         report.train_seconds
     );
-    (model, eval)
+    Ok((model, eval))
 }
 
 /// Execute a plan and return its virtual runtime (the "run the query" step
@@ -217,29 +217,38 @@ pub fn run_plan_ms(db: &Database, plan: &qpseeker_engine::plan::PlanNode) -> f64
     Executor::new(db).execute(plan).time_ms
 }
 
-/// Results directory (`target/experiment-results` by default).
+/// Results directory (`target/experiment-results` by default). Not created
+/// until [`emit`] first writes into it.
 pub fn results_dir() -> PathBuf {
-    let dir = std::env::var("QPS_RESULTS_DIR")
+    std::env::var("QPS_RESULTS_DIR")
         .map(PathBuf::from)
-        .unwrap_or_else(|_| PathBuf::from("target/experiment-results"));
-    std::fs::create_dir_all(&dir).expect("create results dir");
-    dir
+        .unwrap_or_else(|_| PathBuf::from("target/experiment-results"))
 }
 
-/// Write one experiment's rows as pretty JSON, and echo a markdown table.
-pub fn emit<T: Serialize>(name: &str, rows: &T, markdown: &str) {
-    let path = results_dir().join(format!("{name}.json"));
-    let json = serde_json::to_string_pretty(rows).expect("serializable rows");
-    std::fs::write(&path, json).expect("write results");
+fn io_err(op: &'static str, path: &std::path::Path, e: std::io::Error) -> CoreError {
+    CoreError::Io { op, path: path.display().to_string(), message: e.to_string() }
+}
+
+/// Write one experiment's rows as pretty JSON (atomic temp-file + rename, so
+/// a crash mid-run never leaves a truncated results file), and echo a
+/// markdown table.
+pub fn emit<T: Serialize>(name: &str, rows: &T, markdown: &str) -> Result<(), CoreError> {
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir).map_err(|e| io_err("create_dir", &dir, e))?;
+    let path = dir.join(format!("{name}.json"));
+    let json = serde_json::to_string_pretty(rows)?;
+    write_atomic(&path, &json, None)?;
     println!("\n## {name}\n");
     println!("{markdown}");
+    let log_path = dir.join("experiments.md");
     let mut log = std::fs::OpenOptions::new()
         .create(true)
         .append(true)
-        .open(results_dir().join("experiments.md"))
-        .expect("open experiments log");
-    writeln!(log, "\n## {name}\n\n{markdown}").expect("append log");
+        .open(&log_path)
+        .map_err(|e| io_err("open", &log_path, e))?;
+    writeln!(log, "\n## {name}\n\n{markdown}").map_err(|e| io_err("append", &log_path, e))?;
     eprintln!("[emit] wrote {}", path.display());
+    Ok(())
 }
 
 /// Format a markdown table.

@@ -14,6 +14,7 @@
 //! [`CoreError::CheckpointCorrupted`] instead of restoring garbage weights.
 
 use crate::config::ModelConfig;
+use crate::durable;
 use crate::error::CoreError;
 use crate::model::QPSeeker;
 use crate::normalize::TargetNormalizer;
@@ -23,33 +24,6 @@ use serde::{Deserialize, Serialize};
 
 /// Envelope format version this build reads and writes.
 pub const CHECKPOINT_VERSION: u64 = 1;
-
-/// FNV-1a over the payload text exactly as it appears in the envelope.
-fn fnv64(s: &str) -> u64 {
-    let mut h = 0xcbf29ce484222325u64;
-    for &b in s.as_bytes() {
-        h = (h ^ b as u64).wrapping_mul(0x100000001b3);
-    }
-    h
-}
-
-/// Extract the raw payload substring from an envelope produced by
-/// [`Checkpoint::to_json`]: everything after the `"payload":` key up to the
-/// envelope's closing brace. Checksumming the raw bytes (rather than a
-/// parsed re-serialization) means even flips that survive float rounding
-/// are caught.
-fn raw_payload(envelope: &str) -> Result<&str, CoreError> {
-    const KEY: &str = "\"payload\":";
-    let start = envelope
-        .find(KEY)
-        .ok_or_else(|| CoreError::CheckpointMalformed("missing payload field".into()))?
-        + KEY.len();
-    let end = envelope
-        .rfind('}')
-        .filter(|&e| e > start)
-        .ok_or_else(|| CoreError::CheckpointMalformed("unterminated envelope".into()))?;
-    Ok(&envelope[start..end])
-}
 
 /// Serialized model state.
 #[derive(Serialize, Deserialize)]
@@ -72,13 +46,11 @@ impl Checkpoint {
         }
     }
 
-    /// Serialize to the versioned, checksummed envelope format.
+    /// Serialize to the versioned, checksummed envelope format (shared with
+    /// the training-snapshot path in [`crate::durable`]).
     pub fn to_json(&self) -> Result<String, CoreError> {
         let payload = serde_json::to_string(self)?;
-        let checksum = fnv64(&payload);
-        Ok(format!(
-            "{{\"version\":{CHECKPOINT_VERSION},\"checksum\":\"{checksum:016x}\",\"payload\":{payload}}}"
-        ))
+        Ok(durable::seal_envelope(&payload, CHECKPOINT_VERSION))
     }
 
     /// Parse an envelope, verifying the format version and the payload
@@ -90,30 +62,7 @@ impl Checkpoint {
     /// build does not read, [`CoreError::CheckpointCorrupted`] when the
     /// payload does not match its recorded checksum (truncation, bit-rot).
     pub fn from_json(s: &str) -> Result<Self, CoreError> {
-        let envelope: serde_json::Value = serde_json::from_str(s)?;
-        let version = envelope
-            .get("version")
-            .and_then(|v| v.as_u64())
-            .ok_or_else(|| CoreError::CheckpointMalformed("missing version field".into()))?;
-        if version != CHECKPOINT_VERSION {
-            return Err(CoreError::CheckpointVersion {
-                found: version,
-                supported: CHECKPOINT_VERSION,
-            });
-        }
-        let expected = envelope
-            .get("checksum")
-            .and_then(|v| v.as_str())
-            .ok_or_else(|| CoreError::CheckpointMalformed("missing checksum field".into()))?
-            .to_string();
-        envelope
-            .get("payload")
-            .ok_or_else(|| CoreError::CheckpointMalformed("missing payload field".into()))?;
-        let payload = raw_payload(s)?;
-        let actual = format!("{:016x}", fnv64(payload));
-        if actual != expected {
-            return Err(CoreError::CheckpointCorrupted { expected, actual });
-        }
+        let payload = durable::open_envelope(s, CHECKPOINT_VERSION)?;
         serde_json::from_str(payload).map_err(CoreError::from)
     }
 
@@ -156,7 +105,7 @@ mod tests {
         let w = synthetic::generate(&db, &SyntheticConfig { n_queries: 15, seed: 2 });
         let refs: Vec<&Qep> = w.qeps.iter().collect();
         let mut model = QPSeeker::new(&db, ModelConfig::small());
-        model.fit(&refs);
+        model.fit(&refs).expect("training succeeds");
         let before = model.predict(&w.qeps[0].query, &w.qeps[0].plan);
 
         let json = Checkpoint::capture(&model, &db).to_json().unwrap();
@@ -173,7 +122,7 @@ mod tests {
         let w = synthetic::generate(&imdb, &SyntheticConfig { n_queries: 8, seed: 2 });
         let refs: Vec<&Qep> = w.qeps.iter().collect();
         let mut model = QPSeeker::new(&imdb, ModelConfig::small());
-        model.fit(&refs);
+        model.fit(&refs).expect("training succeeds");
         let ckpt = Checkpoint::capture(&model, &imdb);
         let err = match ckpt.restore(&stack) {
             Ok(_) => panic!("restore against a different schema must fail"),

@@ -164,6 +164,13 @@ impl ModelConfig {
         }
     }
 
+    /// FNV-64 over the canonical serialization of every knob. Training
+    /// snapshots record it so a `--resume` with a different configuration is
+    /// rejected (a resumed run must replay the exact epoch plan).
+    pub fn fingerprint(&self) -> u64 {
+        crate::durable::fnv64(&serde_json::to_string(self).unwrap_or_default())
+    }
+
     /// Query embedding width (both set encodings concatenated).
     pub fn query_dim(&self) -> usize {
         2 * self.set_mlp_out

@@ -1,16 +1,18 @@
 //! Typed core errors.
 //!
 //! Top link of the workspace error chain: wraps [`EngineError`] (which in
-//! turn wraps `StorageError`) and adds checkpoint-integrity failures. As in
-//! the lower layers, Display texts preserve the phrases the stringly-typed
-//! APIs used ("schema mismatch", "parameter layout mismatch") so messages
-//! stay stable across the conversion.
+//! turn wraps `StorageError`) and adds checkpoint-integrity, durable-write
+//! and training-lifecycle failures. As in the lower layers, Display texts
+//! preserve the phrases the stringly-typed APIs used ("schema mismatch",
+//! "parameter layout mismatch") so messages stay stable across the
+//! conversion.
 
 use qpseeker_engine::error::EngineError;
 use std::fmt;
 
 /// Errors raised by the neural planner: plan compilation/execution failures
-/// lifted from the engine, plus checkpoint load/restore failures.
+/// lifted from the engine, checkpoint load/restore failures, durable-write
+/// failures on the snapshot path, and training-lifecycle failures.
 #[derive(Debug, Clone, PartialEq)]
 pub enum CoreError {
     /// A planning or execution failure from the engine layer.
@@ -31,16 +33,50 @@ pub enum CoreError {
         saved_params: usize,
         saved_scalars: usize,
     },
+    /// A filesystem operation on the durable path failed. The io error is
+    /// carried as text so `CoreError` stays `Clone + PartialEq`.
+    Io { op: &'static str, path: String, message: String },
+    /// An injected crash-point fault "killed" the process at durable write
+    /// number `seq` (chaos testing). Transient: resuming from the newest
+    /// valid snapshot is the designed recovery.
+    InjectedCrash { site: String, seq: u64 },
+    /// A snapshot directory recovery scan found snapshot files but every
+    /// one of them was corrupt (all were quarantined).
+    NoValidSnapshot { dir: String, quarantined: usize },
+    /// A resumed training run does not match the snapshot it would resume
+    /// from (different config, dataset, or epoch plan).
+    SnapshotMismatch { field: &'static str, snapshot: String, current: String },
+    /// Training was invoked on an empty QEP set.
+    EmptyTrainingSet,
+    /// A training sample carries no ground-truth target.
+    MissingTarget { index: usize },
+    /// A data-parallel training worker panicked; the panic was contained at
+    /// the shard boundary instead of poisoning the whole process.
+    TrainingWorkerPanicked { shard: usize, cause: String },
 }
 
 impl CoreError {
-    /// Whether a retry is worthwhile (delegates to the engine layer; all
-    /// checkpoint failures are permanent).
+    /// Whether a retry is worthwhile (delegates to the engine layer).
+    /// Checkpoint failures are permanent; an injected crash is transient by
+    /// design — resuming from the newest valid snapshot recovers it.
     pub fn is_transient(&self) -> bool {
         match self {
             CoreError::Engine(e) => e.is_transient(),
+            CoreError::InjectedCrash { .. } => true,
             _ => false,
         }
+    }
+}
+
+/// Render a `catch_unwind`/`join` panic payload as text (most panics carry
+/// `&str` or `String`).
+pub fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
     }
 }
 
@@ -66,6 +102,31 @@ impl fmt::Display for CoreError {
                     f,
                     "parameter layout mismatch: rebuilt {built_params} params / {built_scalars} scalars, checkpoint has {saved_params} / {saved_scalars}"
                 )
+            }
+            CoreError::Io { op, path, message } => {
+                write!(f, "durable {op} of {path} failed: {message}")
+            }
+            CoreError::InjectedCrash { site, seq } => {
+                write!(f, "injected crash at {site} (durable write #{seq})")
+            }
+            CoreError::NoValidSnapshot { dir, quarantined } => {
+                write!(
+                    f,
+                    "no valid snapshot in {dir}: all {quarantined} candidate(s) were corrupt and quarantined"
+                )
+            }
+            CoreError::SnapshotMismatch { field, snapshot, current } => {
+                write!(
+                    f,
+                    "snapshot mismatch on {field}: snapshot has {snapshot}, this run has {current}"
+                )
+            }
+            CoreError::EmptyTrainingSet => f.write_str("cannot train on an empty QEP set"),
+            CoreError::MissingTarget { index } => {
+                write!(f, "training QEP #{index} carries no ground-truth target")
+            }
+            CoreError::TrainingWorkerPanicked { shard, cause } => {
+                write!(f, "training worker for shard {shard} panicked: {cause}")
             }
         }
     }
@@ -125,5 +186,43 @@ mod tests {
         assert!(transient.is_transient());
         let corrupt = CoreError::CheckpointCorrupted { expected: "aa".into(), actual: "bb".into() };
         assert!(!corrupt.is_transient());
+    }
+
+    #[test]
+    fn injected_crash_is_transient_training_errors_are_not() {
+        assert!(CoreError::InjectedCrash { site: "s.snap".into(), seq: 3 }.is_transient());
+        assert!(!CoreError::EmptyTrainingSet.is_transient());
+        assert!(!CoreError::MissingTarget { index: 2 }.is_transient());
+        assert!(
+            !CoreError::TrainingWorkerPanicked { shard: 0, cause: "boom".into() }.is_transient()
+        );
+        assert!(!CoreError::NoValidSnapshot { dir: "d".into(), quarantined: 2 }.is_transient());
+    }
+
+    #[test]
+    fn new_variants_display_their_context() {
+        let io = CoreError::Io { op: "rename", path: "/x/y".into(), message: "denied".into() };
+        assert!(io.to_string().contains("rename") && io.to_string().contains("/x/y"));
+        let crash = CoreError::InjectedCrash { site: "epoch-3".into(), seq: 7 };
+        assert!(crash.to_string().contains("epoch-3") && crash.to_string().contains("#7"));
+        let none = CoreError::NoValidSnapshot { dir: "snaps".into(), quarantined: 4 };
+        assert!(none.to_string().contains("snaps") && none.to_string().contains('4'));
+        let mismatch = CoreError::SnapshotMismatch {
+            field: "dataset",
+            snapshot: "12 QEPs".into(),
+            current: "8 QEPs".into(),
+        };
+        assert!(mismatch.to_string().contains("dataset"));
+        assert!(CoreError::MissingTarget { index: 5 }.to_string().contains("#5"));
+        assert!(CoreError::TrainingWorkerPanicked { shard: 1, cause: "oh no".into() }
+            .to_string()
+            .contains("oh no"));
+    }
+
+    #[test]
+    fn panic_payloads_render_as_text() {
+        assert_eq!(panic_message(Box::new("static")), "static");
+        assert_eq!(panic_message(Box::new(String::from("owned"))), "owned");
+        assert_eq!(panic_message(Box::new(17u32)), "opaque panic payload");
     }
 }

@@ -28,7 +28,7 @@
 //! let workload = synthetic::generate(&db, &SyntheticConfig { n_queries: 64, seed: 1 });
 //! let refs: Vec<&Qep> = workload.qeps.iter().collect();
 //! let mut model = QPSeeker::new(&db, ModelConfig::small());
-//! model.fit(&refs);
+//! model.fit(&refs).expect("training succeeds");
 //! let planner = MctsPlanner::new(MctsConfig::default());
 //! let chosen = planner.plan(&model, &workload.qeps[0].query);
 //! println!("{}", chosen.plan.pretty());
@@ -36,6 +36,7 @@
 
 pub mod checkpoint;
 pub mod config;
+pub mod durable;
 pub mod encoder;
 pub mod error;
 pub mod featurize;
@@ -51,14 +52,17 @@ pub mod viz;
 pub mod prelude {
     pub use crate::checkpoint::Checkpoint;
     pub use crate::config::ModelConfig;
+    pub use crate::durable::{write_atomic, RecoveredSnapshot, SnapshotStore};
     pub use crate::error::CoreError;
     pub use crate::featurize::{FeatNode, FeaturizedQep, Featurizer, QueryFeatures};
     pub use crate::mcts::{Action, MctsConfig, MctsPlanner, MctsResult};
-    pub use crate::metrics::{q_error, QErrorSummary};
-    pub use crate::model::{Prediction, QPSeeker, QueryContext, TrainReport};
+    pub use crate::metrics::{q_error, QErrorSummary, ServeCounters};
+    pub use crate::model::{Prediction, QPSeeker, QueryContext, TrainReport, TrainSnapshot};
     pub use crate::normalize::TargetNormalizer;
     pub use crate::serve::{
-        plan_with_fallback, FallbackReason, ServeConfig, ServeResult, ServedBy,
+        plan_with_fallback, BreakerState, CircuitBreaker, Disposition, FallbackReason,
+        QueryRequest, ServeConfig, ServeResult, ServedBy, ShedReason, SupervisedOutcome,
+        Supervisor, SupervisorConfig,
     };
     pub use crate::viz::{silhouette, tsne, TsneConfig};
 }

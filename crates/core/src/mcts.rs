@@ -438,7 +438,7 @@ mod tests {
         let w = synthetic::generate(db, &SyntheticConfig { n_queries: 16, seed: 3 });
         let refs: Vec<&Qep> = w.qeps.iter().collect();
         let mut m = QPSeeker::new(db, ModelConfig::small());
-        m.fit(&refs);
+        m.fit(&refs).expect("training succeeds");
         m
     }
 

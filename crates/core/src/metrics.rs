@@ -1,7 +1,66 @@
 //! Evaluation metrics: Q-error and its percentile summaries (the measure
-//! used throughout the paper's Tables 2-5).
+//! used throughout the paper's Tables 2-5), plus the per-outcome counters
+//! the supervised serving loop reports.
 
 use serde::{Deserialize, Serialize};
+
+/// Per-outcome counters for a supervised serving loop
+/// ([`crate::serve::Supervisor`]). Every admitted or shed query lands in
+/// exactly one of the disposition counters, so operators can audit where
+/// load went; the breaker counters expose the circuit's history.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServeCounters {
+    /// Queries admitted past the queue and actually served.
+    pub admitted: usize,
+    /// Admitted queries served by the neural planner.
+    pub served_neural: usize,
+    /// Admitted queries served by the classical optimizer (fallback,
+    /// breaker-open, or no model).
+    pub served_classical: usize,
+    /// Rejected at admission: the bounded queue was full.
+    pub shed_queue_full: usize,
+    /// Rejected at admission: the deadline is unmeetable even unqueued.
+    pub shed_deadline: usize,
+    /// Admitted but dropped at dequeue: queue wait consumed the deadline.
+    pub expired_in_queue: usize,
+    /// Times the circuit breaker tripped open (neural → classical-only).
+    pub breaker_trips: usize,
+    /// Times a half-open probe run closed the breaker again.
+    pub breaker_recoveries: usize,
+    /// Half-open probe queries sent through the neural path.
+    pub probes: usize,
+}
+
+impl ServeCounters {
+    /// Queries that arrived, in any disposition.
+    pub fn total_seen(&self) -> usize {
+        self.admitted + self.shed_queue_full + self.shed_deadline + self.expired_in_queue
+    }
+
+    /// Load-shedding events of any kind.
+    pub fn total_shed(&self) -> usize {
+        self.shed_queue_full + self.shed_deadline + self.expired_in_queue
+    }
+}
+
+impl std::fmt::Display for ServeCounters {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "served={} (neural={} classical={}) shed={} (queue_full={} deadline={} expired={}) breaker(trips={} recoveries={} probes={})",
+            self.admitted,
+            self.served_neural,
+            self.served_classical,
+            self.total_shed(),
+            self.shed_queue_full,
+            self.shed_deadline,
+            self.expired_in_queue,
+            self.breaker_trips,
+            self.breaker_recoveries,
+            self.probes,
+        )
+    }
+}
 
 /// Q-error: `max(pred/true, true/pred)`, both floored at 1 (Moerkotte et
 /// al.). Always ≥ 1; 1 means a perfect estimate.
@@ -115,5 +174,25 @@ mod tests {
         let text = format!("{s}");
         assert!(text.contains("50%="));
         assert!(text.contains("n=2"));
+    }
+
+    #[test]
+    fn serve_counters_partition_the_stream() {
+        let c = ServeCounters {
+            admitted: 10,
+            served_neural: 7,
+            served_classical: 3,
+            shed_queue_full: 2,
+            shed_deadline: 1,
+            expired_in_queue: 1,
+            breaker_trips: 1,
+            breaker_recoveries: 1,
+            probes: 3,
+        };
+        assert_eq!(c.total_seen(), 14);
+        assert_eq!(c.total_shed(), 4);
+        assert_eq!(c.admitted, c.served_neural + c.served_classical);
+        let text = c.to_string();
+        assert!(text.contains("queue_full=2") && text.contains("trips=1"));
     }
 }

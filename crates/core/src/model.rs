@@ -2,7 +2,9 @@
 //! + Cost Modeler, with the training loop (§5) and inference entry points.
 
 use crate::config::ModelConfig;
+use crate::durable::SnapshotStore;
 use crate::encoder::{PlanEncoder, QueryEncoder};
+use crate::error::CoreError;
 use crate::featurize::{FeaturizedQep, Featurizer, PlanFeatCache};
 use crate::normalize::TargetNormalizer;
 use crate::vae::CostModeler;
@@ -15,6 +17,7 @@ use qpseeker_workloads::Qep;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
 
 /// Denormalized model prediction for one QEP.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -129,36 +132,179 @@ impl<'a> QPSeeker<'a> {
 
     /// Train on a set of QEPs. Fits the target normalizer, featurizes once,
     /// then runs mini-batch Adam for `config.epochs` epochs.
-    pub fn fit(&mut self, qeps: &[&Qep]) -> TrainReport {
-        assert!(!qeps.is_empty(), "cannot train on an empty QEP set");
+    ///
+    /// # Errors
+    /// [`CoreError::EmptyTrainingSet`] for an empty `qeps`,
+    /// [`CoreError::MissingTarget`] when a QEP carries no ground truth,
+    /// [`CoreError::TrainingWorkerPanicked`] when a data-parallel worker
+    /// panics (contained at the shard boundary).
+    pub fn fit(&mut self, qeps: &[&Qep]) -> Result<TrainReport, CoreError> {
         let start = std::time::Instant::now();
+        let feats = self.fit_normalizer_and_featurize(qeps)?;
+        let report = self.fit_featurized(&feats)?;
+        Ok(TrainReport { train_seconds: start.elapsed().as_secs_f64(), ..report })
+    }
+
+    /// [`Self::fit`] with crash-safe journaling: after every epoch a
+    /// [`TrainSnapshot`] (parameters, optimizer moments, RNG/noise cursor,
+    /// normalizer) is written atomically to `journal`, and training resumes
+    /// from the newest valid snapshot found there.
+    ///
+    /// Determinism guarantee: a run killed at any epoch boundary and resumed
+    /// through this entry point produces **bitwise-identical** parameters to
+    /// an uninterrupted run, because (a) the optimizer's moments and step
+    /// counter round-trip exactly through JSON, and (b) the shuffle RNG and
+    /// latent-noise stream are fast-forwarded by replaying the completed
+    /// epochs' draws (their consumption depends only on dataset size and
+    /// batch size, both validated against the snapshot).
+    ///
+    /// # Errors
+    /// Everything [`Self::fit`] raises, plus [`CoreError::SnapshotMismatch`]
+    /// when the journal belongs to a different config or dataset,
+    /// [`CoreError::NoValidSnapshot`] when snapshots exist but all are
+    /// corrupt, and durable-write failures ([`CoreError::Io`] /
+    /// [`CoreError::InjectedCrash`]) from the snapshot path.
+    pub fn fit_resumable(
+        &mut self,
+        qeps: &[&Qep],
+        journal: &SnapshotStore,
+    ) -> Result<TrainReport, CoreError> {
+        let start = std::time::Instant::now();
+        let resume = match journal.recover()? {
+            None => None,
+            Some(rec) => {
+                let snap: TrainSnapshot = serde_json::from_str(&rec.payload)?;
+                Some(self.restore_snapshot(snap, qeps.len())?)
+            }
+        };
+        let feats = match resume.is_some() {
+            // The snapshot restored the fitted normalizer; featurize with it.
+            true => {
+                if qeps.is_empty() {
+                    return Err(CoreError::EmptyTrainingSet);
+                }
+                qeps.iter().map(|q| self.featurize_qep(q)).collect()
+            }
+            false => self.fit_normalizer_and_featurize(qeps)?,
+        };
+        let report = self.fit_featurized_run(&feats, Some(journal), resume)?;
+        Ok(TrainReport { train_seconds: start.elapsed().as_secs_f64(), ..report })
+    }
+
+    /// Fit the target normalizer on `qeps` and featurize the whole set.
+    fn fit_normalizer_and_featurize(
+        &mut self,
+        qeps: &[&Qep],
+    ) -> Result<Vec<FeaturizedQep>, CoreError> {
+        if qeps.is_empty() {
+            return Err(CoreError::EmptyTrainingSet);
+        }
         let targets: Vec<[f64; 3]> =
             qeps.iter().map(|q| [q.cardinality(), q.cost(), q.runtime_ms()]).collect();
         self.normalizer = Some(TargetNormalizer::fit(&targets));
-        let feats: Vec<FeaturizedQep> = qeps.iter().map(|q| self.featurize_qep(q)).collect();
-        let report = self.fit_featurized(&feats);
-        TrainReport { train_seconds: start.elapsed().as_secs_f64(), ..report }
+        Ok(qeps.iter().map(|q| self.featurize_qep(q)).collect())
+    }
+
+    /// Validate a recovered snapshot against this run and restore the model
+    /// state it carries. Returns the optimizer/progress for the epoch loop.
+    fn restore_snapshot(
+        &mut self,
+        snap: TrainSnapshot,
+        n_samples: usize,
+    ) -> Result<ResumePoint, CoreError> {
+        let fp = self.config.fingerprint();
+        if snap.config_fingerprint != fp {
+            return Err(CoreError::SnapshotMismatch {
+                field: "config",
+                snapshot: format!("fingerprint {:016x}", snap.config_fingerprint),
+                current: format!("fingerprint {fp:016x}"),
+            });
+        }
+        if snap.n_samples != n_samples {
+            return Err(CoreError::SnapshotMismatch {
+                field: "dataset size",
+                snapshot: format!("{} QEPs", snap.n_samples),
+                current: format!("{n_samples} QEPs"),
+            });
+        }
+        if self.store.len() != snap.store.len()
+            || self.store.num_scalars() != snap.store.num_scalars()
+        {
+            return Err(CoreError::ParamLayout {
+                built_params: self.store.len(),
+                built_scalars: self.store.num_scalars(),
+                saved_params: snap.store.len(),
+                saved_scalars: snap.store.num_scalars(),
+            });
+        }
+        self.store = snap.store;
+        self.normalizer = snap.normalizer;
+        Ok(ResumePoint {
+            opt: snap.optimizer,
+            start_epoch: snap.epochs_done,
+            epoch_losses: snap.epoch_losses,
+            final_pred: snap.final_pred,
+            final_kl: snap.final_kl,
+            guards: snap.guards,
+        })
     }
 
     /// Train on pre-featurized QEPs (used by the sampling-fraction bench
     /// which re-uses featurizations across model instances).
-    pub fn fit_featurized(&mut self, feats: &[FeaturizedQep]) -> TrainReport {
-        let mut opt = Adam::new(self.config.learning_rate as f32);
+    pub fn fit_featurized(&mut self, feats: &[FeaturizedQep]) -> Result<TrainReport, CoreError> {
+        self.fit_featurized_run(feats, None, None)
+    }
+
+    /// The epoch loop, shared by the plain and journaled entry points.
+    ///
+    /// On resume the shuffle RNG and the latent-noise stream are
+    /// fast-forwarded by replaying each completed epoch's draws: one shuffle
+    /// of the `n`-element order, then one `[chunk, latent]` noise draw per
+    /// batch. Both consume amounts that depend only on `n` and the batch
+    /// size, so the replay leaves the generators exactly where the
+    /// uninterrupted run would have them.
+    fn fit_featurized_run(
+        &mut self,
+        feats: &[FeaturizedQep],
+        journal: Option<&SnapshotStore>,
+        resume: Option<ResumePoint>,
+    ) -> Result<TrainReport, CoreError> {
+        if feats.is_empty() {
+            return Err(CoreError::EmptyTrainingSet);
+        }
+        let n = feats.len();
+        let (mut opt, start_epoch, mut epoch_losses, mut final_pred, mut final_kl, mut guards) =
+            match resume {
+                Some(r) => {
+                    (r.opt, r.start_epoch, r.epoch_losses, r.final_pred, r.final_kl, r.guards)
+                }
+                None => (
+                    Adam::new(self.config.learning_rate as f32),
+                    0,
+                    Vec::with_capacity(self.config.epochs),
+                    0.0,
+                    0.0,
+                    StepReport::default(),
+                ),
+            };
         let mut rng = StdRng::seed_from_u64(self.config.seed ^ 0xf17);
-        let mut order: Vec<usize> = (0..feats.len()).collect();
-        let mut epoch_losses = Vec::with_capacity(self.config.epochs);
-        let mut final_pred = 0.0;
-        let mut final_kl = 0.0;
-        let mut guards = StepReport::default();
-        for _epoch in 0..self.config.epochs {
+        let mut order: Vec<usize> = (0..n).collect();
+        let batch_size = self.config.batch_size.max(1);
+        for _done in 0..start_epoch {
+            order.shuffle(&mut rng);
+            for chunk in order.chunks(batch_size) {
+                let _ = self.noise.standard_normal(chunk.len(), self.config.vae_latent);
+            }
+        }
+        for epoch in start_epoch..self.config.epochs {
             order.shuffle(&mut rng);
             let mut epoch_total = 0.0;
             let mut epoch_pred = 0.0;
             let mut epoch_kl = 0.0;
             let mut batches = 0.0;
-            for chunk in order.chunks(self.config.batch_size.max(1)) {
+            for chunk in order.chunks(batch_size) {
                 let batch: Vec<&FeaturizedQep> = chunk.iter().map(|&i| &feats[i]).collect();
-                let (total, pred, kl, step_guards) = self.train_batch(&batch, &mut opt);
+                let (total, pred, kl, step_guards) = self.train_batch(&batch, &mut opt)?;
                 guards.absorb(step_guards);
                 epoch_total += total;
                 epoch_pred += pred;
@@ -168,14 +314,30 @@ impl<'a> QPSeeker<'a> {
             epoch_losses.push(epoch_total / batches);
             final_pred = epoch_pred / batches;
             final_kl = epoch_kl / batches;
+            if let Some(store) = journal {
+                let snap = TrainSnapshot {
+                    config_fingerprint: self.config.fingerprint(),
+                    n_samples: n,
+                    epochs_done: epoch + 1,
+                    total_epochs: self.config.epochs,
+                    optimizer: opt.clone(),
+                    store: self.store.clone(),
+                    normalizer: self.normalizer.clone(),
+                    epoch_losses: epoch_losses.clone(),
+                    final_pred,
+                    final_kl,
+                    guards,
+                };
+                store.write((epoch + 1) as u64, &serde_json::to_string(&snap)?)?;
+            }
         }
-        TrainReport {
+        Ok(TrainReport {
             epoch_losses,
             final_pred_loss: final_pred,
             final_kl,
             train_seconds: 0.0,
             guards,
-        }
+        })
     }
 
     /// One optimizer step over `batch`, data-parallel across
@@ -191,7 +353,7 @@ impl<'a> QPSeeker<'a> {
         &mut self,
         batch: &[&FeaturizedQep],
         opt: &mut Adam,
-    ) -> (f64, f64, f64, StepReport) {
+    ) -> Result<(f64, f64, f64, StepReport), CoreError> {
         self.store.zero_grads();
         let b = batch.len();
         let eps_all = self.noise.standard_normal(b, self.config.vae_latent);
@@ -207,13 +369,13 @@ impl<'a> QPSeeker<'a> {
             batch
                 .iter()
                 .enumerate()
-                .map(|(i, fq)| self.train_sample(fq, eps_row(&eps_all, i), b, total_aux))
-                .collect()
+                .map(|(i, fq)| self.train_sample(fq, eps_row(&eps_all, i), b, total_aux, i))
+                .collect::<Result<_, _>>()?
         } else {
             let chunk = b.div_ceil(shards);
             let this = &*self;
             let eps_ref = &eps_all;
-            crossbeam::scope(|s| {
+            let scoped = crossbeam::scope(|s| {
                 let handles: Vec<_> = batch
                     .chunks(chunk)
                     .enumerate()
@@ -224,18 +386,40 @@ impl<'a> QPSeeker<'a> {
                                 .enumerate()
                                 .map(|(j, fq)| {
                                     let i = ci * chunk + j;
-                                    this.train_sample(fq, eps_row(eps_ref, i), b, total_aux)
+                                    this.train_sample(fq, eps_row(eps_ref, i), b, total_aux, i)
                                 })
-                                .collect::<Vec<SampleGrad>>()
+                                .collect::<Result<Vec<SampleGrad>, CoreError>>()
                         })
                     })
                     .collect();
-                handles
-                    .into_iter()
-                    .flat_map(|h| h.join().expect("training worker panicked"))
-                    .collect()
-            })
-            .expect("crossbeam training scope")
+                // Join every shard, containing panics at the shard boundary
+                // as typed errors instead of poisoning the whole process.
+                let mut all = Vec::with_capacity(b);
+                for (shard, h) in handles.into_iter().enumerate() {
+                    match h.join() {
+                        Ok(Ok(grads)) => all.extend(grads),
+                        Ok(Err(e)) => return Err(e),
+                        Err(payload) => {
+                            return Err(CoreError::TrainingWorkerPanicked {
+                                shard,
+                                cause: crate::error::panic_message(payload),
+                            })
+                        }
+                    }
+                }
+                Ok(all)
+            });
+            match scoped {
+                Ok(inner) => inner?,
+                // A shard that panicked after its handle was consumed still
+                // surfaces through the scope result; attribute it there.
+                Err(payload) => {
+                    return Err(CoreError::TrainingWorkerPanicked {
+                        shard: 0,
+                        cause: crate::error::panic_message(payload),
+                    })
+                }
+            }
         };
         let (mut loss, mut pred, mut kl) = (0.0, 0.0, 0.0);
         for r in &results {
@@ -246,7 +430,7 @@ impl<'a> QPSeeker<'a> {
         }
         self.store.clip_grad_norm(5.0);
         let guards = opt.step(&mut self.store);
-        (loss, pred / b as f64, kl / b as f64, guards)
+        Ok((loss, pred / b as f64, kl / b as f64, guards))
     }
 
     /// Forward/backward for one sample on its own tape, gradients into a
@@ -258,10 +442,11 @@ impl<'a> QPSeeker<'a> {
         eps: Tensor,
         batch_size: usize,
         total_aux: usize,
-    ) -> SampleGrad {
+        index: usize,
+    ) -> Result<SampleGrad, CoreError> {
         let mut g = Graph::new();
         let (joint, aux) = self.encode_joint(&mut g, fq);
-        let t = fq.target.expect("training QEPs carry targets");
+        let t = fq.target.ok_or(CoreError::MissingTarget { index })?;
         let targets = g.constant(Tensor::row(t.to_vec()));
         let out = self.vae.forward(&mut g, &self.store, joint, eps);
         let (sample_total, _recon, pred, kl) =
@@ -289,7 +474,7 @@ impl<'a> QPSeeker<'a> {
         let kl_v = g.value(kl).get(0, 0) as f64;
         let mut buf = GradBuffer::new();
         let loss = g.backward(total, &mut buf) as f64;
-        SampleGrad { buf, loss, pred: pred_v, kl: kl_v }
+        Ok(SampleGrad { buf, loss, pred: pred_v, kl: kl_v })
     }
 
     /// Predict (cardinality, cost, runtime) for an arbitrary plan of a
@@ -425,6 +610,50 @@ pub struct QueryContext {
     fast: bool,
 }
 
+/// One epoch boundary of a journaled training run, as persisted by
+/// [`QPSeeker::fit_resumable`]: everything needed to continue the run and
+/// land on bitwise-identical parameters.
+///
+/// The RNG/noise cursor is implicit: it is a pure function of
+/// (`epochs_done`, `n_samples`, batch size), so resume replays the
+/// completed epochs' draws instead of serializing generator internals —
+/// both of which are validated before any state is restored.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrainSnapshot {
+    /// [`ModelConfig::fingerprint`] of the run that wrote the snapshot.
+    pub config_fingerprint: u64,
+    /// Training-set size the epoch plan was built from.
+    pub n_samples: usize,
+    /// Completed epochs (also the snapshot's sequence number).
+    pub epochs_done: usize,
+    /// The run's total epoch budget.
+    pub total_epochs: usize,
+    /// Optimizer moments and step counter, exact.
+    pub optimizer: Adam,
+    /// Every parameter tensor at the epoch boundary.
+    pub store: ParamStore,
+    /// The fitted target normalizer.
+    pub normalizer: Option<TargetNormalizer>,
+    /// Per-epoch mean losses so far (the eventual [`TrainReport`] prefix).
+    pub epoch_losses: Vec<f64>,
+    /// Last completed epoch's mean prediction loss.
+    pub final_pred: f64,
+    /// Last completed epoch's mean KL.
+    pub final_kl: f64,
+    /// Accumulated numerical-guard counters.
+    pub guards: StepReport,
+}
+
+/// Where the epoch loop picks up after a snapshot restore.
+struct ResumePoint {
+    opt: Adam,
+    start_epoch: usize,
+    epoch_losses: Vec<f64>,
+    final_pred: f64,
+    final_kl: f64,
+    guards: StepReport,
+}
+
 /// One sample's contribution to a training step.
 struct SampleGrad {
     buf: GradBuffer,
@@ -492,7 +721,7 @@ mod tests {
         let qeps = tiny_qeps(&db, 24);
         let refs: Vec<&Qep> = qeps.iter().collect();
         let mut model = QPSeeker::new(&db, ModelConfig::small());
-        let report = model.fit(&refs);
+        let report = model.fit(&refs).expect("training succeeds");
         assert_eq!(report.epoch_losses.len(), ModelConfig::small().epochs);
         let first = report.epoch_losses[0];
         let last = *report.epoch_losses.last().unwrap();
@@ -508,7 +737,7 @@ mod tests {
         let qeps = tiny_qeps(&db, 10);
         let refs: Vec<&Qep> = qeps.iter().collect();
         let mut model = QPSeeker::new(&db, ModelConfig::small());
-        model.fit(&refs);
+        model.fit(&refs).expect("training succeeds");
         let a = model.predict(&qeps[0].query, &qeps[0].plan);
         let b = model.predict(&qeps[0].query, &qeps[0].plan);
         assert_eq!(a, b);
@@ -522,7 +751,7 @@ mod tests {
         let cfg = ModelConfig::small();
         let latent = cfg.vae_latent;
         let mut model = QPSeeker::new(&db, cfg);
-        model.fit(&refs);
+        model.fit(&refs).expect("training succeeds");
         let mu = model.latent_mu(&qeps[0].query, &qeps[0].plan);
         assert_eq!(mu.len(), latent);
         assert!(mu.iter().all(|v| v.is_finite()));
@@ -540,7 +769,7 @@ mod tests {
         let qeps = tiny_qeps(&db, 12);
         let refs: Vec<&Qep> = qeps.iter().collect();
         let mut model = QPSeeker::new(&db, ModelConfig::small());
-        model.fit(&refs);
+        model.fit(&refs).expect("training succeeds");
         use qpseeker_engine::plan::{JoinOp, ScanOp};
         let mk = |op| {
             PlanNode::join(
@@ -567,11 +796,12 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "empty QEP set")]
-    fn fit_on_empty_panics() {
+    fn fit_on_empty_is_a_typed_error() {
         let db = imdb::generate(0.02, 1);
         let mut model = QPSeeker::new(&db, ModelConfig::small());
-        model.fit(&[]);
+        let err = model.fit(&[]).unwrap_err();
+        assert_eq!(err, CoreError::EmptyTrainingSet);
+        assert!(err.to_string().contains("empty QEP set"));
     }
 }
 
@@ -588,7 +818,7 @@ mod attention_tests {
         let w = synthetic::generate(&db, &SyntheticConfig { n_queries: 12, seed: 3 });
         let refs: Vec<&Qep> = w.qeps.iter().collect();
         let mut model = QPSeeker::new(&db, ModelConfig::small());
-        model.fit(&refs);
+        model.fit(&refs).expect("training succeeds");
         let qep = w.qeps.iter().find(|q| q.plan.len() > 1).expect("join plan exists");
         let scores = model.attention_scores(&qep.query, &qep.plan);
         assert_eq!(scores.len(), ModelConfig::small().attn_heads);

@@ -7,13 +7,24 @@
 //! optimizer whenever the neural path cannot produce a valid plan in time.
 //! The [`ServeResult`] records which path served and every failure seen on
 //! the way, so chaos tests (and operators) can audit degradation decisions.
+//!
+//! [`Supervisor`] lifts the single-query path to a query *stream*: a
+//! bounded admission queue with deadline-aware load-shedding (every
+//! rejection carries a [`ShedReason`]), and a sliding-window
+//! [`CircuitBreaker`] that trips to classical-only planning when the neural
+//! failure rate crosses a threshold, then recovers through half-open
+//! probes. Queue dynamics run on a deterministic virtual clock, so breaker
+//! and shedding behavior is exactly reproducible in tests.
 
+use crate::error::panic_message;
 use crate::mcts::{MctsConfig, MctsPlanner};
+use crate::metrics::ServeCounters;
 use crate::model::QPSeeker;
 use qpseeker_engine::optimizer::PgOptimizer;
 use qpseeker_engine::plan::PlanNode;
 use qpseeker_engine::query::Query;
 use qpseeker_storage::{Database, FaultConfig, FaultInjector, InferenceFault};
+use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
 
@@ -70,6 +81,9 @@ pub enum FallbackReason {
     InvalidPlan(String),
     /// The planner panicked; the panic was contained.
     PlannerPanicked(String),
+    /// The supervisor's circuit breaker is open: the neural path was not
+    /// even attempted for this query.
+    BreakerOpen,
 }
 
 impl std::fmt::Display for FallbackReason {
@@ -82,6 +96,7 @@ impl std::fmt::Display for FallbackReason {
             }
             FallbackReason::InvalidPlan(why) => write!(f, "invalid plan: {why}"),
             FallbackReason::PlannerPanicked(why) => write!(f, "planner panicked: {why}"),
+            FallbackReason::BreakerOpen => f.write_str("circuit breaker open"),
         }
     }
 }
@@ -150,7 +165,7 @@ pub fn plan_with_fallback(
         let mut result = match outcome {
             Ok(r) => r,
             Err(payload) => {
-                failures.push(FallbackReason::PlannerPanicked(panic_text(payload)));
+                failures.push(FallbackReason::PlannerPanicked(panic_message(payload)));
                 continue;
             }
         };
@@ -215,13 +230,343 @@ fn classical(
     }
 }
 
-fn panic_text(payload: Box<dyn std::any::Any + Send>) -> String {
-    if let Some(s) = payload.downcast_ref::<&str>() {
-        (*s).to_string()
-    } else if let Some(s) = payload.downcast_ref::<String>() {
-        s.clone()
-    } else {
-        "opaque panic payload".to_string()
+/// Supervised-serving configuration: the per-query [`ServeConfig`] plus the
+/// stream-level circuit-breaker and admission-control knobs.
+#[derive(Debug, Clone)]
+pub struct SupervisorConfig {
+    /// Per-query serving settings (deadline, retries, faults).
+    pub serve: ServeConfig,
+    /// Sliding-window length for the breaker's failure-rate estimate.
+    pub window: usize,
+    /// Outcomes required in the window before the breaker may trip.
+    pub min_samples: usize,
+    /// Neural failure (classical-fallback) rate in the window that opens
+    /// the circuit.
+    pub failure_threshold: f64,
+    /// Queries served classically while open before a half-open probe.
+    pub cooldown_queries: usize,
+    /// Consecutive successful probes required to close the circuit again.
+    pub probe_successes: usize,
+    /// Bounded admission-queue depth; arrivals beyond it are shed.
+    pub queue_capacity: usize,
+    /// Virtual per-query service time (ms) driving the admission clock.
+    pub service_ms: f64,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        Self {
+            serve: ServeConfig::default(),
+            window: 16,
+            min_samples: 8,
+            failure_threshold: 0.5,
+            cooldown_queries: 8,
+            probe_successes: 3,
+            queue_capacity: 32,
+            service_ms: 10.0,
+        }
+    }
+}
+
+/// Circuit-breaker states (the classic three-state machine).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Neural serving; outcomes feed the sliding window.
+    Closed,
+    /// Classical-only serving; a cooldown counts down to a probe.
+    Open,
+    /// Probing: neural attempts allowed, one failure re-opens.
+    HalfOpen,
+}
+
+/// Sliding-window circuit breaker over neural serving outcomes.
+///
+/// Closed → Open when the window holds at least `min_samples` outcomes and
+/// the failure rate reaches `failure_threshold`; Open → HalfOpen after
+/// `cooldown_queries` classical-only queries; HalfOpen → Closed after
+/// `probe_successes` consecutive neural successes, or back to Open on any
+/// probe failure.
+#[derive(Debug, Clone)]
+pub struct CircuitBreaker {
+    state: BreakerState,
+    window: VecDeque<bool>,
+    window_len: usize,
+    min_samples: usize,
+    threshold: f64,
+    cooldown: usize,
+    cooldown_left: usize,
+    probes_needed: usize,
+    probe_streak: usize,
+    trips: usize,
+    recoveries: usize,
+    probes: usize,
+}
+
+impl CircuitBreaker {
+    fn new(cfg: &SupervisorConfig) -> Self {
+        Self {
+            state: BreakerState::Closed,
+            window: VecDeque::with_capacity(cfg.window),
+            window_len: cfg.window.max(1),
+            min_samples: cfg.min_samples.max(1),
+            threshold: cfg.failure_threshold,
+            cooldown: cfg.cooldown_queries,
+            cooldown_left: 0,
+            probes_needed: cfg.probe_successes.max(1),
+            probe_streak: 0,
+            trips: 0,
+            recoveries: 0,
+            probes: 0,
+        }
+    }
+
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// Decide whether the next query may take the neural path. Open-state
+    /// calls count down the cooldown; the call that exhausts it transitions
+    /// to half-open and admits a probe.
+    fn allow_neural(&mut self) -> bool {
+        match self.state {
+            BreakerState::Closed => true,
+            BreakerState::HalfOpen => {
+                self.probes += 1;
+                true
+            }
+            BreakerState::Open => {
+                if self.cooldown_left == 0 {
+                    self.state = BreakerState::HalfOpen;
+                    self.probe_streak = 0;
+                    self.probes += 1;
+                    true
+                } else {
+                    self.cooldown_left -= 1;
+                    false
+                }
+            }
+        }
+    }
+
+    /// Feed back the outcome of a neural-path query (`true` = served
+    /// neurally, `false` = fell back to classical).
+    fn record(&mut self, neural_ok: bool) {
+        match self.state {
+            BreakerState::Closed => {
+                if self.window.len() == self.window_len {
+                    self.window.pop_front();
+                }
+                self.window.push_back(neural_ok);
+                if self.window.len() >= self.min_samples {
+                    let failures = self.window.iter().filter(|ok| !**ok).count();
+                    if failures as f64 / self.window.len() as f64 >= self.threshold {
+                        self.state = BreakerState::Open;
+                        self.cooldown_left = self.cooldown;
+                        self.window.clear();
+                        self.trips += 1;
+                    }
+                }
+            }
+            BreakerState::HalfOpen => {
+                if neural_ok {
+                    self.probe_streak += 1;
+                    if self.probe_streak >= self.probes_needed {
+                        self.state = BreakerState::Closed;
+                        self.probe_streak = 0;
+                        self.recoveries += 1;
+                    }
+                } else {
+                    self.state = BreakerState::Open;
+                    self.cooldown_left = self.cooldown;
+                    self.probe_streak = 0;
+                }
+            }
+            // Open-state queries never reach the neural path; nothing to
+            // record.
+            BreakerState::Open => {}
+        }
+    }
+}
+
+/// One query in a supervised stream, stamped with virtual arrival and
+/// deadline times (absolute milliseconds on the supervisor's clock).
+#[derive(Debug, Clone)]
+pub struct QueryRequest {
+    pub query: Query,
+    /// Virtual arrival time.
+    pub arrival_ms: f64,
+    /// Absolute deadline; the answer is useless after this instant.
+    pub deadline_ms: f64,
+}
+
+/// Why a request was shed instead of served.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ShedReason {
+    /// The bounded admission queue was at capacity when the query arrived.
+    QueueFull { depth: usize },
+    /// Even served immediately the query could not meet its deadline.
+    DeadlineUnmeetable { earliest_finish_ms: f64, deadline_ms: f64 },
+    /// Admitted, but queue wait consumed the deadline before service began.
+    ExpiredInQueue { would_finish_ms: f64, deadline_ms: f64 },
+}
+
+impl std::fmt::Display for ShedReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShedReason::QueueFull { depth } => write!(f, "queue full (depth {depth})"),
+            ShedReason::DeadlineUnmeetable { earliest_finish_ms, deadline_ms } => write!(
+                f,
+                "deadline unmeetable: earliest finish {earliest_finish_ms:.1}ms > deadline {deadline_ms:.1}ms"
+            ),
+            ShedReason::ExpiredInQueue { would_finish_ms, deadline_ms } => write!(
+                f,
+                "expired in queue: would finish {would_finish_ms:.1}ms > deadline {deadline_ms:.1}ms"
+            ),
+        }
+    }
+}
+
+/// Final disposition of one supervised request.
+#[derive(Debug, Clone)]
+pub enum Disposition {
+    /// Served (neurally or classically); the full single-query audit trail.
+    Served(ServeResult),
+    /// Shed without planning, with the recorded reason.
+    Shed(ShedReason),
+}
+
+/// One request's outcome in a [`Supervisor::run`] batch.
+#[derive(Debug, Clone)]
+pub struct SupervisedOutcome {
+    /// `query.id` of the request.
+    pub query_id: String,
+    pub disposition: Disposition,
+}
+
+/// Supervised serving loop over a stream of [`QueryRequest`]s.
+///
+/// State (breaker, counters, virtual clock) persists across [`Self::run`]
+/// calls, so a faulted batch can trip the breaker and a later clean batch
+/// can demonstrate half-open recovery.
+pub struct Supervisor {
+    cfg: SupervisorConfig,
+    breaker: CircuitBreaker,
+    counters: ServeCounters,
+    /// Virtual completion times of admitted-but-unfinished queries.
+    in_flight: VecDeque<f64>,
+    /// When the (single, virtual) server frees up.
+    server_free_ms: f64,
+}
+
+impl Supervisor {
+    pub fn new(cfg: SupervisorConfig) -> Self {
+        let breaker = CircuitBreaker::new(&cfg);
+        Self {
+            cfg,
+            breaker,
+            counters: ServeCounters::default(),
+            in_flight: VecDeque::new(),
+            server_free_ms: 0.0,
+        }
+    }
+
+    /// Current breaker state.
+    pub fn breaker_state(&self) -> BreakerState {
+        self.breaker.state()
+    }
+
+    /// Accumulated per-outcome counters.
+    pub fn counters(&self) -> ServeCounters {
+        let mut c = self.counters;
+        c.breaker_trips = self.breaker.trips;
+        c.breaker_recoveries = self.breaker.recoveries;
+        c.probes = self.breaker.probes;
+        c
+    }
+
+    /// Swap the injected fault configuration between batches (chaos tests:
+    /// fault a stream to trip the breaker, clear to watch it recover).
+    pub fn set_faults(&mut self, faults: Option<FaultConfig>) {
+        self.cfg.serve.faults = faults;
+    }
+
+    /// Process a batch of requests ordered by arrival time: admission
+    /// control against the bounded queue, deadline-aware shedding, then
+    /// FIFO service through the circuit breaker. Every admitted query is
+    /// served — neurally when the breaker allows and the attempt succeeds,
+    /// classically otherwise — and every shed carries its reason.
+    pub fn run(
+        &mut self,
+        db: &Database,
+        model: Option<&QPSeeker<'_>>,
+        requests: &[QueryRequest],
+    ) -> Vec<SupervisedOutcome> {
+        let mut outcomes = Vec::with_capacity(requests.len());
+        for req in requests {
+            let disposition = self.admit_and_serve(db, model, req);
+            outcomes.push(SupervisedOutcome { query_id: req.query.id.clone(), disposition });
+        }
+        outcomes
+    }
+
+    fn admit_and_serve(
+        &mut self,
+        db: &Database,
+        model: Option<&QPSeeker<'_>>,
+        req: &QueryRequest,
+    ) -> Disposition {
+        // Drain virtually-completed work as of this arrival.
+        while self.in_flight.front().is_some_and(|&t| t <= req.arrival_ms) {
+            self.in_flight.pop_front();
+        }
+        // A deadline that cannot be met even on an idle server is rejected
+        // before it takes a queue slot.
+        let earliest_finish = req.arrival_ms + self.cfg.service_ms;
+        if earliest_finish > req.deadline_ms {
+            self.counters.shed_deadline += 1;
+            return Disposition::Shed(ShedReason::DeadlineUnmeetable {
+                earliest_finish_ms: earliest_finish,
+                deadline_ms: req.deadline_ms,
+            });
+        }
+        let depth = self.in_flight.len();
+        if depth >= self.cfg.queue_capacity {
+            self.counters.shed_queue_full += 1;
+            return Disposition::Shed(ShedReason::QueueFull { depth });
+        }
+        let start = req.arrival_ms.max(self.server_free_ms);
+        let would_finish = start + self.cfg.service_ms;
+        if would_finish > req.deadline_ms {
+            // Admitted to the queue, but its slack was eaten waiting:
+            // dropped at dequeue without charging the server.
+            self.counters.expired_in_queue += 1;
+            return Disposition::Shed(ShedReason::ExpiredInQueue {
+                would_finish_ms: would_finish,
+                deadline_ms: req.deadline_ms,
+            });
+        }
+        self.server_free_ms = would_finish;
+        self.in_flight.push_back(would_finish);
+        self.counters.admitted += 1;
+
+        let neural_allowed = model.is_some() && self.breaker.allow_neural();
+        let result = if neural_allowed {
+            let r = plan_with_fallback(db, &req.query, model, &self.cfg.serve);
+            self.breaker.record(r.served_by == ServedBy::Neural);
+            r
+        } else {
+            let reason = if model.is_some() {
+                FallbackReason::BreakerOpen
+            } else {
+                FallbackReason::ModelUnavailable("no model loaded".into())
+            };
+            classical(db, &req.query, 0, 0.0, vec![reason.clone()], reason)
+        };
+        match result.served_by {
+            ServedBy::Neural => self.counters.served_neural += 1,
+            ServedBy::Classical => self.counters.served_classical += 1,
+        }
+        Disposition::Served(result)
     }
 }
 
@@ -242,7 +587,7 @@ mod tests {
         let w = synthetic::generate(db, &SyntheticConfig { n_queries: 12, seed: 3 });
         let refs: Vec<&Qep> = w.qeps.iter().collect();
         let mut model = QPSeeker::new(db, ModelConfig::small());
-        model.fit(&refs);
+        model.fit(&refs).expect("training succeeds");
         model
     }
 
@@ -328,6 +673,140 @@ mod tests {
         let r = plan_with_fallback(&db, &queries[0], Some(&model), &cfg);
         assert_eq!(r.served_by, ServedBy::Classical);
         assert!(matches!(r.fallback_reason, Some(FallbackReason::DeadlineExceeded { .. })));
+    }
+
+    fn tight_breaker_cfg() -> SupervisorConfig {
+        SupervisorConfig {
+            window: 4,
+            min_samples: 4,
+            failure_threshold: 0.5,
+            cooldown_queries: 2,
+            probe_successes: 2,
+            ..SupervisorConfig::default()
+        }
+    }
+
+    #[test]
+    fn breaker_trips_then_recovers_through_half_open_probes() {
+        let mut b = CircuitBreaker::new(&tight_breaker_cfg());
+        assert_eq!(b.state(), BreakerState::Closed);
+        for _ in 0..4 {
+            assert!(b.allow_neural());
+            b.record(false);
+        }
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.trips, 1);
+        // Cooldown: two classical-only queries, then a probe is admitted.
+        assert!(!b.allow_neural());
+        assert!(!b.allow_neural());
+        assert!(b.allow_neural(), "cooldown exhausted: probe expected");
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        b.record(true);
+        assert_eq!(b.state(), BreakerState::HalfOpen, "one probe is not enough");
+        assert!(b.allow_neural());
+        b.record(true);
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.recoveries, 1);
+        assert_eq!(b.probes, 2);
+    }
+
+    #[test]
+    fn probe_failure_reopens_the_circuit() {
+        let mut b = CircuitBreaker::new(&tight_breaker_cfg());
+        for _ in 0..4 {
+            b.allow_neural();
+            b.record(false);
+        }
+        assert!(!b.allow_neural());
+        assert!(!b.allow_neural());
+        assert!(b.allow_neural());
+        b.record(false);
+        assert_eq!(b.state(), BreakerState::Open, "failed probe must re-open");
+        // And the cooldown restarts from the top.
+        assert!(!b.allow_neural());
+        assert!(!b.allow_neural());
+        assert!(b.allow_neural());
+    }
+
+    #[test]
+    fn closed_breaker_tolerates_failures_below_threshold() {
+        let mut b = CircuitBreaker::new(&tight_breaker_cfg());
+        for i in 0..32 {
+            assert!(b.allow_neural());
+            b.record(i % 4 != 0); // 25% failures < 50% threshold
+        }
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.trips, 0);
+    }
+
+    #[test]
+    fn supervisor_sheds_with_recorded_reasons_instead_of_blocking() {
+        let (db, queries) = db_and_workload();
+        let cfg =
+            SupervisorConfig { queue_capacity: 2, service_ms: 10.0, ..SupervisorConfig::default() };
+        let mut sup = Supervisor::new(cfg);
+        let req = |i: usize, arrival: f64, deadline: f64| QueryRequest {
+            query: queries[i % queries.len()].clone(),
+            arrival_ms: arrival,
+            deadline_ms: deadline,
+        };
+        let stream = vec![
+            req(0, 0.0, 1e9),   // served, finishes at 10
+            req(1, 0.0, 1e9),   // served, finishes at 20
+            req(2, 0.0, 1e9),   // depth 2 == capacity -> QueueFull
+            req(3, 1.0, 5.0),   // cannot finish by 5 even unqueued -> DeadlineUnmeetable
+            req(4, 12.0, 25.0), // feasible alone, but queue wait -> ExpiredInQueue
+        ];
+        let outcomes = sup.run(&db, None, &stream);
+        assert!(matches!(&outcomes[0].disposition, Disposition::Served(_)));
+        assert!(matches!(&outcomes[1].disposition, Disposition::Served(_)));
+        assert!(matches!(
+            &outcomes[2].disposition,
+            Disposition::Shed(ShedReason::QueueFull { depth: 2 })
+        ));
+        assert!(matches!(
+            &outcomes[3].disposition,
+            Disposition::Shed(ShedReason::DeadlineUnmeetable { .. })
+        ));
+        assert!(matches!(
+            &outcomes[4].disposition,
+            Disposition::Shed(ShedReason::ExpiredInQueue { .. })
+        ));
+        let c = sup.counters();
+        assert_eq!(c.admitted, 2);
+        assert_eq!(c.served_classical, 2, "no model: everything admitted serves classically");
+        assert_eq!(c.shed_queue_full, 1);
+        assert_eq!(c.shed_deadline, 1);
+        assert_eq!(c.expired_in_queue, 1);
+        assert_eq!(c.total_seen(), 5);
+        // Every served query still carries a valid plan.
+        for o in &outcomes {
+            if let Disposition::Served(r) = &o.disposition {
+                assert!(r.plan.validate(&queries[0]).is_ok() || r.attempts == 0);
+            }
+        }
+    }
+
+    #[test]
+    fn queue_drains_as_virtual_time_advances() {
+        let (db, queries) = db_and_workload();
+        let cfg =
+            SupervisorConfig { queue_capacity: 1, service_ms: 10.0, ..SupervisorConfig::default() };
+        let mut sup = Supervisor::new(cfg);
+        let req = |arrival: f64| QueryRequest {
+            query: queries[0].clone(),
+            arrival_ms: arrival,
+            deadline_ms: 1e9,
+        };
+        // Second arrival while the first is in service -> shed; third after
+        // the first completes -> admitted again.
+        let outcomes = sup.run(&db, None, &[req(0.0), req(5.0), req(11.0)]);
+        assert!(matches!(&outcomes[0].disposition, Disposition::Served(_)));
+        assert!(matches!(
+            &outcomes[1].disposition,
+            Disposition::Shed(ShedReason::QueueFull { .. })
+        ));
+        assert!(matches!(&outcomes[2].disposition, Disposition::Served(_)));
     }
 
     #[test]

@@ -38,7 +38,7 @@ fn shared_model() -> &'static QPSeeker<'static> {
         )));
         let refs: Vec<&Qep> = w.qeps.iter().collect();
         let mut m = QPSeeker::new(db, ModelConfig::small());
-        m.fit(&refs);
+        m.fit(&refs).expect("training succeeds");
         m
     })
 }
@@ -117,7 +117,7 @@ fn parallel_training_is_bit_identical_across_shard_counts() {
         let mut cfg = ModelConfig::small();
         cfg.train_threads = threads;
         let mut m = QPSeeker::new(&db, cfg);
-        m.fit(&refs);
+        m.fit(&refs).expect("training succeeds");
         m
     };
     let reference = train(1);

@@ -7,10 +7,11 @@
 //! numerical trouble instead of silently diverging.
 
 use crate::params::ParamStore;
+use serde::{Deserialize, Serialize};
 
 /// What the numerical guards did during one optimizer step. All-zero for a
 /// healthy step.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct StepReport {
     /// Gradient elements that were NaN/Inf and treated as zero.
     pub nonfinite_grads: usize,
@@ -36,7 +37,12 @@ impl StepReport {
 }
 
 /// Adam optimizer with per-parameter first/second-moment state.
-#[derive(Debug, Clone)]
+///
+/// Serializable so a training run can snapshot its optimizer mid-flight:
+/// the moment buffers and step counter round-trip exactly (the vendored
+/// JSON writer emits shortest-round-trip floats), which is what makes
+/// crash+resume bitwise-identical to an uninterrupted run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Adam {
     pub lr: f32,
     pub beta1: f32,

@@ -15,10 +15,20 @@
 //!   histogram bounds and zeroed distinct counts (permanent),
 //! * **row-budget aborts** — execution exceeds an admission-control row cap,
 //! * **inference faults** — the serving layer's model produces a non-finite
-//!   prediction or stalls past its deadline (exercises graceful degradation).
+//!   prediction or stalls past its deadline (exercises graceful degradation),
+//! * **durable-path faults** — a durable write is torn (partial bytes reach
+//!   the destination, as on a non-atomic filesystem) or the process "dies"
+//!   at a crash point mid-protocol (exercises snapshot recovery).
+//!
+//! Durable-path decisions additionally consume a shared write sequence
+//! counter (clones of one injector share it), so "crash at the k-th durable
+//! write" is expressible — that is what the kill-at-every-epoch crash-
+//! recovery sweep arms.
 
 use crate::error::StorageError;
 use crate::stats::TableStats;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Fault-injection configuration. `Default` injects nothing.
 #[derive(Debug, Clone)]
@@ -39,6 +49,14 @@ pub struct FaultConfig {
     pub inference_nan_p: f64,
     /// Probability one neural-inference attempt stalls past its deadline.
     pub inference_stall_p: f64,
+    /// Probability a durable write is torn: a truncated prefix reaches the
+    /// destination (simulating a crash mid-write on a filesystem without
+    /// atomic rename) and the writing process "dies".
+    pub torn_write_p: f64,
+    /// Simulated process kill: durable write number `n` (0-based, counted
+    /// across all clones of the injector) crashes before any bytes reach
+    /// disk, as does every write after it.
+    pub crash_after_writes: Option<u64>,
 }
 
 impl Default for FaultConfig {
@@ -52,6 +70,8 @@ impl Default for FaultConfig {
             row_budget: None,
             inference_nan_p: 0.0,
             inference_stall_p: 0.0,
+            torn_write_p: 0.0,
+            crash_after_writes: None,
         }
     }
 }
@@ -68,6 +88,8 @@ impl FaultConfig {
             row_budget: None,
             inference_nan_p: p,
             inference_stall_p: p,
+            torn_write_p: p,
+            crash_after_writes: None,
         }
     }
 }
@@ -82,15 +104,28 @@ pub enum InferenceFault {
     Stall,
 }
 
-/// Stateless decider for an armed [`FaultConfig`].
+/// Simulated faults on the durable (snapshot/checkpoint) write path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DurableFault {
+    /// Only the first `keep_bytes` of the payload reach the destination
+    /// before the process "dies" (non-atomic torn write).
+    TornWrite { keep_bytes: usize },
+    /// The process "dies" at the crash point, before any bytes are written.
+    CrashPoint,
+}
+
+/// Decider for an armed [`FaultConfig`]. Stateless except for the durable
+/// write sequence counter, which clones share so a crash point fires at the
+/// same global write regardless of which clone performs it.
 #[derive(Debug, Clone)]
 pub struct FaultInjector {
     cfg: FaultConfig,
+    durable_writes: Arc<AtomicU64>,
 }
 
 impl FaultInjector {
     pub fn new(cfg: FaultConfig) -> Self {
-        Self { cfg }
+        Self { cfg, durable_writes: Arc::new(AtomicU64::new(0)) }
     }
 
     pub fn config(&self) -> &FaultConfig {
@@ -150,6 +185,32 @@ impl FaultInjector {
     /// The configured row budget, if any.
     pub fn row_budget(&self) -> Option<u64> {
         self.cfg.row_budget
+    }
+
+    /// Fault decision for one durable write of `len` payload bytes at
+    /// `site`. Consumes one tick of the shared write sequence; the decision
+    /// is a pure function of `(seed, site, sequence)`, so a schedule replays
+    /// identically when the same writes happen in the same order.
+    pub fn durable_fault(&self, site: &str, len: usize) -> Option<DurableFault> {
+        let seq = self.durable_writes.fetch_add(1, Ordering::Relaxed);
+        if let Some(n) = self.cfg.crash_after_writes {
+            if seq >= n {
+                return Some(DurableFault::CrashPoint);
+            }
+        }
+        let key = format!("{site}#{seq}");
+        if len > 0 && self.trips("torn_write", &key, self.cfg.torn_write_p) {
+            // Deterministic truncation point, strictly shorter than the
+            // payload so the write is genuinely torn.
+            let keep = (fault_hash(self.cfg.seed, "torn_len", &key) as usize) % len;
+            return Some(DurableFault::TornWrite { keep_bytes: keep });
+        }
+        None
+    }
+
+    /// Durable writes attempted so far (shared across clones).
+    pub fn durable_writes(&self) -> u64 {
+        self.durable_writes.load(Ordering::Relaxed)
     }
 
     /// Fault decision for one neural-inference attempt.
@@ -252,6 +313,59 @@ mod tests {
         let bad = fi.corrupted_stats(&stats);
         let err = bad.validate().unwrap_err();
         assert!(matches!(err, StorageError::CorruptStats { .. }), "{err}");
+    }
+
+    #[test]
+    fn durable_faults_default_off() {
+        let fi = FaultInjector::new(FaultConfig::default());
+        for _ in 0..50 {
+            assert!(fi.durable_fault("snap", 1024).is_none());
+        }
+        assert_eq!(fi.durable_writes(), 50);
+    }
+
+    #[test]
+    fn crash_point_fires_at_the_configured_write_and_after() {
+        let cfg = FaultConfig { crash_after_writes: Some(3), ..FaultConfig::default() };
+        let fi = FaultInjector::new(cfg);
+        assert!(fi.durable_fault("snap", 10).is_none()); // write 0
+        assert!(fi.durable_fault("snap", 10).is_none()); // write 1
+        assert!(fi.durable_fault("snap", 10).is_none()); // write 2
+        assert_eq!(fi.durable_fault("snap", 10), Some(DurableFault::CrashPoint));
+        assert_eq!(fi.durable_fault("snap", 10), Some(DurableFault::CrashPoint));
+    }
+
+    #[test]
+    fn clones_share_the_write_sequence() {
+        let cfg = FaultConfig { crash_after_writes: Some(2), ..FaultConfig::default() };
+        let a = FaultInjector::new(cfg);
+        let b = a.clone();
+        assert!(a.durable_fault("snap", 10).is_none());
+        assert!(b.durable_fault("snap", 10).is_none());
+        assert_eq!(a.durable_fault("snap", 10), Some(DurableFault::CrashPoint));
+    }
+
+    #[test]
+    fn torn_writes_truncate_strictly_below_the_payload_length() {
+        let cfg = FaultConfig { seed: 11, torn_write_p: 1.0, ..FaultConfig::default() };
+        let fi = FaultInjector::new(cfg);
+        for _ in 0..100 {
+            match fi.durable_fault("snap", 64) {
+                Some(DurableFault::TornWrite { keep_bytes }) => assert!(keep_bytes < 64),
+                other => panic!("p=1.0 torn write did not fire: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn torn_write_schedule_is_deterministic_per_seed() {
+        let mk = || {
+            FaultInjector::new(FaultConfig { seed: 7, torn_write_p: 0.3, ..FaultConfig::default() })
+        };
+        let (a, b) = (mk(), mk());
+        for _ in 0..200 {
+            assert_eq!(a.durable_fault("snap", 128), b.durable_fault("snap", 128));
+        }
     }
 
     #[test]

@@ -34,6 +34,6 @@ pub mod zipf;
 
 pub use catalog::{Catalog, ColumnMeta, Database, ForeignKey, IndexMeta, TableMeta};
 pub use error::StorageError;
-pub use fault::{FaultConfig, FaultInjector, InferenceFault};
+pub use fault::{DurableFault, FaultConfig, FaultInjector, InferenceFault};
 pub use stats::{ColumnStats, Histogram, TableStats, BLOCK_SIZE};
 pub use table::{Column, ColumnData, DataType, Table, TextBuilder, Value};

@@ -28,7 +28,7 @@ fn main() {
     let mut cfg = ModelConfig::small();
     cfg.epochs = 12;
     let mut model = QPSeeker::new(&db, cfg);
-    model.fit(&refs);
+    model.fit(&refs).expect("training succeeds");
 
     let mut bao = Bao::new(&db, BaoConfig { epochs: 8, ..Default::default() });
     let bao_train: Vec<&Query> = synth.qeps.iter().map(|q| &q.query).take(80).collect();

@@ -26,7 +26,7 @@ fn main() {
     // Query-level split: evaluation queries are never seen in training.
     let (train, eval) = workload.split(0.8, true);
     let mut model = QPSeeker::new(&db, ModelConfig::small());
-    model.fit(&train);
+    model.fit(&train).expect("training succeeds");
 
     // Collect the distinct evaluation queries.
     let mut seen = std::collections::HashSet::new();

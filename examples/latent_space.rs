@@ -21,7 +21,7 @@ fn main() {
 
     let (train, _) = workload.split(0.8, true);
     let mut model = QPSeeker::new(&db, ModelConfig::small());
-    model.fit(&train);
+    model.fit(&train).expect("training succeeds");
 
     // Latents of up to 250 QEPs.
     let cap = 250.min(workload.qeps.len());

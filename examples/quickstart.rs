@@ -46,7 +46,7 @@ fn main() {
     cfg.epochs = 20;
     let mut model = QPSeeker::new(&db, cfg);
     let refs: Vec<&Qep> = workload.qeps.iter().collect();
-    let report = model.fit(&refs);
+    let report = model.fit(&refs).expect("training succeeds");
     println!(
         "trained {} parameters in {:.1}s (loss {:.3} -> {:.3})",
         model.num_parameters(),

@@ -3,14 +3,19 @@
 //! ```text
 //! qpseeker gen-db    --schema imdb|stack --scale 0.2 --seed 42 --out db.json
 //! qpseeker train     --db db.json --workload synthetic|job|stack --queries 200 \
-//!                    --config small|bench|paper --out model.json
+//!                    --config small|bench|paper --out model.json \
+//!                    [--resume] [--snapshot-dir dir] [--keep 3]
 //! qpseeker explain   --db db.json --sql "SELECT COUNT(*) FROM ..."
 //! qpseeker run       --db db.json --sql "SELECT COUNT(*) FROM ..."
 //! qpseeker plan      --db db.json --model model.json --sql "..." [--execute]
+//! qpseeker serve     --db db.json --sql "..." | --stream 50 [--model model.json]
 //! ```
 //!
 //! Databases and models are plain JSON artifacts, so sessions compose:
-//! generate once, train once, plan many times.
+//! generate once, train once, plan many times. Training with `--resume`
+//! journals a snapshot after every epoch (atomic rename + checksum) and
+//! picks up from the newest valid one after a crash, with bitwise-identical
+//! final parameters.
 
 use qpseeker_repro::core::prelude::*;
 use qpseeker_repro::engine::prelude::*;
@@ -63,6 +68,10 @@ commands:
   gen-db   --schema imdb|stack --scale <f64> --seed <u64> --out <db.json>
   train    --db <db.json> --workload synthetic|job|stack --queries <n>
            [--config small|bench|paper] [--epochs <n>] --out <model.json>
+           [--resume] [--snapshot-dir <dir>] [--keep <n>]
+           (--resume journals per-epoch snapshots to <dir> — default
+            <out>.snapshots — and continues from the newest valid one;
+            a resumed run lands on bitwise-identical parameters)
   explain  --db <db.json> --sql \"SELECT COUNT(*) FROM ...\"
   run      --db <db.json> --sql \"...\"            (optimize + execute)
   plan     --db <db.json> --model <model.json> --sql \"...\" [--execute]
@@ -70,7 +79,11 @@ commands:
   serve    --db <db.json> --sql \"...\" [--model <model.json>]
            [--deadline-ms <f64>] [--retries <n>] [--chaos <p> --seed <u64>]
            (neural planning with deadline watchdog, retries and classical
-            fallback; --chaos arms deterministic fault injection)";
+            fallback; --chaos arms deterministic fault injection)
+           --stream <n> replaces --sql: a supervised serving loop over n
+           synthetic queries with a bounded admission queue, deadline-aware
+           load-shedding and a neural/classical circuit breaker
+           [--queue <n>] [--service-ms <f64>] [--interval-ms <f64>]";
 
 type Opts = HashMap<String, String>;
 
@@ -123,7 +136,7 @@ fn gen_db(opts: &Opts) -> Result<(), String> {
         other => return Err(format!("unknown schema '{other}' (imdb|stack)")),
     };
     let json = serde_json::to_string(&db).map_err(|e| e.to_string())?;
-    std::fs::write(out, json).map_err(|e| e.to_string())?;
+    write_atomic(std::path::Path::new(out), &json, None).map_err(|e| e.to_string())?;
     println!(
         "wrote {out}: schema {schema}, {} tables, {} rows",
         db.catalog.num_tables(),
@@ -176,7 +189,20 @@ fn train(opts: &Opts) -> Result<(), String> {
     let cfg = model_config(opts)?;
     let mut model = QPSeeker::new(&db, cfg);
     let refs: Vec<&Qep> = workload.qeps.iter().collect();
-    let report = model.fit(&refs);
+    let report = if opts.contains_key("resume") || opts.contains_key("snapshot-dir") {
+        let dir = opts.get("snapshot-dir").cloned().unwrap_or_else(|| format!("{out}.snapshots"));
+        let keep: usize = opts
+            .get("keep")
+            .map(|s| s.parse())
+            .transpose()
+            .map_err(|e| format!("--keep: {e}"))?
+            .unwrap_or(3);
+        let journal = SnapshotStore::create(&dir, "epoch", keep).map_err(|e| e.to_string())?;
+        eprintln!("journaling per-epoch snapshots to {dir} (keep {keep})...");
+        model.fit_resumable(&refs, &journal).map_err(|e| e.to_string())?
+    } else {
+        model.fit(&refs).map_err(|e| e.to_string())?
+    };
     println!(
         "trained {} parameters in {:.1}s (loss {:.3} -> {:.3})",
         model.num_parameters(),
@@ -194,7 +220,7 @@ fn train(opts: &Opts) -> Result<(), String> {
     }
     let ckpt = Checkpoint::capture(&model, &db);
     let json = ckpt.to_json().map_err(|e| e.to_string())?;
-    std::fs::write(out, json).map_err(|e| e.to_string())?;
+    write_atomic(std::path::Path::new(out), &json, None).map_err(|e| e.to_string())?;
     println!("wrote {out}");
     Ok(())
 }
@@ -247,8 +273,13 @@ fn plan(opts: &Opts) -> Result<(), String> {
 /// Serve a query through the graceful-degradation path: neural planning
 /// guarded by a deadline watchdog with bounded retries, falling back to the
 /// classical optimizer. `--chaos <p>` arms every fault class at rate `p`.
+/// With `--stream <n>` the queries run through the supervised serving loop
+/// (bounded queue, load-shedding, circuit breaker) instead.
 fn serve(opts: &Opts) -> Result<(), String> {
     let db = load_db(opts)?;
+    if opts.contains_key("stream") {
+        return serve_stream(&db, opts);
+    }
     let q = parse_sql(&db, req(opts, "sql")?)?;
 
     let mut cfg = ServeConfig::default();
@@ -294,5 +325,95 @@ fn serve(opts: &Opts) -> Result<(), String> {
     if let Some(reason) = &r.fallback_reason {
         println!("fallback reason: {reason}");
     }
+    Ok(())
+}
+
+/// Supervised serving loop: `n` synthetic queries stream through the
+/// [`Supervisor`] — bounded admission queue, deadline-aware shedding and a
+/// circuit breaker guarding the neural path.
+fn serve_stream(db: &Database, opts: &Opts) -> Result<(), String> {
+    let n: usize = req(opts, "stream")?.parse().map_err(|e| format!("--stream: {e}"))?;
+    let seed: u64 = opts
+        .get("seed")
+        .map(|s| s.parse())
+        .transpose()
+        .map_err(|e| format!("--seed: {e}"))?
+        .unwrap_or(42);
+    let interval_ms: f64 = opts
+        .get("interval-ms")
+        .map(|s| s.parse())
+        .transpose()
+        .map_err(|e| format!("--interval-ms: {e}"))?
+        .unwrap_or(5.0);
+
+    let mut cfg = SupervisorConfig::default();
+    if let Some(d) = opts.get("deadline-ms") {
+        cfg.serve.deadline_ms = d.parse().map_err(|e| format!("--deadline-ms: {e}"))?;
+    }
+    if let Some(r) = opts.get("retries") {
+        cfg.serve.max_retries = r.parse().map_err(|e| format!("--retries: {e}"))?;
+    }
+    if let Some(p) = opts.get("chaos") {
+        let p: f64 = p.parse().map_err(|e| format!("--chaos: {e}"))?;
+        cfg.serve.faults = Some(qpseeker_repro::storage::FaultConfig::chaos(seed, p));
+    }
+    if let Some(q) = opts.get("queue") {
+        cfg.queue_capacity = q.parse().map_err(|e| format!("--queue: {e}"))?;
+    }
+    if let Some(s) = opts.get("service-ms") {
+        cfg.service_ms = s.parse().map_err(|e| format!("--service-ms: {e}"))?;
+    }
+
+    let model = match opts.get("model") {
+        Some(path) => {
+            let data = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+            let ckpt = Checkpoint::from_json(&data).map_err(|e| e.to_string())?;
+            Some(ckpt.restore(db).map_err(|e| e.to_string())?)
+        }
+        None => None,
+    };
+
+    let workload = synthetic::generate(db, &SyntheticConfig { n_queries: n, seed });
+    // Each query must finish within the per-query serving deadline after the
+    // moment it reaches the server, so budget queue wait + service on top of
+    // its arrival instant.
+    let slack_ms = cfg.serve.deadline_ms.max(cfg.service_ms * 4.0);
+    let requests: Vec<QueryRequest> = workload
+        .qeps
+        .iter()
+        .enumerate()
+        .map(|(i, qep)| {
+            let arrival_ms = i as f64 * interval_ms;
+            QueryRequest {
+                query: qep.query.clone(),
+                arrival_ms,
+                deadline_ms: arrival_ms + slack_ms,
+            }
+        })
+        .collect();
+
+    eprintln!(
+        "streaming {n} queries (interval {interval_ms} ms, queue {}, service {} ms)...",
+        cfg.queue_capacity, cfg.service_ms
+    );
+    let mut sup = Supervisor::new(cfg);
+    let outcomes = sup.run(db, model.as_ref(), &requests);
+    for out in &outcomes {
+        match &out.disposition {
+            Disposition::Served(r) => {
+                let path = match r.served_by {
+                    ServedBy::Neural => "neural",
+                    ServedBy::Classical => "classical",
+                };
+                match &r.fallback_reason {
+                    Some(reason) => println!("query {}: {path} ({reason})", out.query_id),
+                    None => println!("query {}: {path}", out.query_id),
+                }
+            }
+            Disposition::Shed(reason) => println!("query {}: shed — {reason}", out.query_id),
+        }
+    }
+    println!("{}", sup.counters());
+    println!("breaker: {:?}", sup.breaker_state());
     Ok(())
 }

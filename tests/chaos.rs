@@ -29,7 +29,7 @@ fn shared_model() -> &'static QPSeeker<'static> {
         let w = synthetic::generate(db, &SyntheticConfig { n_queries: 12, seed: 3 });
         let refs: Vec<&Qep> = w.qeps.iter().collect();
         let mut model = QPSeeker::new(db, ModelConfig::small());
-        model.fit(&refs);
+        model.fit(&refs).expect("training succeeds");
         model
     })
 }
@@ -112,7 +112,7 @@ fn chaos_nan_weights_degrade_gracefully_on_fast_path() {
     let refs: Vec<&Qep> = w.qeps.iter().collect();
     let mut model = QPSeeker::new(db, ModelConfig::small());
     assert!(model.config.fast_inference, "presets enable the fast path");
-    model.fit(&refs);
+    model.fit(&refs).expect("training succeeds");
     // Poison every parameter tensor so any forward pass yields NaN.
     let ids: Vec<_> = model.store.iter().map(|(id, _)| id).collect();
     for id in ids {
@@ -164,6 +164,145 @@ fn chaos_checkpoint_corruption_is_detected() {
         let truncated = &json[..json.len() * frac / 4];
         assert!(Checkpoint::from_json(truncated).is_err(), "truncation to {frac}/4 was accepted");
     }
+}
+
+/// CI seed offset (see .github/workflows: the chaos job sweeps 3 seeds).
+fn chaos_seed() -> u64 {
+    std::env::var("QPS_CHAOS_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(0)
+}
+
+fn breaker_cfg(faults: Option<FaultConfig>) -> SupervisorConfig {
+    SupervisorConfig {
+        serve: quick_serve_cfg(faults),
+        window: 8,
+        min_samples: 4,
+        failure_threshold: 0.5,
+        cooldown_queries: 4,
+        probe_successes: 2,
+        queue_capacity: 64,
+        service_ms: 5.0,
+    }
+}
+
+/// Requests spaced widely enough that admission never interferes: the only
+/// variable under test is the breaker.
+fn spaced_requests(n: usize, qseed: u64, start_ms: f64) -> Vec<QueryRequest> {
+    chaos_queries(n, qseed)
+        .into_iter()
+        .enumerate()
+        .map(|(i, query)| {
+            let arrival_ms = start_ms + i as f64 * 10.0;
+            QueryRequest { query, arrival_ms, deadline_ms: arrival_ms + 1_000.0 }
+        })
+        .collect()
+}
+
+/// Acceptance: under a fault seed forcing 100% neural failures the
+/// supervisor trips to classical-only within the window while continuing to
+/// serve every admitted query; once the faults clear, half-open probes close
+/// the breaker again and neural serving resumes.
+#[test]
+fn chaos_supervisor_trips_to_classical_and_recovers_when_faults_clear() {
+    let db = shared_db();
+    let model = shared_model();
+    let faults = FaultConfig {
+        seed: 0xb4ea ^ chaos_seed(),
+        inference_nan_p: 1.0, // every neural attempt fails
+        ..FaultConfig::default()
+    };
+    let mut sup = Supervisor::new(breaker_cfg(Some(faults)));
+
+    // Faulted batch: the breaker must trip, yet every query is still served.
+    let batch = spaced_requests(20, 0xb0e ^ chaos_seed(), 0.0);
+    let outcomes = sup.run(db, Some(model), &batch);
+    assert!(
+        outcomes.iter().all(|o| matches!(o.disposition, Disposition::Served(_))),
+        "a tripped breaker must degrade, never drop, admitted queries"
+    );
+    let c = sup.counters();
+    assert_eq!(c.admitted, 20);
+    assert_eq!(c.total_shed(), 0);
+    assert_eq!(c.served_neural, 0, "100% NaN faults must never serve neurally");
+    assert_eq!(c.served_classical, 20);
+    assert!(c.breaker_trips >= 1, "breaker never tripped under 100% neural failures");
+    assert_ne!(
+        sup.breaker_state(),
+        BreakerState::Closed,
+        "breaker cannot be closed while every probe fails"
+    );
+    // While open, degradations are marked with the breaker itself as the
+    // recorded reason (not re-attempted inference).
+    let breaker_open = outcomes
+        .iter()
+        .filter_map(|o| match &o.disposition {
+            Disposition::Served(r) => r.fallback_reason.as_ref(),
+            Disposition::Shed(_) => None,
+        })
+        .filter(|r| matches!(r, FallbackReason::BreakerOpen))
+        .count();
+    assert!(breaker_open >= 1, "open-breaker degradations must record BreakerOpen");
+
+    // Clean batch: cooldown elapses, probes succeed, the breaker closes and
+    // neural serving resumes.
+    sup.set_faults(None);
+    let batch2 = spaced_requests(20, 0xc1ea2 ^ chaos_seed(), 10_000.0);
+    let outcomes2 = sup.run(db, Some(model), &batch2);
+    assert!(outcomes2.iter().all(|o| matches!(o.disposition, Disposition::Served(_))));
+    let c = sup.counters();
+    assert_eq!(c.admitted, 40, "every spaced query is admitted across both batches");
+    assert!(c.breaker_recoveries >= 1, "breaker never recovered after faults cleared");
+    assert!(c.probes >= 1, "recovery must go through half-open probes");
+    assert_eq!(sup.breaker_state(), BreakerState::Closed);
+    assert!(c.served_neural > 0, "neural serving must resume after recovery");
+    // The last queries of the clean batch run with a closed breaker.
+    let last = outcomes2.last().expect("non-empty batch");
+    match &last.disposition {
+        Disposition::Served(r) => assert_eq!(
+            r.served_by,
+            ServedBy::Neural,
+            "final clean query should be served neurally, got {:?}",
+            r.fallback_reason
+        ),
+        Disposition::Shed(reason) => panic!("final clean query shed: {reason}"),
+    }
+}
+
+/// Acceptance: a burst beyond queue capacity sheds with a recorded reason
+/// instead of blocking — and the queries that were admitted are all served.
+#[test]
+fn chaos_supervisor_sheds_queue_overflow_with_recorded_reason() {
+    let db = shared_db();
+    let model = shared_model();
+    let mut cfg = breaker_cfg(None);
+    cfg.queue_capacity = 2;
+    cfg.service_ms = 10.0;
+    let mut sup = Supervisor::new(cfg);
+
+    // Six queries arriving at the same instant against a queue of 2.
+    let burst: Vec<QueryRequest> = chaos_queries(6, 0xb1257 ^ chaos_seed())
+        .into_iter()
+        .map(|query| QueryRequest { query, arrival_ms: 0.0, deadline_ms: 1e9 })
+        .collect();
+    let outcomes = sup.run(db, Some(model), &burst);
+
+    let mut served = 0usize;
+    let mut shed_full = 0usize;
+    for o in &outcomes {
+        match &o.disposition {
+            Disposition::Served(_) => served += 1,
+            Disposition::Shed(ShedReason::QueueFull { depth }) => {
+                assert_eq!(*depth, 2, "shed must record the depth that rejected it");
+                shed_full += 1;
+            }
+            Disposition::Shed(other) => panic!("expected QueueFull, got {other}"),
+        }
+    }
+    assert_eq!(served, 2, "exactly the queue capacity is admitted from a burst");
+    assert_eq!(shed_full, 4);
+    let c = sup.counters();
+    assert_eq!(c.admitted, 2);
+    assert_eq!(c.shed_queue_full, 4);
+    assert_eq!(c.admitted, c.served_neural + c.served_classical);
 }
 
 proptest! {

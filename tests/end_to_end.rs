@@ -55,7 +55,7 @@ fn trained_mcts_planner_beats_random_planning() {
     let mut cfg = ModelConfig::small();
     cfg.epochs = 25;
     let mut model = QPSeeker::new(&db, cfg);
-    model.fit(&train);
+    model.fit(&train).expect("training succeeds");
 
     // Held-out queries of moderate size: a tiny training corpus cannot
     // teach 16-level cost propagation, so the CI-scale claim is about the
@@ -99,7 +99,7 @@ fn pipeline_is_deterministic_from_the_seed() {
         let w = synthetic::generate(&db, &SyntheticConfig { n_queries: 25, seed: 3 });
         let refs: Vec<&Qep> = w.qeps.iter().collect();
         let mut model = QPSeeker::new(&db, ModelConfig::small());
-        let report = model.fit(&refs);
+        let report = model.fit(&refs).expect("training succeeds");
         let p = model.predict(&w.qeps[0].query, &w.qeps[0].plan);
         (report.epoch_losses, p.runtime_ms)
     };
@@ -148,7 +148,7 @@ fn model_predictions_differentiate_good_from_catastrophic_plans() {
     let mut cfg = ModelConfig::small();
     cfg.epochs = 10;
     let mut model = QPSeeker::new(&db, cfg);
-    model.fit(&refs);
+    model.fit(&refs).expect("training succeeds");
 
     // For queries with at least 3 relations, compare the model's prediction
     // for an all-nested-loop plan vs an all-hash plan: across the workload,

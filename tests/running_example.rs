@@ -148,7 +148,7 @@ fn full_pipeline_trains_and_predicts_on_the_example() {
     cfg.epochs = 15;
     let mut model = QPSeeker::new(&db, cfg);
     let refs: Vec<&Qep> = qeps.iter().collect();
-    let report = model.fit(&refs);
+    let report = model.fit(&refs).expect("training succeeds");
     // Training must make progress on this tiny set (VAE noise makes the
     // per-epoch loss non-monotone, so compare best-so-far against epoch 0).
     let first = report.epoch_losses[0];
@@ -181,7 +181,7 @@ fn mcts_plans_the_example_query() {
     }
     let mut model = QPSeeker::new(&db, ModelConfig::small());
     let refs: Vec<&Qep> = qeps.iter().collect();
-    model.fit(&refs);
+    model.fit(&refs).expect("training succeeds");
     let planner =
         MctsPlanner::new(MctsConfig { budget_ms: 1e9, max_simulations: 50, ..Default::default() });
     let res = planner.plan(&model, &q);
