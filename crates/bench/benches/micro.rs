@@ -5,7 +5,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use qpseeker_core::prelude::*;
 use qpseeker_engine::prelude::*;
-use qpseeker_tabert::{TabSim, TabertConfig};
+use qpseeker_tabert::{TabSim, TabertCache, TabertConfig};
 use qpseeker_workloads::{synthetic, Qep, SyntheticConfig};
 use std::hint::black_box;
 
@@ -47,8 +47,10 @@ fn bench_tabert(c: &mut Criterion) {
     let db = qpseeker_storage::datagen::imdb::generate(0.1, 1);
     c.bench_function("tabert/encode_table_uncached", |b| {
         b.iter_with_setup(
-            || TabSim::new(TabertConfig::paper_default()),
-            |ts| black_box(ts.encode_table(&db, "title", "select * from title")),
+            || (TabSim::new(TabertConfig::paper_default()), TabertCache::default()),
+            |(ts, mut cache)| {
+                black_box(ts.encode_table(&mut cache, &db, "title", "select * from title"))
+            },
         )
     });
 }
@@ -71,7 +73,7 @@ fn bench_matmul_kernel(c: &mut Criterion) {
 }
 
 fn bench_model(c: &mut Criterion) {
-    let db = qpseeker_storage::datagen::imdb::generate(0.06, 1);
+    let db = std::sync::Arc::new(qpseeker_storage::datagen::imdb::generate(0.06, 1));
     let w = synthetic::generate(&db, &SyntheticConfig { n_queries: 40, seed: 1 });
     let refs: Vec<&Qep> = w.qeps.iter().collect();
     let mut model = QPSeeker::new(&db, ModelConfig::small());
@@ -114,7 +116,7 @@ fn bench_model(c: &mut Criterion) {
 }
 
 fn bench_training_step(c: &mut Criterion) {
-    let db = qpseeker_storage::datagen::imdb::generate(0.06, 1);
+    let db = std::sync::Arc::new(qpseeker_storage::datagen::imdb::generate(0.06, 1));
     let w = synthetic::generate(&db, &SyntheticConfig { n_queries: 16, seed: 1 });
     c.bench_function("qpseeker/train_epoch_16qeps", |b| {
         b.iter_with_setup(

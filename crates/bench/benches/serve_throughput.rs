@@ -1,0 +1,66 @@
+//! Criterion benchmark for the supervised serving loop's worker pool:
+//! queries per second at 1, 2 and 4 workers over the same saturated
+//! request stream. Real threads do real planning; the reported figure of
+//! merit for scaling is the virtual-clock makespan (see DESIGN.md §13 —
+//! the container is single-core, so wall-clock alone under-reports the
+//! admission-level parallelism the pool models).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qpseeker_core::prelude::*;
+use qpseeker_storage::Database;
+use qpseeker_workloads::{synthetic, Qep, SyntheticConfig};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn setup() -> (Arc<Database>, QPSeeker, Vec<QueryRequest>) {
+    let db = Arc::new(qpseeker_storage::datagen::imdb::generate(0.04, 2));
+    let w = synthetic::generate(&db, &SyntheticConfig { n_queries: 12, seed: 3 });
+    let refs: Vec<&Qep> = w.qeps.iter().collect();
+    let mut model = QPSeeker::new(&db, ModelConfig::small());
+    model.fit(&refs).expect("training succeeds");
+    // A saturated stream: everything arrives at t=0, so the virtual servers
+    // are never idle and the makespan measures pure service capacity.
+    let requests: Vec<QueryRequest> =
+        synthetic::generate_queries(&db, &SyntheticConfig { n_queries: 32, seed: 0xbe4c })
+            .into_iter()
+            .map(|(query, _sql)| QueryRequest { query, arrival_ms: 0.0, deadline_ms: 1e12 })
+            .collect();
+    (db, model, requests)
+}
+
+fn pool_cfg(workers: usize) -> SupervisorConfig {
+    SupervisorConfig {
+        serve: ServeConfig {
+            mcts: MctsConfig { budget_ms: 1e9, max_simulations: 8, ..MctsConfig::default() },
+            deadline_ms: 1e12,
+            max_retries: 1,
+            backoff_base_ms: 0.0,
+            faults: None,
+        },
+        failure_threshold: 2.0,
+        queue_capacity: 4096,
+        service_ms: 5.0,
+        workers,
+        ..SupervisorConfig::default()
+    }
+}
+
+fn bench_serve_throughput(c: &mut Criterion) {
+    let (db, model, requests) = setup();
+    for workers in [1usize, 2, 4] {
+        c.bench_function(&format!("serve_throughput/workers_{workers}"), |b| {
+            b.iter(|| {
+                let mut sup = Supervisor::new(pool_cfg(workers));
+                let outcomes = sup.run(&db, Some(&model), black_box(&requests));
+                black_box((outcomes, sup.virtual_now_ms()))
+            })
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_serve_throughput
+}
+criterion_main!(benches);

@@ -4,7 +4,7 @@ use qpseeker_engine::prelude::*;
 use qpseeker_workloads::{job, JobConfig, Qep, SamplingConfig};
 
 fn main() {
-    let db = qpseeker_storage::datagen::imdb::generate(0.06, 77);
+    let db = std::sync::Arc::new(qpseeker_storage::datagen::imdb::generate(0.06, 77));
     let workload = job::generate(
         &db,
         &JobConfig {

@@ -25,7 +25,7 @@ fn time_ms(iters: usize, mut f: impl FnMut()) -> f64 {
 }
 
 fn main() {
-    let db = qpseeker_storage::datagen::imdb::generate(0.06, 1);
+    let db = std::sync::Arc::new(qpseeker_storage::datagen::imdb::generate(0.06, 1));
     let w = synthetic::generate(&db, &SyntheticConfig { n_queries: 40, seed: 1 });
     let refs: Vec<&Qep> = w.qeps.iter().collect();
     let mut model = QPSeeker::new(&db, ModelConfig::small());

@@ -1,0 +1,90 @@
+//! Serving-throughput scaling harness for BENCH_PR4.json: runs the same
+//! saturated request stream through the supervised serving loop at 1, 2
+//! and 4 workers, measures queries/sec on the admission clock (virtual
+//! makespan) plus wall time, and verifies the acceptance invariant that
+//! plan choices are bitwise identical across worker counts.
+//!
+//! Run with `cargo run --release -p qpseeker-bench --example serve_scaling`.
+
+use qpseeker_core::prelude::*;
+use qpseeker_engine::plan::PlanNode;
+use qpseeker_workloads::{synthetic, Qep, SyntheticConfig};
+use std::time::Instant;
+
+fn pool_cfg(workers: usize) -> SupervisorConfig {
+    SupervisorConfig {
+        serve: ServeConfig {
+            mcts: MctsConfig { budget_ms: 1e9, max_simulations: 16, ..MctsConfig::default() },
+            deadline_ms: 1e12,
+            max_retries: 1,
+            backoff_base_ms: 0.0,
+            faults: None,
+        },
+        failure_threshold: 2.0, // never trips: scaling, not degradation, is under test
+        queue_capacity: 4096,
+        service_ms: 5.0,
+        workers,
+        ..SupervisorConfig::default()
+    }
+}
+
+fn main() {
+    let db = std::sync::Arc::new(qpseeker_storage::datagen::imdb::generate(0.04, 2));
+    let w = synthetic::generate(&db, &SyntheticConfig { n_queries: 12, seed: 3 });
+    let refs: Vec<&Qep> = w.qeps.iter().collect();
+    let mut model = QPSeeker::new(&db, ModelConfig::small());
+    model.fit(&refs).expect("training succeeds");
+
+    // Saturated stream: 200 queries all arriving at t=0 so the pool's
+    // virtual servers are never idle.
+    let requests: Vec<QueryRequest> =
+        synthetic::generate_queries(&db, &SyntheticConfig { n_queries: 200, seed: 0xbe4c })
+            .into_iter()
+            .map(|(query, _sql)| QueryRequest { query, arrival_ms: 0.0, deadline_ms: 1e12 })
+            .collect();
+
+    let mut reference_plans: Option<Vec<PlanNode>> = None;
+    let mut qps = Vec::new();
+    let mut wall_s = Vec::new();
+    let mut plans_identical = true;
+    for workers in [1usize, 2, 4] {
+        let mut sup = Supervisor::new(pool_cfg(workers));
+        let start = Instant::now();
+        let outcomes = sup.run(&db, Some(&model), &requests);
+        let wall = start.elapsed().as_secs_f64();
+        let served = sup.counters().served_neural + sup.counters().served_classical;
+        assert_eq!(served, requests.len(), "saturated stream must serve everything");
+        let makespan_s = sup.virtual_now_ms() / 1e3;
+        qps.push(served as f64 / makespan_s);
+        wall_s.push(wall);
+        let plans: Vec<PlanNode> = outcomes
+            .into_iter()
+            .map(|o| match o.disposition {
+                Disposition::Served(r) => r.plan,
+                other => panic!("query {}: not served: {other:?}", o.query_id),
+            })
+            .collect();
+        match &reference_plans {
+            None => reference_plans = Some(plans),
+            Some(reference) => plans_identical &= reference == &plans,
+        }
+    }
+
+    let speedup = qps[2] / qps[0];
+    println!(
+        "{{\"stream_queries\": {n}, \"virtual_qps_workers_1\": {q1:.1}, \
+         \"virtual_qps_workers_2\": {q2:.1}, \"virtual_qps_workers_4\": {q4:.1}, \
+         \"speedup_4_vs_1\": {speedup:.2}, \"plans_identical_across_worker_counts\": {ident}, \
+         \"wall_s_workers_1\": {w1:.2}, \"wall_s_workers_2\": {w2:.2}, \"wall_s_workers_4\": {w4:.2}}}",
+        n = requests.len(),
+        q1 = qps[0],
+        q2 = qps[1],
+        q4 = qps[2],
+        ident = plans_identical,
+        w1 = wall_s[0],
+        w2 = wall_s[1],
+        w4 = wall_s[2],
+    );
+    assert!(speedup >= 2.5, "acceptance: expected >= 2.5x at 4 workers, got {speedup:.2}x");
+    assert!(plans_identical, "acceptance: plan choices must not depend on the worker count");
+}

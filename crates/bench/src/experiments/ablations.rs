@@ -227,7 +227,7 @@ fn planner_ablation(ctx: &Context) -> Result<(), CoreError> {
 /// Greedy: grow the plan one relation at a time, at each step picking the
 /// (relation, ops) whose *completed* plan (cheapest completion heuristic)
 /// the model scores fastest. Returns (plan, plans scored).
-fn greedy_plan(model: &QPSeeker<'_>, q: &Query) -> (PlanNode, usize) {
+fn greedy_plan(model: &QPSeeker, q: &Query) -> (PlanNode, usize) {
     use std::collections::BTreeSet;
     let mut scans: Vec<(String, ScanOp)> = Vec::new();
     let mut joins: Vec<JoinOp> = Vec::new();

@@ -98,7 +98,7 @@ fn run_set(
     db: &qpseeker_storage::Database,
     name: &str,
     queries: &[(Query, String)],
-    model: &QPSeeker<'_>,
+    model: &QPSeeker,
     bao: &Bao<'_>,
     series: &mut Vec<Series>,
 ) {

@@ -19,6 +19,7 @@ use qpseeker_workloads::{
 use serde::Serialize;
 use std::io::Write as _;
 use std::path::PathBuf;
+use std::sync::Arc;
 
 /// Experiment scale knobs.
 #[derive(Debug, Clone)]
@@ -93,15 +94,16 @@ impl Scale {
 /// Lazily built experiment context: databases + workloads.
 pub struct Context {
     pub scale: Scale,
-    pub imdb: Database,
-    pub stack_db: Database,
+    pub imdb: Arc<Database>,
+    pub stack_db: Arc<Database>,
 }
 
 impl Context {
     pub fn new(scale: Scale) -> Self {
         eprintln!("[ctx] generating databases (scale {})...", scale.db_scale);
-        let imdb = qpseeker_storage::datagen::imdb::generate(scale.db_scale, scale.seed);
-        let stack_db = qpseeker_storage::datagen::stack::generate(scale.db_scale, scale.seed ^ 1);
+        let imdb = Arc::new(qpseeker_storage::datagen::imdb::generate(scale.db_scale, scale.seed));
+        let stack_db =
+            Arc::new(qpseeker_storage::datagen::stack::generate(scale.db_scale, scale.seed ^ 1));
         Self { scale, imdb, stack_db }
     }
 
@@ -130,7 +132,7 @@ impl Context {
     }
 
     /// Database for a workload by name.
-    pub fn db_of(&self, workload: &Workload) -> &Database {
+    pub fn db_of(&self, workload: &Workload) -> &Arc<Database> {
         if workload.database == "stack" {
             &self.stack_db
         } else {
@@ -147,7 +149,7 @@ pub struct ModelQErrors {
 }
 
 /// Evaluate a trained model against ground truth.
-pub fn eval_qpseeker(model: &QPSeeker<'_>, eval: &[&Qep]) -> ModelQErrors {
+pub fn eval_qpseeker(model: &QPSeeker, eval: &[&Qep]) -> ModelQErrors {
     let mut card = Vec::new();
     let mut cost = Vec::new();
     let mut time = Vec::new();
@@ -186,10 +188,10 @@ pub fn eval_postgres(db: &Database, eval: &[&Qep]) -> ModelQErrors {
 /// Train a QPSeeker instance on a workload split and return it with the
 /// eval set. JOB (sampled) splits at query level (paper §6.3).
 pub fn train_model<'a>(
-    db: &'a Database,
+    db: &Arc<Database>,
     workload: &'a Workload,
     cfg: ModelConfig,
-) -> Result<(QPSeeker<'a>, Vec<&'a Qep>), CoreError> {
+) -> Result<(QPSeeker, Vec<&'a Qep>), CoreError> {
     let at_query_level = workload.plan_source == qpseeker_workloads::PlanSource::Sampling;
     let (train, eval) = workload.split(0.8, at_query_level);
     eprintln!(

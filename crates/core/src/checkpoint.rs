@@ -21,6 +21,7 @@ use crate::normalize::TargetNormalizer;
 use qpseeker_nn::params::ParamStore;
 use qpseeker_storage::Database;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Envelope format version this build reads and writes.
 pub const CHECKPOINT_VERSION: u64 = 1;
@@ -37,7 +38,7 @@ pub struct Checkpoint {
 
 impl Checkpoint {
     /// Capture a model's state.
-    pub fn capture(model: &QPSeeker<'_>, db: &Database) -> Self {
+    pub fn capture(model: &QPSeeker, db: &Database) -> Self {
         Self {
             config: model.config.clone(),
             normalizer: model.normalizer.clone(),
@@ -72,7 +73,7 @@ impl Checkpoint {
     /// Fails when the database's catalog dimensions differ from the ones the
     /// checkpoint was trained against, or the rebuilt architecture cannot
     /// hold the saved parameters.
-    pub fn restore<'a>(self, db: &'a Database) -> Result<QPSeeker<'a>, CoreError> {
+    pub fn restore(self, db: &Arc<Database>) -> Result<QPSeeker, CoreError> {
         let dims = (db.catalog.num_tables(), db.catalog.num_joins());
         if dims != self.schema_dims {
             return Err(CoreError::SchemaMismatch { expected: self.schema_dims, found: dims });
@@ -101,7 +102,7 @@ mod tests {
 
     #[test]
     fn save_restore_round_trip_preserves_predictions() {
-        let db = qpseeker_storage::datagen::imdb::generate(0.04, 2);
+        let db = Arc::new(qpseeker_storage::datagen::imdb::generate(0.04, 2));
         let w = synthetic::generate(&db, &SyntheticConfig { n_queries: 15, seed: 2 });
         let refs: Vec<&Qep> = w.qeps.iter().collect();
         let mut model = QPSeeker::new(&db, ModelConfig::small());
@@ -117,8 +118,8 @@ mod tests {
 
     #[test]
     fn restore_rejects_mismatched_schema() {
-        let imdb = qpseeker_storage::datagen::imdb::generate(0.04, 2);
-        let stack = qpseeker_storage::datagen::stack::generate(0.04, 2);
+        let imdb = Arc::new(qpseeker_storage::datagen::imdb::generate(0.04, 2));
+        let stack = Arc::new(qpseeker_storage::datagen::stack::generate(0.04, 2));
         let w = synthetic::generate(&imdb, &SyntheticConfig { n_queries: 8, seed: 2 });
         let refs: Vec<&Qep> = w.qeps.iter().collect();
         let mut model = QPSeeker::new(&imdb, ModelConfig::small());
@@ -134,7 +135,7 @@ mod tests {
 
     #[test]
     fn unfitted_model_round_trips_too() {
-        let db = qpseeker_storage::datagen::imdb::generate(0.04, 2);
+        let db = Arc::new(qpseeker_storage::datagen::imdb::generate(0.04, 2));
         let model = QPSeeker::new(&db, ModelConfig::small());
         let json = Checkpoint::capture(&model, &db).to_json().unwrap();
         let restored = Checkpoint::from_json(&json).unwrap().restore(&db).unwrap();
@@ -144,7 +145,7 @@ mod tests {
 
     #[test]
     fn bit_flipped_checkpoint_rejected() {
-        let db = qpseeker_storage::datagen::imdb::generate(0.04, 2);
+        let db = Arc::new(qpseeker_storage::datagen::imdb::generate(0.04, 2));
         let model = QPSeeker::new(&db, ModelConfig::small());
         let json = Checkpoint::capture(&model, &db).to_json().unwrap();
         // Flip one digit inside the payload (keep the JSON well-formed).
@@ -167,7 +168,7 @@ mod tests {
 
     #[test]
     fn truncated_checkpoint_rejected() {
-        let db = qpseeker_storage::datagen::imdb::generate(0.04, 2);
+        let db = Arc::new(qpseeker_storage::datagen::imdb::generate(0.04, 2));
         let model = QPSeeker::new(&db, ModelConfig::small());
         let json = Checkpoint::capture(&model, &db).to_json().unwrap();
         let truncated = &json[..json.len() / 2];

@@ -308,8 +308,8 @@ mod tests {
     use qpseeker_storage::datagen::imdb;
     use qpseeker_tabert::{TabSim, TabertConfig};
 
-    fn setup() -> (qpseeker_storage::Database, Query, PlanNode) {
-        let db = imdb::generate(0.05, 4);
+    fn setup() -> (std::sync::Arc<qpseeker_storage::Database>, Query, PlanNode) {
+        let db = std::sync::Arc::new(imdb::generate(0.05, 4));
         let mut q = Query::new("q");
         q.relations =
             vec![RelRef::new("title"), RelRef::new("movie_info"), RelRef::new("movie_keyword")];
@@ -350,7 +350,7 @@ mod tests {
             db.catalog.num_tables(),
             db.catalog.num_joins(),
         );
-        let f = Featurizer::new(&db, TabSim::new(TabertConfig::paper_default()));
+        let f = Featurizer::new(db.clone(), TabSim::new(TabertConfig::paper_default()));
         let qf = f.query_features(&q);
         let mut g = Graph::new();
         let v = enc.forward(&mut g, &store, &qf);
@@ -373,7 +373,7 @@ mod tests {
             db.catalog.num_tables(),
             db.catalog.num_joins(),
         );
-        let f = Featurizer::new(&db, TabSim::new(TabertConfig::paper_default()));
+        let f = Featurizer::new(db.clone(), TabSim::new(TabertConfig::paper_default()));
         let qf1 = f.query_features(&q);
         let mut q2 = q.clone();
         q2.relations.reverse();
@@ -396,8 +396,9 @@ mod tests {
         let penc = PlanEncoder::new(&mut store, &mut init, &cfg, db.catalog.num_tables());
         let truth = Executor::new(&db).execute(&plan);
         let norm = TargetNormalizer::fit(&[[1.0, 1.0, 1.0], [100.0, 50.0, 10.0]]);
-        let f = Featurizer::new(&db, TabSim::new(TabertConfig::paper_default()));
-        let fq = f.featurize(&q, &plan, Some(&truth), &norm, "t");
+        let f = Featurizer::new(db.clone(), TabSim::new(TabertConfig::paper_default()));
+        let mut sess = crate::featurize::FeatSession::new();
+        let fq = f.featurize(&mut sess, &q, &plan, Some(&truth), &norm, "t");
         let mut g = Graph::new();
         let enc = penc.forward(&mut g, &store, &fq.plan);
         assert_eq!(g.value(enc.nodes).shape(), (5, cfg.plan_node_out));
@@ -413,7 +414,8 @@ mod tests {
         let mut init = Initializer::new(0);
         let penc = PlanEncoder::new(&mut store, &mut init, &cfg, db.catalog.num_tables());
         let norm = TargetNormalizer::fit(&[[1.0, 1.0, 1.0], [100.0, 50.0, 10.0]]);
-        let f = Featurizer::new(&db, TabSim::new(TabertConfig::paper_default()));
+        let f = Featurizer::new(db.clone(), TabSim::new(TabertConfig::paper_default()));
+        let mut sess = crate::featurize::FeatSession::new();
         let mk = |op| {
             PlanNode::join(
                 &q,
@@ -427,8 +429,8 @@ mod tests {
                 PlanNode::scan(&q, "movie_keyword", ScanOp::SeqScan),
             )
         };
-        let fa = f.featurize(&q, &mk(JoinOp::HashJoin), None, &norm, "t");
-        let fb = f.featurize(&q, &mk(JoinOp::NestedLoopJoin), None, &norm, "t");
+        let fa = f.featurize(&mut sess, &q, &mk(JoinOp::HashJoin), None, &norm, "t");
+        let fb = f.featurize(&mut sess, &q, &mk(JoinOp::NestedLoopJoin), None, &norm, "t");
         let mut g = Graph::new();
         let ea = penc.forward(&mut g, &store, &fa.plan);
         let eb = penc.forward(&mut g, &store, &fb.plan);
@@ -450,8 +452,9 @@ mod tests {
         );
         let penc = PlanEncoder::new(&mut store, &mut init, &cfg, db.catalog.num_tables());
         let norm = TargetNormalizer::fit(&[[1.0, 1.0, 1.0], [100.0, 50.0, 10.0]]);
-        let f = Featurizer::new(&db, TabSim::new(TabertConfig::paper_default()));
-        let fq = f.featurize(&q, &plan, None, &norm, "t");
+        let f = Featurizer::new(db.clone(), TabSim::new(TabertConfig::paper_default()));
+        let mut sess = crate::featurize::FeatSession::new();
+        let fq = f.featurize(&mut sess, &q, &plan, None, &norm, "t");
         store.zero_grads();
         let mut g = Graph::new();
         let qv = qenc.forward(&mut g, &store, &fq.query);

@@ -13,9 +13,9 @@ use qpseeker_engine::plan::{PhysicalOp, PlanNode};
 use qpseeker_engine::query::{CmpOp, Filter, Query};
 use qpseeker_nn::tensor::Tensor;
 use qpseeker_storage::Database;
-use qpseeker_tabert::TabSim;
+use qpseeker_tabert::{TabSim, TabertCache};
 use std::collections::HashMap;
-use std::sync::Mutex;
+use std::sync::Arc;
 
 /// Scale applied to normalized (z-scored) estimate values wherever they
 /// travel through plan-node vectors. Node outputs are LSTM hidden states,
@@ -115,19 +115,42 @@ impl PlanFeatCache {
     }
 }
 
-/// The featurizer. Owns the TabSim instance (encodings cached inside) and a
-/// filtered-column cache. All methods take `&self` (internal caches use
-/// interior mutability) so a fitted model can serve predictions concurrently.
-pub struct Featurizer<'a> {
-    pub db: &'a Database,
-    explain: Explain<'a>,
-    pub tabert: TabSim,
-    filtered_cache: Mutex<HashMap<String, Vec<f32>>>,
+/// Per-session featurization state: the TaBERT encoding cache and the
+/// filtered-column cache. Owned by exactly one thread at a time (a worker's
+/// [`crate::session::PlannerSession`], or the model's fallback session), so
+/// no locks are needed on the featurization hot path.
+#[derive(Default)]
+pub struct FeatSession {
+    /// (table, query-bucket) → TaBERT encoding.
+    pub tabert: TabertCache,
+    /// Filtered-column representations keyed by `table.col:op:value`.
+    filtered: HashMap<String, Vec<f32>>,
 }
 
-impl<'a> Featurizer<'a> {
-    pub fn new(db: &'a Database, tabert: TabSim) -> Self {
-        Self { db, explain: Explain::new(db), tabert, filtered_cache: Mutex::new(HashMap::new()) }
+impl FeatSession {
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// The featurizer. Shares the read-only [`Database`] via `Arc` and owns the
+/// immutable TabSim instance; all mutable caches live in a caller-owned
+/// [`FeatSession`], so the featurizer itself is `Send + Sync` and a fitted
+/// model can serve predictions from many threads at once.
+pub struct Featurizer {
+    pub db: Arc<Database>,
+    pub tabert: TabSim,
+}
+
+impl Featurizer {
+    pub fn new(db: Arc<Database>, tabert: TabSim) -> Self {
+        Self { db, tabert }
+    }
+
+    /// The cost/cardinality estimator over the shared database. `Explain` is
+    /// a thin borrow wrapper, so building one per call is free.
+    fn explain(&self) -> Explain<'_> {
+        Explain::new(&self.db)
     }
 
     /// Total simulated TaBERT time spent so far (Fig. 8 right).
@@ -176,6 +199,7 @@ impl<'a> Featurizer<'a> {
     /// postorder (from execution) for training; pass `None` at inference.
     pub fn featurize(
         &self,
+        sess: &mut FeatSession,
         query: &Query,
         plan: &PlanNode,
         truths: Option<&qpseeker_engine::executor::ExecutionResult>,
@@ -191,11 +215,11 @@ impl<'a> Featurizer<'a> {
             );
         }
         let query_feats = self.query_features(query);
-        let estimates = self.explain.explain(query, plan);
+        let estimates = self.explain().explain(query, plan);
         let sql = query.to_sql();
         let mut postorder_idx = 0usize;
         let plan_feats =
-            self.feat_node(query, plan, &estimates, truths, norm, &sql, &mut postorder_idx);
+            self.feat_node(sess, query, plan, &estimates, truths, norm, &sql, &mut postorder_idx);
         let target = truths.map(|t| norm.encode([t.rows as f64, t.cost, t.time_ms]));
         FeaturizedQep { query: query_feats, plan: plan_feats, target, template: template.into() }
     }
@@ -203,6 +227,7 @@ impl<'a> Featurizer<'a> {
     #[allow(clippy::too_many_arguments)]
     fn feat_node(
         &self,
+        sess: &mut FeatSession,
         query: &Query,
         node: &PlanNode,
         estimates: &[qpseeker_engine::explain::NodeEstimate],
@@ -215,8 +240,8 @@ impl<'a> Featurizer<'a> {
         let children: Vec<FeatNode> = match node {
             PlanNode::Scan { .. } => Vec::new(),
             PlanNode::Join { left, right, .. } => vec![
-                self.feat_node(query, left, estimates, truths, norm, sql, postorder_idx),
-                self.feat_node(query, right, estimates, truths, norm, sql, postorder_idx),
+                self.feat_node(sess, query, left, estimates, truths, norm, sql, postorder_idx),
+                self.feat_node(sess, query, right, estimates, truths, norm, sql, postorder_idx),
             ],
         };
         let my_idx = *postorder_idx;
@@ -239,8 +264,8 @@ impl<'a> Featurizer<'a> {
             PlanNode::Scan { alias, table, filters, .. } => {
                 let _ = alias;
                 match filters.first() {
-                    Some(f) => self.filtered_column_repr(table, f),
-                    None => self.tabert.encode_table(self.db, table, sql).cls,
+                    Some(f) => self.filtered_column_repr(sess, table, f),
+                    None => self.tabert.encode_table(&mut sess.tabert, &self.db, table, sql).cls,
                 }
             }
             PlanNode::Join { .. } => {
@@ -249,7 +274,7 @@ impl<'a> Featurizer<'a> {
                 let aliases = node.aliases();
                 for alias in &aliases {
                     let table = query.table_of(alias).unwrap_or(alias).to_string();
-                    let cls = self.tabert.encode_table(self.db, &table, sql).cls;
+                    let cls = self.tabert.encode_table(&mut sess.tabert, &self.db, &table, sql).cls;
                     for (a, c) in acc.iter_mut().zip(&cls) {
                         *a += c / aliases.len() as f32;
                     }
@@ -285,11 +310,11 @@ impl<'a> Featurizer<'a> {
     }
 
     /// Representation of a filtered column (paper §4.2(c)): TabSim encoding
-    /// of the column restricted to the rows matching the predicate. Cached.
-    fn filtered_column_repr(&self, table: &str, f: &Filter) -> Vec<f32> {
+    /// of the column restricted to the rows matching the predicate. Cached
+    /// per session.
+    fn filtered_column_repr(&self, sess: &mut FeatSession, table: &str, f: &Filter) -> Vec<f32> {
         let key = format!("{table}.{}:{:?}:{}", f.col.column, f.op, f.value);
-        let mut cache = self.filtered_cache.lock().expect("filtered cache lock");
-        if let Some(hit) = cache.get(&key) {
+        if let Some(hit) = sess.filtered.get(&key) {
             return hit.clone();
         }
         let t = self.db.table(table).expect("table exists");
@@ -298,8 +323,8 @@ impl<'a> Featurizer<'a> {
             .filter(|&i| eval_filter(f.op, col.num(i as usize), f.value))
             .collect();
         let repr =
-            self.tabert.encode_column_filtered(self.db, table, &f.col.column, &matching).vector;
-        cache.insert(key, repr.clone());
+            self.tabert.encode_column_filtered(&self.db, table, &f.col.column, &matching).vector;
+        sess.filtered.insert(key, repr.clone());
         repr
     }
 
@@ -310,17 +335,19 @@ impl<'a> Featurizer<'a> {
     /// labels — this is an inference-only path).
     pub fn featurize_plan_fast(
         &self,
+        sess: &mut FeatSession,
         query: &Query,
         plan: &PlanNode,
         norm: &TargetNormalizer,
         cache: &mut PlanFeatCache,
     ) -> FeatNode {
         debug_assert!(PlanFeatCache::supports(query), "fall back to featurize() beyond 64 rels");
-        self.fast_node(query, plan, norm, cache).0
+        self.fast_node(sess, query, plan, norm, cache).0
     }
 
     fn fast_node(
         &self,
+        sess: &mut FeatSession,
         query: &Query,
         node: &PlanNode,
         norm: &TargetNormalizer,
@@ -338,8 +365,13 @@ impl<'a> Featurizer<'a> {
                         prefix[idx] += 1.0;
                     }
                     let repr = match filters.first() {
-                        Some(f) => self.filtered_column_repr(table, f),
-                        None => self.tabert.encode_table_cls(self.db, table, &cache.sql),
+                        Some(f) => self.filtered_column_repr(sess, table, f),
+                        None => self.tabert.encode_table_cls(
+                            &mut sess.tabert,
+                            &self.db,
+                            table,
+                            &cache.sql,
+                        ),
                     };
                     prefix.extend_from_slice(&repr);
                     cache.mid_prefix.insert(mask, prefix);
@@ -352,7 +384,7 @@ impl<'a> Featurizer<'a> {
                         // Scan estimates are context-independent, so the
                         // single-node plan yields the same NodeEstimate the
                         // full-plan EXPLAIN would.
-                        let e = self.explain.explain(query, node)[0];
+                        let e = self.explain().explain(query, node)[0];
                         let enc = norm.encode([e.rows, e.cost, e.time_ms]);
                         Tensor::row(enc.iter().map(|v| v * ESTIMATE_SCALE).collect())
                     })
@@ -361,8 +393,8 @@ impl<'a> Featurizer<'a> {
                 (FeatNode { mid, leaf_est: Some(est), truth: None, children: Vec::new() }, mask)
             }
             PlanNode::Join { left, right, .. } => {
-                let (lf, lm) = self.fast_node(query, left, norm, cache);
-                let (rf, rm) = self.fast_node(query, right, norm, cache);
+                let (lf, lm) = self.fast_node(sess, query, left, norm, cache);
+                let (rf, rm) = self.fast_node(sess, query, right, norm, cache);
                 let mask = lm | rm;
                 if !cache.mid_prefix.contains_key(&mask) {
                     // Aliases in sorted order, matching PlanNode::aliases()'
@@ -380,7 +412,12 @@ impl<'a> Featurizer<'a> {
                         if let Some(idx) = self.db.catalog.table_idx(table) {
                             prefix[idx] += 1.0;
                         }
-                        let cls = self.tabert.encode_table_cls(self.db, table, &cache.sql);
+                        let cls = self.tabert.encode_table_cls(
+                            &mut sess.tabert,
+                            &self.db,
+                            table,
+                            &cache.sql,
+                        );
                         for (a, c) in acc.iter_mut().zip(&cls) {
                             *a += c / aliases.len() as f32;
                         }
@@ -428,8 +465,8 @@ mod tests {
     use qpseeker_storage::datagen::imdb;
     use qpseeker_tabert::TabertConfig;
 
-    fn setup() -> (Database, Query, PlanNode) {
-        let db = imdb::generate(0.05, 4);
+    fn setup() -> (Arc<Database>, Query, PlanNode) {
+        let db = Arc::new(imdb::generate(0.05, 4));
         let mut q = Query::new("q");
         q.relations = vec![RelRef::new("title"), RelRef::new("movie_info")];
         q.joins = vec![JoinPred {
@@ -457,7 +494,7 @@ mod tests {
     #[test]
     fn query_features_shapes_and_masks() {
         let (db, q, _) = setup();
-        let f = Featurizer::new(&db, TabSim::new(TabertConfig::paper_default()));
+        let f = Featurizer::new(db.clone(), TabSim::new(TabertConfig::paper_default()));
         let qf = f.query_features(&q);
         let n = db.catalog.num_tables();
         let m = db.catalog.num_joins();
@@ -474,7 +511,7 @@ mod tests {
     #[test]
     fn fk_join_gets_schema_one_hot() {
         let (db, q, _) = setup();
-        let f = Featurizer::new(&db, TabSim::new(TabertConfig::paper_default()));
+        let f = Featurizer::new(db.clone(), TabSim::new(TabertConfig::paper_default()));
         let qf = f.query_features(&q);
         // movie_info.movie_id = title.id is FK edge 0 in the imdb catalog.
         let expected = db.catalog.join_idx("movie_info", "movie_id", "title", "id").unwrap();
@@ -485,9 +522,10 @@ mod tests {
     fn featurized_plan_structure_mirrors_plan() {
         let (db, q, plan) = setup();
         let truth = Executor::new(&db).execute(&plan);
-        let f = Featurizer::new(&db, TabSim::new(TabertConfig::paper_default()));
+        let f = Featurizer::new(db.clone(), TabSim::new(TabertConfig::paper_default()));
         let n = norm();
-        let fq = f.featurize(&q, &plan, Some(&truth), &n, "t0");
+        let mut sess = FeatSession::new();
+        let fq = f.featurize(&mut sess, &q, &plan, Some(&truth), &n, "t0");
         assert_eq!(fq.plan.count(), 3);
         assert_eq!(fq.plan.children.len(), 2);
         // Leaves carry EXPLAIN estimates; the join does not.
@@ -506,9 +544,10 @@ mod tests {
     fn join_node_relation_encoding_sums_subtree() {
         let (db, q, plan) = setup();
         let truth = Executor::new(&db).execute(&plan);
-        let f = Featurizer::new(&db, TabSim::new(TabertConfig::paper_default()));
+        let f = Featurizer::new(db.clone(), TabSim::new(TabertConfig::paper_default()));
         let n = norm();
-        let fq = f.featurize(&q, &plan, Some(&truth), &n, "t0");
+        let mut sess = FeatSession::new();
+        let fq = f.featurize(&mut sess, &q, &plan, Some(&truth), &n, "t0");
         let n_tables = db.catalog.num_tables();
         let rel_part: f32 = fq.plan.mid.data()[..n_tables].iter().sum();
         assert_eq!(rel_part, 2.0, "join node should encode both relations");
@@ -520,9 +559,10 @@ mod tests {
     fn filtered_leaf_differs_from_unfiltered() {
         let (db, q, plan) = setup();
         let truth = Executor::new(&db).execute(&plan);
-        let f = Featurizer::new(&db, TabSim::new(TabertConfig::paper_default()));
+        let f = Featurizer::new(db.clone(), TabSim::new(TabertConfig::paper_default()));
         let n = norm();
-        let fq = f.featurize(&q, &plan, Some(&truth), &n, "t0");
+        let mut sess = FeatSession::new();
+        let fq = f.featurize(&mut sess, &q, &plan, Some(&truth), &n, "t0");
         // title leaf has a filter, movie_info leaf does not; their TaBERT
         // segments must differ (different tables anyway) — stronger: same
         // table with vs without filter.
@@ -535,7 +575,7 @@ mod tests {
             PlanNode::scan(&q2, "movie_info", ScanOp::SeqScan),
         );
         let truth2 = Executor::new(&db).execute(&plan2);
-        let fq2 = f.featurize(&q2, &plan2, Some(&truth2), &n, "t0");
+        let fq2 = f.featurize(&mut sess, &q2, &plan2, Some(&truth2), &n, "t0");
         let n_tables = db.catalog.num_tables();
         let seg =
             |fqx: &FeaturizedQep| fqx.plan.children[0].mid.data()[n_tables..n_tables + 64].to_vec();
@@ -545,9 +585,10 @@ mod tests {
     #[test]
     fn inference_featurization_needs_no_truth() {
         let (db, q, plan) = setup();
-        let f = Featurizer::new(&db, TabSim::new(TabertConfig::paper_default()));
+        let f = Featurizer::new(db.clone(), TabSim::new(TabertConfig::paper_default()));
         let n = norm();
-        let fq = f.featurize(&q, &plan, None, &n, "t0");
+        let mut sess = FeatSession::new();
+        let fq = f.featurize(&mut sess, &q, &plan, None, &n, "t0");
         assert!(fq.target.is_none());
         assert!(fq.plan.truth.is_none());
         assert!(fq.plan.children[0].leaf_est.is_some(), "EXPLAIN estimates still available");
@@ -556,9 +597,10 @@ mod tests {
     #[test]
     fn operator_one_hot_is_set() {
         let (db, q, plan) = setup();
-        let f = Featurizer::new(&db, TabSim::new(TabertConfig::paper_default()));
+        let f = Featurizer::new(db.clone(), TabSim::new(TabertConfig::paper_default()));
         let n = norm();
-        let fq = f.featurize(&q, &plan, None, &n, "t0");
+        let mut sess = FeatSession::new();
+        let fq = f.featurize(&mut sess, &q, &plan, None, &n, "t0");
         let n_tables = db.catalog.num_tables();
         let op_seg = &fq.plan.mid.data()[n_tables + 64..];
         assert_eq!(op_seg.len(), 6);

@@ -24,7 +24,7 @@
 //! use qpseeker_core::prelude::*;
 //! use qpseeker_workloads::{synthetic, SyntheticConfig, Qep};
 //!
-//! let db = qpseeker_storage::datagen::imdb::generate(0.05, 1);
+//! let db = std::sync::Arc::new(qpseeker_storage::datagen::imdb::generate(0.05, 1));
 //! let workload = synthetic::generate(&db, &SyntheticConfig { n_queries: 64, seed: 1 });
 //! let refs: Vec<&Qep> = workload.qeps.iter().collect();
 //! let mut model = QPSeeker::new(&db, ModelConfig::small());
@@ -45,6 +45,7 @@ pub mod metrics;
 pub mod model;
 pub mod normalize;
 pub mod serve;
+pub mod session;
 pub mod vae;
 pub mod viz;
 
@@ -54,15 +55,18 @@ pub mod prelude {
     pub use crate::config::ModelConfig;
     pub use crate::durable::{write_atomic, RecoveredSnapshot, SnapshotStore};
     pub use crate::error::CoreError;
-    pub use crate::featurize::{FeatNode, FeaturizedQep, Featurizer, QueryFeatures};
-    pub use crate::mcts::{Action, MctsConfig, MctsPlanner, MctsResult};
+    pub use crate::featurize::{FeatNode, FeatSession, FeaturizedQep, Featurizer, QueryFeatures};
+    pub use crate::mcts::{Action, MctsConfig, MctsPlanner, MctsResult, MctsScratch};
     pub use crate::metrics::{q_error, QErrorSummary, ServeCounters};
-    pub use crate::model::{Prediction, QPSeeker, QueryContext, TrainReport, TrainSnapshot};
+    pub use crate::model::{
+        PlannerModel, Prediction, QPSeeker, QueryContext, TrainReport, TrainSnapshot,
+    };
     pub use crate::normalize::TargetNormalizer;
     pub use crate::serve::{
         plan_with_fallback, BreakerState, CircuitBreaker, Disposition, FallbackReason,
         QueryRequest, ServeConfig, ServeResult, ServedBy, ShedReason, SupervisedOutcome,
         Supervisor, SupervisorConfig,
     };
+    pub use crate::session::PlannerSession;
     pub use crate::viz::{silhouette, tsne, TsneConfig};
 }

@@ -10,6 +10,7 @@
 //! cap, whichever comes first.
 
 use crate::model::QPSeeker;
+use crate::session::PlannerSession;
 use qpseeker_engine::inject::LeftDeepSpec;
 use qpseeker_engine::plan::{JoinOp, PlanNode, ScanOp};
 use qpseeker_engine::query::Query;
@@ -164,6 +165,28 @@ impl TreeNode {
     }
 }
 
+/// Reusable MCTS search state, cleared at the start of every
+/// [`MctsPlanner::plan_with_session`] call: the tree arena, the per-query
+/// evaluation cache, and the hot-loop buffers. Lives in a
+/// [`PlannerSession`] so a serving worker reuses the allocations across
+/// every query it handles.
+#[derive(Default)]
+pub struct MctsScratch {
+    nodes: Vec<TreeNode>,
+    eval_cache: HashMap<Vec<u64>, f64>,
+    path: Vec<usize>,
+    actions: Vec<Action>,
+    rollout: Vec<Action>,
+    acts_buf: Vec<Action>,
+    key_buf: Vec<u64>,
+}
+
+impl MctsScratch {
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// The MCTS planner. Owns the search tree for one query.
 pub struct MctsPlanner {
     cfg: MctsConfig,
@@ -174,14 +197,30 @@ impl MctsPlanner {
         Self { cfg }
     }
 
-    /// Plan `query` using `model` as the evaluation function. The query is
-    /// encoded exactly once (via [`QPSeeker::query_context`]); every rollout
-    /// evaluation reuses that embedding and only pays for the plan side.
-    pub fn plan(&self, model: &QPSeeker<'_>, query: &Query) -> MctsResult {
+    /// Plan `query` using `model` as the evaluation function, through the
+    /// model's internal fallback session. Convenience wrapper over
+    /// [`Self::plan_with_session`] for single-threaded callers; serving
+    /// workers pass their own session to keep the hot path lock-free.
+    pub fn plan(&self, model: &QPSeeker, query: &Query) -> MctsResult {
+        let mut sess = model.lock_fallback_session();
+        self.plan_with_session(model, query, &mut sess)
+    }
+
+    /// Plan `query` using `model` as the evaluation function, with all
+    /// mutable state in `sess`. The query is encoded exactly once (via
+    /// [`QPSeeker::query_context`]); every rollout evaluation reuses that
+    /// embedding and only pays for the plan side.
+    pub fn plan_with_session(
+        &self,
+        model: &QPSeeker,
+        query: &Query,
+        sess: &mut PlannerSession,
+    ) -> MctsResult {
         assert!(!query.relations.is_empty(), "cannot plan an empty query");
         let start = Instant::now();
         let mut rng = StdRng::seed_from_u64(self.cfg.seed ^ fnv(query.id.as_bytes()));
         let mut ctx = model.query_context(query);
+        let feat_sess = &mut sess.feat;
 
         // Single relation: evaluate the three scan choices directly.
         if query.relations.len() == 1 {
@@ -190,7 +229,7 @@ impl MctsPlanner {
             let mut evaluated = 0;
             for op in ScanOp::ALL {
                 let plan = PlanNode::scan(query, &alias, op);
-                let t = model.predict_with_context(query, &plan, &mut ctx).runtime_ms;
+                let t = model.predict_with_context_in(feat_sess, query, &plan, &mut ctx).runtime_ms;
                 evaluated += 1;
                 if best.as_ref().map(|(_, bt)| t < *bt).unwrap_or(true) {
                     best = Some((plan, t));
@@ -207,19 +246,16 @@ impl MctsPlanner {
         }
 
         let qi = QueryIndex::new(query);
-        let mut nodes: Vec<TreeNode> = vec![TreeNode::fresh()];
-        let mut eval_cache: HashMap<Vec<u64>, f64> = HashMap::new();
+        // Per-query state cleared on entry; allocations carry over between
+        // queries handled by the same session.
+        let MctsScratch { nodes, eval_cache, path, actions, rollout, acts_buf, key_buf } =
+            &mut sess.mcts;
+        nodes.clear();
+        nodes.push(TreeNode::fresh());
+        eval_cache.clear();
         let mut best: Option<(Vec<Action>, f64)> = None;
         let mut simulations = 0usize;
         let mut budget_exhausted = false;
-
-        // Reused across iterations so the hot loop allocates nothing in the
-        // steady state.
-        let mut path: Vec<usize> = Vec::new();
-        let mut actions: Vec<Action> = Vec::new();
-        let mut rollout: Vec<Action> = Vec::new();
-        let mut acts_buf: Vec<Action> = Vec::new();
-        let mut key_buf: Vec<u64> = Vec::new();
 
         while simulations < self.cfg.max_simulations {
             if start.elapsed().as_secs_f64() * 1000.0 > self.cfg.budget_ms {
@@ -236,7 +272,7 @@ impl MctsPlanner {
             loop {
                 let node_idx = *path.last().expect("path non-empty");
                 if !nodes[node_idx].expanded {
-                    legal_actions_into(&qi, &actions, joined, &mut acts_buf);
+                    legal_actions_into(&qi, actions, joined, acts_buf);
                     nodes[node_idx].untried = acts_buf.clone();
                     nodes[node_idx].expanded = true;
                 }
@@ -288,10 +324,10 @@ impl MctsPlanner {
 
             // ---- Rollout ----
             rollout.clear();
-            rollout.extend_from_slice(&actions);
+            rollout.extend_from_slice(actions);
             let mut roll_joined = joined;
             while rollout.len() < qi.n {
-                legal_actions_into(&qi, &rollout, roll_joined, &mut acts_buf);
+                legal_actions_into(&qi, rollout, roll_joined, acts_buf);
                 if acts_buf.is_empty() {
                     break;
                 }
@@ -309,9 +345,10 @@ impl MctsPlanner {
             let t = match eval_cache.get(key_buf.as_slice()) {
                 Some(&t) => t,
                 None => {
-                    let spec = to_spec(query, &rollout);
+                    let spec = to_spec(query, rollout);
                     let plan = spec.compile(query).expect("rollout builds a valid plan");
-                    let t = model.predict_with_context(query, &plan, &mut ctx).runtime_ms;
+                    let t =
+                        model.predict_with_context_in(feat_sess, query, &plan, &mut ctx).runtime_ms;
                     eval_cache.insert(key_buf.clone(), t);
                     t
                 }
@@ -359,7 +396,7 @@ impl MctsPlanner {
             let mut seq: Vec<Action> = Vec::new();
             let mut seq_joined = 0u64;
             while seq.len() < qi.n {
-                legal_actions_into(&qi, &seq, seq_joined, &mut acts_buf);
+                legal_actions_into(&qi, &seq, seq_joined, acts_buf);
                 let a = *acts_buf.first().expect("connected query");
                 seq_joined |= 1 << a.rel();
                 seq.push(a);
@@ -434,7 +471,7 @@ mod tests {
     use qpseeker_storage::datagen::imdb;
     use qpseeker_workloads::{synthetic, Qep, SyntheticConfig};
 
-    fn fitted_model(db: &qpseeker_storage::Database) -> QPSeeker<'_> {
+    fn fitted_model(db: &std::sync::Arc<qpseeker_storage::Database>) -> QPSeeker {
         let w = synthetic::generate(db, &SyntheticConfig { n_queries: 16, seed: 3 });
         let refs: Vec<&Qep> = w.qeps.iter().collect();
         let mut m = QPSeeker::new(db, ModelConfig::small());
@@ -462,7 +499,7 @@ mod tests {
 
     #[test]
     fn produces_valid_left_deep_plan() {
-        let db = imdb::generate(0.05, 1);
+        let db = std::sync::Arc::new(imdb::generate(0.05, 1));
         let model = fitted_model(&db);
         let q = three_way(&db);
         let planner = MctsPlanner::new(MctsConfig {
@@ -480,7 +517,7 @@ mod tests {
 
     #[test]
     fn deterministic_with_simulation_cap() {
-        let db = imdb::generate(0.05, 1);
+        let db = std::sync::Arc::new(imdb::generate(0.05, 1));
         let q = three_way(&db);
         let cfg = MctsConfig { budget_ms: 1e9, max_simulations: 40, ..Default::default() };
         let m1 = fitted_model(&db);
@@ -493,7 +530,7 @@ mod tests {
 
     #[test]
     fn single_relation_query_picks_a_scan() {
-        let db = imdb::generate(0.05, 1);
+        let db = std::sync::Arc::new(imdb::generate(0.05, 1));
         let model = fitted_model(&db);
         let mut q = Query::new("single");
         q.relations = vec![RelRef::new("title")];
@@ -504,7 +541,7 @@ mod tests {
 
     #[test]
     fn budget_cuts_off_search() {
-        let db = imdb::generate(0.05, 1);
+        let db = std::sync::Arc::new(imdb::generate(0.05, 1));
         let model = fitted_model(&db);
         let q = three_way(&db);
         let planner = MctsPlanner::new(MctsConfig {
@@ -519,7 +556,7 @@ mod tests {
 
     #[test]
     fn more_simulations_never_worsen_predicted_time() {
-        let db = imdb::generate(0.05, 1);
+        let db = std::sync::Arc::new(imdb::generate(0.05, 1));
         let q = three_way(&db);
         let m1 = fitted_model(&db);
         let few = MctsPlanner::new(MctsConfig {
@@ -540,7 +577,7 @@ mod tests {
 
     #[test]
     fn legal_actions_respect_connectivity() {
-        let db = imdb::generate(0.05, 1);
+        let db = std::sync::Arc::new(imdb::generate(0.05, 1));
         let q = three_way(&db);
         let qi = QueryIndex::new(&q);
         let mut acts = Vec::new();

@@ -17,6 +17,10 @@ pub struct ServeCounters {
     /// Admitted queries served by the classical optimizer (fallback,
     /// breaker-open, or no model).
     pub served_classical: usize,
+    /// Admitted queries that panicked outside the planner's own boundary;
+    /// the worker survived and recorded the failure. Always
+    /// `admitted = served_neural + served_classical + failed`.
+    pub failed: usize,
     /// Rejected at admission: the bounded queue was full.
     pub shed_queue_full: usize,
     /// Rejected at admission: the deadline is unmeetable even unqueued.
@@ -47,10 +51,11 @@ impl std::fmt::Display for ServeCounters {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "served={} (neural={} classical={}) shed={} (queue_full={} deadline={} expired={}) breaker(trips={} recoveries={} probes={})",
+            "served={} (neural={} classical={} failed={}) shed={} (queue_full={} deadline={} expired={}) breaker(trips={} recoveries={} probes={})",
             self.admitted,
             self.served_neural,
             self.served_classical,
+            self.failed,
             self.total_shed(),
             self.shed_queue_full,
             self.shed_deadline,
@@ -180,8 +185,9 @@ mod tests {
     fn serve_counters_partition_the_stream() {
         let c = ServeCounters {
             admitted: 10,
-            served_neural: 7,
+            served_neural: 6,
             served_classical: 3,
+            failed: 1,
             shed_queue_full: 2,
             shed_deadline: 1,
             expired_in_queue: 1,
@@ -191,8 +197,9 @@ mod tests {
         };
         assert_eq!(c.total_seen(), 14);
         assert_eq!(c.total_shed(), 4);
-        assert_eq!(c.admitted, c.served_neural + c.served_classical);
+        assert_eq!(c.admitted, c.served_neural + c.served_classical + c.failed);
         let text = c.to_string();
         assert!(text.contains("queue_full=2") && text.contains("trips=1"));
+        assert!(text.contains("failed=1"));
     }
 }

@@ -5,8 +5,9 @@ use crate::config::ModelConfig;
 use crate::durable::SnapshotStore;
 use crate::encoder::{PlanEncoder, QueryEncoder};
 use crate::error::CoreError;
-use crate::featurize::{FeaturizedQep, Featurizer, PlanFeatCache};
+use crate::featurize::{FeatSession, FeaturizedQep, Featurizer, PlanFeatCache};
 use crate::normalize::TargetNormalizer;
+use crate::session::PlannerSession;
 use crate::vae::CostModeler;
 use qpseeker_engine::plan::PlanNode;
 use qpseeker_engine::query::Query;
@@ -18,6 +19,7 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
+use std::sync::{Arc, Mutex, MutexGuard};
 
 /// Denormalized model prediction for one QEP.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -45,7 +47,20 @@ pub struct TrainReport {
 }
 
 /// The QPSeeker neural planner, bound to one database.
-pub struct QPSeeker<'a> {
+///
+/// After training the model is immutable: every inference entry point takes
+/// `&self`, the database is shared read-only via `Arc`, and all mutable
+/// per-query state lives in a caller-owned
+/// [`PlannerSession`](crate::session::PlannerSession). That makes a fitted
+/// model `Send + Sync` (compile-time asserted below): wrap it in an `Arc`
+/// and hand one clone to each serving worker.
+///
+/// Convenience entry points that take no session (`predict`,
+/// `featurize_qep`, …) fall back to one internal session behind a `Mutex`;
+/// the lock recovers from poisoning via `into_inner`, so a panicked caller
+/// can never wedge other threads (the caches it guards are merely warm
+/// state, valid at every step).
+pub struct QPSeeker {
     pub config: ModelConfig,
     pub store: ParamStore,
     query_enc: QueryEncoder,
@@ -53,12 +68,26 @@ pub struct QPSeeker<'a> {
     attn: MultiHeadCrossAttention,
     vae: CostModeler,
     pub normalizer: Option<TargetNormalizer>,
-    feat: Featurizer<'a>,
+    feat: Featurizer,
     noise: Initializer,
+    /// Session backing the session-less convenience API.
+    fallback: Mutex<PlannerSession>,
 }
 
-impl<'a> QPSeeker<'a> {
-    pub fn new(db: &'a Database, config: ModelConfig) -> Self {
+/// The serving-oriented name for a fitted [`QPSeeker`]: the immutable,
+/// `Arc`-shareable half of the model/session split.
+pub type PlannerModel = QPSeeker;
+
+// A planner model must be shareable across serving workers. Compile-time
+// assertion: losing `Send + Sync` (e.g. by reintroducing an `Rc` or a raw
+// borrow) is a build error, not a runtime surprise.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<QPSeeker>()
+};
+
+impl QPSeeker {
+    pub fn new(db: &Arc<Database>, config: ModelConfig) -> Self {
         let mut store = ParamStore::new();
         let mut init = Initializer::new(config.seed);
         let n_tables = db.catalog.num_tables();
@@ -78,7 +107,7 @@ impl<'a> QPSeeker<'a> {
         let vae = CostModeler::new(&mut store, &mut init, &config);
         let tabert = TabSim::new(config.tabert.clone());
         Self {
-            feat: Featurizer::new(db, tabert),
+            feat: Featurizer::new(Arc::clone(db), tabert),
             config,
             store,
             query_enc,
@@ -87,7 +116,20 @@ impl<'a> QPSeeker<'a> {
             vae,
             normalizer: None,
             noise: init,
+            fallback: Mutex::new(PlannerSession::new()),
         }
+    }
+
+    /// The shared read-only database this model plans against.
+    pub fn db(&self) -> &Arc<Database> {
+        &self.feat.db
+    }
+
+    /// The internal fallback session, recovering from lock poisoning: a
+    /// worker that panicked mid-featurization leaves the caches in a valid
+    /// (merely partially warm) state, so the session stays usable.
+    pub(crate) fn lock_fallback_session(&self) -> MutexGuard<'_, PlannerSession> {
+        self.fallback.lock().unwrap_or_else(|e| e.into_inner())
     }
 
     /// Number of scalar parameters (the paper quotes 10.8M for the full
@@ -101,10 +143,17 @@ impl<'a> QPSeeker<'a> {
         self.feat.tabert_ms()
     }
 
-    /// Featurize a training QEP (requires a fitted normalizer).
+    /// Featurize a training QEP (requires a fitted normalizer), through the
+    /// internal fallback session.
     pub fn featurize_qep(&self, qep: &Qep) -> FeaturizedQep {
+        let mut sess = self.lock_fallback_session();
+        self.featurize_qep_in(&mut sess.feat, qep)
+    }
+
+    /// [`Self::featurize_qep`] with caller-owned featurization caches.
+    pub fn featurize_qep_in(&self, sess: &mut FeatSession, qep: &Qep) -> FeaturizedQep {
         let norm = self.normalizer.as_ref().expect("fit or set a normalizer first");
-        self.feat.featurize(&qep.query, &qep.plan, Some(&qep.truth), norm, &qep.template)
+        self.feat.featurize(sess, &qep.query, &qep.plan, Some(&qep.truth), norm, &qep.template)
     }
 
     /// Encode one featurized QEP to its joint embedding `[1, joint_dim]`
@@ -478,10 +527,17 @@ impl<'a> QPSeeker<'a> {
     }
 
     /// Predict (cardinality, cost, runtime) for an arbitrary plan of a
-    /// query. Deterministic (zero latent noise).
+    /// query. Deterministic (zero latent noise). Uses the internal fallback
+    /// session; serving workers use [`Self::predict_in`] with their own.
     pub fn predict(&self, query: &Query, plan: &PlanNode) -> Prediction {
+        let mut sess = self.lock_fallback_session();
+        self.predict_in(&mut sess.feat, query, plan)
+    }
+
+    /// [`Self::predict`] with caller-owned featurization caches.
+    pub fn predict_in(&self, sess: &mut FeatSession, query: &Query, plan: &PlanNode) -> Prediction {
         let mut ctx = self.query_context(query);
-        self.predict_with_context(query, plan, &mut ctx)
+        self.predict_with_context_in(sess, query, plan, &mut ctx)
     }
 
     /// Build the per-query state for [`Self::predict_with_context`]. The
@@ -513,14 +569,27 @@ impl<'a> QPSeeker<'a> {
         plan: &PlanNode,
         ctx: &mut QueryContext,
     ) -> Prediction {
+        let mut sess = self.lock_fallback_session();
+        self.predict_with_context_in(&mut sess.feat, query, plan, ctx)
+    }
+
+    /// [`Self::predict_with_context`] with caller-owned featurization
+    /// caches — the lock-free serving hot path.
+    pub fn predict_with_context_in(
+        &self,
+        sess: &mut FeatSession,
+        query: &Query,
+        plan: &PlanNode,
+        ctx: &mut QueryContext,
+    ) -> Prediction {
         let norm = self.normalizer.as_ref().expect("model must be fitted before predict");
         if !ctx.fast {
-            let fq = self.feat.featurize(query, plan, None, norm, "");
+            let fq = self.feat.featurize(sess, query, plan, None, norm, "");
             let (preds, _mu) = self.forward_tape(&fq);
             let raw = norm.decode(preds);
             return Prediction { cardinality: raw[0], cost: raw[1], runtime_ms: raw[2] };
         }
-        let fplan = self.feat.featurize_plan_fast(query, plan, norm, &mut ctx.plan_cache);
+        let fplan = self.feat.featurize_plan_fast(sess, query, plan, norm, &mut ctx.plan_cache);
         let preds = with_thread_scratch(|sc| {
             let nodes = self.plan_enc.forward_inference(&self.store, &fplan, sc);
             let joint = if fplan.count() > 1 && self.config.use_attention {
@@ -550,7 +619,10 @@ impl<'a> QPSeeker<'a> {
     /// it also backs prediction when `config.fast_inference` is off.
     pub fn predict_tape(&self, query: &Query, plan: &PlanNode) -> Prediction {
         let norm = self.normalizer.as_ref().expect("model must be fitted before predict");
-        let fq = self.feat.featurize(query, plan, None, norm, "");
+        let fq = {
+            let mut sess = self.lock_fallback_session();
+            self.feat.featurize(&mut sess.feat, query, plan, None, norm, "")
+        };
         let (preds, _mu) = self.forward_tape(&fq);
         let raw = norm.decode(preds);
         Prediction { cardinality: raw[0], cost: raw[1], runtime_ms: raw[2] }
@@ -559,7 +631,10 @@ impl<'a> QPSeeker<'a> {
     /// The 32-d latent mean of a QEP (Fig. 5's latent space).
     pub fn latent_mu(&self, query: &Query, plan: &PlanNode) -> Vec<f32> {
         let norm = self.normalizer.as_ref().expect("model must be fitted before latent_mu");
-        let fq = self.feat.featurize(query, plan, None, norm, "");
+        let fq = {
+            let mut sess = self.lock_fallback_session();
+            self.feat.featurize(&mut sess.feat, query, plan, None, norm, "")
+        };
         let (_preds, mu) = self.forward_tape(&fq);
         mu
     }
@@ -587,7 +662,10 @@ impl<'a> QPSeeker<'a> {
     /// attention) return an empty vector.
     pub fn attention_scores(&self, query: &Query, plan: &PlanNode) -> Vec<Vec<f32>> {
         let norm = self.normalizer.as_ref().expect("model must be fitted first");
-        let fq = self.feat.featurize(query, plan, None, norm, "");
+        let fq = {
+            let mut sess = self.lock_fallback_session();
+            self.feat.featurize(&mut sess.feat, query, plan, None, norm, "")
+        };
         if fq.plan.count() <= 1 || !self.config.use_attention {
             return Vec::new();
         }
@@ -708,7 +786,7 @@ mod tests {
 
     #[test]
     fn model_constructs_with_paper_scale_parameter_count() {
-        let db = imdb::generate(0.02, 1);
+        let db = Arc::new(imdb::generate(0.02, 1));
         let model = QPSeeker::new(&db, ModelConfig::paper());
         let params = model.num_parameters();
         // The paper quotes 10.8M; our schema dims land in the same regime.
@@ -717,7 +795,7 @@ mod tests {
 
     #[test]
     fn training_reduces_loss_and_predicts_finite() {
-        let db = imdb::generate(0.05, 1);
+        let db = Arc::new(imdb::generate(0.05, 1));
         let qeps = tiny_qeps(&db, 24);
         let refs: Vec<&Qep> = qeps.iter().collect();
         let mut model = QPSeeker::new(&db, ModelConfig::small());
@@ -733,7 +811,7 @@ mod tests {
 
     #[test]
     fn prediction_is_deterministic() {
-        let db = imdb::generate(0.05, 1);
+        let db = Arc::new(imdb::generate(0.05, 1));
         let qeps = tiny_qeps(&db, 10);
         let refs: Vec<&Qep> = qeps.iter().collect();
         let mut model = QPSeeker::new(&db, ModelConfig::small());
@@ -745,7 +823,7 @@ mod tests {
 
     #[test]
     fn latent_dimension_matches_config() {
-        let db = imdb::generate(0.05, 1);
+        let db = Arc::new(imdb::generate(0.05, 1));
         let qeps = tiny_qeps(&db, 8);
         let refs: Vec<&Qep> = qeps.iter().collect();
         let cfg = ModelConfig::small();
@@ -759,7 +837,7 @@ mod tests {
 
     #[test]
     fn different_plans_of_same_query_get_different_predictions() {
-        let db = imdb::generate(0.05, 1);
+        let db = Arc::new(imdb::generate(0.05, 1));
         let mut q = Query::new("q");
         q.relations = vec![RelRef::new("title"), RelRef::new("cast_info")];
         q.joins = vec![JoinPred {
@@ -787,7 +865,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "must be fitted")]
     fn predict_before_fit_panics() {
-        let db = imdb::generate(0.02, 1);
+        let db = Arc::new(imdb::generate(0.02, 1));
         let model = QPSeeker::new(&db, ModelConfig::small());
         let mut q = Query::new("q");
         q.relations = vec![RelRef::new("title")];
@@ -797,7 +875,7 @@ mod tests {
 
     #[test]
     fn fit_on_empty_is_a_typed_error() {
-        let db = imdb::generate(0.02, 1);
+        let db = Arc::new(imdb::generate(0.02, 1));
         let mut model = QPSeeker::new(&db, ModelConfig::small());
         let err = model.fit(&[]).unwrap_err();
         assert_eq!(err, CoreError::EmptyTrainingSet);
@@ -814,7 +892,7 @@ mod attention_tests {
 
     #[test]
     fn attention_scores_are_distributions_over_plan_nodes() {
-        let db = imdb::generate(0.05, 1);
+        let db = Arc::new(imdb::generate(0.05, 1));
         let w = synthetic::generate(&db, &SyntheticConfig { n_queries: 12, seed: 3 });
         let refs: Vec<&Qep> = w.qeps.iter().collect();
         let mut model = QPSeeker::new(&db, ModelConfig::small());

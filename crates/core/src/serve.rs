@@ -15,17 +15,31 @@
 //! failure rate crosses a threshold, then recovers through half-open
 //! probes. Queue dynamics run on a deterministic virtual clock, so breaker
 //! and shedding behavior is exactly reproducible in tests.
+//!
+//! With `workers > 1` the supervisor serves admitted requests on a real
+//! thread pool: each worker owns a [`PlannerSession`] over the one shared
+//! model, pulling jobs off an atomic cursor. Admission control stays
+//! sequential in arrival order — dispositions depend only on the virtual
+//! clock, never on planning results — so shedding is deterministic for a
+//! given worker count, and plan choices are deterministic for *any* worker
+//! count (MCTS is seeded per query). Each request runs inside its own panic
+//! boundary: a panicked request records [`Disposition::Failed`] and the
+//! worker moves on. `workers <= 1` keeps the fully sequential,
+//! single-threaded path for tests.
 
 use crate::error::panic_message;
 use crate::mcts::{MctsConfig, MctsPlanner};
 use crate::metrics::ServeCounters;
 use crate::model::QPSeeker;
+use crate::session::PlannerSession;
 use qpseeker_engine::optimizer::PgOptimizer;
 use qpseeker_engine::plan::PlanNode;
 use qpseeker_engine::query::Query;
 use qpseeker_storage::{Database, FaultConfig, FaultInjector, InferenceFault};
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, MutexGuard};
 use std::time::Instant;
 
 /// Serving-path configuration.
@@ -124,11 +138,33 @@ pub struct ServeResult {
 /// prediction check, plan validation and a panic boundary; failures retry
 /// with exponential backoff (a different MCTS seed each time) up to
 /// `cfg.max_retries`, after which the classical optimizer serves the query.
+///
+/// Convenience wrapper over [`plan_with_fallback_in`] that borrows the
+/// model's internal fallback session; serving workers hold their own
+/// [`PlannerSession`] and call the `_in` variant directly.
 pub fn plan_with_fallback(
     db: &Database,
     query: &Query,
-    model: Option<&QPSeeker<'_>>,
+    model: Option<&QPSeeker>,
     cfg: &ServeConfig,
+) -> ServeResult {
+    match model {
+        Some(m) => {
+            let mut sess = m.lock_fallback_session();
+            plan_with_fallback_in(db, query, model, cfg, &mut sess)
+        }
+        None => plan_with_fallback_in(db, query, None, cfg, &mut PlannerSession::new()),
+    }
+}
+
+/// [`plan_with_fallback`] against a caller-owned [`PlannerSession`] — the
+/// lock-free entry point each serving worker uses with its own session.
+pub fn plan_with_fallback_in(
+    db: &Database,
+    query: &Query,
+    model: Option<&QPSeeker>,
+    cfg: &ServeConfig,
+    sess: &mut PlannerSession,
 ) -> ServeResult {
     let injector = cfg.faults.clone().map(FaultInjector::new);
     let mut failures: Vec<FallbackReason> = Vec::new();
@@ -158,8 +194,18 @@ pub fn plan_with_fallback(
         mcts.budget_ms = mcts.budget_ms.min(cfg.deadline_ms);
         let planner = MctsPlanner::new(mcts);
 
+        // Injected inference faults are decided up front so a Panic fault
+        // can fire *inside* the panic boundary — the contained-panic path
+        // is exercised end to end, not merely simulated after the fact.
+        let fault = injector.as_ref().and_then(|fi| fi.inference_fault(&query.id, attempt));
+
         let started = Instant::now();
-        let outcome = catch_unwind(AssertUnwindSafe(|| planner.plan(model, query)));
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            if fault == Some(InferenceFault::Panic) {
+                panic!("injected inference panic");
+            }
+            planner.plan_with_session(model, query, sess)
+        }));
         let mut elapsed_ms = started.elapsed().as_secs_f64() * 1_000.0;
 
         let mut result = match outcome {
@@ -170,14 +216,12 @@ pub fn plan_with_fallback(
             }
         };
 
-        // Injected inference faults (chaos testing): a stall exhausts the
+        // Remaining fault classes apply post-hoc: a stall exhausts the
         // deadline, a NaN fault poisons the prediction.
-        if let Some(fault) = injector.as_ref().and_then(|fi| fi.inference_fault(&query.id, attempt))
-        {
-            match fault {
-                InferenceFault::Stall => elapsed_ms += cfg.deadline_ms,
-                InferenceFault::NanPrediction => result.predicted_ms = f64::NAN,
-            }
+        match fault {
+            Some(InferenceFault::Stall) => elapsed_ms += cfg.deadline_ms,
+            Some(InferenceFault::NanPrediction) => result.predicted_ms = f64::NAN,
+            Some(InferenceFault::Panic) | None => {}
         }
 
         if !result.predicted_ms.is_finite() {
@@ -251,6 +295,11 @@ pub struct SupervisorConfig {
     pub queue_capacity: usize,
     /// Virtual per-query service time (ms) driving the admission clock.
     pub service_ms: f64,
+    /// Serving workers. `<= 1` runs the deterministic single-threaded loop;
+    /// larger values spawn that many real threads, each with its own
+    /// [`PlannerSession`], and model that many virtual servers on the
+    /// admission clock.
+    pub workers: usize,
 }
 
 impl Default for SupervisorConfig {
@@ -264,6 +313,7 @@ impl Default for SupervisorConfig {
             probe_successes: 3,
             queue_capacity: 32,
             service_ms: 10.0,
+            workers: 1,
         }
     }
 }
@@ -388,6 +438,19 @@ impl CircuitBreaker {
     }
 }
 
+/// Lock the shared breaker, recovering from poisoning: a worker that
+/// panicked while holding the lock left valid (if mid-transition) breaker
+/// state behind, and wedging the whole pool over it would be strictly
+/// worse than a possibly-stale failure window.
+fn lock_breaker<'a, 'b>(
+    m: &'a Mutex<&'b mut CircuitBreaker>,
+) -> MutexGuard<'a, &'b mut CircuitBreaker> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
 /// One query in a supervised stream, stamped with virtual arrival and
 /// deadline times (absolute milliseconds on the supervisor's clock).
 #[derive(Debug, Clone)]
@@ -433,6 +496,10 @@ pub enum Disposition {
     Served(ServeResult),
     /// Shed without planning, with the recorded reason.
     Shed(ShedReason),
+    /// Admitted, but the request panicked outside the neural planner's own
+    /// boundary (e.g. in the classical fallback). The worker survived; the
+    /// panic message is recorded.
+    Failed(String),
 }
 
 /// One request's outcome in a [`Supervisor::run`] batch.
@@ -454,19 +521,20 @@ pub struct Supervisor {
     counters: ServeCounters,
     /// Virtual completion times of admitted-but-unfinished queries.
     in_flight: VecDeque<f64>,
-    /// When the (single, virtual) server frees up.
-    server_free_ms: f64,
+    /// When each of the `workers` virtual servers frees up.
+    server_free: Vec<f64>,
 }
 
 impl Supervisor {
     pub fn new(cfg: SupervisorConfig) -> Self {
         let breaker = CircuitBreaker::new(&cfg);
+        let servers = cfg.workers.max(1);
         Self {
             cfg,
             breaker,
             counters: ServeCounters::default(),
             in_flight: VecDeque::new(),
-            server_free_ms: 0.0,
+            server_free: vec![0.0; servers],
         }
     }
 
@@ -484,6 +552,13 @@ impl Supervisor {
         c
     }
 
+    /// The virtual instant at which all admitted work completes — the
+    /// stream's makespan so far on the admission clock. Throughput benches
+    /// divide served queries by this to get queries per virtual second.
+    pub fn virtual_now_ms(&self) -> f64 {
+        self.server_free.iter().copied().fold(0.0, f64::max)
+    }
+
     /// Swap the injected fault configuration between batches (chaos tests:
     /// fault a stream to trip the breaker, clear to watch it recover).
     pub fn set_faults(&mut self, faults: Option<FaultConfig>) {
@@ -492,29 +567,121 @@ impl Supervisor {
 
     /// Process a batch of requests ordered by arrival time: admission
     /// control against the bounded queue, deadline-aware shedding, then
-    /// FIFO service through the circuit breaker. Every admitted query is
-    /// served — neurally when the breaker allows and the attempt succeeds,
+    /// service through the circuit breaker. Every admitted query is served
+    /// — neurally when the breaker allows and the attempt succeeds,
     /// classically otherwise — and every shed carries its reason.
+    ///
+    /// Admission runs sequentially in arrival order regardless of the
+    /// worker count (dispositions depend only on the virtual clock, never
+    /// on planning results); admitted requests are then planned inline
+    /// when `workers <= 1`, or by a pool of scoped threads each owning a
+    /// [`PlannerSession`] otherwise.
     pub fn run(
         &mut self,
         db: &Database,
-        model: Option<&QPSeeker<'_>>,
+        model: Option<&QPSeeker>,
         requests: &[QueryRequest],
     ) -> Vec<SupervisedOutcome> {
-        let mut outcomes = Vec::with_capacity(requests.len());
-        for req in requests {
-            let disposition = self.admit_and_serve(db, model, req);
-            outcomes.push(SupervisedOutcome { query_id: req.query.id.clone(), disposition });
+        // Phase 1: admission, in arrival order.
+        let mut dispositions: Vec<Option<Disposition>> = Vec::with_capacity(requests.len());
+        let mut jobs: Vec<usize> = Vec::new();
+        for (i, req) in requests.iter().enumerate() {
+            match self.admit(req) {
+                Some(reason) => dispositions.push(Some(Disposition::Shed(reason))),
+                None => {
+                    dispositions.push(None);
+                    jobs.push(i);
+                }
+            }
         }
-        outcomes
+
+        // Phase 2: plan every admitted request. The breaker is shared
+        // behind a mutex; per-outcome tallies are sharded per worker and
+        // merged after the join, so counter totals are exact regardless of
+        // interleaving.
+        let workers = self.cfg.workers.max(1);
+        let serve_cfg = self.cfg.serve.clone();
+        let breaker = Mutex::new(&mut self.breaker);
+        let shards: Vec<(Vec<(usize, Disposition)>, ServeCounters)> = if workers == 1 {
+            let mut sess = PlannerSession::new();
+            let mut tally = ServeCounters::default();
+            let served = jobs
+                .iter()
+                .map(|&i| {
+                    let d = serve_admitted(
+                        db,
+                        model,
+                        &requests[i].query,
+                        &serve_cfg,
+                        &breaker,
+                        &mut sess,
+                        &mut tally,
+                    );
+                    (i, d)
+                })
+                .collect();
+            vec![(served, tally)]
+        } else {
+            let cursor = AtomicUsize::new(0);
+            std::thread::scope(|s| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|_| {
+                        let (jobs, cursor, breaker, serve_cfg) =
+                            (&jobs, &cursor, &breaker, &serve_cfg);
+                        s.spawn(move || {
+                            let mut sess = PlannerSession::new();
+                            let mut tally = ServeCounters::default();
+                            let mut served = Vec::new();
+                            loop {
+                                let k = cursor.fetch_add(1, Ordering::Relaxed);
+                                let Some(&i) = jobs.get(k) else { break };
+                                let d = serve_admitted(
+                                    db,
+                                    model,
+                                    &requests[i].query,
+                                    serve_cfg,
+                                    breaker,
+                                    &mut sess,
+                                    &mut tally,
+                                );
+                                served.push((i, d));
+                            }
+                            (served, tally)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("worker exited through the per-request boundary"))
+                    .collect()
+            })
+        };
+        // `breaker` (the Mutex over `&mut self.breaker`) is done; NLL ends
+        // its borrow here, so the counters below are accessible again.
+        let _ = breaker;
+        for (served, tally) in shards {
+            self.counters.served_neural += tally.served_neural;
+            self.counters.served_classical += tally.served_classical;
+            self.counters.failed += tally.failed;
+            for (i, d) in served {
+                dispositions[i] = Some(d);
+            }
+        }
+
+        requests
+            .iter()
+            .zip(dispositions)
+            .map(|(req, d)| SupervisedOutcome {
+                query_id: req.query.id.clone(),
+                disposition: d.expect("every admitted job produced a disposition"),
+            })
+            .collect()
     }
 
-    fn admit_and_serve(
-        &mut self,
-        db: &Database,
-        model: Option<&QPSeeker<'_>>,
-        req: &QueryRequest,
-    ) -> Disposition {
+    /// Admission decision for one arrival against the bounded queue and
+    /// the `workers`-server virtual clock. `None` admits (and charges the
+    /// earliest-free virtual server); `Some` is the shed reason.
+    fn admit(&mut self, req: &QueryRequest) -> Option<ShedReason> {
         // Drain virtually-completed work as of this arrival.
         while self.in_flight.front().is_some_and(|&t| t <= req.arrival_ms) {
             self.in_flight.pop_front();
@@ -524,7 +691,7 @@ impl Supervisor {
         let earliest_finish = req.arrival_ms + self.cfg.service_ms;
         if earliest_finish > req.deadline_ms {
             self.counters.shed_deadline += 1;
-            return Disposition::Shed(ShedReason::DeadlineUnmeetable {
+            return Some(ShedReason::DeadlineUnmeetable {
                 earliest_finish_ms: earliest_finish,
                 deadline_ms: req.deadline_ms,
             });
@@ -532,27 +699,50 @@ impl Supervisor {
         let depth = self.in_flight.len();
         if depth >= self.cfg.queue_capacity {
             self.counters.shed_queue_full += 1;
-            return Disposition::Shed(ShedReason::QueueFull { depth });
+            return Some(ShedReason::QueueFull { depth });
         }
-        let start = req.arrival_ms.max(self.server_free_ms);
+        let server = self
+            .server_free
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        let start = req.arrival_ms.max(self.server_free[server]);
         let would_finish = start + self.cfg.service_ms;
         if would_finish > req.deadline_ms {
             // Admitted to the queue, but its slack was eaten waiting:
             // dropped at dequeue without charging the server.
             self.counters.expired_in_queue += 1;
-            return Disposition::Shed(ShedReason::ExpiredInQueue {
+            return Some(ShedReason::ExpiredInQueue {
                 would_finish_ms: would_finish,
                 deadline_ms: req.deadline_ms,
             });
         }
-        self.server_free_ms = would_finish;
+        self.server_free[server] = would_finish;
         self.in_flight.push_back(would_finish);
         self.counters.admitted += 1;
+        None
+    }
+}
 
-        let neural_allowed = model.is_some() && self.breaker.allow_neural();
-        let result = if neural_allowed {
-            let r = plan_with_fallback(db, &req.query, model, &self.cfg.serve);
-            self.breaker.record(r.served_by == ServedBy::Neural);
+/// Serve one admitted request through the breaker, inside a per-request
+/// panic boundary. Tallies land in the caller's shard (`served_neural`,
+/// `served_classical`, `failed` only).
+fn serve_admitted(
+    db: &Database,
+    model: Option<&QPSeeker>,
+    query: &Query,
+    cfg: &ServeConfig,
+    breaker: &Mutex<&mut CircuitBreaker>,
+    sess: &mut PlannerSession,
+    tally: &mut ServeCounters,
+) -> Disposition {
+    let attempt = catch_unwind(AssertUnwindSafe(|| {
+        let neural_allowed = model.is_some() && lock_breaker(breaker).allow_neural();
+        if neural_allowed {
+            let r = plan_with_fallback_in(db, query, model, cfg, sess);
+            lock_breaker(breaker).record(r.served_by == ServedBy::Neural);
             r
         } else {
             let reason = if model.is_some() {
@@ -560,13 +750,21 @@ impl Supervisor {
             } else {
                 FallbackReason::ModelUnavailable("no model loaded".into())
             };
-            classical(db, &req.query, 0, 0.0, vec![reason.clone()], reason)
-        };
-        match result.served_by {
-            ServedBy::Neural => self.counters.served_neural += 1,
-            ServedBy::Classical => self.counters.served_classical += 1,
+            classical(db, query, 0, 0.0, vec![reason.clone()], reason)
         }
-        Disposition::Served(result)
+    }));
+    match attempt {
+        Ok(result) => {
+            match result.served_by {
+                ServedBy::Neural => tally.served_neural += 1,
+                ServedBy::Classical => tally.served_classical += 1,
+            }
+            Disposition::Served(result)
+        }
+        Err(payload) => {
+            tally.failed += 1;
+            Disposition::Failed(panic_message(payload))
+        }
     }
 }
 
@@ -575,15 +773,16 @@ mod tests {
     use super::*;
     use crate::config::ModelConfig;
     use qpseeker_workloads::{synthetic, Qep, SyntheticConfig};
+    use std::sync::Arc;
 
-    fn db_and_workload() -> (Database, Vec<Query>) {
-        let db = qpseeker_storage::datagen::imdb::generate(0.04, 2);
+    fn db_and_workload() -> (Arc<Database>, Vec<Query>) {
+        let db = Arc::new(qpseeker_storage::datagen::imdb::generate(0.04, 2));
         let w = synthetic::generate(&db, &SyntheticConfig { n_queries: 8, seed: 7 });
         let queries = w.qeps.iter().map(|q| q.query.clone()).collect();
         (db, queries)
     }
 
-    fn fitted_model(db: &Database) -> QPSeeker<'_> {
+    fn fitted_model(db: &Arc<Database>) -> QPSeeker {
         let w = synthetic::generate(db, &SyntheticConfig { n_queries: 12, seed: 3 });
         let refs: Vec<&Qep> = w.qeps.iter().collect();
         let mut model = QPSeeker::new(db, ModelConfig::small());
@@ -633,6 +832,20 @@ mod tests {
         assert_eq!(r.attempts, 2, "one attempt plus one retry");
         assert_eq!(r.attempt_failures.len(), 2);
         assert!(matches!(r.fallback_reason, Some(FallbackReason::NonFinitePrediction)));
+        assert!(r.plan.validate(&queries[0]).is_ok());
+    }
+
+    #[test]
+    fn injected_panic_is_contained_by_the_attempt_boundary() {
+        let (db, queries) = db_and_workload();
+        let model = fitted_model(&db);
+        let mut cfg = quick_cfg();
+        cfg.faults = Some(FaultConfig { inference_panic_p: 1.0, ..FaultConfig::default() });
+        let r = plan_with_fallback(&db, &queries[0], Some(&model), &cfg);
+        assert_eq!(r.served_by, ServedBy::Classical);
+        assert_eq!(r.attempts, 2);
+        assert!(matches!(r.fallback_reason, Some(FallbackReason::PlannerPanicked(_))));
+        assert!(r.attempt_failures.iter().all(|f| matches!(f, FallbackReason::PlannerPanicked(_))));
         assert!(r.plan.validate(&queries[0]).is_ok());
     }
 
@@ -807,6 +1020,60 @@ mod tests {
             Disposition::Shed(ShedReason::QueueFull { .. })
         ));
         assert!(matches!(&outcomes[2].disposition, Disposition::Served(_)));
+    }
+
+    #[test]
+    fn worker_pool_serves_every_admitted_request() {
+        let (db, queries) = db_and_workload();
+        let model = fitted_model(&db);
+        let cfg = SupervisorConfig {
+            serve: quick_cfg(),
+            workers: 4,
+            queue_capacity: 64,
+            ..SupervisorConfig::default()
+        };
+        let mut sup = Supervisor::new(cfg);
+        let stream: Vec<QueryRequest> = queries
+            .iter()
+            .map(|q| QueryRequest { query: q.clone(), arrival_ms: 0.0, deadline_ms: 1e9 })
+            .collect();
+        let outcomes = sup.run(&db, Some(&model), &stream);
+        assert_eq!(outcomes.len(), stream.len());
+        for o in &outcomes {
+            assert!(matches!(&o.disposition, Disposition::Served(_)), "{:?}", o.disposition);
+        }
+        let c = sup.counters();
+        assert_eq!(c.admitted, stream.len());
+        assert_eq!(c.admitted, c.served_neural + c.served_classical + c.failed);
+        // Four virtual servers drain eight simultaneous arrivals in two
+        // service slots.
+        assert!((sup.virtual_now_ms() - 20.0).abs() < 1e-9, "{}", sup.virtual_now_ms());
+    }
+
+    #[test]
+    fn multi_server_admission_overlaps_service() {
+        let (db, queries) = db_and_workload();
+        // One server sheds the second simultaneous arrival at capacity 1;
+        // two servers with capacity 2 absorb both.
+        let cfg = SupervisorConfig {
+            workers: 2,
+            queue_capacity: 2,
+            service_ms: 10.0,
+            ..SupervisorConfig::default()
+        };
+        let mut sup = Supervisor::new(cfg);
+        let req = |arrival: f64| QueryRequest {
+            query: queries[0].clone(),
+            arrival_ms: arrival,
+            deadline_ms: 15.0 + arrival,
+        };
+        let outcomes = sup.run(&db, None, &[req(0.0), req(0.0)]);
+        assert!(matches!(&outcomes[0].disposition, Disposition::Served(_)));
+        assert!(
+            matches!(&outcomes[1].disposition, Disposition::Served(_)),
+            "second server should absorb the simultaneous arrival"
+        );
+        assert!((sup.virtual_now_ms() - 10.0).abs() < 1e-9);
     }
 
     #[test]

@@ -1,0 +1,47 @@
+//! Per-thread planner state.
+//!
+//! The model/session split: [`crate::model::QPSeeker`] (alias
+//! [`crate::model::PlannerModel`]) is immutable after training and shared
+//! across threads behind an `Arc`; everything mutable that planning needs —
+//! featurization caches, the MCTS tree and its evaluation cache — lives in a
+//! [`PlannerSession`] owned by exactly one thread. A serving worker creates
+//! one session at startup and reuses it for every request it handles, so the
+//! hot path takes no locks and caches stay warm per worker.
+
+use crate::featurize::FeatSession;
+use crate::mcts::MctsScratch;
+use crate::model::QPSeeker;
+
+/// Mutable per-thread planning state over one shared model: featurization
+/// caches (TaBERT encodings, filtered-column representations) plus the MCTS
+/// search scratch (tree arena, evaluation cache, reusable buffers).
+///
+/// Cheap to create — all caches start empty and fill on use. `Send` but not
+/// shared: pass it `&mut` into the `*_in` / `*_with_session` entry points.
+#[derive(Default)]
+pub struct PlannerSession {
+    /// Featurization caches (see [`FeatSession`]).
+    pub feat: FeatSession,
+    /// MCTS tree arena, evaluation cache, and reusable buffers.
+    pub mcts: MctsScratch,
+}
+
+impl PlannerSession {
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl QPSeeker {
+    /// A fresh per-thread session over this model. Equivalent to
+    /// [`PlannerSession::new`]; provided on the model so worker setup reads
+    /// naturally (`let mut sess = model.new_session()`).
+    pub fn new_session(&self) -> PlannerSession {
+        PlannerSession::new()
+    }
+}
+
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<PlannerSession>()
+};

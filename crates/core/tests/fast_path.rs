@@ -8,7 +8,6 @@ use qpseeker_engine::inject::LeftDeepSpec;
 use qpseeker_engine::plan::{JoinOp, PlanNode, ScanOp};
 use qpseeker_engine::query::{ColRef, JoinPred, Query, RelRef};
 use qpseeker_storage::datagen::imdb;
-use qpseeker_storage::Database;
 use qpseeker_workloads::{synthetic, Qep, SyntheticConfig};
 use std::sync::OnceLock;
 
@@ -28,16 +27,13 @@ fn three_way() -> Query {
 
 /// One fitted model shared by every proptest case (fitting is the
 /// expensive part; prediction is what's under test).
-fn shared_model() -> &'static QPSeeker<'static> {
-    static MODEL: OnceLock<QPSeeker<'static>> = OnceLock::new();
+fn shared_model() -> &'static QPSeeker {
+    static MODEL: OnceLock<QPSeeker> = OnceLock::new();
     MODEL.get_or_init(|| {
-        let db: &'static Database = Box::leak(Box::new(imdb::generate(0.05, 1)));
-        let w = Box::leak(Box::new(synthetic::generate(
-            db,
-            &SyntheticConfig { n_queries: 24, seed: 7 },
-        )));
+        let db = std::sync::Arc::new(imdb::generate(0.05, 1));
+        let w = synthetic::generate(&db, &SyntheticConfig { n_queries: 24, seed: 7 });
         let refs: Vec<&Qep> = w.qeps.iter().collect();
-        let mut m = QPSeeker::new(db, ModelConfig::small());
+        let mut m = QPSeeker::new(&db, ModelConfig::small());
         m.fit(&refs).expect("training succeeds");
         m
     })
@@ -110,7 +106,7 @@ fn fast_inference_matches_tape_on_single_scans() {
 
 #[test]
 fn parallel_training_is_bit_identical_across_shard_counts() {
-    let db = imdb::generate(0.05, 1);
+    let db = std::sync::Arc::new(imdb::generate(0.05, 1));
     let w = synthetic::generate(&db, &SyntheticConfig { n_queries: 12, seed: 11 });
     let refs: Vec<&Qep> = w.qeps.iter().collect();
     let train = |threads: usize| {

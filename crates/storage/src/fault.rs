@@ -49,6 +49,9 @@ pub struct FaultConfig {
     pub inference_nan_p: f64,
     /// Probability one neural-inference attempt stalls past its deadline.
     pub inference_stall_p: f64,
+    /// Probability one neural-inference attempt panics mid-plan (the
+    /// serving layer must contain it and fall back).
+    pub inference_panic_p: f64,
     /// Probability a durable write is torn: a truncated prefix reaches the
     /// destination (simulating a crash mid-write on a filesystem without
     /// atomic rename) and the writing process "dies".
@@ -70,6 +73,7 @@ impl Default for FaultConfig {
             row_budget: None,
             inference_nan_p: 0.0,
             inference_stall_p: 0.0,
+            inference_panic_p: 0.0,
             torn_write_p: 0.0,
             crash_after_writes: None,
         }
@@ -88,6 +92,7 @@ impl FaultConfig {
             row_budget: None,
             inference_nan_p: p,
             inference_stall_p: p,
+            inference_panic_p: p,
             torn_write_p: p,
             crash_after_writes: None,
         }
@@ -102,6 +107,9 @@ pub enum InferenceFault {
     NanPrediction,
     /// The planner blew through its deadline.
     Stall,
+    /// The planner panics mid-attempt; the serving layer's per-attempt
+    /// panic boundary must contain it.
+    Panic,
 }
 
 /// Simulated faults on the durable (snapshot/checkpoint) write path.
@@ -220,6 +228,8 @@ impl FaultInjector {
             Some(InferenceFault::NanPrediction)
         } else if self.trips("infer_stall", &key, self.cfg.inference_stall_p) {
             Some(InferenceFault::Stall)
+        } else if self.trips("infer_panic", &key, self.cfg.inference_panic_p) {
+            Some(InferenceFault::Panic)
         } else {
             None
         }

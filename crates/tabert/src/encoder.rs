@@ -6,7 +6,7 @@ use crate::ngram;
 use crate::TabertConfig;
 use qpseeker_storage::{ColumnData, Database, Table};
 use std::collections::HashMap;
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Width of the hashed feature space before projection.
 const HASH_DIM: usize = 192;
@@ -27,26 +27,42 @@ pub struct TableEncoding {
     pub columns: HashMap<String, ColumnEncoding>,
 }
 
-/// The TabSim encoder. Create once per database; encodings are cached.
-///
-/// Encoding goes through `&self`: the cache and latency counter live behind a
-/// `Mutex` so the planner can share one encoder across threads (data-parallel
-/// training, concurrent serving) without exclusive access.
+/// The TabSim encoder. Create once per database and share freely: the struct
+/// is immutable apart from one atomic latency counter, so it is `Send + Sync`
+/// with no locks. Encodings are cached in a caller-owned [`TabertCache`] —
+/// one per planner session — which keeps the hot path free of shared state.
 pub struct TabSim {
     config: TabertConfig,
     /// Frozen projection matrix `[HASH_DIM + STATS_DIM, dim]`, row-major.
     projection: Vec<f32>,
     latency: LatencyModel,
-    state: Mutex<TabState>,
+    /// Cumulative simulated encoding time in nanoseconds (drives Fig. 8
+    /// right). Integer adds are commutative, so concurrent sessions produce
+    /// the same total regardless of interleaving.
+    simulated_ns: AtomicU64,
 }
 
-/// Interior-mutable encoder state.
-struct TabState {
-    /// Cache: (table, query-bucket) → encoding. The query only influences
-    /// the snapshot-row choice, so we bucket queries by their trigram hash.
+/// Per-session encoding cache: (table, query-bucket) → encoding. The query
+/// only influences the snapshot-row choice, so we bucket queries by their
+/// trigram hash. Owned by one session/thread; never shared.
+#[derive(Default)]
+pub struct TabertCache {
     cache: HashMap<(String, u64), TableEncoding>,
-    /// Cumulative simulated encoding time (drives Fig. 8 right).
-    simulated_ms: f64,
+}
+
+impl TabertCache {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of cached (table, query-bucket) encodings.
+    pub fn len(&self) -> usize {
+        self.cache.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.cache.is_empty()
+    }
 }
 
 impl TabSim {
@@ -74,17 +90,18 @@ impl TabSim {
             })
             .collect();
         let latency = LatencyModel::new(&config);
-        Self {
-            config,
-            projection,
-            latency,
-            state: Mutex::new(TabState { cache: HashMap::new(), simulated_ms: 0.0 }),
-        }
+        Self { config, projection, latency, simulated_ns: AtomicU64::new(0) }
     }
 
     /// Cumulative simulated encoding time in milliseconds.
     pub fn simulated_ms(&self) -> f64 {
-        self.state.lock().expect("tabert state lock").simulated_ms
+        self.simulated_ns.load(Ordering::Relaxed) as f64 / 1e6
+    }
+
+    /// Charge `ms` of simulated encoding latency, quantized to nanoseconds
+    /// so concurrent adds commute exactly.
+    fn charge_ms(&self, ms: f64) {
+        self.simulated_ns.fetch_add((ms * 1e6).round() as u64, Ordering::Relaxed);
     }
 
     pub fn config(&self) -> &TabertConfig {
@@ -98,33 +115,43 @@ impl TabSim {
     /// Encode a table in the context of a query (the paper concatenates the
     /// query with the column triplets; here the query drives snapshot-row
     /// selection). Cached per (table, query-shape).
-    pub fn encode_table(&self, db: &Database, table: &str, query_text: &str) -> TableEncoding {
+    pub fn encode_table(
+        &self,
+        cache: &mut TabertCache,
+        db: &Database,
+        table: &str,
+        query_text: &str,
+    ) -> TableEncoding {
         let qkey = query_bucket(query_text);
-        let mut state = self.state.lock().expect("tabert state lock");
-        if let Some(hit) = state.cache.get(&(table.to_string(), qkey)) {
+        if let Some(hit) = cache.cache.get(&(table.to_string(), qkey)) {
             return hit.clone();
         }
         let t = db.table(table).unwrap_or_else(|| panic!("unknown table {table}"));
-        state.simulated_ms += self.latency.encode_table_ms(t.n_cols());
+        self.charge_ms(self.latency.encode_table_ms(t.n_cols()));
         let enc = self.encode_uncached(t, query_text);
-        state.cache.insert((table.to_string(), qkey), enc.clone());
+        cache.cache.insert((table.to_string(), qkey), enc.clone());
         enc
     }
 
     /// The `[CLS]` table vector only. On a cache hit this clones one `Vec`
     /// instead of the whole per-column encoding map — the planner's hot loop
     /// needs nothing else.
-    pub fn encode_table_cls(&self, db: &Database, table: &str, query_text: &str) -> Vec<f32> {
+    pub fn encode_table_cls(
+        &self,
+        cache: &mut TabertCache,
+        db: &Database,
+        table: &str,
+        query_text: &str,
+    ) -> Vec<f32> {
         let qkey = query_bucket(query_text);
-        let mut state = self.state.lock().expect("tabert state lock");
-        if let Some(hit) = state.cache.get(&(table.to_string(), qkey)) {
+        if let Some(hit) = cache.cache.get(&(table.to_string(), qkey)) {
             return hit.cls.clone();
         }
         let t = db.table(table).unwrap_or_else(|| panic!("unknown table {table}"));
-        state.simulated_ms += self.latency.encode_table_ms(t.n_cols());
+        self.charge_ms(self.latency.encode_table_ms(t.n_cols()));
         let enc = self.encode_uncached(t, query_text);
         let cls = enc.cls.clone();
-        state.cache.insert((table.to_string(), qkey), enc);
+        cache.cache.insert((table.to_string(), qkey), enc);
         cls
     }
 
@@ -141,8 +168,7 @@ impl TabSim {
     ) -> ColumnEncoding {
         let t = db.table(table).unwrap_or_else(|| panic!("unknown table {table}"));
         let col = t.col(column);
-        self.state.lock().expect("tabert state lock").simulated_ms +=
-            self.latency.encode_column_ms();
+        self.charge_ms(self.latency.encode_column_ms());
         let mut feats = vec![0.0f32; HASH_DIM + STATS_DIM];
         hash_token(&mut feats, &format!("name:{column}"));
         hash_token(&mut feats, &format!("type:{:?}", col.data.dtype()));
@@ -236,11 +262,6 @@ impl TabSim {
         }
         out
     }
-
-    /// Cache statistics (entries, simulated milliseconds spent).
-    pub fn cache_len(&self) -> usize {
-        self.state.lock().expect("tabert state lock").cache.len()
-    }
 }
 
 fn cell_text(data: &ColumnData, row: usize) -> String {
@@ -329,7 +350,8 @@ mod tests {
     fn encoding_has_requested_dimension() {
         let db = db();
         let ts = TabSim::new(TabertConfig::paper_default());
-        let enc = ts.encode_table(&db, "title", "select * from title");
+        let mut cache = TabertCache::new();
+        let enc = ts.encode_table(&mut cache, &db, "title", "select * from title");
         assert_eq!(enc.cls.len(), 64);
         for c in enc.columns.values() {
             assert_eq!(c.vector.len(), 64);
@@ -344,12 +366,12 @@ mod tests {
         let db = db();
         let a = TabSim::new(TabertConfig::paper_default());
         let b = TabSim::new(TabertConfig::paper_default());
-        let ea = a.encode_table(&db, "title", "q");
-        let eb = b.encode_table(&db, "title", "q");
+        let ea = a.encode_table(&mut TabertCache::new(), &db, "title", "q");
+        let eb = b.encode_table(&mut TabertCache::new(), &db, "title", "q");
         assert_eq!(ea.cls, eb.cls);
 
         let c = TabSim::new(TabertConfig { seed: 999, ..TabertConfig::paper_default() });
-        let ec = c.encode_table(&db, "title", "q");
+        let ec = c.encode_table(&mut TabertCache::new(), &db, "title", "q");
         assert_ne!(ea.cls, ec.cls);
     }
 
@@ -357,8 +379,9 @@ mod tests {
     fn different_tables_encode_differently() {
         let db = db();
         let ts = TabSim::new(TabertConfig::paper_default());
-        let a = ts.encode_table(&db, "title", "q");
-        let b = ts.encode_table(&db, "name", "q");
+        let mut cache = TabertCache::new();
+        let a = ts.encode_table(&mut cache, &db, "title", "q");
+        let b = ts.encode_table(&mut cache, &db, "name", "q");
         assert_ne!(a.cls, b.cls);
     }
 
@@ -366,7 +389,7 @@ mod tests {
     fn columns_of_same_table_encode_differently() {
         let db = db();
         let ts = TabSim::new(TabertConfig::paper_default());
-        let enc = ts.encode_table(&db, "title", "q");
+        let enc = ts.encode_table(&mut TabertCache::new(), &db, "title", "q");
         let id = &enc.columns["id"].vector;
         let year = &enc.columns["production_year"].vector;
         assert_ne!(id, year);
@@ -387,7 +410,8 @@ mod tests {
     fn values_are_bounded() {
         let db = db();
         let ts = TabSim::new(TabertConfig::paper_default());
-        let enc = ts.encode_table(&db, "cast_info", "select big join query");
+        let enc =
+            ts.encode_table(&mut TabertCache::new(), &db, "cast_info", "select big join query");
         assert!(enc.cls.iter().all(|v| v.abs() <= 1.0));
         for c in enc.columns.values() {
             assert!(c.vector.iter().all(|v| v.abs() <= 1.0 && v.is_finite()));
@@ -398,13 +422,14 @@ mod tests {
     fn caching_hits_on_same_query_shape() {
         let db = db();
         let ts = TabSim::new(TabertConfig::paper_default());
-        ts.encode_table(&db, "title", "same query");
+        let mut cache = TabertCache::new();
+        ts.encode_table(&mut cache, &db, "title", "same query");
         let after_first = ts.simulated_ms();
-        ts.encode_table(&db, "title", "same query");
+        ts.encode_table(&mut cache, &db, "title", "same query");
         assert_eq!(ts.simulated_ms(), after_first, "cache hit must not add latency");
-        ts.encode_table(&db, "title", "different query");
+        ts.encode_table(&mut cache, &db, "title", "different query");
         assert!(ts.simulated_ms() > after_first);
-        assert_eq!(ts.cache_len(), 2);
+        assert_eq!(cache.len(), 2);
     }
 
     #[test]
@@ -413,9 +438,9 @@ mod tests {
         let base = TabSim::new(TabertConfig { k: 1, size: ModelSize::Base, seed: 1 });
         let k3 = TabSim::new(TabertConfig { k: 3, size: ModelSize::Base, seed: 1 });
         let large = TabSim::new(TabertConfig { k: 1, size: ModelSize::Large, seed: 1 });
-        base.encode_table(&db, "title", "q");
-        k3.encode_table(&db, "title", "q");
-        large.encode_table(&db, "title", "q");
+        base.encode_table(&mut TabertCache::new(), &db, "title", "q");
+        k3.encode_table(&mut TabertCache::new(), &db, "title", "q");
+        large.encode_table(&mut TabertCache::new(), &db, "title", "q");
         assert!(k3.simulated_ms() > base.simulated_ms(), "K=3 must cost more (row-wise attention)");
         assert!(large.simulated_ms() > base.simulated_ms(), "Large must cost more (3x params)");
     }

@@ -25,7 +25,7 @@ pub mod encoder;
 pub mod latency;
 pub mod ngram;
 
-pub use encoder::{ColumnEncoding, TabSim, TableEncoding};
+pub use encoder::{ColumnEncoding, TabSim, TabertCache, TableEncoding};
 pub use latency::LatencyModel;
 
 /// BERT instance size. Base and Large differ in embedding width and in the

@@ -13,7 +13,7 @@ use qpseeker_repro::engine::prelude::*;
 use qpseeker_repro::workloads::{job, synthetic, JobConfig, Qep, SyntheticConfig};
 
 fn main() {
-    let db = qpseeker_repro::storage::datagen::imdb::generate(0.12, 23);
+    let db = std::sync::Arc::new(qpseeker_repro::storage::datagen::imdb::generate(0.12, 23));
 
     // Train everything on Synthetic (0-2 join queries only). QPSeeker uses
     // the sampled variant (§3.1 setting (b)) for plan-space coverage.

@@ -12,7 +12,7 @@ use qpseeker_repro::engine::prelude::*;
 use qpseeker_repro::workloads::{job, JobConfig, Qep};
 
 fn main() {
-    let db = qpseeker_repro::storage::datagen::imdb::generate(0.15, 11);
+    let db = std::sync::Arc::new(qpseeker_repro::storage::datagen::imdb::generate(0.15, 11));
     let cfg = JobConfig { n_queries: 40, n_templates: 12, target_qeps: 500, ..Default::default() };
 
     println!("sampling the plan space of {} JOB-style queries...", cfg.n_queries);

@@ -12,7 +12,7 @@ use qpseeker_repro::workloads::{job, JobConfig};
 use std::collections::HashMap;
 
 fn main() {
-    let db = qpseeker_repro::storage::datagen::imdb::generate(0.1, 31);
+    let db = std::sync::Arc::new(qpseeker_repro::storage::datagen::imdb::generate(0.1, 31));
     let workload = job::generate(
         &db,
         &JobConfig { n_queries: 30, n_templates: 8, target_qeps: 400, ..Default::default() },

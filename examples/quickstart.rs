@@ -12,7 +12,7 @@ use qpseeker_repro::workloads::{job, JobConfig, Qep};
 
 fn main() {
     // 1. A seeded, IMDb-shaped synthetic database (16 relations).
-    let db = qpseeker_repro::storage::datagen::imdb::generate(0.1, 42);
+    let db = std::sync::Arc::new(qpseeker_repro::storage::datagen::imdb::generate(0.1, 42));
     println!(
         "database: {} tables / {} rows total / {} FK edges",
         db.catalog.num_tables(),

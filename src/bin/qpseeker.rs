@@ -25,6 +25,7 @@ use qpseeker_repro::workloads::{
 };
 use std::collections::HashMap;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -83,7 +84,9 @@ commands:
            --stream <n> replaces --sql: a supervised serving loop over n
            synthetic queries with a bounded admission queue, deadline-aware
            load-shedding and a neural/classical circuit breaker
-           [--queue <n>] [--service-ms <f64>] [--interval-ms <f64>]";
+           [--queue <n>] [--service-ms <f64>] [--interval-ms <f64>]
+           [--workers <n>] (serve the stream on n planner threads, each
+            with its own session over the shared model; default 1)";
 
 type Opts = HashMap<String, String>;
 
@@ -109,10 +112,10 @@ fn req<'a>(opts: &'a Opts, key: &str) -> Result<&'a str, String> {
     opts.get(key).map(String::as_str).ok_or_else(|| format!("missing --{key}"))
 }
 
-fn load_db(opts: &Opts) -> Result<Database, String> {
+fn load_db(opts: &Opts) -> Result<Arc<Database>, String> {
     let path = req(opts, "db")?;
     let data = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
-    serde_json::from_str(&data).map_err(|e| format!("parse {path}: {e}"))
+    serde_json::from_str(&data).map(Arc::new).map_err(|e| format!("parse {path}: {e}"))
 }
 
 fn gen_db(opts: &Opts) -> Result<(), String> {
@@ -331,7 +334,7 @@ fn serve(opts: &Opts) -> Result<(), String> {
 /// Supervised serving loop: `n` synthetic queries stream through the
 /// [`Supervisor`] — bounded admission queue, deadline-aware shedding and a
 /// circuit breaker guarding the neural path.
-fn serve_stream(db: &Database, opts: &Opts) -> Result<(), String> {
+fn serve_stream(db: &Arc<Database>, opts: &Opts) -> Result<(), String> {
     let n: usize = req(opts, "stream")?.parse().map_err(|e| format!("--stream: {e}"))?;
     let seed: u64 = opts
         .get("seed")
@@ -363,6 +366,9 @@ fn serve_stream(db: &Database, opts: &Opts) -> Result<(), String> {
     if let Some(s) = opts.get("service-ms") {
         cfg.service_ms = s.parse().map_err(|e| format!("--service-ms: {e}"))?;
     }
+    if let Some(w) = opts.get("workers") {
+        cfg.workers = w.parse().map_err(|e| format!("--workers: {e}"))?;
+    }
 
     let model = match opts.get("model") {
         Some(path) => {
@@ -393,8 +399,10 @@ fn serve_stream(db: &Database, opts: &Opts) -> Result<(), String> {
         .collect();
 
     eprintln!(
-        "streaming {n} queries (interval {interval_ms} ms, queue {}, service {} ms)...",
-        cfg.queue_capacity, cfg.service_ms
+        "streaming {n} queries (interval {interval_ms} ms, queue {}, service {} ms, {} worker(s))...",
+        cfg.queue_capacity,
+        cfg.service_ms,
+        cfg.workers.max(1)
     );
     let mut sup = Supervisor::new(cfg);
     let outcomes = sup.run(db, model.as_ref(), &requests);
@@ -411,6 +419,7 @@ fn serve_stream(db: &Database, opts: &Opts) -> Result<(), String> {
                 }
             }
             Disposition::Shed(reason) => println!("query {}: shed — {reason}", out.query_id),
+            Disposition::Failed(why) => println!("query {}: failed — {why}", out.query_id),
         }
     }
     println!("{}", sup.counters());

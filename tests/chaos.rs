@@ -12,18 +12,18 @@ use qpseeker_repro::core::prelude::*;
 use qpseeker_repro::engine::prelude::*;
 use qpseeker_repro::storage::{Database, FaultConfig};
 use qpseeker_repro::workloads::{synthetic, Qep, SyntheticConfig};
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 
-fn shared_db() -> &'static Database {
-    static DB: OnceLock<Database> = OnceLock::new();
-    DB.get_or_init(|| qpseeker_repro::storage::datagen::imdb::generate(0.04, 2))
+fn shared_db() -> &'static Arc<Database> {
+    static DB: OnceLock<Arc<Database>> = OnceLock::new();
+    DB.get_or_init(|| Arc::new(qpseeker_repro::storage::datagen::imdb::generate(0.04, 2)))
 }
 
 /// One fitted model shared by every chaos case (training is the slow part).
 /// Planning is `&self` since the tape-free fast path landed, so no lock is
 /// needed around it.
-fn shared_model() -> &'static QPSeeker<'static> {
-    static MODEL: OnceLock<QPSeeker<'static>> = OnceLock::new();
+fn shared_model() -> &'static QPSeeker {
+    static MODEL: OnceLock<QPSeeker> = OnceLock::new();
     MODEL.get_or_init(|| {
         let db = shared_db();
         let w = synthetic::generate(db, &SyntheticConfig { n_queries: 12, seed: 3 });
@@ -181,6 +181,7 @@ fn breaker_cfg(faults: Option<FaultConfig>) -> SupervisorConfig {
         probe_successes: 2,
         queue_capacity: 64,
         service_ms: 5.0,
+        workers: 1,
     }
 }
 
@@ -236,7 +237,7 @@ fn chaos_supervisor_trips_to_classical_and_recovers_when_faults_clear() {
         .iter()
         .filter_map(|o| match &o.disposition {
             Disposition::Served(r) => r.fallback_reason.as_ref(),
-            Disposition::Shed(_) => None,
+            Disposition::Shed(_) | Disposition::Failed(_) => None,
         })
         .filter(|r| matches!(r, FallbackReason::BreakerOpen))
         .count();
@@ -264,6 +265,7 @@ fn chaos_supervisor_trips_to_classical_and_recovers_when_faults_clear() {
             r.fallback_reason
         ),
         Disposition::Shed(reason) => panic!("final clean query shed: {reason}"),
+        Disposition::Failed(why) => panic!("final clean query failed: {why}"),
     }
 }
 
@@ -295,6 +297,7 @@ fn chaos_supervisor_sheds_queue_overflow_with_recorded_reason() {
                 shed_full += 1;
             }
             Disposition::Shed(other) => panic!("expected QueueFull, got {other}"),
+            Disposition::Failed(why) => panic!("request failed past the panic boundary: {why}"),
         }
     }
     assert_eq!(served, 2, "exactly the queue capacity is admitted from a burst");

@@ -18,16 +18,16 @@ use qpseeker_repro::storage::{Database, FaultConfig, FaultInjector};
 use qpseeker_repro::workloads::{synthetic, Qep, SyntheticConfig, Workload};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 
 /// CI seed offset (see .github/workflows: the chaos job sweeps 3 seeds).
 fn chaos_seed() -> u64 {
     std::env::var("QPS_CHAOS_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(0)
 }
 
-fn shared_db() -> &'static Database {
-    static DB: OnceLock<Database> = OnceLock::new();
-    DB.get_or_init(|| qpseeker_repro::storage::datagen::imdb::generate(0.04, 2))
+fn shared_db() -> &'static Arc<Database> {
+    static DB: OnceLock<Arc<Database>> = OnceLock::new();
+    DB.get_or_init(|| Arc::new(qpseeker_repro::storage::datagen::imdb::generate(0.04, 2)))
 }
 
 fn shared_workload() -> &'static Workload {
@@ -53,7 +53,7 @@ fn scratch(tag: &str) -> PathBuf {
 }
 
 /// Every parameter scalar, as raw bits — the "bitwise identical" currency.
-fn param_bits(model: &QPSeeker<'_>) -> Vec<u32> {
+fn param_bits(model: &QPSeeker) -> Vec<u32> {
     model.store.iter().flat_map(|(_, p)| p.value.data().iter().map(|v| v.to_bits())).collect()
 }
 

@@ -8,8 +8,8 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::BTreeSet;
 
-fn db() -> qpseeker_repro::storage::Database {
-    qpseeker_repro::storage::datagen::imdb::generate(0.06, 77)
+fn db() -> std::sync::Arc<qpseeker_repro::storage::Database> {
+    std::sync::Arc::new(qpseeker_repro::storage::datagen::imdb::generate(0.06, 77))
 }
 
 /// Random valid left-deep plan of a query.

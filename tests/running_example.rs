@@ -17,7 +17,7 @@ use qpseeker_repro::storage::{
 use qpseeker_repro::workloads::Qep;
 
 /// Build the running example's 3-table database (a, b, c).
-fn example_db() -> Database {
+fn example_db() -> std::sync::Arc<Database> {
     let mk_meta = |name: &str, cols: &[&str]| TableMeta {
         name: name.into(),
         columns: cols
@@ -72,7 +72,7 @@ fn example_db() -> Database {
             IndexMeta::for_column("c", "c1", 20, true),
         ],
     };
-    Database::new("example", catalog, vec![a, b, c])
+    std::sync::Arc::new(Database::new("example", catalog, vec![a, b, c]))
 }
 
 /// The running example's query.
