@@ -98,6 +98,12 @@ fn bench_model(c: &mut Criterion) {
             ))
         })
     });
+    // Batched amortization: 16 candidate plans scored in one forward pass
+    // vs 16 scalar predictions (the MCTS flush shape).
+    let pool_refs: Vec<&PlanNode> = vec![&qep.plan; 16];
+    c.bench_function("qpseeker/predict_batch_16", |b| {
+        b.iter(|| black_box(model.predict_batch(black_box(&qep.query), black_box(&pool_refs))))
+    });
     let planner =
         MctsPlanner::new(MctsConfig { budget_ms: 1e9, max_simulations: 20, ..Default::default() });
     c.bench_function("qpseeker/mcts_20_simulations", |b| {

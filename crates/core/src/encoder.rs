@@ -283,6 +283,111 @@ impl PlanEncoder {
         *pos += 1;
         out
     }
+
+    /// Batched [`Self::forward_inference`] over `K` **shape-congruent** plans
+    /// (same tree structure and feature widths — e.g. left-deep MCTS
+    /// candidates for one query). Returns `[K * n_nodes, out_dim]` with plan
+    /// `p`'s postorder rows at `p * n_nodes ..`, or `None` when the trees are
+    /// not congruent (caller falls back to the scalar loop).
+    ///
+    /// Each tree position becomes ONE `rows = K` LSTM step instead of K
+    /// single-row steps, so the cell's GEMMs amortize weight traffic across
+    /// the whole batch. Row `p` is bitwise identical to the scalar path: the
+    /// matmul kernel guarantees per-row reduction order, and every other op
+    /// here (state pooling, gate math, input assembly) is row-independent.
+    pub fn forward_inference_batch(
+        &self,
+        store: &ParamStore,
+        plans: &[&FeatNode],
+        sc: &mut ScratchArena,
+    ) -> Option<Tensor> {
+        let (first, rest) = plans.split_first()?;
+        if !rest.iter().all(|p| congruent(first, p)) {
+            return None;
+        }
+        let n_nodes = first.count();
+        let mut out = sc.take(plans.len() * n_nodes, self.out_dim);
+        let mut pos = 0usize;
+        let root = self.batch_node_inference(store, plans, &mut out, n_nodes, &mut pos, sc);
+        root.recycle(sc);
+        Some(out)
+    }
+
+    /// One tree position for all K plans at once: `nodes_at[p]` is plan `p`'s
+    /// node at this position. Mirrors [`Self::node_inference`] with `rows=K`.
+    fn batch_node_inference(
+        &self,
+        store: &ParamStore,
+        nodes_at: &[&FeatNode],
+        out: &mut Tensor,
+        n_nodes: usize,
+        pos: &mut usize,
+        sc: &mut ScratchArena,
+    ) -> LstmStateBuf {
+        let kn = nodes_at.len();
+        let node0 = nodes_at[0];
+        let mid_cols = node0.mid.cols();
+        let input_dim = self.data_dim + mid_cols + (self.out_dim - self.data_dim);
+        let (input, state_in) = if node0.children.is_empty() {
+            let mut input = sc.take(kn, input_dim);
+            for (r, nd) in nodes_at.iter().enumerate() {
+                let est = nd.leaf_est.as_ref().expect("leaf featurization includes estimates");
+                let d = input.row_slice_mut(r);
+                d[self.data_dim..self.data_dim + mid_cols].copy_from_slice(nd.mid.data());
+                d[self.data_dim + mid_cols..].copy_from_slice(est.data());
+            }
+            (input, self.cell.zero_state_buf(kn, sc))
+        } else {
+            let mut hsum = sc.take(kn, self.out_dim);
+            let mut csum = sc.take(kn, self.out_dim);
+            let mut child_col: Vec<&FeatNode> = Vec::with_capacity(kn);
+            for ci in 0..node0.children.len() {
+                child_col.clear();
+                child_col.extend(nodes_at.iter().map(|nd| &nd.children[ci]));
+                let s = self.batch_node_inference(store, &child_col, out, n_nodes, pos, sc);
+                for (a, v) in hsum.data_mut().iter_mut().zip(s.h.data()) {
+                    *a += v;
+                }
+                for (a, v) in csum.data_mut().iter_mut().zip(s.c.data()) {
+                    *a += v;
+                }
+                s.recycle(sc);
+            }
+            let inv = 1.0 / node0.children.len().max(1) as f32;
+            for a in hsum.data_mut() {
+                *a *= inv;
+            }
+            for a in csum.data_mut() {
+                *a *= inv;
+            }
+            let mut input = sc.take(kn, input_dim);
+            for (r, nd) in nodes_at.iter().enumerate() {
+                let d = input.row_slice_mut(r);
+                let pooled = hsum.row_slice(r);
+                d[..self.data_dim].copy_from_slice(&pooled[..self.data_dim]);
+                d[self.data_dim..self.data_dim + mid_cols].copy_from_slice(nd.mid.data());
+                d[self.data_dim + mid_cols..].copy_from_slice(&pooled[self.data_dim..]);
+            }
+            (input, LstmStateBuf { h: hsum, c: csum })
+        };
+        let out_state = self.cell.step_inference(store, &input, &state_in, sc);
+        sc.recycle(input);
+        state_in.recycle(sc);
+        for r in 0..kn {
+            out.row_slice_mut(r * n_nodes + *pos).copy_from_slice(out_state.h.row_slice(r));
+        }
+        *pos += 1;
+        out_state
+    }
+}
+
+/// Structural congruence: same tree shape and per-node feature widths, so the
+/// K plans can share one batched LSTM step per tree position.
+fn congruent(a: &FeatNode, b: &FeatNode) -> bool {
+    a.children.len() == b.children.len()
+        && a.mid.cols() == b.mid.cols()
+        && a.leaf_est.is_some() == b.leaf_est.is_some()
+        && a.children.iter().zip(&b.children).all(|(x, y)| congruent(x, y))
 }
 
 fn average_states(g: &mut Graph, states: &[LstmState]) -> LstmState {
@@ -435,6 +540,62 @@ mod tests {
         let ea = penc.forward(&mut g, &store, &fa.plan);
         let eb = penc.forward(&mut g, &store, &fb.plan);
         assert_ne!(g.value(ea.root).data(), g.value(eb.root).data());
+    }
+
+    #[test]
+    fn batched_plan_encoding_bitwise_equals_scalar() {
+        let (db, q, _) = setup();
+        let cfg = ModelConfig::small();
+        let mut store = ParamStore::new();
+        let mut init = Initializer::new(0);
+        let penc = PlanEncoder::new(&mut store, &mut init, &cfg, db.catalog.num_tables());
+        let norm = TargetNormalizer::fit(&[[1.0, 1.0, 1.0], [100.0, 50.0, 10.0]]);
+        let f = Featurizer::new(db.clone(), TabSim::new(TabertConfig::paper_default()));
+        let mut sess = crate::featurize::FeatSession::new();
+        // Three congruent left-deep candidates: different join orders and ops.
+        let mk = |a: &str, b: &str, c: &str, op| {
+            PlanNode::join(
+                &q,
+                op,
+                PlanNode::join(
+                    &q,
+                    JoinOp::HashJoin,
+                    PlanNode::scan(&q, a, ScanOp::SeqScan),
+                    PlanNode::scan(&q, b, ScanOp::SeqScan),
+                ),
+                PlanNode::scan(&q, c, ScanOp::SeqScan),
+            )
+        };
+        let feats: Vec<_> = [
+            mk("title", "movie_info", "movie_keyword", JoinOp::HashJoin),
+            mk("movie_info", "title", "movie_keyword", JoinOp::NestedLoopJoin),
+            mk("movie_keyword", "title", "movie_info", JoinOp::MergeJoin),
+        ]
+        .iter()
+        .map(|p| f.featurize(&mut sess, &q, p, None, &norm, "t").plan)
+        .collect();
+        let refs: Vec<&FeatNode> = feats.iter().collect();
+        let mut sc = ScratchArena::new();
+        let batched = penc
+            .forward_inference_batch(&store, &refs, &mut sc)
+            .expect("left-deep candidates are congruent");
+        let n = feats[0].count();
+        assert_eq!(batched.shape(), (3 * n, cfg.plan_node_out));
+        for (p, fp) in feats.iter().enumerate() {
+            let single = penc.forward_inference(&store, fp, &mut sc);
+            for r in 0..n {
+                assert_eq!(
+                    batched.row_slice(p * n + r),
+                    single.row_slice(r),
+                    "plan {p} node {r}: batched encoding is not bitwise equal"
+                );
+            }
+            sc.recycle(single);
+        }
+        // Non-congruent input (different node count) falls back to None.
+        let bushy = PlanNode::scan(&q, "title", ScanOp::SeqScan);
+        let fb = f.featurize(&mut sess, &q, &bushy, None, &norm, "t").plan;
+        assert!(penc.forward_inference_batch(&store, &[&feats[0], &fb], &mut sc).is_none());
     }
 
     #[test]

@@ -345,6 +345,28 @@ impl Featurizer {
         self.fast_node(sess, query, plan, norm, cache).0
     }
 
+    /// Featurize a batch of candidate plans of one query into `out`
+    /// (cleared first), sharing the [`PlanFeatCache`] across all of them.
+    /// After the first candidate warms the cache, each additional plan costs
+    /// only prefix lookups + op one-hot assembly — the per-plan trees are
+    /// exactly what K [`Self::featurize_plan_fast`] calls would produce, so
+    /// batched scoring stays bitwise equal to scalar scoring.
+    pub fn featurize_batch_into(
+        &self,
+        sess: &mut FeatSession,
+        query: &Query,
+        plans: &[&PlanNode],
+        norm: &TargetNormalizer,
+        cache: &mut PlanFeatCache,
+        out: &mut Vec<FeatNode>,
+    ) {
+        out.clear();
+        out.reserve(plans.len());
+        for plan in plans {
+            out.push(self.featurize_plan_fast(sess, query, plan, norm, cache));
+        }
+    }
+
     fn fast_node(
         &self,
         sess: &mut FeatSession,

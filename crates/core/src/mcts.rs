@@ -9,7 +9,8 @@
 //! Planning stops at a wall-clock budget (paper: 200 ms) or a simulation
 //! cap, whichever comes first.
 
-use crate::model::QPSeeker;
+use crate::featurize::FeatSession;
+use crate::model::{Prediction, QPSeeker, QueryContext};
 use crate::session::PlannerSession;
 use qpseeker_engine::inject::LeftDeepSpec;
 use qpseeker_engine::plan::{JoinOp, PlanNode, ScanOp};
@@ -116,11 +117,24 @@ pub struct MctsConfig {
     /// UCT exploration coefficient `C ∈ [0, 1]` (paper: 0.5).
     pub exploration: f64,
     pub seed: u64,
+    /// Completed rollouts per batched cost-model evaluation. Rollouts are
+    /// queued (deduped by packed action signature) and scored `batch_eval`
+    /// at a time in one batched forward pass; `<= 1` evaluates every rollout
+    /// immediately (the scalar path). Predictions are bitwise identical
+    /// either way — batching changes only *when* UCT backups land, never
+    /// what a plan scores.
+    pub batch_eval: usize,
 }
 
 impl Default for MctsConfig {
     fn default() -> Self {
-        Self { budget_ms: 200.0, max_simulations: 10_000, exploration: 0.5, seed: 0xacc5 }
+        Self {
+            budget_ms: 200.0,
+            max_simulations: 10_000,
+            exploration: 0.5,
+            seed: 0xacc5,
+            batch_eval: 16,
+        }
     }
 }
 
@@ -165,6 +179,26 @@ impl TreeNode {
     }
 }
 
+/// A completed rollout waiting in the batched-evaluation queue: the tree
+/// path to back up once the score lands, and the full action sequence. The
+/// in-tree prefix `actions` is always a prefix of `rollout`
+/// (`path.len() == actions.len() + 1`), so deferred backpropagation needs
+/// no separate copy of `actions`.
+#[derive(Default)]
+struct Waiter {
+    path: Vec<usize>,
+    rollout: Vec<Action>,
+}
+
+/// One distinct plan awaiting batched evaluation, with every rollout that
+/// produced it. Queued plans are deduped by packed action signature so a
+/// flush never scores the same plan twice.
+#[derive(Default)]
+struct Pending {
+    key: Vec<u64>,
+    waiters: Vec<Waiter>,
+}
+
 /// Reusable MCTS search state, cleared at the start of every
 /// [`MctsPlanner::plan_with_session`] call: the tree arena, the per-query
 /// evaluation cache, and the hot-loop buffers. Lives in a
@@ -179,6 +213,19 @@ pub struct MctsScratch {
     rollout: Vec<Action>,
     acts_buf: Vec<Action>,
     key_buf: Vec<u64>,
+    /// Rollouts queued for the next batched evaluation, deduped by key.
+    pending: Vec<Pending>,
+    /// Recycled `Pending`/`Waiter`/cache-key allocations. `key_pool` is
+    /// refilled from the previous query's drained eval cache, so a steady
+    /// stream of queries allocates no new key vectors.
+    pending_pool: Vec<Pending>,
+    waiter_pool: Vec<Waiter>,
+    key_pool: Vec<Vec<u64>>,
+    /// Best complete action sequence found so far (scratch for what used to
+    /// be a per-improvement `rollout.clone()`).
+    best_seq: Vec<Action>,
+    plans_buf: Vec<PlanNode>,
+    preds_buf: Vec<Prediction>,
 }
 
 impl MctsScratch {
@@ -248,12 +295,30 @@ impl MctsPlanner {
         let qi = QueryIndex::new(query);
         // Per-query state cleared on entry; allocations carry over between
         // queries handled by the same session.
-        let MctsScratch { nodes, eval_cache, path, actions, rollout, acts_buf, key_buf } =
-            &mut sess.mcts;
+        let MctsScratch {
+            nodes,
+            eval_cache,
+            path,
+            actions,
+            rollout,
+            acts_buf,
+            key_buf,
+            pending,
+            pending_pool,
+            waiter_pool,
+            key_pool,
+            best_seq,
+            plans_buf,
+            preds_buf,
+        } = &mut sess.mcts;
         nodes.clear();
         nodes.push(TreeNode::fresh());
-        eval_cache.clear();
-        let mut best: Option<(Vec<Action>, f64)> = None;
+        // Drain (not clear) so the previous query's key allocations feed
+        // this query's cache inserts.
+        key_pool.extend(eval_cache.drain().map(|(k, _)| k));
+        pending.clear();
+        best_seq.clear();
+        let mut best_t: Option<f64> = None;
         let mut simulations = 0usize;
         let mut budget_exhausted = false;
 
@@ -340,32 +405,65 @@ impl MctsPlanner {
             }
 
             // ---- Evaluation ----
+            // A cache hit backs up immediately. With batching enabled, a
+            // miss joins the pending queue (deduped by packed signature)
+            // and its backup is deferred until the queue flushes through
+            // one batched forward pass; scores are bitwise identical to
+            // the scalar path either way.
             key_buf.clear();
             key_buf.extend(rollout.iter().map(|a| a.pack()));
-            let t = match eval_cache.get(key_buf.as_slice()) {
-                Some(&t) => t,
-                None => {
-                    let spec = to_spec(query, rollout);
-                    let plan = spec.compile(query).expect("rollout builds a valid plan");
-                    let t =
-                        model.predict_with_context_in(feat_sess, query, &plan, &mut ctx).runtime_ms;
-                    eval_cache.insert(key_buf.clone(), t);
-                    t
+            if let Some(&t) = eval_cache.get(key_buf.as_slice()) {
+                apply_eval(nodes, best_seq, &mut best_t, rollout, path, t, true);
+            } else if self.cfg.batch_eval <= 1 {
+                let spec = to_spec(query, rollout);
+                let plan = spec.compile(query).expect("rollout builds a valid plan");
+                let t = model.predict_with_context_in(feat_sess, query, &plan, &mut ctx).runtime_ms;
+                let mut key = key_pool.pop().unwrap_or_default();
+                key.clear();
+                key.extend_from_slice(key_buf);
+                eval_cache.insert(key, t);
+                apply_eval(nodes, best_seq, &mut best_t, rollout, path, t, true);
+            } else {
+                // Virtual loss: count the visit now (reward comes at flush
+                // time) so UCT stops re-selecting a path whose score is
+                // already in flight — without it a large fraction of the
+                // simulations between flushes duplicate queued rollouts.
+                for &ni in path.iter() {
+                    nodes[ni].visits += 1.0;
                 }
-            };
-            if best.as_ref().map(|(_, bt)| t < *bt).unwrap_or(true) {
-                best = Some((rollout.clone(), t));
-            }
-
-            // ---- Backpropagation ----
-            // Reward = 1 when the node's action prefix lies on the best plan.
-            let best_seq = &best.as_ref().expect("best set above").0;
-            for (depth, &node_idx) in path.iter().enumerate() {
-                nodes[node_idx].visits += 1.0;
-                if depth <= best_seq.len()
-                    && actions[..depth] == best_seq[..depth.min(best_seq.len())]
-                {
-                    nodes[node_idx].reward += 1.0;
+                let mut w = waiter_pool.pop().unwrap_or_default();
+                w.path.clear();
+                w.path.extend_from_slice(path);
+                w.rollout.clear();
+                w.rollout.extend_from_slice(rollout);
+                match pending.iter_mut().find(|p| p.key == *key_buf) {
+                    Some(p) => p.waiters.push(w),
+                    None => {
+                        let mut p = pending_pool.pop().unwrap_or_default();
+                        let mut key = key_pool.pop().unwrap_or_default();
+                        key.clear();
+                        key.extend_from_slice(key_buf);
+                        p.key = key;
+                        p.waiters.push(w);
+                        pending.push(p);
+                    }
+                }
+                if pending.len() >= self.cfg.batch_eval {
+                    flush_pending(
+                        model,
+                        query,
+                        feat_sess,
+                        &mut ctx,
+                        pending,
+                        pending_pool,
+                        waiter_pool,
+                        eval_cache,
+                        nodes,
+                        best_seq,
+                        &mut best_t,
+                        plans_buf,
+                        preds_buf,
+                    );
                 }
             }
 
@@ -391,27 +489,116 @@ impl MctsPlanner {
             }
         }
 
-        let (best_seq, predicted_ms) = best.unwrap_or_else(|| {
+        // Score whatever is still queued (budget cut-offs and exhaustion
+        // exits land here with a partial batch).
+        flush_pending(
+            model,
+            query,
+            feat_sess,
+            &mut ctx,
+            pending,
+            pending_pool,
+            waiter_pool,
+            eval_cache,
+            nodes,
+            best_seq,
+            &mut best_t,
+            plans_buf,
+            preds_buf,
+        );
+
+        if best_t.is_none() {
             // Budget hit before any complete rollout: greedy completion.
-            let mut seq: Vec<Action> = Vec::new();
+            best_seq.clear();
             let mut seq_joined = 0u64;
-            while seq.len() < qi.n {
-                legal_actions_into(&qi, &seq, seq_joined, acts_buf);
+            while best_seq.len() < qi.n {
+                legal_actions_into(&qi, best_seq, seq_joined, acts_buf);
                 let a = *acts_buf.first().expect("connected query");
                 seq_joined |= 1 << a.rel();
-                seq.push(a);
+                best_seq.push(a);
             }
-            (seq, f64::INFINITY)
-        });
-        let plan = to_spec(query, &best_seq).compile(query).expect("best plan is valid");
+        }
+        let plan = to_spec(query, best_seq).compile(query).expect("best plan is valid");
         MctsResult {
             plan,
-            predicted_ms,
+            predicted_ms: best_t.unwrap_or(f64::INFINITY),
             simulations,
             plans_evaluated: eval_cache.len(),
             budget_exhausted,
         }
     }
+}
+
+/// Record one scored rollout: update the incumbent best, then back the
+/// score up the tree path. Reward = 1 when the node's action prefix lies
+/// on the best plan; the in-tree prefix equals `rollout[..depth]` for
+/// every depth on `path`, so the waiter needs no separate `actions` copy.
+/// `count_visit` is false for deferred (batched) backups, whose visit was
+/// already recorded as a virtual loss at enqueue time.
+fn apply_eval(
+    nodes: &mut [TreeNode],
+    best_seq: &mut Vec<Action>,
+    best_t: &mut Option<f64>,
+    rollout: &[Action],
+    path: &[usize],
+    t: f64,
+    count_visit: bool,
+) {
+    if best_t.map(|bt| t < bt).unwrap_or(true) {
+        *best_t = Some(t);
+        best_seq.clear();
+        best_seq.extend_from_slice(rollout);
+    }
+    for (depth, &node_idx) in path.iter().enumerate() {
+        if count_visit {
+            nodes[node_idx].visits += 1.0;
+        }
+        if depth <= best_seq.len() && rollout[..depth] == best_seq[..depth.min(best_seq.len())] {
+            nodes[node_idx].reward += 1.0;
+        }
+    }
+}
+
+/// Compile every queued plan, score them all in one batched forward pass
+/// ([`QPSeeker::predict_batch_with_context_in`]), scatter the results into
+/// the eval cache, and run the deferred backups in queue order. All
+/// allocations (pendings, waiters, cache keys) are recycled into pools.
+#[allow(clippy::too_many_arguments)]
+fn flush_pending(
+    model: &QPSeeker,
+    query: &Query,
+    feat_sess: &mut FeatSession,
+    ctx: &mut QueryContext,
+    pending: &mut Vec<Pending>,
+    pending_pool: &mut Vec<Pending>,
+    waiter_pool: &mut Vec<Waiter>,
+    eval_cache: &mut HashMap<Vec<u64>, f64>,
+    nodes: &mut [TreeNode],
+    best_seq: &mut Vec<Action>,
+    best_t: &mut Option<f64>,
+    plans_buf: &mut Vec<PlanNode>,
+    preds_buf: &mut Vec<Prediction>,
+) {
+    if pending.is_empty() {
+        return;
+    }
+    plans_buf.clear();
+    for p in pending.iter() {
+        let spec = to_spec(query, &p.waiters[0].rollout);
+        plans_buf.push(spec.compile(query).expect("rollout builds a valid plan"));
+    }
+    let plan_refs: Vec<&PlanNode> = plans_buf.iter().collect();
+    model.predict_batch_with_context_in(feat_sess, query, &plan_refs, ctx, preds_buf);
+    debug_assert_eq!(preds_buf.len(), pending.len());
+    for (p, pred) in pending.iter_mut().zip(preds_buf.iter()) {
+        let t = pred.runtime_ms;
+        eval_cache.insert(std::mem::take(&mut p.key), t);
+        for w in p.waiters.drain(..) {
+            apply_eval(nodes, best_seq, best_t, &w.rollout, &w.path, t, false);
+            waiter_pool.push(w);
+        }
+    }
+    pending_pool.append(pending);
 }
 
 /// Legal actions from a partial action sequence into `out` (cleared first):
@@ -573,6 +760,29 @@ mod tests {
         })
         .plan(&m2, &q);
         assert!(many.predicted_ms <= few.predicted_ms + 1e-9);
+    }
+
+    #[test]
+    fn batched_and_scalar_eval_agree_on_exhausted_space() {
+        // Two relations: 54 left-deep plans, so both runs fully enumerate
+        // the space. Batching changes evaluation *timing*, never scores,
+        // so the argmin (and its bitwise predicted time) must match.
+        let db = std::sync::Arc::new(imdb::generate(0.05, 1));
+        let mut q = Query::new("two-way");
+        q.relations = vec![RelRef::new("title"), RelRef::new("movie_info")];
+        q.joins = vec![JoinPred {
+            left: ColRef::new("movie_info", "movie_id"),
+            right: ColRef::new("title", "id"),
+        }];
+        let cfg = MctsConfig { budget_ms: 1e9, max_simulations: 10_000, ..Default::default() };
+        let m1 = fitted_model(&db);
+        let scalar = MctsPlanner::new(MctsConfig { batch_eval: 1, ..cfg.clone() }).plan(&m1, &q);
+        let m2 = fitted_model(&db);
+        let batched = MctsPlanner::new(MctsConfig { batch_eval: 8, ..cfg }).plan(&m2, &q);
+        assert_eq!(scalar.plans_evaluated, 54);
+        assert_eq!(batched.plans_evaluated, 54);
+        assert_eq!(scalar.plan, batched.plan);
+        assert_eq!(scalar.predicted_ms.to_bits(), batched.predicted_ms.to_bits());
     }
 
     #[test]

@@ -5,7 +5,7 @@ use crate::config::ModelConfig;
 use crate::durable::SnapshotStore;
 use crate::encoder::{PlanEncoder, QueryEncoder};
 use crate::error::CoreError;
-use crate::featurize::{FeatSession, FeaturizedQep, Featurizer, PlanFeatCache};
+use crate::featurize::{FeatNode, FeatSession, FeaturizedQep, Featurizer, PlanFeatCache};
 use crate::normalize::TargetNormalizer;
 use crate::session::PlannerSession;
 use crate::vae::CostModeler;
@@ -557,7 +557,7 @@ impl QPSeeker {
         } else {
             Tensor::zeros(1, 1)
         };
-        QueryContext { qemb, plan_cache: PlanFeatCache::new(query), fast }
+        QueryContext { qemb, plan_cache: PlanFeatCache::new(query), fast, feat_batch: Vec::new() }
     }
 
     /// [`Self::predict`] through a reusable [`QueryContext`]. With the fast
@@ -612,6 +612,106 @@ impl QPSeeker {
         });
         let raw = norm.decode(preds);
         Prediction { cardinality: raw[0], cost: raw[1], runtime_ms: raw[2] }
+    }
+
+    /// Score a batch of candidate plans of one query in **one batched
+    /// forward pass**: one `[K·n, d]` plan-encoder run (each tree position a
+    /// `rows = K` LSTM step), one batched attention pass, one `[K, d]` VAE
+    /// pass. Convenience wrapper over
+    /// [`Self::predict_batch_with_context_in`] using the fallback session.
+    pub fn predict_batch(&self, query: &Query, plans: &[&PlanNode]) -> Vec<Prediction> {
+        let mut sess = self.lock_fallback_session();
+        let mut ctx = self.query_context(query);
+        let mut out = Vec::with_capacity(plans.len());
+        self.predict_batch_with_context_in(&mut sess.feat, query, plans, &mut ctx, &mut out);
+        out
+    }
+
+    /// Batched [`Self::predict_with_context_in`]: fills `out` (cleared
+    /// first) with one [`Prediction`] per plan, in order.
+    ///
+    /// `out[p]` is **bitwise identical** to
+    /// `self.predict_with_context_in(sess, query, plans[p], ctx)` — every
+    /// batched layer preserves per-row reduction order (see
+    /// `qpseeker_nn::tensor::matmul_kernel`'s FP-order contract), so MCTS
+    /// can defer rollouts into batches without changing any plan choice a
+    /// scalar-scoring search would make on the same predictions. Falls back
+    /// to the scalar loop when the fast path is off, `K == 1`, or the plans
+    /// are not shape-congruent.
+    pub fn predict_batch_with_context_in(
+        &self,
+        sess: &mut FeatSession,
+        query: &Query,
+        plans: &[&PlanNode],
+        ctx: &mut QueryContext,
+        out: &mut Vec<Prediction>,
+    ) {
+        out.clear();
+        if plans.is_empty() {
+            return;
+        }
+        if !ctx.fast || plans.len() == 1 {
+            for p in plans {
+                out.push(self.predict_with_context_in(sess, query, p, ctx));
+            }
+            return;
+        }
+        let norm = self.normalizer.as_ref().expect("model must be fitted before predict");
+        let mut feat_batch = std::mem::take(&mut ctx.feat_batch);
+        self.feat.featurize_batch_into(
+            sess,
+            query,
+            plans,
+            norm,
+            &mut ctx.plan_cache,
+            &mut feat_batch,
+        );
+        let refs: Vec<&FeatNode> = feat_batch.iter().collect();
+        let kn = plans.len();
+        let batched = with_thread_scratch(|sc| -> bool {
+            let Some(nodes_all) = self.plan_enc.forward_inference_batch(&self.store, &refs, sc)
+            else {
+                return false;
+            };
+            let n_nodes = refs[0].count();
+            let qd = ctx.qemb.cols();
+            let joint = if n_nodes > 1 && self.config.use_attention {
+                let mut qb = sc.take(kn, qd);
+                for r in 0..kn {
+                    qb.row_slice_mut(r).copy_from_slice(ctx.qemb.data());
+                }
+                let j =
+                    self.attn.forward_inference_batch(&self.store, &qb, &nodes_all, n_nodes, sc);
+                sc.recycle(qb);
+                sc.recycle(nodes_all);
+                j
+            } else {
+                let mut j = sc.take(kn, qd + self.plan_enc.out_dim());
+                for r in 0..kn {
+                    let row = j.row_slice_mut(r);
+                    row[..qd].copy_from_slice(ctx.qemb.data());
+                    row[qd..].copy_from_slice(nodes_all.row_slice((r + 1) * n_nodes - 1));
+                }
+                sc.recycle(nodes_all);
+                j
+            };
+            let p = self.vae.forward_inference_batch(&self.store, &joint, sc);
+            sc.recycle(joint);
+            for r in 0..kn {
+                let raw = norm.decode([p.get(r, 0), p.get(r, 1), p.get(r, 2)]);
+                out.push(Prediction { cardinality: raw[0], cost: raw[1], runtime_ms: raw[2] });
+            }
+            sc.recycle(p);
+            true
+        });
+        ctx.feat_batch = feat_batch;
+        if !batched {
+            // Non-congruent trees (never the case for left-deep MCTS
+            // candidates): score one at a time.
+            for p in plans {
+                out.push(self.predict_with_context_in(sess, query, p, ctx));
+            }
+        }
     }
 
     /// Reference prediction through the autodiff tape (the training-path
@@ -686,6 +786,9 @@ pub struct QueryContext {
     /// False when the fast path cannot serve this query (toggle off, or
     /// more than 64 relations); predictions then take the tape path.
     fast: bool,
+    /// Reusable featurization buffer for the batched prediction path, so a
+    /// steady stream of batch flushes allocates no new `Vec<FeatNode>`s.
+    feat_batch: Vec<FeatNode>,
 }
 
 /// One epoch boundary of a journaled training run, as persisted by
@@ -860,6 +963,56 @@ mod tests {
         let a = model.predict(&q, &mk(JoinOp::HashJoin));
         let b = model.predict(&q, &mk(JoinOp::NestedLoopJoin));
         assert_ne!(a.runtime_ms, b.runtime_ms);
+    }
+
+    #[test]
+    fn batched_predictions_bitwise_equal_scalar_fast_path() {
+        let db = Arc::new(imdb::generate(0.05, 1));
+        let mut q = Query::new("q");
+        q.relations =
+            vec![RelRef::new("title"), RelRef::new("cast_info"), RelRef::new("movie_info")];
+        q.joins = vec![
+            JoinPred {
+                left: ColRef::new("cast_info", "movie_id"),
+                right: ColRef::new("title", "id"),
+            },
+            JoinPred {
+                left: ColRef::new("movie_info", "movie_id"),
+                right: ColRef::new("title", "id"),
+            },
+        ];
+        let qeps = tiny_qeps(&db, 12);
+        let refs: Vec<&Qep> = qeps.iter().collect();
+        let mut model = QPSeeker::new(&db, ModelConfig::small());
+        model.fit(&refs).expect("training succeeds");
+        use qpseeker_engine::plan::{JoinOp, ScanOp};
+        let mk = |a: &str, b: &str, c: &str, j1, j2| {
+            PlanNode::join(
+                &q,
+                j2,
+                PlanNode::join(
+                    &q,
+                    j1,
+                    PlanNode::scan(&q, a, ScanOp::SeqScan),
+                    PlanNode::scan(&q, b, ScanOp::IndexScan),
+                ),
+                PlanNode::scan(&q, c, ScanOp::SeqScan),
+            )
+        };
+        let plans = [
+            mk("title", "cast_info", "movie_info", JoinOp::HashJoin, JoinOp::HashJoin),
+            mk("cast_info", "title", "movie_info", JoinOp::MergeJoin, JoinOp::NestedLoopJoin),
+            mk("movie_info", "title", "cast_info", JoinOp::NestedLoopJoin, JoinOp::HashJoin),
+            mk("title", "movie_info", "cast_info", JoinOp::HashJoin, JoinOp::MergeJoin),
+            mk("title", "cast_info", "movie_info", JoinOp::MergeJoin, JoinOp::MergeJoin),
+        ];
+        let plan_refs: Vec<&PlanNode> = plans.iter().collect();
+        let batched = model.predict_batch(&q, &plan_refs);
+        assert_eq!(batched.len(), plans.len());
+        for (p, plan) in plans.iter().enumerate() {
+            let single = model.predict(&q, plan);
+            assert_eq!(batched[p], single, "plan {p}: batched != scalar");
+        }
     }
 
     #[test]

@@ -94,6 +94,29 @@ impl CostModeler {
         (predictions, mu_vec)
     }
 
+    /// Batched [`Self::forward_inference`] without the per-call `mu`
+    /// extraction: `x [K, joint_dim]` → predictions `[K, 3]` (from `sc` —
+    /// recycle when done). Every op is the scalar path's op at `rows = K`,
+    /// so row `p` is bitwise identical to scoring plan `p` alone.
+    pub fn forward_inference_batch(
+        &self,
+        store: &ParamStore,
+        x: &Tensor,
+        sc: &mut ScratchArena,
+    ) -> Tensor {
+        let h = self.encoder.forward_inference(store, x, sc); // [rows, 2*latent]
+        let mut mu = sc.take(h.rows(), self.latent);
+        for r in 0..h.rows() {
+            mu.row_slice_mut(r).copy_from_slice(&h.row_slice(r)[..self.latent]);
+        }
+        sc.recycle(h);
+        let reconstruction = self.decoder.forward_inference(store, &mu, sc);
+        sc.recycle(mu);
+        let predictions = self.head.forward_inference(store, &reconstruction, sc);
+        sc.recycle(reconstruction);
+        predictions
+    }
+
     /// The paper's loss (formula 5) plus prediction MSE:
     /// `pred_mse + recon_mse + β · KL` with KL averaged per latent element
     /// so that the paper's β ∈ {100, 200, 300} stays in a workable range.
@@ -171,6 +194,23 @@ mod tests {
             g.value(out.predictions).data().to_vec()
         };
         assert_eq!(run(&store), run(&store));
+    }
+
+    #[test]
+    fn batched_vae_inference_bitwise_equals_scalar() {
+        let cfg = ModelConfig::small();
+        let (store, vae) = setup(&cfg);
+        let mut init = Initializer::new(8);
+        let x = init.normal(5, cfg.joint_dim(), 1.0);
+        let mut sc = ScratchArena::new();
+        let batched = vae.forward_inference_batch(&store, &x, &mut sc);
+        assert_eq!(batched.shape(), (5, 3));
+        for r in 0..5 {
+            let row = Tensor::from_vec(1, cfg.joint_dim(), x.row_slice(r).to_vec());
+            let (single, _mu) = vae.forward_inference(&store, &row, &mut sc);
+            assert_eq!(batched.row_slice(r), single.data(), "row {r} differs");
+            sc.recycle(single);
+        }
     }
 
     #[test]

@@ -1,0 +1,270 @@
+//! Elementwise activation kernels for the tape-free inference path.
+//!
+//! The LSTM gate math and MLP activations are transcendental-bound: libm
+//! `exp`/`tanh` cost ~50-100ns per lane, which at 5 calls per hidden lane
+//! dominates the whole plan-encoder forward (the GEMMs are an order of
+//! magnitude cheaper). On AVX2+FMA hosts we evaluate them 8 lanes at a time
+//! with Cephes-style polynomials (~1-2 ulp, far inside the 1e-5 tape-parity
+//! tolerance); elsewhere the portable libm path runs unchanged.
+//!
+//! **FP-order contract:** every function here is elementwise — lane `i` of
+//! the output depends only on lane `i` of the inputs, and which code path a
+//! lane takes depends only on its column index and the width, never on the
+//! number of rows. Row `r` of a batched call is therefore bitwise identical
+//! to a 1-row call on row `r` alone, the same invariant the matmul kernels
+//! uphold (see `tensor::matmul_kernel`). Like the matmul kernels, the AVX2
+//! variant differs from the portable one in the last bits; CPU feature
+//! detection picks one variant per process, so batched and scalar scoring
+//! always agree bitwise.
+
+/// `sigmoid(x)` as used by the portable LSTM gate path.
+#[inline]
+fn sigmoid_scalar(v: f32) -> f32 {
+    1.0 / (1.0 + (-v).exp())
+}
+
+/// Fused LSTM gate math for one step: `gates` is `[rows, 4*d]` laid out as
+/// `i | f | g | o` segments per row, `c_prev` is `[rows, d]`; writes the new
+/// cell state and hidden state into `c_out` / `h_out` (both `[rows, d]`).
+///
+/// Computes `c' = sigmoid(f) * c + sigmoid(i) * tanh(g)` and
+/// `h' = sigmoid(o) * tanh(c')` per lane.
+pub fn lstm_gates(
+    rows: usize,
+    d: usize,
+    gates: &[f32],
+    c_prev: &[f32],
+    c_out: &mut [f32],
+    h_out: &mut [f32],
+) {
+    debug_assert!(gates.len() >= rows * 4 * d);
+    debug_assert!(c_prev.len() >= rows * d && c_out.len() >= rows * d && h_out.len() >= rows * d);
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma") {
+        unsafe { avx::lstm_gates(rows, d, gates, c_prev, c_out, h_out) };
+        return;
+    }
+    lstm_gates_portable(rows, d, gates, c_prev, c_out, h_out)
+}
+
+fn lstm_gates_portable(
+    rows: usize,
+    d: usize,
+    gates: &[f32],
+    c_prev: &[f32],
+    c_out: &mut [f32],
+    h_out: &mut [f32],
+) {
+    for r in 0..rows {
+        let grow = &gates[r * 4 * d..(r + 1) * 4 * d];
+        for j in 0..d {
+            let i_g = sigmoid_scalar(grow[j]);
+            let f_g = sigmoid_scalar(grow[d + j]);
+            let g_g = grow[2 * d + j].tanh();
+            let o_g = sigmoid_scalar(grow[3 * d + j]);
+            let cv = f_g * c_prev[r * d + j] + i_g * g_g;
+            c_out[r * d + j] = cv;
+            h_out[r * d + j] = o_g * cv.tanh();
+        }
+    }
+}
+
+/// `x[i] = tanh(x[i])` over a slice, vectorized when the host supports it.
+pub fn tanh_inplace(x: &mut [f32]) {
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma") {
+        unsafe { avx::tanh_inplace(x) };
+        return;
+    }
+    for v in x {
+        *v = v.tanh();
+    }
+}
+
+/// `x[i] = sigmoid(x[i])` over a slice, vectorized when the host supports it.
+pub fn sigmoid_inplace(x: &mut [f32]) {
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma") {
+        unsafe { avx::sigmoid_inplace(x) };
+        return;
+    }
+    for v in x {
+        *v = sigmoid_scalar(*v);
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod avx {
+    use std::arch::x86_64::*;
+
+    // Cephes single-precision exp: round-to-nearest power-of-two split with
+    // a Cody-Waite reduced argument and a degree-5 polynomial remainder.
+    const EXP_HI: f32 = 88.376_26;
+    const EXP_LO: f32 = -87.336_55;
+    const LOG2EF: f32 = std::f32::consts::LOG2_E;
+    const C1: f32 = 0.693_359_4;
+    const C2: f32 = -2.121_944_4e-4;
+    const P0: f32 = 1.987_569_1e-4;
+    const P1: f32 = 1.398_199_9e-3;
+    const P2: f32 = 8.333_452e-3;
+    const P3: f32 = 4.166_579_6e-2;
+    const P4: f32 = 1.666_666_5e-1;
+    const P5: f32 = 5.0e-1;
+
+    #[inline]
+    #[target_feature(enable = "avx2", enable = "fma")]
+    unsafe fn exp_ps(x: __m256) -> __m256 {
+        let x = _mm256_min_ps(_mm256_max_ps(x, _mm256_set1_ps(EXP_LO)), _mm256_set1_ps(EXP_HI));
+        let n = _mm256_round_ps(
+            _mm256_mul_ps(x, _mm256_set1_ps(LOG2EF)),
+            _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC,
+        );
+        // r = x - n*C1 - n*C2 (Cody-Waite two-constant reduction).
+        let r = _mm256_fnmadd_ps(n, _mm256_set1_ps(C1), x);
+        let r = _mm256_fnmadd_ps(n, _mm256_set1_ps(C2), r);
+        let mut y = _mm256_set1_ps(P0);
+        y = _mm256_fmadd_ps(y, r, _mm256_set1_ps(P1));
+        y = _mm256_fmadd_ps(y, r, _mm256_set1_ps(P2));
+        y = _mm256_fmadd_ps(y, r, _mm256_set1_ps(P3));
+        y = _mm256_fmadd_ps(y, r, _mm256_set1_ps(P4));
+        y = _mm256_fmadd_ps(y, r, _mm256_set1_ps(P5));
+        // exp(r) = 1 + r + r^2 * y
+        let y = _mm256_add_ps(_mm256_fmadd_ps(_mm256_mul_ps(r, r), y, r), _mm256_set1_ps(1.0));
+        // Scale by 2^n via exponent-field arithmetic.
+        let pow2n = _mm256_castsi256_ps(_mm256_slli_epi32::<23>(_mm256_add_epi32(
+            _mm256_cvtps_epi32(n),
+            _mm256_set1_epi32(127),
+        )));
+        _mm256_mul_ps(y, pow2n)
+    }
+
+    #[inline]
+    #[target_feature(enable = "avx2", enable = "fma")]
+    unsafe fn sigmoid_ps(x: __m256) -> __m256 {
+        // 1 / (1 + exp(-x)); exp is clamped so the denominator stays finite.
+        let one = _mm256_set1_ps(1.0);
+        let t = exp_ps(_mm256_sub_ps(_mm256_setzero_ps(), x));
+        _mm256_div_ps(one, _mm256_add_ps(one, t))
+    }
+
+    #[inline]
+    #[target_feature(enable = "avx2", enable = "fma")]
+    unsafe fn tanh_ps(x: __m256) -> __m256 {
+        // tanh(|x|) = (1 - e^{-2|x|}) / (1 + e^{-2|x|}), sign restored from x.
+        let sign_mask = _mm256_set1_ps(-0.0);
+        let ax = _mm256_andnot_ps(sign_mask, x);
+        let one = _mm256_set1_ps(1.0);
+        let t = exp_ps(_mm256_mul_ps(ax, _mm256_set1_ps(-2.0)));
+        let th = _mm256_div_ps(_mm256_sub_ps(one, t), _mm256_add_ps(one, t));
+        _mm256_or_ps(th, _mm256_and_ps(x, sign_mask))
+    }
+
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn lstm_gates(
+        rows: usize,
+        d: usize,
+        gates: &[f32],
+        c_prev: &[f32],
+        c_out: &mut [f32],
+        h_out: &mut [f32],
+    ) {
+        for r in 0..rows {
+            let g = gates.as_ptr().add(r * 4 * d);
+            let cp = c_prev.as_ptr().add(r * d);
+            let co = c_out.as_mut_ptr().add(r * d);
+            let ho = h_out.as_mut_ptr().add(r * d);
+            let mut j = 0;
+            while j + 8 <= d {
+                let i_g = sigmoid_ps(_mm256_loadu_ps(g.add(j)));
+                let f_g = sigmoid_ps(_mm256_loadu_ps(g.add(d + j)));
+                let g_g = tanh_ps(_mm256_loadu_ps(g.add(2 * d + j)));
+                let o_g = sigmoid_ps(_mm256_loadu_ps(g.add(3 * d + j)));
+                let cv = _mm256_fmadd_ps(i_g, g_g, _mm256_mul_ps(f_g, _mm256_loadu_ps(cp.add(j))));
+                _mm256_storeu_ps(co.add(j), cv);
+                _mm256_storeu_ps(ho.add(j), _mm256_mul_ps(o_g, tanh_ps(cv)));
+                j += 8;
+            }
+            // Lane tail: which path a lane takes depends only on (j, d), so
+            // rows stay bitwise consistent between batched and 1-row calls.
+            while j < d {
+                let i_g = super::sigmoid_scalar(*g.add(j));
+                let f_g = super::sigmoid_scalar(*g.add(d + j));
+                let g_g = (*g.add(2 * d + j)).tanh();
+                let o_g = super::sigmoid_scalar(*g.add(3 * d + j));
+                let cv = f_g * *cp.add(j) + i_g * g_g;
+                *co.add(j) = cv;
+                *ho.add(j) = o_g * cv.tanh();
+                j += 1;
+            }
+        }
+    }
+
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn tanh_inplace(x: &mut [f32]) {
+        let n = x.len();
+        let p = x.as_mut_ptr();
+        let mut i = 0;
+        while i + 8 <= n {
+            _mm256_storeu_ps(p.add(i), tanh_ps(_mm256_loadu_ps(p.add(i))));
+            i += 8;
+        }
+        for v in &mut x[i..] {
+            *v = v.tanh();
+        }
+    }
+
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn sigmoid_inplace(x: &mut [f32]) {
+        let n = x.len();
+        let p = x.as_mut_ptr();
+        let mut i = 0;
+        while i + 8 <= n {
+            _mm256_storeu_ps(p.add(i), sigmoid_ps(_mm256_loadu_ps(p.add(i))));
+            i += 8;
+        }
+        for v in &mut x[i..] {
+            *v = super::sigmoid_scalar(*v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vector_activations_close_to_libm() {
+        let xs: Vec<f32> = (-400..=400).map(|i| i as f32 * 0.05).collect();
+        let mut t = xs.clone();
+        tanh_inplace(&mut t);
+        let mut s = xs.clone();
+        sigmoid_inplace(&mut s);
+        for (i, &x) in xs.iter().enumerate() {
+            let (rt, rs) = (x.tanh(), 1.0 / (1.0 + (-x).exp()));
+            assert!((t[i] - rt).abs() <= 2e-7 + 1e-6 * rt.abs(), "tanh({x}): {} vs {rt}", t[i]);
+            assert!((s[i] - rs).abs() <= 2e-7 + 1e-6 * rs.abs(), "sigmoid({x}): {} vs {rs}", s[i]);
+        }
+    }
+
+    #[test]
+    fn lstm_gates_matches_portable_within_tolerance_and_rows_are_stable() {
+        let (rows, d) = (5usize, 19usize); // odd width exercises the lane tail
+        let gates: Vec<f32> = (0..rows * 4 * d).map(|i| ((i as f32) * 0.37).sin() * 3.0).collect();
+        let c_prev: Vec<f32> = (0..rows * d).map(|i| ((i as f32) * 0.11).cos()).collect();
+        let (mut c, mut h) = (vec![0.0f32; rows * d], vec![0.0f32; rows * d]);
+        lstm_gates(rows, d, &gates, &c_prev, &mut c, &mut h);
+        let (mut cp, mut hp) = (vec![0.0f32; rows * d], vec![0.0f32; rows * d]);
+        lstm_gates_portable(rows, d, &gates, &c_prev, &mut cp, &mut hp);
+        for i in 0..rows * d {
+            assert!((c[i] - cp[i]).abs() <= 1e-6, "c[{i}]: {} vs {}", c[i], cp[i]);
+            assert!((h[i] - hp[i]).abs() <= 1e-6, "h[{i}]: {} vs {}", h[i], hp[i]);
+        }
+        // Row-equality contract: each batched row bitwise equals a 1-row call.
+        for r in 0..rows {
+            let (mut c1, mut h1) = (vec![0.0f32; d], vec![0.0f32; d]);
+            lstm_gates(1, d, &gates[r * 4 * d..], &c_prev[r * d..], &mut c1, &mut h1);
+            assert_eq!(&c[r * d..(r + 1) * d], &c1[..], "row {r} cell state");
+            assert_eq!(&h[r * d..(r + 1) * d], &h1[..], "row {r} hidden state");
+        }
+    }
+}

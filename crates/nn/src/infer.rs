@@ -19,7 +19,7 @@
 
 use crate::layers::{Activation, Linear, LstmCell, Mlp, MultiHeadCrossAttention};
 use crate::params::ParamStore;
-use crate::tensor::Tensor;
+use crate::tensor::{dot_unrolled, matmul_kernel, Tensor};
 use std::cell::RefCell;
 
 /// A pool of `Tensor` allocations reused across inference calls.
@@ -95,16 +95,8 @@ pub fn activate_inplace(x: &mut Tensor, a: Activation) {
                 *v = v.max(0.0);
             }
         }
-        Activation::Tanh => {
-            for v in x.data_mut() {
-                *v = v.tanh();
-            }
-        }
-        Activation::Sigmoid => {
-            for v in x.data_mut() {
-                *v = 1.0 / (1.0 + (-*v).exp());
-            }
-        }
+        Activation::Tanh => crate::act::tanh_inplace(x.data_mut()),
+        Activation::Sigmoid => crate::act::sigmoid_inplace(x.data_mut()),
     }
 }
 
@@ -202,22 +194,9 @@ impl LstmCell {
         gates.add_assign(&hw);
         sc.recycle(hw);
         add_row_broadcast_assign(&mut gates, store.value(self.bias));
-
         let mut c = sc.take(rows, d);
         let mut h = sc.take(rows, d);
-        let sigmoid = |v: f32| 1.0 / (1.0 + (-v).exp());
-        for r in 0..rows {
-            let grow = gates.row_slice(r);
-            for j in 0..d {
-                let i_g = sigmoid(grow[j]);
-                let f_g = sigmoid(grow[d + j]);
-                let g_g = grow[2 * d + j].tanh();
-                let o_g = sigmoid(grow[3 * d + j]);
-                let cv = f_g * state.c.get(r, j) + i_g * g_g;
-                c.set(r, j, cv);
-                h.set(r, j, o_g * cv.tanh());
-            }
-        }
+        crate::act::lstm_gates(rows, d, gates.data(), state.c.data(), c.data_mut(), h.data_mut());
         sc.recycle(gates);
         LstmStateBuf { h, c }
     }
@@ -266,6 +245,66 @@ impl MultiHeadCrossAttention {
         sc.recycle(v);
         sc.recycle(scores);
         sc.recycle(ctx);
+        let out = self.out.forward_inference(store, &cat, sc);
+        sc.recycle(cat);
+        out
+    }
+
+    /// Batched tape-free attention over `kn` independent (query, kv-block)
+    /// pairs: `query [kn, q_dim]`, `kv_all [kn*n, kv_dim]` (plan `p` owns rows
+    /// `p*n..(p+1)*n`) → `[kn, out_dim]`.
+    ///
+    /// The three projections run as single `m > 1` GEMMs over all plans; the
+    /// per-plan score/softmax/context ops then reuse the exact scalar-path
+    /// primitives ([`dot_unrolled`] for scores, the m=1 row kernel for the
+    /// context product), so row `p` of the result is **bitwise identical** to
+    /// calling [`Self::forward_inference`] on plan `p` alone — the contract
+    /// the batched MCTS evaluator relies on.
+    pub fn forward_inference_batch(
+        &self,
+        store: &ParamStore,
+        query: &Tensor,
+        kv_all: &Tensor,
+        n: usize,
+        sc: &mut ScratchArena,
+    ) -> Tensor {
+        let kn = query.rows();
+        debug_assert_eq!(kv_all.rows(), kn * n, "kv_all must hold n rows per plan");
+        let d = self.head_dim;
+        let scale = 1.0 / (d as f32).sqrt();
+        let mut cat = sc.take(kn, self.heads * d);
+        let mut q = sc.take(kn, d);
+        let mut kproj = sc.take(kn * n, d);
+        let mut vproj = sc.take(kn * n, d);
+        let mut scores = sc.take(kn, n);
+        for h in 0..self.heads {
+            query.matmul_into(store.value(self.wq[h]), &mut q);
+            kv_all.matmul_into(store.value(self.wk[h]), &mut kproj);
+            kv_all.matmul_into(store.value(self.wv[h]), &mut vproj);
+            for p in 0..kn {
+                // scores[p][i] = (q_p · k_{p,i}) * scale — the same dot and
+                // scaling the scalar path's matmul_nt_into + `*= scale` do.
+                let q_row = q.row_slice(p);
+                for i in 0..n {
+                    let s = dot_unrolled(q_row, kproj.row_slice(p * n + i)) * scale;
+                    scores.set(p, i, s);
+                }
+            }
+            softmax_rows_inplace(&mut scores);
+            for p in 0..kn {
+                // ctx_p = scores_p [1 x n] · v-block_p [n x d], written
+                // straight into this head's slice of `cat` via the m=1 kernel
+                // the scalar path's matmul_into dispatches to.
+                let v_block = &vproj.data()[p * n * d..(p + 1) * n * d];
+                let cat_seg = &mut cat.row_slice_mut(p)[h * d..(h + 1) * d];
+                cat_seg.fill(0.0);
+                matmul_kernel(1, n, d, scores.row_slice(p), v_block, cat_seg);
+            }
+        }
+        sc.recycle(q);
+        sc.recycle(kproj);
+        sc.recycle(vproj);
+        sc.recycle(scores);
         let out = self.out.forward_inference(store, &cat, sc);
         sc.recycle(cat);
         out
@@ -359,6 +398,32 @@ mod tests {
         assert_eq!(scores.len(), 4);
         for (row, tv) in scores.iter().zip(&tape_scores) {
             close(row, g.value(*tv).data(), 1e-5);
+        }
+    }
+
+    #[test]
+    fn batched_attention_bitwise_equals_scalar_per_plan() {
+        let mut store = ParamStore::new();
+        let mut init = Initializer::new(13);
+        let attn = MultiHeadCrossAttention::new(&mut store, &mut init, "a", 8, 6, 4, 5, 10);
+        let n = 3; // kv rows per plan
+        for kn in [1usize, 2, 5, 7] {
+            let query = Initializer::new(kn as u64).normal(kn, 8, 1.0);
+            let kv_all = Initializer::new(100 + kn as u64).normal(kn * n, 6, 1.0);
+            let mut sc = ScratchArena::new();
+            let batched = attn.forward_inference_batch(&store, &query, &kv_all, n, &mut sc);
+            assert_eq!(batched.shape(), (kn, 10));
+            for p in 0..kn {
+                let q = Tensor::from_vec(1, 8, query.row_slice(p).to_vec());
+                let kv = Tensor::from_vec(n, 6, kv_all.data()[p * n * 6..(p + 1) * n * 6].to_vec());
+                let single = attn.forward_inference(&store, &q, &kv, &mut sc, None);
+                assert_eq!(
+                    batched.row_slice(p),
+                    single.data(),
+                    "plan {p} of batch {kn} is not bitwise equal to the scalar path"
+                );
+                sc.recycle(single);
+            }
         }
     }
 

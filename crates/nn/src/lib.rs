@@ -34,6 +34,7 @@
 //! }
 //! ```
 
+pub mod act;
 pub mod gradcheck;
 pub mod graph;
 pub mod infer;

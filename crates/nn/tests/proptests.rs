@@ -13,8 +13,91 @@ fn small_dims() -> impl Strategy<Value = (usize, usize, usize)> {
     (1usize..5, 1usize..5, 1usize..5)
 }
 
+/// Dimensions that straddle every blocking boundary in the kernel: 1 (no
+/// blocks), 3 (tail only), 7/17 (blocks + tail), 96 (whole blocks, the
+/// production hidden size).
+fn kernel_dim() -> impl Strategy<Value = usize> {
+    prop::sample::select(vec![1usize, 3, 7, 17, 96])
+}
+
+/// A matrix for the kernel tests: random values, but with a random subset of
+/// 4-wide k-blocks forced to all-zero so the sparse skip path is exercised
+/// (including the "every block zero" and "no block zero" extremes).
+fn kernel_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Tensor> {
+    let blocks = cols.div_ceil(4);
+    (
+        proptest::collection::vec(-2.0f32..2.0, rows * cols),
+        proptest::collection::vec(prop::bool::ANY, rows * blocks),
+    )
+        .prop_map(move |(mut data, zero_block)| {
+            for r in 0..rows {
+                for blk in 0..blocks {
+                    if zero_block[r * blocks + blk] {
+                        for c in (blk * 4..(blk + 1) * 4).take_while(|&c| c < cols) {
+                            data[r * cols + c] = 0.0;
+                        }
+                    }
+                }
+            }
+            Tensor::from_vec(rows, cols, data)
+        })
+}
+
+/// Scalar triple-loop reference the blocked kernels are checked against.
+fn matmul_naive(a: &Tensor, b: &Tensor) -> Tensor {
+    let mut out = Tensor::zeros(a.rows(), b.cols());
+    for i in 0..a.rows() {
+        for j in 0..b.cols() {
+            let mut acc = 0.0f32;
+            for k in 0..a.cols() {
+                acc += a.get(i, k) * b.get(k, j);
+            }
+            out.set(i, j, acc);
+        }
+    }
+    out
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The register-blocked kernel agrees with the naive triple loop over
+    /// every combination of blocking-boundary shapes, including rows whose
+    /// k-blocks are entirely zero (the sparse skip path).
+    #[test]
+    fn blocked_matmul_matches_naive_reference(
+        (a, b) in (kernel_dim(), kernel_dim(), kernel_dim())
+            .prop_flat_map(|(m, k, n)| (kernel_matrix(m, k), kernel_matrix(k, n)))
+    ) {
+        let (m, k, n) = (a.rows(), a.cols(), b.cols());
+        let fast = a.matmul(&b);
+        let slow = matmul_naive(&a, &b);
+        // The blocked kernel reassociates the k-sum, so allow a small
+        // accumulation tolerance scaled to k.
+        let tol = 1e-5 * (k as f32).sqrt().max(1.0);
+        for (idx, (x, y)) in fast.data().iter().zip(slow.data()).enumerate() {
+            prop_assert!((x - y).abs() <= tol * (1.0 + y.abs()),
+                "({m}x{k}x{n}) idx {idx}: blocked {x} vs naive {y}");
+        }
+    }
+
+    /// FP-order contract: each row of an m-row product is bitwise identical
+    /// to the m=1 product of that row alone. This is what lets MCTS score a
+    /// batch of candidate plans and still match the scalar path bit for bit.
+    #[test]
+    fn batched_matmul_rows_bitwise_equal_scalar(
+        (a, b) in (kernel_dim(), kernel_dim(), kernel_dim())
+            .prop_flat_map(|(m, k, n)| (kernel_matrix(m, k), kernel_matrix(k, n)))
+    ) {
+        let batched = a.matmul(&b);
+        for i in 0..a.rows() {
+            let row = Tensor::from_vec(1, a.cols(), a.row_slice(i).to_vec());
+            let single = row.matmul(&b);
+            prop_assert_eq!(batched.row_slice(i), single.data(),
+                "row {} of {}x{}x{} differs from its m=1 twin",
+                i, a.rows(), a.cols(), b.cols());
+        }
+    }
 
     /// (A·B)ᵀ == Bᵀ·Aᵀ for all shapes.
     #[test]

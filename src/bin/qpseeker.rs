@@ -86,7 +86,9 @@ commands:
            load-shedding and a neural/classical circuit breaker
            [--queue <n>] [--service-ms <f64>] [--interval-ms <f64>]
            [--workers <n>] (serve the stream on n planner threads, each
-            with its own session over the shared model; default 1)";
+            with its own session over the shared model; default 1)
+           [--batch-eval <n>] (MCTS rollouts scored per batched cost-model
+            pass; 1 disables batching; default 16)";
 
 type Opts = HashMap<String, String>;
 
@@ -292,6 +294,9 @@ fn serve(opts: &Opts) -> Result<(), String> {
     if let Some(r) = opts.get("retries") {
         cfg.max_retries = r.parse().map_err(|e| format!("--retries: {e}"))?;
     }
+    if let Some(b) = opts.get("batch-eval") {
+        cfg.mcts.batch_eval = b.parse().map_err(|e| format!("--batch-eval: {e}"))?;
+    }
     if let Some(p) = opts.get("chaos") {
         let p: f64 = p.parse().map_err(|e| format!("--chaos: {e}"))?;
         let seed: u64 = opts
@@ -355,6 +360,9 @@ fn serve_stream(db: &Arc<Database>, opts: &Opts) -> Result<(), String> {
     }
     if let Some(r) = opts.get("retries") {
         cfg.serve.max_retries = r.parse().map_err(|e| format!("--retries: {e}"))?;
+    }
+    if let Some(b) = opts.get("batch-eval") {
+        cfg.serve.mcts.batch_eval = b.parse().map_err(|e| format!("--batch-eval: {e}"))?;
     }
     if let Some(p) = opts.get("chaos") {
         let p: f64 = p.parse().map_err(|e| format!("--chaos: {e}"))?;

@@ -1,0 +1,109 @@
+//! Batched-evaluation equality suite.
+//!
+//! The MCTS batched scoring path (`QPSeeker::predict_batch`) promises that
+//! scoring K candidate plans in one forward pass is **bitwise identical** to
+//! scoring them one at a time — the invariant that lets the planner defer
+//! rollouts into batches without changing any plan choice, and that keeps
+//! PR4's cross-worker plan-equality guarantee intact with `batch_eval` on.
+//! This file property-tests that promise over random left-deep plan pools.
+
+use proptest::prelude::*;
+use qpseeker_repro::core::prelude::*;
+use qpseeker_repro::engine::inject::LeftDeepSpec;
+use qpseeker_repro::engine::plan::{JoinOp, PlanNode, ScanOp};
+use qpseeker_repro::engine::query::{ColRef, JoinPred, Query, RelRef};
+use qpseeker_repro::storage::Database;
+use qpseeker_repro::workloads::{synthetic, Qep, SyntheticConfig};
+use std::sync::{Arc, OnceLock};
+
+fn shared_db() -> &'static Arc<Database> {
+    static DB: OnceLock<Arc<Database>> = OnceLock::new();
+    DB.get_or_init(|| Arc::new(qpseeker_repro::storage::datagen::imdb::generate(0.04, 2)))
+}
+
+fn shared_model() -> &'static QPSeeker {
+    static MODEL: OnceLock<QPSeeker> = OnceLock::new();
+    MODEL.get_or_init(|| {
+        let db = shared_db();
+        let w = synthetic::generate(db, &SyntheticConfig { n_queries: 12, seed: 3 });
+        let refs: Vec<&Qep> = w.qeps.iter().collect();
+        let mut model = QPSeeker::new(db, ModelConfig::small());
+        model.fit(&refs).expect("training succeeds");
+        model
+    })
+}
+
+/// A 3-relation star query over the IMDb FK schema: movie_info and
+/// movie_keyword both join title.
+fn star_query() -> Query {
+    let mut q = Query::new("batched-eval-star");
+    for t in ["title", "movie_info", "movie_keyword"] {
+        q.relations.push(RelRef::new(t));
+    }
+    for t in ["movie_info", "movie_keyword"] {
+        q.joins
+            .push(JoinPred { left: ColRef::new(t, "movie_id"), right: ColRef::new("title", "id") });
+    }
+    q
+}
+
+/// Every connected left-deep relation order for the star (the hub `title`
+/// must be joined by the second step at the latest).
+const ORDERS: [[&str; 3]; 4] = [
+    ["title", "movie_info", "movie_keyword"],
+    ["title", "movie_keyword", "movie_info"],
+    ["movie_info", "title", "movie_keyword"],
+    ["movie_keyword", "title", "movie_info"],
+];
+
+/// Strategy: one random left-deep plan — a valid relation order plus
+/// independently chosen scan and join operators.
+fn plan_strategy() -> impl Strategy<Value = LeftDeepSpec> {
+    (
+        0usize..ORDERS.len(),
+        proptest::collection::vec(0usize..ScanOp::ALL.len(), 3),
+        proptest::collection::vec(0usize..JoinOp::ALL.len(), 2),
+    )
+        .prop_map(|(ord, scans, joins)| LeftDeepSpec {
+            scans: ORDERS[ord]
+                .iter()
+                .zip(&scans)
+                .map(|(rel, &s)| (rel.to_string(), ScanOp::ALL[s]))
+                .collect(),
+            joins: joins.iter().map(|&j| JoinOp::ALL[j]).collect(),
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// `predict_batch` over a random pool of 2..24 plans equals per-plan
+    /// `predict` bit for bit, in all three predicted quantities. Duplicate
+    /// plans in the pool are deliberately allowed — the batch path must not
+    /// care.
+    #[test]
+    fn batched_predictions_bitwise_equal_scalar(
+        specs in proptest::collection::vec(plan_strategy(), 2..24)
+    ) {
+        let model = shared_model();
+        let query = star_query();
+        let plans: Vec<PlanNode> = specs
+            .iter()
+            .map(|s| s.compile(&query).expect("valid left-deep spec"))
+            .collect();
+        let refs: Vec<&PlanNode> = plans.iter().collect();
+        let batched = model.predict_batch(&query, &refs);
+        prop_assert_eq!(batched.len(), plans.len());
+        for (i, plan) in plans.iter().enumerate() {
+            let scalar = model.predict(&query, plan);
+            prop_assert_eq!(
+                batched[i].runtime_ms.to_bits(), scalar.runtime_ms.to_bits(),
+                "plan {}: batched runtime {} vs scalar {}",
+                i, batched[i].runtime_ms, scalar.runtime_ms);
+            prop_assert_eq!(batched[i].cost.to_bits(), scalar.cost.to_bits(), "plan {} cost", i);
+            prop_assert_eq!(
+                batched[i].cardinality.to_bits(), scalar.cardinality.to_bits(),
+                "plan {} cardinality", i);
+        }
+    }
+}

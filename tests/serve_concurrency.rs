@@ -140,6 +140,50 @@ fn worker_counts_produce_identical_plans_and_counters() {
     }
 }
 
+/// Seed matrix for batched evaluation: with `batch_eval` explicitly on (the
+/// default 16) and explicitly off (1), every worker count must pick
+/// bitwise-identical plans *within* that mode. Batching defers backups, so
+/// it may legally explore a budget-capped search differently from the
+/// scalar schedule — but it must never make results depend on the worker
+/// count, which is PR4's cross-worker invariant extended to batches.
+#[test]
+fn batched_eval_is_identical_across_worker_counts() {
+    let db = shared_db();
+    let model = shared_model();
+
+    for batch_eval in [1usize, 16] {
+        let stream = gentle_requests(10, 0xba7c ^ chaos_seed());
+        let run = |workers: usize| {
+            let mut cfg = deterministic_cfg(workers);
+            cfg.serve.mcts.batch_eval = batch_eval;
+            let mut sup = Supervisor::new(cfg);
+            sup.run(db, Some(model), &stream)
+        };
+        let reference = run(1);
+        for workers in [2usize, 4] {
+            let outcomes = run(workers);
+            assert_eq!(outcomes.len(), reference.len());
+            for (a, b) in reference.iter().zip(&outcomes) {
+                let (ra, rb) = match (&a.disposition, &b.disposition) {
+                    (Disposition::Served(ra), Disposition::Served(rb)) => (ra, rb),
+                    other => panic!("non-served disposition in deterministic stream: {other:?}"),
+                };
+                assert_eq!(
+                    ra.plan, rb.plan,
+                    "query {}: batch_eval={batch_eval} plan diverged at {workers} workers",
+                    a.query_id
+                );
+                assert_eq!(
+                    ra.predicted_ms.map(f64::to_bits),
+                    rb.predicted_ms.map(f64::to_bits),
+                    "query {}: batch_eval={batch_eval} prediction diverged at {workers} workers",
+                    a.query_id
+                );
+            }
+        }
+    }
+}
+
 /// Stress: 4 workers × 500 queries under every fault class at once
 /// (NaNs, stalls, panics, storage faults). The run must terminate (no
 /// deadlock, no dead worker), return one outcome per request, and conserve

@@ -1,7 +1,7 @@
 //! Offline, in-workspace shim for the subset of `proptest` this repository
 //! uses: the `proptest!` macro with `#![proptest_config(..)]`, range and
-//! tuple strategies, `collection::vec`, `prop_map`, and the `prop_assert*`
-//! macros.
+//! tuple strategies, `collection::vec`, `sample::select`, `bool::ANY`,
+//! `prop_map`, `prop_flat_map`, and the `prop_assert*` macros.
 //!
 //! Semantics: each test function runs `ProptestConfig::cases` iterations
 //! with a deterministic per-case RNG; a failed `prop_assert!` panics with
@@ -60,6 +60,15 @@ pub trait Strategy {
     {
         Map { inner: self, f }
     }
+
+    fn prop_flat_map<O, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        O: Strategy,
+        F: Fn(Self::Value) -> O,
+    {
+        FlatMap { inner: self, f }
+    }
 }
 
 impl<S: Strategy + ?Sized> Strategy for &S {
@@ -100,6 +109,61 @@ impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
 
     fn generate(&self, rng: &mut TestRng) -> O {
         (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Dependent generation: the inner value picks the outer strategy.
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O: Strategy, F: Fn(S::Value) -> O> Strategy for FlatMap<S, F> {
+    type Value = O::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> O::Value {
+        let mid = self.inner.generate(rng);
+        (self.f)(mid).generate(rng)
+    }
+}
+
+pub mod sample {
+    use super::{Rng, Strategy, TestRng};
+
+    /// Uniformly picks one of the given values (proptest's `sample::select`).
+    pub struct Select<T: Clone> {
+        items: Vec<T>,
+    }
+
+    pub fn select<T: Clone>(items: Vec<T>) -> Select<T> {
+        assert!(!items.is_empty(), "sample::select: empty choices");
+        Select { items }
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.items[rng.gen_range(0..self.items.len())].clone()
+        }
+    }
+}
+
+pub mod bool {
+    use super::{Rng, Strategy, TestRng};
+
+    /// Uniform boolean (proptest's `bool::ANY`).
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.gen_range(0u32..2) == 1
+        }
     }
 }
 
@@ -271,6 +335,7 @@ macro_rules! prop_assert_ne {
 }
 
 pub mod prelude {
+    pub use crate as prop;
     pub use crate::{
         prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, ProptestConfig, Strategy,
         TestRng,
