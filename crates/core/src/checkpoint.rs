@@ -27,7 +27,7 @@ use std::sync::Arc;
 pub const CHECKPOINT_VERSION: u64 = 1;
 
 /// Serialized model state.
-#[derive(Serialize, Deserialize)]
+#[derive(Clone, Serialize, Deserialize)]
 pub struct Checkpoint {
     pub config: ModelConfig,
     pub normalizer: Option<TargetNormalizer>,

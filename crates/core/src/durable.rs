@@ -99,6 +99,27 @@ fn io_err(op: &'static str, path: &Path, e: std::io::Error) -> CoreError {
     CoreError::Io { op, path: path.display().to_string(), message: e.to_string() }
 }
 
+/// Fsync a directory so a just-renamed (or just-created) entry inside it
+/// survives power failure. On Unix an unsyncable directory is a real
+/// durability hole — the rename itself can be lost — so failures are
+/// reported as typed [`CoreError::Io`] errors rather than swallowed. On
+/// platforms where directories cannot be opened for syncing the call is a
+/// best-effort no-op.
+pub fn fsync_dir(dir: &Path) -> Result<(), CoreError> {
+    #[cfg(unix)]
+    {
+        let d = fs::File::open(dir).map_err(|e| io_err("open dir", dir, e))?;
+        d.sync_all().map_err(|e| io_err("fsync dir", dir, e))?;
+    }
+    #[cfg(not(unix))]
+    {
+        if let Ok(d) = fs::File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
+}
+
 /// Write `contents` to `path` atomically: temp file in the same directory,
 /// fsync, rename over the destination, fsync the directory. With an armed
 /// [`FaultInjector`] the write may instead be torn (a truncated prefix
@@ -133,12 +154,10 @@ pub fn write_atomic(
         f.sync_all().map_err(|e| io_err("fsync", &tmp, e))?;
     }
     fs::rename(&tmp, path).map_err(|e| io_err("rename", path, e))?;
-    // Persist the rename itself. Directory fsync is not supported on every
-    // platform, so failures here are non-fatal by design.
-    if let Some(dir) = path.parent() {
-        if let Ok(d) = fs::File::open(dir) {
-            let _ = d.sync_all();
-        }
+    // Persist the rename itself: without the directory fsync the entry can
+    // vanish on power failure even though the temp file's bytes were synced.
+    if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+        fsync_dir(dir)?;
     }
     Ok(())
 }

@@ -53,6 +53,11 @@ pub enum CoreError {
     /// A data-parallel training worker panicked; the panic was contained at
     /// the shard boundary instead of poisoning the whole process.
     TrainingWorkerPanicked { shard: usize, cause: String },
+    /// Experience-log recovery found a valid record whose sequence number
+    /// skips ahead: a record was lost *behind* an intact successor, which a
+    /// torn tail can never produce. Real corruption, not recoverable by
+    /// truncation.
+    ExperienceGap { expected: u64, found: u64 },
 }
 
 impl CoreError {
@@ -127,6 +132,12 @@ impl fmt::Display for CoreError {
             }
             CoreError::TrainingWorkerPanicked { shard, cause } => {
                 write!(f, "training worker for shard {shard} panicked: {cause}")
+            }
+            CoreError::ExperienceGap { expected, found } => {
+                write!(
+                    f,
+                    "experience log gap: expected record #{expected}, found #{found} — a record was lost behind an intact successor"
+                )
             }
         }
     }
@@ -214,6 +225,9 @@ mod tests {
         };
         assert!(mismatch.to_string().contains("dataset"));
         assert!(CoreError::MissingTarget { index: 5 }.to_string().contains("#5"));
+        let gap = CoreError::ExperienceGap { expected: 4, found: 7 };
+        assert!(gap.to_string().contains("#4") && gap.to_string().contains("#7"));
+        assert!(!gap.is_transient(), "a gap is real corruption, not a retryable fault");
         assert!(CoreError::TrainingWorkerPanicked { shard: 1, cause: "oh no".into() }
             .to_string()
             .contains("oh no"));

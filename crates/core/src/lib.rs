@@ -39,11 +39,14 @@ pub mod config;
 pub mod durable;
 pub mod encoder;
 pub mod error;
+pub mod experience;
 pub mod featurize;
 pub mod mcts;
 pub mod metrics;
 pub mod model;
 pub mod normalize;
+pub mod online;
+pub mod registry;
 pub mod serve;
 pub mod session;
 pub mod vae;
@@ -53,15 +56,18 @@ pub mod viz;
 pub mod prelude {
     pub use crate::checkpoint::Checkpoint;
     pub use crate::config::ModelConfig;
-    pub use crate::durable::{write_atomic, RecoveredSnapshot, SnapshotStore};
+    pub use crate::durable::{fsync_dir, write_atomic, RecoveredSnapshot, SnapshotStore};
     pub use crate::error::CoreError;
+    pub use crate::experience::{ExperienceDisposition, ExperienceRecord, ExperienceWal};
     pub use crate::featurize::{FeatNode, FeatSession, FeaturizedQep, Featurizer, QueryFeatures};
     pub use crate::mcts::{Action, MctsConfig, MctsPlanner, MctsResult, MctsScratch};
-    pub use crate::metrics::{q_error, QErrorSummary, ServeCounters};
+    pub use crate::metrics::{q_error, OnlineCounters, QErrorSummary, ServeCounters};
     pub use crate::model::{
         PlannerModel, Prediction, QPSeeker, QueryContext, TrainReport, TrainSnapshot,
     };
     pub use crate::normalize::TargetNormalizer;
+    pub use crate::online::{BatchReport, OnlineConfig, OnlinePlanner, PromotionDecision};
+    pub use crate::registry::{ModelCell, RegressionMonitor, SwapVerdict};
     pub use crate::serve::{
         plan_with_fallback, BreakerState, CircuitBreaker, Disposition, FallbackReason,
         QueryRequest, ServeConfig, ServeResult, ServedBy, ShedReason, SupervisedOutcome,

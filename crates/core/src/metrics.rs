@@ -67,6 +67,41 @@ impl std::fmt::Display for ServeCounters {
     }
 }
 
+/// Lifecycle counters for the online adaptation loop
+/// ([`crate::online::OnlinePlanner`]): how many observations were logged,
+/// how retrain rounds resolved, and how often the publication cell swapped
+/// or rolled back.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OnlineCounters {
+    /// Experience records durably appended to the WAL.
+    pub records_logged: usize,
+    /// Fine-tune rounds started (whatever their outcome).
+    pub retrain_rounds: usize,
+    /// Candidates that passed the promotion gate and were published.
+    pub promotions: usize,
+    /// Candidates rejected: held-out prediction error worse than serving.
+    pub rejected_gate: usize,
+    /// Candidates rejected: non-finite parameters (automatic reject).
+    pub rejected_nonfinite: usize,
+    /// Published candidates the regression monitor rolled back.
+    pub rollbacks: usize,
+}
+
+impl std::fmt::Display for OnlineCounters {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "experience={} rounds={} promoted={} rejected(gate={} nonfinite={}) rollbacks={}",
+            self.records_logged,
+            self.retrain_rounds,
+            self.promotions,
+            self.rejected_gate,
+            self.rejected_nonfinite,
+            self.rollbacks,
+        )
+    }
+}
+
 /// Q-error: `max(pred/true, true/pred)`, both floored at 1 (Moerkotte et
 /// al.). Always ≥ 1; 1 means a perfect estimate.
 pub fn q_error(pred: f64, truth: f64) -> f64 {

@@ -1,0 +1,332 @@
+//! Zero-downtime model publication: the epoch-stamped cell serving workers
+//! read the model through, plus the sliding-window regression monitor that
+//! rolls a bad promotion back automatically.
+//!
+//! [`ModelCell`] is an ArcSwap-style publication point implemented over a
+//! short critical section: readers take a clone of the current
+//! `Arc<PlannerModel>` plus the publication epoch, so an in-flight request
+//! finishes on the model it started with no matter how many swaps land
+//! mid-request, and a worker detects a swap by comparing epochs — its cue to
+//! drop its [`crate::session::PlannerSession`] caches, which hold
+//! predictions from the old weights. The previous model stays resident so
+//! [`ModelCell::rollback`] is instant and allocation-free.
+//!
+//! [`RegressionMonitor`] watches observed executor runtimes. A promotion
+//! arms it with the pre-swap baseline window; once enough post-swap
+//! observations accumulate, a mean regression beyond the configured factor
+//! yields a rollback verdict. One rollback consumes the resident previous
+//! model — a flapping candidate cannot ping-pong traffic.
+
+use crate::model::QPSeeker;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+struct CellInner {
+    current: Arc<QPSeeker>,
+    previous: Option<Arc<QPSeeker>>,
+}
+
+/// Epoch-stamped publication cell for the serving model.
+pub struct ModelCell {
+    inner: Mutex<CellInner>,
+    epoch: AtomicU64,
+}
+
+impl ModelCell {
+    pub fn new(model: Arc<QPSeeker>) -> Self {
+        Self {
+            inner: Mutex::new(CellInner { current: model, previous: None }),
+            epoch: AtomicU64::new(0),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, CellInner> {
+        // A panicking publisher cannot leave the cell half-written: both
+        // fields are swapped under the lock with no intermediate state, so
+        // poison recovery is safe.
+        match self.inner.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// The current model and its publication epoch, read atomically. The
+    /// returned `Arc` keeps the model alive for as long as the caller's
+    /// request runs, regardless of later swaps.
+    pub fn load(&self) -> (Arc<QPSeeker>, u64) {
+        let g = self.lock();
+        let arc = Arc::clone(&g.current);
+        // Epoch is read under the lock so (model, epoch) pairs are always
+        // consistent.
+        let epoch = self.epoch.load(Ordering::Acquire);
+        (arc, epoch)
+    }
+
+    /// Publication epoch (bumps on every publish and rollback).
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Publish `model`, keeping the displaced one resident for rollback.
+    /// Returns the new epoch.
+    pub fn publish(&self, model: Arc<QPSeeker>) -> u64 {
+        let mut g = self.lock();
+        let old = std::mem::replace(&mut g.current, model);
+        g.previous = Some(old);
+        self.epoch.fetch_add(1, Ordering::AcqRel) + 1
+    }
+
+    /// Swap the resident previous model back in, dropping the regressed one.
+    /// Returns the new epoch, or `None` when no previous model is resident
+    /// (fresh cell, or the rollback budget was already spent).
+    pub fn rollback(&self) -> Option<u64> {
+        let mut g = self.lock();
+        let prev = g.previous.take()?;
+        g.current = prev;
+        Some(self.epoch.fetch_add(1, Ordering::AcqRel) + 1)
+    }
+
+    /// Whether a rollback target is resident.
+    pub fn has_previous(&self) -> bool {
+        self.lock().previous.is_some()
+    }
+}
+
+/// Verdict of one post-swap observation window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SwapVerdict {
+    /// Post-swap runtimes are within the allowed factor of the baseline.
+    Healthy { baseline_ms: f64, post_ms: f64 },
+    /// Post-swap runtimes regressed beyond the threshold: roll back.
+    Regressed { baseline_ms: f64, post_ms: f64 },
+}
+
+/// Sliding-window regression monitor over observed plan runtimes.
+///
+/// Feed every observed runtime through [`RegressionMonitor::observe`]. While
+/// disarmed, observations maintain a rolling baseline window. Arming (on
+/// promotion) freezes the baseline mean; the next `min_samples` observations
+/// form the post-swap window, after which [`RegressionMonitor::verdict`]
+/// fires exactly once.
+#[derive(Debug, Clone)]
+pub struct RegressionMonitor {
+    window: usize,
+    min_samples: usize,
+    /// Post/pre mean runtime ratio above which the swap is a regression.
+    threshold: f64,
+    baseline: VecDeque<f64>,
+    baseline_mean: f64,
+    post: Vec<f64>,
+    armed: bool,
+}
+
+impl RegressionMonitor {
+    pub fn new(window: usize, min_samples: usize, threshold: f64) -> Self {
+        Self {
+            window: window.max(1),
+            min_samples: min_samples.max(1),
+            threshold: threshold.max(1.0),
+            baseline: VecDeque::new(),
+            baseline_mean: 0.0,
+            post: Vec::new(),
+            armed: false,
+        }
+    }
+
+    /// Record one observed plan runtime (virtual milliseconds).
+    pub fn observe(&mut self, runtime_ms: f64) {
+        if !runtime_ms.is_finite() {
+            return;
+        }
+        if self.armed {
+            self.post.push(runtime_ms);
+        } else {
+            if self.baseline.len() == self.window {
+                self.baseline.pop_front();
+            }
+            self.baseline.push_back(runtime_ms);
+        }
+    }
+
+    /// Arm the monitor at a swap point: the rolling window becomes the
+    /// frozen pre-swap baseline. With an empty baseline (swap before any
+    /// traffic) the monitor stays disarmed — there is nothing to compare.
+    pub fn arm(&mut self) {
+        if self.baseline.is_empty() {
+            return;
+        }
+        self.baseline_mean = self.baseline.iter().sum::<f64>() / self.baseline.len() as f64;
+        self.post.clear();
+        self.armed = true;
+    }
+
+    /// Whether a post-swap window is currently being collected.
+    pub fn is_armed(&self) -> bool {
+        self.armed
+    }
+
+    /// Once the post-swap window is full, return the verdict and disarm.
+    /// Returns `None` while disarmed or still collecting. On a healthy
+    /// verdict the post-swap window seeds the new rolling baseline, so a
+    /// later swap is judged against the promoted model's own steady state.
+    pub fn verdict(&mut self) -> Option<SwapVerdict> {
+        if !self.armed || self.post.len() < self.min_samples {
+            return None;
+        }
+        let post_ms = self.post.iter().sum::<f64>() / self.post.len() as f64;
+        let baseline_ms = self.baseline_mean;
+        self.armed = false;
+        if post_ms > baseline_ms * self.threshold {
+            self.post.clear();
+            Some(SwapVerdict::Regressed { baseline_ms, post_ms })
+        } else {
+            self.baseline.clear();
+            for &v in self.post.iter().rev().take(self.window) {
+                self.baseline.push_front(v);
+            }
+            self.post.clear();
+            Some(SwapVerdict::Healthy { baseline_ms, post_ms })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ModelConfig;
+    use qpseeker_storage::datagen::imdb;
+
+    fn tiny_model() -> Arc<QPSeeker> {
+        let db = Arc::new(imdb::generate(0.02, 1));
+        Arc::new(QPSeeker::new(&db, ModelConfig::small()))
+    }
+
+    #[test]
+    fn publish_bumps_epoch_and_keeps_previous_resident() {
+        let a = tiny_model();
+        let b = tiny_model();
+        let cell = ModelCell::new(Arc::clone(&a));
+        let (got, e0) = cell.load();
+        assert_eq!(e0, 0);
+        assert!(Arc::ptr_eq(&got, &a));
+        assert!(!cell.has_previous());
+        let e1 = cell.publish(Arc::clone(&b));
+        assert_eq!(e1, 1);
+        let (got, e) = cell.load();
+        assert_eq!(e, 1);
+        assert!(Arc::ptr_eq(&got, &b));
+        assert!(cell.has_previous());
+    }
+
+    #[test]
+    fn in_flight_arc_outlives_a_swap_and_a_rollback() {
+        let a = tiny_model();
+        let b = tiny_model();
+        let cell = ModelCell::new(Arc::clone(&a));
+        let (held, _) = cell.load(); // "in-flight request"
+        cell.publish(Arc::clone(&b));
+        cell.rollback();
+        // The in-flight request still holds a live model either way.
+        assert!(Arc::ptr_eq(&held, &a));
+        assert!(held.num_parameters() > 0);
+    }
+
+    #[test]
+    fn rollback_restores_previous_exactly_once() {
+        let a = tiny_model();
+        let b = tiny_model();
+        let cell = ModelCell::new(Arc::clone(&a));
+        assert!(cell.rollback().is_none(), "nothing to roll back to yet");
+        cell.publish(Arc::clone(&b));
+        let e = cell.rollback().expect("previous resident");
+        assert_eq!(e, 2, "rollback is itself a publication");
+        let (got, _) = cell.load();
+        assert!(Arc::ptr_eq(&got, &a));
+        assert!(cell.rollback().is_none(), "rollback budget is one");
+    }
+
+    #[test]
+    fn monitor_flags_a_regression_and_spares_a_healthy_swap() {
+        let mut m = RegressionMonitor::new(8, 4, 1.5);
+        for _ in 0..8 {
+            m.observe(10.0);
+        }
+        m.arm();
+        assert!(m.is_armed());
+        for _ in 0..4 {
+            m.observe(30.0); // 3x the baseline
+        }
+        match m.verdict() {
+            Some(SwapVerdict::Regressed { baseline_ms, post_ms }) => {
+                assert!((baseline_ms - 10.0).abs() < 1e-9);
+                assert!((post_ms - 30.0).abs() < 1e-9);
+            }
+            other => panic!("expected regression, got {other:?}"),
+        }
+        assert!(!m.is_armed(), "verdict disarms");
+
+        // Healthy swap: post within threshold.
+        let mut m = RegressionMonitor::new(8, 4, 1.5);
+        for _ in 0..8 {
+            m.observe(10.0);
+        }
+        m.arm();
+        for _ in 0..4 {
+            m.observe(12.0);
+        }
+        assert!(matches!(m.verdict(), Some(SwapVerdict::Healthy { .. })));
+        // The post window seeded the new baseline.
+        m.arm();
+        for _ in 0..4 {
+            m.observe(30.0);
+        }
+        match m.verdict() {
+            Some(SwapVerdict::Regressed { baseline_ms, .. }) => {
+                assert!((baseline_ms - 12.0).abs() < 1e-9, "baseline re-seeded at 12");
+            }
+            other => panic!("expected regression vs re-seeded baseline, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn monitor_with_no_baseline_never_arms() {
+        let mut m = RegressionMonitor::new(8, 2, 1.2);
+        m.arm();
+        assert!(!m.is_armed());
+        m.observe(5.0);
+        m.observe(5.0);
+        assert!(m.verdict().is_none());
+    }
+
+    #[test]
+    fn concurrent_loads_see_consistent_pairs() {
+        let a = tiny_model();
+        let cell = Arc::new(ModelCell::new(a));
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        std::thread::scope(|s| {
+            let readers: Vec<_> = (0..4)
+                .map(|_| {
+                    let cell = Arc::clone(&cell);
+                    let stop = Arc::clone(&stop);
+                    s.spawn(move || {
+                        let mut seen = 0u64;
+                        while !stop.load(Ordering::Relaxed) {
+                            let (_m, e) = cell.load();
+                            assert!(e >= seen, "epoch went backwards: {e} < {seen}");
+                            seen = e;
+                        }
+                    })
+                })
+                .collect();
+            for _ in 0..50 {
+                cell.publish(tiny_model());
+            }
+            stop.store(true, Ordering::Relaxed);
+            for r in readers {
+                r.join().unwrap();
+            }
+        });
+        assert_eq!(cell.epoch(), 50);
+    }
+}

@@ -31,6 +31,7 @@ use crate::error::panic_message;
 use crate::mcts::{MctsConfig, MctsPlanner};
 use crate::metrics::ServeCounters;
 use crate::model::QPSeeker;
+use crate::registry::ModelCell;
 use crate::session::PlannerSession;
 use qpseeker_engine::optimizer::PgOptimizer;
 use qpseeker_engine::plan::PlanNode;
@@ -39,6 +40,7 @@ use qpseeker_storage::{Database, FaultConfig, FaultInjector, InferenceFault};
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::sync::{Mutex, MutexGuard};
 use std::time::Instant;
 
@@ -582,6 +584,31 @@ impl Supervisor {
         model: Option<&QPSeeker>,
         requests: &[QueryRequest],
     ) -> Vec<SupervisedOutcome> {
+        self.run_inner(db, Source::Fixed(model), requests)
+    }
+
+    /// [`Self::run`] reading the model through a [`ModelCell`] instead of a
+    /// fixed reference: each request loads the cell's current
+    /// `(model, epoch)` pair at the moment it starts planning and finishes
+    /// on that `Arc` even if a publish or rollback lands mid-request
+    /// (zero-downtime hot-swap). A worker that observes an epoch change
+    /// resets its [`PlannerSession`] so no cache entry computed against the
+    /// old weights scores a plan for the new ones.
+    pub fn run_with_cell(
+        &mut self,
+        db: &Database,
+        cell: &ModelCell,
+        requests: &[QueryRequest],
+    ) -> Vec<SupervisedOutcome> {
+        self.run_inner(db, Source::Cell(cell), requests)
+    }
+
+    fn run_inner(
+        &mut self,
+        db: &Database,
+        source: Source<'_>,
+        requests: &[QueryRequest],
+    ) -> Vec<SupervisedOutcome> {
         // Phase 1: admission, in arrival order.
         let mut dispositions: Vec<Option<Disposition>> = Vec::with_capacity(requests.len());
         let mut jobs: Vec<usize> = Vec::new();
@@ -605,9 +632,11 @@ impl Supervisor {
         let shards: Vec<(Vec<(usize, Disposition)>, ServeCounters)> = if workers == 1 {
             let mut sess = PlannerSession::new();
             let mut tally = ServeCounters::default();
+            let mut held: HeldModel = None;
             let served = jobs
                 .iter()
                 .map(|&i| {
+                    let model = source.resolve(&mut held, &mut sess);
                     let d = serve_admitted(
                         db,
                         model,
@@ -626,15 +655,17 @@ impl Supervisor {
             std::thread::scope(|s| {
                 let handles: Vec<_> = (0..workers)
                     .map(|_| {
-                        let (jobs, cursor, breaker, serve_cfg) =
-                            (&jobs, &cursor, &breaker, &serve_cfg);
+                        let (jobs, cursor, breaker, serve_cfg, source) =
+                            (&jobs, &cursor, &breaker, &serve_cfg, source);
                         s.spawn(move || {
                             let mut sess = PlannerSession::new();
                             let mut tally = ServeCounters::default();
+                            let mut held: HeldModel = None;
                             let mut served = Vec::new();
                             loop {
                                 let k = cursor.fetch_add(1, Ordering::Relaxed);
                                 let Some(&i) = jobs.get(k) else { break };
+                                let model = source.resolve(&mut held, &mut sess);
                                 let d = serve_admitted(
                                     db,
                                     model,
@@ -723,6 +754,47 @@ impl Supervisor {
         self.in_flight.push_back(would_finish);
         self.counters.admitted += 1;
         None
+    }
+}
+
+/// The `(model, epoch)` pair a serving worker is currently planning against
+/// when reading through a [`ModelCell`].
+type HeldModel = Option<(Arc<QPSeeker>, u64)>;
+
+/// Where phase 2 gets its model from: a fixed borrow for the whole batch
+/// ([`Supervisor::run`]) or a per-request load from the publication cell
+/// ([`Supervisor::run_with_cell`]).
+#[derive(Clone, Copy)]
+enum Source<'a> {
+    Fixed(Option<&'a QPSeeker>),
+    Cell(&'a ModelCell),
+}
+
+impl<'a> Source<'a> {
+    /// Resolve the model for one request. On the cell path this pins the
+    /// current `Arc` into `held` for the request's duration and resets the
+    /// worker's session when the publication epoch moved since its last
+    /// request.
+    fn resolve<'h>(
+        &self,
+        held: &'h mut HeldModel,
+        sess: &mut PlannerSession,
+    ) -> Option<&'h QPSeeker>
+    where
+        'a: 'h,
+    {
+        match *self {
+            Source::Fixed(m) => m,
+            Source::Cell(cell) => {
+                let (arc, epoch) = cell.load();
+                let stale = held.as_ref().is_none_or(|(_, e)| *e != epoch);
+                if stale {
+                    sess.reset();
+                    *held = Some((arc, epoch));
+                }
+                held.as_ref().map(|(a, _)| a.as_ref())
+            }
+        }
     }
 }
 

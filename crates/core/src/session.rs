@@ -30,6 +30,14 @@ impl PlannerSession {
     pub fn new() -> Self {
         Self::default()
     }
+
+    /// Drop every cached value. Serving workers call this when the
+    /// publication epoch changes under them: featurizations and MCTS
+    /// evaluation-cache entries computed against the old model's weights
+    /// must never score plans for the new one.
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
 }
 
 impl QPSeeker {

@@ -42,16 +42,57 @@ fn size_of(name: &str, scale: f64) -> usize {
     scaled(base, scale)
 }
 
+/// A workload-drift profile: deviations from the canonical IMDb shape that
+/// change the *relative* costs of join orders (the drivers a query optimizer
+/// keys on) without touching the schema. An empty profile reproduces
+/// [`generate`] exactly.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ImdbDrift {
+    /// `(table, multiplier)`: scale a table's row count. Rebalancing the
+    /// fact tables (shrink `cast_info`, grow `movie_info`) flips which join
+    /// inputs are cheap.
+    pub size_mult: Vec<(String, f64)>,
+    /// `(table, column, zipf_exponent)`: replace a foreign key's skew
+    /// exponent. Lowering it flattens a hot-spot fan-out; raising it
+    /// concentrates one.
+    pub fk_skew: Vec<(String, String, f64)>,
+}
+
+impl ImdbDrift {
+    fn size(&self, name: &str, scale: f64) -> usize {
+        let base = size_of(name, scale);
+        match self.size_mult.iter().find(|(t, _)| t == name) {
+            Some((_, m)) => ((base as f64 * m).round() as usize).max(1),
+            None => base,
+        }
+    }
+
+    fn skew(&self, table: &str, col: &str, default: f64) -> f64 {
+        self.fk_skew
+            .iter()
+            .find(|(t, c, _)| t == table && c == col)
+            .map(|(_, _, e)| *e)
+            .unwrap_or(default)
+    }
+}
+
 /// Generate the IMDb-shaped database.
 ///
 /// `scale` multiplies every table's row count; `seed` fixes all content.
 pub fn generate(scale: f64, seed: u64) -> Database {
+    generate_drifted(scale, seed, &ImdbDrift::default())
+}
+
+/// Generate the IMDb-shaped database with a [`ImdbDrift`] profile applied.
+/// Same schema and determinism guarantees as [`generate`]; only row counts
+/// and foreign-key skews move.
+pub fn generate_drifted(scale: f64, seed: u64, drift: &ImdbDrift) -> Database {
     let mut rng = StdRng::seed_from_u64(seed);
-    let n_title = size_of("title", scale);
-    let n_name = size_of("name", scale);
-    let n_char = size_of("char_name", scale);
-    let n_comp = size_of("company_name", scale);
-    let n_kw = size_of("keyword", scale);
+    let n_title = drift.size("title", scale);
+    let n_name = drift.size("name", scale);
+    let n_char = drift.size("char_name", scale);
+    let n_comp = drift.size("company_name", scale);
+    let n_kw = drift.size("keyword", scale);
     let n_info_type = size_of("info_type", scale.max(0.5)).min(113);
     let n_kind = 7;
     let n_ctype = 4;
@@ -66,42 +107,42 @@ pub fn generate(scale: f64, seed: u64) -> Database {
         .int_correlated("episode_nr", "kind_id", 50, 4.0)
         .build();
 
-    let movie_info = TableBuilder::new("movie_info", size_of("movie_info", scale), &mut rng)
+    let movie_info = TableBuilder::new("movie_info", drift.size("movie_info", scale), &mut rng)
         .pk("id")
-        .fk("movie_id", n_title, 1.1)
+        .fk("movie_id", n_title, drift.skew("movie_info", "movie_id", 1.1))
         .int_attr("info_type_id", n_info_type, 1.3)
         .text_attr("info", 800, 2, 1.1)
         .build();
 
     let movie_info_idx =
-        TableBuilder::new("movie_info_idx", size_of("movie_info_idx", scale), &mut rng)
+        TableBuilder::new("movie_info_idx", drift.size("movie_info_idx", scale), &mut rng)
             .pk("id")
-            .fk("movie_id", n_title, 0.9)
+            .fk("movie_id", n_title, drift.skew("movie_info_idx", "movie_id", 0.9))
             .int_attr("info_type_id", n_info_type, 1.2)
             .float_attr("info", 1.0, 10.0) // ratings
             .build();
 
-    let cast_info = TableBuilder::new("cast_info", size_of("cast_info", scale), &mut rng)
+    let cast_info = TableBuilder::new("cast_info", drift.size("cast_info", scale), &mut rng)
         .pk("id")
-        .fk("movie_id", n_title, 1.2)
-        .fk("person_id", n_name, 1.1)
-        .fk("person_role_id", n_char, 1.0)
+        .fk("movie_id", n_title, drift.skew("cast_info", "movie_id", 1.2))
+        .fk("person_id", n_name, drift.skew("cast_info", "person_id", 1.1))
+        .fk("person_role_id", n_char, drift.skew("cast_info", "person_role_id", 1.0))
         .int_attr("role_id", n_role, 1.3)
         .int_attr("nr_order", 40, 1.0)
         .build();
 
     let movie_keyword =
-        TableBuilder::new("movie_keyword", size_of("movie_keyword", scale), &mut rng)
+        TableBuilder::new("movie_keyword", drift.size("movie_keyword", scale), &mut rng)
             .pk("id")
-            .fk("movie_id", n_title, 1.0)
-            .fk("keyword_id", n_kw, 1.4)
+            .fk("movie_id", n_title, drift.skew("movie_keyword", "movie_id", 1.0))
+            .fk("keyword_id", n_kw, drift.skew("movie_keyword", "keyword_id", 1.4))
             .build();
 
     let movie_companies =
-        TableBuilder::new("movie_companies", size_of("movie_companies", scale), &mut rng)
+        TableBuilder::new("movie_companies", drift.size("movie_companies", scale), &mut rng)
             .pk("id")
-            .fk("movie_id", n_title, 1.0)
-            .fk("company_id", n_comp, 1.3)
+            .fk("movie_id", n_title, drift.skew("movie_companies", "movie_id", 1.0))
+            .fk("company_id", n_comp, drift.skew("movie_companies", "company_id", 1.3))
             .int_attr("company_type_id", n_ctype, 0.8)
             .build();
 
@@ -127,15 +168,15 @@ pub fn generate(scale: f64, seed: u64) -> Database {
         .text_attr("keyword", 400, 1, 1.2)
         .build();
 
-    let person_info = TableBuilder::new("person_info", size_of("person_info", scale), &mut rng)
+    let person_info = TableBuilder::new("person_info", drift.size("person_info", scale), &mut rng)
         .pk("id")
-        .fk("person_id", n_name, 1.2)
+        .fk("person_id", n_name, drift.skew("person_info", "person_id", 1.2))
         .int_attr("info_type_id", n_info_type, 1.1)
         .build();
 
-    let aka_name = TableBuilder::new("aka_name", size_of("aka_name", scale), &mut rng)
+    let aka_name = TableBuilder::new("aka_name", drift.size("aka_name", scale), &mut rng)
         .pk("id")
-        .fk("person_id", n_name, 1.3)
+        .fk("person_id", n_name, drift.skew("aka_name", "person_id", 1.3))
         .text_attr("name", 500, 2, 1.0)
         .build();
 
@@ -281,6 +322,59 @@ mod tests {
         let max = *counts.last().unwrap();
         let median = counts[counts.len() / 2];
         assert!(max >= 10 * median.max(1), "max {max} median {median}");
+    }
+
+    #[test]
+    fn empty_drift_is_identity() {
+        let a = generate(0.1, 5);
+        let b = generate_drifted(0.1, 5, &ImdbDrift::default());
+        assert_eq!(a.table("cast_info").unwrap().n_rows(), b.table("cast_info").unwrap().n_rows());
+        assert_eq!(
+            a.table("title").unwrap().col("production_year").data.key(17),
+            b.table("title").unwrap().col("production_year").data.key(17)
+        );
+    }
+
+    /// Per-parent fan-out concentration: max child count over the uniform
+    /// expectation. High for Zipf-hot keys, ~1 for flat ones.
+    fn max_fanout_ratio(db: &Database, child: &str, col: &str, parent: &str) -> f64 {
+        let c = db.table(child).unwrap();
+        let n_parent = db.table(parent).unwrap().n_rows();
+        let mut counts = vec![0usize; n_parent];
+        let data = c.col(col);
+        for i in 0..c.n_rows() {
+            counts[data.data.key(i) as usize] += 1;
+        }
+        *counts.iter().max().unwrap() as f64 / (c.n_rows() as f64 / n_parent as f64)
+    }
+
+    #[test]
+    fn drift_rebalances_sizes_and_flattens_skew() {
+        let drift = ImdbDrift {
+            size_mult: vec![("cast_info".into(), 0.25), ("movie_info".into(), 2.0)],
+            fk_skew: vec![("cast_info".into(), "movie_id".into(), 0.2)],
+        };
+        let base = generate(0.3, 7);
+        let d = generate_drifted(0.3, 7, &drift);
+        assert!(
+            d.table("cast_info").unwrap().n_rows() * 3 < base.table("cast_info").unwrap().n_rows()
+        );
+        assert!(
+            d.table("movie_info").unwrap().n_rows() > base.table("movie_info").unwrap().n_rows()
+        );
+        // Exponent 1.2 → 0.2 flattens the hot-movie fan-out.
+        let before = max_fanout_ratio(&base, "cast_info", "movie_id", "title");
+        let after = max_fanout_ratio(&d, "cast_info", "movie_id", "title");
+        assert!(after < before / 2.0, "fan-out concentration {before:.1} -> {after:.1}");
+        // FK integrity survives the rebalance.
+        for e in &d.catalog.foreign_keys {
+            let child = d.table(&e.from_table).unwrap();
+            let parent_rows = d.table(&e.to_table).unwrap().n_rows() as i64;
+            let col = child.col(&e.from_col);
+            for i in 0..child.n_rows() {
+                assert!((0..parent_rows).contains(&col.data.key(i)));
+            }
+        }
     }
 
     #[test]

@@ -60,6 +60,10 @@ pub struct FaultConfig {
     /// across all clones of the injector) crashes before any bytes reach
     /// disk, as does every write after it.
     pub crash_after_writes: Option<u64>,
+    /// Probability one online fine-tune round produces a candidate with
+    /// non-finite parameters (a poisoned gradient step slipping past the
+    /// per-batch guards). The promotion gate must reject such a candidate.
+    pub finetune_poison_p: f64,
 }
 
 impl Default for FaultConfig {
@@ -76,6 +80,7 @@ impl Default for FaultConfig {
             inference_panic_p: 0.0,
             torn_write_p: 0.0,
             crash_after_writes: None,
+            finetune_poison_p: 0.0,
         }
     }
 }
@@ -95,6 +100,7 @@ impl FaultConfig {
             inference_panic_p: p,
             torn_write_p: p,
             crash_after_writes: None,
+            finetune_poison_p: p,
         }
     }
 }
@@ -219,6 +225,12 @@ impl FaultInjector {
     /// Durable writes attempted so far (shared across clones).
     pub fn durable_writes(&self) -> u64 {
         self.durable_writes.load(Ordering::Relaxed)
+    }
+
+    /// Whether fine-tune round `round` produces a NaN-poisoned candidate
+    /// (decided per round so a later round can succeed where one failed).
+    pub fn finetune_poisoned(&self, round: u64) -> bool {
+        self.trips("finetune_poison", &round.to_string(), self.cfg.finetune_poison_p)
     }
 
     /// Fault decision for one neural-inference attempt.

@@ -1,0 +1,105 @@
+//! Mid-stream workload drift: a canonical before/after database pair whose
+//! *relative* join costs flip, plus a fixed query stream that spans both.
+//!
+//! The drift scenario backs the online-adaptation tests: a model trained on
+//! the pre-drift database keeps serving while the data underneath it shifts
+//! to the post-drift shape. A classical optimizer re-plans from fresh
+//! statistics and adapts instantly; a frozen neural model keeps ranking
+//! plans by the stale shape until it is retrained on post-drift
+//! observations.
+//!
+//! The canonical profile rebalances the fact tables and flips their
+//! foreign-key skews:
+//!
+//! * `cast_info` shrinks 4× and its hot-movie fan-out flattens (Zipf 1.2 →
+//!   0.2) — joins through `cast_info` become cheap;
+//! * `movie_info` doubles and concentrates (1.1 → 2.0) — the previously
+//!   benign `movie_info` join grows a hot spot;
+//! * `movie_keyword` doubles and concentrates (1.0 → 1.8).
+//!
+//! Schema, query templates, and determinism are untouched, so the same
+//! query stream is valid on both databases and the only moving part is
+//! which join orders are cheap.
+
+use crate::gen::synthetic::{self, SyntheticConfig};
+use qpseeker_engine::query::Query;
+use qpseeker_storage::datagen::imdb::{self, ImdbDrift};
+use qpseeker_storage::Database;
+
+/// The canonical drift profile (see module docs).
+pub fn canonical() -> ImdbDrift {
+    ImdbDrift {
+        size_mult: vec![
+            ("cast_info".into(), 0.25),
+            ("movie_info".into(), 2.0),
+            ("movie_keyword".into(), 2.0),
+        ],
+        fk_skew: vec![
+            ("cast_info".into(), "movie_id".into(), 0.2),
+            ("movie_info".into(), "movie_id".into(), 2.0),
+            ("movie_keyword".into(), "movie_id".into(), 1.8),
+        ],
+    }
+}
+
+/// The pre-drift database: the stock IMDb shape.
+pub fn pre_db(scale: f64, seed: u64) -> Database {
+    imdb::generate(scale, seed)
+}
+
+/// The post-drift database: same schema and seed, canonical profile applied.
+pub fn post_db(scale: f64, seed: u64) -> Database {
+    imdb::generate_drifted(scale, seed, &canonical())
+}
+
+/// The fixed query stream, drawn against `db` (use the **pre-drift**
+/// database so the stream itself is constant across the drift point — only
+/// the data underneath moves). Returns `(query, template)` pairs like
+/// [`synthetic::generate_queries`].
+pub fn stream_queries(db: &Database, n: usize, seed: u64) -> Vec<(Query, String)> {
+    synthetic::generate_queries(db, &SyntheticConfig { n_queries: n, seed })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pre_and_post_share_schema() {
+        let pre = pre_db(0.05, 3);
+        let post = post_db(0.05, 3);
+        assert_eq!(pre.catalog.num_tables(), post.catalog.num_tables());
+        assert_eq!(pre.catalog.num_joins(), post.catalog.num_joins());
+        // The rebalance actually happened.
+        assert!(
+            post.table("cast_info").unwrap().n_rows() * 2
+                < pre.table("cast_info").unwrap().n_rows()
+        );
+        assert!(
+            post.table("movie_info").unwrap().n_rows() > pre.table("movie_info").unwrap().n_rows()
+        );
+    }
+
+    #[test]
+    fn stream_is_valid_on_both_sides_of_the_drift() {
+        let pre = pre_db(0.05, 3);
+        let post = post_db(0.05, 3);
+        let stream = stream_queries(&pre, 12, 9);
+        assert_eq!(stream.len(), 12);
+        for (q, _) in &stream {
+            assert!(q.validate(&pre).is_ok());
+            assert!(q.validate(&post).is_ok(), "query {} invalid post-drift", q.id);
+        }
+    }
+
+    #[test]
+    fn stream_is_deterministic() {
+        let pre = pre_db(0.05, 3);
+        let a = stream_queries(&pre, 6, 4);
+        let b = stream_queries(&pre, 6, 4);
+        for ((qa, _), (qb, _)) in a.iter().zip(&b) {
+            assert_eq!(qa.id, qb.id);
+            assert_eq!(qa.num_relations(), qb.num_relations());
+        }
+    }
+}

@@ -1,6 +1,7 @@
 //! Workload generators: Synthetic (MSCN-style), JOB (+light/+extended) and
 //! Stack, over the IMDb- and Stack-shaped databases.
 
+pub mod drift;
 pub mod job;
 pub mod stack;
 pub mod synthetic;

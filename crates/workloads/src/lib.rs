@@ -21,6 +21,7 @@ pub mod gen;
 pub mod qep;
 pub mod sampling;
 
+pub use gen::drift;
 pub use gen::job::{self, JobConfig};
 pub use gen::stack::{self, StackConfig};
 pub use gen::synthetic::{self, SyntheticConfig};

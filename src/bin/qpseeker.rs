@@ -9,6 +9,8 @@
 //! qpseeker run       --db db.json --sql "SELECT COUNT(*) FROM ..."
 //! qpseeker plan      --db db.json --model model.json --sql "..." [--execute]
 //! qpseeker serve     --db db.json --sql "..." | --stream 50 [--model model.json]
+//!                    [--online --state-dir state/ --retrain-every 16]
+//! qpseeker experience show --state-dir state/ [--tail 10]
 //! ```
 //!
 //! Databases and models are plain JSON artifacts, so sessions compose:
@@ -33,25 +35,31 @@ fn main() -> ExitCode {
         eprintln!("{USAGE}");
         return ExitCode::FAILURE;
     };
-    let opts = match parse_opts(rest) {
-        Ok(o) => o,
-        Err(e) => {
-            eprintln!("error: {e}\n\n{USAGE}");
-            return ExitCode::FAILURE;
+    // `experience` takes a positional action ("show") before its options,
+    // so it parses its own argument tail.
+    let result = if cmd == "experience" {
+        experience_cmd(rest)
+    } else {
+        let opts = match parse_opts(rest) {
+            Ok(o) => o,
+            Err(e) => {
+                eprintln!("error: {e}\n\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match cmd.as_str() {
+            "gen-db" => gen_db(&opts),
+            "train" => train(&opts),
+            "explain" => explain(&opts),
+            "run" => run(&opts),
+            "plan" => plan(&opts),
+            "serve" => serve(&opts),
+            "help" | "--help" | "-h" => {
+                println!("{USAGE}");
+                Ok(())
+            }
+            other => Err(format!("unknown command '{other}'")),
         }
-    };
-    let result = match cmd.as_str() {
-        "gen-db" => gen_db(&opts),
-        "train" => train(&opts),
-        "explain" => explain(&opts),
-        "run" => run(&opts),
-        "plan" => plan(&opts),
-        "serve" => serve(&opts),
-        "help" | "--help" | "-h" => {
-            println!("{USAGE}");
-            Ok(())
-        }
-        other => Err(format!("unknown command '{other}'")),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
@@ -88,7 +96,17 @@ commands:
            [--workers <n>] (serve the stream on n planner threads, each
             with its own session over the shared model; default 1)
            [--batch-eval <n>] (MCTS rollouts scored per batched cost-model
-            pass; 1 disables batching; default 16)";
+            pass; 1 disables batching; default 16)
+           --online closes the serving loop: executions are appended to a
+           durable experience WAL under --state-dir, a background fine-tune
+           runs every --retrain-every records, candidates pass a held-out
+           promotion gate before a zero-downtime hot-swap, and a regression
+           monitor rolls a bad swap back automatically (requires --model)
+           [--state-dir <dir>] [--batch <n>] [--retrain-every <n>]
+           [--holdout <n>] [--gate-tol <f64>]
+  experience show --state-dir <dir> [--tail <n>]
+           (dump the experience WAL an online server accumulated:
+            disposition, predicted vs observed runtime per record)";
 
 type Opts = HashMap<String, String>;
 
@@ -406,6 +424,10 @@ fn serve_stream(db: &Arc<Database>, opts: &Opts) -> Result<(), String> {
         })
         .collect();
 
+    if opts.contains_key("online") {
+        return serve_online(db, opts, cfg, model, &requests);
+    }
+
     eprintln!(
         "streaming {n} queries (interval {interval_ms} ms, queue {}, service {} ms, {} worker(s))...",
         cfg.queue_capacity,
@@ -415,22 +437,157 @@ fn serve_stream(db: &Arc<Database>, opts: &Opts) -> Result<(), String> {
     let mut sup = Supervisor::new(cfg);
     let outcomes = sup.run(db, model.as_ref(), &requests);
     for out in &outcomes {
-        match &out.disposition {
-            Disposition::Served(r) => {
-                let path = match r.served_by {
-                    ServedBy::Neural => "neural",
-                    ServedBy::Classical => "classical",
-                };
-                match &r.fallback_reason {
-                    Some(reason) => println!("query {}: {path} ({reason})", out.query_id),
-                    None => println!("query {}: {path}", out.query_id),
-                }
-            }
-            Disposition::Shed(reason) => println!("query {}: shed — {reason}", out.query_id),
-            Disposition::Failed(why) => println!("query {}: failed — {why}", out.query_id),
-        }
+        print_outcome(out);
     }
     println!("{}", sup.counters());
     println!("breaker: {:?}", sup.breaker_state());
+    Ok(())
+}
+
+fn print_outcome(out: &SupervisedOutcome) {
+    match &out.disposition {
+        Disposition::Served(r) => {
+            let path = match r.served_by {
+                ServedBy::Neural => "neural",
+                ServedBy::Classical => "classical",
+            };
+            match &r.fallback_reason {
+                Some(reason) => println!("query {}: {path} ({reason})", out.query_id),
+                None => println!("query {}: {path}", out.query_id),
+            }
+        }
+        Disposition::Shed(reason) => println!("query {}: shed — {reason}", out.query_id),
+        Disposition::Failed(why) => println!("query {}: failed — {why}", out.query_id),
+    }
+}
+
+/// Closed-loop serving: the stream runs through [`OnlinePlanner`] in batches,
+/// so every execution lands in the experience WAL, fine-tune rounds fire as
+/// enough records accumulate, and gated promotions hot-swap the serving model
+/// mid-stream (with automatic rollback if the swap regresses).
+fn serve_online(
+    db: &Arc<Database>,
+    opts: &Opts,
+    sup_cfg: SupervisorConfig,
+    model: Option<QPSeeker>,
+    requests: &[QueryRequest],
+) -> Result<(), String> {
+    let model = model.ok_or("--online requires --model (a fitted base model to fine-tune)")?;
+    let state_dir = opts.get("state-dir").cloned().unwrap_or_else(|| "qpseeker-online".to_string());
+    let batch: usize = opts
+        .get("batch")
+        .map(|s| s.parse())
+        .transpose()
+        .map_err(|e| format!("--batch: {e}"))?
+        .unwrap_or(16);
+    let mut cfg = OnlineConfig::new(&state_dir);
+    cfg.supervisor = sup_cfg;
+    // One fault schedule covers both the serving path and the durable
+    // (WAL/checkpoint/fine-tune) path, so `--chaos` exercises the whole loop.
+    cfg.faults = cfg.supervisor.serve.faults.clone();
+    if let Some(r) = opts.get("retrain-every") {
+        cfg.retrain_every = r.parse().map_err(|e| format!("--retrain-every: {e}"))?;
+    }
+    if let Some(h) = opts.get("holdout") {
+        cfg.holdout = h.parse().map_err(|e| format!("--holdout: {e}"))?;
+    }
+    if let Some(g) = opts.get("gate-tol") {
+        cfg.gate_tolerance = g.parse().map_err(|e| format!("--gate-tol: {e}"))?;
+    }
+    let retrain_every = cfg.retrain_every;
+
+    let mut op = OnlinePlanner::new(cfg, Arc::new(model), db).map_err(|e| e.to_string())?;
+    eprintln!(
+        "online serving {} queries (batches of {}, retrain every {} records, state in {state_dir}, epoch {})...",
+        requests.len(),
+        batch.max(1),
+        retrain_every,
+        op.cell().epoch()
+    );
+    for chunk in requests.chunks(batch.max(1)) {
+        let report = op.run_batch(db, chunk).map_err(|e| e.to_string())?;
+        for out in &report.outcomes {
+            print_outcome(out);
+        }
+        if let Some(decision) = &report.promotion {
+            println!("retrain round: {decision}");
+        }
+        if report.rolled_back {
+            println!("regression detected: rolled back to the previous model");
+        }
+    }
+    println!("{}", op.serve_counters());
+    println!("online: {}", op.counters());
+    println!(
+        "serving epoch: {}  pending experience: {} record(s)",
+        op.cell().epoch(),
+        op.pending_experience()
+    );
+    Ok(())
+}
+
+/// `experience show --state-dir <dir> [--tail <n>]` — dump the experience
+/// WAL an online server accumulated under `<dir>/wal`.
+fn experience_cmd(args: &[String]) -> Result<(), String> {
+    let usage = "usage: experience show --state-dir <dir> [--tail <n>]";
+    let Some((action, rest)) = args.split_first() else {
+        return Err(usage.to_string());
+    };
+    if action != "show" {
+        return Err(format!("unknown experience action '{action}'\n{usage}"));
+    }
+    let opts = parse_opts(rest)?;
+    let state_dir = req(&opts, "state-dir")?;
+    let tail: usize = opts
+        .get("tail")
+        .map(|s| s.parse())
+        .transpose()
+        .map_err(|e| format!("--tail: {e}"))?
+        .unwrap_or(10);
+
+    let wal_dir = std::path::Path::new(state_dir).join("wal");
+    if !wal_dir.is_dir() {
+        return Err(format!(
+            "no experience WAL at {} (has an online server run with --state-dir {state_dir}?)",
+            wal_dir.display()
+        ));
+    }
+    let wal = ExperienceWal::open(wal_dir, 64).map_err(|e| e.to_string())?;
+    let recs = wal.records();
+    let neural = recs.iter().filter(|r| r.disposition == ExperienceDisposition::Neural).count();
+    println!(
+        "{} record(s) in {} ({} neural, {} classical)",
+        recs.len(),
+        wal.dir().display(),
+        neural,
+        recs.len() - neural
+    );
+    if wal.tail_dropped() > 0 {
+        println!("torn tail: {} trailing record(s) truncated on recovery", wal.tail_dropped());
+    }
+    if wal.quarantined() > 0 {
+        println!("quarantined: {} unreadable segment(s) set aside", wal.quarantined());
+    }
+    let start = recs.len().saturating_sub(tail.max(1));
+    if start > 0 {
+        println!("... {start} earlier record(s) elided (raise --tail to show them)");
+    }
+    for r in &recs[start..] {
+        let dispo = match r.disposition {
+            ExperienceDisposition::Neural => "neural",
+            ExperienceDisposition::Classical => "classical",
+        };
+        let predicted = match r.predicted_ms {
+            Some(p) => format!("{p:9.3}"),
+            None => format!("{:>9}", "-"),
+        };
+        println!(
+            "#{:06} {dispo:9} predicted {predicted} ms  observed {:9.3} ms  rows {:6}  query {:016x}",
+            r.seq,
+            r.observed_ms(),
+            r.observed_rows(),
+            r.query_fp
+        );
+    }
     Ok(())
 }

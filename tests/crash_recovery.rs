@@ -227,6 +227,77 @@ fn mismatched_journal_is_rejected_with_a_typed_error() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// The rename in `write_atomic` is only durable once the parent directory
+/// entry is fsynced; `fsync_dir` is that barrier and must report failures as
+/// typed errors instead of swallowing them.
+#[test]
+fn write_atomic_fsyncs_the_parent_directory() {
+    use qpseeker_repro::core::durable::fsync_dir;
+    let dir = scratch("dirsync");
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    // The happy path: file lands and the directory barrier succeeds.
+    let target = dir.join("state.json");
+    write_atomic(&target, "{\"ok\":true}", None).expect("atomic write succeeds");
+    assert_eq!(std::fs::read_to_string(&target).unwrap(), "{\"ok\":true}");
+    fsync_dir(&dir).expect("fsync of an existing directory succeeds");
+    // A missing directory is a typed Io error, not a panic or silent no-op.
+    let err = fsync_dir(&dir.join("no-such-subdir")).expect_err("missing dir must fail");
+    assert!(matches!(err, CoreError::Io { .. }), "expected Io error, got {err}");
+    // And write_atomic into a missing parent surfaces the same typed error.
+    let err = write_atomic(&dir.join("ghost/state.json"), "x", None)
+        .expect_err("missing parent must fail");
+    assert!(matches!(err, CoreError::Io { .. }), "expected Io error, got {err}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A zero-byte newest snapshot — the classic crash-between-create-and-write
+/// artifact on non-atomic filesystems — must be quarantined and recovery
+/// must fall back to the previous intact snapshot.
+#[test]
+fn zero_byte_newest_snapshot_is_quarantined_and_previous_wins() {
+    let dir = scratch("zerobyte");
+    let store = SnapshotStore::create(&dir, "epoch", 8).expect("journal dir");
+    store.write(1, r#"{"epoch":1}"#).expect("write 1");
+    store.write(2, r#"{"epoch":2}"#).expect("write 2");
+    // Plant a zero-byte file as the newest snapshot (seq 3 never finished).
+    std::fs::write(dir.join("epoch-00000003.snap"), "").expect("plant zero-byte file");
+    let rec = store.recover().expect("recovery succeeds").expect("a snapshot survives");
+    assert_eq!(rec.seq, 2, "recovery must fall back to the newest intact snapshot");
+    assert_eq!(rec.payload, r#"{"epoch":2}"#);
+    assert!(
+        dir.join("epoch-00000003.snap.corrupt").exists(),
+        "the zero-byte snapshot must be quarantined for inspection"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// An envelope sealed by a *newer* format version must surface as the typed
+/// version-skew error — telling the operator to upgrade — and never be
+/// misreported as checksum corruption.
+#[test]
+fn newer_envelope_version_is_version_skew_not_corruption() {
+    use qpseeker_repro::core::durable::{open_envelope, seal_envelope, SNAPSHOT_VERSION};
+    let future = SNAPSHOT_VERSION + 1;
+    let sealed = seal_envelope(r#"{"from":"the future"}"#, future);
+    let err = open_envelope(&sealed, SNAPSHOT_VERSION).expect_err("future version must fail");
+    match err {
+        CoreError::CheckpointVersion { found, supported } => {
+            assert_eq!(found, future);
+            assert_eq!(supported, SNAPSHOT_VERSION);
+        }
+        other => panic!("expected CheckpointVersion, got {other}"),
+    }
+    // The same skew through the snapshot store quarantines rather than loads.
+    let dir = scratch("verskew");
+    let store = SnapshotStore::create(&dir, "epoch", 4).expect("journal dir");
+    store.write(1, r#"{"epoch":1}"#).expect("write 1");
+    std::fs::write(dir.join("epoch-00000002.snap"), seal_envelope(r#"{"epoch":2}"#, future))
+        .expect("plant future snapshot");
+    let rec = store.recover().expect("recovery succeeds").expect("a snapshot survives");
+    assert_eq!(rec.seq, 1, "future-version snapshot must not be loaded");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// The acceptance sweep: 100 seeded iterations of snapshot-store writes
 /// under torn-write faults. Recovery must never surface a corrupt payload —
 /// it either returns the newest snapshot that was durably written intact, or
