@@ -1,0 +1,60 @@
+//! Profiling driver: train once, then spin the MCTS hot loop long enough
+//! for a sampling profiler to see it clearly (the perf_trajectory harness
+//! spends most of its wall-clock training, which drowns the search in
+//! profiles). Run under `gprofng collect app` or similar:
+//!
+//! ```text
+//! cargo build --release -p qpseeker-bench --example mcts_profile
+//! gprofng collect app -o /tmp/mcts.er target/release/examples/mcts_profile
+//! gprofng display text -functions /tmp/mcts.er
+//! ```
+
+use qpseeker_core::prelude::*;
+use qpseeker_engine::query::{ColRef, JoinPred, Query, RelRef};
+use qpseeker_workloads::{synthetic, Qep, SyntheticConfig};
+
+fn main() {
+    let db = std::sync::Arc::new(qpseeker_storage::datagen::imdb::generate(0.06, 1));
+    let w = synthetic::generate(&db, &SyntheticConfig { n_queries: 40, seed: 1 });
+    let refs: Vec<&Qep> = w.qeps.iter().collect();
+    let mut model = QPSeeker::new(&db, ModelConfig::small());
+    model.fit(&refs).expect("training succeeds");
+    model.store.warm_packed();
+
+    let queries: Vec<Query> = (0..5)
+        .map(|i| {
+            let mut q = Query::new(format!("star-{i}"));
+            for t in ["title", "movie_info", "movie_keyword", "cast_info", "movie_companies"] {
+                q.relations.push(RelRef::new(t));
+            }
+            for t in ["movie_info", "movie_keyword", "cast_info", "movie_companies"] {
+                q.joins.push(JoinPred {
+                    left: ColRef::new(t, "movie_id"),
+                    right: ColRef::new("title", "id"),
+                });
+            }
+            q
+        })
+        .collect();
+
+    let batch_eval = std::env::var("QPS_BATCH")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| MctsConfig::default().batch_eval);
+    let iters: usize = std::env::var("QPS_ITERS").ok().and_then(|v| v.parse().ok()).unwrap_or(40);
+    eprintln!("training done; entering MCTS loop (batch_eval {batch_eval})");
+    let mut total = 0usize;
+    for _ in 0..iters {
+        for q in &queries {
+            let planner = MctsPlanner::new(MctsConfig {
+                budget_ms: 100.0,
+                max_simulations: usize::MAX,
+                seed: 0xacc5,
+                batch_eval,
+                ..Default::default()
+            });
+            total += planner.plan(&model, q).plans_evaluated;
+        }
+    }
+    eprintln!("plans per 100ms: {:.1}", total as f64 / (iters * queries.len()) as f64);
+}

@@ -1,10 +1,19 @@
 //! Perf-trajectory harness: measures the inference-path hot spots (matmul
 //! kernel, one cost-model forward, MCTS plans-evaluated-per-100ms) and
-//! prints a machine-readable JSON blob for BENCH_PR<N>.json at repo root.
+//! writes a machine-readable BENCH_PR<N>.json at repo root.
 //!
 //! Run with `cargo run --release -p qpseeker-bench --example perf_trajectory`.
+//!
+//! The kernel ISA tier is selected once per process (`qpseeker_nn::isa`),
+//! so per-tier numbers come from re-executing this binary as a child with
+//! `QPS_FORCE_ISA` set (`QPS_BENCH_CHILD=1` marks the child role). Each
+//! child also fingerprints the plans a simulation-capped search chooses —
+//! across forced ISAs and across root-parallel shard counts 1/2/4 — so the
+//! merged report proves the speedups changed throughput, never answers.
 
 use qpseeker_core::prelude::*;
+use qpseeker_engine::query::{ColRef, JoinPred, Query, RelRef};
+use qpseeker_nn::isa::Isa;
 use qpseeker_nn::tensor::Tensor;
 use qpseeker_workloads::{synthetic, Qep, SyntheticConfig};
 use std::hint::black_box;
@@ -24,12 +33,62 @@ fn time_ms(iters: usize, mut f: impl FnMut()) -> f64 {
     best
 }
 
-fn main() {
+fn fnv(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for &b in bytes {
+        h = (h ^ b as u64).wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Standard workload: 5-way star joins over the IMDb FK schema (the same
+/// shape as the optimizer bench), where the left-deep plan space is far
+/// larger than the budget so plans-evaluated measures search throughput.
+fn star_queries() -> Vec<Query> {
+    (0..5)
+        .map(|i| {
+            let mut q = Query::new(format!("star-{i}"));
+            for t in ["title", "movie_info", "movie_keyword", "cast_info", "movie_companies"] {
+                q.relations.push(RelRef::new(t));
+            }
+            for t in ["movie_info", "movie_keyword", "cast_info", "movie_companies"] {
+                q.joins.push(JoinPred {
+                    left: ColRef::new(t, "movie_id"),
+                    right: ColRef::new("title", "id"),
+                });
+            }
+            q
+        })
+        .collect()
+}
+
+/// Combined fingerprint of the plans a deterministic (simulation-capped)
+/// search picks for every star query under `parallel_sims` shards.
+fn plan_fingerprint(model: &QPSeeker, queries: &[Query], parallel_sims: usize) -> u64 {
+    let mut all = String::new();
+    for q in queries {
+        let planner = MctsPlanner::new(MctsConfig {
+            budget_ms: 1e9,
+            max_simulations: 300,
+            seed: 0xacc5,
+            parallel_sims,
+            ..Default::default()
+        });
+        let r = planner.plan(model, q);
+        all.push_str(&format!("{:?}\n", r.plan));
+    }
+    fnv(all.as_bytes())
+}
+
+/// Child role: measure under the ISA tier `QPS_FORCE_ISA` selected and
+/// print one JSON line on stdout.
+fn child() {
     let db = std::sync::Arc::new(qpseeker_storage::datagen::imdb::generate(0.06, 1));
     let w = synthetic::generate(&db, &SyntheticConfig { n_queries: 40, seed: 1 });
     let refs: Vec<&Qep> = w.qeps.iter().collect();
     let mut model = QPSeeker::new(&db, ModelConfig::small());
     model.fit(&refs).expect("training succeeds");
+    model.store.warm_packed();
 
     // --- matmul kernel (sizes shaped like the small-config VAE encoder) ---
     let a = Tensor::from_vec(8, 96, (0..8 * 96).map(|i| (i as f32 * 0.37).sin()).collect());
@@ -51,25 +110,7 @@ fn main() {
     }) / 16.0;
 
     // --- MCTS throughput: plans evaluated under a 100 ms budget ---
-    // Standard workload: 5-way star joins over the IMDb FK schema (the same
-    // shape as the optimizer bench), where the left-deep plan space is far
-    // larger than the budget so plans-evaluated measures search throughput.
-    use qpseeker_engine::query::{ColRef, JoinPred, Query, RelRef};
-    let queries: Vec<Query> = (0..5)
-        .map(|i| {
-            let mut q = Query::new(format!("star-{i}"));
-            for t in ["title", "movie_info", "movie_keyword", "cast_info", "movie_companies"] {
-                q.relations.push(RelRef::new(t));
-            }
-            for t in ["movie_info", "movie_keyword", "cast_info", "movie_companies"] {
-                q.joins.push(JoinPred {
-                    left: ColRef::new(t, "movie_id"),
-                    right: ColRef::new("title", "id"),
-                });
-            }
-            q
-        })
-        .collect();
+    let queries = star_queries();
     let run_mcts = |batch_eval: usize| -> (f64, f64) {
         // Best of 3 repetitions: a wall-clock-budget search measures machine
         // capability, and a background-load hiccup only ever removes plans.
@@ -100,16 +141,96 @@ fn main() {
     let (plans_scalar, _) = run_mcts(1);
     let (plans_per_100ms, sims_per_100ms) = run_mcts(MctsConfig::default().batch_eval);
 
-    let json = format!(
-        "{{\"matmul_8x96x96_ms\": {matmul_ms:.6}, \"predict_ms\": {predict_ms:.4}, \
+    // --- answer invariance: classic plan fingerprint + shard counts ---
+    let fp = plan_fingerprint(&model, &queries, 0);
+    let fp_shards: Vec<u64> =
+        [1usize, 2, 4].iter().map(|&s| plan_fingerprint(&model, &queries, s)).collect();
+    let shards_equal = fp_shards.windows(2).all(|w| w[0] == w[1]);
+    assert!(shards_equal, "shard counts disagreed: {fp_shards:x?}");
+
+    println!(
+        "{{\"isa\": \"{}\", \"matmul_8x96x96_ms\": {matmul_ms:.6}, \
+         \"predict_ms\": {predict_ms:.4}, \
          \"predict_batch16_per_plan_ms\": {predict_batch_ms:.4}, \
          \"mcts_plans_per_100ms\": {plans_per_100ms:.1}, \
          \"mcts_plans_per_100ms_scalar\": {plans_scalar:.1}, \
-         \"mcts_sims_per_100ms\": {sims_per_100ms:.1}}}"
+         \"mcts_sims_per_100ms\": {sims_per_100ms:.1}, \
+         \"plan_fp\": \"{fp:016x}\", \
+         \"plan_fp_shards\": \"{:016x}\", \
+         \"shards_bitwise_equal\": {shards_equal}}}",
+        qpseeker_nn::isa::active().name(),
+        fp_shards[0],
+    );
+}
+
+fn field<'v>(v: &'v serde::Value, name: &str) -> &'v serde::Value {
+    v.as_obj()
+        .and_then(|o| o.iter().find(|(k, _)| k == name))
+        .map(|(_, v)| v)
+        .unwrap_or_else(|| panic!("child JSON missing field {name}"))
+}
+
+fn main() {
+    if std::env::var("QPS_BENCH_CHILD").is_ok() {
+        child();
+        return;
+    }
+
+    // Parent: one child process per CPU-supported tier, worst to best.
+    let exe = std::env::current_exe().expect("current_exe");
+    let mut children: Vec<(Isa, String, serde::Value)> = Vec::new();
+    for isa in Isa::supported() {
+        eprintln!("benchmarking tier {} ...", isa.name());
+        let out = std::process::Command::new(&exe)
+            .env("QPS_FORCE_ISA", isa.name())
+            .env("QPS_BENCH_CHILD", "1")
+            .output()
+            .expect("spawn bench child");
+        assert!(
+            out.status.success(),
+            "child {} failed:\n{}",
+            isa.name(),
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let line = String::from_utf8(out.stdout).expect("child emits utf8").trim().to_string();
+        let parsed = serde_json::parse(&line).expect("child emits one JSON object");
+        children.push((isa, line, parsed));
+    }
+
+    // Answer invariance across tiers: every child must have chosen the
+    // same plans (predicted floats differ across tiers; argmins must not).
+    let fps: Vec<&str> =
+        children.iter().map(|(_, _, v)| field(v, "plan_fp").as_str().unwrap()).collect();
+    let isas_equal = fps.windows(2).all(|w| w[0] == w[1]);
+    assert!(isas_equal, "forced ISAs chose different plans: {fps:?}");
+    let shards_equal = children
+        .iter()
+        .all(|(_, _, v)| matches!(field(v, "shards_bitwise_equal"), serde::Value::Bool(true)));
+
+    let (mut best_isa, mut best_plans) = ("scalar", f64::MIN);
+    for (isa, _, v) in &children {
+        let plans = field(v, "mcts_plans_per_100ms").as_f64().unwrap();
+        if plans > best_plans {
+            best_plans = plans;
+            best_isa = isa.name();
+        }
+    }
+    const PR5_BASELINE: f64 = 5049.6;
+
+    let per_isa: Vec<String> =
+        children.iter().map(|(isa, line, _)| format!("\"{}\": {line}", isa.name())).collect();
+    let json = format!(
+        "{{\"best_isa\": \"{best_isa}\", \"mcts_plans_per_100ms\": {best_plans:.1}, \
+         \"speedup_vs_pr5\": {:.2}, \
+         \"plans_bitwise_equal_across_isas\": {isas_equal}, \
+         \"shards_bitwise_equal\": {shards_equal}, \
+         \"per_isa\": {{{}}}}}",
+        best_plans / PR5_BASELINE,
+        per_isa.join(", "),
     );
     println!("{json}");
     // Persist the trajectory point for the PR record.
-    if let Err(e) = std::fs::write("BENCH_PR5.json", format!("{json}\n")) {
-        eprintln!("warning: could not write BENCH_PR5.json: {e}");
+    if let Err(e) = std::fs::write("BENCH_PR7.json", format!("{json}\n")) {
+        eprintln!("warning: could not write BENCH_PR7.json: {e}");
     }
 }

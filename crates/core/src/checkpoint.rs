@@ -91,6 +91,8 @@ impl Checkpoint {
         }
         model.store = self.store;
         model.normalizer = self.normalizer;
+        // Pack weight panels now so serving never pays for it mid-query.
+        model.store.warm_packed();
         Ok(model)
     }
 }

@@ -7,6 +7,7 @@
 //! sums, TaBERT representations, operator one-hots, and (for leaves) the
 //! EXPLAIN estimates.
 
+use crate::fnv::FnvBuild;
 use crate::normalize::TargetNormalizer;
 use qpseeker_engine::explain::Explain;
 use qpseeker_engine::plan::{PhysicalOp, PlanNode};
@@ -83,18 +84,18 @@ pub struct FeaturizedQep {
 pub struct PlanFeatCache {
     sql: String,
     /// alias → bit index, in `query.relations` order.
-    alias_bits: HashMap<String, u32>,
+    alias_bits: HashMap<String, u32, FnvBuild>,
     /// bit index → alias (for mask iteration).
     aliases: Vec<String>,
     /// subtree alias-bitmask → `[rel one-hot sum ‖ TaBERT repr]` prefix.
-    mid_prefix: HashMap<u64, Vec<f32>>,
+    mid_prefix: HashMap<u64, Vec<f32>, FnvBuild>,
     /// `(alias bit, scan-op one-hot index)` → normalized, scaled estimates.
-    leaf_est: HashMap<(u32, usize), Tensor>,
+    leaf_est: HashMap<(u32, usize), Tensor, FnvBuild>,
 }
 
 impl PlanFeatCache {
     pub fn new(query: &Query) -> Self {
-        let mut alias_bits = HashMap::new();
+        let mut alias_bits = HashMap::default();
         let mut aliases = Vec::with_capacity(query.relations.len());
         for (i, rel) in query.relations.iter().enumerate() {
             alias_bits.insert(rel.alias.clone(), i as u32);
@@ -104,8 +105,8 @@ impl PlanFeatCache {
             sql: query.to_sql(),
             alias_bits,
             aliases,
-            mid_prefix: HashMap::new(),
-            leaf_est: HashMap::new(),
+            mid_prefix: HashMap::default(),
+            leaf_est: HashMap::default(),
         }
     }
 
@@ -124,7 +125,7 @@ pub struct FeatSession {
     /// (table, query-bucket) → TaBERT encoding.
     pub tabert: TabertCache,
     /// Filtered-column representations keyed by `table.col:op:value`.
-    filtered: HashMap<String, Vec<f32>>,
+    filtered: HashMap<String, Vec<f32>, FnvBuild>,
 }
 
 impl FeatSession {

@@ -41,6 +41,7 @@ pub mod encoder;
 pub mod error;
 pub mod experience;
 pub mod featurize;
+pub(crate) mod fnv;
 pub mod mcts;
 pub mod metrics;
 pub mod model;

@@ -9,15 +9,30 @@
 //! Planning stops at a wall-clock budget (paper: 200 ms) or a simulation
 //! cap, whichever comes first.
 
+//! # Root-parallel search (`parallel_sims >= 1`)
+//!
+//! The classic mode grows one tree per query. Root-parallel mode instead
+//! decomposes the query into independent **units** — one per root action
+//! `Start { rel, scan }`, in the same fixed order the classic expansion
+//! enumerates them — and runs a complete subtree search per unit, each with
+//! its own seed and an equal slice of the simulation budget derived from the
+//! *unit index*, never from the thread that happens to run it. Worker threads
+//! pull unit indices off an atomic cursor; merging is a fixed-order argmin
+//! over unit results (strict `<`, earliest unit wins ties). Because no state
+//! is shared between units, the chosen plan and its predicted time are
+//! bitwise identical for any `parallel_sims >= 1` — thread count changes
+//! wall-clock, never the answer.
+
 use crate::featurize::FeatSession;
+use crate::fnv::FnvBuild;
 use crate::model::{Prediction, QPSeeker, QueryContext};
-use crate::session::PlannerSession;
-use qpseeker_engine::inject::LeftDeepSpec;
+use crate::session::{PlannerSession, PlannerShard};
 use qpseeker_engine::plan::{JoinOp, PlanNode, ScanOp};
-use qpseeker_engine::query::Query;
+use qpseeker_engine::query::{JoinPred, Query};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use std::time::Instant;
 
@@ -107,6 +122,102 @@ impl QueryIndex {
     }
 }
 
+/// Per-query prebuilt plan pieces. The search evaluates thousands of
+/// complete plans per query, and materializing each one through
+/// `LeftDeepSpec::compile` re-derived aliases, tables, filters, and join
+/// predicates from strings every time (dozens of heap allocations plus a
+/// full validation walk per plan). This assembler does that derivation once
+/// per query — one ready-to-clone scan leaf per (relation, scan op), and
+/// per relation the join predicates touching it in `query.joins` order —
+/// so assembling a plan is one clone per node plus a bitmask filter.
+///
+/// Output is structurally identical to `compile` on the equivalent spec
+/// (same predicate order, same pushed-down filters); validation is skipped
+/// because the search only emits connected, duplicate-free sequences.
+struct PlanAssembler {
+    /// `scans[rel][op_idx_scan(op)]` — prebuilt scan leaf to clone.
+    scans: Vec<[PlanNode; 3]>,
+    /// `preds[rel]` — `(other_rel, predicate)` for every join predicate
+    /// touching `rel`, in `query.joins` order.
+    preds: Vec<Vec<(u32, JoinPred)>>,
+}
+
+impl PlanAssembler {
+    fn new(query: &Query) -> Self {
+        let scans = query
+            .relations
+            .iter()
+            .map(|r| {
+                ScanOp::ALL.map(|op| {
+                    PlanNode::try_scan(query, &r.alias, op).expect("query relation has a table")
+                })
+            })
+            .collect();
+        let idx_of = |alias: &str| query.relations.iter().position(|r| r.alias == alias);
+        let mut preds: Vec<Vec<(u32, JoinPred)>> = vec![Vec::new(); query.relations.len()];
+        for j in &query.joins {
+            if let (Some(l), Some(r)) = (idx_of(&j.left.alias), idx_of(&j.right.alias)) {
+                if l != r {
+                    preds[l].push((r as u32, j.clone()));
+                    preds[r].push((l as u32, j.clone()));
+                }
+            }
+        }
+        Self { scans, preds }
+    }
+
+    /// Assemble the left-deep plan for a complete action sequence.
+    fn build(&self, actions: &[Action]) -> PlanNode {
+        self.assemble(actions, true)
+    }
+
+    /// Assemble a plan for fast-path **evaluation only**: identical tree,
+    /// operators, aliases, and pushed-down filters, but empty join
+    /// predicate lists. The fast featurization path
+    /// ([`crate::featurize::Featurizer::featurize_plan_fast`]) reads node
+    /// shape, operators, scan aliases/tables, and leaf filters — never
+    /// `preds` — so predictions are bitwise identical to the full build
+    /// while skipping roughly half its allocations (every `JoinPred` is
+    /// four `String` clones). Guarded by the
+    /// `eval_plan_scores_match_full_build` test; callers must fall back to
+    /// [`Self::build`] when the query context takes the slow (tape) path,
+    /// whose EXPLAIN walk does cost join predicates.
+    fn build_for_eval(&self, actions: &[Action]) -> PlanNode {
+        self.assemble(actions, false)
+    }
+
+    fn assemble(&self, actions: &[Action], with_preds: bool) -> PlanNode {
+        let scan = |a: Action| {
+            let (rel, op) = match a {
+                Action::Start { rel, scan } | Action::Extend { rel, scan, .. } => (rel, scan),
+            };
+            self.scans[rel as usize][op_idx_scan(op) as usize].clone()
+        };
+        let first = *actions.first().expect("non-empty action sequence");
+        let mut plan = scan(first);
+        let mut joined = 1u64 << first.rel();
+        for &a in &actions[1..] {
+            let (rel, join) = match a {
+                Action::Extend { rel, join, .. } => (rel, join),
+                Action::Start { .. } => unreachable!("Start actions only open a sequence"),
+            };
+            let preds = if with_preds {
+                self.preds[rel as usize]
+                    .iter()
+                    .filter(|&&(other, _)| joined >> other & 1 == 1)
+                    .map(|(_, p)| p.clone())
+                    .collect()
+            } else {
+                Vec::new()
+            };
+            plan =
+                PlanNode::Join { op: join, left: Box::new(plan), right: Box::new(scan(a)), preds };
+            joined |= 1 << rel;
+        }
+        plan
+    }
+}
+
 /// MCTS configuration.
 #[derive(Debug, Clone)]
 pub struct MctsConfig {
@@ -124,6 +235,13 @@ pub struct MctsConfig {
     /// either way — batching changes only *when* UCT backups land, never
     /// what a plan scores.
     pub batch_eval: usize,
+    /// Simulation shards for root-parallel in-query search. `0` keeps the
+    /// classic single-tree algorithm; `>= 1` decomposes the query into one
+    /// independent subtree search per root action and runs them on up to
+    /// this many threads. The chosen plan is bitwise identical for every
+    /// shard count `>= 1` (see the module docs); `1` is the sequential
+    /// execution of the same decomposition.
+    pub parallel_sims: usize,
 }
 
 impl Default for MctsConfig {
@@ -134,6 +252,7 @@ impl Default for MctsConfig {
             exploration: 0.5,
             seed: 0xacc5,
             batch_eval: 16,
+            parallel_sims: 0,
         }
     }
 }
@@ -167,12 +286,18 @@ struct TreeNode {
 }
 
 impl TreeNode {
-    fn fresh() -> Self {
+    /// A fresh node drawing its (empty) vectors from the scratch pools, so
+    /// a steady stream of simulations re-uses the previous query's node
+    /// allocations instead of growing new ones.
+    fn fresh(
+        untried_pool: &mut Vec<Vec<Action>>,
+        children_pool: &mut Vec<Vec<(Action, usize)>>,
+    ) -> Self {
         Self {
             visits: 0.0,
             reward: 0.0,
-            children: Vec::new(),
-            untried: Vec::new(),
+            children: children_pool.pop().unwrap_or_default(),
+            untried: untried_pool.pop().unwrap_or_default(),
             expanded: false,
             exhausted: false,
         }
@@ -207,7 +332,7 @@ struct Pending {
 #[derive(Default)]
 pub struct MctsScratch {
     nodes: Vec<TreeNode>,
-    eval_cache: HashMap<Vec<u64>, f64>,
+    eval_cache: HashMap<Vec<u64>, f64, FnvBuild>,
     path: Vec<usize>,
     actions: Vec<Action>,
     rollout: Vec<Action>,
@@ -215,12 +340,15 @@ pub struct MctsScratch {
     key_buf: Vec<u64>,
     /// Rollouts queued for the next batched evaluation, deduped by key.
     pending: Vec<Pending>,
-    /// Recycled `Pending`/`Waiter`/cache-key allocations. `key_pool` is
-    /// refilled from the previous query's drained eval cache, so a steady
-    /// stream of queries allocates no new key vectors.
+    /// Recycled `Pending`/`Waiter`/cache-key/tree-node allocations.
+    /// `key_pool` is refilled from the previous query's drained eval cache
+    /// and the node pools from its drained tree, so a steady stream of
+    /// queries allocates no new key or node vectors.
     pending_pool: Vec<Pending>,
     waiter_pool: Vec<Waiter>,
     key_pool: Vec<Vec<u64>>,
+    untried_pool: Vec<Vec<Action>>,
+    children_pool: Vec<Vec<(Action, usize)>>,
     /// Best complete action sequence found so far (scratch for what used to
     /// be a per-improvement `rollout.clone()`).
     best_seq: Vec<Action>,
@@ -265,12 +393,11 @@ impl MctsPlanner {
     ) -> MctsResult {
         assert!(!query.relations.is_empty(), "cannot plan an empty query");
         let start = Instant::now();
-        let mut rng = StdRng::seed_from_u64(self.cfg.seed ^ fnv(query.id.as_bytes()));
-        let mut ctx = model.query_context(query);
-        let feat_sess = &mut sess.feat;
 
         // Single relation: evaluate the three scan choices directly.
         if query.relations.len() == 1 {
+            let mut ctx = model.query_context(query);
+            let feat_sess = &mut sess.feat;
             let alias = query.relations[0].alias.clone();
             let mut best: Option<(PlanNode, f64)> = None;
             let mut evaluated = 0;
@@ -293,232 +420,34 @@ impl MctsPlanner {
         }
 
         let qi = QueryIndex::new(query);
-        // Per-query state cleared on entry; allocations carry over between
-        // queries handled by the same session.
-        let MctsScratch {
-            nodes,
-            eval_cache,
-            path,
-            actions,
-            rollout,
-            acts_buf,
-            key_buf,
-            pending,
-            pending_pool,
-            waiter_pool,
-            key_pool,
-            best_seq,
-            plans_buf,
-            preds_buf,
-        } = &mut sess.mcts;
-        nodes.clear();
-        nodes.push(TreeNode::fresh());
-        // Drain (not clear) so the previous query's key allocations feed
-        // this query's cache inserts.
-        key_pool.extend(eval_cache.drain().map(|(k, _)| k));
-        pending.clear();
-        best_seq.clear();
-        let mut best_t: Option<f64> = None;
-        let mut simulations = 0usize;
-        let mut budget_exhausted = false;
-
-        while simulations < self.cfg.max_simulations {
-            if start.elapsed().as_secs_f64() * 1000.0 > self.cfg.budget_ms {
-                budget_exhausted = true;
-                break;
-            }
-            simulations += 1;
-
-            // ---- Selection + Expansion ----
-            path.clear();
-            path.push(0);
-            actions.clear();
-            let mut joined = 0u64;
-            loop {
-                let node_idx = *path.last().expect("path non-empty");
-                if !nodes[node_idx].expanded {
-                    legal_actions_into(&qi, actions, joined, acts_buf);
-                    nodes[node_idx].untried = acts_buf.clone();
-                    nodes[node_idx].expanded = true;
-                }
-                if actions.len() == qi.n {
-                    break; // complete plan reached inside the tree
-                }
-                if !nodes[node_idx].untried.is_empty() {
-                    // Expansion: take one untried action at random.
-                    let i = rng.gen_range(0..nodes[node_idx].untried.len());
-                    let action = nodes[node_idx].untried.swap_remove(i);
-                    let child = nodes.len();
-                    nodes.push(TreeNode::fresh());
-                    nodes[node_idx].children.push((action, child));
-                    actions.push(action);
-                    joined |= 1 << action.rel();
-                    path.push(child);
-                    break;
-                }
-                // Fully expanded: UCT descent over child indices; `Action`
-                // is `Copy`, so no per-step clone of the child list.
-                // Exhausted subtrees hold no unevaluated plans and are
-                // skipped.
-                let parent_visits = nodes[node_idx].visits.max(1.0);
-                let mut best_child: Option<(f64, Action, usize)> = None;
-                for &(a, c) in &nodes[node_idx].children {
-                    let child = &nodes[c];
-                    if child.exhausted {
-                        continue;
-                    }
-                    let score = if child.visits == 0.0 {
-                        f64::INFINITY
-                    } else {
-                        child.reward / child.visits
-                            + self.cfg.exploration * (parent_visits.ln() / child.visits).sqrt()
-                    };
-                    if best_child.as_ref().map(|(s, _, _)| score > *s).unwrap_or(true) {
-                        best_child = Some((score, a, c));
-                    }
-                }
-                match best_child {
-                    Some((_, a, c)) => {
-                        actions.push(a);
-                        joined |= 1 << a.rel();
-                        path.push(c);
-                    }
-                    None => break, // dead end or fully enumerated subtree
-                }
-            }
-
-            // ---- Rollout ----
-            rollout.clear();
-            rollout.extend_from_slice(actions);
-            let mut roll_joined = joined;
-            while rollout.len() < qi.n {
-                legal_actions_into(&qi, rollout, roll_joined, acts_buf);
-                if acts_buf.is_empty() {
-                    break;
-                }
-                let a = acts_buf[rng.gen_range(0..acts_buf.len())];
-                roll_joined |= 1 << a.rel();
-                rollout.push(a);
-            }
-            if rollout.len() != qi.n {
-                continue; // disconnected: cannot finish from here
-            }
-
-            // ---- Evaluation ----
-            // A cache hit backs up immediately. With batching enabled, a
-            // miss joins the pending queue (deduped by packed signature)
-            // and its backup is deferred until the queue flushes through
-            // one batched forward pass; scores are bitwise identical to
-            // the scalar path either way.
-            key_buf.clear();
-            key_buf.extend(rollout.iter().map(|a| a.pack()));
-            if let Some(&t) = eval_cache.get(key_buf.as_slice()) {
-                apply_eval(nodes, best_seq, &mut best_t, rollout, path, t, true);
-            } else if self.cfg.batch_eval <= 1 {
-                let spec = to_spec(query, rollout);
-                let plan = spec.compile(query).expect("rollout builds a valid plan");
-                let t = model.predict_with_context_in(feat_sess, query, &plan, &mut ctx).runtime_ms;
-                let mut key = key_pool.pop().unwrap_or_default();
-                key.clear();
-                key.extend_from_slice(key_buf);
-                eval_cache.insert(key, t);
-                apply_eval(nodes, best_seq, &mut best_t, rollout, path, t, true);
-            } else {
-                // Virtual loss: count the visit now (reward comes at flush
-                // time) so UCT stops re-selecting a path whose score is
-                // already in flight — without it a large fraction of the
-                // simulations between flushes duplicate queued rollouts.
-                for &ni in path.iter() {
-                    nodes[ni].visits += 1.0;
-                }
-                let mut w = waiter_pool.pop().unwrap_or_default();
-                w.path.clear();
-                w.path.extend_from_slice(path);
-                w.rollout.clear();
-                w.rollout.extend_from_slice(rollout);
-                match pending.iter_mut().find(|p| p.key == *key_buf) {
-                    Some(p) => p.waiters.push(w),
-                    None => {
-                        let mut p = pending_pool.pop().unwrap_or_default();
-                        let mut key = key_pool.pop().unwrap_or_default();
-                        key.clear();
-                        key.extend_from_slice(key_buf);
-                        p.key = key;
-                        p.waiters.push(w);
-                        pending.push(p);
-                    }
-                }
-                if pending.len() >= self.cfg.batch_eval {
-                    flush_pending(
-                        model,
-                        query,
-                        feat_sess,
-                        &mut ctx,
-                        pending,
-                        pending_pool,
-                        waiter_pool,
-                        eval_cache,
-                        nodes,
-                        best_seq,
-                        &mut best_t,
-                        plans_buf,
-                        preds_buf,
-                    );
-                }
-            }
-
-            // ---- Exhaustion propagation (bottom-up along the path) ----
-            // A terminal node and a dead end both have an empty `untried`
-            // and no unexhausted children; an interior node becomes
-            // exhausted once every child is.
-            for &node_idx in path.iter().rev() {
-                let n = &nodes[node_idx];
-                if n.expanded
-                    && n.untried.is_empty()
-                    && n.children.iter().all(|&(_, c)| nodes[c].exhausted)
-                {
-                    nodes[node_idx].exhausted = true;
-                } else {
-                    break;
-                }
-            }
-            if nodes[0].exhausted {
-                // The whole left-deep plan space has been scored; further
-                // simulations cannot find anything new.
-                break;
-            }
+        let asm = PlanAssembler::new(query);
+        if self.cfg.parallel_sims >= 1 {
+            return self.plan_root_parallel(model, query, &qi, &asm, sess, start);
         }
 
-        // Score whatever is still queued (budget cut-offs and exhaustion
-        // exits land here with a partial batch).
-        flush_pending(
+        let mut ctx = model.query_context(query);
+        let mut best_t: Option<f64> = None;
+        let (simulations, budget_exhausted) = run_search(
+            &self.cfg,
             model,
             query,
-            feat_sess,
+            &qi,
+            &asm,
+            &mut sess.feat,
             &mut ctx,
-            pending,
-            pending_pool,
-            waiter_pool,
-            eval_cache,
-            nodes,
-            best_seq,
+            &mut sess.mcts,
+            None,
+            self.cfg.seed ^ fnv(query.id.as_bytes()),
+            self.cfg.max_simulations,
+            start,
             &mut best_t,
-            plans_buf,
-            preds_buf,
         );
-
+        let MctsScratch { eval_cache, acts_buf, best_seq, .. } = &mut sess.mcts;
         if best_t.is_none() {
             // Budget hit before any complete rollout: greedy completion.
-            best_seq.clear();
-            let mut seq_joined = 0u64;
-            while best_seq.len() < qi.n {
-                legal_actions_into(&qi, best_seq, seq_joined, acts_buf);
-                let a = *acts_buf.first().expect("connected query");
-                seq_joined |= 1 << a.rel();
-                best_seq.push(a);
-            }
+            greedy_complete(&qi, best_seq, acts_buf);
         }
-        let plan = to_spec(query, best_seq).compile(query).expect("best plan is valid");
+        let plan = asm.build(best_seq);
         MctsResult {
             plan,
             predicted_ms: best_t.unwrap_or(f64::INFINITY),
@@ -527,20 +456,447 @@ impl MctsPlanner {
             budget_exhausted,
         }
     }
+
+    /// Root-parallel planning (see the module docs): one independent
+    /// subtree search per root action, sharded over up to
+    /// `cfg.parallel_sims` threads, merged by a fixed-order argmin. Bitwise
+    /// identical to itself for every `parallel_sims >= 1`.
+    fn plan_root_parallel(
+        &self,
+        model: &QPSeeker,
+        query: &Query,
+        qi: &QueryIndex,
+        asm: &PlanAssembler,
+        sess: &mut PlannerSession,
+        start: Instant,
+    ) -> MctsResult {
+        let mut units = Vec::new();
+        legal_actions_into(qi, &[], 0, &mut units);
+        let n_units = units.len();
+        debug_assert!(n_units > 0);
+        let threads = self.cfg.parallel_sims.min(n_units).max(1);
+        if sess.shards.len() < threads {
+            sess.shards.resize_with(threads, PlannerShard::default);
+        }
+        // Budget slice and seed are functions of the *unit index* alone, so
+        // which thread runs a unit can never influence its search.
+        let base = self.cfg.max_simulations / n_units;
+        let rem = self.cfg.max_simulations % n_units;
+        let query_seed = self.cfg.seed ^ fnv(query.id.as_bytes());
+        let cfg = &self.cfg;
+        let units = &units;
+        let cursor = &AtomicUsize::new(0);
+        let per_thread: Vec<Vec<(usize, UnitResult)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = sess
+                .shards
+                .iter_mut()
+                .take(threads)
+                .map(|shard| {
+                    scope.spawn(move || {
+                        // One query encoding per thread, reused across every
+                        // unit this thread happens to pull.
+                        let mut ctx = model.query_context(query);
+                        let mut out = Vec::new();
+                        loop {
+                            let u = cursor.fetch_add(1, Ordering::Relaxed);
+                            if u >= n_units {
+                                break;
+                            }
+                            let seed =
+                                query_seed ^ (u as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+                            let mut best_t = None;
+                            let (simulations, budget_exhausted) = run_search(
+                                cfg,
+                                model,
+                                query,
+                                qi,
+                                asm,
+                                &mut shard.feat,
+                                &mut ctx,
+                                &mut shard.mcts,
+                                Some(units[u]),
+                                seed,
+                                base + usize::from(u < rem),
+                                start,
+                                &mut best_t,
+                            );
+                            out.push((
+                                u,
+                                UnitResult {
+                                    best_seq: shard.mcts.best_seq.clone(),
+                                    best_t,
+                                    simulations,
+                                    // Unit plan sets are disjoint (plans
+                                    // differ in their first action), so
+                                    // per-unit cache sizes sum exactly.
+                                    plans_evaluated: shard.mcts.eval_cache.len(),
+                                    budget_exhausted,
+                                },
+                            ));
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("mcts shard thread panicked")).collect()
+        });
+
+        // Deterministic merge: unit-index order, strict `<` so the earliest
+        // unit wins predicted-time ties regardless of scheduling.
+        let mut results: Vec<(usize, UnitResult)> = per_thread.into_iter().flatten().collect();
+        results.sort_by_key(|&(u, _)| u);
+        let mut simulations = 0usize;
+        let mut plans_evaluated = 0usize;
+        let mut budget_exhausted = false;
+        let mut best: Option<(f64, usize)> = None;
+        for (i, (_, r)) in results.iter().enumerate() {
+            simulations += r.simulations;
+            plans_evaluated += r.plans_evaluated;
+            budget_exhausted |= r.budget_exhausted;
+            if let Some(t) = r.best_t {
+                if best.map(|(bt, _)| t < bt).unwrap_or(true) {
+                    best = Some((t, i));
+                }
+            }
+        }
+        match best {
+            Some((t, i)) => MctsResult {
+                plan: asm.build(&results[i].1.best_seq),
+                predicted_ms: t,
+                simulations,
+                plans_evaluated,
+                budget_exhausted,
+            },
+            None => {
+                // Budget hit before any unit completed a rollout.
+                let MctsScratch { acts_buf, best_seq, .. } = &mut sess.mcts;
+                greedy_complete(qi, best_seq, acts_buf);
+                MctsResult {
+                    plan: asm.build(best_seq),
+                    predicted_ms: f64::INFINITY,
+                    simulations,
+                    plans_evaluated,
+                    budget_exhausted,
+                }
+            }
+        }
+    }
+}
+
+/// Outcome of one root-parallel unit search.
+struct UnitResult {
+    best_seq: Vec<Action>,
+    best_t: Option<f64>,
+    simulations: usize,
+    plans_evaluated: usize,
+    budget_exhausted: bool,
+}
+
+/// Grow one search tree to completion: the classic whole-query algorithm
+/// when `root_prefix` is `None`, or — in root-parallel mode — the subtree
+/// rooted *after* `root_prefix`, which every rollout then starts with. All
+/// mutable state lives in `scratch` (cleared on entry, allocations
+/// recycled); on return `scratch.best_seq` holds the best complete action
+/// sequence found (empty if no rollout finished) and `scratch.eval_cache`
+/// exactly the distinct plans this search scored. Returns
+/// `(simulations, budget_exhausted)`.
+#[allow(clippy::too_many_arguments)]
+fn run_search(
+    cfg: &MctsConfig,
+    model: &QPSeeker,
+    query: &Query,
+    qi: &QueryIndex,
+    asm: &PlanAssembler,
+    feat_sess: &mut FeatSession,
+    ctx: &mut QueryContext,
+    scratch: &mut MctsScratch,
+    root_prefix: Option<Action>,
+    seed: u64,
+    max_simulations: usize,
+    start: Instant,
+    best_t: &mut Option<f64>,
+) -> (usize, bool) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    // With a root prefix, the tree root represents the state *after* that
+    // action: path index `depth` corresponds to `depth + off` actions taken,
+    // and reward attribution must compare action prefixes at that offset.
+    let off = usize::from(root_prefix.is_some());
+    // Per-query state cleared on entry; allocations carry over between
+    // queries handled by the same session.
+    let MctsScratch {
+        nodes,
+        eval_cache,
+        path,
+        actions,
+        rollout,
+        acts_buf: _,
+        key_buf,
+        pending,
+        pending_pool,
+        waiter_pool,
+        key_pool,
+        best_seq,
+        plans_buf,
+        preds_buf,
+        untried_pool,
+        children_pool,
+    } = scratch;
+    // Drain (not clear) the previous tree so its node vectors feed this
+    // search's expansions.
+    for mut n in nodes.drain(..) {
+        n.untried.clear();
+        untried_pool.push(n.untried);
+        n.children.clear();
+        children_pool.push(n.children);
+    }
+    nodes.push(TreeNode::fresh(untried_pool, children_pool));
+    // Drain (not clear) so the previous search's key allocations feed
+    // this search's cache inserts.
+    key_pool.extend(eval_cache.drain().map(|(k, _)| k));
+    pending.clear();
+    best_seq.clear();
+    let mut simulations = 0usize;
+    let mut budget_exhausted = false;
+
+    while simulations < max_simulations {
+        if start.elapsed().as_secs_f64() * 1000.0 > cfg.budget_ms {
+            budget_exhausted = true;
+            break;
+        }
+        simulations += 1;
+
+        // ---- Selection + Expansion ----
+        path.clear();
+        path.push(0);
+        actions.clear();
+        let mut joined = 0u64;
+        if let Some(a) = root_prefix {
+            actions.push(a);
+            joined = 1 << a.rel();
+        }
+        loop {
+            let node_idx = *path.last().expect("path non-empty");
+            if !nodes[node_idx].expanded {
+                legal_actions_into(qi, actions, joined, &mut nodes[node_idx].untried);
+                nodes[node_idx].expanded = true;
+            }
+            if actions.len() == qi.n {
+                break; // complete plan reached inside the tree
+            }
+            if !nodes[node_idx].untried.is_empty() {
+                // Expansion: take one untried action at random.
+                let i = rng.gen_range(0..nodes[node_idx].untried.len());
+                let action = nodes[node_idx].untried.swap_remove(i);
+                let child = nodes.len();
+                nodes.push(TreeNode::fresh(untried_pool, children_pool));
+                nodes[node_idx].children.push((action, child));
+                actions.push(action);
+                joined |= 1 << action.rel();
+                path.push(child);
+                break;
+            }
+            // Fully expanded: UCT descent over child indices; `Action`
+            // is `Copy`, so no per-step clone of the child list.
+            // Exhausted subtrees hold no unevaluated plans and are
+            // skipped.
+            let parent_visits = nodes[node_idx].visits.max(1.0);
+            let mut best_child: Option<(f64, Action, usize)> = None;
+            for &(a, c) in &nodes[node_idx].children {
+                let child = &nodes[c];
+                if child.exhausted {
+                    continue;
+                }
+                let score = if child.visits == 0.0 {
+                    f64::INFINITY
+                } else {
+                    child.reward / child.visits
+                        + cfg.exploration * (parent_visits.ln() / child.visits).sqrt()
+                };
+                if best_child.as_ref().map(|(s, _, _)| score > *s).unwrap_or(true) {
+                    best_child = Some((score, a, c));
+                }
+            }
+            match best_child {
+                Some((_, a, c)) => {
+                    actions.push(a);
+                    joined |= 1 << a.rel();
+                    path.push(c);
+                }
+                None => break, // dead end or fully enumerated subtree
+            }
+        }
+
+        // ---- Rollout ----
+        // Uniform random completion, sampled directly from the frontier
+        // bitmask. Each frontier relation contributes exactly 3 scans x 3
+        // joins in the flat legal-action list, so drawing one index in
+        // `0..popcount * 9` and decoding it picks the same action — with
+        // the same RNG draw — as indexing the materialized list, without
+        // building it.
+        rollout.clear();
+        rollout.extend_from_slice(actions);
+        let mut roll_joined = joined;
+        while rollout.len() < qi.n {
+            let a = if rollout.is_empty() {
+                let i = rng.gen_range(0..qi.n * 3);
+                Action::Start { rel: (i / 3) as u32, scan: ScanOp::ALL[i % 3] }
+            } else {
+                let frontier = qi.frontier(roll_joined);
+                if frontier == 0 {
+                    break;
+                }
+                let i = rng.gen_range(0..frontier.count_ones() as usize * 9);
+                let mut rest = frontier;
+                for _ in 0..i / 9 {
+                    rest &= rest - 1;
+                }
+                let rel = rest.trailing_zeros();
+                Action::Extend { rel, scan: ScanOp::ALL[i % 9 / 3], join: JoinOp::ALL[i % 3] }
+            };
+            roll_joined |= 1 << a.rel();
+            rollout.push(a);
+        }
+        if rollout.len() != qi.n {
+            continue; // disconnected: cannot finish from here
+        }
+
+        // ---- Evaluation ----
+        // A cache hit backs up immediately. With batching enabled, a
+        // miss joins the pending queue (deduped by packed signature)
+        // and its backup is deferred until the queue flushes through
+        // one batched forward pass; scores are bitwise identical to
+        // the scalar path either way.
+        key_buf.clear();
+        key_buf.extend(rollout.iter().map(|a| a.pack()));
+        if let Some(&t) = eval_cache.get(key_buf.as_slice()) {
+            apply_eval(nodes, best_seq, best_t, rollout, path, off, t, true);
+        } else if cfg.batch_eval <= 1 {
+            let plan = if ctx.fast { asm.build_for_eval(rollout) } else { asm.build(rollout) };
+            let t = model.predict_with_context_in(feat_sess, query, &plan, ctx).runtime_ms;
+            let mut key = key_pool.pop().unwrap_or_default();
+            key.clear();
+            key.extend_from_slice(key_buf);
+            eval_cache.insert(key, t);
+            apply_eval(nodes, best_seq, best_t, rollout, path, off, t, true);
+        } else {
+            // Virtual loss: count the visit now (reward comes at flush
+            // time) so UCT stops re-selecting a path whose score is
+            // already in flight — without it a large fraction of the
+            // simulations between flushes duplicate queued rollouts.
+            for &ni in path.iter() {
+                nodes[ni].visits += 1.0;
+            }
+            let mut w = waiter_pool.pop().unwrap_or_default();
+            w.path.clear();
+            w.path.extend_from_slice(path);
+            w.rollout.clear();
+            w.rollout.extend_from_slice(rollout);
+            match pending.iter_mut().find(|p| p.key == *key_buf) {
+                Some(p) => p.waiters.push(w),
+                None => {
+                    let mut p = pending_pool.pop().unwrap_or_default();
+                    let mut key = key_pool.pop().unwrap_or_default();
+                    key.clear();
+                    key.extend_from_slice(key_buf);
+                    p.key = key;
+                    p.waiters.push(w);
+                    pending.push(p);
+                }
+            }
+            if pending.len() >= cfg.batch_eval {
+                flush_pending(
+                    model,
+                    query,
+                    asm,
+                    feat_sess,
+                    ctx,
+                    pending,
+                    pending_pool,
+                    waiter_pool,
+                    eval_cache,
+                    nodes,
+                    best_seq,
+                    best_t,
+                    off,
+                    plans_buf,
+                    preds_buf,
+                );
+            }
+        }
+
+        // ---- Exhaustion propagation (bottom-up along the path) ----
+        // A terminal node and a dead end both have an empty `untried`
+        // and no unexhausted children; an interior node becomes
+        // exhausted once every child is.
+        for &node_idx in path.iter().rev() {
+            let n = &nodes[node_idx];
+            if n.expanded
+                && n.untried.is_empty()
+                && n.children.iter().all(|&(_, c)| nodes[c].exhausted)
+            {
+                nodes[node_idx].exhausted = true;
+            } else {
+                break;
+            }
+        }
+        if nodes[0].exhausted {
+            // The whole reachable plan space has been scored; further
+            // simulations cannot find anything new.
+            break;
+        }
+    }
+
+    // Score whatever is still queued (budget cut-offs and exhaustion
+    // exits land here with a partial batch).
+    flush_pending(
+        model,
+        query,
+        asm,
+        feat_sess,
+        ctx,
+        pending,
+        pending_pool,
+        waiter_pool,
+        eval_cache,
+        nodes,
+        best_seq,
+        best_t,
+        off,
+        plans_buf,
+        preds_buf,
+    );
+    (simulations, budget_exhausted)
+}
+
+/// Deterministic greedy plan completion for budget cut-offs that land
+/// before any rollout finished: always take the first legal action.
+fn greedy_complete(qi: &QueryIndex, best_seq: &mut Vec<Action>, acts_buf: &mut Vec<Action>) {
+    best_seq.clear();
+    let mut joined = 0u64;
+    while best_seq.len() < qi.n {
+        legal_actions_into(qi, best_seq, joined, acts_buf);
+        let a = *acts_buf.first().expect("connected query");
+        joined |= 1 << a.rel();
+        best_seq.push(a);
+    }
 }
 
 /// Record one scored rollout: update the incumbent best, then back the
 /// score up the tree path. Reward = 1 when the node's action prefix lies
-/// on the best plan; the in-tree prefix equals `rollout[..depth]` for
-/// every depth on `path`, so the waiter needs no separate `actions` copy.
-/// `count_visit` is false for deferred (batched) backups, whose visit was
-/// already recorded as a virtual loss at enqueue time.
+/// on the best plan; the in-tree prefix equals `rollout[..depth + off]`
+/// for every depth on `path` (`off` is 1 in root-parallel unit searches,
+/// whose tree root already stands for one action), so the waiter needs no
+/// separate `actions` copy. `count_visit` is false for deferred (batched)
+/// backups, whose visit was already recorded as a virtual loss at enqueue
+/// time.
+#[allow(clippy::too_many_arguments)]
 fn apply_eval(
     nodes: &mut [TreeNode],
     best_seq: &mut Vec<Action>,
     best_t: &mut Option<f64>,
     rollout: &[Action],
     path: &[usize],
+    off: usize,
     t: f64,
     count_visit: bool,
 ) {
@@ -550,6 +906,7 @@ fn apply_eval(
         best_seq.extend_from_slice(rollout);
     }
     for (depth, &node_idx) in path.iter().enumerate() {
+        let depth = depth + off;
         if count_visit {
             nodes[node_idx].visits += 1.0;
         }
@@ -567,15 +924,17 @@ fn apply_eval(
 fn flush_pending(
     model: &QPSeeker,
     query: &Query,
+    asm: &PlanAssembler,
     feat_sess: &mut FeatSession,
     ctx: &mut QueryContext,
     pending: &mut Vec<Pending>,
     pending_pool: &mut Vec<Pending>,
     waiter_pool: &mut Vec<Waiter>,
-    eval_cache: &mut HashMap<Vec<u64>, f64>,
+    eval_cache: &mut HashMap<Vec<u64>, f64, FnvBuild>,
     nodes: &mut [TreeNode],
     best_seq: &mut Vec<Action>,
     best_t: &mut Option<f64>,
+    off: usize,
     plans_buf: &mut Vec<PlanNode>,
     preds_buf: &mut Vec<Prediction>,
 ) {
@@ -584,8 +943,8 @@ fn flush_pending(
     }
     plans_buf.clear();
     for p in pending.iter() {
-        let spec = to_spec(query, &p.waiters[0].rollout);
-        plans_buf.push(spec.compile(query).expect("rollout builds a valid plan"));
+        let rollout = &p.waiters[0].rollout;
+        plans_buf.push(if ctx.fast { asm.build_for_eval(rollout) } else { asm.build(rollout) });
     }
     let plan_refs: Vec<&PlanNode> = plans_buf.iter().collect();
     model.predict_batch_with_context_in(feat_sess, query, &plan_refs, ctx, preds_buf);
@@ -594,7 +953,7 @@ fn flush_pending(
         let t = pred.runtime_ms;
         eval_cache.insert(std::mem::take(&mut p.key), t);
         for w in p.waiters.drain(..) {
-            apply_eval(nodes, best_seq, best_t, &w.rollout, &w.path, t, false);
+            apply_eval(nodes, best_seq, best_t, &w.rollout, &w.path, off, t, false);
             waiter_pool.push(w);
         }
     }
@@ -624,22 +983,6 @@ fn legal_actions_into(qi: &QueryIndex, actions: &[Action], joined: u64, out: &mu
             }
         }
     }
-}
-
-fn to_spec(query: &Query, actions: &[Action]) -> LeftDeepSpec {
-    let mut scans = Vec::with_capacity(actions.len());
-    let mut joins = Vec::with_capacity(actions.len().saturating_sub(1));
-    for a in actions {
-        let alias = query.relations[a.rel() as usize].alias.clone();
-        match a {
-            Action::Start { scan, .. } => scans.push((alias, *scan)),
-            Action::Extend { scan, join, .. } => {
-                scans.push((alias, *scan));
-                joins.push(*join);
-            }
-        }
-    }
-    LeftDeepSpec { scans, joins }
 }
 
 fn fnv(bytes: &[u8]) -> u64 {
@@ -783,6 +1126,127 @@ mod tests {
         assert_eq!(batched.plans_evaluated, 54);
         assert_eq!(scalar.plan, batched.plan);
         assert_eq!(scalar.predicted_ms.to_bits(), batched.predicted_ms.to_bits());
+    }
+
+    #[test]
+    fn root_parallel_bitwise_identical_for_any_shard_count() {
+        // The decomposition is by unit index, not by thread: 1, 2, and 4
+        // shards must produce the same plan, the same predicted time to the
+        // bit, and the same simulation count.
+        let db = std::sync::Arc::new(imdb::generate(0.05, 1));
+        let model = fitted_model(&db);
+        let q = three_way(&db);
+        let base = MctsConfig { budget_ms: 1e9, max_simulations: 240, ..Default::default() };
+        let runs: Vec<MctsResult> = [1usize, 2, 4]
+            .iter()
+            .map(|&n| {
+                MctsPlanner::new(MctsConfig { parallel_sims: n, ..base.clone() }).plan(&model, &q)
+            })
+            .collect();
+        for r in &runs[1..] {
+            assert_eq!(runs[0].plan, r.plan);
+            assert_eq!(runs[0].predicted_ms.to_bits(), r.predicted_ms.to_bits());
+            assert_eq!(runs[0].simulations, r.simulations);
+            assert_eq!(runs[0].plans_evaluated, r.plans_evaluated);
+        }
+        assert!(runs[0].plan.validate(&q).is_ok());
+        assert!(runs[0].plan.is_left_deep());
+    }
+
+    #[test]
+    fn root_parallel_matches_classic_on_exhausted_space() {
+        // Two relations: 54 left-deep plans. Both modes fully enumerate the
+        // space, so the argmin — and its bitwise predicted time — must
+        // match even though the search order differs.
+        let db = std::sync::Arc::new(imdb::generate(0.05, 1));
+        let model = fitted_model(&db);
+        let mut q = Query::new("two-way-rp");
+        q.relations = vec![RelRef::new("title"), RelRef::new("movie_info")];
+        q.joins = vec![JoinPred {
+            left: ColRef::new("movie_info", "movie_id"),
+            right: ColRef::new("title", "id"),
+        }];
+        let cfg = MctsConfig { budget_ms: 1e9, max_simulations: 10_000, ..Default::default() };
+        let classic = MctsPlanner::new(cfg.clone()).plan(&model, &q);
+        let parallel = MctsPlanner::new(MctsConfig { parallel_sims: 2, ..cfg }).plan(&model, &q);
+        assert_eq!(classic.plans_evaluated, 54);
+        assert_eq!(parallel.plans_evaluated, 54);
+        assert_eq!(classic.plan, parallel.plan);
+        assert_eq!(classic.predicted_ms.to_bits(), parallel.predicted_ms.to_bits());
+    }
+
+    #[test]
+    fn plan_assembler_matches_compiled_spec() {
+        // The assembler must produce exactly what `LeftDeepSpec::compile`
+        // produced for the same action sequence — same tree, same pushed
+        // filters, same join-predicate order — since every bitwise
+        // determinism guarantee is stated in terms of the emitted plan.
+        use qpseeker_engine::inject::LeftDeepSpec;
+        let db = std::sync::Arc::new(imdb::generate(0.05, 1));
+        let q = three_way(&db);
+        let asm = PlanAssembler::new(&q);
+        let seqs: Vec<Vec<Action>> = vec![
+            vec![
+                Action::Start { rel: 0, scan: ScanOp::SeqScan },
+                Action::Extend { rel: 1, scan: ScanOp::IndexScan, join: JoinOp::HashJoin },
+                Action::Extend { rel: 2, scan: ScanOp::BitmapIndexScan, join: JoinOp::MergeJoin },
+            ],
+            vec![
+                Action::Start { rel: 2, scan: ScanOp::IndexScan },
+                Action::Extend { rel: 0, scan: ScanOp::SeqScan, join: JoinOp::NestedLoopJoin },
+                Action::Extend { rel: 1, scan: ScanOp::SeqScan, join: JoinOp::HashJoin },
+            ],
+        ];
+        for actions in &seqs {
+            let spec = LeftDeepSpec {
+                scans: actions
+                    .iter()
+                    .map(|a| {
+                        let scan = match *a {
+                            Action::Start { scan, .. } | Action::Extend { scan, .. } => scan,
+                        };
+                        (q.relations[a.rel() as usize].alias.clone(), scan)
+                    })
+                    .collect(),
+                joins: actions
+                    .iter()
+                    .filter_map(|a| match *a {
+                        Action::Extend { join, .. } => Some(join),
+                        Action::Start { .. } => None,
+                    })
+                    .collect(),
+            };
+            let compiled = spec.compile(&q).expect("sequence compiles");
+            assert_eq!(asm.build(actions), compiled);
+        }
+    }
+
+    #[test]
+    fn eval_plan_scores_match_full_build() {
+        // The search scores `build_for_eval` plans (no join predicates)
+        // but returns and reports `build` plans. That is only sound while
+        // the fast featurization path ignores `preds`; this test turns the
+        // invariant into a loud failure if featurization ever starts
+        // reading them.
+        let db = std::sync::Arc::new(imdb::generate(0.05, 1));
+        let model = fitted_model(&db);
+        let q = three_way(&db);
+        let asm = PlanAssembler::new(&q);
+        let actions = [
+            Action::Start { rel: 0, scan: ScanOp::SeqScan },
+            Action::Extend { rel: 1, scan: ScanOp::IndexScan, join: JoinOp::HashJoin },
+            Action::Extend { rel: 2, scan: ScanOp::SeqScan, join: JoinOp::MergeJoin },
+        ];
+        let mut sess = model.lock_fallback_session();
+        let mut ctx = model.query_context(&q);
+        assert!(ctx.fast, "three-way query must take the fast path");
+        let full = model
+            .predict_with_context_in(&mut sess.feat, &q, &asm.build(&actions), &mut ctx)
+            .runtime_ms;
+        let eval = model
+            .predict_with_context_in(&mut sess.feat, &q, &asm.build_for_eval(&actions), &mut ctx)
+            .runtime_ms;
+        assert_eq!(full.to_bits(), eval.to_bits());
     }
 
     #[test]

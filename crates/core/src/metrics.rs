@@ -2,6 +2,7 @@
 //! used throughout the paper's Tables 2-5), plus the per-outcome counters
 //! the supervised serving loop reports.
 
+use qpseeker_nn::isa::Isa;
 use serde::{Deserialize, Serialize};
 
 /// Per-outcome counters for a supervised serving loop
@@ -10,6 +11,10 @@ use serde::{Deserialize, Serialize};
 /// load went; the breaker counters expose the circuit's history.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ServeCounters {
+    /// The kernel ISA tier this process selected at startup (see
+    /// [`qpseeker_nn::isa::active`]); surfaced here so serving metrics
+    /// record which code path produced the numbers.
+    pub isa: Isa,
     /// Queries admitted past the queue and actually served.
     pub admitted: usize,
     /// Admitted queries served by the neural planner.
@@ -51,7 +56,8 @@ impl std::fmt::Display for ServeCounters {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "served={} (neural={} classical={} failed={}) shed={} (queue_full={} deadline={} expired={}) breaker(trips={} recoveries={} probes={})",
+            "isa={} served={} (neural={} classical={} failed={}) shed={} (queue_full={} deadline={} expired={}) breaker(trips={} recoveries={} probes={})",
+            self.isa.name(),
             self.admitted,
             self.served_neural,
             self.served_classical,
@@ -219,6 +225,7 @@ mod tests {
     #[test]
     fn serve_counters_partition_the_stream() {
         let c = ServeCounters {
+            isa: Isa::default(),
             admitted: 10,
             served_neural: 6,
             served_classical: 3,

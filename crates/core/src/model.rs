@@ -785,7 +785,9 @@ pub struct QueryContext {
     plan_cache: PlanFeatCache,
     /// False when the fast path cannot serve this query (toggle off, or
     /// more than 64 relations); predictions then take the tape path.
-    fast: bool,
+    /// Crate-visible so the MCTS loop can pick the matching plan
+    /// materialization (see `PlanAssembler::build_for_eval`).
+    pub(crate) fast: bool,
     /// Reusable featurization buffer for the batched prediction path, so a
     /// steady stream of batch flushes allocates no new `Vec<FeatNode>`s.
     feat_batch: Vec<FeatNode>,

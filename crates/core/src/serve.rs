@@ -545,9 +545,11 @@ impl Supervisor {
         self.breaker.state()
     }
 
-    /// Accumulated per-outcome counters.
+    /// Accumulated per-outcome counters, stamped with the process's active
+    /// kernel ISA tier.
     pub fn counters(&self) -> ServeCounters {
         let mut c = self.counters;
+        c.isa = qpseeker_nn::isa::active();
         c.breaker_trips = self.breaker.trips;
         c.breaker_recoveries = self.breaker.recoveries;
         c.probes = self.breaker.probes;

@@ -24,6 +24,22 @@ pub struct PlannerSession {
     pub feat: FeatSession,
     /// MCTS tree arena, evaluation cache, and reusable buffers.
     pub mcts: MctsScratch,
+    /// Per-worker state for root-parallel in-query search
+    /// (`MctsConfig::parallel_sims >= 1`): one shard per search thread,
+    /// grown on demand and reused across queries so shard caches stay warm
+    /// exactly like the session's own. Empty until root-parallel planning
+    /// is first used.
+    pub shards: Vec<PlannerShard>,
+}
+
+/// Mutable state for one root-parallel MCTS worker thread: its own
+/// featurization session and search scratch, structurally identical to the
+/// owning [`PlannerSession`]'s. Shards never share state — determinism of
+/// the merged result is argued in `crate::mcts`'s module docs.
+#[derive(Default)]
+pub struct PlannerShard {
+    pub feat: FeatSession,
+    pub mcts: MctsScratch,
 }
 
 impl PlannerSession {

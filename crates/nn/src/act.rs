@@ -12,14 +12,16 @@
 //! lane takes depends only on its column index and the width, never on the
 //! number of rows. Row `r` of a batched call is therefore bitwise identical
 //! to a 1-row call on row `r` alone, the same invariant the matmul kernels
-//! uphold (see `tensor::matmul_kernel`). Like the matmul kernels, the AVX2
-//! variant differs from the portable one in the last bits; CPU feature
-//! detection picks one variant per process, so batched and scalar scoring
-//! always agree bitwise.
+//! uphold (see `tensor::matmul_kernel`). Like the matmul kernels, the SIMD
+//! variants differ from the portable one in the last bits; the process-wide
+//! [`crate::isa::active`] selection picks one variant per process, so batched
+//! and scalar scoring always agree bitwise.
+
+use crate::isa::Isa;
 
 /// `sigmoid(x)` as used by the portable LSTM gate path.
 #[inline]
-fn sigmoid_scalar(v: f32) -> f32 {
+pub(crate) fn sigmoid_scalar(v: f32) -> f32 {
     1.0 / (1.0 + (-v).exp())
 }
 
@@ -39,12 +41,13 @@ pub fn lstm_gates(
 ) {
     debug_assert!(gates.len() >= rows * 4 * d);
     debug_assert!(c_prev.len() >= rows * d && c_out.len() >= rows * d && h_out.len() >= rows * d);
-    #[cfg(target_arch = "x86_64")]
-    if std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma") {
-        unsafe { avx::lstm_gates(rows, d, gates, c_prev, c_out, h_out) };
-        return;
+    match crate::isa::active() {
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx512 => unsafe { avx512::lstm_gates(rows, d, gates, c_prev, c_out, h_out) },
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx2 => unsafe { avx::lstm_gates(rows, d, gates, c_prev, c_out, h_out) },
+        _ => lstm_gates_portable(rows, d, gates, c_prev, c_out, h_out),
     }
-    lstm_gates_portable(rows, d, gates, c_prev, c_out, h_out)
 }
 
 fn lstm_gates_portable(
@@ -71,49 +74,55 @@ fn lstm_gates_portable(
 
 /// `x[i] = tanh(x[i])` over a slice, vectorized when the host supports it.
 pub fn tanh_inplace(x: &mut [f32]) {
-    #[cfg(target_arch = "x86_64")]
-    if std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma") {
-        unsafe { avx::tanh_inplace(x) };
-        return;
-    }
-    for v in x {
-        *v = v.tanh();
+    match crate::isa::active() {
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx512 => unsafe { avx512::tanh_inplace(x) },
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx2 => unsafe { avx::tanh_inplace(x) },
+        _ => {
+            for v in x {
+                *v = v.tanh();
+            }
+        }
     }
 }
 
 /// `x[i] = sigmoid(x[i])` over a slice, vectorized when the host supports it.
 pub fn sigmoid_inplace(x: &mut [f32]) {
-    #[cfg(target_arch = "x86_64")]
-    if std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma") {
-        unsafe { avx::sigmoid_inplace(x) };
-        return;
-    }
-    for v in x {
-        *v = sigmoid_scalar(*v);
+    match crate::isa::active() {
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx512 => unsafe { avx512::sigmoid_inplace(x) },
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx2 => unsafe { avx::sigmoid_inplace(x) },
+        _ => {
+            for v in x {
+                *v = sigmoid_scalar(*v);
+            }
+        }
     }
 }
 
 #[cfg(target_arch = "x86_64")]
-mod avx {
+pub(crate) mod avx {
     use std::arch::x86_64::*;
 
     // Cephes single-precision exp: round-to-nearest power-of-two split with
     // a Cody-Waite reduced argument and a degree-5 polynomial remainder.
-    const EXP_HI: f32 = 88.376_26;
-    const EXP_LO: f32 = -87.336_55;
-    const LOG2EF: f32 = std::f32::consts::LOG2_E;
-    const C1: f32 = 0.693_359_4;
-    const C2: f32 = -2.121_944_4e-4;
-    const P0: f32 = 1.987_569_1e-4;
-    const P1: f32 = 1.398_199_9e-3;
-    const P2: f32 = 8.333_452e-3;
-    const P3: f32 = 4.166_579_6e-2;
-    const P4: f32 = 1.666_666_5e-1;
-    const P5: f32 = 5.0e-1;
+    pub(crate) const EXP_HI: f32 = 88.376_26;
+    pub(crate) const EXP_LO: f32 = -87.336_55;
+    pub(crate) const LOG2EF: f32 = std::f32::consts::LOG2_E;
+    pub(crate) const C1: f32 = 0.693_359_4;
+    pub(crate) const C2: f32 = -2.121_944_4e-4;
+    pub(crate) const P0: f32 = 1.987_569_1e-4;
+    pub(crate) const P1: f32 = 1.398_199_9e-3;
+    pub(crate) const P2: f32 = 8.333_452e-3;
+    pub(crate) const P3: f32 = 4.166_579_6e-2;
+    pub(crate) const P4: f32 = 1.666_666_5e-1;
+    pub(crate) const P5: f32 = 5.0e-1;
 
     #[inline]
     #[target_feature(enable = "avx2", enable = "fma")]
-    unsafe fn exp_ps(x: __m256) -> __m256 {
+    pub(crate) unsafe fn exp_ps(x: __m256) -> __m256 {
         let x = _mm256_min_ps(_mm256_max_ps(x, _mm256_set1_ps(EXP_LO)), _mm256_set1_ps(EXP_HI));
         let n = _mm256_round_ps(
             _mm256_mul_ps(x, _mm256_set1_ps(LOG2EF)),
@@ -140,7 +149,7 @@ mod avx {
 
     #[inline]
     #[target_feature(enable = "avx2", enable = "fma")]
-    unsafe fn sigmoid_ps(x: __m256) -> __m256 {
+    pub(crate) unsafe fn sigmoid_ps(x: __m256) -> __m256 {
         // 1 / (1 + exp(-x)); exp is clamped so the denominator stays finite.
         let one = _mm256_set1_ps(1.0);
         let t = exp_ps(_mm256_sub_ps(_mm256_setzero_ps(), x));
@@ -149,7 +158,7 @@ mod avx {
 
     #[inline]
     #[target_feature(enable = "avx2", enable = "fma")]
-    unsafe fn tanh_ps(x: __m256) -> __m256 {
+    pub(crate) unsafe fn tanh_ps(x: __m256) -> __m256 {
         // tanh(|x|) = (1 - e^{-2|x|}) / (1 + e^{-2|x|}), sign restored from x.
         let sign_mask = _mm256_set1_ps(-0.0);
         let ax = _mm256_andnot_ps(sign_mask, x);
@@ -224,6 +233,137 @@ mod avx {
         }
         for v in &mut x[i..] {
             *v = super::sigmoid_scalar(*v);
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+pub(crate) mod avx512 {
+    use std::arch::x86_64::*;
+
+    // Same Cephes constants as the AVX2 tier — the polynomial is identical,
+    // only the lane count changes. Bit ops go through the integer domain so
+    // the module needs nothing beyond AVX-512F (`_mm512_andnot_ps` is DQ).
+    use super::avx::{C1, C2, EXP_HI, EXP_LO, LOG2EF, P0, P1, P2, P3, P4, P5};
+
+    #[inline]
+    #[target_feature(enable = "avx512f")]
+    pub(crate) unsafe fn exp_ps(x: __m512) -> __m512 {
+        let x = _mm512_min_ps(_mm512_max_ps(x, _mm512_set1_ps(EXP_LO)), _mm512_set1_ps(EXP_HI));
+        // 0x08 = round-to-nearest-int, suppress exceptions.
+        let n = _mm512_roundscale_ps::<0x08>(_mm512_mul_ps(x, _mm512_set1_ps(LOG2EF)));
+        let r = _mm512_fnmadd_ps(n, _mm512_set1_ps(C1), x);
+        let r = _mm512_fnmadd_ps(n, _mm512_set1_ps(C2), r);
+        let mut y = _mm512_set1_ps(P0);
+        y = _mm512_fmadd_ps(y, r, _mm512_set1_ps(P1));
+        y = _mm512_fmadd_ps(y, r, _mm512_set1_ps(P2));
+        y = _mm512_fmadd_ps(y, r, _mm512_set1_ps(P3));
+        y = _mm512_fmadd_ps(y, r, _mm512_set1_ps(P4));
+        y = _mm512_fmadd_ps(y, r, _mm512_set1_ps(P5));
+        let y = _mm512_add_ps(_mm512_fmadd_ps(_mm512_mul_ps(r, r), y, r), _mm512_set1_ps(1.0));
+        let pow2n = _mm512_castsi512_ps(_mm512_slli_epi32::<23>(_mm512_add_epi32(
+            _mm512_cvtps_epi32(n),
+            _mm512_set1_epi32(127),
+        )));
+        _mm512_mul_ps(y, pow2n)
+    }
+
+    #[inline]
+    #[target_feature(enable = "avx512f")]
+    pub(crate) unsafe fn sigmoid_ps(x: __m512) -> __m512 {
+        let one = _mm512_set1_ps(1.0);
+        let t = exp_ps(_mm512_sub_ps(_mm512_setzero_ps(), x));
+        _mm512_div_ps(one, _mm512_add_ps(one, t))
+    }
+
+    #[inline]
+    #[target_feature(enable = "avx512f")]
+    pub(crate) unsafe fn tanh_ps(x: __m512) -> __m512 {
+        // tanh(|x|) = (1 - e^{-2|x|}) / (1 + e^{-2|x|}), sign restored from x.
+        let xi = _mm512_castps_si512(x);
+        let sign = _mm512_and_si512(xi, _mm512_set1_epi32(i32::MIN));
+        let ax = _mm512_castsi512_ps(_mm512_andnot_si512(_mm512_set1_epi32(i32::MIN), xi));
+        let one = _mm512_set1_ps(1.0);
+        let t = exp_ps(_mm512_mul_ps(ax, _mm512_set1_ps(-2.0)));
+        let th = _mm512_div_ps(_mm512_sub_ps(one, t), _mm512_add_ps(one, t));
+        _mm512_castsi512_ps(_mm512_or_si512(_mm512_castps_si512(th), sign))
+    }
+
+    #[target_feature(enable = "avx512f")]
+    pub unsafe fn lstm_gates(
+        rows: usize,
+        d: usize,
+        gates: &[f32],
+        c_prev: &[f32],
+        c_out: &mut [f32],
+        h_out: &mut [f32],
+    ) {
+        for r in 0..rows {
+            let g = gates.as_ptr().add(r * 4 * d);
+            let cp = c_prev.as_ptr().add(r * d);
+            let co = c_out.as_mut_ptr().add(r * d);
+            let ho = h_out.as_mut_ptr().add(r * d);
+            let mut j = 0;
+            while j + 16 <= d {
+                let i_g = sigmoid_ps(_mm512_loadu_ps(g.add(j)));
+                let f_g = sigmoid_ps(_mm512_loadu_ps(g.add(d + j)));
+                let g_g = tanh_ps(_mm512_loadu_ps(g.add(2 * d + j)));
+                let o_g = sigmoid_ps(_mm512_loadu_ps(g.add(3 * d + j)));
+                let cv = _mm512_fmadd_ps(i_g, g_g, _mm512_mul_ps(f_g, _mm512_loadu_ps(cp.add(j))));
+                _mm512_storeu_ps(co.add(j), cv);
+                _mm512_storeu_ps(ho.add(j), _mm512_mul_ps(o_g, tanh_ps(cv)));
+                j += 16;
+            }
+            if j < d {
+                // Masked lane tail: mask depends only on (j, d), so rows stay
+                // bitwise consistent between batched and 1-row calls.
+                let mask: __mmask16 = (1u16 << (d - j)) - 1;
+                let i_g = sigmoid_ps(_mm512_maskz_loadu_ps(mask, g.add(j)));
+                let f_g = sigmoid_ps(_mm512_maskz_loadu_ps(mask, g.add(d + j)));
+                let g_g = tanh_ps(_mm512_maskz_loadu_ps(mask, g.add(2 * d + j)));
+                let o_g = sigmoid_ps(_mm512_maskz_loadu_ps(mask, g.add(3 * d + j)));
+                let cv = _mm512_fmadd_ps(
+                    i_g,
+                    g_g,
+                    _mm512_mul_ps(f_g, _mm512_maskz_loadu_ps(mask, cp.add(j))),
+                );
+                _mm512_mask_storeu_ps(co.add(j), mask, cv);
+                _mm512_mask_storeu_ps(ho.add(j), mask, _mm512_mul_ps(o_g, tanh_ps(cv)));
+            }
+        }
+    }
+
+    #[target_feature(enable = "avx512f")]
+    pub unsafe fn tanh_inplace(x: &mut [f32]) {
+        let n = x.len();
+        let p = x.as_mut_ptr();
+        let mut i = 0;
+        while i + 16 <= n {
+            _mm512_storeu_ps(p.add(i), tanh_ps(_mm512_loadu_ps(p.add(i))));
+            i += 16;
+        }
+        if i < n {
+            let mask: __mmask16 = (1u16 << (n - i)) - 1;
+            _mm512_mask_storeu_ps(p.add(i), mask, tanh_ps(_mm512_maskz_loadu_ps(mask, p.add(i))));
+        }
+    }
+
+    #[target_feature(enable = "avx512f")]
+    pub unsafe fn sigmoid_inplace(x: &mut [f32]) {
+        let n = x.len();
+        let p = x.as_mut_ptr();
+        let mut i = 0;
+        while i + 16 <= n {
+            _mm512_storeu_ps(p.add(i), sigmoid_ps(_mm512_loadu_ps(p.add(i))));
+            i += 16;
+        }
+        if i < n {
+            let mask: __mmask16 = (1u16 << (n - i)) - 1;
+            _mm512_mask_storeu_ps(
+                p.add(i),
+                mask,
+                sigmoid_ps(_mm512_maskz_loadu_ps(mask, p.add(i))),
+            );
         }
     }
 }

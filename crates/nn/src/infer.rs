@@ -18,8 +18,9 @@
 //!   fast path is guaranteed to match the tape within 1e-5, not bitwise.
 
 use crate::layers::{Activation, Linear, LstmCell, Mlp, MultiHeadCrossAttention};
+use crate::pack::gemm_packed;
 use crate::params::ParamStore;
-use crate::tensor::{dot_unrolled, matmul_kernel, Tensor};
+use crate::tensor::{dot, matmul_kernel, Tensor};
 use std::cell::RefCell;
 
 /// A pool of `Tensor` allocations reused across inference calls.
@@ -125,15 +126,36 @@ impl Linear {
         x: &Tensor,
         sc: &mut ScratchArena,
     ) -> Tensor {
+        self.forward_inference_act(store, x, Activation::Identity, sc)
+    }
+
+    /// Tape-free `act(x·W + b)` through the panel-packed GEMM: bias and
+    /// activation are applied to the accumulator registers in the epilogue,
+    /// so the output is written exactly once.
+    pub fn forward_inference_act(
+        &self,
+        store: &ParamStore,
+        x: &Tensor,
+        act: Activation,
+        sc: &mut ScratchArena,
+    ) -> Tensor {
         let mut y = sc.take(x.rows(), self.out_dim);
-        x.matmul_into(store.value(self.w), &mut y);
-        add_row_broadcast_assign(&mut y, store.value(self.b));
+        gemm_packed(
+            x.rows(),
+            x.data(),
+            store.packed(self.w),
+            false,
+            Some(store.value(self.b).data()),
+            act,
+            y.data_mut(),
+        );
         y
     }
 }
 
 impl Mlp {
-    /// Tape-free MLP forward; intermediate activations are recycled.
+    /// Tape-free MLP forward; each layer runs as a single fused
+    /// GEMM+bias+activation pass, intermediate activations are recycled.
     pub fn forward_inference(
         &self,
         store: &ParamStore,
@@ -143,9 +165,8 @@ impl Mlp {
         let last = self.layers.len() - 1;
         let mut h: Option<Tensor> = None;
         for (i, layer) in self.layers.iter().enumerate() {
-            let mut y = layer.forward_inference(store, h.as_ref().unwrap_or(x), sc);
             let act = if i == last { self.output_activation } else { self.hidden_activation };
-            activate_inplace(&mut y, act);
+            let y = layer.forward_inference_act(store, h.as_ref().unwrap_or(x), act, sc);
             if let Some(prev) = h.replace(y) {
                 sc.recycle(prev);
             }
@@ -187,13 +208,28 @@ impl LstmCell {
         debug_assert_eq!(x.cols(), self.input_dim, "LSTM input width mismatch");
         let rows = x.rows();
         let d = self.hidden_dim;
+        // Two packed GEMMs replace the old four passes (two products, an
+        // add, a bias broadcast): the second GEMM accumulates onto the first
+        // and folds the bias in through the epilogue.
         let mut gates = sc.take(rows, 4 * d);
-        x.matmul_into(store.value(self.w_ih), &mut gates);
-        let mut hw = sc.take(rows, 4 * d);
-        state.h.matmul_into(store.value(self.w_hh), &mut hw);
-        gates.add_assign(&hw);
-        sc.recycle(hw);
-        add_row_broadcast_assign(&mut gates, store.value(self.bias));
+        gemm_packed(
+            rows,
+            x.data(),
+            store.packed(self.w_ih),
+            false,
+            None,
+            Activation::Identity,
+            gates.data_mut(),
+        );
+        gemm_packed(
+            rows,
+            state.h.data(),
+            store.packed(self.w_hh),
+            true,
+            Some(store.value(self.bias).data()),
+            Activation::Identity,
+            gates.data_mut(),
+        );
         let mut c = sc.take(rows, d);
         let mut h = sc.take(rows, d);
         crate::act::lstm_gates(rows, d, gates.data(), state.c.data(), c.data_mut(), h.data_mut());
@@ -225,10 +261,11 @@ impl MultiHeadCrossAttention {
         let mut v = sc.take(n, d);
         let mut scores = sc.take(1, n);
         let mut ctx = sc.take(1, d);
+        let id = Activation::Identity;
         for h in 0..self.heads {
-            query.matmul_into(store.value(self.wq[h]), &mut q);
-            kv.matmul_into(store.value(self.wk[h]), &mut k);
-            kv.matmul_into(store.value(self.wv[h]), &mut v);
+            gemm_packed(1, query.data(), store.packed(self.wq[h]), false, None, id, q.data_mut());
+            gemm_packed(n, kv.data(), store.packed(self.wk[h]), false, None, id, k.data_mut());
+            gemm_packed(n, kv.data(), store.packed(self.wv[h]), false, None, id, v.data_mut());
             q.matmul_nt_into(&k, &mut scores);
             for s in scores.data_mut() {
                 *s *= scale;
@@ -277,16 +314,19 @@ impl MultiHeadCrossAttention {
         let mut kproj = sc.take(kn * n, d);
         let mut vproj = sc.take(kn * n, d);
         let mut scores = sc.take(kn, n);
+        let id = Activation::Identity;
         for h in 0..self.heads {
-            query.matmul_into(store.value(self.wq[h]), &mut q);
-            kv_all.matmul_into(store.value(self.wk[h]), &mut kproj);
-            kv_all.matmul_into(store.value(self.wv[h]), &mut vproj);
+            gemm_packed(kn, query.data(), store.packed(self.wq[h]), false, None, id, q.data_mut());
+            let kp = kproj.data_mut();
+            gemm_packed(kn * n, kv_all.data(), store.packed(self.wk[h]), false, None, id, kp);
+            let vp = vproj.data_mut();
+            gemm_packed(kn * n, kv_all.data(), store.packed(self.wv[h]), false, None, id, vp);
             for p in 0..kn {
                 // scores[p][i] = (q_p · k_{p,i}) * scale — the same dot and
                 // scaling the scalar path's matmul_nt_into + `*= scale` do.
                 let q_row = q.row_slice(p);
                 for i in 0..n {
-                    let s = dot_unrolled(q_row, kproj.row_slice(p * n + i)) * scale;
+                    let s = dot(q_row, kproj.row_slice(p * n + i)) * scale;
                     scores.set(p, i, s);
                 }
             }

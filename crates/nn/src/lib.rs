@@ -39,8 +39,10 @@ pub mod gradcheck;
 pub mod graph;
 pub mod infer;
 pub mod init;
+pub mod isa;
 pub mod layers;
 pub mod optim;
+pub mod pack;
 pub mod params;
 pub mod tensor;
 
@@ -50,10 +52,12 @@ pub mod prelude {
     pub use crate::graph::{Graph, Var};
     pub use crate::infer::{with_thread_scratch, LstmStateBuf, ScratchArena};
     pub use crate::init::Initializer;
+    pub use crate::isa::Isa;
     pub use crate::layers::{
         Activation, Linear, LstmCell, LstmState, Mlp, MultiHeadCrossAttention,
     };
     pub use crate::optim::{Adam, Sgd, StepReport};
+    pub use crate::pack::PackedGemm;
     pub use crate::params::{GradAccumulator, GradBuffer, Param, ParamId, ParamStore};
     pub use crate::tensor::Tensor;
 }

@@ -1,0 +1,697 @@
+//! Panel-packed weight matrices and the fused-epilogue GEMM that consumes
+//! them.
+//!
+//! The inference hot loop multiplies small activation matrices (`m` = 1..16
+//! rows) against the *same* weight matrices thousands of times per query. Two
+//! costs are pure overhead there:
+//!
+//! * **Layout**: the row-major weight walks column `j` with a stride of `n`
+//!   floats per k-step. Packing the matrix once at load into panel-major
+//!   order — `NR`-column panels, each panel's k-rows contiguous — turns every
+//!   k-step of the kernel into one 128-byte sequential load.
+//! * **Extra passes**: `y = act(x·W + b)` as three ops (GEMM, bias
+//!   broadcast, activation) touches the output three times. The packed GEMM
+//!   applies bias and activation to the accumulator registers before the
+//!   single store, and can optionally *accumulate* onto the existing output
+//!   (which is what fuses the LSTM's `x·W_ih + h·W_hh + b` into two GEMM
+//!   calls with no separate add/bias passes).
+//!
+//! Panels are `NR` = 32 columns wide for **every** ISA tier: AVX-512 eats a
+//! panel as two zmm registers, AVX2 as two 16-column halves of two ymm each,
+//! scalar loops over it. Tail panels are zero-padded, so the k-loop never
+//! branches on column index — only the epilogue's store is masked.
+//!
+//! **FP-order contract** (same as `tensor::matmul_kernel`): every output
+//! element is one k-increasing fma chain; which instructions touch a column
+//! depend only on the column index and `n`, never on the row count, so row
+//! `i` of a batched product is bitwise identical to the 1-row product of row
+//! `i`. Zero coefficients may be skipped — `fma(0, w, acc) == acc` exactly,
+//! and accumulators can never become `-0.0` (they start at `+0.0`, and
+//! `+0.0 + -0.0 == +0.0` under round-to-nearest).
+
+use crate::isa::Isa;
+use crate::layers::Activation;
+use crate::tensor::Tensor;
+
+/// Panel width in columns, shared by all ISA tiers.
+pub const NR: usize = 32;
+
+/// A weight matrix repacked for [`gemm_packed`]: `ceil(n/NR)` panels, each
+/// holding its `NR` columns k-major (`panels[p*k*NR + kk*NR + c]` is element
+/// `(kk, p*NR + c)` of the source), tail columns zero-padded.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PackedGemm {
+    k: usize,
+    n: usize,
+    panels: Vec<f32>,
+}
+
+impl PackedGemm {
+    /// Pack a `[k x n]` row-major weight matrix.
+    pub fn pack(w: &Tensor) -> PackedGemm {
+        let (k, n) = w.shape();
+        let np = n.div_ceil(NR);
+        let mut panels = vec![0.0f32; np * k * NR];
+        let src = w.data();
+        for p in 0..np {
+            let cols = NR.min(n - p * NR);
+            let dst = &mut panels[p * k * NR..(p + 1) * k * NR];
+            for kk in 0..k {
+                dst[kk * NR..kk * NR + cols]
+                    .copy_from_slice(&src[kk * n + p * NR..kk * n + p * NR + cols]);
+            }
+        }
+        PackedGemm { k, n, panels }
+    }
+
+    /// Input width (rows of the packed matrix).
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Output width (columns of the packed matrix).
+    pub fn n(&self) -> usize {
+        self.n
+    }
+}
+
+/// `out[m x n] = act((accumulate ? out : 0) + a[m x k] · W + bias)`, with the
+/// epilogue fused into the accumulator registers. Dispatches once per process
+/// via [`crate::isa::active`].
+pub fn gemm_packed(
+    m: usize,
+    a: &[f32],
+    w: &PackedGemm,
+    accumulate: bool,
+    bias: Option<&[f32]>,
+    act: Activation,
+    out: &mut [f32],
+) {
+    gemm_packed_force(crate::isa::active(), m, a, w, accumulate, bias, act, out)
+}
+
+/// [`gemm_packed`] on an explicitly chosen ISA tier (falls back to scalar if
+/// the CPU lacks it). Test/bench entry point; production code uses the
+/// process-wide dispatch.
+#[allow(clippy::too_many_arguments)] // GEMM signature: dims + operands + epilogue knobs.
+pub fn gemm_packed_force(
+    isa: Isa,
+    m: usize,
+    a: &[f32],
+    w: &PackedGemm,
+    accumulate: bool,
+    bias: Option<&[f32]>,
+    act: Activation,
+    out: &mut [f32],
+) {
+    debug_assert!(a.len() >= m * w.k, "input too small");
+    debug_assert!(out.len() >= m * w.n, "output too small");
+    if let Some(b) = bias {
+        debug_assert!(b.len() >= w.n, "bias too small");
+    }
+    match isa {
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx512 if isa.cpu_supports() => unsafe {
+            gemm_packed_avx512(m, a, w, accumulate, bias, act, out)
+        },
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx2 if isa.cpu_supports() => unsafe {
+            gemm_packed_avx2(m, a, w, accumulate, bias, act, out)
+        },
+        _ => gemm_packed_scalar(m, a, w, accumulate, bias, act, out),
+    }
+}
+
+/// Scalar epilogue: the libm expressions `infer::activate_inplace` uses on
+/// the portable tier.
+#[inline]
+fn act_scalar(act: Activation, v: f32) -> f32 {
+    match act {
+        Activation::Identity => v,
+        Activation::Relu => v.max(0.0),
+        Activation::Tanh => v.tanh(),
+        Activation::Sigmoid => crate::act::sigmoid_scalar(v),
+    }
+}
+
+fn gemm_packed_scalar(
+    m: usize,
+    a: &[f32],
+    w: &PackedGemm,
+    accumulate: bool,
+    bias: Option<&[f32]>,
+    act: Activation,
+    out: &mut [f32],
+) {
+    let (k, n) = (w.k, w.n);
+    let np = n.div_ceil(NR);
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let o_row = &mut out[i * n..(i + 1) * n];
+        for p in 0..np {
+            let cols = NR.min(n - p * NR);
+            let panel = &w.panels[p * k * NR..(p + 1) * k * NR];
+            let mut acc = [0.0f32; NR];
+            for (kk, &c) in a_row.iter().enumerate() {
+                if c == 0.0 {
+                    continue;
+                }
+                let prow = &panel[kk * NR..(kk + 1) * NR];
+                // Plain mul+add (not `mul_add`): without FMA in the target
+                // baseline, `f32::mul_add` lowers to a libm call per lane,
+                // while this form autovectorizes to SSE2 on every x86-64.
+                for (av, &pv) in acc.iter_mut().zip(prow) {
+                    *av += c * pv;
+                }
+            }
+            for (j, &av) in acc.iter().enumerate().take(cols) {
+                let col = p * NR + j;
+                let mut v = av;
+                if accumulate {
+                    v += o_row[col];
+                }
+                if let Some(b) = bias {
+                    v += b[col];
+                }
+                o_row[col] = act_scalar(act, v);
+            }
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use super::{Activation, PackedGemm, NR};
+    use std::arch::x86_64::*;
+
+    /// Activation on a ymm pair, using the same Cephes polynomials as the
+    /// AVX2 `activate_inplace` path.
+    #[inline]
+    #[target_feature(enable = "avx2", enable = "fma")]
+    unsafe fn act_ymm(act: Activation, v: __m256) -> __m256 {
+        match act {
+            Activation::Identity => v,
+            Activation::Relu => _mm256_max_ps(v, _mm256_setzero_ps()),
+            Activation::Tanh => crate::act::avx::tanh_ps(v),
+            Activation::Sigmoid => crate::act::avx::sigmoid_ps(v),
+        }
+    }
+
+    /// Fused epilogue for one row's 16-column half: optional accumulate onto
+    /// the existing output, optional bias, activation, store. `live` is how
+    /// many of the 16 lanes map to real columns; partial halves detour
+    /// through stack buffers so every live lane still takes the SIMD
+    /// polynomial path (lane path depends only on the column, per the
+    /// FP-order contract).
+    #[inline]
+    #[target_feature(enable = "avx2", enable = "fma")]
+    unsafe fn epilogue_avx2(
+        mut v0: __m256,
+        mut v1: __m256,
+        o: *mut f32,
+        bias: Option<*const f32>,
+        accumulate: bool,
+        act: Activation,
+        live: usize,
+    ) {
+        if live == 16 {
+            if accumulate {
+                v0 = _mm256_add_ps(v0, _mm256_loadu_ps(o));
+                v1 = _mm256_add_ps(v1, _mm256_loadu_ps(o.add(8)));
+            }
+            if let Some(b) = bias {
+                v0 = _mm256_add_ps(v0, _mm256_loadu_ps(b));
+                v1 = _mm256_add_ps(v1, _mm256_loadu_ps(b.add(8)));
+            }
+            _mm256_storeu_ps(o, act_ymm(act, v0));
+            _mm256_storeu_ps(o.add(8), act_ymm(act, v1));
+        } else {
+            if accumulate {
+                let mut prev = [0.0f32; 16];
+                std::ptr::copy_nonoverlapping(o, prev.as_mut_ptr(), live);
+                v0 = _mm256_add_ps(v0, _mm256_loadu_ps(prev.as_ptr()));
+                v1 = _mm256_add_ps(v1, _mm256_loadu_ps(prev.as_ptr().add(8)));
+            }
+            if let Some(b) = bias {
+                let mut bb = [0.0f32; 16];
+                std::ptr::copy_nonoverlapping(b, bb.as_mut_ptr(), live);
+                v0 = _mm256_add_ps(v0, _mm256_loadu_ps(bb.as_ptr()));
+                v1 = _mm256_add_ps(v1, _mm256_loadu_ps(bb.as_ptr().add(8)));
+            }
+            let mut buf = [0.0f32; 16];
+            _mm256_storeu_ps(buf.as_mut_ptr(), act_ymm(act, v0));
+            _mm256_storeu_ps(buf.as_mut_ptr().add(8), act_ymm(act, v1));
+            std::ptr::copy_nonoverlapping(buf.as_ptr(), o, live);
+        }
+    }
+
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn gemm_packed_avx2(
+        m: usize,
+        a: &[f32],
+        w: &PackedGemm,
+        accumulate: bool,
+        bias: Option<&[f32]>,
+        act: Activation,
+        out: &mut [f32],
+    ) {
+        let (k, n) = (w.k, w.n);
+        let np = n.div_ceil(NR);
+        let panels = w.panels.as_ptr();
+        let mut i = 0;
+        while i + 4 <= m {
+            let (a0, rest) = a[i * k..].split_at(k);
+            let (a1, rest) = rest.split_at(k);
+            let (a2, rest) = rest.split_at(k);
+            let a3 = &rest[..k];
+            // Same bitwise-free sparse-step heuristic as the unpacked tile.
+            let mut skippable = 0usize;
+            for kk in 0..k {
+                if a0[kk] == 0.0 && a1[kk] == 0.0 && a2[kk] == 0.0 && a3[kk] == 0.0 {
+                    skippable += 1;
+                }
+            }
+            let sparse = skippable * 4 >= k;
+            for p in 0..np {
+                let cols = NR.min(n - p * NR);
+                let panel = panels.add(p * k * NR);
+                for h in 0..2 {
+                    let live = cols.saturating_sub(h * 16).min(16);
+                    if live == 0 {
+                        continue;
+                    }
+                    let pbase = panel.add(h * 16);
+                    let mut acc00 = _mm256_setzero_ps();
+                    let mut acc01 = _mm256_setzero_ps();
+                    let mut acc10 = _mm256_setzero_ps();
+                    let mut acc11 = _mm256_setzero_ps();
+                    let mut acc20 = _mm256_setzero_ps();
+                    let mut acc21 = _mm256_setzero_ps();
+                    let mut acc30 = _mm256_setzero_ps();
+                    let mut acc31 = _mm256_setzero_ps();
+                    for kk in 0..k {
+                        let c0 = *a0.get_unchecked(kk);
+                        let c1 = *a1.get_unchecked(kk);
+                        let c2 = *a2.get_unchecked(kk);
+                        let c3 = *a3.get_unchecked(kk);
+                        if sparse && c0 == 0.0 && c1 == 0.0 && c2 == 0.0 && c3 == 0.0 {
+                            continue;
+                        }
+                        let b0 = _mm256_loadu_ps(pbase.add(kk * NR));
+                        let b1 = _mm256_loadu_ps(pbase.add(kk * NR + 8));
+                        let v0 = _mm256_set1_ps(c0);
+                        acc00 = _mm256_fmadd_ps(v0, b0, acc00);
+                        acc01 = _mm256_fmadd_ps(v0, b1, acc01);
+                        let v1 = _mm256_set1_ps(c1);
+                        acc10 = _mm256_fmadd_ps(v1, b0, acc10);
+                        acc11 = _mm256_fmadd_ps(v1, b1, acc11);
+                        let v2 = _mm256_set1_ps(c2);
+                        acc20 = _mm256_fmadd_ps(v2, b0, acc20);
+                        acc21 = _mm256_fmadd_ps(v2, b1, acc21);
+                        let v3 = _mm256_set1_ps(c3);
+                        acc30 = _mm256_fmadd_ps(v3, b0, acc30);
+                        acc31 = _mm256_fmadd_ps(v3, b1, acc31);
+                    }
+                    let col0 = p * NR + h * 16;
+                    let bptr = bias.map(|b| b.as_ptr().add(col0));
+                    let o = out.as_mut_ptr();
+                    epilogue_avx2(acc00, acc01, o.add(i * n + col0), bptr, accumulate, act, live);
+                    epilogue_avx2(
+                        acc10,
+                        acc11,
+                        o.add((i + 1) * n + col0),
+                        bptr,
+                        accumulate,
+                        act,
+                        live,
+                    );
+                    epilogue_avx2(
+                        acc20,
+                        acc21,
+                        o.add((i + 2) * n + col0),
+                        bptr,
+                        accumulate,
+                        act,
+                        live,
+                    );
+                    epilogue_avx2(
+                        acc30,
+                        acc31,
+                        o.add((i + 3) * n + col0),
+                        bptr,
+                        accumulate,
+                        act,
+                        live,
+                    );
+                }
+            }
+            i += 4;
+        }
+        for i in i..m {
+            let a_row = &a[i * k..(i + 1) * k];
+            for p in 0..np {
+                let cols = NR.min(n - p * NR);
+                let panel = panels.add(p * k * NR);
+                for h in 0..2 {
+                    let live = cols.saturating_sub(h * 16).min(16);
+                    if live == 0 {
+                        continue;
+                    }
+                    let pbase = panel.add(h * 16);
+                    let mut acc0 = _mm256_setzero_ps();
+                    let mut acc1 = _mm256_setzero_ps();
+                    for kk in 0..k {
+                        let c = *a_row.get_unchecked(kk);
+                        if c == 0.0 {
+                            continue;
+                        }
+                        let v = _mm256_set1_ps(c);
+                        acc0 = _mm256_fmadd_ps(v, _mm256_loadu_ps(pbase.add(kk * NR)), acc0);
+                        acc1 = _mm256_fmadd_ps(v, _mm256_loadu_ps(pbase.add(kk * NR + 8)), acc1);
+                    }
+                    let col0 = p * NR + h * 16;
+                    let bptr = bias.map(|b| b.as_ptr().add(col0));
+                    let o = out.as_mut_ptr().add(i * n + col0);
+                    epilogue_avx2(acc0, acc1, o, bptr, accumulate, act, live);
+                }
+            }
+        }
+    }
+
+    /// Activation on a zmm register (AVX-512 Cephes polynomials).
+    #[inline]
+    #[target_feature(enable = "avx512f")]
+    unsafe fn act_zmm(act: Activation, v: __m512) -> __m512 {
+        match act {
+            Activation::Identity => v,
+            Activation::Relu => _mm512_max_ps(v, _mm512_setzero_ps()),
+            Activation::Tanh => crate::act::avx512::tanh_ps(v),
+            Activation::Sigmoid => crate::act::avx512::sigmoid_ps(v),
+        }
+    }
+
+    /// Fused epilogue for one row's full 32-column panel; `cols` live
+    /// columns, masked loads/stores cover the tail (dead lanes contribute
+    /// `+0.0` and are never stored).
+    #[inline]
+    #[target_feature(enable = "avx512f")]
+    unsafe fn epilogue_avx512(
+        mut v0: __m512,
+        mut v1: __m512,
+        o: *mut f32,
+        bias: Option<*const f32>,
+        accumulate: bool,
+        act: Activation,
+        cols: usize,
+    ) {
+        let m0: __mmask16 = if cols >= 16 { 0xffff } else { (1u16 << cols) - 1 };
+        let m1: __mmask16 = if cols >= 32 {
+            0xffff
+        } else if cols > 16 {
+            (1u16 << (cols - 16)) - 1
+        } else {
+            0
+        };
+        if accumulate {
+            v0 = _mm512_add_ps(v0, _mm512_maskz_loadu_ps(m0, o));
+            v1 = _mm512_add_ps(v1, _mm512_maskz_loadu_ps(m1, o.add(16)));
+        }
+        if let Some(b) = bias {
+            v0 = _mm512_add_ps(v0, _mm512_maskz_loadu_ps(m0, b));
+            v1 = _mm512_add_ps(v1, _mm512_maskz_loadu_ps(m1, b.add(16)));
+        }
+        _mm512_mask_storeu_ps(o, m0, act_zmm(act, v0));
+        if m1 != 0 {
+            _mm512_mask_storeu_ps(o.add(16), m1, act_zmm(act, v1));
+        }
+    }
+
+    #[target_feature(enable = "avx512f")]
+    pub unsafe fn gemm_packed_avx512(
+        m: usize,
+        a: &[f32],
+        w: &PackedGemm,
+        accumulate: bool,
+        bias: Option<&[f32]>,
+        act: Activation,
+        out: &mut [f32],
+    ) {
+        let (k, n) = (w.k, w.n);
+        let np = n.div_ceil(NR);
+        let panels = w.panels.as_ptr();
+        let mut i = 0;
+        while i + 4 <= m {
+            let (a0, rest) = a[i * k..].split_at(k);
+            let (a1, rest) = rest.split_at(k);
+            let (a2, rest) = rest.split_at(k);
+            let a3 = &rest[..k];
+            let mut skippable = 0usize;
+            for kk in 0..k {
+                if a0[kk] == 0.0 && a1[kk] == 0.0 && a2[kk] == 0.0 && a3[kk] == 0.0 {
+                    skippable += 1;
+                }
+            }
+            let sparse = skippable * 4 >= k;
+            for p in 0..np {
+                let cols = NR.min(n - p * NR);
+                let panel = panels.add(p * k * NR);
+                // The k-loop always runs full width — tail panels are
+                // zero-padded, so only the epilogue needs masks.
+                let mut acc00 = _mm512_setzero_ps();
+                let mut acc01 = _mm512_setzero_ps();
+                let mut acc10 = _mm512_setzero_ps();
+                let mut acc11 = _mm512_setzero_ps();
+                let mut acc20 = _mm512_setzero_ps();
+                let mut acc21 = _mm512_setzero_ps();
+                let mut acc30 = _mm512_setzero_ps();
+                let mut acc31 = _mm512_setzero_ps();
+                for kk in 0..k {
+                    let c0 = *a0.get_unchecked(kk);
+                    let c1 = *a1.get_unchecked(kk);
+                    let c2 = *a2.get_unchecked(kk);
+                    let c3 = *a3.get_unchecked(kk);
+                    if sparse && c0 == 0.0 && c1 == 0.0 && c2 == 0.0 && c3 == 0.0 {
+                        continue;
+                    }
+                    let b0 = _mm512_loadu_ps(panel.add(kk * NR));
+                    let b1 = _mm512_loadu_ps(panel.add(kk * NR + 16));
+                    let v0 = _mm512_set1_ps(c0);
+                    acc00 = _mm512_fmadd_ps(v0, b0, acc00);
+                    acc01 = _mm512_fmadd_ps(v0, b1, acc01);
+                    let v1 = _mm512_set1_ps(c1);
+                    acc10 = _mm512_fmadd_ps(v1, b0, acc10);
+                    acc11 = _mm512_fmadd_ps(v1, b1, acc11);
+                    let v2 = _mm512_set1_ps(c2);
+                    acc20 = _mm512_fmadd_ps(v2, b0, acc20);
+                    acc21 = _mm512_fmadd_ps(v2, b1, acc21);
+                    let v3 = _mm512_set1_ps(c3);
+                    acc30 = _mm512_fmadd_ps(v3, b0, acc30);
+                    acc31 = _mm512_fmadd_ps(v3, b1, acc31);
+                }
+                let col0 = p * NR;
+                let bptr = bias.map(|b| b.as_ptr().add(col0));
+                let o = out.as_mut_ptr();
+                epilogue_avx512(acc00, acc01, o.add(i * n + col0), bptr, accumulate, act, cols);
+                epilogue_avx512(
+                    acc10,
+                    acc11,
+                    o.add((i + 1) * n + col0),
+                    bptr,
+                    accumulate,
+                    act,
+                    cols,
+                );
+                epilogue_avx512(
+                    acc20,
+                    acc21,
+                    o.add((i + 2) * n + col0),
+                    bptr,
+                    accumulate,
+                    act,
+                    cols,
+                );
+                epilogue_avx512(
+                    acc30,
+                    acc31,
+                    o.add((i + 3) * n + col0),
+                    bptr,
+                    accumulate,
+                    act,
+                    cols,
+                );
+            }
+            i += 4;
+        }
+        for i in i..m {
+            let a_row = &a[i * k..(i + 1) * k];
+            for p in 0..np {
+                let cols = NR.min(n - p * NR);
+                let panel = panels.add(p * k * NR);
+                let mut acc0 = _mm512_setzero_ps();
+                let mut acc1 = _mm512_setzero_ps();
+                for kk in 0..k {
+                    let c = *a_row.get_unchecked(kk);
+                    if c == 0.0 {
+                        continue;
+                    }
+                    let v = _mm512_set1_ps(c);
+                    acc0 = _mm512_fmadd_ps(v, _mm512_loadu_ps(panel.add(kk * NR)), acc0);
+                    acc1 = _mm512_fmadd_ps(v, _mm512_loadu_ps(panel.add(kk * NR + 16)), acc1);
+                }
+                let col0 = p * NR;
+                let bptr = bias.map(|b| b.as_ptr().add(col0));
+                let o = out.as_mut_ptr().add(i * n + col0);
+                epilogue_avx512(acc0, acc1, o, bptr, accumulate, act, cols);
+            }
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+use x86::{gemm_packed_avx2, gemm_packed_avx512};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[allow(clippy::too_many_arguments)]
+    fn reference(
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[f32],
+        w: &[f32],
+        accumulate: bool,
+        bias: Option<&[f32]>,
+        act: Activation,
+        out: &mut [f32],
+    ) {
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0f32;
+                for kk in 0..k {
+                    acc = a[i * k + kk].mul_add(w[kk * n + j], acc);
+                }
+                let mut v = acc;
+                if accumulate {
+                    v += out[i * n + j];
+                }
+                if let Some(b) = bias {
+                    v += b[j];
+                }
+                out[i * n + j] = act_scalar(act, v);
+            }
+        }
+    }
+
+    fn matrix(rows: usize, cols: usize, seed: u64) -> Vec<f32> {
+        (0..rows * cols)
+            .map(|i| {
+                let x =
+                    ((i as u64).wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(seed) >> 40) as f32;
+                // Plant exact zeros so the sparse-skip path is exercised.
+                if i % 7 == 0 {
+                    0.0
+                } else {
+                    x / 16_777_216.0 - 0.5
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn packed_gemm_matches_reference_on_all_tiers_and_edges() {
+        for &(m, k, n) in
+            &[(1usize, 1usize, 1usize), (3, 5, 7), (4, 8, 32), (5, 9, 33), (7, 17, 48), (8, 12, 20)]
+        {
+            let a = matrix(m, k, 1);
+            let wmat = matrix(k, n, 2);
+            let w = PackedGemm::pack(&Tensor::from_vec(k, n, wmat.clone()));
+            let bias = matrix(1, n, 3);
+            for isa in Isa::supported() {
+                for act in
+                    [Activation::Identity, Activation::Relu, Activation::Tanh, Activation::Sigmoid]
+                {
+                    for (accumulate, use_bias) in [(false, false), (false, true), (true, true)] {
+                        let seed_out = matrix(m, n, 4);
+                        let mut got = seed_out.clone();
+                        let mut want = seed_out.clone();
+                        let b = use_bias.then_some(&bias[..]);
+                        gemm_packed_force(isa, m, &a, &w, accumulate, b, act, &mut got);
+                        reference(m, k, n, &a, &wmat, accumulate, b, act, &mut want);
+                        for (idx, (g, r)) in got.iter().zip(&want).enumerate() {
+                            assert!(
+                                (g - r).abs() <= 2e-5 + 1e-5 * r.abs(),
+                                "{isa:?} {act:?} acc={accumulate} bias={use_bias} \
+                                 m={m} k={k} n={n} out[{idx}]: {g} vs {r}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn packed_gemm_rows_bitwise_equal_single_row_calls() {
+        let (m, k, n) = (7usize, 13usize, 21usize);
+        let a = matrix(m, k, 11);
+        let w = PackedGemm::pack(&Tensor::from_vec(k, n, matrix(k, n, 12)));
+        let bias = matrix(1, n, 13);
+        for isa in Isa::supported() {
+            let mut batched = vec![0.0f32; m * n];
+            gemm_packed_force(isa, m, &a, &w, false, Some(&bias), Activation::Tanh, &mut batched);
+            for r in 0..m {
+                let mut single = vec![0.0f32; n];
+                gemm_packed_force(
+                    isa,
+                    1,
+                    &a[r * k..(r + 1) * k],
+                    &w,
+                    false,
+                    Some(&bias),
+                    Activation::Tanh,
+                    &mut single,
+                );
+                assert_eq!(
+                    &batched[r * n..(r + 1) * n],
+                    &single[..],
+                    "{isa:?}: row {r} of the batched product is not bitwise stable"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn accumulate_fuses_two_gemms_and_a_bias() {
+        // The LSTM-gate shape: gates = x·W_ih, then gates += h·W_hh + b.
+        let (m, k1, k2, n) = (3usize, 6usize, 5usize, 40usize);
+        let x = matrix(m, k1, 21);
+        let h = matrix(m, k2, 22);
+        let w_ih_mat = matrix(k1, n, 23);
+        let w_hh_mat = matrix(k2, n, 24);
+        let bias = matrix(1, n, 25);
+        let w_ih = PackedGemm::pack(&Tensor::from_vec(k1, n, w_ih_mat.clone()));
+        let w_hh = PackedGemm::pack(&Tensor::from_vec(k2, n, w_hh_mat.clone()));
+        for isa in Isa::supported() {
+            let mut gates = vec![0.0f32; m * n];
+            gemm_packed_force(isa, m, &x, &w_ih, false, None, Activation::Identity, &mut gates);
+            gemm_packed_force(
+                isa,
+                m,
+                &h,
+                &w_hh,
+                true,
+                Some(&bias),
+                Activation::Identity,
+                &mut gates,
+            );
+            let mut want = vec![0.0f32; m * n];
+            reference(m, k1, n, &x, &w_ih_mat, false, None, Activation::Identity, &mut want);
+            reference(m, k2, n, &h, &w_hh_mat, true, Some(&bias), Activation::Identity, &mut want);
+            for (idx, (g, r)) in gates.iter().zip(&want).enumerate() {
+                assert!((g - r).abs() <= 2e-5, "{isa:?} gates[{idx}]: {g} vs {r}");
+            }
+        }
+    }
+}

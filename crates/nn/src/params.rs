@@ -7,8 +7,10 @@
 //! graph accumulates gradients back into the store; the optimizer then reads
 //! value/grad pairs from here.
 
+use crate::pack::PackedGemm;
 use crate::tensor::Tensor;
 use serde::{Deserialize, Serialize};
+use std::sync::OnceLock;
 
 /// Stable handle to a parameter inside a [`ParamStore`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -33,9 +35,34 @@ pub struct Param {
 }
 
 /// The set of all parameters of a model.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct ParamStore {
     params: Vec<Param>,
+    /// Lazily built panel-packed copies of parameter values for the
+    /// inference GEMM (`crate::pack`). Outer lock sizes the table on first
+    /// use (post-deserialize stores start empty), inner locks pack each
+    /// weight the first time a forward pass touches it. Every `&mut` access
+    /// to a value drops the whole cache, so training, checkpoint loads, and
+    /// hot-swaps can never serve stale panels. Never serialized.
+    packed: OnceLock<Vec<OnceLock<PackedGemm>>>,
+}
+
+// Hand-written (de)serialization: only `params` is persisted; the packed
+// cache is a derived artifact rebuilt lazily after load.
+impl Serialize for ParamStore {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Obj(vec![("params".to_string(), self.params.to_value())])
+    }
+}
+
+impl Deserialize for ParamStore {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let obj =
+            v.as_obj().ok_or_else(|| serde::Error::type_mismatch("ParamStore", "object", v))?;
+        let params = Vec::<Param>::from_value(serde::obj_field(obj, "params"))
+            .map_err(|e| e.in_field("ParamStore", "params"))?;
+        Ok(ParamStore { params, packed: OnceLock::new() })
+    }
 }
 
 impl ParamStore {
@@ -47,6 +74,7 @@ impl ParamStore {
     pub fn register(&mut self, name: impl Into<String>, value: Tensor) -> ParamId {
         let grad = Tensor::zeros(value.rows(), value.cols());
         self.params.push(Param { name: name.into(), value, grad, trainable: true });
+        self.packed = OnceLock::new();
         ParamId(self.params.len() - 1)
     }
 
@@ -79,7 +107,28 @@ impl ParamStore {
     }
 
     pub fn value_mut(&mut self, id: ParamId) -> &mut Tensor {
+        self.packed = OnceLock::new();
         &mut self.params[id.0].value
+    }
+
+    /// Panel-packed copy of parameter `id`'s value for the inference GEMM,
+    /// built on first use and shared across threads (the pack is
+    /// deterministic, so concurrent initialization races are benign).
+    pub fn packed(&self, id: ParamId) -> &PackedGemm {
+        let cache =
+            self.packed.get_or_init(|| self.params.iter().map(|_| OnceLock::new()).collect());
+        cache[id.0].get_or_init(|| PackedGemm::pack(&self.params[id.0].value))
+    }
+
+    /// Eagerly pack every multi-row parameter (weight matrices; 1-row
+    /// biases are never GEMM operands) so a freshly loaded model pays the
+    /// packing cost at load time instead of on its first prediction.
+    pub fn warm_packed(&self) {
+        for (id, p) in self.params.iter().enumerate() {
+            if p.value.rows() > 1 {
+                self.packed(ParamId(id));
+            }
+        }
     }
 
     pub fn grad(&self, id: ParamId) -> &Tensor {
@@ -105,6 +154,7 @@ impl ParamStore {
 
     /// Mutable access for optimizers.
     pub(crate) fn params_mut(&mut self) -> &mut [Param] {
+        self.packed = OnceLock::new();
         &mut self.params
     }
 

@@ -162,11 +162,12 @@ impl Tensor {
         );
         out.reshape_for(self.rows, other.rows);
         let k = self.cols;
+        let dot_fn = kernels().dot;
         for i in 0..self.rows {
             let a_row = &self.data[i * k..(i + 1) * k];
             for j in 0..other.rows {
                 let b_row = &other.data[j * k..(j + 1) * k];
-                out.data[i * other.rows + j] = dot_unrolled(a_row, b_row);
+                out.data[i * other.rows + j] = dot_fn(a_row, b_row);
             }
         }
     }
@@ -322,11 +323,88 @@ impl Tensor {
     }
 }
 
-/// Unrolled dot product with four independent accumulators hiding the FMA
-/// latency chain, reduced as `(s0+s1)+(s2+s3)` plus a scalar tail. Every dot
-/// product in the inference fast path (attention scores, batched score
-/// scatter) goes through this one function so the accumulation order — and
-/// therefore the bit pattern of the result — is identical everywhere.
+/// The per-process kernel function table: every hot product dispatches
+/// through these pointers, selected **once** from [`crate::isa::active`].
+/// One tier per process means every FP-order contract (batched row ==
+/// m=1 row, scalar score == batched score) holds within the tier even
+/// though tiers round differently from each other.
+pub(crate) struct KernelTable {
+    pub gemm: GemmFn,
+    pub dot: fn(&[f32], &[f32]) -> f32,
+}
+
+/// `(m, k, n, a, b, out)` — one GEMM kernel entry point.
+pub(crate) type GemmFn = fn(usize, usize, usize, &[f32], &[f32], &mut [f32]);
+
+/// The selected kernel table (resolved on first use, then immutable).
+pub(crate) fn kernels() -> &'static KernelTable {
+    use crate::isa::Isa;
+    static TABLE: std::sync::OnceLock<KernelTable> = std::sync::OnceLock::new();
+    TABLE.get_or_init(|| match crate::isa::active() {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: `active()` only returns a tier the CPU supports.
+        Isa::Avx512 => KernelTable {
+            gemm: |m, k, n, a, b, out| unsafe { matmul_kernel_avx512(m, k, n, a, b, out) },
+            dot: |a, b| unsafe { dot_avx512(a, b) },
+        },
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx2 => KernelTable {
+            gemm: |m, k, n, a, b, out| unsafe { matmul_kernel_fma(m, k, n, a, b, out) },
+            dot: |a, b| unsafe { dot_fma(a, b) },
+        },
+        _ => KernelTable { gemm: matmul_kernel_portable, dot: dot_unrolled },
+    })
+}
+
+/// Run the GEMM kernel of a specific tier, regardless of the process-wide
+/// selection (falls back to scalar when the CPU lacks the tier). Test-only
+/// escape hatch: `QPS_FORCE_ISA` is read once per process, so per-variant
+/// coverage inside one test binary goes through this instead.
+pub fn matmul_kernel_force(
+    isa: crate::isa::Isa,
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+) {
+    use crate::isa::Isa;
+    match isa {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: feature support verified before entering the variant.
+        Isa::Avx512 if isa.cpu_supports() => unsafe { matmul_kernel_avx512(m, k, n, a, b, out) },
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx2 if isa.cpu_supports() => unsafe { matmul_kernel_fma(m, k, n, a, b, out) },
+        _ => matmul_kernel_portable(m, k, n, a, b, out),
+    }
+}
+
+/// Tier-forced dot product; see [`matmul_kernel_force`].
+pub fn dot_force(isa: crate::isa::Isa, a: &[f32], b: &[f32]) -> f32 {
+    use crate::isa::Isa;
+    match isa {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: feature support verified before entering the variant.
+        Isa::Avx512 if isa.cpu_supports() => unsafe { dot_avx512(a, b) },
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx2 if isa.cpu_supports() => unsafe { dot_fma(a, b) },
+        _ => dot_unrolled(a, b),
+    }
+}
+
+/// The dot product of the selected tier. Every dot in the inference fast
+/// path (attention scores, batched score scatter) goes through this one
+/// dispatch so the accumulation order — and therefore the bit pattern of
+/// the result — is identical everywhere in a process.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    (kernels().dot)(a, b)
+}
+
+/// Unrolled scalar dot product with four independent accumulators hiding
+/// the multiply-add latency chain, reduced as `(s0+s1)+(s2+s3)` plus a
+/// scalar tail: the portable tier of [`dot`].
 #[inline]
 pub fn dot_unrolled(a: &[f32], b: &[f32]) -> f32 {
     debug_assert_eq!(a.len(), b.len());
@@ -368,13 +446,7 @@ pub fn dot_unrolled(a: &[f32], b: &[f32]) -> f32 {
 /// (asserted by `batched_rows_bitwise_equal_single_rows` below and the
 /// proptests in `tests/proptests.rs`).
 pub(crate) fn matmul_kernel(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
-    #[cfg(target_arch = "x86_64")]
-    if std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma") {
-        // SAFETY: AVX2 + FMA support was just verified at runtime.
-        unsafe { matmul_kernel_fma(m, k, n, a, b, out) };
-        return;
-    }
-    matmul_kernel_portable(m, k, n, a, b, out);
+    (kernels().gemm)(m, k, n, a, b, out)
 }
 
 /// Portable scalar body of [`matmul_kernel`]. The FMA variant selected above
@@ -645,6 +717,294 @@ unsafe fn matmul_row_fma(k: usize, n: usize, a_row: &[f32], b: &[f32], o_row: &m
         }
         kk += 1;
     }
+}
+
+/// AVX-512F register-tiled kernel: output tiles of 4 rows x 32 columns live
+/// in zmm accumulators across the entire k loop (8 chains hide the fma
+/// latency), with a 16-wide loop and one *masked* 16-wide step covering the
+/// column tail — tail lanes are branchless, so which code path a column
+/// takes depends only on its index and `n`, never on the row count.
+///
+/// **FP-order contract:** identical to [`matmul_kernel_fma`] — every output
+/// element is a single k-increasing fused-multiply-add chain, and skipped
+/// all-zero steps would have contributed `fma(0, b, acc) == acc` exactly.
+/// Row `i` of an m-row product is bitwise identical to its m=1 twin. Values
+/// differ from the AVX2 and portable tiers in the last bits; one tier per
+/// process (see [`crate::isa::active`]) keeps every in-process comparison
+/// bitwise-consistent.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn matmul_kernel_avx512(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+) {
+    use std::arch::x86_64::*;
+    let mut i = 0;
+    while i + 4 <= m {
+        let (a0, rest) = a[i * k..].split_at(k);
+        let (a1, rest) = rest.split_at(k);
+        let (a2, rest) = rest.split_at(k);
+        let a3 = &rest[..k];
+        // Same sparse-step heuristic as the AVX2 tier: one-hot heavy inputs
+        // share structural zero slots across the batch, and skipping an
+        // all-zero step is bitwise-free.
+        let mut skippable = 0usize;
+        for kk in 0..k {
+            if a0[kk] == 0.0 && a1[kk] == 0.0 && a2[kk] == 0.0 && a3[kk] == 0.0 {
+                skippable += 1;
+            }
+        }
+        let sparse = skippable * 4 >= k;
+        let mut j = 0;
+        while j + 32 <= n {
+            let mut acc00 = _mm512_setzero_ps();
+            let mut acc01 = _mm512_setzero_ps();
+            let mut acc10 = _mm512_setzero_ps();
+            let mut acc11 = _mm512_setzero_ps();
+            let mut acc20 = _mm512_setzero_ps();
+            let mut acc21 = _mm512_setzero_ps();
+            let mut acc30 = _mm512_setzero_ps();
+            let mut acc31 = _mm512_setzero_ps();
+            for kk in 0..k {
+                let c0 = *a0.get_unchecked(kk);
+                let c1 = *a1.get_unchecked(kk);
+                let c2 = *a2.get_unchecked(kk);
+                let c3 = *a3.get_unchecked(kk);
+                if sparse && c0 == 0.0 && c1 == 0.0 && c2 == 0.0 && c3 == 0.0 {
+                    continue;
+                }
+                let bv0 = _mm512_loadu_ps(b.as_ptr().add(kk * n + j));
+                let bv1 = _mm512_loadu_ps(b.as_ptr().add(kk * n + j + 16));
+                let v0 = _mm512_set1_ps(c0);
+                acc00 = _mm512_fmadd_ps(v0, bv0, acc00);
+                acc01 = _mm512_fmadd_ps(v0, bv1, acc01);
+                let v1 = _mm512_set1_ps(c1);
+                acc10 = _mm512_fmadd_ps(v1, bv0, acc10);
+                acc11 = _mm512_fmadd_ps(v1, bv1, acc11);
+                let v2 = _mm512_set1_ps(c2);
+                acc20 = _mm512_fmadd_ps(v2, bv0, acc20);
+                acc21 = _mm512_fmadd_ps(v2, bv1, acc21);
+                let v3 = _mm512_set1_ps(c3);
+                acc30 = _mm512_fmadd_ps(v3, bv0, acc30);
+                acc31 = _mm512_fmadd_ps(v3, bv1, acc31);
+            }
+            _mm512_storeu_ps(out.as_mut_ptr().add(i * n + j), acc00);
+            _mm512_storeu_ps(out.as_mut_ptr().add(i * n + j + 16), acc01);
+            _mm512_storeu_ps(out.as_mut_ptr().add((i + 1) * n + j), acc10);
+            _mm512_storeu_ps(out.as_mut_ptr().add((i + 1) * n + j + 16), acc11);
+            _mm512_storeu_ps(out.as_mut_ptr().add((i + 2) * n + j), acc20);
+            _mm512_storeu_ps(out.as_mut_ptr().add((i + 2) * n + j + 16), acc21);
+            _mm512_storeu_ps(out.as_mut_ptr().add((i + 3) * n + j), acc30);
+            _mm512_storeu_ps(out.as_mut_ptr().add((i + 3) * n + j + 16), acc31);
+            j += 32;
+        }
+        while j + 16 <= n {
+            let mut acc0 = _mm512_setzero_ps();
+            let mut acc1 = _mm512_setzero_ps();
+            let mut acc2 = _mm512_setzero_ps();
+            let mut acc3 = _mm512_setzero_ps();
+            for kk in 0..k {
+                let c0 = *a0.get_unchecked(kk);
+                let c1 = *a1.get_unchecked(kk);
+                let c2 = *a2.get_unchecked(kk);
+                let c3 = *a3.get_unchecked(kk);
+                if sparse && c0 == 0.0 && c1 == 0.0 && c2 == 0.0 && c3 == 0.0 {
+                    continue;
+                }
+                let bv = _mm512_loadu_ps(b.as_ptr().add(kk * n + j));
+                acc0 = _mm512_fmadd_ps(_mm512_set1_ps(c0), bv, acc0);
+                acc1 = _mm512_fmadd_ps(_mm512_set1_ps(c1), bv, acc1);
+                acc2 = _mm512_fmadd_ps(_mm512_set1_ps(c2), bv, acc2);
+                acc3 = _mm512_fmadd_ps(_mm512_set1_ps(c3), bv, acc3);
+            }
+            _mm512_storeu_ps(out.as_mut_ptr().add(i * n + j), acc0);
+            _mm512_storeu_ps(out.as_mut_ptr().add((i + 1) * n + j), acc1);
+            _mm512_storeu_ps(out.as_mut_ptr().add((i + 2) * n + j), acc2);
+            _mm512_storeu_ps(out.as_mut_ptr().add((i + 3) * n + j), acc3);
+            j += 16;
+        }
+        if j < n {
+            // Masked column tail: zero-masked loads contribute
+            // `fma(c, 0, acc) == acc` in the dead lanes, live lanes follow
+            // the exact per-element chain of the full-width loop.
+            let mask: __mmask16 = (1u16 << (n - j)) - 1;
+            let mut acc0 = _mm512_setzero_ps();
+            let mut acc1 = _mm512_setzero_ps();
+            let mut acc2 = _mm512_setzero_ps();
+            let mut acc3 = _mm512_setzero_ps();
+            for kk in 0..k {
+                let c0 = *a0.get_unchecked(kk);
+                let c1 = *a1.get_unchecked(kk);
+                let c2 = *a2.get_unchecked(kk);
+                let c3 = *a3.get_unchecked(kk);
+                if sparse && c0 == 0.0 && c1 == 0.0 && c2 == 0.0 && c3 == 0.0 {
+                    continue;
+                }
+                let bv = _mm512_maskz_loadu_ps(mask, b.as_ptr().add(kk * n + j));
+                acc0 = _mm512_fmadd_ps(_mm512_set1_ps(c0), bv, acc0);
+                acc1 = _mm512_fmadd_ps(_mm512_set1_ps(c1), bv, acc1);
+                acc2 = _mm512_fmadd_ps(_mm512_set1_ps(c2), bv, acc2);
+                acc3 = _mm512_fmadd_ps(_mm512_set1_ps(c3), bv, acc3);
+            }
+            _mm512_mask_storeu_ps(out.as_mut_ptr().add(i * n + j), mask, acc0);
+            _mm512_mask_storeu_ps(out.as_mut_ptr().add((i + 1) * n + j), mask, acc1);
+            _mm512_mask_storeu_ps(out.as_mut_ptr().add((i + 2) * n + j), mask, acc2);
+            _mm512_mask_storeu_ps(out.as_mut_ptr().add((i + 3) * n + j), mask, acc3);
+        }
+        i += 4;
+    }
+    for i in i..m {
+        matmul_row_avx512(k, n, &a[i * k..(i + 1) * k], b, &mut out[i * n..(i + 1) * n]);
+    }
+}
+
+/// Remainder-row (and m=1) path of [`matmul_kernel_avx512`]: the same
+/// 16-wide + masked-tail column scheme, accumulators kept in registers for
+/// the whole k loop, zero coefficients skipped (bitwise-free).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn matmul_row_avx512(k: usize, n: usize, a_row: &[f32], b: &[f32], o_row: &mut [f32]) {
+    use std::arch::x86_64::*;
+    let mut j = 0;
+    while j + 32 <= n {
+        let mut acc0 = _mm512_setzero_ps();
+        let mut acc1 = _mm512_setzero_ps();
+        for kk in 0..k {
+            let c = *a_row.get_unchecked(kk);
+            if c == 0.0 {
+                continue;
+            }
+            let v = _mm512_set1_ps(c);
+            acc0 = _mm512_fmadd_ps(v, _mm512_loadu_ps(b.as_ptr().add(kk * n + j)), acc0);
+            acc1 = _mm512_fmadd_ps(v, _mm512_loadu_ps(b.as_ptr().add(kk * n + j + 16)), acc1);
+        }
+        _mm512_storeu_ps(o_row.as_mut_ptr().add(j), acc0);
+        _mm512_storeu_ps(o_row.as_mut_ptr().add(j + 16), acc1);
+        j += 32;
+    }
+    while j + 16 <= n {
+        let mut acc = _mm512_setzero_ps();
+        for kk in 0..k {
+            let c = *a_row.get_unchecked(kk);
+            if c == 0.0 {
+                continue;
+            }
+            acc = _mm512_fmadd_ps(
+                _mm512_set1_ps(c),
+                _mm512_loadu_ps(b.as_ptr().add(kk * n + j)),
+                acc,
+            );
+        }
+        _mm512_storeu_ps(o_row.as_mut_ptr().add(j), acc);
+        j += 16;
+    }
+    if j < n {
+        let mask: __mmask16 = (1u16 << (n - j)) - 1;
+        let mut acc = _mm512_setzero_ps();
+        for kk in 0..k {
+            let c = *a_row.get_unchecked(kk);
+            if c == 0.0 {
+                continue;
+            }
+            let bv = _mm512_maskz_loadu_ps(mask, b.as_ptr().add(kk * n + j));
+            acc = _mm512_fmadd_ps(_mm512_set1_ps(c), bv, acc);
+        }
+        _mm512_mask_storeu_ps(o_row.as_mut_ptr().add(j), mask, acc);
+    }
+}
+
+/// AVX2+FMA dot product: two 8-lane fma chains over 16-wide steps, one
+/// 8-wide step, a deterministic tree reduction, then a scalar `mul_add`
+/// tail. Lane membership depends only on the index, so the result is a
+/// pure function of the inputs — the property [`Tensor::matmul_nt_into`]
+/// and the batched attention score scatter both rely on.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn dot_fma(a: &[f32], b: &[f32]) -> f32 {
+    use std::arch::x86_64::*;
+    debug_assert_eq!(a.len(), b.len());
+    let k = a.len();
+    let mut acc0 = _mm256_setzero_ps();
+    let mut acc1 = _mm256_setzero_ps();
+    let mut kk = 0;
+    while kk + 16 <= k {
+        acc0 = _mm256_fmadd_ps(
+            _mm256_loadu_ps(a.as_ptr().add(kk)),
+            _mm256_loadu_ps(b.as_ptr().add(kk)),
+            acc0,
+        );
+        acc1 = _mm256_fmadd_ps(
+            _mm256_loadu_ps(a.as_ptr().add(kk + 8)),
+            _mm256_loadu_ps(b.as_ptr().add(kk + 8)),
+            acc1,
+        );
+        kk += 16;
+    }
+    while kk + 8 <= k {
+        acc0 = _mm256_fmadd_ps(
+            _mm256_loadu_ps(a.as_ptr().add(kk)),
+            _mm256_loadu_ps(b.as_ptr().add(kk)),
+            acc0,
+        );
+        kk += 8;
+    }
+    let acc = _mm256_add_ps(acc0, acc1);
+    let lo = _mm256_castps256_ps128(acc);
+    let hi = _mm256_extractf128_ps::<1>(acc);
+    let q = _mm_add_ps(lo, hi);
+    let d = _mm_add_ps(q, _mm_movehl_ps(q, q));
+    let s = _mm_add_ss(d, _mm_shuffle_ps::<1>(d, d));
+    let mut sum = _mm_cvtss_f32(s);
+    while kk < k {
+        sum = a[kk].mul_add(b[kk], sum);
+        kk += 1;
+    }
+    sum
+}
+
+/// AVX-512F dot product: two 16-lane fma chains over 32-wide steps, one
+/// 16-wide step, the `_mm512_reduce_add_ps` tree reduction, then a scalar
+/// `mul_add` tail. Same determinism note as [`dot_fma`].
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn dot_avx512(a: &[f32], b: &[f32]) -> f32 {
+    use std::arch::x86_64::*;
+    debug_assert_eq!(a.len(), b.len());
+    let k = a.len();
+    let mut acc0 = _mm512_setzero_ps();
+    let mut acc1 = _mm512_setzero_ps();
+    let mut kk = 0;
+    while kk + 32 <= k {
+        acc0 = _mm512_fmadd_ps(
+            _mm512_loadu_ps(a.as_ptr().add(kk)),
+            _mm512_loadu_ps(b.as_ptr().add(kk)),
+            acc0,
+        );
+        acc1 = _mm512_fmadd_ps(
+            _mm512_loadu_ps(a.as_ptr().add(kk + 16)),
+            _mm512_loadu_ps(b.as_ptr().add(kk + 16)),
+            acc1,
+        );
+        kk += 32;
+    }
+    while kk + 16 <= k {
+        acc0 = _mm512_fmadd_ps(
+            _mm512_loadu_ps(a.as_ptr().add(kk)),
+            _mm512_loadu_ps(b.as_ptr().add(kk)),
+            acc0,
+        );
+        kk += 16;
+    }
+    let mut sum = _mm512_reduce_add_ps(_mm512_add_ps(acc0, acc1));
+    while kk < k {
+        sum = a[kk].mul_add(b[kk], sum);
+        kk += 1;
+    }
+    sum
 }
 
 /// One row of the i-k-j kernel: `o_row[1 x n] += a_row[1 x k] * b[k x n]`.

@@ -1,7 +1,9 @@
 //! Property-based tests for the tensor and autograd layers.
 
 use proptest::prelude::*;
+use qpseeker_nn::pack::{gemm_packed_force, PackedGemm};
 use qpseeker_nn::prelude::*;
+use qpseeker_nn::tensor::{dot_force, matmul_kernel_force};
 
 /// Strategy: a tensor with the given shape and bounded values.
 fn tensor(rows: usize, cols: usize) -> impl Strategy<Value = Tensor> {
@@ -259,5 +261,157 @@ proptest! {
         let l = g.constant(lv);
         let kl = g.kl_standard_normal(m, l);
         prop_assert!(g.value(kl).get(0, 0) >= -1e-5);
+    }
+}
+
+/// Scalar reference for the fused epilogue: optional accumulate into the
+/// previous output, optional bias row, then the activation via libm.
+fn epilogue_naive(
+    gemm: &Tensor,
+    prev: &[f32],
+    accumulate: bool,
+    bias: Option<&[f32]>,
+    act: Activation,
+) -> Vec<f32> {
+    let n = gemm.cols();
+    gemm.data()
+        .iter()
+        .enumerate()
+        .map(|(idx, &g)| {
+            let mut v = g;
+            if accumulate {
+                v += prev[idx];
+            }
+            if let Some(b) = bias {
+                v += b[idx % n];
+            }
+            match act {
+                Activation::Identity => v,
+                Activation::Relu => v.max(0.0),
+                Activation::Tanh => v.tanh(),
+                Activation::Sigmoid => 1.0 / (1.0 + (-v).exp()),
+            }
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every dispatchable GEMM tier agrees with the naive triple loop over
+    /// the 1..33 shape cube — the domain that crosses every lane boundary
+    /// of the 32-, 16-, 8- and 4-wide code paths — with zero blocks planted
+    /// to exercise the sparse-skip branches of each tier.
+    #[test]
+    fn forced_isa_gemm_matches_reference(
+        (a, b) in (1usize..33, 1usize..33, 1usize..33)
+            .prop_flat_map(|(m, k, n)| (kernel_matrix(m, k), kernel_matrix(k, n)))
+    ) {
+        let (m, k, n) = (a.rows(), a.cols(), b.cols());
+        let slow = matmul_naive(&a, &b);
+        let tol = 1e-5 * (k as f32).sqrt().max(1.0);
+        let mut out = vec![0f32; m * n];
+        for isa in Isa::supported() {
+            out.iter_mut().for_each(|v| *v = 0.0);
+            matmul_kernel_force(isa, m, k, n, a.data(), b.data(), &mut out);
+            for (idx, (x, y)) in out.iter().zip(slow.data()).enumerate() {
+                prop_assert!((x - y).abs() <= tol * (1.0 + y.abs()),
+                    "{isa:?} ({m}x{k}x{n}) idx {idx}: {x} vs naive {y}");
+            }
+        }
+    }
+
+    /// FP-order contract per tier: row `i` of an m-row product is bitwise
+    /// identical to the m=1 product of that row alone, for every forced ISA.
+    #[test]
+    fn forced_isa_gemm_rows_bitwise_equal_scalar(
+        (a, b) in (2usize..33, 1usize..33, 1usize..33)
+            .prop_flat_map(|(m, k, n)| (kernel_matrix(m, k), kernel_matrix(k, n)))
+    ) {
+        let (m, k, n) = (a.rows(), a.cols(), b.cols());
+        let mut batched = vec![0f32; m * n];
+        let mut single = vec![0f32; n];
+        for isa in Isa::supported() {
+            batched.iter_mut().for_each(|v| *v = 0.0);
+            matmul_kernel_force(isa, m, k, n, a.data(), b.data(), &mut batched);
+            for i in 0..m {
+                single.iter_mut().for_each(|v| *v = 0.0);
+                matmul_kernel_force(isa, 1, k, n, a.row_slice(i), b.data(), &mut single);
+                for (x, y) in batched[i * n..(i + 1) * n].iter().zip(&single) {
+                    prop_assert_eq!(x.to_bits(), y.to_bits(),
+                        "{:?} row {} of {}x{}x{} differs from its m=1 twin", isa, i, m, k, n);
+                }
+            }
+        }
+    }
+
+    /// Every dot-product tier agrees with a mul_add reference.
+    #[test]
+    fn forced_isa_dot_matches_reference(
+        (a, b) in (1usize..129).prop_flat_map(|k| (kernel_matrix(1, k), kernel_matrix(1, k)))
+    ) {
+        let reference: f32 =
+            a.data().iter().zip(b.data()).fold(0.0f32, |acc, (&x, &y)| x.mul_add(y, acc));
+        let tol = 1e-5 * (a.cols() as f32).sqrt().max(1.0);
+        for isa in Isa::supported() {
+            let got = dot_force(isa, a.data(), b.data());
+            prop_assert!((got - reference).abs() <= tol * (1.0 + reference.abs()),
+                "{isa:?} k={}: {got} vs {reference}", a.cols());
+        }
+    }
+
+    /// The packed GEMM with fused epilogue (accumulate/bias/activation in
+    /// one output pass) matches the unfused scalar reference on every tier,
+    /// shape, activation, and epilogue combination. Activations tolerate
+    /// the vector tiers' polynomial tanh/sigmoid approximations.
+    #[test]
+    fn forced_isa_packed_gemm_fused_epilogue_matches_reference(
+        ((a, w), prev_seed) in ((1usize..33, 1usize..33, 1usize..33)
+            .prop_flat_map(|(m, k, n)| (kernel_matrix(m, k), kernel_matrix(k, n))), 0u64..1000)
+    ) {
+        let (m, k, n) = (a.rows(), a.cols(), w.cols());
+        let packed = PackedGemm::pack(&w);
+        let gemm = matmul_naive(&a, &w);
+        let mut init = Initializer::new(prev_seed);
+        let prev = init.normal(m, n, 1.0);
+        let bias = init.normal(1, n, 1.0);
+        let mut out = vec![0f32; m * n];
+        for isa in Isa::supported() {
+            for act in [Activation::Identity, Activation::Relu, Activation::Tanh, Activation::Sigmoid] {
+                for accumulate in [false, true] {
+                    for with_bias in [false, true] {
+                        out.copy_from_slice(prev.data());
+                        let b = with_bias.then(|| bias.data());
+                        gemm_packed_force(isa, m, a.data(), &packed, accumulate, b, act, &mut out);
+                        let reference = epilogue_naive(&gemm, prev.data(), accumulate, b, act);
+                        for (idx, (x, y)) in out.iter().zip(&reference).enumerate() {
+                            prop_assert!((x - y).abs() <= 2e-5 + 1e-5 * y.abs(),
+                                "{isa:?} ({m}x{k}x{n}) {act:?} acc={accumulate} bias={with_bias} idx {idx}: {x} vs {y}");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// `A·Bᵀ` through the dispatched dot agrees with the naive reference
+    /// under whatever tier the process selected (CI re-runs this binary
+    /// with `QPS_FORCE_ISA` set to each tier).
+    #[test]
+    fn matmul_nt_matches_reference(
+        (a, b) in (1usize..17, 1usize..33, 1usize..17)
+            .prop_flat_map(|(m, k, n)| (kernel_matrix(m, k), kernel_matrix(n, k)))
+    ) {
+        let mut out = Tensor::zeros(a.rows(), b.rows());
+        a.matmul_nt_into(&b, &mut out);
+        let tol = 1e-5 * (a.cols() as f32).sqrt().max(1.0);
+        for i in 0..a.rows() {
+            for j in 0..b.rows() {
+                let reference: f32 = a.row_slice(i).iter().zip(b.row_slice(j))
+                    .fold(0.0f32, |acc, (&x, &y)| x.mul_add(y, acc));
+                prop_assert!((out.get(i, j) - reference).abs() <= tol * (1.0 + reference.abs()),
+                    "({i},{j}): {} vs {reference}", out.get(i, j));
+            }
+        }
     }
 }

@@ -84,7 +84,9 @@ commands:
   explain  --db <db.json> --sql \"SELECT COUNT(*) FROM ...\"
   run      --db <db.json> --sql \"...\"            (optimize + execute)
   plan     --db <db.json> --model <model.json> --sql \"...\" [--execute]
-           (neural planning with MCTS)
+           [--parallel-sims <n>] (neural planning with MCTS; n >= 1 shards
+            one query's simulations over up to n threads — the chosen plan
+            is bitwise identical for every n; 0 = classic single tree)
   serve    --db <db.json> --sql \"...\" [--model <model.json>]
            [--deadline-ms <f64>] [--retries <n>] [--chaos <p> --seed <u64>]
            (neural planning with deadline watchdog, retries and classical
@@ -97,6 +99,8 @@ commands:
             with its own session over the shared model; default 1)
            [--batch-eval <n>] (MCTS rollouts scored per batched cost-model
             pass; 1 disables batching; default 16)
+           [--parallel-sims <n>] (root-parallel in-query MCTS shards;
+            see plan; default 0)
            --online closes the serving loop: executions are appended to a
            durable experience WAL under --state-dir, a background fine-tune
            runs every --retrain-every records, candidates pass a held-out
@@ -274,7 +278,11 @@ fn plan(opts: &Opts) -> Result<(), String> {
     let data = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
     let ckpt = Checkpoint::from_json(&data).map_err(|e| e.to_string())?;
     let model = ckpt.restore(&db).map_err(|e| e.to_string())?;
-    let planner = MctsPlanner::new(MctsConfig::default());
+    let mut mcts = MctsConfig::default();
+    if let Some(p) = opts.get("parallel-sims") {
+        mcts.parallel_sims = p.parse().map_err(|e| format!("--parallel-sims: {e}"))?;
+    }
+    let planner = MctsPlanner::new(mcts);
     let res = planner.plan(&model, &q);
     println!("{}", res.plan.pretty());
     println!(
@@ -314,6 +322,9 @@ fn serve(opts: &Opts) -> Result<(), String> {
     }
     if let Some(b) = opts.get("batch-eval") {
         cfg.mcts.batch_eval = b.parse().map_err(|e| format!("--batch-eval: {e}"))?;
+    }
+    if let Some(p) = opts.get("parallel-sims") {
+        cfg.mcts.parallel_sims = p.parse().map_err(|e| format!("--parallel-sims: {e}"))?;
     }
     if let Some(p) = opts.get("chaos") {
         let p: f64 = p.parse().map_err(|e| format!("--chaos: {e}"))?;
@@ -381,6 +392,9 @@ fn serve_stream(db: &Arc<Database>, opts: &Opts) -> Result<(), String> {
     }
     if let Some(b) = opts.get("batch-eval") {
         cfg.serve.mcts.batch_eval = b.parse().map_err(|e| format!("--batch-eval: {e}"))?;
+    }
+    if let Some(p) = opts.get("parallel-sims") {
+        cfg.serve.mcts.parallel_sims = p.parse().map_err(|e| format!("--parallel-sims: {e}"))?;
     }
     if let Some(p) = opts.get("chaos") {
         let p: f64 = p.parse().map_err(|e| format!("--chaos: {e}"))?;
