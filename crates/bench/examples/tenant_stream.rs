@@ -1,0 +1,159 @@
+//! Mixed-tenant serving harness for BENCH_PR8.json: a 2000-request stream
+//! (10x the PR 4 serve-scaling stream) interleaving IMDb-shaped and
+//! Stack-shaped tenants through the multi-tenant supervisor, with the
+//! fingerprint plan cache off and on. Reports per-configuration throughput
+//! on the admission clock, the cache hit rate, and verifies the acceptance
+//! invariant that cached serving chooses bitwise-identical plans.
+//!
+//! Run with `cargo run --release -p qpseeker-bench --example tenant_stream`.
+
+use qpseeker_core::prelude::*;
+use qpseeker_engine::plan::PlanNode;
+use qpseeker_storage::Database;
+use qpseeker_workloads::{
+    stack, synthetic, tenants, Qep, StackConfig, SyntheticConfig, TenantStreamConfig,
+};
+use std::sync::Arc;
+use std::time::Instant;
+
+fn base_cfg() -> SupervisorConfig {
+    SupervisorConfig {
+        serve: ServeConfig {
+            mcts: MctsConfig { budget_ms: 1e9, max_simulations: 12, ..MctsConfig::default() },
+            deadline_ms: 1e12,
+            max_retries: 1,
+            backoff_base_ms: 0.0,
+            faults: None,
+        },
+        failure_threshold: 2.0, // throughput, not degradation, is under test
+        queue_capacity: 4096,
+        service_ms: 5.0,
+        workers: 2,
+        ..SupervisorConfig::default()
+    }
+}
+
+fn fit(db: &Arc<Database>, qeps: &[Qep]) -> Arc<QPSeeker> {
+    let refs: Vec<&Qep> = qeps.iter().collect();
+    let mut model = QPSeeker::new(db, ModelConfig::small());
+    model.fit(&refs).expect("training succeeds");
+    Arc::new(model)
+}
+
+fn fit_imdb_model(db: &Arc<Database>, seed: u64) -> Arc<QPSeeker> {
+    let w = synthetic::generate(db, &SyntheticConfig { n_queries: 12, seed });
+    fit(db, &w.qeps)
+}
+
+/// The synthetic (MSCN-shaped) generator walks IMDb fact tables, so the
+/// Stack tenant trains on its native join-heavy workload instead.
+fn fit_stack_model(db: &Arc<Database>, seed: u64) -> Arc<QPSeeker> {
+    let w = stack::generate(db, &StackConfig { n_queries: 8, seed });
+    fit(db, &w.qeps)
+}
+
+fn plans_by_tenant(outcomes: &[TenantOutcome], tenant: &str) -> Vec<PlanNode> {
+    outcomes
+        .iter()
+        .filter(|o| o.tenant == tenant)
+        .filter_map(|o| match &o.outcome.disposition {
+            Disposition::Served(r) => Some(r.plan.clone()),
+            _ => None,
+        })
+        .collect()
+}
+
+fn main() {
+    let imdb = Arc::new(qpseeker_storage::datagen::imdb::generate(0.04, 2));
+    let stack = Arc::new(qpseeker_storage::datagen::stack::generate(0.03, 2));
+    let imdb_model = fit_imdb_model(&imdb, 3);
+    let stack_model = fit_stack_model(&stack, 5);
+
+    const TENANTS: [&str; 3] = ["movies-a", "movies-b", "forum"];
+    let registry = ModelRegistry::new(usize::MAX);
+    registry.register("movies-a", Arc::clone(&imdb), Arc::clone(&imdb_model));
+    registry.register("movies-b", Arc::clone(&imdb), Arc::clone(&imdb_model));
+    registry.register("forum", Arc::clone(&stack), Arc::clone(&stack_model));
+
+    // 10x the PR 4 serve-scaling stream, mixed across the three tenants
+    // with verbatim re-issues so the cache has something to hit.
+    let items = tenants::generate_stream(
+        &[("movies-a", &imdb), ("movies-b", &imdb), ("forum", &stack)],
+        &TenantStreamConfig {
+            n_requests: 2000,
+            seed: 0xbe4c,
+            mean_interarrival_ms: 2.0,
+            repeat_p: 0.4,
+            deadline_slack_ms: 1e9,
+            pool_size: 64,
+        },
+    );
+    let stream: Vec<TenantRequest> = items
+        .into_iter()
+        .map(|i| TenantRequest {
+            tenant: i.tenant,
+            req: QueryRequest {
+                query: i.query,
+                arrival_ms: i.arrival_ms,
+                deadline_ms: i.deadline_ms,
+            },
+        })
+        .collect();
+
+    let specs = || {
+        vec![
+            TenantSpec::new("movies-a", Arc::clone(&imdb)),
+            TenantSpec::new("movies-b", Arc::clone(&imdb)).with_weight(2.0),
+            TenantSpec::new("forum", Arc::clone(&stack)),
+        ]
+    };
+
+    let run = |cache: Option<Arc<PlanCache>>| {
+        let mut sup =
+            MultiTenantSupervisor::new(MultiTenantConfig { base: base_cfg(), cache }, specs());
+        let start = Instant::now();
+        let outcomes = sup.run(&registry, &stream);
+        let wall = start.elapsed().as_secs_f64();
+        let merged = sup.merged_counters();
+        assert!(merged.conservation_holds(), "conservation broken: {merged}");
+        assert_eq!(merged.admitted, stream.len(), "unsaturated stream admits everything");
+        let qps = merged.admitted as f64 / (sup.virtual_now_ms() / 1e3);
+        (outcomes, merged, qps, wall)
+    };
+
+    let (plain_outcomes, _, plain_qps, plain_wall) = run(None);
+    let cache = Arc::new(PlanCache::new(8, 4096));
+    let (cached_outcomes, cached_counters, cached_qps, cached_wall) = run(Some(Arc::clone(&cache)));
+
+    let mut plans_identical = true;
+    for t in TENANTS {
+        plans_identical &=
+            plans_by_tenant(&plain_outcomes, t) == plans_by_tenant(&cached_outcomes, t);
+    }
+    let stats = cache.stats();
+    let hit_rate = stats.hit_rate();
+
+    println!(
+        "{{\"stream_queries\": {n}, \"tenants\": {t}, \
+         \"virtual_qps_cache_off\": {q0:.1}, \"virtual_qps_cache_on\": {q1:.1}, \
+         \"wall_s_cache_off\": {w0:.2}, \"wall_s_cache_on\": {w1:.2}, \
+         \"wall_speedup_cache_on\": {sp:.2}, \
+         \"cache_hit_rate\": {hr:.3}, \"cache_hits\": {hits}, \
+         \"plans_identical_cache_on_off\": {ident}}}",
+        n = stream.len(),
+        t = TENANTS.len(),
+        q0 = plain_qps,
+        q1 = cached_qps,
+        w0 = plain_wall,
+        w1 = cached_wall,
+        sp = plain_wall / cached_wall.max(1e-9),
+        hr = hit_rate,
+        hits = cached_counters.cache_hits,
+        ident = plans_identical,
+    );
+    assert!(
+        cached_counters.cache_hits > 0,
+        "acceptance: repeat_p=0.4 over 2000 requests must produce cache hits"
+    );
+    assert!(plans_identical, "acceptance: cache hits must be bitwise identical to cache-miss MCTS");
+}

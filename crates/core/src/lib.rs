@@ -47,9 +47,11 @@ pub mod metrics;
 pub mod model;
 pub mod normalize;
 pub mod online;
+pub mod plancache;
 pub mod registry;
 pub mod serve;
 pub mod session;
+pub mod tenant;
 pub mod vae;
 pub mod viz;
 
@@ -68,12 +70,20 @@ pub mod prelude {
     };
     pub use crate::normalize::TargetNormalizer;
     pub use crate::online::{BatchReport, OnlineConfig, OnlinePlanner, PromotionDecision};
-    pub use crate::registry::{ModelCell, RegressionMonitor, SwapVerdict};
+    pub use crate::plancache::{
+        query_fingerprint, CacheStats, CachedPlan, PlanCache, PlanCacheCtx,
+    };
+    pub use crate::registry::{
+        ModelCell, ModelRegistry, RegressionMonitor, SwapVerdict, TenantHandle,
+    };
     pub use crate::serve::{
         plan_with_fallback, BreakerState, CircuitBreaker, Disposition, FallbackReason,
         QueryRequest, ServeConfig, ServeResult, ServedBy, ShedReason, SupervisedOutcome,
         Supervisor, SupervisorConfig,
     };
     pub use crate::session::PlannerSession;
+    pub use crate::tenant::{
+        MultiTenantConfig, MultiTenantSupervisor, TenantOutcome, TenantRequest, TenantSpec,
+    };
     pub use crate::viz::{silhouette, tsne, TsneConfig};
 }

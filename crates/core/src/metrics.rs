@@ -19,6 +19,9 @@ pub struct ServeCounters {
     pub admitted: usize,
     /// Admitted queries served by the neural planner.
     pub served_neural: usize,
+    /// Of the neurally served queries, those answered from the fingerprint
+    /// plan cache without running MCTS (always `<= served_neural`).
+    pub cache_hits: usize,
     /// Admitted queries served by the classical optimizer (fallback,
     /// breaker-open, or no model).
     pub served_classical: usize,
@@ -50,16 +53,44 @@ impl ServeCounters {
     pub fn total_shed(&self) -> usize {
         self.shed_queue_full + self.shed_deadline + self.expired_in_queue
     }
+
+    /// The disposition conservation invariant every serving loop must hold,
+    /// per tenant and in merged totals: every admitted query lands in
+    /// exactly one of neural / classical / failed, and cache hits are a
+    /// subset of the neural count.
+    pub fn conservation_holds(&self) -> bool {
+        self.admitted == self.served_neural + self.served_classical + self.failed
+            && self.cache_hits <= self.served_neural
+    }
+
+    /// Accumulate another tally into this one (merging per-tenant or
+    /// per-worker shards into totals). The ISA tag is taken from `other`;
+    /// shards within one process always agree on it.
+    pub fn merge(&mut self, other: &ServeCounters) {
+        self.admitted += other.admitted;
+        self.served_neural += other.served_neural;
+        self.cache_hits += other.cache_hits;
+        self.served_classical += other.served_classical;
+        self.failed += other.failed;
+        self.shed_queue_full += other.shed_queue_full;
+        self.shed_deadline += other.shed_deadline;
+        self.expired_in_queue += other.expired_in_queue;
+        self.breaker_trips += other.breaker_trips;
+        self.breaker_recoveries += other.breaker_recoveries;
+        self.probes += other.probes;
+        self.isa = other.isa;
+    }
 }
 
 impl std::fmt::Display for ServeCounters {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "isa={} served={} (neural={} classical={} failed={}) shed={} (queue_full={} deadline={} expired={}) breaker(trips={} recoveries={} probes={})",
+            "isa={} served={} (neural={} cache_hits={} classical={} failed={}) shed={} (queue_full={} deadline={} expired={}) breaker(trips={} recoveries={} probes={})",
             self.isa.name(),
             self.admitted,
             self.served_neural,
+            self.cache_hits,
             self.served_classical,
             self.failed,
             self.total_shed(),
@@ -228,6 +259,7 @@ mod tests {
             isa: Isa::default(),
             admitted: 10,
             served_neural: 6,
+            cache_hits: 2,
             served_classical: 3,
             failed: 1,
             shed_queue_full: 2,
@@ -239,9 +271,55 @@ mod tests {
         };
         assert_eq!(c.total_seen(), 14);
         assert_eq!(c.total_shed(), 4);
-        assert_eq!(c.admitted, c.served_neural + c.served_classical + c.failed);
+        assert!(c.conservation_holds());
         let text = c.to_string();
         assert!(text.contains("queue_full=2") && text.contains("trips=1"));
-        assert!(text.contains("failed=1"));
+        assert!(text.contains("failed=1") && text.contains("cache_hits=2"));
+    }
+
+    #[test]
+    fn merge_sums_every_disposition_and_preserves_conservation() {
+        let a = ServeCounters {
+            admitted: 5,
+            served_neural: 3,
+            cache_hits: 1,
+            served_classical: 2,
+            shed_queue_full: 1,
+            breaker_trips: 1,
+            ..ServeCounters::default()
+        };
+        let b = ServeCounters {
+            admitted: 4,
+            served_neural: 1,
+            served_classical: 2,
+            failed: 1,
+            shed_deadline: 2,
+            probes: 3,
+            ..ServeCounters::default()
+        };
+        assert!(a.conservation_holds() && b.conservation_holds());
+        let mut merged = a;
+        merged.merge(&b);
+        assert_eq!(merged.admitted, 9);
+        assert_eq!(merged.served_neural, 4);
+        assert_eq!(merged.cache_hits, 1);
+        assert_eq!(merged.served_classical, 4);
+        assert_eq!(merged.failed, 1);
+        assert_eq!(merged.total_seen(), 12);
+        assert_eq!(merged.breaker_trips, 1);
+        assert_eq!(merged.probes, 3);
+        assert!(merged.conservation_holds(), "conservation is closed under merge");
+    }
+
+    #[test]
+    fn cache_hits_exceeding_neural_breaks_conservation() {
+        let c = ServeCounters {
+            admitted: 2,
+            served_neural: 1,
+            cache_hits: 2,
+            served_classical: 1,
+            ..ServeCounters::default()
+        };
+        assert!(!c.conservation_holds());
     }
 }

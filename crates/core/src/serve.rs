@@ -31,6 +31,7 @@ use crate::error::panic_message;
 use crate::mcts::{MctsConfig, MctsPlanner};
 use crate::metrics::ServeCounters;
 use crate::model::QPSeeker;
+use crate::plancache::{query_fingerprint, CachedPlan, PlanCacheCtx};
 use crate::registry::ModelCell;
 use crate::session::PlannerSession;
 use qpseeker_engine::optimizer::PgOptimizer;
@@ -133,6 +134,10 @@ pub struct ServeResult {
     pub attempt_failures: Vec<FallbackReason>,
     /// The model's runtime prediction for the served plan (neural path only).
     pub predicted_ms: Option<f64>,
+    /// True when the plan came from the fingerprint plan cache (no MCTS
+    /// ran; `served_by` is still `Neural` — the cached plan was produced by
+    /// the neural path under the same model epoch).
+    pub cache_hit: bool,
 }
 
 /// Plan `query`, preferring the neural planner but guaranteeing a valid
@@ -250,6 +255,7 @@ pub fn plan_with_fallback_in(
             fallback_reason: None,
             attempt_failures: failures,
             predicted_ms: Some(result.predicted_ms),
+            cache_hit: false,
         };
     }
 
@@ -273,6 +279,7 @@ fn classical(
         fallback_reason: Some(reason),
         attempt_failures,
         predicted_ms: None,
+        cache_hit: false,
     }
 }
 
@@ -302,6 +309,11 @@ pub struct SupervisorConfig {
     /// [`PlannerSession`], and model that many virtual servers on the
     /// admission clock.
     pub workers: usize,
+    /// Optional fingerprint plan cache this loop serves through: a lookup
+    /// hit returns the cached plan without running MCTS, and every neural
+    /// success is inserted, stamped with the epoch it planned under (see
+    /// [`crate::plancache`] for the invalidation protocol).
+    pub cache: Option<PlanCacheCtx>,
 }
 
 impl Default for SupervisorConfig {
@@ -316,6 +328,7 @@ impl Default for SupervisorConfig {
             queue_capacity: 32,
             service_ms: 10.0,
             workers: 1,
+            cache: None,
         }
     }
 }
@@ -569,6 +582,12 @@ impl Supervisor {
         self.cfg.serve.faults = faults;
     }
 
+    /// Swap the plan-cache context between batches (the multi-tenant
+    /// supervisor refreshes the stats version here before each run).
+    pub fn set_cache(&mut self, cache: Option<PlanCacheCtx>) {
+        self.cfg.cache = cache;
+    }
+
     /// Process a batch of requests ordered by arrival time: admission
     /// control against the bounded queue, deadline-aware shedding, then
     /// service through the circuit breaker. Every admitted query is served
@@ -630,6 +649,8 @@ impl Supervisor {
         // interleaving.
         let workers = self.cfg.workers.max(1);
         let serve_cfg = self.cfg.serve.clone();
+        let cache_ctx = self.cfg.cache.clone();
+        let cache_ctx = cache_ctx.as_ref();
         let breaker = Mutex::new(&mut self.breaker);
         let shards: Vec<(Vec<(usize, Disposition)>, ServeCounters)> = if workers == 1 {
             let mut sess = PlannerSession::new();
@@ -638,12 +659,14 @@ impl Supervisor {
             let served = jobs
                 .iter()
                 .map(|&i| {
-                    let model = source.resolve(&mut held, &mut sess);
+                    let (model, epoch) = source.resolve(&mut held, &mut sess);
                     let d = serve_admitted(
                         db,
                         model,
+                        epoch,
                         &requests[i].query,
                         &serve_cfg,
+                        cache_ctx,
                         &breaker,
                         &mut sess,
                         &mut tally,
@@ -667,12 +690,14 @@ impl Supervisor {
                             loop {
                                 let k = cursor.fetch_add(1, Ordering::Relaxed);
                                 let Some(&i) = jobs.get(k) else { break };
-                                let model = source.resolve(&mut held, &mut sess);
+                                let (model, epoch) = source.resolve(&mut held, &mut sess);
                                 let d = serve_admitted(
                                     db,
                                     model,
+                                    epoch,
                                     &requests[i].query,
                                     serve_cfg,
+                                    cache_ctx,
                                     breaker,
                                     &mut sess,
                                     &mut tally,
@@ -694,6 +719,7 @@ impl Supervisor {
         let _ = breaker;
         for (served, tally) in shards {
             self.counters.served_neural += tally.served_neural;
+            self.counters.cache_hits += tally.cache_hits;
             self.counters.served_classical += tally.served_classical;
             self.counters.failed += tally.failed;
             for (i, d) in served {
@@ -773,20 +799,24 @@ enum Source<'a> {
 }
 
 impl<'a> Source<'a> {
-    /// Resolve the model for one request. On the cell path this pins the
-    /// current `Arc` into `held` for the request's duration and resets the
-    /// worker's session when the publication epoch moved since its last
-    /// request.
+    /// Resolve the model and its publication epoch for one request. On the
+    /// cell path this pins the current `Arc` into `held` for the request's
+    /// duration and resets the worker's session when the publication epoch
+    /// moved since its last request. The returned epoch is the one plan-
+    /// cache lookups and inserts for this request are stamped with, so the
+    /// (model, epoch, cache-entry) triple is always consistent — a swap
+    /// landing after this call cannot mix states. Fixed sources have no
+    /// publication history and report epoch 0.
     fn resolve<'h>(
         &self,
         held: &'h mut HeldModel,
         sess: &mut PlannerSession,
-    ) -> Option<&'h QPSeeker>
+    ) -> (Option<&'h QPSeeker>, u64)
     where
         'a: 'h,
     {
         match *self {
-            Source::Fixed(m) => m,
+            Source::Fixed(m) => (m, 0),
             Source::Cell(cell) => {
                 let (arc, epoch) = cell.load();
                 let stale = held.as_ref().is_none_or(|(_, e)| *e != epoch);
@@ -794,29 +824,69 @@ impl<'a> Source<'a> {
                     sess.reset();
                     *held = Some((arc, epoch));
                 }
-                held.as_ref().map(|(a, _)| a.as_ref())
+                (held.as_ref().map(|(a, _)| a.as_ref()), epoch)
             }
         }
     }
 }
 
-/// Serve one admitted request through the breaker, inside a per-request
-/// panic boundary. Tallies land in the caller's shard (`served_neural`,
-/// `served_classical`, `failed` only).
+/// Serve one admitted request through the plan cache and the breaker,
+/// inside a per-request panic boundary. Tallies land in the caller's shard
+/// (`served_neural`, `cache_hits`, `served_classical`, `failed` only).
+///
+/// Cache protocol: the lookup and any insert are stamped with `epoch` — the
+/// publication epoch of the model this request resolved — so a hit is
+/// guaranteed to have been planned by a model of exactly that epoch, and an
+/// insert racing a swap produces an entry that every post-swap lookup
+/// rejects. A hit bypasses MCTS *and* the breaker bookkeeping (no neural
+/// attempt was made to record).
+#[allow(clippy::too_many_arguments)]
 fn serve_admitted(
     db: &Database,
     model: Option<&QPSeeker>,
+    epoch: u64,
     query: &Query,
     cfg: &ServeConfig,
+    cache: Option<&PlanCacheCtx>,
     breaker: &Mutex<&mut CircuitBreaker>,
     sess: &mut PlannerSession,
     tally: &mut ServeCounters,
 ) -> Disposition {
     let attempt = catch_unwind(AssertUnwindSafe(|| {
+        let fp = cache.map(|ctx| (ctx, query_fingerprint(query)));
+        if let Some((ctx, fp)) = fp {
+            if let Some(hit) = ctx.cache.lookup(&ctx.tenant, query, fp, epoch, ctx.stats_version) {
+                return ServeResult {
+                    plan: hit.plan,
+                    served_by: ServedBy::Neural,
+                    attempts: 0,
+                    backoff_ms: 0.0,
+                    fallback_reason: None,
+                    attempt_failures: Vec::new(),
+                    predicted_ms: Some(hit.predicted_ms),
+                    cache_hit: true,
+                };
+            }
+        }
         let neural_allowed = model.is_some() && lock_breaker(breaker).allow_neural();
         if neural_allowed {
             let r = plan_with_fallback_in(db, query, model, cfg, sess);
             lock_breaker(breaker).record(r.served_by == ServedBy::Neural);
+            if r.served_by == ServedBy::Neural {
+                if let (Some((ctx, fp)), Some(predicted_ms)) = (fp, r.predicted_ms) {
+                    ctx.cache.insert(
+                        &ctx.tenant,
+                        query,
+                        fp,
+                        CachedPlan {
+                            plan: r.plan.clone(),
+                            predicted_ms,
+                            epoch,
+                            stats_version: ctx.stats_version,
+                        },
+                    );
+                }
+            }
             r
         } else {
             let reason = if model.is_some() {
@@ -830,7 +900,12 @@ fn serve_admitted(
     match attempt {
         Ok(result) => {
             match result.served_by {
-                ServedBy::Neural => tally.served_neural += 1,
+                ServedBy::Neural => {
+                    tally.served_neural += 1;
+                    if result.cache_hit {
+                        tally.cache_hits += 1;
+                    }
+                }
                 ServedBy::Classical => tally.served_classical += 1,
             }
             Disposition::Served(result)
@@ -1060,6 +1135,7 @@ mod tests {
             Disposition::Shed(ShedReason::ExpiredInQueue { .. })
         ));
         let c = sup.counters();
+        assert!(c.conservation_holds(), "{c}");
         assert_eq!(c.admitted, 2);
         assert_eq!(c.served_classical, 2, "no model: everything admitted serves classically");
         assert_eq!(c.shed_queue_full, 1);
@@ -1094,6 +1170,7 @@ mod tests {
             Disposition::Shed(ShedReason::QueueFull { .. })
         ));
         assert!(matches!(&outcomes[2].disposition, Disposition::Served(_)));
+        assert!(sup.counters().conservation_holds(), "{}", sup.counters());
     }
 
     #[test]
@@ -1118,7 +1195,7 @@ mod tests {
         }
         let c = sup.counters();
         assert_eq!(c.admitted, stream.len());
-        assert_eq!(c.admitted, c.served_neural + c.served_classical + c.failed);
+        assert!(c.conservation_holds(), "{c}");
         // Four virtual servers drain eight simultaneous arrivals in two
         // service slots.
         assert!((sup.virtual_now_ms() - 20.0).abs() < 1e-9, "{}", sup.virtual_now_ms());
@@ -1148,6 +1225,7 @@ mod tests {
             "second server should absorb the simultaneous arrival"
         );
         assert!((sup.virtual_now_ms() - 10.0).abs() < 1e-9);
+        assert!(sup.counters().conservation_holds(), "{}", sup.counters());
     }
 
     #[test]

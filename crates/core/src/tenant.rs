@@ -1,0 +1,372 @@
+//! Multi-tenant serving with fault containment — the tenant bulkheads.
+//!
+//! One process serves many tenants (databases), each with its own model in
+//! the [`crate::registry::ModelRegistry`]. The [`MultiTenantSupervisor`]
+//! gives every tenant a **lane**: a private bounded admission queue,
+//! deadline shedding, retry/backoff budget, circuit breaker and counters —
+//! one [`Supervisor`] per tenant, so every stream-level mechanism from the
+//! single-tenant path applies per tenant unchanged.
+//!
+//! # Weighted-fair admission, deterministically
+//!
+//! Capacity is shared by the fluid (GPS) limit of weighted fair queueing:
+//! a tenant with weight `w` owns a virtual server of rate `w`, i.e. its
+//! effective per-query service time is `base.service_ms / w` on its own
+//! admission clock. Two properties follow by construction:
+//!
+//! * **fairness** — over any interval, admitted throughput per tenant is
+//!   proportional to its weight (a weight-2 tenant's clock advances twice
+//!   as fast, so it absorbs twice the arrival rate before shedding);
+//! * **isolation / determinism** — a lane's admit/shed decisions are a pure
+//!   function of *its own* arrival sequence and the virtual clock. No other
+//!   tenant's queue depth, faults, breaker state or even existence enters
+//!   the decision, which is exactly the bulkhead property: chaos aimed at
+//!   tenant A cannot change a single disposition, plan or counter of
+//!   tenant B. The chaos suite asserts this bitwise.
+//!
+//! # Fault containment
+//!
+//! Faults ([`FaultConfig`]) are configured per lane, so NaN poisoning,
+//! inference panics or stalls aimed at one tenant trip only that tenant's
+//! breaker; the other lanes keep their neural path. Models are read through
+//! each tenant's [`crate::registry::ModelCell`], so online promotions,
+//! rollbacks and registry evictions stay per-tenant too. A tenant whose
+//! model is not resident (evicted and not yet reloaded) degrades to
+//! classical planning on its own database — never to an error.
+//!
+//! # Plan cache
+//!
+//! When a shared [`PlanCache`] is attached, each lane serves through it
+//! scoped to `(tenant, stats_version)`; epoch stamping (see
+//! [`crate::plancache`]) guarantees a hit was planned under exactly the
+//! model epoch the request resolved.
+
+use crate::metrics::ServeCounters;
+use crate::plancache::{PlanCache, PlanCacheCtx};
+use crate::registry::ModelRegistry;
+use crate::serve::{
+    BreakerState, Disposition, QueryRequest, SupervisedOutcome, Supervisor, SupervisorConfig,
+};
+use qpseeker_storage::{Database, FaultConfig};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Static description of one tenant's lane.
+#[derive(Debug, Clone)]
+pub struct TenantSpec {
+    /// Tenant identity (registry key, cache scope, metrics label).
+    pub id: String,
+    /// The tenant's database — always available for classical planning,
+    /// even while the tenant's model is evicted.
+    pub db: Arc<Database>,
+    /// Service-rate weight (floored at 1e-3). The lane's effective
+    /// per-query service time is `base.service_ms / weight`.
+    pub weight: f64,
+    /// Override of the base admission-queue depth.
+    pub queue_capacity: Option<usize>,
+    /// Override of the base per-query retry budget.
+    pub max_retries: Option<usize>,
+    /// Faults injected into this lane only (chaos: aim at one tenant).
+    pub faults: Option<FaultConfig>,
+}
+
+impl TenantSpec {
+    pub fn new(id: impl Into<String>, db: Arc<Database>) -> Self {
+        Self {
+            id: id.into(),
+            db,
+            weight: 1.0,
+            queue_capacity: None,
+            max_retries: None,
+            faults: None,
+        }
+    }
+
+    pub fn with_weight(mut self, weight: f64) -> Self {
+        self.weight = weight;
+        self
+    }
+
+    pub fn with_faults(mut self, faults: FaultConfig) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+}
+
+/// Multi-tenant serving configuration.
+#[derive(Debug, Clone, Default)]
+pub struct MultiTenantConfig {
+    /// Template for every lane: queue depth, breaker knobs, `service_ms`
+    /// (scaled per tenant by weight), worker count, per-query serving
+    /// settings. Per-lane overrides come from [`TenantSpec`].
+    pub base: SupervisorConfig,
+    /// Shared fingerprint plan cache; `None` disables caching.
+    pub cache: Option<Arc<PlanCache>>,
+}
+
+/// One query of a mixed-tenant stream.
+#[derive(Debug, Clone)]
+pub struct TenantRequest {
+    pub tenant: String,
+    pub req: QueryRequest,
+}
+
+/// One request's outcome, tagged with its tenant.
+#[derive(Debug, Clone)]
+pub struct TenantOutcome {
+    pub tenant: String,
+    pub outcome: SupervisedOutcome,
+}
+
+struct Lane {
+    spec: TenantSpec,
+    sup: Supervisor,
+}
+
+fn lane_config(base: &SupervisorConfig, spec: &TenantSpec) -> SupervisorConfig {
+    let mut cfg = base.clone();
+    cfg.service_ms = base.service_ms / spec.weight.max(1e-3);
+    if let Some(q) = spec.queue_capacity {
+        cfg.queue_capacity = q;
+    }
+    if let Some(r) = spec.max_retries {
+        cfg.serve.max_retries = r;
+    }
+    cfg.serve.faults = spec.faults.clone();
+    // The cache context is installed per run (it carries the tenant's
+    // current stats version).
+    cfg.cache = None;
+    cfg
+}
+
+/// Per-tenant lanes over a shared model registry (see module docs).
+///
+/// Lane state — breaker, counters, virtual clock — persists across
+/// [`MultiTenantSupervisor::run`] calls, exactly like the single-tenant
+/// supervisor's.
+pub struct MultiTenantSupervisor {
+    cfg: MultiTenantConfig,
+    lanes: BTreeMap<String, Lane>,
+}
+
+impl MultiTenantSupervisor {
+    pub fn new(cfg: MultiTenantConfig, specs: Vec<TenantSpec>) -> Self {
+        let lanes = specs
+            .into_iter()
+            .map(|spec| {
+                let sup = Supervisor::new(lane_config(&cfg.base, &spec));
+                (spec.id.clone(), Lane { spec, sup })
+            })
+            .collect();
+        Self { cfg, lanes }
+    }
+
+    /// Registered tenant ids, sorted.
+    pub fn tenants(&self) -> Vec<String> {
+        self.lanes.keys().cloned().collect()
+    }
+
+    /// Swap one lane's fault injection between batches (chaos tests).
+    /// Returns false when the tenant has no lane.
+    pub fn set_tenant_faults(&mut self, tenant: &str, faults: Option<FaultConfig>) -> bool {
+        match self.lanes.get_mut(tenant) {
+            Some(lane) => {
+                lane.spec.faults = faults.clone();
+                lane.sup.set_faults(faults);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Current breaker state per tenant.
+    pub fn breaker_states(&self) -> BTreeMap<String, BreakerState> {
+        self.lanes.iter().map(|(t, l)| (t.clone(), l.sup.breaker_state())).collect()
+    }
+
+    /// Per-tenant counters (each lane's own sharded tally).
+    pub fn counters(&self) -> BTreeMap<String, ServeCounters> {
+        self.lanes.iter().map(|(t, l)| (t.clone(), l.sup.counters())).collect()
+    }
+
+    /// All lanes merged into one total. Conservation holds per tenant and
+    /// here: merged admitted = merged neural + classical + failed.
+    pub fn merged_counters(&self) -> ServeCounters {
+        let mut total = ServeCounters::default();
+        for lane in self.lanes.values() {
+            total.merge(&lane.sup.counters());
+        }
+        total
+    }
+
+    /// The stream's makespan: the latest instant any lane's admitted work
+    /// completes on its weighted virtual clock.
+    pub fn virtual_now_ms(&self) -> f64 {
+        self.lanes.values().map(|l| l.sup.virtual_now_ms()).fold(0.0, f64::max)
+    }
+
+    /// Serve a mixed-tenant batch ordered by arrival time. Each tenant's
+    /// requests run through its own lane against the model currently
+    /// resident in `registry` (classical-on-own-database when evicted);
+    /// outcomes come back in input order. Requests naming a tenant with no
+    /// lane are failed with a recorded message — an operator error, not a
+    /// planning outcome, so it never touches any lane's counters.
+    pub fn run(
+        &mut self,
+        registry: &ModelRegistry,
+        stream: &[TenantRequest],
+    ) -> Vec<TenantOutcome> {
+        let mut groups: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        for (i, tr) in stream.iter().enumerate() {
+            groups.entry(tr.tenant.as_str()).or_default().push(i);
+        }
+
+        let mut out: Vec<Option<TenantOutcome>> = stream.iter().map(|_| None).collect();
+        for (tenant, idxs) in groups {
+            let Some(lane) = self.lanes.get_mut(tenant) else {
+                for &i in &idxs {
+                    out[i] = Some(TenantOutcome {
+                        tenant: tenant.to_string(),
+                        outcome: SupervisedOutcome {
+                            query_id: stream[i].req.query.id.clone(),
+                            disposition: Disposition::Failed(format!("unknown tenant '{tenant}'")),
+                        },
+                    });
+                }
+                continue;
+            };
+            let reqs: Vec<QueryRequest> = idxs.iter().map(|&i| stream[i].req.clone()).collect();
+            let handle = registry.get(tenant);
+            let cache_ctx = match (&self.cfg.cache, &handle) {
+                (Some(cache), Some(h)) => Some(PlanCacheCtx {
+                    cache: Arc::clone(cache),
+                    tenant: tenant.to_string(),
+                    stats_version: h.stats_version,
+                }),
+                _ => None,
+            };
+            lane.sup.set_cache(cache_ctx);
+            let outcomes = match &handle {
+                Some(h) => lane.sup.run_with_cell(&h.db, &h.cell, &reqs),
+                None => lane.sup.run(&lane.spec.db, None, &reqs),
+            };
+            for (&i, outcome) in idxs.iter().zip(outcomes) {
+                out[i] = Some(TenantOutcome { tenant: tenant.to_string(), outcome });
+            }
+        }
+        out.into_iter().map(|o| o.expect("every request received a disposition")).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qpseeker_engine::query::Query;
+    use qpseeker_workloads::{synthetic, SyntheticConfig};
+
+    fn db_and_queries() -> (Arc<Database>, Vec<Query>) {
+        let db = Arc::new(qpseeker_storage::datagen::imdb::generate(0.04, 2));
+        let w = synthetic::generate_queries(&db, &SyntheticConfig { n_queries: 8, seed: 7 });
+        (db, w.into_iter().map(|(q, _)| q).collect())
+    }
+
+    fn req(tenant: &str, q: &Query, arrival: f64, deadline: f64) -> TenantRequest {
+        TenantRequest {
+            tenant: tenant.to_string(),
+            req: QueryRequest { query: q.clone(), arrival_ms: arrival, deadline_ms: deadline },
+        }
+    }
+
+    #[test]
+    fn lanes_are_independent_and_outcomes_keep_input_order() {
+        let (db, queries) = db_and_queries();
+        let registry = ModelRegistry::new(usize::MAX);
+        let base = SupervisorConfig { queue_capacity: 1, service_ms: 10.0, ..Default::default() };
+        let mut sup = MultiTenantSupervisor::new(
+            MultiTenantConfig { base, cache: None },
+            vec![TenantSpec::new("a", Arc::clone(&db)), TenantSpec::new("b", Arc::clone(&db))],
+        );
+        // Two simultaneous arrivals per tenant at capacity 1: the second of
+        // each is shed — but tenant b's overload never touches tenant a.
+        let stream = vec![
+            req("a", &queries[0], 0.0, 1e9),
+            req("b", &queries[1], 0.0, 1e9),
+            req("b", &queries[2], 1.0, 1e9),
+            req("a", &queries[3], 20.0, 1e9),
+        ];
+        let outcomes = sup.run(&registry, &stream);
+        assert_eq!(outcomes.len(), 4);
+        assert_eq!(outcomes[0].tenant, "a");
+        assert!(matches!(outcomes[0].outcome.disposition, Disposition::Served(_)));
+        assert!(matches!(outcomes[1].outcome.disposition, Disposition::Served(_)));
+        assert!(
+            matches!(outcomes[2].outcome.disposition, Disposition::Shed(_)),
+            "b's second simultaneous arrival sheds at queue capacity 1"
+        );
+        assert!(
+            matches!(outcomes[3].outcome.disposition, Disposition::Served(_)),
+            "a's lane had drained; b's congestion is invisible to it"
+        );
+        let per = sup.counters();
+        for (tenant, c) in &per {
+            assert!(c.conservation_holds(), "conservation for tenant {tenant}: {c}");
+        }
+        assert_eq!(per["a"].admitted, 2);
+        assert_eq!(per["b"].admitted, 1);
+        assert_eq!(per["b"].shed_queue_full, 1);
+        let merged = sup.merged_counters();
+        assert!(merged.conservation_holds());
+        assert_eq!(merged.total_seen(), 4);
+    }
+
+    #[test]
+    fn weight_scales_the_admission_rate() {
+        let (db, queries) = db_and_queries();
+        let registry = ModelRegistry::new(usize::MAX);
+        let base = SupervisorConfig { queue_capacity: 1, service_ms: 10.0, ..Default::default() };
+        let mut sup = MultiTenantSupervisor::new(
+            MultiTenantConfig { base, cache: None },
+            vec![
+                TenantSpec::new("slow", Arc::clone(&db)).with_weight(1.0),
+                TenantSpec::new("fast", Arc::clone(&db)).with_weight(2.0),
+            ],
+        );
+        // Identical arrival patterns: every 6 ms. At service 10 ms the
+        // weight-1 lane sheds every other arrival; at effective 5 ms the
+        // weight-2 lane admits them all.
+        let mut stream = Vec::new();
+        for i in 0..6 {
+            let t = i as f64 * 6.0;
+            stream.push(req("slow", &queries[i % queries.len()], t, 1e9));
+            stream.push(req("fast", &queries[i % queries.len()], t, 1e9));
+        }
+        stream.sort_by(|x, y| x.req.arrival_ms.total_cmp(&y.req.arrival_ms));
+        sup.run(&registry, &stream);
+        let per = sup.counters();
+        assert_eq!(per["fast"].admitted, 6, "weight-2 lane absorbs the full rate");
+        assert!(per["slow"].shed_queue_full > 0, "weight-1 lane sheds under the same arrival rate");
+        for c in per.values() {
+            assert!(c.conservation_holds());
+        }
+    }
+
+    #[test]
+    fn unknown_tenant_fails_cleanly_without_touching_lane_counters() {
+        let (db, queries) = db_and_queries();
+        let registry = ModelRegistry::new(usize::MAX);
+        let mut sup = MultiTenantSupervisor::new(
+            MultiTenantConfig::default(),
+            vec![TenantSpec::new("a", Arc::clone(&db))],
+        );
+        let stream = vec![req("ghost", &queries[0], 0.0, 1e9), req("a", &queries[1], 0.0, 1e9)];
+        let outcomes = sup.run(&registry, &stream);
+        match &outcomes[0].outcome.disposition {
+            Disposition::Failed(msg) => assert!(msg.contains("unknown tenant")),
+            other => panic!("expected Failed, got {other:?}"),
+        }
+        assert!(matches!(outcomes[1].outcome.disposition, Disposition::Served(_)));
+        let merged = sup.merged_counters();
+        assert_eq!(merged.total_seen(), 1, "the ghost request never entered a lane");
+        assert!(merged.conservation_holds());
+    }
+}

@@ -5,6 +5,7 @@ pub mod drift;
 pub mod job;
 pub mod stack;
 pub mod synthetic;
+pub mod tenants;
 
 use qpseeker_engine::query::{CmpOp, ColRef, Filter, JoinPred, Query, RelRef};
 use qpseeker_storage::Database;

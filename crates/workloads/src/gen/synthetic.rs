@@ -37,7 +37,17 @@ pub fn generate_queries(db: &Database, cfg: &SyntheticConfig) -> Vec<(Query, Str
     let qb = QueryBuilder::new(db);
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut out = Vec::with_capacity(cfg.n_queries);
+    let mut rejected = 0usize;
     while out.len() < cfg.n_queries {
+        // The walk starts from IMDb fact tables; on a database without
+        // them every draw is rejected, so fail loudly instead of spinning.
+        assert!(
+            rejected < 100 * (cfg.n_queries + 1),
+            "synthetic generator made no progress on database '{}' \
+             ({} rejected draws): its schema lacks the IMDb start tables",
+            db.name,
+            rejected,
+        );
         let i = out.len();
         // 0-2 joins; ~25% single-table (matches the paper's observation).
         let n_rels = match rng.gen_range(0..4) {
@@ -53,6 +63,7 @@ pub fn generate_queries(db: &Database, cfg: &SyntheticConfig) -> Vec<(Query, Str
         let n_filters = rng.gen_range(1..=3);
         qb.add_filters(&mut rng, &mut q, n_filters);
         if q.filters.is_empty() {
+            rejected += 1;
             continue; // MSCN queries always carry at least one predicate
         }
         let template = format!("synth-{}j", q.num_joins());

@@ -1,0 +1,215 @@
+//! Mixed-tenant serving streams: several tenants, each with its own
+//! database and query distribution, interleaved on one arrival clock.
+//!
+//! Tenants over a Stack-shaped database draw join-heavy
+//! [`crate::gen::stack`] queries; everything else draws MSCN-style
+//! [`crate::gen::synthetic`] queries — so a mixed stream exercises both
+//! ends of the plan-space spectrum at once. Each tenant re-issues an
+//! earlier query **verbatim** with probability `repeat_p`, which is what
+//! gives a fingerprint plan cache its hits; a fresh draw comes from a
+//! fixed per-tenant pool of distinct queries.
+//!
+//! Generation is deterministic in `(seed, tenant order, config)`: one
+//! `StdRng` drives the shared arrival clock and every per-tenant choice,
+//! so two calls with equal inputs produce bitwise-equal streams. That
+//! determinism is what the bulkhead chaos suite leans on when it compares
+//! a healthy tenant's plans across runs with and without a faulty peer.
+
+use qpseeker_engine::query::Query;
+use qpseeker_storage::Database;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::gen::stack::{self, StackConfig};
+use crate::gen::synthetic::{self, SyntheticConfig};
+
+/// Knobs for a mixed-tenant stream.
+#[derive(Debug, Clone)]
+pub struct TenantStreamConfig {
+    /// Total requests across all tenants.
+    pub n_requests: usize,
+    /// Master seed; every derived choice is a pure function of it.
+    pub seed: u64,
+    /// Mean gap between consecutive arrivals (exponential-ish).
+    pub mean_interarrival_ms: f64,
+    /// Probability a tenant re-issues one of its earlier queries verbatim.
+    pub repeat_p: f64,
+    /// Deadline slack granted to each request past its arrival.
+    pub deadline_slack_ms: f64,
+    /// Distinct queries generated per tenant (the draw pool).
+    pub pool_size: usize,
+}
+
+impl Default for TenantStreamConfig {
+    fn default() -> Self {
+        Self {
+            n_requests: 200,
+            seed: 0x7e4a,
+            mean_interarrival_ms: 8.0,
+            repeat_p: 0.35,
+            deadline_slack_ms: 10_000.0,
+            pool_size: 32,
+        }
+    }
+}
+
+/// One arrival of the mixed stream.
+#[derive(Debug, Clone)]
+pub struct TenantStreamItem {
+    pub tenant: String,
+    pub query: Query,
+    pub arrival_ms: f64,
+    pub deadline_ms: f64,
+}
+
+fn tenant_pool(tenant_idx: usize, db: &Database, cfg: &TenantStreamConfig) -> Vec<Query> {
+    let seed = cfg.seed ^ (0x9e37_79b9_7f4a_7c15u64.wrapping_mul(tenant_idx as u64 + 1));
+    let queries = if db.name.contains("stack") {
+        stack::generate_queries(db, &StackConfig { n_queries: cfg.pool_size, seed })
+    } else {
+        synthetic::generate_queries(db, &SyntheticConfig { n_queries: cfg.pool_size, seed })
+    };
+    queries
+        .into_iter()
+        .enumerate()
+        .map(|(i, (mut q, _))| {
+            // Ids are tenant-scoped so a mixed stream's outcomes stay
+            // attributable even when pools collide structurally.
+            q.id = format!("t{tenant_idx}-{i}");
+            q
+        })
+        .collect()
+}
+
+/// Generate an arrival-ordered mixed-tenant stream. `tenants` pairs each
+/// tenant id with its database; order matters (it seeds each pool).
+pub fn generate_stream(
+    tenants: &[(&str, &Database)],
+    cfg: &TenantStreamConfig,
+) -> Vec<TenantStreamItem> {
+    assert!(!tenants.is_empty(), "tenant stream needs at least one tenant");
+    let pools: Vec<Vec<Query>> =
+        tenants.iter().enumerate().map(|(i, (_, db))| tenant_pool(i, db, cfg)).collect();
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    // Fresh draws walk a per-tenant shuffled order, so up to `pool_size`
+    // fresh queries per tenant are guaranteed distinct: with `repeat_p = 0`
+    // and a large enough pool, the stream has no verbatim duplicates at
+    // all, which the cache-invalidation tests depend on.
+    let orders: Vec<Vec<usize>> = pools
+        .iter()
+        .map(|pool| {
+            let mut order: Vec<usize> = (0..pool.len()).collect();
+            for i in (1..order.len()).rev() {
+                order.swap(i, rng.gen_range(0..=i));
+            }
+            order
+        })
+        .collect();
+    let mut issued: Vec<Vec<usize>> = vec![Vec::new(); tenants.len()];
+    let mut clock = 0.0f64;
+    let mut out = Vec::with_capacity(cfg.n_requests);
+    for _ in 0..cfg.n_requests {
+        // Inverse-CDF exponential gap, clamped away from 0 so the virtual
+        // admission clock always advances.
+        let u: f64 = rng.gen_range(1e-6..1.0);
+        clock += (-u.ln()) * cfg.mean_interarrival_ms;
+        let t = rng.gen_range(0..tenants.len());
+        let pool = &pools[t];
+        let history = &mut issued[t];
+        let qi = if !history.is_empty() && rng.gen_bool(cfg.repeat_p) {
+            history[rng.gen_range(0..history.len())]
+        } else {
+            let fresh = orders[t][history.len() % pool.len()];
+            history.push(fresh);
+            fresh
+        };
+        out.push(TenantStreamItem {
+            tenant: tenants[t].0.to_string(),
+            query: pool[qi].clone(),
+            arrival_ms: clock,
+            deadline_ms: clock + cfg.deadline_slack_ms,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dbs() -> (Database, Database) {
+        let imdb = qpseeker_storage::datagen::imdb::generate(0.03, 1);
+        let stack = qpseeker_storage::datagen::stack::generate(0.03, 2);
+        (imdb, stack)
+    }
+
+    fn cfg() -> TenantStreamConfig {
+        TenantStreamConfig { n_requests: 80, pool_size: 12, ..Default::default() }
+    }
+
+    #[test]
+    fn stream_is_deterministic_in_the_seed() {
+        let (imdb, stack) = dbs();
+        let tenants = [("alpha", &imdb), ("beta", &stack)];
+        let a = generate_stream(&tenants, &cfg());
+        let b = generate_stream(&tenants, &cfg());
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.tenant, y.tenant);
+            assert_eq!(x.query, y.query);
+            assert_eq!(x.arrival_ms.to_bits(), y.arrival_ms.to_bits());
+        }
+        let c = generate_stream(&tenants, &TenantStreamConfig { seed: 99, ..cfg() });
+        assert!(
+            a.iter().zip(&c).any(|(x, y)| x.query != y.query || x.tenant != y.tenant),
+            "a different seed reshuffles the stream"
+        );
+    }
+
+    #[test]
+    fn arrivals_advance_and_every_tenant_appears() {
+        let (imdb, stack) = dbs();
+        let stream = generate_stream(&[("alpha", &imdb), ("beta", &stack)], &cfg());
+        let mut last = 0.0;
+        for item in &stream {
+            assert!(item.arrival_ms > last, "clock strictly advances");
+            assert!(item.deadline_ms > item.arrival_ms);
+            last = item.arrival_ms;
+        }
+        for t in ["alpha", "beta"] {
+            assert!(stream.iter().any(|i| i.tenant == t), "tenant {t} missing from the mix");
+        }
+    }
+
+    #[test]
+    fn repeats_are_verbatim_reissues() {
+        let (imdb, stack) = dbs();
+        let stream = generate_stream(
+            &[("alpha", &imdb), ("beta", &stack)],
+            &TenantStreamConfig { repeat_p: 0.6, ..cfg() },
+        );
+        let mut repeats = 0;
+        for (i, item) in stream.iter().enumerate() {
+            if let Some(first) =
+                stream[..i].iter().find(|p| p.tenant == item.tenant && p.query.id == item.query.id)
+            {
+                assert_eq!(first.query, item.query, "re-issues are bitwise the same query");
+                repeats += 1;
+            }
+        }
+        assert!(repeats > 5, "repeat_p=0.6 over 80 requests produced {repeats} repeats");
+    }
+
+    #[test]
+    fn stack_tenants_draw_join_heavy_queries() {
+        let (imdb, stack) = dbs();
+        let stream = generate_stream(&[("alpha", &imdb), ("beta", &stack)], &cfg());
+        let max_joins = |t: &str| {
+            stream.iter().filter(|i| i.tenant == t).map(|i| i.query.num_joins()).max().unwrap_or(0)
+        };
+        assert!(
+            max_joins("beta") > max_joins("alpha"),
+            "the Stack-shaped tenant should reach deeper joins than the synthetic one"
+        );
+    }
+}

@@ -25,5 +25,6 @@ pub use gen::drift;
 pub use gen::job::{self, JobConfig};
 pub use gen::stack::{self, StackConfig};
 pub use gen::synthetic::{self, SyntheticConfig};
+pub use gen::tenants::{self, TenantStreamConfig, TenantStreamItem};
 pub use qep::{Distribution, PlanSource, Qep, Workload, WorkloadSummary};
 pub use sampling::{enumerate_orderings, sample_plans, SamplingConfig};

@@ -23,7 +23,8 @@ use qpseeker_repro::core::prelude::*;
 use qpseeker_repro::engine::prelude::*;
 use qpseeker_repro::storage::Database;
 use qpseeker_repro::workloads::{
-    job, stack, synthetic, JobConfig, Qep, StackConfig, SyntheticConfig,
+    job, stack, synthetic, tenants, JobConfig, Qep, StackConfig, SyntheticConfig,
+    TenantStreamConfig,
 };
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -108,6 +109,17 @@ commands:
            monitor rolls a bad swap back automatically (requires --model)
            [--state-dir <dir>] [--batch <n>] [--retrain-every <n>]
            [--holdout <n>] [--gate-tol <f64>]
+           --tenants <n> replaces --sql/--stream semantics: a mixed stream
+           over n tenant lanes, each with its own bounded queue, circuit
+           breaker and fair-share weight; models live in a memory-budgeted
+           registry (LRU eviction + reload-on-miss)
+           [--stream <n>] (total requests; default 100)
+           [--weights w0,w1,...] (per-tenant service-rate weights)
+           [--cache <per-shard-capacity>] (fingerprint plan cache; hits
+            are bitwise identical to cache-miss MCTS)
+           [--mem-budget <bytes>] (registry memory budget; LRU eviction)
+           [--chaos <p> --chaos-tenant <id>] (aim faults at one lane only
+            — the other lanes' plans and breakers are unaffected)
   experience show --state-dir <dir> [--tail <n>]
            (dump the experience WAL an online server accumulated:
             disposition, predicted vs observed runtime per record)";
@@ -308,6 +320,9 @@ fn plan(opts: &Opts) -> Result<(), String> {
 /// (bounded queue, load-shedding, circuit breaker) instead.
 fn serve(opts: &Opts) -> Result<(), String> {
     let db = load_db(opts)?;
+    if opts.contains_key("tenants") {
+        return serve_tenants(&db, opts);
+    }
     if opts.contains_key("stream") {
         return serve_stream(&db, opts);
     }
@@ -455,6 +470,192 @@ fn serve_stream(db: &Arc<Database>, opts: &Opts) -> Result<(), String> {
     }
     println!("{}", sup.counters());
     println!("breaker: {:?}", sup.breaker_state());
+    Ok(())
+}
+
+/// Multi-tenant serving: `--tenants <n>` lanes over one database, each with
+/// its own bounded queue, breaker and weight; models live in a memory-
+/// budgeted registry and plans can be cached per tenant fingerprint.
+fn serve_tenants(db: &Arc<Database>, opts: &Opts) -> Result<(), String> {
+    let n_tenants: usize = req(opts, "tenants")?.parse().map_err(|e| format!("--tenants: {e}"))?;
+    if n_tenants == 0 {
+        return Err("--tenants must be at least 1".into());
+    }
+    let n: usize = opts
+        .get("stream")
+        .map(|s| s.parse())
+        .transpose()
+        .map_err(|e| format!("--stream: {e}"))?
+        .unwrap_or(100);
+    let seed: u64 = opts
+        .get("seed")
+        .map(|s| s.parse())
+        .transpose()
+        .map_err(|e| format!("--seed: {e}"))?
+        .unwrap_or(42);
+    let interval_ms: f64 = opts
+        .get("interval-ms")
+        .map(|s| s.parse())
+        .transpose()
+        .map_err(|e| format!("--interval-ms: {e}"))?
+        .unwrap_or(5.0);
+
+    let weights: Vec<f64> = match opts.get("weights") {
+        Some(list) => {
+            let ws: Result<Vec<f64>, _> = list.split(',').map(str::parse).collect();
+            let ws = ws.map_err(|e| format!("--weights: {e}"))?;
+            if ws.len() != n_tenants {
+                return Err(format!("--weights lists {} values for {n_tenants} tenants", ws.len()));
+            }
+            ws
+        }
+        None => vec![1.0; n_tenants],
+    };
+
+    let mut base = SupervisorConfig::default();
+    if let Some(d) = opts.get("deadline-ms") {
+        base.serve.deadline_ms = d.parse().map_err(|e| format!("--deadline-ms: {e}"))?;
+    }
+    if let Some(r) = opts.get("retries") {
+        base.serve.max_retries = r.parse().map_err(|e| format!("--retries: {e}"))?;
+    }
+    if let Some(q) = opts.get("queue") {
+        base.queue_capacity = q.parse().map_err(|e| format!("--queue: {e}"))?;
+    }
+    if let Some(s) = opts.get("service-ms") {
+        base.service_ms = s.parse().map_err(|e| format!("--service-ms: {e}"))?;
+    }
+    if let Some(w) = opts.get("workers") {
+        base.workers = w.parse().map_err(|e| format!("--workers: {e}"))?;
+    }
+
+    // Chaos aimed at a single lane demonstrates the bulkhead: only the
+    // targeted tenant's breaker reacts.
+    let chaos: Option<(String, f64)> = match opts.get("chaos") {
+        Some(p) => {
+            let p: f64 = p.parse().map_err(|e| format!("--chaos: {e}"))?;
+            let target = opts.get("chaos-tenant").cloned().unwrap_or_else(|| "t0".to_string());
+            Some((target, p))
+        }
+        None => None,
+    };
+
+    let cache = match opts.get("cache") {
+        Some(cap) => {
+            let cap: usize = cap.parse().map_err(|e| format!("--cache: {e}"))?;
+            Some(Arc::new(PlanCache::new(8, cap.max(1))))
+        }
+        None => None,
+    };
+    let mem_budget: usize = opts
+        .get("mem-budget")
+        .map(|s| s.parse())
+        .transpose()
+        .map_err(|e| format!("--mem-budget: {e}"))?
+        .unwrap_or(usize::MAX);
+
+    let model: Option<Arc<QPSeeker>> = match opts.get("model") {
+        Some(path) => {
+            let data = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+            let ckpt = Checkpoint::from_json(&data).map_err(|e| e.to_string())?;
+            Some(Arc::new(ckpt.restore(db).map_err(|e| e.to_string())?))
+        }
+        None => None,
+    };
+
+    let mut registry = ModelRegistry::new(mem_budget);
+    if let Some(cache) = &cache {
+        registry = registry.attach_plan_cache(Arc::clone(cache));
+    }
+    let ids: Vec<String> = (0..n_tenants).map(|i| format!("t{i}")).collect();
+    if let Some(model) = &model {
+        for id in &ids {
+            registry.register(id, Arc::clone(db), Arc::clone(model));
+        }
+    }
+
+    let specs: Vec<TenantSpec> = ids
+        .iter()
+        .zip(&weights)
+        .map(|(id, &w)| {
+            let mut spec = TenantSpec::new(id.clone(), Arc::clone(db)).with_weight(w);
+            if let Some((target, p)) = &chaos {
+                if target == id {
+                    spec = spec.with_faults(qpseeker_repro::storage::FaultConfig::chaos(seed, *p));
+                }
+            }
+            spec
+        })
+        .collect();
+
+    let tenant_dbs: Vec<(&str, &Database)> = ids.iter().map(|id| (id.as_str(), &**db)).collect();
+    let items = tenants::generate_stream(
+        &tenant_dbs,
+        &TenantStreamConfig {
+            n_requests: n,
+            seed,
+            mean_interarrival_ms: interval_ms,
+            ..TenantStreamConfig::default()
+        },
+    );
+    let slack_ms = base.serve.deadline_ms.max(base.service_ms * 4.0);
+    let stream: Vec<TenantRequest> = items
+        .into_iter()
+        .map(|i| TenantRequest {
+            tenant: i.tenant,
+            req: QueryRequest {
+                query: i.query,
+                arrival_ms: i.arrival_ms,
+                deadline_ms: i.arrival_ms + slack_ms,
+            },
+        })
+        .collect();
+
+    eprintln!(
+        "streaming {n} queries across {n_tenants} tenant lane(s) (cache: {}, mem budget: {})...",
+        if cache.is_some() { "on" } else { "off" },
+        if mem_budget == usize::MAX { "unbounded".to_string() } else { format!("{mem_budget} B") },
+    );
+    let mut sup =
+        MultiTenantSupervisor::new(MultiTenantConfig { base, cache: cache.clone() }, specs);
+    let outcomes = sup.run(&registry, &stream);
+    for out in &outcomes {
+        match &out.outcome.disposition {
+            Disposition::Served(r) => {
+                let path = if r.cache_hit {
+                    "neural (cached)"
+                } else {
+                    match r.served_by {
+                        ServedBy::Neural => "neural",
+                        ServedBy::Classical => "classical",
+                    }
+                };
+                println!("[{}] query {}: {path}", out.tenant, out.outcome.query_id);
+            }
+            Disposition::Shed(reason) => {
+                println!("[{}] query {}: shed — {reason}", out.tenant, out.outcome.query_id)
+            }
+            Disposition::Failed(why) => {
+                println!("[{}] query {}: failed — {why}", out.tenant, out.outcome.query_id)
+            }
+        }
+    }
+    for (tenant, c) in sup.counters() {
+        println!("{tenant}: {c} breaker={:?}", sup.breaker_states()[&tenant]);
+    }
+    println!("merged: {}", sup.merged_counters());
+    if let Some(cache) = &cache {
+        println!("plan cache: {}", cache.stats());
+    }
+    if mem_budget != usize::MAX {
+        println!(
+            "registry: {} resident, {} B / {} B, {} eviction(s)",
+            registry.resident_tenants().len(),
+            registry.mem_used_bytes(),
+            registry.mem_budget_bytes(),
+            registry.evictions(),
+        );
+    }
     Ok(())
 }
 

@@ -182,6 +182,7 @@ fn breaker_cfg(faults: Option<FaultConfig>) -> SupervisorConfig {
         queue_capacity: 64,
         service_ms: 5.0,
         workers: 1,
+        cache: None,
     }
 }
 
@@ -221,6 +222,7 @@ fn chaos_supervisor_trips_to_classical_and_recovers_when_faults_clear() {
         "a tripped breaker must degrade, never drop, admitted queries"
     );
     let c = sup.counters();
+    assert!(c.conservation_holds(), "{c}");
     assert_eq!(c.admitted, 20);
     assert_eq!(c.total_shed(), 0);
     assert_eq!(c.served_neural, 0, "100% NaN faults must never serve neurally");
@@ -250,6 +252,7 @@ fn chaos_supervisor_trips_to_classical_and_recovers_when_faults_clear() {
     let outcomes2 = sup.run(db, Some(model), &batch2);
     assert!(outcomes2.iter().all(|o| matches!(o.disposition, Disposition::Served(_))));
     let c = sup.counters();
+    assert!(c.conservation_holds(), "{c}");
     assert_eq!(c.admitted, 40, "every spaced query is admitted across both batches");
     assert!(c.breaker_recoveries >= 1, "breaker never recovered after faults cleared");
     assert!(c.probes >= 1, "recovery must go through half-open probes");

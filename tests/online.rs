@@ -86,6 +86,7 @@ fn supervisor_cfg(workers: usize) -> SupervisorConfig {
         queue_capacity: 4096,
         service_ms: 5.0,
         workers,
+        cache: None,
     }
 }
 
@@ -108,11 +109,7 @@ fn requests(db: &Arc<Database>, n: usize, seed: u64) -> Vec<QueryRequest> {
 }
 
 fn assert_conserved(c: &ServeCounters) {
-    assert_eq!(
-        c.admitted,
-        c.served_neural + c.served_classical + c.failed,
-        "request accounting must be conserved: {c}"
-    );
+    assert!(c.conservation_holds(), "request accounting must be conserved: {c}");
 }
 
 fn params_finite(model: &QPSeeker) -> bool {

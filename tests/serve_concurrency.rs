@@ -80,6 +80,7 @@ fn deterministic_cfg(workers: usize) -> SupervisorConfig {
         queue_capacity: 4096,
         service_ms: 5.0,
         workers,
+        cache: None,
     }
 }
 
@@ -111,6 +112,7 @@ fn worker_counts_produce_identical_plans_and_counters() {
     };
     let (ref_outcomes, ref_counters) = run(1);
     assert_eq!(ref_counters.admitted, stream.len(), "generous bounds must admit everything");
+    assert!(ref_counters.conservation_holds(), "{ref_counters}");
 
     for workers in [2usize, 4] {
         let (outcomes, counters) = run(workers);
@@ -221,17 +223,14 @@ fn stress_pool_under_chaos_conserves_accounting() {
         queue_capacity: 16,
         service_ms: 5.0,
         workers: 4,
+        cache: None,
     });
     let outcomes = sup.run(db, Some(model), &stream);
 
     assert_eq!(outcomes.len(), stream.len(), "every request must get a disposition");
     let c = sup.counters();
     assert_eq!(c.total_seen(), stream.len());
-    assert_eq!(
-        c.admitted,
-        c.served_neural + c.served_classical + c.failed,
-        "accounting not conserved: {c}"
-    );
+    assert!(c.conservation_holds(), "accounting not conserved: {c}");
     // The chaos mix must actually exercise both served paths.
     assert!(c.served_neural > 0, "no query served neurally under p=0.1 chaos");
     assert!(c.served_classical > 0, "no query degraded under p=0.1 chaos");
@@ -275,6 +274,7 @@ fn injected_panics_never_kill_workers() {
 
     assert_eq!(outcomes.len(), stream.len());
     let c = sup.counters();
+    assert!(c.conservation_holds(), "{c}");
     assert_eq!(c.admitted, stream.len());
     assert_eq!(c.failed, 0, "panics inside the planner must degrade, not fail, the request");
     assert_eq!(c.served_classical, stream.len());
