@@ -1,0 +1,177 @@
+//! Strategy-layer acceptance harness for BENCH_PR9.json.
+//!
+//! Two experiments on a skewed, join-heavy IMDb stream, with the cost
+//! model trained on a JOB workload with plan-space variety (sampled
+//! plans, not only optimizer-chosen ones — a model that has never seen a
+//! bad plan cannot rank plans):
+//!
+//! 1. **Beam vs MCTS on large queries.** Left-deep MCTS samples a
+//!    factorially large order space, so on ≥ 8-relation queries its
+//!    coverage is necessarily sparse; rollout-scored beam search spends
+//!    the same evaluation cap systematically near the greedy frontier
+//!    over the bushy space. Acceptance: beam's predicted plan cost is
+//!    ≤ MCTS on every large query and strictly better on at least one.
+//!
+//! 2. **Risk-aware scoring (λ > 0) vs mean-only (λ = 0).** The same
+//!    skewed stream is planned under both scorings and every chosen plan
+//!    is executed; ranking by `mean + λ·σ` over seeded latent samples
+//!    steers away from plans the cost model is unsure about, which cuts
+//!    the executed-runtime tail. Runtimes are the engine's *virtual*
+//!    milliseconds, so the comparison is deterministic.
+//!
+//! Run with `cargo run --release -p qpseeker-bench --example strategy_bench`.
+
+use qpseeker_core::prelude::*;
+use qpseeker_engine::executor::Executor;
+use qpseeker_engine::query::Query;
+use qpseeker_storage::datagen::imdb;
+use qpseeker_workloads::gen::QueryBuilder;
+use qpseeker_workloads::{job, JobConfig, Qep};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Knobs shared by both strategies: same evaluation cap, same seed.
+fn search_cfg(max_simulations: usize) -> MctsConfig {
+    MctsConfig { budget_ms: 1e9, max_simulations, seed: 0x9e15, ..MctsConfig::default() }
+}
+
+/// Grow connected join-heavy queries over the IMDb FK graph. Repeated
+/// tables are allowed (self-join aliases), which is how the builder
+/// reaches past the schema's star topology.
+fn grow_queries(
+    db: &qpseeker_storage::Database,
+    want: usize,
+    min_rels: usize,
+    target_rels: usize,
+    seed: u64,
+) -> Vec<Query> {
+    let qb = QueryBuilder::new(db);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::new();
+    let mut attempt = 0usize;
+    while out.len() < want && attempt < want * 200 {
+        attempt += 1;
+        let (rels, joins) = qb.grow(&mut rng, "title", target_rels, true);
+        if rels.len() < min_rels {
+            continue;
+        }
+        let mut q = Query::new(format!("strat_{seed:x}_{}", out.len()));
+        q.relations = rels;
+        q.joins = joins;
+        qb.add_filters(&mut rng, &mut q, 2);
+        assert!(q.validate(db).is_ok() && q.is_connected());
+        out.push(q);
+    }
+    assert_eq!(out.len(), want, "FK graph too small to grow {want} queries of ≥{min_rels} rels");
+    out
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    let idx = ((sorted.len() as f64 * p).ceil() as usize).clamp(1, sorted.len()) - 1;
+    sorted[idx]
+}
+
+fn main() {
+    let db = std::sync::Arc::new(imdb::generate(0.04, 2));
+    let workload = job::generate(
+        &db,
+        &JobConfig {
+            n_queries: 16,
+            n_templates: 6,
+            target_qeps: 320,
+            keep_fraction: 1.0,
+            ..Default::default()
+        },
+    );
+    let refs: Vec<&Qep> = workload.qeps.iter().collect();
+    let mut cfg = ModelConfig::small();
+    cfg.epochs = 10;
+    let mut model = QPSeeker::new(&db, cfg);
+    model.fit(&refs).expect("training succeeds");
+
+    // ---- Experiment 1: beam vs left-deep MCTS on ≥ 8-relation queries ----
+    let big = grow_queries(&db, 6, 8, 10, 0xa7);
+    let mcts = MctsPlanner::new(search_cfg(2048));
+    let beam = StrategyPlanner::from_config(
+        &StrategyConfig { kind: StrategyKind::Beam, ..Default::default() },
+        search_cfg(2048),
+    );
+    let mut beam_wins = 0usize;
+    let mut ratios = Vec::new();
+    for q in &big {
+        let m = mcts.plan(&model, q);
+        let b = beam.plan(&model, q);
+        assert!(
+            b.predicted_ms <= m.predicted_ms,
+            "acceptance: beam must not trail MCTS on {} ({} rels): beam {:.3} vs mcts {:.3}",
+            q.id,
+            q.num_relations(),
+            b.predicted_ms,
+            m.predicted_ms,
+        );
+        if b.predicted_ms < m.predicted_ms {
+            beam_wins += 1;
+        }
+        ratios.push(b.predicted_ms / m.predicted_ms);
+    }
+    assert!(beam_wins >= 1, "acceptance: beam must strictly beat MCTS on ≥ 1 large query");
+    let mean_ratio = ratios.iter().sum::<f64>() / ratios.len() as f64;
+
+    // ---- Experiment 2: p99 executed runtime, λ = 0.5 vs λ = 0 ----
+    // Skewed stream: hot join-heavy 9-relation templates with Zipf-ish
+    // repeat counts, plus a cold tail of mid-size joins. Planning is
+    // deterministic, so each distinct query is planned once and weighted.
+    let mut hot: Vec<Query> = Vec::new();
+    for seed in [0xa7u64, 0x33, 0x111] {
+        hot.extend(grow_queries(&db, 6, 5, 9, seed));
+    }
+    let tail = grow_queries(&db, 12, 5, 6, 0xfee1);
+    let mut work: Vec<(&Query, usize)> = Vec::new();
+    for (i, q) in hot.iter().enumerate() {
+        work.push((q, 12usize.saturating_sub(i).max(1)));
+    }
+    for q in &tail {
+        work.push((q, 1));
+    }
+    let stream_len: usize = work.iter().map(|(_, w)| w).sum();
+
+    let exec = Executor::new(&db);
+    let mut p99 = [0.0f64; 2];
+    let mut mean_exec = [0.0f64; 2];
+    for (i, lambda) in [0.0, 0.5].into_iter().enumerate() {
+        let strat = StrategyConfig { risk_lambda: lambda, ..Default::default() };
+        let planner = StrategyPlanner::from_config(&strat, search_cfg(256));
+        let mut times: Vec<f64> = Vec::with_capacity(stream_len);
+        for (q, wt) in &work {
+            let t = exec.execute(&planner.plan(&model, q).plan).time_ms;
+            times.extend(std::iter::repeat_n(t, *wt));
+        }
+        mean_exec[i] = times.iter().sum::<f64>() / times.len() as f64;
+        times.sort_by(|a, b| a.total_cmp(b));
+        p99[i] = percentile(&times, 0.99);
+    }
+    assert!(
+        p99[1] < p99[0],
+        "acceptance: λ=0.5 must reduce p99 executed runtime: {:.3} vs {:.3}",
+        p99[1],
+        p99[0],
+    );
+
+    println!(
+        "{{\"big_queries\": {nb}, \"big_query_min_rels\": 8, \"eval_cap\": 2048, \
+         \"beam_wins\": {wins}, \"beam_vs_mcts_mean_cost_ratio\": {ratio:.4}, \
+         \"stream_len\": {sl}, \"risk_lambda\": 0.5, \"risk_eval_cap\": 256, \
+         \"p99_exec_ms_lambda_0\": {p0:.3}, \"p99_exec_ms_lambda_0_5\": {p1:.3}, \
+         \"p99_improvement_pct\": {imp:.1}, \
+         \"mean_exec_ms_lambda_0\": {m0:.3}, \"mean_exec_ms_lambda_0_5\": {m1:.3}}}",
+        nb = big.len(),
+        wins = beam_wins,
+        ratio = mean_ratio,
+        sl = stream_len,
+        p0 = p99[0],
+        p1 = p99[1],
+        imp = 100.0 * (p99[0] - p99[1]) / p99[0],
+        m0 = mean_exec[0],
+        m1 = mean_exec[1],
+    );
+}

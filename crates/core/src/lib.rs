@@ -42,18 +42,22 @@ pub mod error;
 pub mod experience;
 pub mod featurize;
 pub(crate) mod fnv;
-pub mod mcts;
 pub mod metrics;
 pub mod model;
 pub mod normalize;
 pub mod online;
 pub mod plancache;
 pub mod registry;
+pub mod search;
 pub mod serve;
 pub mod session;
 pub mod tenant;
 pub mod vae;
 pub mod viz;
+
+// The left-deep MCTS planner predates the strategy layer; keep its
+// historical `crate::mcts` path as an alias of `crate::search::mcts`.
+pub use search::mcts;
 
 /// Convenient glob import.
 pub mod prelude {
@@ -76,12 +80,16 @@ pub mod prelude {
     pub use crate::registry::{
         ModelCell, ModelRegistry, RegressionMonitor, SwapVerdict, TenantHandle,
     };
+    pub use crate::search::beam::{BeamConfig, BeamPlanner, BeamScratch};
+    pub use crate::search::strategy::{
+        RiskParams, SearchStrategy, StrategyConfig, StrategyKind, StrategyPlanner,
+    };
     pub use crate::serve::{
         plan_with_fallback, BreakerState, CircuitBreaker, Disposition, FallbackReason,
         QueryRequest, ServeConfig, ServeResult, ServedBy, ShedReason, SupervisedOutcome,
         Supervisor, SupervisorConfig,
     };
-    pub use crate::session::PlannerSession;
+    pub use crate::session::{PlannerSession, SearchScratch};
     pub use crate::tenant::{
         MultiTenantConfig, MultiTenantSupervisor, TenantOutcome, TenantRequest, TenantSpec,
     };

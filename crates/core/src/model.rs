@@ -714,6 +714,165 @@ impl QPSeeker {
         }
     }
 
+    /// Seeded standard-normal latent draws for risk-aware scoring:
+    /// `[samples, vae_latent]`, a pure function of `seed`. Every candidate
+    /// of a query is scored against the *same* draw batch, so risk ranking
+    /// is deterministic for any worker count or batch layout.
+    pub fn risk_eps(&self, samples: usize, seed: u64) -> Tensor {
+        Initializer::new(seed).standard_normal(samples, self.config.vae_latent)
+    }
+
+    /// Runtime mean and population standard deviation of one plan over the
+    /// latent draws `eps` (`[S, latent]`): the §5 latent distribution,
+    /// actually sampled at serving time instead of collapsed to `eps = 0`.
+    /// Samples decode in ascending row order and accumulate in `f64`, and
+    /// the sampled VAE pass is row-wise bitwise equal at any batch size, so
+    /// the returned pair is bitwise reproducible.
+    pub fn predict_risk_with_context_in(
+        &self,
+        sess: &mut FeatSession,
+        query: &Query,
+        plan: &PlanNode,
+        ctx: &mut QueryContext,
+        eps: &Tensor,
+    ) -> (f64, f64) {
+        let norm = self.normalizer.as_ref().expect("model must be fitted before predict");
+        let s = eps.rows();
+        assert!(s > 0, "risk scoring needs at least one latent sample");
+        if !ctx.fast {
+            // Tape path: featurize once, one forward per sample with the
+            // explicit noise row (the training-path reparameterization).
+            let fq = self.feat.featurize(sess, query, plan, None, norm, "");
+            let mut times = Vec::with_capacity(s);
+            for i in 0..s {
+                let mut g = Graph::new();
+                let (joint, _aux) = self.encode_joint(&mut g, &fq);
+                let out = self.vae.forward(&mut g, &self.store, joint, eps_row(eps, i));
+                let p = g.value(out.predictions);
+                let raw = norm.decode([p.get(0, 0), p.get(0, 1), p.get(0, 2)]);
+                times.push(raw[2]);
+            }
+            return mean_sigma(&times);
+        }
+        let fplan = self.feat.featurize_plan_fast(sess, query, plan, norm, &mut ctx.plan_cache);
+        let times = with_thread_scratch(|sc| {
+            let nodes = self.plan_enc.forward_inference(&self.store, &fplan, sc);
+            let joint = if fplan.count() > 1 && self.config.use_attention {
+                let j = self.attn.forward_inference(&self.store, &ctx.qemb, &nodes, sc, None);
+                sc.recycle(nodes);
+                j
+            } else {
+                let qd = ctx.qemb.cols();
+                let mut j = sc.take(1, qd + self.plan_enc.out_dim());
+                j.data_mut()[..qd].copy_from_slice(ctx.qemb.data());
+                j.data_mut()[qd..].copy_from_slice(nodes.row_slice(nodes.rows() - 1));
+                sc.recycle(nodes);
+                j
+            };
+            let p = self.vae.forward_inference_sampled(&self.store, &joint, eps, sc);
+            sc.recycle(joint);
+            let mut times = Vec::with_capacity(s);
+            for i in 0..s {
+                let raw = norm.decode([p.get(i, 0), p.get(i, 1), p.get(i, 2)]);
+                times.push(raw[2]);
+            }
+            sc.recycle(p);
+            times
+        });
+        mean_sigma(&times)
+    }
+
+    /// Batched [`Self::predict_risk_with_context_in`]: fills `out` (cleared
+    /// first) with one `(mean, sigma)` per plan, in order. Each pair is
+    /// bitwise identical to the scalar call on the same plan — the sampled
+    /// VAE pass shares the batched layers' per-row FP-order contract. Falls
+    /// back to the scalar loop when the fast path is off, `K == 1`, or the
+    /// plans are not shape-congruent.
+    pub fn predict_risk_batch_with_context_in(
+        &self,
+        sess: &mut FeatSession,
+        query: &Query,
+        plans: &[&PlanNode],
+        ctx: &mut QueryContext,
+        eps: &Tensor,
+        out: &mut Vec<(f64, f64)>,
+    ) {
+        out.clear();
+        if plans.is_empty() {
+            return;
+        }
+        if !ctx.fast || plans.len() == 1 {
+            for p in plans {
+                out.push(self.predict_risk_with_context_in(sess, query, p, ctx, eps));
+            }
+            return;
+        }
+        let norm = self.normalizer.as_ref().expect("model must be fitted before predict");
+        let s = eps.rows();
+        assert!(s > 0, "risk scoring needs at least one latent sample");
+        let mut feat_batch = std::mem::take(&mut ctx.feat_batch);
+        self.feat.featurize_batch_into(
+            sess,
+            query,
+            plans,
+            norm,
+            &mut ctx.plan_cache,
+            &mut feat_batch,
+        );
+        let refs: Vec<&FeatNode> = feat_batch.iter().collect();
+        let kn = plans.len();
+        let batched = with_thread_scratch(|sc| -> bool {
+            let Some(nodes_all) = self.plan_enc.forward_inference_batch(&self.store, &refs, sc)
+            else {
+                return false;
+            };
+            let n_nodes = refs[0].count();
+            let qd = ctx.qemb.cols();
+            let joint = if n_nodes > 1 && self.config.use_attention {
+                let mut qb = sc.take(kn, qd);
+                for r in 0..kn {
+                    qb.row_slice_mut(r).copy_from_slice(ctx.qemb.data());
+                }
+                let j =
+                    self.attn.forward_inference_batch(&self.store, &qb, &nodes_all, n_nodes, sc);
+                sc.recycle(qb);
+                sc.recycle(nodes_all);
+                j
+            } else {
+                let mut j = sc.take(kn, qd + self.plan_enc.out_dim());
+                for r in 0..kn {
+                    let row = j.row_slice_mut(r);
+                    row[..qd].copy_from_slice(ctx.qemb.data());
+                    row[qd..].copy_from_slice(nodes_all.row_slice((r + 1) * n_nodes - 1));
+                }
+                sc.recycle(nodes_all);
+                j
+            };
+            // Sample-major `[S*K, 3]`: candidate k's sample si is row
+            // `si*K + k`.
+            let p = self.vae.forward_inference_sampled(&self.store, &joint, eps, sc);
+            sc.recycle(joint);
+            let mut times = Vec::with_capacity(s);
+            for k in 0..kn {
+                times.clear();
+                for si in 0..s {
+                    let r = si * kn + k;
+                    let raw = norm.decode([p.get(r, 0), p.get(r, 1), p.get(r, 2)]);
+                    times.push(raw[2]);
+                }
+                out.push(mean_sigma(&times));
+            }
+            sc.recycle(p);
+            true
+        });
+        ctx.feat_batch = feat_batch;
+        if !batched {
+            for p in plans {
+                out.push(self.predict_risk_with_context_in(sess, query, p, ctx, eps));
+            }
+        }
+    }
+
     /// Reference prediction through the autodiff tape (the training-path
     /// forward). The fast path is property-tested to match this within 1e-5;
     /// it also backs prediction when `config.fast_inference` is off.
@@ -851,6 +1010,25 @@ struct SampleGrad {
 /// Row `i` of the batch noise tensor as a standalone `[1, latent]` tensor.
 fn eps_row(eps_all: &Tensor, i: usize) -> Tensor {
     Tensor::row(eps_all.row_slice(i).to_vec())
+}
+
+/// Mean and population standard deviation, accumulated in `f64` in slice
+/// order — a fixed reduction order, so the result is bitwise reproducible
+/// for a fixed sample sequence.
+fn mean_sigma(times: &[f64]) -> (f64, f64) {
+    let n = times.len() as f64;
+    let mut mean = 0.0;
+    for &t in times {
+        mean += t;
+    }
+    mean /= n;
+    let mut var = 0.0;
+    for &t in times {
+        let d = t - mean;
+        var += d * d;
+    }
+    var /= n;
+    (mean, var.sqrt())
 }
 
 /// Number of nodes carrying ground truth (the auxiliary-loss rows).

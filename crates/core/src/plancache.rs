@@ -16,13 +16,16 @@
 //!   collision (or an alias-renamed twin whose stored plan would not
 //!   validate verbatim) degrades to a miss, never to a wrong plan;
 //! * every entry is stamped with the **publication epoch** of the model that
-//!   produced it and the tenant's **stats version**. A lookup passes the
-//!   epoch the request resolved from the [`crate::registry::ModelCell`] and
-//!   the current stats version; any mismatch is a miss. Model hot-swaps,
-//!   rollbacks, registry evictions (which keep epochs monotonic per tenant)
-//!   and stats refreshes therefore invalidate stale entries *implicitly* —
-//!   there is no purge to order against the swap, hence no window in which
-//!   an old plan can be served against a new model.
+//!   produced it, the tenant's **stats version**, and the **search-strategy
+//!   stamp** (strategy kind, beam width, risk λ and sample count) it was
+//!   planned under. A lookup passes the epoch the request resolved from the
+//!   [`crate::registry::ModelCell`], the current stats version and the
+//!   request's strategy stamp; any mismatch is a miss. Model hot-swaps,
+//!   rollbacks, registry evictions (which keep epochs monotonic per tenant),
+//!   stats refreshes and strategy or λ changes therefore invalidate stale
+//!   entries *implicitly* — there is no purge to order against the swap,
+//!   hence no window in which an old plan can be served against a new model
+//!   (or a risk-neutral plan against a risk-averse request).
 //!
 //! The map is sharded by key hash; each shard is an independently locked
 //! LRU. Lock hold times are a hash probe or an O(capacity) eviction scan.
@@ -159,6 +162,12 @@ pub struct CachedPlan {
     pub epoch: u64,
     /// Tenant stats version the plan was costed under.
     pub stats_version: u64,
+    /// Search-strategy stamp ([`crate::search::strategy::StrategyConfig::
+    /// cache_stamp`]) the plan was found under: strategy kind, beam width
+    /// and risk (λ, samples). A λ = 0.5 plan is a different artifact than
+    /// the λ = 0 plan of the same query — a lookup under a different
+    /// strategy must miss, never serve the foreign plan.
+    pub strategy: u64,
 }
 
 struct Entry {
@@ -314,9 +323,10 @@ impl PlanCache {
 
     /// Look up `query` for `tenant`. `epoch` is the publication epoch of the
     /// model the caller resolved for this request; `stats_version` the
-    /// tenant's current statistics version. Returns the cached plan only if
-    /// it was produced at exactly that `(epoch, stats_version)` and the
-    /// stored query matches structurally.
+    /// tenant's current statistics version; `strategy` the request's search
+    /// strategy stamp. Returns the cached plan only if it was produced at
+    /// exactly that `(epoch, stats_version, strategy)` and the stored query
+    /// matches structurally.
     pub fn lookup(
         &self,
         tenant: &str,
@@ -324,6 +334,7 @@ impl PlanCache {
         fp: u64,
         epoch: u64,
         stats_version: u64,
+        strategy: u64,
     ) -> Option<CachedPlan> {
         let key = self.key(tenant, fp);
         let mut map = Self::lock(self.shard(key));
@@ -331,7 +342,10 @@ impl PlanCache {
             self.stats.misses.fetch_add(1, Ordering::Relaxed);
             return None;
         };
-        if entry.cached.epoch != epoch || entry.cached.stats_version != stats_version {
+        if entry.cached.epoch != epoch
+            || entry.cached.stats_version != stats_version
+            || entry.cached.strategy != strategy
+        {
             // Stale: drop it now so the slot is free for the fresh plan.
             map.remove(&key);
             self.stats.stale_rejects.fetch_add(1, Ordering::Relaxed);
@@ -537,18 +551,86 @@ mod tests {
         let cache = PlanCache::new(4, 16);
         let q = three_way();
         let fp = query_fingerprint(&q);
-        let cached =
-            CachedPlan { plan: plan_for(&q), predicted_ms: 1.5, epoch: 3, stats_version: 1 };
+        let cached = CachedPlan {
+            plan: plan_for(&q),
+            predicted_ms: 1.5,
+            epoch: 3,
+            stats_version: 1,
+            strategy: 0,
+        };
         cache.insert("tenant-a", &q, fp, cached);
-        assert!(cache.lookup("tenant-a", &q, fp, 3, 1).is_some());
-        assert!(cache.lookup("tenant-a", &q, fp, 4, 1).is_none(), "new epoch: stale");
+        assert!(cache.lookup("tenant-a", &q, fp, 3, 1, 0).is_some());
+        assert!(cache.lookup("tenant-a", &q, fp, 4, 1, 0).is_none(), "new epoch: stale");
         // The stale probe evicted the entry; re-insert to test stats skew.
-        let cached =
-            CachedPlan { plan: plan_for(&q), predicted_ms: 1.5, epoch: 3, stats_version: 1 };
+        let cached = CachedPlan {
+            plan: plan_for(&q),
+            predicted_ms: 1.5,
+            epoch: 3,
+            stats_version: 1,
+            strategy: 0,
+        };
         cache.insert("tenant-a", &q, fp, cached);
-        assert!(cache.lookup("tenant-a", &q, fp, 3, 2).is_none(), "stats refresh: stale");
+        assert!(cache.lookup("tenant-a", &q, fp, 3, 2, 0).is_none(), "stats refresh: stale");
         let s = cache.stats();
         assert_eq!(s.stale_rejects, 2);
+    }
+
+    #[test]
+    fn strategy_switch_never_returns_a_foreign_plan() {
+        use crate::search::strategy::{StrategyConfig, StrategyKind};
+        let cache = PlanCache::new(4, 16);
+        let q = three_way();
+        let fp = query_fingerprint(&q);
+        let mcts = StrategyConfig::default().cache_stamp();
+        let beam = StrategyConfig { kind: StrategyKind::Beam, ..Default::default() }.cache_stamp();
+        let risky = StrategyConfig { risk_lambda: 0.5, ..Default::default() }.cache_stamp();
+        assert_ne!(mcts, beam);
+        assert_ne!(mcts, risky);
+        cache.insert(
+            "a",
+            &q,
+            fp,
+            CachedPlan {
+                plan: plan_for(&q),
+                predicted_ms: 1.0,
+                epoch: 0,
+                stats_version: 0,
+                strategy: mcts,
+            },
+        );
+        // Same (tenant, epoch, stats) under a different strategy or λ must
+        // miss — the cached plan belongs to the other strategy's search.
+        assert!(cache.lookup("a", &q, fp, 0, 0, beam).is_none(), "beam must not see mcts plan");
+        let s = cache.stats();
+        assert_eq!(s.stale_rejects, 1);
+        // The stale probe evicted the entry; re-insert under λ = 0.5 and
+        // confirm the λ = 0 request misses too.
+        cache.insert(
+            "a",
+            &q,
+            fp,
+            CachedPlan {
+                plan: plan_for(&q),
+                predicted_ms: 1.0,
+                epoch: 0,
+                stats_version: 0,
+                strategy: risky,
+            },
+        );
+        assert!(cache.lookup("a", &q, fp, 0, 0, mcts).is_none(), "λ=0 must not see λ=0.5 plan");
+        cache.insert(
+            "a",
+            &q,
+            fp,
+            CachedPlan {
+                plan: plan_for(&q),
+                predicted_ms: 1.0,
+                epoch: 0,
+                stats_version: 0,
+                strategy: risky,
+            },
+        );
+        assert!(cache.lookup("a", &q, fp, 0, 0, risky).is_some(), "matching stamp still hits");
     }
 
     #[test]
@@ -560,12 +642,18 @@ mod tests {
             "a",
             &q,
             fp,
-            CachedPlan { plan: plan_for(&q), predicted_ms: 1.0, epoch: 0, stats_version: 0 },
+            CachedPlan {
+                plan: plan_for(&q),
+                predicted_ms: 1.0,
+                epoch: 0,
+                stats_version: 0,
+                strategy: 0,
+            },
         );
-        assert!(cache.lookup("b", &q, fp, 0, 0).is_none());
-        assert!(cache.lookup("a", &q, fp, 0, 0).is_some());
+        assert!(cache.lookup("b", &q, fp, 0, 0, 0).is_none());
+        assert!(cache.lookup("a", &q, fp, 0, 0, 0).is_some());
         cache.invalidate_tenant("a");
-        assert!(cache.lookup("a", &q, fp, 0, 0).is_none());
+        assert!(cache.lookup("a", &q, fp, 0, 0, 0).is_none());
         assert_eq!(cache.len(), 0);
     }
 
@@ -578,13 +666,19 @@ mod tests {
             "a",
             &q,
             fp,
-            CachedPlan { plan: plan_for(&q), predicted_ms: 1.0, epoch: 0, stats_version: 0 },
+            CachedPlan {
+                plan: plan_for(&q),
+                predicted_ms: 1.0,
+                epoch: 0,
+                stats_version: 0,
+                strategy: 0,
+            },
         );
         // An alias-renamed twin shares the fingerprint but its stored plan
         // names the old aliases — must degrade to a miss, not a wrong plan.
         let renamed = rename(&q, &[("title", "t")]);
         assert_eq!(query_fingerprint(&renamed), fp);
-        assert!(cache.lookup("a", &renamed, fp, 0, 0).is_none());
+        assert!(cache.lookup("a", &renamed, fp, 0, 0, 0).is_none());
         assert_eq!(cache.stats().mismatch_rejects, 1);
     }
 
@@ -603,15 +697,21 @@ mod tests {
                 "a",
                 &q,
                 fp,
-                CachedPlan { plan: plan_for(&q), predicted_ms: 1.0, epoch: 0, stats_version: 0 },
+                CachedPlan {
+                    plan: plan_for(&q),
+                    predicted_ms: 1.0,
+                    epoch: 0,
+                    stats_version: 0,
+                    strategy: 0,
+                },
             );
         }
         assert_eq!(cache.len(), 2);
         assert_eq!(cache.stats().evictions, 1);
         // The oldest entry (1990) was the LRU victim.
         let q0 = mk(1990.0);
-        assert!(cache.lookup("a", &q0, query_fingerprint(&q0), 0, 0).is_none());
+        assert!(cache.lookup("a", &q0, query_fingerprint(&q0), 0, 0, 0).is_none());
         let q2 = mk(1992.0);
-        assert!(cache.lookup("a", &q2, query_fingerprint(&q2), 0, 0).is_some());
+        assert!(cache.lookup("a", &q2, query_fingerprint(&q2), 0, 0, 0).is_some());
     }
 }

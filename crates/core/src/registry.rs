@@ -664,13 +664,19 @@ mod tests {
                 t,
                 &q,
                 fp,
-                CachedPlan { plan: plan.clone(), predicted_ms: 1.0, epoch: 0, stats_version: 0 },
+                CachedPlan {
+                    plan: plan.clone(),
+                    predicted_ms: 1.0,
+                    epoch: 0,
+                    stats_version: 0,
+                    strategy: 0,
+                },
             );
         }
         assert_eq!(cache.len(), 2);
         reg.evict("a");
         assert_eq!(cache.len(), 1, "eviction purged only tenant a's shard entries");
-        assert!(cache.lookup("b", &q, fp, 0, 0).is_some());
+        assert!(cache.lookup("b", &q, fp, 0, 0, 0).is_some());
 
         let v = reg.refresh_stats("b");
         assert_eq!(v, 1);

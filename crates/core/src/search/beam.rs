@@ -1,0 +1,621 @@
+//! Deterministic beam search over the bushy plan space, with
+//! rollout-completed scoring.
+//!
+//! Level-synchronous: level 0 realizes every relation as a leaf subtree
+//! (scan operators picked by one coordinate-descent pass), and each
+//! following level merges two connected subtrees in every kept state, so
+//! after `n - 1` levels every surviving state is one complete — possibly
+//! bushy — plan. Per level the search enumerates, for each of the
+//! `beam_width` kept states, every connected subtree pair × both
+//! orientations × all join operators, and dedupes resulting forests by
+//! hashed signature (neurdb's `Fringe`-style closed set).
+//!
+//! **Scoring.** The cost model is trained on *complete* plans only, so
+//! partial-forest scores are out-of-distribution noise. Every candidate
+//! state is therefore scored by greedily completing its forest to a full
+//! plan (first joinable pair, hash join) and evaluating that completion
+//! through the shared [`Evaluator`] (batched when congruent, memoized by
+//! the completion's postorder signature). Ranking thus directly minimizes
+//! the same objective left-deep MCTS optimizes, and the search returns
+//! the best-scoring complete plan seen anywhere — at the final level the
+//! completions are the states themselves.
+//!
+//! The search is RNG-free: enumeration orders are fixed (states by rank,
+//! pairs by position, operators in `JoinOp::ALL` order), selection is a
+//! stable sort with `f64::total_cmp`, and ties keep enumeration order —
+//! so results are identical across runs, worker counts, and batch
+//! layouts (batched scoring is row-wise bitwise equal to scalar).
+//!
+//! Compared to left-deep MCTS, beam search spends its evaluation budget
+//! systematically near the greedy frontier instead of sampling the
+//! factorially large order space, which wins on large (≥ 8 relation)
+//! queries where MCTS coverage is necessarily sparse — and it can emit
+//! bushy shapes MCTS cannot represent at all.
+
+use super::bushy::{joinable, BushyAssembler, SubTree};
+use super::mcts::MctsResult;
+use super::strategy::{Evaluator, RiskParams, SearchStrategy};
+use super::{fnv_words, op_idx_join, op_idx_scan, QueryIndex};
+use crate::featurize::FeatSession;
+use crate::fnv::FnvBuild;
+use crate::model::{Prediction, QPSeeker, QueryContext};
+use crate::session::PlannerSession;
+use qpseeker_engine::plan::{JoinOp, PlanNode, ScanOp};
+use qpseeker_engine::query::Query;
+use std::collections::{HashMap, HashSet};
+use std::time::Instant;
+
+/// Beam-search configuration. Shares the left-deep planner's budget/seed
+/// semantics so serving can derive either strategy from one knob set.
+#[derive(Debug, Clone)]
+pub struct BeamConfig {
+    /// Wall-clock planning budget in milliseconds, checked per level.
+    pub budget_ms: f64,
+    /// States kept per level.
+    pub beam_width: usize,
+    /// Soft cap on cost-model evaluations, checked per level.
+    pub max_evals: usize,
+    /// Seeds the risk-aware latent sampler (the search itself is RNG-free).
+    pub seed: u64,
+    /// `> 1` scores each level's fresh subtrees in one batched forward
+    /// pass; `<= 1` scores them one at a time. Scores are bitwise
+    /// identical either way.
+    pub batch_eval: usize,
+}
+
+impl Default for BeamConfig {
+    fn default() -> Self {
+        Self { budget_ms: 200.0, beam_width: 8, max_evals: 10_000, seed: 0xacc5, batch_eval: 16 }
+    }
+}
+
+/// Reusable beam-search state, cleared per query: the completed-plan
+/// evaluation cache (keyed by exact postorder signature), the forest
+/// closed set, and the scoring buffers. Lives in a
+/// [`crate::session::SearchScratch`] so a serving worker reuses
+/// allocations across queries.
+#[derive(Default)]
+pub struct BeamScratch {
+    /// Greedy-completion signature → evaluator score.
+    eval_cache: HashMap<Vec<u64>, f64, FnvBuild>,
+    /// Hashes of forests already enqueued as candidates. A collision can
+    /// only drop a duplicate-looking state, never corrupt a score.
+    seen: HashSet<u64, FnvBuild>,
+    preds_buf: Vec<Prediction>,
+    scores_buf: Vec<f64>,
+}
+
+impl BeamScratch {
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// One beam state: a forest of realized subtrees with disjoint masks,
+/// kept sorted by mask for canonical identity. States carry no score of
+/// their own — candidates are ranked by their greedy completion's score.
+struct BeamState {
+    trees: Vec<SubTree>,
+}
+
+/// One candidate merge: join `trees[left] ⋈op trees[right]` of
+/// `beam[parent]`. `comp_sig` identifies the greedy completion of the
+/// resulting forest; `score` is that completion's evaluator score.
+struct Candidate {
+    parent: usize,
+    left: usize,
+    right: usize,
+    op: JoinOp,
+    sig: Vec<u64>,
+    comp_sig: Vec<u64>,
+    score: f64,
+}
+
+/// Greedily complete a forest to one tree: repeatedly join the first
+/// joinable pair (first pair at all when none is joinable — a cross join
+/// on a disconnected query) with the first join operator. Deterministic,
+/// evaluation-free; the result is what a candidate state is scored on.
+fn greedy_complete(qi: &QueryIndex, asm: &BushyAssembler, state: &[SubTree]) -> SubTree {
+    if state.len() == 1 {
+        return state[0].clone();
+    }
+    let mut trees: Vec<SubTree> = state.to_vec();
+    while trees.len() > 1 {
+        let mut pick = (0usize, 1usize);
+        'outer: for i in 0..trees.len() {
+            for j in i + 1..trees.len() {
+                if joinable(qi, trees[i].mask, trees[j].mask) {
+                    pick = (i, j);
+                    break 'outer;
+                }
+            }
+        }
+        let (i, j) = pick;
+        let merged = SubTree {
+            mask: trees[i].mask | trees[j].mask,
+            sig: SubTree::joined_sig(&trees[i], &trees[j], JoinOp::ALL[0]),
+            plan: asm.join(JoinOp::ALL[0], &trees[i], &trees[j]),
+        };
+        trees.remove(j);
+        trees.remove(i);
+        trees.push(merged);
+        trees.sort_by_key(|t| t.mask);
+    }
+    trees.pop().expect("one tree remains")
+}
+
+/// Nodes in `plan`, for postorder indexing.
+fn node_count(plan: &PlanNode) -> usize {
+    match plan {
+        PlanNode::Scan { .. } => 1,
+        PlanNode::Join { left, right, .. } => node_count(left) + node_count(right) + 1,
+    }
+}
+
+/// Replace the operator of postorder node `target` with the `k`-th of its
+/// kind (`ScanOp::ALL` for scans, `JoinOp::ALL` for joins). Returns the
+/// index of the operator previously there.
+fn set_node_op(plan: &mut PlanNode, target: usize, k: usize, counter: &mut usize) -> Option<usize> {
+    match plan {
+        PlanNode::Scan { op, .. } => {
+            let here = *counter;
+            *counter += 1;
+            (here == target).then(|| {
+                let old = op_idx_scan(*op) as usize;
+                *op = ScanOp::ALL[k];
+                old
+            })
+        }
+        PlanNode::Join { op, left, right, .. } => {
+            if let Some(old) = set_node_op(left, target, k, counter) {
+                return Some(old);
+            }
+            if let Some(old) = set_node_op(right, target, k, counter) {
+                return Some(old);
+            }
+            let here = *counter;
+            *counter += 1;
+            (here == target).then(|| {
+                let old = op_idx_join(*op) as usize;
+                *op = JoinOp::ALL[k];
+                old
+            })
+        }
+    }
+}
+
+/// The beam-search planner over the bushy action space.
+pub struct BeamPlanner {
+    cfg: BeamConfig,
+    risk: Option<RiskParams>,
+}
+
+impl BeamPlanner {
+    pub fn new(cfg: BeamConfig) -> Self {
+        Self { cfg, risk: None }
+    }
+
+    /// Beam search ranking candidates by `mean + λ·σ` over seeded VAE
+    /// latent samples. With `risk.lambda == 0` this is exactly
+    /// [`Self::new`].
+    pub fn with_risk(cfg: BeamConfig, risk: RiskParams) -> Self {
+        let risk = if risk.enabled() { Some(risk) } else { None };
+        Self { cfg, risk }
+    }
+
+    /// Plan through the model's internal fallback session (see
+    /// [`super::mcts::MctsPlanner::plan`]).
+    pub fn plan(&self, model: &QPSeeker, query: &Query) -> MctsResult {
+        let mut sess = model.lock_fallback_session();
+        self.plan_with_session(model, query, &mut sess)
+    }
+
+    /// Plan `query` with all mutable state in `sess`.
+    pub fn plan_with_session(
+        &self,
+        model: &QPSeeker,
+        query: &Query,
+        sess: &mut PlannerSession,
+    ) -> MctsResult {
+        assert!(!query.relations.is_empty(), "cannot plan an empty query");
+        let start = Instant::now();
+        let ev = Evaluator::new(model, query, self.risk.as_ref(), self.cfg.seed);
+        let mut ctx = model.query_context(query);
+        let qi = QueryIndex::new(query);
+        let asm = BushyAssembler::new(query);
+        let PlannerSession { feat, search, .. } = sess;
+        let scratch = search.beam();
+        scratch.eval_cache.clear();
+        scratch.seen.clear();
+        let width = self.cfg.beam_width.max(1);
+        let n = qi.n;
+
+        // ---- Single relation: evaluate the three scans directly ----
+        if n == 1 {
+            let scan_plans: Vec<PlanNode> = ScanOp::ALL.iter().map(|&op| asm.scan(0, op)).collect();
+            let scan_refs: Vec<&PlanNode> = scan_plans.iter().collect();
+            self.score(&ev, feat, query, &scan_refs, &mut ctx, scratch);
+            let mut best = (0usize, scratch.scores_buf[0]);
+            for (k, &s) in scratch.scores_buf.iter().enumerate().skip(1) {
+                if s < best.1 {
+                    best = (k, s);
+                }
+            }
+            return MctsResult {
+                plan: scan_plans[best.0].clone(),
+                predicted_ms: best.1,
+                simulations: 3,
+                plans_evaluated: 3,
+                budget_exhausted: false,
+            };
+        }
+
+        // ---- Level 0: pick each relation's scan by coordinate descent
+        // on greedy completions (every evaluation is a complete plan) ----
+        let mut best: Option<(f64, SubTree)> = None;
+        let mut evals = 0usize;
+        let mut scan_choice = vec![0usize; n];
+        for rel in 0..n {
+            let mut comps: Vec<SubTree> = Vec::with_capacity(3);
+            for k in 0..3 {
+                let leaves: Vec<SubTree> = (0..n)
+                    .map(|r| {
+                        let op = ScanOp::ALL[if r == rel { k } else { scan_choice[r] }];
+                        SubTree::leaf(&asm, r as u32, op)
+                    })
+                    .collect();
+                comps.push(greedy_complete(&qi, &asm, &leaves));
+            }
+            let scores = self.score_completions(
+                &ev, feat, query, &comps, &mut ctx, scratch, &mut evals, &mut best,
+            );
+            let mut pick = (0usize, scores[0]);
+            for (k, &s) in scores.iter().enumerate().skip(1) {
+                if s < pick.1 {
+                    pick = (k, s);
+                }
+            }
+            scan_choice[rel] = pick.0;
+        }
+        let trees: Vec<SubTree> =
+            (0..n).map(|r| SubTree::leaf(&asm, r as u32, ScanOp::ALL[scan_choice[r]])).collect();
+
+        let mut beam = vec![BeamState { trees }];
+        let mut simulations = 0usize;
+        let mut budget_exhausted = false;
+
+        // ---- Levels 1..n-1: merge two subtrees per kept state ----
+        for _level in 1..n {
+            if start.elapsed().as_secs_f64() * 1000.0 > self.cfg.budget_ms
+                || evals >= self.cfg.max_evals
+            {
+                budget_exhausted = true;
+                break;
+            }
+
+            // Enumerate candidate merges in fixed order.
+            let mut cands: Vec<Candidate> = Vec::new();
+            for (pi, state) in beam.iter().enumerate() {
+                let k = state.trees.len();
+                // On a disconnected query a state can reach a point where
+                // no pair shares a predicate; only then are cross joins
+                // admitted, mirroring the engine's validation rule.
+                let any_joinable = (0..k).any(|i| {
+                    (i + 1..k).any(|j| joinable(&qi, state.trees[i].mask, state.trees[j].mask))
+                });
+                for i in 0..k {
+                    for j in i + 1..k {
+                        let connected = joinable(&qi, state.trees[i].mask, state.trees[j].mask);
+                        if any_joinable && !connected {
+                            continue;
+                        }
+                        for (l, r) in [(i, j), (j, i)] {
+                            for op in JoinOp::ALL {
+                                let sig = SubTree::joined_sig(&state.trees[l], &state.trees[r], op);
+                                let mut forest: Vec<u64> = state
+                                    .trees
+                                    .iter()
+                                    .enumerate()
+                                    .filter(|&(t, _)| t != i && t != j)
+                                    .map(|(_, t)| fnv_words(&t.sig))
+                                    .collect();
+                                forest.push(fnv_words(&sig));
+                                forest.sort_unstable();
+                                if !scratch.seen.insert(fnv_words(&forest)) {
+                                    continue;
+                                }
+                                cands.push(Candidate {
+                                    parent: pi,
+                                    left: l,
+                                    right: r,
+                                    op,
+                                    sig,
+                                    comp_sig: Vec::new(),
+                                    score: 0.0,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+            simulations += cands.len();
+            if cands.is_empty() {
+                break;
+            }
+
+            // Complete each candidate's forest greedily and score the
+            // completions — full plans — memoized by completion signature.
+            let mut comps: Vec<SubTree> = Vec::with_capacity(cands.len());
+            for c in &mut cands {
+                let parent = &beam[c.parent];
+                let merged = SubTree {
+                    mask: parent.trees[c.left].mask | parent.trees[c.right].mask,
+                    sig: c.sig.clone(),
+                    plan: asm.join(c.op, &parent.trees[c.left], &parent.trees[c.right]),
+                };
+                let mut forest: Vec<SubTree> = parent
+                    .trees
+                    .iter()
+                    .enumerate()
+                    .filter(|&(t, _)| t != c.left && t != c.right)
+                    .map(|(_, t)| t.clone())
+                    .collect();
+                forest.push(merged);
+                forest.sort_by_key(|t| t.mask);
+                let comp = greedy_complete(&qi, &asm, &forest);
+                c.comp_sig = comp.sig.clone();
+                comps.push(comp);
+            }
+            let scores = self.score_completions(
+                &ev, feat, query, &comps, &mut ctx, scratch, &mut evals, &mut best,
+            );
+            for (c, s) in cands.iter_mut().zip(&scores) {
+                c.score = *s;
+            }
+
+            // Stable selection: score ascending, ties keep enumeration
+            // order.
+            let mut order: Vec<usize> = (0..cands.len()).collect();
+            order.sort_by(|&a, &b| cands[a].score.total_cmp(&cands[b].score));
+            order.truncate(width);
+
+            let mut next = Vec::with_capacity(order.len());
+            for &ci in &order {
+                let c = &cands[ci];
+                let parent = &beam[c.parent];
+                let merged = SubTree {
+                    mask: parent.trees[c.left].mask | parent.trees[c.right].mask,
+                    sig: c.sig.clone(),
+                    plan: asm.join(c.op, &parent.trees[c.left], &parent.trees[c.right]),
+                };
+                let mut trees: Vec<SubTree> = parent
+                    .trees
+                    .iter()
+                    .enumerate()
+                    .filter(|&(t, _)| t != c.left && t != c.right)
+                    .map(|(_, t)| t.clone())
+                    .collect();
+                trees.push(merged);
+                trees.sort_by_key(|t| t.mask);
+                next.push(BeamState { trees });
+            }
+            beam = next;
+        }
+
+        // Best complete plan scored anywhere in the search — at the final
+        // level the candidate completions are the states themselves, and
+        // under a budget cut-off this is the best rollout seen so far.
+        let (mut best_score, best_tree) = best.expect("scored at least one complete plan");
+        let mut plan = best_tree.plan;
+
+        // ---- Operator polish: coordinate descent over scan and join
+        // operators on the winning structure. The beam commits operators
+        // level by level; this pass re-selects each one against the final
+        // plan (the jointly-optimal choice MCTS searches for), keeping a
+        // variant only when it strictly improves the score.
+        let total = node_count(&plan);
+        for target in 0..total {
+            if start.elapsed().as_secs_f64() * 1000.0 > self.cfg.budget_ms
+                || evals >= self.cfg.max_evals
+            {
+                budget_exhausted = true;
+                break;
+            }
+            for k in 0..3 {
+                let mut cand = plan.clone();
+                let mut counter = 0usize;
+                let old = set_node_op(&mut cand, target, k, &mut counter).expect("target in range");
+                if old == k {
+                    continue;
+                }
+                let s = ev.score_one(feat, query, &cand, &mut ctx);
+                evals += 1;
+                if s < best_score {
+                    best_score = s;
+                    plan = cand;
+                }
+            }
+        }
+
+        MctsResult {
+            plan,
+            predicted_ms: best_score,
+            simulations,
+            plans_evaluated: evals,
+            budget_exhausted,
+        }
+    }
+
+    /// Score `refs` into `scratch.scores_buf`, batched when configured.
+    fn score(
+        &self,
+        ev: &Evaluator,
+        feat: &mut FeatSession,
+        query: &Query,
+        refs: &[&PlanNode],
+        ctx: &mut QueryContext,
+        scratch: &mut BeamScratch,
+    ) {
+        if self.cfg.batch_eval > 1 {
+            ev.score_batch(feat, query, refs, ctx, &mut scratch.preds_buf, &mut scratch.scores_buf);
+        } else {
+            scratch.scores_buf.clear();
+            for p in refs {
+                let s = ev.score_one(feat, query, p, ctx);
+                scratch.scores_buf.push(s);
+            }
+        }
+    }
+
+    /// Score the greedy completions in `comps`, memoizing by completion
+    /// signature, charging only fresh evaluations to `evals`, and folding
+    /// each fresh score into `best`. Returns the per-completion scores.
+    #[allow(clippy::too_many_arguments)]
+    fn score_completions(
+        &self,
+        ev: &Evaluator,
+        feat: &mut FeatSession,
+        query: &Query,
+        comps: &[SubTree],
+        ctx: &mut QueryContext,
+        scratch: &mut BeamScratch,
+        evals: &mut usize,
+        best: &mut Option<(f64, SubTree)>,
+    ) -> Vec<f64> {
+        let mut miss_index: HashMap<Vec<u64>, usize, FnvBuild> = HashMap::default();
+        let mut miss: Vec<&SubTree> = Vec::new();
+        for c in comps {
+            if scratch.eval_cache.contains_key(&c.sig) || miss_index.contains_key(&c.sig) {
+                continue;
+            }
+            miss_index.insert(c.sig.clone(), miss.len());
+            miss.push(c);
+        }
+        if !miss.is_empty() {
+            let refs: Vec<&PlanNode> = miss.iter().map(|t| &t.plan).collect();
+            self.score(ev, feat, query, &refs, ctx, scratch);
+            *evals += miss.len();
+            for (i, t) in miss.iter().enumerate() {
+                let s = scratch.scores_buf[i];
+                scratch.eval_cache.insert(t.sig.clone(), s);
+                let better = match best {
+                    Some((b, _)) => s < *b,
+                    None => true,
+                };
+                if better {
+                    *best = Some((s, (*t).clone()));
+                }
+            }
+        }
+        comps.iter().map(|c| scratch.eval_cache[&c.sig]).collect()
+    }
+}
+
+impl SearchStrategy for BeamPlanner {
+    fn plan_with_session(
+        &self,
+        model: &QPSeeker,
+        query: &Query,
+        sess: &mut PlannerSession,
+    ) -> MctsResult {
+        BeamPlanner::plan_with_session(self, model, query, sess)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ModelConfig;
+    use qpseeker_engine::query::{ColRef, JoinPred, RelRef};
+    use qpseeker_storage::datagen::imdb;
+    use qpseeker_workloads::{synthetic, Qep, SyntheticConfig};
+
+    fn fitted_model(db: &std::sync::Arc<qpseeker_storage::Database>) -> QPSeeker {
+        let w = synthetic::generate(db, &SyntheticConfig { n_queries: 16, seed: 3 });
+        let refs: Vec<&Qep> = w.qeps.iter().collect();
+        let mut m = QPSeeker::new(db, ModelConfig::small());
+        m.fit(&refs).expect("training succeeds");
+        m
+    }
+
+    fn three_way(db: &qpseeker_storage::Database) -> Query {
+        let _ = db;
+        let mut q = Query::new("beam-q");
+        q.relations =
+            vec![RelRef::new("title"), RelRef::new("movie_info"), RelRef::new("movie_keyword")];
+        q.joins = vec![
+            JoinPred {
+                left: ColRef::new("movie_info", "movie_id"),
+                right: ColRef::new("title", "id"),
+            },
+            JoinPred {
+                left: ColRef::new("movie_keyword", "movie_id"),
+                right: ColRef::new("title", "id"),
+            },
+        ];
+        q
+    }
+
+    #[test]
+    fn produces_valid_plan_over_bushy_space() {
+        let db = std::sync::Arc::new(imdb::generate(0.05, 1));
+        let model = fitted_model(&db);
+        let q = three_way(&db);
+        let res =
+            BeamPlanner::new(BeamConfig { budget_ms: 1e9, ..Default::default() }).plan(&model, &q);
+        assert!(res.plan.validate(&q).is_ok());
+        assert!(res.plans_evaluated > 0);
+        assert!(res.predicted_ms.is_finite());
+        assert!(!res.budget_exhausted);
+    }
+
+    #[test]
+    fn deterministic_across_runs_and_batch_layouts() {
+        let db = std::sync::Arc::new(imdb::generate(0.05, 1));
+        let model = fitted_model(&db);
+        let q = three_way(&db);
+        let base = BeamConfig { budget_ms: 1e9, ..Default::default() };
+        let a = BeamPlanner::new(base.clone()).plan(&model, &q);
+        let b = BeamPlanner::new(base.clone()).plan(&model, &q);
+        let scalar = BeamPlanner::new(BeamConfig { batch_eval: 1, ..base }).plan(&model, &q);
+        assert_eq!(a.plan, b.plan);
+        assert_eq!(a.predicted_ms.to_bits(), b.predicted_ms.to_bits());
+        assert_eq!(a.plan, scalar.plan);
+        assert_eq!(a.predicted_ms.to_bits(), scalar.predicted_ms.to_bits());
+        assert_eq!(a.plans_evaluated, scalar.plans_evaluated);
+    }
+
+    #[test]
+    fn beam_explores_bushy_shapes_on_star_query() {
+        // Four relations joined star-style through `title`: the bushy
+        // space admits shapes like (t ⋈ mi) ⋈ (t? ..) that left-deep
+        // search cannot represent. The chosen plan must still validate;
+        // whether it ends up bushy is the model's call, but the search
+        // must at least have enumerated such states (candidate count
+        // strictly exceeds the left-deep orientation count).
+        let db = std::sync::Arc::new(imdb::generate(0.05, 1));
+        let model = fitted_model(&db);
+        let mut q = three_way(&db);
+        q.relations.push(RelRef::new("cast_info"));
+        q.joins.push(JoinPred {
+            left: ColRef::new("cast_info", "movie_id"),
+            right: ColRef::new("title", "id"),
+        });
+        let res =
+            BeamPlanner::new(BeamConfig { budget_ms: 1e9, ..Default::default() }).plan(&model, &q);
+        assert!(res.plan.validate(&q).is_ok());
+        assert!(res.predicted_ms.is_finite());
+        assert!(res.simulations > 0);
+    }
+
+    #[test]
+    fn single_relation_query_picks_a_scan() {
+        let db = std::sync::Arc::new(imdb::generate(0.05, 1));
+        let model = fitted_model(&db);
+        let mut q = Query::new("single-beam");
+        q.relations = vec![RelRef::new("title")];
+        let res = BeamPlanner::new(BeamConfig::default()).plan(&model, &q);
+        assert!(matches!(res.plan, PlanNode::Scan { .. }));
+        assert_eq!(res.plans_evaluated, 3);
+    }
+}

@@ -23,6 +23,8 @@
 //! bitwise identical for any `parallel_sims >= 1` — thread count changes
 //! wall-clock, never the answer.
 
+use super::strategy::{Evaluator, RiskParams, SearchStrategy};
+use super::{fnv, op_idx_join, op_idx_scan, QueryIndex};
 use crate::featurize::FeatSession;
 use crate::fnv::FnvBuild;
 use crate::model::{Prediction, QPSeeker, QueryContext};
@@ -65,60 +67,6 @@ impl Action {
                 (rel as u64) << 4 | (op_idx_scan(scan) as u64) << 2 | op_idx_join(join) as u64
             }
         }
-    }
-}
-
-fn op_idx_scan(s: ScanOp) -> u8 {
-    match s {
-        ScanOp::SeqScan => 0,
-        ScanOp::IndexScan => 1,
-        ScanOp::BitmapIndexScan => 2,
-    }
-}
-
-fn op_idx_join(j: JoinOp) -> u8 {
-    match j {
-        JoinOp::HashJoin => 0,
-        JoinOp::MergeJoin => 1,
-        JoinOp::NestedLoopJoin => 2,
-    }
-}
-
-/// Precomputed join connectivity of one query: `adj[i]` is the bitmask of
-/// relations sharing a join predicate with relation `i`. Supports up to 64
-/// relations (the IMDb/JOB regime is ≤ 17).
-struct QueryIndex {
-    n: usize,
-    adj: Vec<u64>,
-}
-
-impl QueryIndex {
-    fn new(query: &Query) -> Self {
-        let n = query.relations.len();
-        assert!(n <= 64, "MCTS bitmask connectivity supports at most 64 relations");
-        let idx_of = |alias: &str| query.relations.iter().position(|r| r.alias == alias);
-        let mut adj = vec![0u64; n];
-        for j in &query.joins {
-            if let (Some(l), Some(r)) = (idx_of(&j.left.alias), idx_of(&j.right.alias)) {
-                if l != r {
-                    adj[l] |= 1 << r;
-                    adj[r] |= 1 << l;
-                }
-            }
-        }
-        Self { n, adj }
-    }
-
-    /// Relations reachable from the joined set, as a bitmask.
-    fn frontier(&self, joined: u64) -> u64 {
-        let mut reach = 0u64;
-        let mut rest = joined;
-        while rest != 0 {
-            let i = rest.trailing_zeros() as usize;
-            rest &= rest - 1;
-            reach |= self.adj[i];
-        }
-        reach & !joined
     }
 }
 
@@ -354,6 +302,7 @@ pub struct MctsScratch {
     best_seq: Vec<Action>,
     plans_buf: Vec<PlanNode>,
     preds_buf: Vec<Prediction>,
+    scores_buf: Vec<f64>,
 }
 
 impl MctsScratch {
@@ -365,11 +314,23 @@ impl MctsScratch {
 /// The MCTS planner. Owns the search tree for one query.
 pub struct MctsPlanner {
     cfg: MctsConfig,
+    /// Risk-aware scoring (`mean + λ·σ` over seeded latent samples); `None`
+    /// keeps the original mean-only path, byte for byte.
+    risk: Option<RiskParams>,
 }
 
 impl MctsPlanner {
     pub fn new(cfg: MctsConfig) -> Self {
-        Self { cfg }
+        Self { cfg, risk: None }
+    }
+
+    /// An MCTS planner whose rollout evaluations rank plans by
+    /// `mean + λ·σ` over seeded VAE latent samples (see
+    /// [`super::strategy::Evaluator`]). With `risk.lambda == 0` this is
+    /// exactly [`Self::new`].
+    pub fn with_risk(cfg: MctsConfig, risk: RiskParams) -> Self {
+        let risk = if risk.enabled() { Some(risk) } else { None };
+        Self { cfg, risk }
     }
 
     /// Plan `query` using `model` as the evaluation function, through the
@@ -393,6 +354,7 @@ impl MctsPlanner {
     ) -> MctsResult {
         assert!(!query.relations.is_empty(), "cannot plan an empty query");
         let start = Instant::now();
+        let ev = Evaluator::new(model, query, self.risk.as_ref(), self.cfg.seed);
 
         // Single relation: evaluate the three scan choices directly.
         if query.relations.len() == 1 {
@@ -403,7 +365,7 @@ impl MctsPlanner {
             let mut evaluated = 0;
             for op in ScanOp::ALL {
                 let plan = PlanNode::scan(query, &alias, op);
-                let t = model.predict_with_context_in(feat_sess, query, &plan, &mut ctx).runtime_ms;
+                let t = ev.score_one(feat_sess, query, &plan, &mut ctx);
                 evaluated += 1;
                 if best.as_ref().map(|(_, bt)| t < *bt).unwrap_or(true) {
                     best = Some((plan, t));
@@ -422,27 +384,29 @@ impl MctsPlanner {
         let qi = QueryIndex::new(query);
         let asm = PlanAssembler::new(query);
         if self.cfg.parallel_sims >= 1 {
-            return self.plan_root_parallel(model, query, &qi, &asm, sess, start);
+            return self.plan_root_parallel(&ev, model, query, &qi, &asm, sess, start);
         }
 
         let mut ctx = model.query_context(query);
         let mut best_t: Option<f64> = None;
+        let PlannerSession { feat, search, .. } = sess;
+        let scratch = search.mcts();
         let (simulations, budget_exhausted) = run_search(
             &self.cfg,
-            model,
+            &ev,
             query,
             &qi,
             &asm,
-            &mut sess.feat,
+            feat,
             &mut ctx,
-            &mut sess.mcts,
+            scratch,
             None,
             self.cfg.seed ^ fnv(query.id.as_bytes()),
             self.cfg.max_simulations,
             start,
             &mut best_t,
         );
-        let MctsScratch { eval_cache, acts_buf, best_seq, .. } = &mut sess.mcts;
+        let MctsScratch { eval_cache, acts_buf, best_seq, .. } = scratch;
         if best_t.is_none() {
             // Budget hit before any complete rollout: greedy completion.
             greedy_complete(&qi, best_seq, acts_buf);
@@ -461,8 +425,10 @@ impl MctsPlanner {
     /// subtree search per root action, sharded over up to
     /// `cfg.parallel_sims` threads, merged by a fixed-order argmin. Bitwise
     /// identical to itself for every `parallel_sims >= 1`.
+    #[allow(clippy::too_many_arguments)]
     fn plan_root_parallel(
         &self,
+        ev: &Evaluator,
         model: &QPSeeker,
         query: &Query,
         qi: &QueryIndex,
@@ -507,7 +473,7 @@ impl MctsPlanner {
                             let mut best_t = None;
                             let (simulations, budget_exhausted) = run_search(
                                 cfg,
-                                model,
+                                ev,
                                 query,
                                 qi,
                                 asm,
@@ -569,7 +535,7 @@ impl MctsPlanner {
             },
             None => {
                 // Budget hit before any unit completed a rollout.
-                let MctsScratch { acts_buf, best_seq, .. } = &mut sess.mcts;
+                let MctsScratch { acts_buf, best_seq, .. } = sess.search.mcts();
                 greedy_complete(qi, best_seq, acts_buf);
                 MctsResult {
                     plan: asm.build(best_seq),
@@ -580,6 +546,17 @@ impl MctsPlanner {
                 }
             }
         }
+    }
+}
+
+impl SearchStrategy for MctsPlanner {
+    fn plan_with_session(
+        &self,
+        model: &QPSeeker,
+        query: &Query,
+        sess: &mut PlannerSession,
+    ) -> MctsResult {
+        MctsPlanner::plan_with_session(self, model, query, sess)
     }
 }
 
@@ -603,7 +580,7 @@ struct UnitResult {
 #[allow(clippy::too_many_arguments)]
 fn run_search(
     cfg: &MctsConfig,
-    model: &QPSeeker,
+    ev: &Evaluator,
     query: &Query,
     qi: &QueryIndex,
     asm: &PlanAssembler,
@@ -638,6 +615,7 @@ fn run_search(
         best_seq,
         plans_buf,
         preds_buf,
+        scores_buf,
         untried_pool,
         children_pool,
     } = scratch;
@@ -772,7 +750,7 @@ fn run_search(
             apply_eval(nodes, best_seq, best_t, rollout, path, off, t, true);
         } else if cfg.batch_eval <= 1 {
             let plan = if ctx.fast { asm.build_for_eval(rollout) } else { asm.build(rollout) };
-            let t = model.predict_with_context_in(feat_sess, query, &plan, ctx).runtime_ms;
+            let t = ev.score_one(feat_sess, query, &plan, ctx);
             let mut key = key_pool.pop().unwrap_or_default();
             key.clear();
             key.extend_from_slice(key_buf);
@@ -805,7 +783,7 @@ fn run_search(
             }
             if pending.len() >= cfg.batch_eval {
                 flush_pending(
-                    model,
+                    ev,
                     query,
                     asm,
                     feat_sess,
@@ -820,6 +798,7 @@ fn run_search(
                     off,
                     plans_buf,
                     preds_buf,
+                    scores_buf,
                 );
             }
         }
@@ -849,7 +828,7 @@ fn run_search(
     // Score whatever is still queued (budget cut-offs and exhaustion
     // exits land here with a partial batch).
     flush_pending(
-        model,
+        ev,
         query,
         asm,
         feat_sess,
@@ -864,6 +843,7 @@ fn run_search(
         off,
         plans_buf,
         preds_buf,
+        scores_buf,
     );
     (simulations, budget_exhausted)
 }
@@ -922,7 +902,7 @@ fn apply_eval(
 /// allocations (pendings, waiters, cache keys) are recycled into pools.
 #[allow(clippy::too_many_arguments)]
 fn flush_pending(
-    model: &QPSeeker,
+    ev: &Evaluator,
     query: &Query,
     asm: &PlanAssembler,
     feat_sess: &mut FeatSession,
@@ -937,6 +917,7 @@ fn flush_pending(
     off: usize,
     plans_buf: &mut Vec<PlanNode>,
     preds_buf: &mut Vec<Prediction>,
+    scores_buf: &mut Vec<f64>,
 ) {
     if pending.is_empty() {
         return;
@@ -947,10 +928,9 @@ fn flush_pending(
         plans_buf.push(if ctx.fast { asm.build_for_eval(rollout) } else { asm.build(rollout) });
     }
     let plan_refs: Vec<&PlanNode> = plans_buf.iter().collect();
-    model.predict_batch_with_context_in(feat_sess, query, &plan_refs, ctx, preds_buf);
-    debug_assert_eq!(preds_buf.len(), pending.len());
-    for (p, pred) in pending.iter_mut().zip(preds_buf.iter()) {
-        let t = pred.runtime_ms;
+    ev.score_batch(feat_sess, query, &plan_refs, ctx, preds_buf, scores_buf);
+    debug_assert_eq!(scores_buf.len(), pending.len());
+    for (p, &t) in pending.iter_mut().zip(scores_buf.iter()) {
         eval_cache.insert(std::mem::take(&mut p.key), t);
         for w in p.waiters.drain(..) {
             apply_eval(nodes, best_seq, best_t, &w.rollout, &w.path, off, t, false);
@@ -983,14 +963,6 @@ fn legal_actions_into(qi: &QueryIndex, actions: &[Action], joined: u64, out: &mu
             }
         }
     }
-}
-
-fn fnv(bytes: &[u8]) -> u64 {
-    let mut h = 0xcbf29ce484222325u64;
-    for &b in bytes {
-        h = (h ^ b as u64).wrapping_mul(0x100000001b3);
-    }
-    h
 }
 
 #[cfg(test)]

@@ -28,11 +28,12 @@
 //! single-threaded path for tests.
 
 use crate::error::panic_message;
-use crate::mcts::{MctsConfig, MctsPlanner};
+use crate::mcts::MctsConfig;
 use crate::metrics::ServeCounters;
 use crate::model::QPSeeker;
 use crate::plancache::{query_fingerprint, CachedPlan, PlanCacheCtx};
 use crate::registry::ModelCell;
+use crate::search::strategy::{StrategyConfig, StrategyPlanner};
 use crate::session::PlannerSession;
 use qpseeker_engine::optimizer::PgOptimizer;
 use qpseeker_engine::plan::PlanNode;
@@ -49,8 +50,14 @@ use std::time::Instant;
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
     /// MCTS settings for each neural attempt (the seed is varied per
-    /// attempt so a retry explores differently).
+    /// attempt so a retry explores differently). Budget, evaluation cap,
+    /// seed and batch size also parameterize the beam strategy.
     pub mcts: MctsConfig,
+    /// Which search runs and how candidates are scored: strategy kind
+    /// (left-deep MCTS or bushy beam), risk weight λ, latent sample count,
+    /// beam width. The default reproduces the pre-strategy-layer planner
+    /// bit for bit.
+    pub strategy: StrategyConfig,
     /// Wall-clock budget for one neural attempt, in milliseconds. An
     /// attempt that exceeds it is discarded.
     pub deadline_ms: f64,
@@ -67,6 +74,7 @@ impl Default for ServeConfig {
     fn default() -> Self {
         Self {
             mcts: MctsConfig::default(),
+            strategy: StrategyConfig::default(),
             deadline_ms: 1_000.0,
             max_retries: 2,
             backoff_base_ms: 0.0,
@@ -199,7 +207,7 @@ pub fn plan_with_fallback_in(
         mcts.seed ^= attempt as u64;
         // Never let one attempt's internal budget exceed the watchdog.
         mcts.budget_ms = mcts.budget_ms.min(cfg.deadline_ms);
-        let planner = MctsPlanner::new(mcts);
+        let planner = StrategyPlanner::from_config(&cfg.strategy, mcts);
 
         // Injected inference faults are decided up front so a Panic fault
         // can fire *inside* the panic boundary — the contained-panic path
@@ -839,7 +847,9 @@ impl<'a> Source<'a> {
 /// guaranteed to have been planned by a model of exactly that epoch, and an
 /// insert racing a swap produces an entry that every post-swap lookup
 /// rejects. A hit bypasses MCTS *and* the breaker bookkeeping (no neural
-/// attempt was made to record).
+/// attempt was made to record). Both sides also carry the request's
+/// strategy stamp, so a strategy or λ change can never serve the other
+/// configuration's plan.
 #[allow(clippy::too_many_arguments)]
 fn serve_admitted(
     db: &Database,
@@ -852,10 +862,13 @@ fn serve_admitted(
     sess: &mut PlannerSession,
     tally: &mut ServeCounters,
 ) -> Disposition {
+    let strategy = cfg.strategy.cache_stamp();
     let attempt = catch_unwind(AssertUnwindSafe(|| {
         let fp = cache.map(|ctx| (ctx, query_fingerprint(query)));
         if let Some((ctx, fp)) = fp {
-            if let Some(hit) = ctx.cache.lookup(&ctx.tenant, query, fp, epoch, ctx.stats_version) {
+            if let Some(hit) =
+                ctx.cache.lookup(&ctx.tenant, query, fp, epoch, ctx.stats_version, strategy)
+            {
                 return ServeResult {
                     plan: hit.plan,
                     served_by: ServedBy::Neural,
@@ -883,6 +896,7 @@ fn serve_admitted(
                             predicted_ms,
                             epoch,
                             stats_version: ctx.stats_version,
+                            strategy,
                         },
                     );
                 }
@@ -942,6 +956,7 @@ mod tests {
     fn quick_cfg() -> ServeConfig {
         ServeConfig {
             mcts: MctsConfig { budget_ms: 30.0, max_simulations: 60, ..MctsConfig::default() },
+            strategy: Default::default(),
             deadline_ms: 5_000.0,
             max_retries: 1,
             backoff_base_ms: 0.0,

@@ -3,18 +3,70 @@
 //! The model/session split: [`crate::model::QPSeeker`] (alias
 //! [`crate::model::PlannerModel`]) is immutable after training and shared
 //! across threads behind an `Arc`; everything mutable that planning needs —
-//! featurization caches, the MCTS tree and its evaluation cache — lives in a
-//! [`PlannerSession`] owned by exactly one thread. A serving worker creates
-//! one session at startup and reuses it for every request it handles, so the
-//! hot path takes no locks and caches stay warm per worker.
+//! featurization caches, the search tree/beam and their evaluation caches —
+//! lives in a [`PlannerSession`] owned by exactly one thread. A serving
+//! worker creates one session at startup and reuses it for every request it
+//! handles, so the hot path takes no locks and caches stay warm per worker.
 
 use crate::featurize::FeatSession;
 use crate::mcts::MctsScratch;
 use crate::model::QPSeeker;
+use crate::search::beam::BeamScratch;
+
+/// Search scratch for whichever strategy the session last ran. One request
+/// uses one strategy, so the variants never coexist; switching strategies
+/// mid-session simply rebuilds the other variant's (empty) scratch. Epoch
+/// hot-swap resets ([`PlannerSession::reset`]) drop the whole enum, so the
+/// invariant that no cached evaluation survives a model swap holds for
+/// every strategy, not just MCTS.
+// One scratch exists per worker thread (never in a collection), so the
+// variant size gap costs a few hundred stack bytes once — not worth the
+// pointer chase a `Box<MctsScratch>` would put on the search hot path.
+#[allow(clippy::large_enum_variant)]
+pub enum SearchScratch {
+    /// Left-deep MCTS: tree arena, evaluation cache, rollout buffers.
+    Mcts(MctsScratch),
+    /// Bushy beam search: subtree evaluation cache, closed set, buffers.
+    Beam(BeamScratch),
+}
+
+impl Default for SearchScratch {
+    fn default() -> Self {
+        Self::Mcts(MctsScratch::default())
+    }
+}
+
+impl SearchScratch {
+    /// The MCTS scratch, switching the variant over if the session last
+    /// ran beam search (the stale variant's caches are dropped — they are
+    /// keyed per strategy and must not leak across).
+    pub fn mcts(&mut self) -> &mut MctsScratch {
+        if !matches!(self, Self::Mcts(_)) {
+            *self = Self::Mcts(MctsScratch::default());
+        }
+        match self {
+            Self::Mcts(m) => m,
+            Self::Beam(_) => unreachable!("variant switched above"),
+        }
+    }
+
+    /// The beam scratch, switching the variant over if the session last
+    /// ran MCTS.
+    pub fn beam(&mut self) -> &mut BeamScratch {
+        if !matches!(self, Self::Beam(_)) {
+            *self = Self::Beam(BeamScratch::default());
+        }
+        match self {
+            Self::Beam(b) => b,
+            Self::Mcts(_) => unreachable!("variant switched above"),
+        }
+    }
+}
 
 /// Mutable per-thread planning state over one shared model: featurization
-/// caches (TaBERT encodings, filtered-column representations) plus the MCTS
-/// search scratch (tree arena, evaluation cache, reusable buffers).
+/// caches (TaBERT encodings, filtered-column representations) plus the
+/// search scratch of whichever strategy is running (MCTS tree arena or
+/// beam fringe, with their evaluation caches and reusable buffers).
 ///
 /// Cheap to create — all caches start empty and fill on use. `Send` but not
 /// shared: pass it `&mut` into the `*_in` / `*_with_session` entry points.
@@ -22,13 +74,15 @@ use crate::model::QPSeeker;
 pub struct PlannerSession {
     /// Featurization caches (see [`FeatSession`]).
     pub feat: FeatSession,
-    /// MCTS tree arena, evaluation cache, and reusable buffers.
-    pub mcts: MctsScratch,
+    /// Strategy search scratch (tree/beam arena, evaluation cache,
+    /// reusable buffers).
+    pub search: SearchScratch,
     /// Per-worker state for root-parallel in-query search
     /// (`MctsConfig::parallel_sims >= 1`): one shard per search thread,
     /// grown on demand and reused across queries so shard caches stay warm
     /// exactly like the session's own. Empty until root-parallel planning
-    /// is first used.
+    /// is first used. Root parallelism is an MCTS mode, so shards carry
+    /// MCTS scratch directly.
     pub shards: Vec<PlannerShard>,
 }
 
@@ -48,9 +102,9 @@ impl PlannerSession {
     }
 
     /// Drop every cached value. Serving workers call this when the
-    /// publication epoch changes under them: featurizations and MCTS
-    /// evaluation-cache entries computed against the old model's weights
-    /// must never score plans for the new one.
+    /// publication epoch changes under them: featurizations and search
+    /// evaluation-cache entries (MCTS or beam alike) computed against the
+    /// old model's weights must never score plans for the new one.
     pub fn reset(&mut self) {
         *self = Self::default();
     }

@@ -44,6 +44,7 @@
 use crate::metrics::ServeCounters;
 use crate::plancache::{PlanCache, PlanCacheCtx};
 use crate::registry::ModelRegistry;
+use crate::search::strategy::StrategyConfig;
 use crate::serve::{
     BreakerState, Disposition, QueryRequest, SupervisedOutcome, Supervisor, SupervisorConfig,
 };
@@ -68,6 +69,11 @@ pub struct TenantSpec {
     pub max_retries: Option<usize>,
     /// Faults injected into this lane only (chaos: aim at one tenant).
     pub faults: Option<FaultConfig>,
+    /// Override of the base search strategy: kind, risk λ, sample count,
+    /// beam width. A latency-SLO tenant can run risk-averse (λ > 0) while
+    /// its neighbors stay on the default mean-only planner; the per-tenant
+    /// stamp keeps their plan-cache entries disjoint.
+    pub strategy: Option<StrategyConfig>,
 }
 
 impl TenantSpec {
@@ -79,6 +85,7 @@ impl TenantSpec {
             queue_capacity: None,
             max_retries: None,
             faults: None,
+            strategy: None,
         }
     }
 
@@ -89,6 +96,11 @@ impl TenantSpec {
 
     pub fn with_faults(mut self, faults: FaultConfig) -> Self {
         self.faults = Some(faults);
+        self
+    }
+
+    pub fn with_strategy(mut self, strategy: StrategyConfig) -> Self {
+        self.strategy = Some(strategy);
         self
     }
 }
@@ -133,6 +145,9 @@ fn lane_config(base: &SupervisorConfig, spec: &TenantSpec) -> SupervisorConfig {
         cfg.serve.max_retries = r;
     }
     cfg.serve.faults = spec.faults.clone();
+    if let Some(s) = &spec.strategy {
+        cfg.serve.strategy = s.clone();
+    }
     // The cache context is installed per run (it carries the tenant's
     // current stats version).
     cfg.cache = None;

@@ -117,6 +117,50 @@ impl CostModeler {
         predictions
     }
 
+    /// Sampled tape-free inference for risk-aware scoring: `x [K,
+    /// joint_dim]` candidates × `eps [S, latent]` seeded standard-normal
+    /// draws → predictions `[S·K, 3]`, sample-major (row `s·K + k` is
+    /// candidate `k` under sample `s` — from `sc`, recycle when done).
+    ///
+    /// Unlike [`Self::forward_inference`] the log-variance head *is*
+    /// evaluated: `z = mu + exp(0.5 · logvar) ∘ eps_s` with the same
+    /// tanh-bounded log-variance the training path uses. The
+    /// reparameterization is elementwise (no GEMM), and the decoder/head
+    /// GEMMs are row-wise bitwise equal at any batch size, so candidate
+    /// `k`'s rows are bitwise identical whether it is scored alone or in a
+    /// batch — the determinism the risk scorer's mean/σ relies on.
+    pub fn forward_inference_sampled(
+        &self,
+        store: &ParamStore,
+        x: &Tensor,
+        eps: &Tensor,
+        sc: &mut ScratchArena,
+    ) -> Tensor {
+        assert_eq!(eps.cols(), self.latent, "eps must be [samples, latent]");
+        let h = self.encoder.forward_inference(store, x, sc); // [K, 2*latent]
+        let k = h.rows();
+        let s = eps.rows();
+        let mut z = sc.take(s * k, self.latent);
+        for r in 0..k {
+            let hr = h.row_slice(r);
+            for si in 0..s {
+                let er = eps.row_slice(si);
+                let zr = z.row_slice_mut(si * k + r);
+                for j in 0..self.latent {
+                    let mu = hr[j];
+                    let logvar = 8.0 * hr[self.latent + j].tanh();
+                    zr[j] = mu + (0.5 * logvar).exp() * er[j];
+                }
+            }
+        }
+        sc.recycle(h);
+        let reconstruction = self.decoder.forward_inference(store, &z, sc);
+        sc.recycle(z);
+        let predictions = self.head.forward_inference(store, &reconstruction, sc);
+        sc.recycle(reconstruction);
+        predictions
+    }
+
     /// The paper's loss (formula 5) plus prediction MSE:
     /// `pred_mse + recon_mse + β · KL` with KL averaged per latent element
     /// so that the paper's β ∈ {100, 200, 300} stays in a workable range.
@@ -209,6 +253,48 @@ mod tests {
             let row = Tensor::from_vec(1, cfg.joint_dim(), x.row_slice(r).to_vec());
             let (single, _mu) = vae.forward_inference(&store, &row, &mut sc);
             assert_eq!(batched.row_slice(r), single.data(), "row {r} differs");
+            sc.recycle(single);
+        }
+    }
+
+    #[test]
+    fn sampled_inference_with_zero_eps_matches_mean_path() {
+        let cfg = ModelConfig::small();
+        let (store, vae) = setup(&cfg);
+        let mut init = Initializer::new(9);
+        let x = init.normal(3, cfg.joint_dim(), 1.0);
+        let mut sc = ScratchArena::new();
+        let mean = vae.forward_inference_batch(&store, &x, &mut sc);
+        let eps = Tensor::zeros(2, cfg.vae_latent);
+        let sampled = vae.forward_inference_sampled(&store, &x, &eps, &mut sc);
+        assert_eq!(sampled.shape(), (2 * 3, 3));
+        for s in 0..2 {
+            for k in 0..3 {
+                assert_eq!(sampled.row_slice(s * 3 + k), mean.row_slice(k), "sample {s} row {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn sampled_inference_batched_bitwise_equals_scalar() {
+        let cfg = ModelConfig::small();
+        let (store, vae) = setup(&cfg);
+        let mut init = Initializer::new(10);
+        let x = init.normal(4, cfg.joint_dim(), 1.0);
+        let eps = Initializer::new(11).standard_normal(3, cfg.vae_latent);
+        let mut sc = ScratchArena::new();
+        let batched = vae.forward_inference_sampled(&store, &x, &eps, &mut sc);
+        assert_eq!(batched.shape(), (3 * 4, 3));
+        for k in 0..4 {
+            let row = Tensor::from_vec(1, cfg.joint_dim(), x.row_slice(k).to_vec());
+            let single = vae.forward_inference_sampled(&store, &row, &eps, &mut sc);
+            for s in 0..3 {
+                assert_eq!(
+                    batched.row_slice(s * 4 + k),
+                    single.row_slice(s),
+                    "candidate {k} sample {s} differs"
+                );
+            }
             sc.recycle(single);
         }
     }

@@ -102,6 +102,14 @@ commands:
             pass; 1 disables batching; default 16)
            [--parallel-sims <n>] (root-parallel in-query MCTS shards;
             see plan; default 0)
+           [--strategy mcts|beam] (search strategy: left-deep MCTS —
+            the default, bitwise identical to earlier releases — or
+            deterministic beam search over bushy plan shapes)
+           [--beam-width <n>] (states kept per beam level; default 8)
+           [--risk-lambda <f64>] (risk-aware scoring: rank candidates by
+            mean + lambda*sigma over seeded latent cost samples; 0 — the
+            default — keeps exact mean-only scoring)
+           [--risk-samples <n>] (latent samples per evaluation; default 8)
            --online closes the serving loop: executions are appended to a
            durable experience WAL under --state-dir, a background fine-tune
            runs every --retrain-every records, candidates pass a held-out
@@ -115,6 +123,9 @@ commands:
            registry (LRU eviction + reload-on-miss)
            [--stream <n>] (total requests; default 100)
            [--weights w0,w1,...] (per-tenant service-rate weights)
+           [--risk-lambdas l0,l1,...] (per-tenant risk weights; lane i
+            plans with --strategy's settings at lambda = li, and cache
+            entries stay isolated per strategy stamp)
            [--cache <per-shard-capacity>] (fingerprint plan cache; hits
             are bitwise identical to cache-miss MCTS)
            [--mem-budget <bytes>] (registry memory budget; LRU eviction)
@@ -318,6 +329,31 @@ fn plan(opts: &Opts) -> Result<(), String> {
 /// classical optimizer. `--chaos <p>` arms every fault class at rate `p`.
 /// With `--stream <n>` the queries run through the supervised serving loop
 /// (bounded queue, load-shedding, circuit breaker) instead.
+/// Apply the `--strategy`, `--risk-lambda`, `--risk-samples` and
+/// `--beam-width` flags shared by every serve mode.
+fn apply_strategy_opts(opts: &Opts, strat: &mut StrategyConfig) -> Result<(), String> {
+    if let Some(s) = opts.get("strategy") {
+        strat.kind =
+            StrategyKind::parse(s).ok_or_else(|| format!("--strategy: '{s}' (mcts|beam)"))?;
+    }
+    if let Some(l) = opts.get("risk-lambda") {
+        strat.risk_lambda = l.parse().map_err(|e| format!("--risk-lambda: {e}"))?;
+        if strat.risk_lambda < 0.0 {
+            return Err("--risk-lambda must be >= 0".into());
+        }
+    }
+    if let Some(s) = opts.get("risk-samples") {
+        strat.risk_samples = s.parse().map_err(|e| format!("--risk-samples: {e}"))?;
+    }
+    if let Some(w) = opts.get("beam-width") {
+        strat.beam_width = w.parse().map_err(|e| format!("--beam-width: {e}"))?;
+        if strat.beam_width == 0 {
+            return Err("--beam-width must be at least 1".into());
+        }
+    }
+    Ok(())
+}
+
 fn serve(opts: &Opts) -> Result<(), String> {
     let db = load_db(opts)?;
     if opts.contains_key("tenants") {
@@ -341,6 +377,7 @@ fn serve(opts: &Opts) -> Result<(), String> {
     if let Some(p) = opts.get("parallel-sims") {
         cfg.mcts.parallel_sims = p.parse().map_err(|e| format!("--parallel-sims: {e}"))?;
     }
+    apply_strategy_opts(opts, &mut cfg.strategy)?;
     if let Some(p) = opts.get("chaos") {
         let p: f64 = p.parse().map_err(|e| format!("--chaos: {e}"))?;
         let seed: u64 = opts
@@ -364,8 +401,8 @@ fn serve(opts: &Opts) -> Result<(), String> {
     let r = plan_with_fallback(&db, &q, model.as_ref(), &cfg);
     println!("{}", r.plan.pretty());
     let path = match r.served_by {
-        ServedBy::Neural => "neural (MCTS)",
-        ServedBy::Classical => "classical (DP/greedy fallback)",
+        ServedBy::Neural => format!("neural ({})", cfg.strategy.kind.as_str()),
+        ServedBy::Classical => "classical (DP/greedy fallback)".into(),
     };
     println!("served by: {path} after {} neural attempt(s)", r.attempts);
     if let Some(p) = r.predicted_ms {
@@ -411,6 +448,7 @@ fn serve_stream(db: &Arc<Database>, opts: &Opts) -> Result<(), String> {
     if let Some(p) = opts.get("parallel-sims") {
         cfg.serve.mcts.parallel_sims = p.parse().map_err(|e| format!("--parallel-sims: {e}"))?;
     }
+    apply_strategy_opts(opts, &mut cfg.serve.strategy)?;
     if let Some(p) = opts.get("chaos") {
         let p: f64 = p.parse().map_err(|e| format!("--chaos: {e}"))?;
         cfg.serve.faults = Some(qpseeker_repro::storage::FaultConfig::chaos(seed, p));
@@ -528,6 +566,28 @@ fn serve_tenants(db: &Arc<Database>, opts: &Opts) -> Result<(), String> {
     if let Some(w) = opts.get("workers") {
         base.workers = w.parse().map_err(|e| format!("--workers: {e}"))?;
     }
+    apply_strategy_opts(opts, &mut base.serve.strategy)?;
+
+    // Per-tenant risk weights: lane i runs `base.serve.strategy` with its
+    // own λ, so one latency-SLO tenant can plan risk-averse while its
+    // neighbors stay mean-only.
+    let risk_lambdas: Option<Vec<f64>> = match opts.get("risk-lambdas") {
+        Some(list) => {
+            let ls: Result<Vec<f64>, _> = list.split(',').map(str::parse).collect();
+            let ls = ls.map_err(|e| format!("--risk-lambdas: {e}"))?;
+            if ls.len() != n_tenants {
+                return Err(format!(
+                    "--risk-lambdas lists {} values for {n_tenants} tenants",
+                    ls.len()
+                ));
+            }
+            if ls.iter().any(|l| *l < 0.0) {
+                return Err("--risk-lambdas must all be >= 0".into());
+            }
+            Some(ls)
+        }
+        None => None,
+    };
 
     // Chaos aimed at a single lane demonstrates the bulkhead: only the
     // targeted tenant's breaker reacts.
@@ -577,12 +637,18 @@ fn serve_tenants(db: &Arc<Database>, opts: &Opts) -> Result<(), String> {
     let specs: Vec<TenantSpec> = ids
         .iter()
         .zip(&weights)
-        .map(|(id, &w)| {
+        .enumerate()
+        .map(|(i, (id, &w))| {
             let mut spec = TenantSpec::new(id.clone(), Arc::clone(db)).with_weight(w);
             if let Some((target, p)) = &chaos {
                 if target == id {
                     spec = spec.with_faults(qpseeker_repro::storage::FaultConfig::chaos(seed, *p));
                 }
+            }
+            if let Some(ls) = &risk_lambdas {
+                let mut strat = base.serve.strategy.clone();
+                strat.risk_lambda = ls[i];
+                spec = spec.with_strategy(strat);
             }
             spec
         })

@@ -44,6 +44,7 @@ fn chaos_queries(n: usize, seed: u64) -> Vec<Query> {
 fn quick_serve_cfg(faults: Option<FaultConfig>) -> ServeConfig {
     ServeConfig {
         mcts: MctsConfig { budget_ms: 10.0, max_simulations: 25, ..MctsConfig::default() },
+        strategy: Default::default(),
         deadline_ms: 10_000.0,
         max_retries: 1,
         backoff_base_ms: 0.0,

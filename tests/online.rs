@@ -73,6 +73,7 @@ fn supervisor_cfg(workers: usize) -> SupervisorConfig {
     SupervisorConfig {
         serve: ServeConfig {
             mcts: MctsConfig { budget_ms: 1e9, max_simulations: 16, ..MctsConfig::default() },
+            strategy: Default::default(),
             deadline_ms: 1e12,
             max_retries: 1,
             backoff_base_ms: 0.0,

@@ -67,6 +67,7 @@ fn deterministic_cfg(workers: usize) -> SupervisorConfig {
     SupervisorConfig {
         serve: ServeConfig {
             mcts: MctsConfig { budget_ms: 1e9, max_simulations: 16, ..MctsConfig::default() },
+            strategy: Default::default(),
             deadline_ms: 1e12,
             max_retries: 1,
             backoff_base_ms: 0.0,
@@ -210,6 +211,7 @@ fn stress_pool_under_chaos_conserves_accounting() {
     let mut sup = Supervisor::new(SupervisorConfig {
         serve: ServeConfig {
             mcts: MctsConfig { budget_ms: 10.0, max_simulations: 6, ..MctsConfig::default() },
+            strategy: Default::default(),
             deadline_ms: 10_000.0,
             max_retries: 1,
             backoff_base_ms: 0.0,

@@ -67,6 +67,7 @@ fn base_cfg() -> SupervisorConfig {
     SupervisorConfig {
         serve: ServeConfig {
             mcts: MctsConfig { budget_ms: 1e9, max_simulations: 12, ..MctsConfig::default() },
+            strategy: Default::default(),
             deadline_ms: 1e12,
             max_retries: 1,
             backoff_base_ms: 0.0,
