@@ -1,14 +1,26 @@
-//! Serving-throughput scaling harness for BENCH_PR4.json: runs the same
-//! saturated request stream through the supervised serving loop at 1, 2
-//! and 4 workers, measures queries/sec on the admission clock (virtual
-//! makespan) plus wall time, and verifies the acceptance invariant that
-//! plan choices are bitwise identical across worker counts.
+//! Serving-throughput scaling harness for BENCH_PR4.json and, since PR 10,
+//! the continuous-batching acceptance run for BENCH_PR10.json.
+//!
+//! Part 1 (PR 4): the same saturated request stream through the supervised
+//! serving loop at 1, 2 and 4 workers, measuring queries/sec on the
+//! admission clock (virtual makespan) plus wall time, and verifying the
+//! acceptance invariant that plan choices are bitwise identical across
+//! worker counts.
+//!
+//! Part 2 (PR 10): a mixed-tenant stream — three lanes sharing one model
+//! `Arc`, one lane risk-aware (λ=0.5), plan cache off, small per-session
+//! `batch_eval` — run broker-off and broker-on. The broker must deliver
+//! ≥ 1.4x wall-clock throughput and ≥ 2x the per-session batch occupancy
+//! while serving bitwise-identical plans. Results land in BENCH_PR10.json
+//! at the repo root.
 //!
 //! Run with `cargo run --release -p qpseeker-bench --example serve_scaling`.
 
 use qpseeker_core::prelude::*;
 use qpseeker_engine::plan::PlanNode;
-use qpseeker_workloads::{synthetic, Qep, SyntheticConfig};
+use qpseeker_storage::Database;
+use qpseeker_workloads::{synthetic, tenants, Qep, SyntheticConfig, TenantStreamConfig};
+use std::sync::Arc;
 use std::time::Instant;
 
 fn pool_cfg(workers: usize) -> SupervisorConfig {
@@ -88,4 +100,188 @@ fn main() {
     );
     assert!(speedup >= 2.5, "acceptance: expected >= 2.5x at 4 workers, got {speedup:.2}x");
     assert!(plans_identical, "acceptance: plan choices must not depend on the worker count");
+
+    continuous_batching_bench(&db);
+}
+
+/// PR 10 acceptance: cross-request continuous batching on a mixed-tenant
+/// stream. Per-session batches are deliberately small (`batch_eval = 2`)
+/// so per-forward fixed cost dominates broker-off scoring; the broker then
+/// wins by fusing rows from every lane into wide GEMMs.
+const BATCH_EVAL: usize = 2;
+
+fn brokered_cfg(broker: Option<BrokerConfig>) -> SupervisorConfig {
+    SupervisorConfig {
+        serve: ServeConfig {
+            // Simulation-capped, never wall-clock: the eval volume per query
+            // is deterministic, and at 400 rollouts the candidate scoring
+            // dominates the wall time — the regime continuous batching is
+            // for.
+            mcts: MctsConfig { budget_ms: 1e9, max_simulations: 400, ..MctsConfig::default() },
+            strategy: StrategyConfig { batch_eval: Some(BATCH_EVAL), ..StrategyConfig::default() },
+            deadline_ms: 1e12,
+            max_retries: 1,
+            backoff_base_ms: 0.0,
+            faults: None,
+        },
+        failure_threshold: 2.0, // throughput, not degradation, is under test
+        queue_capacity: 4096,
+        service_ms: 5.0,
+        workers: 4,
+        broker,
+        ..SupervisorConfig::default()
+    }
+}
+
+fn continuous_batching_bench(db: &Arc<Database>) {
+    // A serving-tier model whose weight panels overflow the per-core cache:
+    // small-batch inference is then memory-bound, so an un-fused forward
+    // re-streams every panel from DRAM — exactly the per-call fixed cost
+    // continuous batching amortizes. (The test-tier configs are cache
+    // resident end to end and have nothing to amortize.) Trained for two
+    // epochs only: the bench asserts determinism, not plan quality.
+    let config = ModelConfig {
+        set_mlp_hidden: 192,
+        set_mlp_out: 192,
+        set_mlp_layers: 2,
+        plan_node_out: 384,
+        attn_heads: 4,
+        attn_head_dim: 96,
+        vae_layers: 4,
+        epochs: 2,
+        ..ModelConfig::bench()
+    };
+    let w = synthetic::generate(db, &SyntheticConfig { n_queries: 12, seed: 3 });
+    let refs: Vec<&Qep> = w.qeps.iter().collect();
+    let mut model = QPSeeker::new(db, config);
+    model.fit(&refs).expect("training succeeds");
+    let model = Arc::new(model);
+
+    const TENANTS: [&str; 3] = ["alpha", "beta", "gamma"];
+    let registry = ModelRegistry::new(usize::MAX);
+    for t in TENANTS {
+        registry.register(t, Arc::clone(db), Arc::clone(&model));
+    }
+    // A saturated mixed-tenant stream, plan cache off, no repeats: every
+    // request pays full search, so scoring dominates the wall clock.
+    let items = tenants::generate_stream(
+        &[("alpha", db), ("beta", db), ("gamma", db)],
+        &TenantStreamConfig {
+            n_requests: 150,
+            seed: 0xbea7,
+            mean_interarrival_ms: 2.0,
+            repeat_p: 0.0,
+            deadline_slack_ms: 1e9,
+            pool_size: 50,
+        },
+    );
+    let stream: Vec<TenantRequest> = items
+        .into_iter()
+        .map(|i| TenantRequest {
+            tenant: i.tenant,
+            req: QueryRequest {
+                query: i.query,
+                arrival_ms: i.arrival_ms,
+                deadline_ms: i.deadline_ms,
+            },
+        })
+        .collect();
+
+    let specs = || {
+        vec![
+            TenantSpec::new("alpha", Arc::clone(db)),
+            // λ = 0.5 on one lane: risk-aware scoring mixes multi-sample
+            // submissions into the same broker, bucketed separately.
+            TenantSpec::new("beta", Arc::clone(db)).with_strategy(StrategyConfig {
+                risk_lambda: 0.5,
+                batch_eval: Some(BATCH_EVAL),
+                ..StrategyConfig::default()
+            }),
+            TenantSpec::new("gamma", Arc::clone(db)).with_weight(2.0),
+        ]
+    };
+    let run = |broker: Option<BrokerConfig>| {
+        let mut sup = MultiTenantSupervisor::new(
+            MultiTenantConfig { base: brokered_cfg(broker), cache: None },
+            specs(),
+        );
+        let start = Instant::now();
+        let outcomes = sup.run(&registry, &stream);
+        let wall = start.elapsed().as_secs_f64();
+        let merged = sup.merged_counters();
+        assert!(merged.conservation_holds(), "conservation broken: {merged}");
+        assert_eq!(merged.admitted, stream.len(), "unsaturated stream admits everything");
+        let plans: Vec<PlanNode> = outcomes
+            .into_iter()
+            .map(|o| match o.outcome.disposition {
+                Disposition::Served(r) => r.plan,
+                other => panic!("query {}: not served: {other:?}", o.outcome.query_id),
+            })
+            .collect();
+        (plans, merged, wall)
+    };
+
+    // Warm-up (untimed) so page-cache and allocator state do not favour
+    // whichever configuration happens to run second.
+    let _ = run(None);
+
+    let (plans_off, off, wall_off) = run(None);
+    // A longer micro-batch window than the serving default: buckets
+    // accumulate rows across rounds while other buckets drain, so fused
+    // passes run wider. (Virtual rounds, so this costs no latency floor.)
+    let (plans_on, on, wall_on) =
+        run(Some(BrokerConfig { batch_target: 64, batch_window_us: 1000 }));
+
+    assert_eq!(plans_off, plans_on, "acceptance: the broker must not change any plan");
+    assert_eq!(
+        on.eval_candidates, off.eval_candidates,
+        "acceptance: fusion must not change how many candidates were scored"
+    );
+
+    let qps_off = stream.len() as f64 / wall_off;
+    let qps_on = stream.len() as f64 / wall_on;
+    let speedup = qps_on / qps_off;
+    // Candidate plans scored per 100 ms of wall time — the "how much search
+    // the same hardware buys" view of the same measurement.
+    let plans_per_100ms_off = off.eval_candidates as f64 / (wall_off * 10.0);
+    let plans_per_100ms_on = on.eval_candidates as f64 / (wall_on * 10.0);
+    let occupancy = on.fused_occupancy_mean();
+
+    let json = format!(
+        "{{\"stream_queries\": {n}, \"tenants\": {t}, \"workers_per_lane\": 4, \
+         \"batch_eval\": {be}, \"risk_lambda_beta\": 0.5, \
+         \"wall_qps_broker_off\": {qoff:.1}, \"wall_qps_broker_on\": {qon:.1}, \
+         \"speedup_broker_on_vs_off\": {speedup:.2}, \
+         \"plans_per_100ms_broker_off\": {poff:.0}, \"plans_per_100ms_broker_on\": {pon:.0}, \
+         \"eval_candidates\": {ec}, \"fused_batches\": {fb}, \
+         \"mean_fused_occupancy\": {occ:.2}, \"max_fused_occupancy\": {occ_max}, \
+         \"flush_size\": {fs}, \"flush_deadline\": {fd}, \
+         \"plans_identical_broker_on_vs_off\": true}}",
+        n = stream.len(),
+        t = TENANTS.len(),
+        be = BATCH_EVAL,
+        qoff = qps_off,
+        qon = qps_on,
+        poff = plans_per_100ms_off,
+        pon = plans_per_100ms_on,
+        ec = on.eval_candidates,
+        fb = on.fused_batches,
+        occ = occupancy,
+        occ_max = on.fused_occupancy_max,
+        fs = on.broker_flush_size,
+        fd = on.broker_flush_deadline,
+    );
+    println!("{json}");
+    if let Err(e) = std::fs::write("BENCH_PR10.json", format!("{json}\n")) {
+        eprintln!("warning: could not write BENCH_PR10.json: {e}");
+    }
+
+    assert!(
+        speedup >= 1.4,
+        "acceptance: continuous batching must buy >= 1.4x wall throughput, got {speedup:.2}x"
+    );
+    assert!(
+        occupancy >= 2.0 * BATCH_EVAL as f64,
+        "acceptance: mean fused occupancy {occupancy:.2} must be >= 2x batch_eval ({BATCH_EVAL})"
+    );
 }

@@ -383,7 +383,7 @@ impl PlanEncoder {
 
 /// Structural congruence: same tree shape and per-node feature widths, so the
 /// K plans can share one batched LSTM step per tree position.
-fn congruent(a: &FeatNode, b: &FeatNode) -> bool {
+pub(crate) fn congruent(a: &FeatNode, b: &FeatNode) -> bool {
     a.children.len() == b.children.len()
         && a.mid.cols() == b.mid.cols()
         && a.leaf_est.is_some() == b.leaf_est.is_some()

@@ -39,6 +39,7 @@ pub mod config;
 pub mod durable;
 pub mod encoder;
 pub mod error;
+pub mod evalbroker;
 pub mod experience;
 pub mod featurize;
 pub(crate) mod fnv;
@@ -65,6 +66,7 @@ pub mod prelude {
     pub use crate::config::ModelConfig;
     pub use crate::durable::{fsync_dir, write_atomic, RecoveredSnapshot, SnapshotStore};
     pub use crate::error::CoreError;
+    pub use crate::evalbroker::{BrokerConfig, BrokerStats, EvalBroker, ROUND_TICK_US};
     pub use crate::experience::{ExperienceDisposition, ExperienceRecord, ExperienceWal};
     pub use crate::featurize::{FeatNode, FeatSession, FeaturizedQep, Featurizer, QueryFeatures};
     pub use crate::mcts::{Action, MctsConfig, MctsPlanner, MctsResult, MctsScratch};

@@ -41,6 +41,25 @@ pub struct ServeCounters {
     pub breaker_recoveries: usize,
     /// Half-open probe queries sent through the neural path.
     pub probes: usize,
+    /// Candidate plans the search layer asked the model to score, summed
+    /// over every neurally served query (a cache hit scores nothing).
+    /// Counted identically whether scoring ran per-session or through the
+    /// shared [`crate::evalbroker::EvalBroker`] — fusing changes *where*
+    /// rows are evaluated, never how many.
+    pub eval_candidates: usize,
+    /// Fused forward passes the eval broker executed (zero when serving
+    /// without a broker).
+    pub fused_batches: usize,
+    /// Candidate rows carried by those fused passes. `fused_rows /
+    /// fused_batches` is the mean occupancy — the whole point of fusing.
+    pub fused_rows: usize,
+    /// Largest row count any single fused forward pass carried.
+    pub fused_occupancy_max: usize,
+    /// Broker buckets flushed because they reached the size target.
+    pub broker_flush_size: usize,
+    /// Broker buckets flushed by the deadline window (including forced
+    /// progress flushes), rather than by reaching the size target.
+    pub broker_flush_deadline: usize,
 }
 
 impl ServeCounters {
@@ -63,6 +82,17 @@ impl ServeCounters {
             && self.cache_hits <= self.served_neural
     }
 
+    /// Mean rows per fused forward pass, or 0 when no broker ran. The
+    /// fusing win condition: this should sit well above the per-session
+    /// `batch_eval` whenever several workers score concurrently.
+    pub fn fused_occupancy_mean(&self) -> f64 {
+        if self.fused_batches == 0 {
+            0.0
+        } else {
+            self.fused_rows as f64 / self.fused_batches as f64
+        }
+    }
+
     /// Accumulate another tally into this one (merging per-tenant or
     /// per-worker shards into totals). The ISA tag is taken from `other`;
     /// shards within one process always agree on it.
@@ -78,6 +108,12 @@ impl ServeCounters {
         self.breaker_trips += other.breaker_trips;
         self.breaker_recoveries += other.breaker_recoveries;
         self.probes += other.probes;
+        self.eval_candidates += other.eval_candidates;
+        self.fused_batches += other.fused_batches;
+        self.fused_rows += other.fused_rows;
+        self.fused_occupancy_max = self.fused_occupancy_max.max(other.fused_occupancy_max);
+        self.broker_flush_size += other.broker_flush_size;
+        self.broker_flush_deadline += other.broker_flush_deadline;
         self.isa = other.isa;
     }
 }
@@ -86,7 +122,7 @@ impl std::fmt::Display for ServeCounters {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "isa={} served={} (neural={} cache_hits={} classical={} failed={}) shed={} (queue_full={} deadline={} expired={}) breaker(trips={} recoveries={} probes={})",
+            "isa={} served={} (neural={} cache_hits={} classical={} failed={}) shed={} (queue_full={} deadline={} expired={}) breaker(trips={} recoveries={} probes={}) eval(candidates={} fused_batches={} occupancy_mean={:.2} occupancy_max={} flush_size={} flush_deadline={})",
             self.isa.name(),
             self.admitted,
             self.served_neural,
@@ -100,6 +136,12 @@ impl std::fmt::Display for ServeCounters {
             self.breaker_trips,
             self.breaker_recoveries,
             self.probes,
+            self.eval_candidates,
+            self.fused_batches,
+            self.fused_occupancy_mean(),
+            self.fused_occupancy_max,
+            self.broker_flush_size,
+            self.broker_flush_deadline,
         )
     }
 }
@@ -268,6 +310,7 @@ mod tests {
             breaker_trips: 1,
             breaker_recoveries: 1,
             probes: 3,
+            ..ServeCounters::default()
         };
         assert_eq!(c.total_seen(), 14);
         assert_eq!(c.total_shed(), 4);
@@ -309,6 +352,39 @@ mod tests {
         assert_eq!(merged.breaker_trips, 1);
         assert_eq!(merged.probes, 3);
         assert!(merged.conservation_holds(), "conservation is closed under merge");
+    }
+
+    #[test]
+    fn fused_counters_merge_exactly() {
+        let a = ServeCounters {
+            eval_candidates: 40,
+            fused_batches: 3,
+            fused_rows: 30,
+            fused_occupancy_max: 16,
+            broker_flush_size: 2,
+            broker_flush_deadline: 1,
+            ..ServeCounters::default()
+        };
+        let b = ServeCounters {
+            eval_candidates: 10,
+            fused_batches: 1,
+            fused_rows: 10,
+            fused_occupancy_max: 10,
+            broker_flush_deadline: 1,
+            ..ServeCounters::default()
+        };
+        let mut merged = a;
+        merged.merge(&b);
+        assert_eq!(merged.eval_candidates, 50);
+        assert_eq!(merged.fused_batches, 4);
+        assert_eq!(merged.fused_rows, 40);
+        assert_eq!(merged.fused_occupancy_max, 16, "occupancy max merges by max");
+        assert_eq!(merged.broker_flush_size, 2);
+        assert_eq!(merged.broker_flush_deadline, 2);
+        assert_eq!(merged.fused_occupancy_mean(), 10.0);
+        assert_eq!(ServeCounters::default().fused_occupancy_mean(), 0.0);
+        let text = merged.to_string();
+        assert!(text.contains("candidates=50") && text.contains("occupancy_max=16"));
     }
 
     #[test]

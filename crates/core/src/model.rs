@@ -5,6 +5,7 @@ use crate::config::ModelConfig;
 use crate::durable::SnapshotStore;
 use crate::encoder::{PlanEncoder, QueryEncoder};
 use crate::error::CoreError;
+use crate::evalbroker::{shape_sig, BrokerMember, BucketKey, FusedOutcome, Submission};
 use crate::featurize::{FeatNode, FeatSession, FeaturizedQep, Featurizer, PlanFeatCache};
 use crate::normalize::TargetNormalizer;
 use crate::session::PlannerSession;
@@ -871,6 +872,218 @@ impl QPSeeker {
                 out.push(self.predict_risk_with_context_in(sess, query, p, ctx, eps));
             }
         }
+    }
+
+    /// Pack one candidate batch into an [`EvalBroker`](crate::evalbroker::EvalBroker)
+    /// submission and block until the broker answers. Featurization runs
+    /// here, against the submitter's own caches; only the shape-uniform
+    /// tensor pipeline is delegated. `out[p]` is bitwise identical to
+    /// [`Self::predict_batch_with_context_in`] on the same plans — the
+    /// fused pass shares the per-row FP-order contract, so fusing with
+    /// other requests cannot change any value.
+    pub(crate) fn broker_predict_batch_in(
+        &self,
+        member: &BrokerMember,
+        sess: &mut FeatSession,
+        query: &Query,
+        plans: &[&PlanNode],
+        ctx: &mut QueryContext,
+        out: &mut Vec<Prediction>,
+    ) {
+        out.clear();
+        if plans.is_empty() {
+            return;
+        }
+        debug_assert!(ctx.fast, "broker scoring requires the fast inference path");
+        let norm = self.normalizer.as_ref().expect("model must be fitted before predict");
+        let mut nodes = std::mem::take(&mut ctx.feat_batch);
+        self.feat.featurize_batch_into(sess, query, plans, norm, &mut ctx.plan_cache, &mut nodes);
+        let key = BucketKey {
+            model: self as *const QPSeeker as usize,
+            samples: 0,
+            shape_sig: shape_sig(&nodes[0]),
+        };
+        let (outcome, nodes) =
+            member.submit(Submission { key, nodes, qemb: ctx.qemb.clone(), eps: None });
+        ctx.feat_batch = nodes;
+        match outcome {
+            FusedOutcome::Mean(preds) => out.extend(preds),
+            FusedOutcome::Poisoned(msg) => panic!("fused candidate evaluation failed: {msg}"),
+            FusedOutcome::Risk(_) => unreachable!("mean submission answered with risk result"),
+        }
+    }
+
+    /// Risk-scoring sibling of [`Self::broker_predict_batch_in`]: one
+    /// `(mean, sigma)` per plan over the caller's seeded `eps` block, each
+    /// pair bitwise identical to
+    /// [`Self::predict_risk_batch_with_context_in`] on the same plans.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn broker_predict_risk_batch_in(
+        &self,
+        member: &BrokerMember,
+        sess: &mut FeatSession,
+        query: &Query,
+        plans: &[&PlanNode],
+        ctx: &mut QueryContext,
+        eps: &Tensor,
+        out: &mut Vec<(f64, f64)>,
+    ) {
+        out.clear();
+        if plans.is_empty() {
+            return;
+        }
+        debug_assert!(ctx.fast, "broker scoring requires the fast inference path");
+        let s = eps.rows();
+        assert!(s > 0, "risk scoring needs at least one latent sample");
+        let norm = self.normalizer.as_ref().expect("model must be fitted before predict");
+        let mut nodes = std::mem::take(&mut ctx.feat_batch);
+        self.feat.featurize_batch_into(sess, query, plans, norm, &mut ctx.plan_cache, &mut nodes);
+        let key = BucketKey {
+            model: self as *const QPSeeker as usize,
+            samples: s,
+            shape_sig: shape_sig(&nodes[0]),
+        };
+        let (outcome, nodes) = member.submit(Submission {
+            key,
+            nodes,
+            qemb: ctx.qemb.clone(),
+            eps: Some(eps.clone()),
+        });
+        ctx.feat_batch = nodes;
+        match outcome {
+            FusedOutcome::Risk(stats) => out.extend(stats),
+            FusedOutcome::Poisoned(msg) => panic!("fused candidate evaluation failed: {msg}"),
+            FusedOutcome::Mean(_) => unreachable!("risk submission answered with mean result"),
+        }
+    }
+
+    /// Execute one broker bucket: every submission's candidate rows through
+    /// as few fused forward passes as congruence allows. Returns one
+    /// outcome per submission (in order) plus the row count of each fused
+    /// pass executed (for occupancy accounting). Called by the flush leader
+    /// with the broker lock held; all submitters are parked, so their
+    /// featurized rows and query tensors are stable for the duration.
+    pub(crate) fn fused_eval(&self, subs: &[Submission]) -> (Vec<FusedOutcome>, Vec<usize>) {
+        let norm = self.normalizer.as_ref().expect("model must be fitted before predict");
+        let samples = subs.first().map(|s| s.key.samples).unwrap_or(0);
+        // Flat row table over every submission's candidates, submission-major.
+        let mut rows: Vec<(&FeatNode, &Tensor, Option<&Tensor>)> = Vec::new();
+        for sub in subs {
+            debug_assert_eq!(sub.key.samples, samples, "buckets are keyed by scoring kind");
+            for node in &sub.nodes {
+                rows.push((node, &sub.qemb, sub.eps.as_ref()));
+            }
+        }
+        let zero = Prediction { cardinality: 0.0, cost: 0.0, runtime_ms: 0.0 };
+        let mut mean_out = vec![zero; rows.len()];
+        let mut risk_out = vec![(0.0, 0.0); rows.len()];
+        let mut forwards = Vec::new();
+        // Group rows by exact tree congruence — re-verified here, so a
+        // shape-signature collision degrades to smaller fused runs instead
+        // of a failed batch — keeping first-seen order within each group.
+        let mut grouped = vec![false; rows.len()];
+        let mut idxs: Vec<usize> = Vec::new();
+        for start in 0..rows.len() {
+            if grouped[start] {
+                continue;
+            }
+            idxs.clear();
+            idxs.push(start);
+            grouped[start] = true;
+            for j in start + 1..rows.len() {
+                if !grouped[j] && crate::encoder::congruent(rows[start].0, rows[j].0) {
+                    grouped[j] = true;
+                    idxs.push(j);
+                }
+            }
+            self.fused_forward_group(&rows, &idxs, samples, norm, &mut mean_out, &mut risk_out);
+            forwards.push(idxs.len());
+        }
+        // Scatter flat results back into per-submission outcomes.
+        let mut outcomes = Vec::with_capacity(subs.len());
+        let mut at = 0;
+        for sub in subs {
+            let k = sub.nodes.len();
+            outcomes.push(if samples == 0 {
+                FusedOutcome::Mean(mean_out[at..at + k].to_vec())
+            } else {
+                FusedOutcome::Risk(risk_out[at..at + k].to_vec())
+            });
+            at += k;
+        }
+        (outcomes, forwards)
+    }
+
+    /// One fused forward over a congruent row group, mirroring
+    /// [`Self::predict_batch_with_context_in`]'s batched body with a
+    /// *per-row* query embedding (and, under risk scoring, a per-row eps
+    /// block) so rows from different queries share the pass.
+    fn fused_forward_group(
+        &self,
+        rows: &[(&FeatNode, &Tensor, Option<&Tensor>)],
+        idxs: &[usize],
+        samples: usize,
+        norm: &TargetNormalizer,
+        mean_out: &mut [Prediction],
+        risk_out: &mut [(f64, f64)],
+    ) {
+        let refs: Vec<&FeatNode> = idxs.iter().map(|&i| rows[i].0).collect();
+        let kn = refs.len();
+        with_thread_scratch(|sc| {
+            let nodes_all = self
+                .plan_enc
+                .forward_inference_batch(&self.store, &refs, sc)
+                .expect("rows grouped by exact congruence");
+            let n_nodes = refs[0].count();
+            let qd = rows[idxs[0]].1.cols();
+            let joint = if n_nodes > 1 && self.config.use_attention {
+                let mut qb = sc.take(kn, qd);
+                for (r, &i) in idxs.iter().enumerate() {
+                    qb.row_slice_mut(r).copy_from_slice(rows[i].1.data());
+                }
+                let j =
+                    self.attn.forward_inference_batch(&self.store, &qb, &nodes_all, n_nodes, sc);
+                sc.recycle(qb);
+                sc.recycle(nodes_all);
+                j
+            } else {
+                let mut j = sc.take(kn, qd + self.plan_enc.out_dim());
+                for (r, &i) in idxs.iter().enumerate() {
+                    let row = j.row_slice_mut(r);
+                    row[..qd].copy_from_slice(rows[i].1.data());
+                    row[qd..].copy_from_slice(nodes_all.row_slice((r + 1) * n_nodes - 1));
+                }
+                sc.recycle(nodes_all);
+                j
+            };
+            if samples == 0 {
+                let p = self.vae.forward_inference_batch(&self.store, &joint, sc);
+                sc.recycle(joint);
+                for (r, &i) in idxs.iter().enumerate() {
+                    let raw = norm.decode([p.get(r, 0), p.get(r, 1), p.get(r, 2)]);
+                    mean_out[i] =
+                        Prediction { cardinality: raw[0], cost: raw[1], runtime_ms: raw[2] };
+                }
+                sc.recycle(p);
+            } else {
+                let eps_refs: Vec<&Tensor> =
+                    idxs.iter().map(|&i| rows[i].2.expect("risk rows carry eps")).collect();
+                let p =
+                    self.vae.forward_inference_sampled_multi(&self.store, &joint, &eps_refs, sc);
+                sc.recycle(joint);
+                let mut times = Vec::with_capacity(samples);
+                for (k, &i) in idxs.iter().enumerate() {
+                    times.clear();
+                    for si in 0..samples {
+                        let r = si * kn + k;
+                        let raw = norm.decode([p.get(r, 0), p.get(r, 1), p.get(r, 2)]);
+                        times.push(raw[2]);
+                    }
+                    risk_out[i] = mean_sigma(&times);
+                }
+                sc.recycle(p);
+            }
+        });
     }
 
     /// Reference prediction through the autodiff tape (the training-path

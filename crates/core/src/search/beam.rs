@@ -60,6 +60,13 @@ pub struct BeamConfig {
     /// `> 1` scores each level's fresh subtrees in one batched forward
     /// pass; `<= 1` scores them one at a time. Scores are bitwise
     /// identical either way.
+    ///
+    /// Deprecated alias: prefer the unified
+    /// [`StrategyConfig::batch_eval`](crate::search::strategy::StrategyConfig::batch_eval),
+    /// which overrides this field when set (it is plumbed through
+    /// [`StrategyPlanner::from_config`](crate::search::strategy::StrategyPlanner::from_config)'s
+    /// shared `MctsConfig` knobs). Kept for direct `BeamPlanner`
+    /// construction.
     pub batch_eval: usize,
 }
 
@@ -223,7 +230,8 @@ impl BeamPlanner {
         let mut ctx = model.query_context(query);
         let qi = QueryIndex::new(query);
         let asm = BushyAssembler::new(query);
-        let PlannerSession { feat, search, .. } = sess;
+        let PlannerSession { feat, search, broker, .. } = sess;
+        let ev = ev.with_broker(broker.as_ref());
         let scratch = search.beam();
         scratch.eval_cache.clear();
         scratch.seen.clear();

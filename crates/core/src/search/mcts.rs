@@ -182,6 +182,11 @@ pub struct MctsConfig {
     /// immediately (the scalar path). Predictions are bitwise identical
     /// either way — batching changes only *when* UCT backups land, never
     /// what a plan scores.
+    ///
+    /// Deprecated alias: prefer the unified
+    /// [`StrategyConfig::batch_eval`](crate::search::strategy::StrategyConfig::batch_eval),
+    /// which overrides this field when set. Kept for checkpoint/config
+    /// compatibility and for direct `MctsPlanner` construction.
     pub batch_eval: usize,
     /// Simulation shards for root-parallel in-query search. `0` keeps the
     /// classic single-tree algorithm; `>= 1` decomposes the query into one
@@ -358,6 +363,7 @@ impl MctsPlanner {
 
         // Single relation: evaluate the three scan choices directly.
         if query.relations.len() == 1 {
+            let ev = ev.with_broker(sess.broker.as_ref());
             let mut ctx = model.query_context(query);
             let feat_sess = &mut sess.feat;
             let alias = query.relations[0].alias.clone();
@@ -389,7 +395,8 @@ impl MctsPlanner {
 
         let mut ctx = model.query_context(query);
         let mut best_t: Option<f64> = None;
-        let PlannerSession { feat, search, .. } = sess;
+        let PlannerSession { feat, search, broker, .. } = sess;
+        let ev = ev.with_broker(broker.as_ref());
         let scratch = search.mcts();
         let (simulations, budget_exhausted) = run_search(
             &self.cfg,

@@ -73,11 +73,26 @@ pub struct StrategyConfig {
     pub risk_samples: usize,
     /// States kept per level by the beam strategy.
     pub beam_width: usize,
+    /// Unified candidate-batch size shared by both strategies: how many
+    /// rollouts/completions a session defers before scoring them in one
+    /// batched forward. `None` inherits the deprecated per-strategy fields
+    /// ([`MctsConfig::batch_eval`] / [`super::beam::BeamConfig::batch_eval`],
+    /// kept as aliases for checkpoint/config compatibility); `Some`
+    /// overrides both. Batched scoring is bitwise equal to scalar scoring,
+    /// so this knob never changes a plan and is excluded from
+    /// [`Self::cache_stamp`].
+    pub batch_eval: Option<usize>,
 }
 
 impl Default for StrategyConfig {
     fn default() -> Self {
-        Self { kind: StrategyKind::Mcts, risk_lambda: 0.0, risk_samples: 8, beam_width: 8 }
+        Self {
+            kind: StrategyKind::Mcts,
+            risk_lambda: 0.0,
+            risk_samples: 8,
+            beam_width: 8,
+            batch_eval: None,
+        }
     }
 }
 
@@ -151,7 +166,10 @@ impl StrategyPlanner {
     /// shared by both strategies — wall-clock budget, evaluation cap
     /// (`max_simulations`), seed, and batch size — exactly as serving
     /// already derives them per attempt.
-    pub fn from_config(strat: &StrategyConfig, mcts: MctsConfig) -> Self {
+    pub fn from_config(strat: &StrategyConfig, mut mcts: MctsConfig) -> Self {
+        if let Some(be) = strat.batch_eval {
+            mcts.batch_eval = be;
+        }
         let risk = strat.risk();
         match strat.kind {
             StrategyKind::Mcts => Self::Mcts(MctsPlanner::with_risk(mcts, risk)),
@@ -207,6 +225,14 @@ impl SearchStrategy for StrategyPlanner {
 pub(crate) struct Evaluator<'a> {
     model: &'a QPSeeker,
     risk: Option<RiskCtx>,
+    /// Seat on a shared [`crate::evalbroker::EvalBroker`]: when present
+    /// (and the query takes the fast path), candidate batches are
+    /// submitted to the broker to fuse with other sessions' rows instead
+    /// of running a private forward. Fused scoring is bitwise equal to
+    /// local scoring, so attachment never changes a plan. Never attached
+    /// on root-parallel shard evaluators — shard threads are not broker
+    /// members.
+    broker: Option<&'a crate::evalbroker::BrokerMember>,
 }
 
 struct RiskCtx {
@@ -230,7 +256,18 @@ impl<'a> Evaluator<'a> {
             lambda: r.lambda,
             eps: model.risk_eps(r.samples, seed ^ super::fnv(query.id.as_bytes()) ^ RISK_EPS_SALT),
         });
-        Self { model, risk }
+        Self { model, risk, broker: None }
+    }
+
+    /// Attach the session's broker seat (if any) for the serial search
+    /// path. Returns `self` rebound so the borrow can come from a field
+    /// destructure alongside the scratch borrows.
+    pub(crate) fn with_broker(
+        mut self,
+        broker: Option<&'a crate::evalbroker::BrokerMember>,
+    ) -> Self {
+        self.broker = broker;
+        self
     }
 
     pub(crate) fn score_one(
@@ -240,6 +277,29 @@ impl<'a> Evaluator<'a> {
         plan: &PlanNode,
         ctx: &mut QueryContext,
     ) -> f64 {
+        if let Some(b) = self.broker {
+            if ctx.fast {
+                // Single-candidate submissions still fuse with other
+                // members' rows; the row-wise contract keeps the value
+                // bitwise equal to the local call below.
+                let plans = [plan];
+                match &self.risk {
+                    None => {
+                        let mut tmp = Vec::with_capacity(1);
+                        self.model.broker_predict_batch_in(b, sess, query, &plans, ctx, &mut tmp);
+                        return tmp[0].runtime_ms;
+                    }
+                    Some(r) => {
+                        let mut tmp = Vec::with_capacity(1);
+                        self.model.broker_predict_risk_batch_in(
+                            b, sess, query, &plans, ctx, &r.eps, &mut tmp,
+                        );
+                        let (mean, sigma) = tmp[0];
+                        return mean + r.lambda * sigma;
+                    }
+                }
+            }
+        }
         match &self.risk {
             None => self.model.predict_with_context_in(sess, query, plan, ctx).runtime_ms,
             Some(r) => {
@@ -260,6 +320,24 @@ impl<'a> Evaluator<'a> {
         scores: &mut Vec<f64>,
     ) {
         scores.clear();
+        if let Some(b) = self.broker {
+            if ctx.fast && !plans.is_empty() {
+                match &self.risk {
+                    None => {
+                        self.model.broker_predict_batch_in(b, sess, query, plans, ctx, preds_buf);
+                        scores.extend(preds_buf.iter().map(|p| p.runtime_ms));
+                    }
+                    Some(r) => {
+                        let mut stats = Vec::with_capacity(plans.len());
+                        self.model.broker_predict_risk_batch_in(
+                            b, sess, query, plans, ctx, &r.eps, &mut stats,
+                        );
+                        scores.extend(stats.iter().map(|&(mean, sigma)| mean + r.lambda * sigma));
+                    }
+                }
+                return;
+            }
+        }
         match &self.risk {
             None => {
                 self.model.predict_batch_with_context_in(sess, query, plans, ctx, preds_buf);

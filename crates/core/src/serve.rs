@@ -28,6 +28,7 @@
 //! single-threaded path for tests.
 
 use crate::error::panic_message;
+use crate::evalbroker::{BrokerConfig, BrokerMember, EvalBroker};
 use crate::mcts::MctsConfig;
 use crate::metrics::ServeCounters;
 use crate::model::QPSeeker;
@@ -146,6 +147,12 @@ pub struct ServeResult {
     /// ran; `served_by` is still `Neural` — the cached plan was produced by
     /// the neural path under the same model epoch).
     pub cache_hit: bool,
+    /// Candidate plans the successful neural attempt asked the cost model
+    /// to score (0 on the classical path and on cache hits). Search is
+    /// deterministic per seed and scoring is bitwise identical with or
+    /// without a shared eval broker, so this count is invariant across
+    /// broker modes and worker counts.
+    pub evals: usize,
 }
 
 /// Plan `query`, preferring the neural planner but guaranteeing a valid
@@ -264,6 +271,7 @@ pub fn plan_with_fallback_in(
             attempt_failures: failures,
             predicted_ms: Some(result.predicted_ms),
             cache_hit: false,
+            evals: result.plans_evaluated,
         };
     }
 
@@ -288,6 +296,7 @@ fn classical(
         attempt_failures,
         predicted_ms: None,
         cache_hit: false,
+        evals: 0,
     }
 }
 
@@ -322,6 +331,13 @@ pub struct SupervisorConfig {
     /// success is inserted, stamped with the epoch it planned under (see
     /// [`crate::plancache`] for the invalidation protocol).
     pub cache: Option<PlanCacheCtx>,
+    /// Route candidate scoring through a shared [`EvalBroker`]: every
+    /// worker becomes a broker member and congruent scoring requests from
+    /// all of them fuse into wide forward passes. Plans are bitwise
+    /// identical to broker-off serving (batched inference matches scalar
+    /// row for row); only where the arithmetic runs changes. `None` keeps
+    /// per-session scoring.
+    pub broker: Option<BrokerConfig>,
 }
 
 impl Default for SupervisorConfig {
@@ -337,6 +353,7 @@ impl Default for SupervisorConfig {
             service_ms: 10.0,
             workers: 1,
             cache: None,
+            broker: None,
         }
     }
 }
@@ -613,7 +630,7 @@ impl Supervisor {
         model: Option<&QPSeeker>,
         requests: &[QueryRequest],
     ) -> Vec<SupervisedOutcome> {
-        self.run_inner(db, Source::Fixed(model), requests)
+        self.run_inner(db, Source::Fixed(model), requests, None)
     }
 
     /// [`Self::run`] reading the model through a [`ModelCell`] instead of a
@@ -629,7 +646,34 @@ impl Supervisor {
         cell: &ModelCell,
         requests: &[QueryRequest],
     ) -> Vec<SupervisedOutcome> {
-        self.run_inner(db, Source::Cell(cell), requests)
+        self.run_inner(db, Source::Cell(cell), requests, None)
+    }
+
+    /// [`Self::run`] with externally provided broker seats, one per worker
+    /// — the multi-tenant supervisor registers every lane's workers on one
+    /// shared broker before any lane thread starts, then hands each lane
+    /// its seats here. The caller owns the broker (and drains its stats);
+    /// this supervisor's own `cfg.broker` is ignored when seats are passed.
+    pub(crate) fn run_seated(
+        &mut self,
+        db: &Database,
+        model: Option<&QPSeeker>,
+        requests: &[QueryRequest],
+        seats: Vec<BrokerMember>,
+    ) -> Vec<SupervisedOutcome> {
+        self.run_inner(db, Source::Fixed(model), requests, Some(seats))
+    }
+
+    /// [`Self::run_with_cell`] with externally provided broker seats (see
+    /// [`Self::run_seated`]).
+    pub(crate) fn run_with_cell_seated(
+        &mut self,
+        db: &Database,
+        cell: &ModelCell,
+        requests: &[QueryRequest],
+        seats: Vec<BrokerMember>,
+    ) -> Vec<SupervisedOutcome> {
+        self.run_inner(db, Source::Cell(cell), requests, Some(seats))
     }
 
     fn run_inner(
@@ -637,6 +681,7 @@ impl Supervisor {
         db: &Database,
         source: Source<'_>,
         requests: &[QueryRequest],
+        seats: Option<Vec<BrokerMember>>,
     ) -> Vec<SupervisedOutcome> {
         // Phase 1: admission, in arrival order.
         let mut dispositions: Vec<Option<Disposition>> = Vec::with_capacity(requests.len());
@@ -659,9 +704,24 @@ impl Supervisor {
         let serve_cfg = self.cfg.serve.clone();
         let cache_ctx = self.cfg.cache.clone();
         let cache_ctx = cache_ctx.as_ref();
+        // Broker seats, one per worker: external (tenant mode — the caller
+        // registered every lane's workers on one shared broker before any
+        // lane thread started, and owns the broker's stats), or pool-local
+        // (all `workers` members registered here, before any worker thread
+        // spawns, so round accounting never sees a half-formed pool).
+        let own_broker = if seats.is_none() { self.cfg.broker.map(EvalBroker::new) } else { None };
+        let mut seats = match (seats, &own_broker) {
+            (Some(s), _) => {
+                assert_eq!(s.len(), workers, "one broker seat per worker");
+                Some(s)
+            }
+            (None, Some(b)) => Some(b.register_members(workers)),
+            (None, None) => None,
+        };
         let breaker = Mutex::new(&mut self.breaker);
         let shards: Vec<(Vec<(usize, Disposition)>, ServeCounters)> = if workers == 1 {
             let mut sess = PlannerSession::new();
+            sess.broker = seats.take().and_then(|mut s| s.pop());
             let mut tally = ServeCounters::default();
             let mut held: HeldModel = None;
             let served = jobs
@@ -683,6 +743,56 @@ impl Supervisor {
                 })
                 .collect();
             vec![(served, tally)]
+        } else if let Some(seats) = seats.take() {
+            // Broker-on pool: static round-robin partition — worker `w`
+            // serves jobs[w], jobs[w+W], …. Job→worker assignment must not
+            // depend on thread scheduling: which requests are in flight
+            // together feeds fused-batch composition and the flush policy,
+            // and the occupancy counters are part of the deterministic
+            // surface. (Plan *choices* are schedule-independent either way;
+            // the partition pins the counters too.)
+            std::thread::scope(|s| {
+                let handles: Vec<_> = seats
+                    .into_iter()
+                    .enumerate()
+                    .map(|(w, seat)| {
+                        let (jobs, breaker, serve_cfg, source) =
+                            (&jobs, &breaker, &serve_cfg, source);
+                        s.spawn(move || {
+                            let mut sess = PlannerSession::new();
+                            sess.broker = Some(seat);
+                            let mut tally = ServeCounters::default();
+                            let mut held: HeldModel = None;
+                            let mut served = Vec::new();
+                            let mut k = w;
+                            while let Some(&i) = jobs.get(k) {
+                                let (model, epoch) = source.resolve(&mut held, &mut sess);
+                                let d = serve_admitted(
+                                    db,
+                                    model,
+                                    epoch,
+                                    &requests[i].query,
+                                    serve_cfg,
+                                    cache_ctx,
+                                    breaker,
+                                    &mut sess,
+                                    &mut tally,
+                                );
+                                served.push((i, d));
+                                k += workers;
+                            }
+                            // Dropping the session retires the seat: the
+                            // broker stops waiting on this worker as soon
+                            // as its slice of the job list is done.
+                            (served, tally)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("worker exited through the per-request boundary"))
+                    .collect()
+            })
         } else {
             let cursor = AtomicUsize::new(0);
             std::thread::scope(|s| {
@@ -725,11 +835,15 @@ impl Supervisor {
         // `breaker` (the Mutex over `&mut self.breaker`) is done; NLL ends
         // its borrow here, so the counters below are accessible again.
         let _ = breaker;
+        if let Some(b) = &own_broker {
+            b.take_stats().add_to(&mut self.counters);
+        }
         for (served, tally) in shards {
             self.counters.served_neural += tally.served_neural;
             self.counters.cache_hits += tally.cache_hits;
             self.counters.served_classical += tally.served_classical;
             self.counters.failed += tally.failed;
+            self.counters.eval_candidates += tally.eval_candidates;
             for (i, d) in served {
                 dispositions[i] = Some(d);
             }
@@ -878,6 +992,7 @@ fn serve_admitted(
                     attempt_failures: Vec::new(),
                     predicted_ms: Some(hit.predicted_ms),
                     cache_hit: true,
+                    evals: 0,
                 };
             }
         }
@@ -913,6 +1028,7 @@ fn serve_admitted(
     }));
     match attempt {
         Ok(result) => {
+            tally.eval_candidates += result.evals;
             match result.served_by {
                 ServedBy::Neural => {
                     tally.served_neural += 1;

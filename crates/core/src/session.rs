@@ -8,6 +8,7 @@
 //! worker creates one session at startup and reuses it for every request it
 //! handles, so the hot path takes no locks and caches stay warm per worker.
 
+use crate::evalbroker::BrokerMember;
 use crate::featurize::FeatSession;
 use crate::mcts::MctsScratch;
 use crate::model::QPSeeker;
@@ -84,6 +85,13 @@ pub struct PlannerSession {
     /// is first used. Root parallelism is an MCTS mode, so shards carry
     /// MCTS scratch directly.
     pub shards: Vec<PlannerShard>,
+    /// Seat on a shared [`crate::evalbroker::EvalBroker`], when this
+    /// session's supervisor routes candidate scoring through one. Attached
+    /// by the serving layer before the worker's first request; planning
+    /// submits through it whenever it is present and the fast path is on.
+    /// Root-parallel MCTS shards never carry a seat — their threads are
+    /// not broker members and always score locally.
+    pub(crate) broker: Option<BrokerMember>,
 }
 
 /// Mutable state for one root-parallel MCTS worker thread: its own
@@ -105,8 +113,15 @@ impl PlannerSession {
     /// publication epoch changes under them: featurizations and search
     /// evaluation-cache entries (MCTS or beam alike) computed against the
     /// old model's weights must never score plans for the new one.
+    ///
+    /// The broker seat survives the reset: membership is per *run*, not
+    /// per model epoch, and dropping it here would unregister the worker
+    /// from the pool mid-stream (submissions carry model identity, so
+    /// cross-epoch rows never fuse anyway).
     pub fn reset(&mut self) {
+        let broker = self.broker.take();
         *self = Self::default();
+        self.broker = broker;
     }
 }
 

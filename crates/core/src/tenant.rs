@@ -41,6 +41,7 @@
 //! [`crate::plancache`]) guarantees a hit was planned under exactly the
 //! model epoch the request resolved.
 
+use crate::evalbroker::{BrokerStats, EvalBroker};
 use crate::metrics::ServeCounters;
 use crate::plancache::{PlanCache, PlanCacheCtx};
 use crate::registry::ModelRegistry;
@@ -162,6 +163,10 @@ fn lane_config(base: &SupervisorConfig, spec: &TenantSpec) -> SupervisorConfig {
 pub struct MultiTenantSupervisor {
     cfg: MultiTenantConfig,
     lanes: BTreeMap<String, Lane>,
+    /// Accumulated stats of the cross-lane eval broker (zero when
+    /// `cfg.base.broker` is off). The broker is shared by every lane, so
+    /// its occupancy accounting belongs to the supervisor, not any lane.
+    broker_stats: BrokerStats,
 }
 
 impl MultiTenantSupervisor {
@@ -173,7 +178,7 @@ impl MultiTenantSupervisor {
                 (spec.id.clone(), Lane { spec, sup })
             })
             .collect();
-        Self { cfg, lanes }
+        Self { cfg, lanes, broker_stats: BrokerStats::default() }
     }
 
     /// Registered tenant ids, sorted.
@@ -211,6 +216,9 @@ impl MultiTenantSupervisor {
         for lane in self.lanes.values() {
             total.merge(&lane.sup.counters());
         }
+        // The shared broker's fused-batch accounting lands in the merged
+        // totals only — no single lane owns a cross-tenant forward pass.
+        self.broker_stats.add_to(&mut total);
         total
     }
 
@@ -226,6 +234,14 @@ impl MultiTenantSupervisor {
     /// outcomes come back in input order. Requests naming a tenant with no
     /// lane are failed with a recorded message — an operator error, not a
     /// planning outcome, so it never touches any lane's counters.
+    ///
+    /// Without a broker (`base.broker = None`) lanes run sequentially in
+    /// tenant order. With one, every lane with requests this batch runs on
+    /// its own thread and all of their workers score through one shared
+    /// [`EvalBroker`], fusing candidate evaluation *across tenants* —
+    /// per-lane dispositions, plans and counters are bitwise identical
+    /// either way (admission is a pure function of each lane's own clock;
+    /// fused scoring matches per-session scoring row for row).
     pub fn run(
         &mut self,
         registry: &ModelRegistry,
@@ -237,39 +253,113 @@ impl MultiTenantSupervisor {
         }
 
         let mut out: Vec<Option<TenantOutcome>> = stream.iter().map(|_| None).collect();
-        for (tenant, idxs) in groups {
-            let Some(lane) = self.lanes.get_mut(tenant) else {
-                for &i in &idxs {
-                    out[i] = Some(TenantOutcome {
+        // Unknown tenants fail up front in both modes.
+        groups.retain(|tenant, idxs| {
+            if self.lanes.contains_key(*tenant) {
+                return true;
+            }
+            for &i in idxs.iter() {
+                out[i] = Some(TenantOutcome {
+                    tenant: tenant.to_string(),
+                    outcome: SupervisedOutcome {
+                        query_id: stream[i].req.query.id.clone(),
+                        disposition: Disposition::Failed(format!("unknown tenant '{tenant}'")),
+                    },
+                });
+            }
+            false
+        });
+
+        if self.cfg.base.broker.is_some() {
+            self.run_brokered(registry, stream, &groups, &mut out);
+        } else {
+            for (tenant, idxs) in &groups {
+                let lane = self.lanes.get_mut(*tenant).expect("retained tenants have lanes");
+                let reqs: Vec<QueryRequest> = idxs.iter().map(|&i| stream[i].req.clone()).collect();
+                let handle = registry.get(tenant);
+                let cache_ctx = match (&self.cfg.cache, &handle) {
+                    (Some(cache), Some(h)) => Some(PlanCacheCtx {
+                        cache: Arc::clone(cache),
                         tenant: tenant.to_string(),
-                        outcome: SupervisedOutcome {
-                            query_id: stream[i].req.query.id.clone(),
-                            disposition: Disposition::Failed(format!("unknown tenant '{tenant}'")),
-                        },
-                    });
+                        stats_version: h.stats_version,
+                    }),
+                    _ => None,
+                };
+                lane.sup.set_cache(cache_ctx);
+                let outcomes = match &handle {
+                    Some(h) => lane.sup.run_with_cell(&h.db, &h.cell, &reqs),
+                    None => lane.sup.run(&lane.spec.db, None, &reqs),
+                };
+                for (&i, outcome) in idxs.iter().zip(outcomes) {
+                    out[i] = Some(TenantOutcome { tenant: tenant.to_string(), outcome });
                 }
-                continue;
-            };
+            }
+        }
+        out.into_iter().map(|o| o.expect("every request received a disposition")).collect()
+    }
+
+    /// The broker-mode lane scheduler: registers every participating
+    /// lane's workers on one shared [`EvalBroker`] *before any lane thread
+    /// starts* (membership must be complete up front — round accounting is
+    /// only schedule-independent over a static member set), then runs the
+    /// lanes concurrently and drains the broker's stats once they join.
+    fn run_brokered(
+        &mut self,
+        registry: &ModelRegistry,
+        stream: &[TenantRequest],
+        groups: &BTreeMap<&str, Vec<usize>>,
+        out: &mut [Option<TenantOutcome>],
+    ) {
+        let bc = self.cfg.base.broker.expect("caller checked broker mode");
+        let workers_per_lane = self.cfg.base.workers.max(1);
+        let broker = EvalBroker::new(bc);
+        // Resolve registry handles, install cache contexts and register
+        // seats in lane (BTreeMap) order — the deterministic member-id
+        // assignment the flush policy's tiebreaks key on. Lanes with no
+        // requests this batch register nothing, so they never hold up a
+        // round.
+        let mut work = Vec::new();
+        for (tenant, lane) in self.lanes.iter_mut() {
+            let Some(idxs) = groups.get(tenant.as_str()) else { continue };
             let reqs: Vec<QueryRequest> = idxs.iter().map(|&i| stream[i].req.clone()).collect();
             let handle = registry.get(tenant);
             let cache_ctx = match (&self.cfg.cache, &handle) {
                 (Some(cache), Some(h)) => Some(PlanCacheCtx {
                     cache: Arc::clone(cache),
-                    tenant: tenant.to_string(),
+                    tenant: tenant.clone(),
                     stats_version: h.stats_version,
                 }),
                 _ => None,
             };
             lane.sup.set_cache(cache_ctx);
-            let outcomes = match &handle {
-                Some(h) => lane.sup.run_with_cell(&h.db, &h.cell, &reqs),
-                None => lane.sup.run(&lane.spec.db, None, &reqs),
-            };
+            let seats = broker.register_members(workers_per_lane);
+            work.push((tenant.clone(), lane, reqs, handle, idxs, seats));
+        }
+
+        let results: Vec<(String, &Vec<usize>, Vec<SupervisedOutcome>)> = std::thread::scope(|s| {
+            let handles: Vec<_> = work
+                .into_iter()
+                .map(|(tenant, lane, reqs, handle, idxs, seats)| {
+                    s.spawn(move || {
+                        let outcomes = match &handle {
+                            Some(h) => lane.sup.run_with_cell_seated(&h.db, &h.cell, &reqs, seats),
+                            None => lane.sup.run_seated(&lane.spec.db, None, &reqs, seats),
+                        };
+                        (tenant, idxs, outcomes)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("lane exited through its per-request boundaries"))
+                .collect()
+        });
+        for (tenant, idxs, outcomes) in results {
             for (&i, outcome) in idxs.iter().zip(outcomes) {
-                out[i] = Some(TenantOutcome { tenant: tenant.to_string(), outcome });
+                out[i] = Some(TenantOutcome { tenant: tenant.clone(), outcome });
             }
         }
-        out.into_iter().map(|o| o.expect("every request received a disposition")).collect()
+        self.broker_stats.merge(&broker.take_stats());
     }
 }
 

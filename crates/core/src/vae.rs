@@ -161,6 +161,50 @@ impl CostModeler {
         predictions
     }
 
+    /// [`Self::forward_inference_sampled`] generalized to a *per-row* eps
+    /// block: row `r` of `x` is sampled against `eps_of[r]` (`[S, latent]`,
+    /// same `S` for every row). This is the broker-fused risk path — rows
+    /// from different queries carry their own seeded draws through one
+    /// batched pass. Output stays sample-major (`[S*K, 3]`, row `si*K + r`
+    /// for row `r`'s sample `si`), and the per-(row, sample) arithmetic is
+    /// identical to the single-eps entry, so each row's samples are bitwise
+    /// equal to a per-request call with its own eps.
+    pub fn forward_inference_sampled_multi(
+        &self,
+        store: &ParamStore,
+        x: &Tensor,
+        eps_of: &[&Tensor],
+        sc: &mut ScratchArena,
+    ) -> Tensor {
+        let k = x.rows();
+        assert_eq!(eps_of.len(), k, "one eps block per row");
+        let s = eps_of[0].rows();
+        for eps in eps_of {
+            assert_eq!(eps.rows(), s, "eps blocks must agree on sample count");
+            assert_eq!(eps.cols(), self.latent, "eps must be [samples, latent]");
+        }
+        let h = self.encoder.forward_inference(store, x, sc); // [K, 2*latent]
+        let mut z = sc.take(s * k, self.latent);
+        for (r, eps_r) in eps_of.iter().enumerate() {
+            let hr = h.row_slice(r);
+            for si in 0..s {
+                let er = eps_r.row_slice(si);
+                let zr = z.row_slice_mut(si * k + r);
+                for j in 0..self.latent {
+                    let mu = hr[j];
+                    let logvar = 8.0 * hr[self.latent + j].tanh();
+                    zr[j] = mu + (0.5 * logvar).exp() * er[j];
+                }
+            }
+        }
+        sc.recycle(h);
+        let reconstruction = self.decoder.forward_inference(store, &z, sc);
+        sc.recycle(z);
+        let predictions = self.head.forward_inference(store, &reconstruction, sc);
+        sc.recycle(reconstruction);
+        predictions
+    }
+
     /// The paper's loss (formula 5) plus prediction MSE:
     /// `pred_mse + recon_mse + β · KL` with KL averaged per latent element
     /// so that the paper's β ∈ {100, 200, 300} stays in a workable range.

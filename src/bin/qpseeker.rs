@@ -98,8 +98,16 @@ commands:
            [--queue <n>] [--service-ms <f64>] [--interval-ms <f64>]
            [--workers <n>] (serve the stream on n planner threads, each
             with its own session over the shared model; default 1)
-           [--batch-eval <n>] (MCTS rollouts scored per batched cost-model
-            pass; 1 disables batching; default 16)
+           [--batch-eval <n>] (candidates scored per batched cost-model
+            pass, for every strategy; 1 disables batching; default 16)
+           [--broker] (fuse candidate scoring across all workers through a
+            shared eval broker: congruent requests pack into wide forward
+            passes; plans are bitwise identical to broker-off serving)
+           [--batch-target <rows>] (broker: rows at which a fused batch
+            flushes immediately; default 64)
+           [--batch-window-us <us>] (broker: micro-batch deadline on the
+            broker's round clock before a sub-target batch flushes anyway;
+            default 200)
            [--parallel-sims <n>] (root-parallel in-query MCTS shards;
             see plan; default 0)
            [--strategy mcts|beam] (search strategy: left-deep MCTS —
@@ -131,6 +139,9 @@ commands:
            [--mem-budget <bytes>] (registry memory budget; LRU eviction)
            [--chaos <p> --chaos-tenant <id>] (aim faults at one lane only
             — the other lanes' plans and breakers are unaffected)
+           [--broker [--batch-target <rows>] [--batch-window-us <us>]]
+            (one eval broker shared by every lane: candidate scoring fuses
+             across tenants; per-lane plans and counters are unchanged)
   experience show --state-dir <dir> [--tail <n>]
            (dump the experience WAL an online server accumulated:
             disposition, predicted vs observed runtime per record)";
@@ -351,6 +362,38 @@ fn apply_strategy_opts(opts: &Opts, strat: &mut StrategyConfig) -> Result<(), St
             return Err("--beam-width must be at least 1".into());
         }
     }
+    if let Some(b) = opts.get("batch-eval") {
+        let n: usize = b.parse().map_err(|e| format!("--batch-eval: {e}"))?;
+        if n == 0 {
+            return Err("--batch-eval must be at least 1".into());
+        }
+        strat.batch_eval = Some(n);
+    }
+    Ok(())
+}
+
+/// `--broker [--batch-target <rows>] [--batch-window-us <us>]`: route
+/// candidate scoring through a shared eval broker that fuses congruent
+/// requests from every worker (and, under `--tenants`, every lane) into
+/// wide forward passes. Plans are bitwise identical to broker-off serving.
+fn apply_broker_opts(opts: &Opts, broker: &mut Option<BrokerConfig>) -> Result<(), String> {
+    if !opts.contains_key("broker") {
+        if opts.contains_key("batch-target") || opts.contains_key("batch-window-us") {
+            return Err("--batch-target/--batch-window-us require --broker".into());
+        }
+        return Ok(());
+    }
+    let mut cfg = BrokerConfig::default();
+    if let Some(t) = opts.get("batch-target") {
+        cfg.batch_target = t.parse().map_err(|e| format!("--batch-target: {e}"))?;
+        if cfg.batch_target == 0 {
+            return Err("--batch-target must be at least 1".into());
+        }
+    }
+    if let Some(w) = opts.get("batch-window-us") {
+        cfg.batch_window_us = w.parse().map_err(|e| format!("--batch-window-us: {e}"))?;
+    }
+    *broker = Some(cfg);
     Ok(())
 }
 
@@ -371,12 +414,10 @@ fn serve(opts: &Opts) -> Result<(), String> {
     if let Some(r) = opts.get("retries") {
         cfg.max_retries = r.parse().map_err(|e| format!("--retries: {e}"))?;
     }
-    if let Some(b) = opts.get("batch-eval") {
-        cfg.mcts.batch_eval = b.parse().map_err(|e| format!("--batch-eval: {e}"))?;
-    }
     if let Some(p) = opts.get("parallel-sims") {
         cfg.mcts.parallel_sims = p.parse().map_err(|e| format!("--parallel-sims: {e}"))?;
     }
+    // --batch-eval lands on the unified strategy knob.
     apply_strategy_opts(opts, &mut cfg.strategy)?;
     if let Some(p) = opts.get("chaos") {
         let p: f64 = p.parse().map_err(|e| format!("--chaos: {e}"))?;
@@ -442,13 +483,12 @@ fn serve_stream(db: &Arc<Database>, opts: &Opts) -> Result<(), String> {
     if let Some(r) = opts.get("retries") {
         cfg.serve.max_retries = r.parse().map_err(|e| format!("--retries: {e}"))?;
     }
-    if let Some(b) = opts.get("batch-eval") {
-        cfg.serve.mcts.batch_eval = b.parse().map_err(|e| format!("--batch-eval: {e}"))?;
-    }
     if let Some(p) = opts.get("parallel-sims") {
         cfg.serve.mcts.parallel_sims = p.parse().map_err(|e| format!("--parallel-sims: {e}"))?;
     }
+    // --batch-eval lands on the unified strategy knob.
     apply_strategy_opts(opts, &mut cfg.serve.strategy)?;
+    apply_broker_opts(opts, &mut cfg.broker)?;
     if let Some(p) = opts.get("chaos") {
         let p: f64 = p.parse().map_err(|e| format!("--chaos: {e}"))?;
         cfg.serve.faults = Some(qpseeker_repro::storage::FaultConfig::chaos(seed, p));
@@ -567,6 +607,7 @@ fn serve_tenants(db: &Arc<Database>, opts: &Opts) -> Result<(), String> {
         base.workers = w.parse().map_err(|e| format!("--workers: {e}"))?;
     }
     apply_strategy_opts(opts, &mut base.serve.strategy)?;
+    apply_broker_opts(opts, &mut base.broker)?;
 
     // Per-tenant risk weights: lane i runs `base.serve.strategy` with its
     // own λ, so one latency-SLO tenant can plan risk-averse while its

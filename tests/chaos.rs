@@ -184,6 +184,7 @@ fn breaker_cfg(faults: Option<FaultConfig>) -> SupervisorConfig {
         service_ms: 5.0,
         workers: 1,
         cache: None,
+        broker: None,
     }
 }
 

@@ -88,6 +88,7 @@ fn supervisor_cfg(workers: usize) -> SupervisorConfig {
         service_ms: 5.0,
         workers,
         cache: None,
+        broker: None,
     }
 }
 

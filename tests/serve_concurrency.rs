@@ -82,6 +82,7 @@ fn deterministic_cfg(workers: usize) -> SupervisorConfig {
         service_ms: 5.0,
         workers,
         cache: None,
+        broker: None,
     }
 }
 
@@ -226,6 +227,7 @@ fn stress_pool_under_chaos_conserves_accounting() {
         service_ms: 5.0,
         workers: 4,
         cache: None,
+        broker: None,
     });
     let outcomes = sup.run(db, Some(model), &stream);
 

@@ -201,6 +201,7 @@ fn deterministic_cfg(
         service_ms: 5.0,
         workers,
         cache: None,
+        broker: None,
     }
 }
 

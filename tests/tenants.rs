@@ -82,6 +82,7 @@ fn base_cfg() -> SupervisorConfig {
         service_ms: 5.0,
         workers: 1,
         cache: None,
+        broker: None,
     }
 }
 
